@@ -1,0 +1,76 @@
+// Figure 5: the phase metric (memory accesses per instruction) is
+// independent of the cache allocation.
+//
+// MLR and MLOAD with several working sets run under 1..8 dedicated ways;
+// the measured l1_ref/ret_ins must stay flat across ways (while IPC swings
+// wildly) — that is what makes it a safe phase signature for a controller
+// that is itself changing the allocation.
+#include <algorithm>
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/pqos/mask.h"
+#include "src/pqos/sim_pqos.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+
+namespace dcat {
+namespace {
+
+struct Measurement {
+  double mem_per_ins = 0.0;
+  double ipc = 0.0;
+};
+
+Measurement Measure(std::unique_ptr<ArrayMicrobench> workload, uint32_t ways) {
+  Socket socket(SocketConfig::XeonE5());
+  SimPqos pqos(&socket);
+  pqos.SetCosMask(1, MakeWayMask(0, ways));
+  pqos.AssociateCore(0, 1);
+  PageTable pt(PagePolicy::kRandom4K, 4_GiB, 11);
+  ExecutionContext ctx(&socket.core(0), &pt);
+  workload->Execute(ctx, 0, 2'000'000);  // warm
+  const PerfCounterBlock before = socket.core(0).counters();
+  workload->Execute(ctx, 0, 4'000'000);
+  const PerfCounterBlock d = socket.core(0).counters() - before;
+  return {d.MemAccessesPerInstruction(), d.Ipc()};
+}
+
+void Sweep(const char* name, uint64_t wss, bool random) {
+  std::printf("--- %s ---\n", name);
+  TextTable table({"ways", "mem/ins", "IPC"});
+  double min_mpi = 1e9;
+  double max_mpi = 0.0;
+  for (uint32_t ways = 1; ways <= 8; ++ways) {
+    std::unique_ptr<ArrayMicrobench> w;
+    if (random) {
+      w = std::make_unique<MlrWorkload>(wss);
+    } else {
+      w = std::make_unique<MloadWorkload>(wss);
+    }
+    const Measurement m = Measure(std::move(w), ways);
+    min_mpi = std::min(min_mpi, m.mem_per_ins);
+    max_mpi = std::max(max_mpi, m.mem_per_ins);
+    table.AddRow({TextTable::FmtInt(ways), TextTable::Fmt(m.mem_per_ins, 4),
+                  TextTable::Fmt(m.ipc, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("mem/ins spread across allocations: %.2f%% (phase-change threshold: 10%%)\n\n",
+              100.0 * (max_mpi - min_mpi) / max_mpi);
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main() {
+  using namespace dcat;
+  PrintHeader("Phase metric is invariant to cache allocation", "Figure 5");
+  Sweep("MLR-4MB (random reads)", 4_MiB, true);
+  Sweep("MLR-12MB (random reads)", 12_MiB, true);
+  Sweep("MLOAD-8MB (sequential reads)", 8_MiB, false);
+  Sweep("MLOAD-60MB (sequential reads)", 60_MiB, false);
+  std::printf(
+      "Expected shape: IPC varies strongly with ways; mem/ins stays flat\n"
+      "(far below the 10%% phase-change threshold).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: sensitivity to the IPC-improvement threshold.
+//
+// Two sweeps:
+//   1. The paper's setup (MLR-8MB, 2-way baseline). In the simulator this
+//      reproduces only weakly: MLR's per-way IPC steps are large (~10-50%)
+//      and cache warmup inflates each step further, so the miss-rate
+//      threshold — not the IPC threshold — ends up stopping the growth at
+//      every setting (see EXPERIMENTS.md).
+//   2. A fine-grained workload (the Zipf-tailed search engine, per-way
+//      gains of a few percent) where the threshold binds exactly as the
+//      paper describes: higher thresholds stop the Receiver earlier.
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/workloads/search.h"
+
+namespace dcat {
+namespace {
+
+uint32_t RunMlr(double ipc_thr) {
+  HostConfig config = BenchHostConfig(ManagerMode::kDcat, /*cycles_per_interval=*/40e6);
+  config.dcat.ipc_improvement_thr = ipc_thr;
+  config.dcat.greedy_exploration = false;  // the paper's binary receiver test
+  Host host(config);
+  host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<MlrWorkload>(8_MiB));
+  for (TenantId id = 2; id <= 6; ++id) {
+    host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 2},
+               std::make_unique<LookbusyWorkload>());
+  }
+  host.Run(24);
+  return host.dcat()->TenantWays(1);
+}
+
+uint32_t RunSearch(double ipc_thr) {
+  HostConfig config = BenchHostConfig(ManagerMode::kDcat, /*cycles_per_interval=*/40e6);
+  config.dcat.ipc_improvement_thr = ipc_thr;
+  config.dcat.greedy_exploration = false;  // the paper's binary receiver test
+  Host host(config);
+  host.AddVm(VmConfig{.id = 1, .name = "search", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<SearchWorkload>());
+  for (TenantId id = 2; id <= 6; ++id) {
+    host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 2},
+               std::make_unique<LookbusyWorkload>());
+  }
+  host.Run(24);
+  return host.dcat()->TenantWays(1);
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main() {
+  using namespace dcat;
+  PrintHeader("Impact of the IPC-improvement threshold", "Figure 9");
+  TextTable table({"ipc_improvement_thr", "MLR-8MB ways", "search ways"});
+  for (double thr : {0.03, 0.05, 0.10, 0.20, 0.40}) {
+    table.AddRow({TextTable::FmtPercent(thr, 0), TextTable::FmtInt(RunMlr(thr)),
+                  TextTable::FmtInt(RunSearch(thr))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: fewer ways as the threshold rises. MLR's coarse\n"
+      "per-way steps make it threshold-insensitive in the simulator (the\n"
+      "miss-rate threshold stops it instead); the fine-grained search\n"
+      "workload shows the paper's monotone curve.\n");
+  return 0;
+}

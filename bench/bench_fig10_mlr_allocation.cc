@@ -1,0 +1,52 @@
+// Figure 10: cache-way allocation and normalized IPC over time for MLR.
+//
+// 6 VMs with a 3-way (6.75 MB) baseline each; one runs MLR with a working
+// set from 4 to 16 MB, the other five run lookbusy. dCat should park each
+// lookbusy VM at 1 way and grow the MLR VM one way per interval until its
+// IPC stops improving — ending higher for larger working sets.
+#include <map>
+#include <memory>
+
+#include "bench/harness.h"
+
+namespace dcat {
+namespace {
+
+void RunCase(uint64_t wss) {
+  Host host(BenchHostConfig(ManagerMode::kDcat));
+  host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<MlrWorkload>(wss));
+  for (TenantId id = 2; id <= 6; ++id) {
+    host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 3},
+               std::make_unique<LookbusyWorkload>());
+  }
+  Recorder recorder;
+  double baseline_ipc = 0.0;
+  for (int t = 0; t < 16; ++t) {
+    const auto stats = host.Step();
+    recorder.Record(host.now_seconds(), stats);
+    if (t == 0) {
+      baseline_ipc = stats[0].sample.ipc();  // first interval runs at baseline ways
+    }
+  }
+  std::printf("--- MLR working set %llu MB ---\n", static_cast<unsigned long long>(wss / 1_MiB));
+  std::printf("%s", recorder.TimelineTable({{1, "mlr"}}, {{1, baseline_ipc}}).c_str());
+  std::printf("final: %u ways, lookbusy VMs at %u way each\n\n", host.dcat()->TenantWays(1),
+              host.dcat()->TenantWays(2));
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main() {
+  using namespace dcat;
+  PrintHeader("Cache-way allocation and normalized IPC for MLR", "Figure 10");
+  for (uint64_t wss : {4_MiB, 8_MiB, 12_MiB, 16_MiB}) {
+    RunCase(wss);
+  }
+  std::printf(
+      "Expected shape: allocation climbs one way per interval from the 3-way\n"
+      "baseline and settles higher for larger working sets; normalized IPC\n"
+      "rises with each way; lookbusy neighbors are Donors pinned at 1 way.\n");
+  return 0;
+}

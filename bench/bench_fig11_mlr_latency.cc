@@ -1,0 +1,50 @@
+// Figure 11: MLR data access latency, normalized to the full-cache run.
+//
+// Same setup as Figure 10. For each working set the full-cache latency
+// (MLR alone, whole LLC) is the denominator; dCat should sit just above
+// 1.0 while static CAT (3 ways) degrades badly once the working set
+// exceeds the partition.
+#include <memory>
+
+#include "bench/harness.h"
+
+namespace dcat {
+namespace {
+
+double RunLatencyNs(uint64_t wss, ManagerMode mode, bool neighbors) {
+  Host host(BenchHostConfig(mode));
+  Vm& mlr_vm = host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 3},
+                          std::make_unique<MlrWorkload>(wss));
+  if (neighbors) {
+    for (TenantId id = 2; id <= 6; ++id) {
+      host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 3},
+                 std::make_unique<LookbusyWorkload>());
+    }
+  }
+  host.Run(14);
+  auto& mlr = static_cast<MlrWorkload&>(mlr_vm.workload());
+  mlr.ResetMetrics();
+  host.Run(5);
+  return CyclesToNs(mlr.AvgAccessLatencyCycles());
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main() {
+  using namespace dcat;
+  PrintHeader("Normalized (to full cache) data access latency for MLR", "Figure 11");
+  TextTable table({"MLR WSS", "full cache (ns)", "dCat (norm)", "static CAT 3-way (norm)"});
+  for (uint64_t wss : {4_MiB, 8_MiB, 12_MiB, 16_MiB}) {
+    const double full = RunLatencyNs(wss, ManagerMode::kShared, /*neighbors=*/false);
+    const double with_dcat = RunLatencyNs(wss, ManagerMode::kDcat, true);
+    const double with_static = RunLatencyNs(wss, ManagerMode::kStaticCat, true);
+    table.AddRow({std::to_string(wss / 1_MiB) + "MB", TextTable::Fmt(full, 1),
+                  TextTable::Fmt(with_dcat / full, 2), TextTable::Fmt(with_static / full, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: dCat stays close to 1.0x; static CAT grows worse as\n"
+      "the working set outgrows its 6.75MB partition.\n");
+  return 0;
+}

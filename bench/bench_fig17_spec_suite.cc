@@ -1,0 +1,91 @@
+// Figure 17 + Table 3: SPEC CPU2006 proxies under shared / static / dCat.
+//
+// Five VMs with 4-way (9 MB) baselines: one runs a SPEC proxy, two run
+// MLOAD-60MB noisy neighbors and two run lookbusy polite neighbors.
+// The metric is application progress (proxy iterations per interval),
+// normalized to the shared-cache run — the reciprocal-runtime metric the
+// paper plots. Table 3's companion column is the ceiling of ways dCat
+// assigned during the run.
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/common/stats.h"
+#include "src/workloads/spec_suite.h"
+
+namespace dcat {
+namespace {
+
+struct RunResult {
+  double iterations_per_interval = 0.0;
+  uint32_t peak_ways = 0;
+};
+
+RunResult RunSpec(const SpecProxyParams& params, ManagerMode mode) {
+  // Slightly shorter intervals keep the 60-benchmark matrix tractable.
+  Host host(BenchHostConfig(mode, /*cycles_per_interval=*/12e6));
+  Vm& spec_vm = host.AddVm(VmConfig{.id = 1, .name = params.name, .vcpus = 2, .baseline_ways = 4},
+                           std::make_unique<SpecProxyWorkload>(params));
+  host.AddVm(VmConfig{.id = 2, .name = "mload1", .vcpus = 2, .baseline_ways = 4},
+             std::make_unique<MloadWorkload>(60_MiB, /*seed=*/2));
+  host.AddVm(VmConfig{.id = 3, .name = "mload2", .vcpus = 2, .baseline_ways = 4},
+             std::make_unique<MloadWorkload>(60_MiB, /*seed=*/3));
+  host.AddVm(VmConfig{.id = 4, .name = "busy1", .vcpus = 2, .baseline_ways = 4},
+             std::make_unique<LookbusyWorkload>());
+  host.AddVm(VmConfig{.id = 5, .name = "busy2", .vcpus = 2, .baseline_ways = 4},
+             std::make_unique<LookbusyWorkload>());
+
+  auto& spec = static_cast<SpecProxyWorkload&>(spec_vm.workload());
+  uint32_t peak_ways = 4;
+  const int kWarmup = 12;
+  const int kMeasure = 6;
+  for (int t = 0; t < kWarmup; ++t) {
+    host.Step();
+    if (mode == ManagerMode::kDcat) {
+      peak_ways = std::max(peak_ways, host.dcat()->TenantWays(1));
+    }
+  }
+  spec.ResetMetrics();
+  for (int t = 0; t < kMeasure; ++t) {
+    host.Step();
+    if (mode == ManagerMode::kDcat) {
+      peak_ways = std::max(peak_ways, host.dcat()->TenantWays(1));
+    }
+  }
+  return {static_cast<double>(spec.iterations()) / kMeasure, peak_ways};
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main() {
+  using namespace dcat;
+  PrintHeader("SPEC CPU2006 proxies: normalized performance + assigned ways",
+              "Figure 17 and Table 3");
+
+  TextTable table(
+      {"benchmark", "shared", "static CAT", "dCat", "dCat ways (peak)"});
+  std::vector<double> static_norm;
+  std::vector<double> dcat_norm;
+  for (const SpecProxyParams& params : SpecCpu2006Roster()) {
+    const RunResult shared = RunSpec(params, ManagerMode::kShared);
+    const RunResult fixed = RunSpec(params, ManagerMode::kStaticCat);
+    const RunResult dynamic = RunSpec(params, ManagerMode::kDcat);
+    const double s = 1.0;
+    const double f = fixed.iterations_per_interval / shared.iterations_per_interval;
+    const double d = dynamic.iterations_per_interval / shared.iterations_per_interval;
+    static_norm.push_back(f);
+    dcat_norm.push_back(d);
+    table.AddRow({params.name, TextTable::Fmt(s, 2), TextTable::Fmt(f, 2), TextTable::Fmt(d, 2),
+                  TextTable::FmtInt(dynamic.peak_ways)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("geomean normalized to shared: static CAT %.3f, dCat %.3f\n",
+              GeometricMean(static_norm), GeometricMean(dcat_norm));
+  std::printf(
+      "Expected shape (paper): dCat geomean +25%% over shared and +15.7%% over\n"
+      "static; high-reuse codes (omnetpp, astar, mcf) gain the most; small-\n"
+      "working-set codes are flat; streaming codes (lbm, libquantum) see no\n"
+      "benefit from extra ways but are protected from the MLOAD neighbors.\n");
+  return 0;
+}

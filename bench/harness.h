@@ -1,0 +1,48 @@
+// Shared scaffolding for the figure/table reproduction benchmarks.
+//
+// Every bench binary reproduces one table or figure from the paper on the
+// simulated Xeon E5-2697 v4 (18 cores, 20-way 45 MiB LLC) unless the
+// experiment explicitly targets the Xeon-D. Intervals are time-dilated
+// (fewer cycles per control interval than a real second) — the controller
+// operates on rates, so decisions are unaffected while wall-clock stays
+// manageable.
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/cluster/host.h"
+#include "src/cluster/recorder.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/workloads/microbench.h"
+
+namespace dcat {
+
+// Default simulated cycles per control interval for bench runs.
+inline constexpr double kBenchCyclesPerInterval = 20e6;
+
+inline HostConfig BenchHostConfig(ManagerMode mode,
+                                  double cycles_per_interval = kBenchCyclesPerInterval) {
+  HostConfig config;
+  config.socket = SocketConfig::XeonE5();
+  config.mode = mode;
+  config.cycles_per_interval = cycles_per_interval;
+  return config;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s of the dCat paper, EuroSys'18)\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+// Converts a latency in cycles to nanoseconds at the modeled 2.3 GHz.
+inline double CyclesToNs(double cycles) { return cycles / 2.3; }
+
+}  // namespace dcat
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,74 @@
+// Noisy neighbor: a latency-sensitive Redis tenant beside streaming hogs.
+//
+// The motivating scenario from the paper's introduction: a tenant pays for
+// a share of the LLC, two co-located tenants run memory scans that would
+// flush it in an unmanaged cache. The example runs the same colocation
+// under all three regimes and reports the Redis tenant's throughput and
+// latency.
+//
+//   $ ./examples/noisy_neighbor
+#include <cstdio>
+#include <memory>
+
+#include "src/cluster/host.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/microbench.h"
+
+using namespace dcat;
+
+namespace {
+
+struct Result {
+  double kops_per_interval = 0.0;
+  double avg_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  uint32_t redis_ways = 0;
+};
+
+Result RunMode(ManagerMode mode) {
+  HostConfig config;
+  config.socket = SocketConfig::XeonE5();
+  config.mode = mode;
+  config.cycles_per_interval = 15e6;
+  Host host(config);
+
+  Vm& redis_vm = host.AddVm(VmConfig{.id = 1, .name = "redis", .baseline_ways = 4},
+                            std::make_unique<KvStoreWorkload>());
+  host.AddVm(VmConfig{.id = 2, .name = "hog1", .baseline_ways = 4},
+             std::make_unique<MloadWorkload>(60_MiB, /*seed=*/2));
+  host.AddVm(VmConfig{.id = 3, .name = "hog2", .baseline_ways = 4},
+             std::make_unique<MloadWorkload>(60_MiB, /*seed=*/3));
+
+  host.Run(12);  // let the controller settle
+  auto& redis = static_cast<KvStoreWorkload&>(redis_vm.workload());
+  redis.ResetMetrics();
+  const int kMeasure = 5;
+  host.Run(kMeasure);
+
+  Result r;
+  r.kops_per_interval = static_cast<double>(redis.requests_completed()) / kMeasure / 1000.0;
+  r.avg_latency_ns = redis.AvgRequestLatencyCycles() / 2.3;
+  r.p99_latency_ns = redis.P99RequestLatencyCycles() / 2.3;
+  r.redis_ways = host.manager().TenantWays(1);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Redis tenant (Zipfian GETs over 1M x 128B) beside two MLOAD-60MB hogs\n\n");
+  TextTable table({"regime", "kGET/interval", "avg lat (ns)", "p99 lat (ns)", "redis ways"});
+  for (ManagerMode mode : {ManagerMode::kShared, ManagerMode::kStaticCat, ManagerMode::kDcat}) {
+    const Result r = RunMode(mode);
+    table.AddRow({ManagerModeName(mode), TextTable::Fmt(r.kops_per_interval, 1),
+                  TextTable::Fmt(r.avg_latency_ns, 0), TextTable::Fmt(r.p99_latency_ns, 0),
+                  TextTable::FmtInt(r.redis_ways)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "dCat reclaims the ways the hogs cannot use and hands them to Redis,\n"
+      "so its hot keys stay resident: higher throughput, lower tail latency.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "src/cluster/host.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cluster/vm.h"
+
+namespace dcat {
+
+const char* ManagerModeName(ManagerMode mode) {
+  switch (mode) {
+    case ManagerMode::kShared:
+      return "shared";
+    case ManagerMode::kStaticCat:
+      return "static-cat";
+    case ManagerMode::kDcat:
+      return "dcat";
+  }
+  return "?";
+}
+
+Host::Host(HostConfig config) : config_(config), socket_(config.socket), pqos_(&socket_) {
+  switch (config_.mode) {
+    case ManagerMode::kShared:
+      manager_ = std::make_unique<SharedCacheManager>(&pqos_);
+      break;
+    case ManagerMode::kStaticCat:
+      manager_ = std::make_unique<StaticCatManager>(&pqos_);
+      break;
+    case ManagerMode::kDcat: {
+      auto controller = std::make_unique<DcatController>(&pqos_, &pqos_, config_.dcat);
+      dcat_ = controller.get();
+      manager_ = std::move(controller);
+      break;
+    }
+  }
+}
+
+Vm& Host::AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
+  std::vector<uint16_t> cores;
+  // Reuse cores freed by departed VMs before claiming fresh ones.
+  while (cores.size() < vm_config.vcpus && !free_cores_.empty()) {
+    cores.push_back(free_cores_.back());
+    free_cores_.pop_back();
+  }
+  while (cores.size() < vm_config.vcpus) {
+    if (next_core_ >= socket_.num_cores()) {
+      std::fprintf(stderr, "Host: out of physical cores for VM %s\n", vm_config.name.c_str());
+      std::abort();
+    }
+    cores.push_back(next_core_++);
+  }
+  // Distinct default seeds per VM keep tenants decorrelated.
+  if (vm_config.seed == 1) {
+    vm_config.seed = 0x1000 + vm_config.id * 7919;
+  }
+  // A VM admitted mid-run starts at the host's current wall clock.
+  const double now = static_cast<double>(intervals_) * config_.cycles_per_interval;
+  for (uint16_t core : cores) {
+    if (socket_.core(core).wall_cycles() < now) {
+      socket_.core(core).Idle(now - socket_.core(core).wall_cycles());
+    }
+  }
+  auto vm = std::make_unique<Vm>(vm_config, std::move(workload), &socket_, cores);
+  manager_->AddTenant(vm->tenant_spec());
+  vms_.push_back(std::move(vm));
+  vm_snapshots_.emplace_back();
+  return *vms_.back();
+}
+
+void Host::RemoveVm(TenantId id) {
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    if (vms_[i]->config().id != id) {
+      continue;
+    }
+    manager_->RemoveTenant(id);
+    for (uint16_t core : vms_[i]->cores()) {
+      // The core stops executing; its private caches are stale state the
+      // next owner would not have, so drop them.
+      socket_.core(core).ResetCaches();
+      free_cores_.push_back(core);
+    }
+    vms_.erase(vms_.begin() + static_cast<ptrdiff_t>(i));
+    vm_snapshots_.erase(vm_snapshots_.begin() + static_cast<ptrdiff_t>(i));
+    return;
+  }
+}
+
+std::vector<VmIntervalStats> Host::Step() {
+  ++intervals_;
+  const double target = static_cast<double>(intervals_) * config_.cycles_per_interval;
+  for (auto& vm : vms_) {
+    vm->RunUntil(target);
+  }
+  socket_.AdvanceInterval(config_.cycles_per_interval);  // bandwidth model boundary
+  manager_->Tick();
+
+  std::vector<VmIntervalStats> stats;
+  stats.reserve(vms_.size());
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    PerfCounterBlock sum;
+    for (uint16_t core : vms_[i]->cores()) {
+      sum += socket_.core(core).counters();
+    }
+    VmIntervalStats s;
+    s.id = vms_[i]->config().id;
+    s.ways = manager_->TenantWays(s.id);
+    s.sample.delta = sum - vm_snapshots_[i];
+    vm_snapshots_[i] = sum;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+void Host::Run(uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    Step();
+  }
+}
+
+}  // namespace dcat

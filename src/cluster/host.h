@@ -1,0 +1,101 @@
+// A physical host in the performance-sensitive IaaS: one socket, a set of
+// tenant VMs pinned to its cores, and a cache manager (shared / static CAT /
+// dCat) supervising the LLC.
+//
+// Time advances in control intervals: every Step() runs each VM until all
+// its cores reach the interval's wall-clock target, then gives the manager
+// one Tick(). The number of simulated cycles per interval is configurable —
+// the controller consumes rates only, so dilating time shortens experiments
+// without changing the control dynamics.
+#ifndef SRC_CLUSTER_HOST_H_
+#define SRC_CLUSTER_HOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/vm.h"
+#include "src/core/baseline_managers.h"
+#include "src/core/config.h"
+#include "src/core/dcat_controller.h"
+#include "src/core/manager.h"
+#include "src/core/metrics.h"
+#include "src/pqos/sim_pqos.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+
+enum class ManagerMode {
+  kShared,
+  kStaticCat,
+  kDcat,
+};
+
+const char* ManagerModeName(ManagerMode mode);
+
+struct HostConfig {
+  SocketConfig socket = SocketConfig::XeonE5();
+  DcatConfig dcat;
+  ManagerMode mode = ManagerMode::kDcat;
+  // Simulated unhalted cycles per control interval per core. 50M cycles is
+  // enough to exercise the full LLC while keeping experiments fast; at the
+  // real 2.3 GHz an interval would be 2.3G cycles — the dilation changes no
+  // controller decision because all thresholds are rates.
+  double cycles_per_interval = 50e6;
+};
+
+// Per-VM statistics of one completed interval, for recording.
+struct VmIntervalStats {
+  TenantId id = 0;
+  uint32_t ways = 0;
+  WorkloadSample sample;
+};
+
+class Host {
+ public:
+  explicit Host(HostConfig config);
+
+  // Creates a VM pinned to free cores and registers it with the manager.
+  // The reference stays valid until RemoveVm destroys the VM.
+  Vm& AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload);
+
+  // Terminates a VM: deregisters the tenant from the cache manager and
+  // returns its cores to the free pool (a later AddVm may reuse them).
+  // Unknown ids are ignored.
+  void RemoveVm(TenantId id);
+
+  // Runs one control interval; returns per-VM stats for that interval.
+  std::vector<VmIntervalStats> Step();
+
+  // Runs `n` intervals, discarding stats.
+  void Run(uint32_t n);
+
+  double now_seconds() const {
+    return static_cast<double>(intervals_) * config_.dcat.interval_seconds;
+  }
+  uint64_t intervals() const { return intervals_; }
+
+  Socket& socket() { return socket_; }
+  SimPqos& pqos() { return pqos_; }
+  CacheManager& manager() { return *manager_; }
+  // Non-null only in kDcat mode.
+  DcatController* dcat() { return dcat_; }
+  Vm& vm(size_t index) { return *vms_.at(index); }
+  size_t num_vms() const { return vms_.size(); }
+
+ private:
+  HostConfig config_;
+  Socket socket_;
+  SimPqos pqos_;
+  std::unique_ptr<CacheManager> manager_;
+  DcatController* dcat_ = nullptr;  // borrowed view into manager_
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<PerfCounterBlock> vm_snapshots_;
+  uint16_t next_core_ = 0;
+  std::vector<uint16_t> free_cores_;  // returned by RemoveVm, reused first
+  uint64_t intervals_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CLUSTER_HOST_H_

@@ -1,0 +1,118 @@
+#include "src/cluster/recorder.h"
+
+#include <algorithm>
+
+#include "src/common/table.h"
+
+namespace dcat {
+
+void Recorder::Record(double t, const std::vector<VmIntervalStats>& stats) {
+  for (const VmIntervalStats& s : stats) {
+    Point p;
+    p.t = t;
+    p.ways = s.ways;
+    p.ipc = s.sample.ipc();
+    p.llc_miss_rate = s.sample.llc_miss_rate();
+    series_[s.id].push_back(p);
+  }
+}
+
+const std::vector<Recorder::Point>& Recorder::series(TenantId id) const {
+  static const std::vector<Point> kEmpty;
+  if (auto it = series_.find(id); it != series_.end()) {
+    return it->second;
+  }
+  return kEmpty;
+}
+
+std::vector<TenantId> Recorder::tenants() const {
+  std::vector<TenantId> ids;
+  ids.reserve(series_.size());
+  for (const auto& [id, _] : series_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+double Recorder::AvgIpc(TenantId id, double t_begin, double t_end) const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const Point& p : series(id)) {
+    if (p.t >= t_begin && p.t < t_end) {
+      sum += p.ipc;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+uint32_t Recorder::FinalWays(TenantId id) const {
+  const auto& s = series(id);
+  return s.empty() ? 0 : s.back().ways;
+}
+
+uint32_t Recorder::PeakWays(TenantId id) const {
+  uint32_t peak = 0;
+  for (const Point& p : series(id)) {
+    peak = std::max(peak, p.ways);
+  }
+  return peak;
+}
+
+std::string Recorder::ToCsv() const {
+  TextTable table({"tenant", "t", "ways", "ipc", "llc_miss_rate"});
+  for (const auto& [id, points] : series_) {
+    for (const Point& p : points) {
+      table.AddRow({TextTable::FmtInt(id), TextTable::Fmt(p.t, 2), TextTable::FmtInt(p.ways),
+                    TextTable::Fmt(p.ipc, 4), TextTable::Fmt(p.llc_miss_rate, 4)});
+    }
+  }
+  return table.ToCsv();
+}
+
+std::string Recorder::TimelineTable(const std::map<TenantId, std::string>& names,
+                                    const std::map<TenantId, double>& ipc_base) const {
+  std::vector<std::string> header{"t(s)"};
+  std::vector<TenantId> ids = tenants();
+  for (TenantId id : ids) {
+    const auto it = names.find(id);
+    const std::string name = it != names.end() ? it->second : "vm" + std::to_string(id);
+    header.push_back(name + ".ways");
+    header.push_back(name + (ipc_base.count(id) ? ".normIPC" : ".IPC"));
+  }
+  TextTable table(header);
+
+  size_t rows = 0;
+  for (TenantId id : ids) {
+    rows = std::max(rows, series(id).size());
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    double t = 0.0;
+    for (TenantId id : ids) {
+      const auto& s = series(id);
+      if (r < s.size()) {
+        t = s[r].t;
+      }
+    }
+    row.push_back(TextTable::Fmt(t, 0));
+    for (TenantId id : ids) {
+      const auto& s = series(id);
+      if (r < s.size()) {
+        row.push_back(TextTable::FmtInt(s[r].ways));
+        double ipc = s[r].ipc;
+        if (auto it = ipc_base.find(id); it != ipc_base.end() && it->second > 0.0) {
+          ipc /= it->second;
+        }
+        row.push_back(TextTable::Fmt(ipc, 2));
+      } else {
+        row.push_back("");
+        row.push_back("");
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace dcat

@@ -1,0 +1,53 @@
+// Time-series recording for experiments.
+//
+// Collects the per-interval stats Host::Step() returns and renders the
+// "ways over time" / "normalized IPC over time" views the paper's Figures
+// 10, 12, 13, 14 and 15 plot.
+#ifndef SRC_CLUSTER_RECORDER_H_
+#define SRC_CLUSTER_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/host.h"
+
+namespace dcat {
+
+class Recorder {
+ public:
+  void Record(double t, const std::vector<VmIntervalStats>& stats);
+
+  struct Point {
+    double t = 0.0;
+    uint32_t ways = 0;
+    double ipc = 0.0;
+    double llc_miss_rate = 0.0;
+  };
+
+  const std::vector<Point>& series(TenantId id) const;
+  std::vector<TenantId> tenants() const;
+
+  // Average IPC of a tenant over [t_begin, t_end).
+  double AvgIpc(TenantId id, double t_begin, double t_end) const;
+  // Final (most recent) ways of a tenant; 0 if never recorded.
+  uint32_t FinalWays(TenantId id) const;
+  // Maximum ways the tenant ever held.
+  uint32_t PeakWays(TenantId id) const;
+
+  // Renders "t  ways[id0] ipc[id0]  ways[id1] ipc[id1] ..." as an aligned
+  // table, with IPC normalized to `ipc_base` per tenant when provided.
+  std::string TimelineTable(const std::map<TenantId, std::string>& names,
+                            const std::map<TenantId, double>& ipc_base = {}) const;
+
+  // Long-format CSV ("tenant,t,ways,ipc,llc_miss_rate") for plotting.
+  std::string ToCsv() const;
+
+ private:
+  std::map<TenantId, std::vector<Point>> series_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CLUSTER_RECORDER_H_

@@ -1,0 +1,96 @@
+#include "src/cluster/schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/log.h"
+#include "src/workloads/factory.h"
+
+namespace dcat {
+
+ScheduleParseResult ParseSchedule(const std::string& text) {
+  ScheduleParseResult result;
+  if (text.empty()) {
+    result.ok = true;
+    return result;
+  }
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(',', start);
+    const std::string item =
+        text.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    if (!item.empty()) {
+      const size_t colon = item.find(':');
+      const size_t eq = item.find('=', colon == std::string::npos ? 0 : colon);
+      if (colon == std::string::npos || eq == std::string::npos || eq < colon) {
+        result.error = "expected interval:tenant=spec, got '" + item + "'";
+        return result;
+      }
+      char* after_interval = nullptr;
+      char* after_tenant = nullptr;
+      const uint64_t interval = std::strtoull(item.c_str(), &after_interval, 10);
+      const uint64_t tenant = std::strtoull(item.c_str() + colon + 1, &after_tenant, 10);
+      if (after_interval != item.c_str() + colon || after_tenant != item.c_str() + eq ||
+          tenant == 0) {
+        result.error = "bad interval or tenant id in '" + item + "'";
+        return result;
+      }
+      const std::string spec = item.substr(eq + 1);
+      if (spec.empty()) {
+        result.error = "empty workload spec in '" + item + "'";
+        return result;
+      }
+      result.events.push_back(
+          ScheduleEvent{interval, static_cast<TenantId>(tenant), spec});
+    }
+    if (end == std::string::npos) {
+      break;
+    }
+    start = end + 1;
+  }
+  std::stable_sort(result.events.begin(), result.events.end(),
+                   [](const ScheduleEvent& a, const ScheduleEvent& b) {
+                     return a.interval < b.interval;
+                   });
+  result.ok = true;
+  return result;
+}
+
+ScheduleRunner::ScheduleRunner(std::vector<ScheduleEvent> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ScheduleEvent& a, const ScheduleEvent& b) {
+                     return a.interval < b.interval;
+                   });
+}
+
+int ScheduleRunner::Fire(uint64_t interval, Host& host) {
+  int fired = 0;
+  while (next_ < events_.size() && events_[next_].interval <= interval) {
+    const ScheduleEvent& event = events_[next_];
+    ++next_;
+    // Find the VM carrying this tenant.
+    Vm* vm = nullptr;
+    for (size_t i = 0; i < host.num_vms(); ++i) {
+      if (host.vm(i).config().id == event.tenant) {
+        vm = &host.vm(i);
+        break;
+      }
+    }
+    if (vm == nullptr) {
+      DCAT_LOG(kWarning) << "schedule: no VM with tenant id " << event.tenant;
+      continue;
+    }
+    auto workload = MakeWorkload(event.workload_spec, /*seed=*/event.tenant * 977 + interval);
+    if (workload == nullptr) {
+      DCAT_LOG(kWarning) << "schedule: bad workload spec '" << event.workload_spec << "'";
+      continue;
+    }
+    DCAT_LOG(kInfo) << "schedule: t=" << interval << " tenant " << event.tenant << " -> "
+                    << event.workload_spec;
+    vm->ReplaceWorkload(std::move(workload));
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace dcat

@@ -1,0 +1,59 @@
+// Workload-change schedules for scripted experiments.
+//
+// The paper's timelines (Fig. 7, 12, 15) are all "at time t, tenant X
+// starts/stops/switches workloads". A Schedule captures that as data so
+// experiments are reproducible from a single command line:
+//
+//     "10:1=mlr:8M,15:1=idle,20:2=redis"
+//
+// means: at interval 10 tenant 1 starts MLR-8MB, at 15 it goes idle, at
+// 20 tenant 2 switches to the Redis model. Workload specs follow
+// src/workloads/factory.h.
+#ifndef SRC_CLUSTER_SCHEDULE_H_
+#define SRC_CLUSTER_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/host.h"
+
+namespace dcat {
+
+struct ScheduleEvent {
+  uint64_t interval = 0;  // fires before this interval's Step()
+  TenantId tenant = 0;
+  std::string workload_spec;
+};
+
+struct ScheduleParseResult {
+  bool ok = false;
+  std::vector<ScheduleEvent> events;  // sorted by interval
+  std::string error;
+};
+
+// Parses "interval:tenant=spec,..." into sorted events. Does not validate
+// the workload specs (the factory does, at fire time).
+ScheduleParseResult ParseSchedule(const std::string& text);
+
+// Applies a schedule against a host: call Fire() once per interval before
+// Step(). Returns the events fired (for logging); workloads that fail to
+// construct are skipped with a log line.
+class ScheduleRunner {
+ public:
+  explicit ScheduleRunner(std::vector<ScheduleEvent> events);
+
+  // Fires all events due at `interval` against `host`. Returns how many
+  // were applied.
+  int Fire(uint64_t interval, Host& host);
+
+  bool done() const { return next_ >= events_.size(); }
+
+ private:
+  std::vector<ScheduleEvent> events_;
+  size_t next_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CLUSTER_SCHEDULE_H_

@@ -1,0 +1,70 @@
+#include "src/cluster/vm.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcat {
+namespace {
+// Instruction chunk per scheduling quantum. Large enough that every
+// workload model completes whole requests inside one chunk; small enough
+// that interval boundaries stay sharp.
+constexpr uint64_t kChunkInstructions = 50'000;
+}  // namespace
+
+Vm::Vm(VmConfig config, std::unique_ptr<Workload> workload, Socket* socket,
+       std::vector<uint16_t> cores)
+    : config_(std::move(config)),
+      workload_(std::move(workload)),
+      socket_(socket),
+      cores_(std::move(cores)),
+      page_table_(config_.page_policy, config_.ram_bytes, config_.seed ^ 0xba5eba11ULL) {
+  if (cores_.size() != config_.vcpus) {
+    std::fprintf(stderr, "Vm %s: %zu cores for %u vcpus\n", config_.name.c_str(), cores_.size(),
+                 config_.vcpus);
+    std::abort();
+  }
+  contexts_.reserve(cores_.size());
+  for (uint16_t core : cores_) {
+    contexts_.emplace_back(&socket_->core(core), &page_table_);
+  }
+}
+
+TenantSpec Vm::tenant_spec() const {
+  TenantSpec spec;
+  spec.id = config_.id;
+  spec.name = config_.name;
+  spec.cores = cores_;
+  spec.baseline_ways = config_.baseline_ways;
+  return spec;
+}
+
+void Vm::RunUntil(double target_wall_cycles) {
+  for (uint32_t v = 0; v < contexts_.size(); ++v) {
+    ExecutionContext& ctx = contexts_[v];
+    const bool active = v < workload_->num_vcpus();
+    while (ctx.core().wall_cycles() < target_wall_cycles) {
+      const double before = ctx.core().wall_cycles();
+      if (active) {
+        workload_->Execute(ctx, v, kChunkInstructions);
+      } else {
+        ctx.core().Idle(target_wall_cycles - before);
+      }
+      if (ctx.core().wall_cycles() <= before) {
+        // A workload that cannot make progress in a chunk (degenerate
+        // parameters) must not hang the simulation.
+        ctx.core().Idle(target_wall_cycles - before);
+      }
+    }
+  }
+}
+
+void Vm::ReplaceWorkload(std::unique_ptr<Workload> workload) {
+  if (workload->num_vcpus() > config_.vcpus) {
+    std::fprintf(stderr, "Vm %s: workload needs more vCPUs than the VM has\n",
+                 config_.name.c_str());
+    std::abort();
+  }
+  workload_ = std::move(workload);
+}
+
+}  // namespace dcat

@@ -1,0 +1,65 @@
+// A tenant VM: pinned vCPUs, its own guest-physical address space, and the
+// workload the tenant runs inside it.
+//
+// Matches the paper's setup (§5): every VM has dedicated physical cores (no
+// CPU overprovisioning), its own RAM, and 4 KiB pages by default (the
+// conflict-miss regime real clouds run in).
+#ifndef SRC_CLUSTER_VM_H_
+#define SRC_CLUSTER_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/manager.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/sim/socket.h"
+#include "src/workloads/workload.h"
+
+namespace dcat {
+
+struct VmConfig {
+  TenantId id = 0;
+  std::string name;
+  uint32_t vcpus = 2;
+  uint64_t ram_bytes = 4ull * 1024 * 1024 * 1024;  // 4 GiB, as in the paper
+  PagePolicy page_policy = PagePolicy::kRandom4K;
+  uint32_t baseline_ways = 1;
+  uint64_t seed = 1;
+};
+
+class Vm {
+ public:
+  // `cores` are the physical cores the vCPUs are pinned to (one per vCPU).
+  Vm(VmConfig config, std::unique_ptr<Workload> workload, Socket* socket,
+     std::vector<uint16_t> cores);
+
+  const VmConfig& config() const { return config_; }
+  const std::vector<uint16_t>& cores() const { return cores_; }
+  Workload& workload() { return *workload_; }
+
+  TenantSpec tenant_spec() const;
+
+  // Runs every vCPU forward until its core's wall clock reaches
+  // `target_wall_cycles`. vCPUs beyond the workload's thread count idle.
+  void RunUntil(double target_wall_cycles);
+
+  // Swaps the running workload (tenant starts/stops a job). The guest
+  // address space is preserved — a real VM's page cache does not vanish
+  // when a process exits.
+  void ReplaceWorkload(std::unique_ptr<Workload> workload);
+
+ private:
+  VmConfig config_;
+  std::unique_ptr<Workload> workload_;
+  Socket* socket_;  // not owned
+  std::vector<uint16_t> cores_;
+  PageTable page_table_;
+  std::vector<ExecutionContext> contexts_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CLUSTER_VM_H_

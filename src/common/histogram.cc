@@ -1,0 +1,46 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dcat {
+
+Histogram::Histogram(size_t num_buckets) : counts_(std::max<size_t>(num_buckets, 1), 0) {}
+
+void Histogram::Add(uint64_t value, uint64_t count) {
+  const size_t bucket = std::min<uint64_t>(value, counts_.size() - 1);
+  counts_[bucket] += count;
+  total_ += count;
+}
+
+double Histogram::Fraction(size_t i) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double Histogram::FractionAtLeast(uint64_t threshold) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  uint64_t sum = 0;
+  for (size_t i = std::min<uint64_t>(threshold, counts_.size() - 1); i < counts_.size(); ++i) {
+    sum += counts_[i];
+  }
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const bool overflow = i == counts_.size() - 1;
+    std::snprintf(line, sizeof(line), "%s%zu: %llu (%.1f%%)\n", overflow ? ">=" : "", i,
+                  static_cast<unsigned long long>(counts_[i]), 100.0 * Fraction(i));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dcat

@@ -1,0 +1,42 @@
+// Fixed-bucket integer histogram.
+//
+// Used for the Figure 3 experiment (how many cache lines map to each set)
+// and for latency bucketing in the workload models.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcat {
+
+class Histogram {
+ public:
+  // Buckets are [0, 1, ..., num_buckets-2, overflow]; values >= num_buckets-1
+  // land in the last (overflow) bucket.
+  explicit Histogram(size_t num_buckets);
+
+  void Add(uint64_t value, uint64_t count = 1);
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_.at(i); }
+  uint64_t total() const { return total_; }
+
+  // Fraction of observations in bucket i (0 when empty).
+  double Fraction(size_t i) const;
+  // Fraction of observations with value >= threshold (capped at overflow).
+  double FractionAtLeast(uint64_t threshold) const;
+
+  // Multi-line "bucket count fraction" rendering for benchmark output.
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logging for the dCat daemon and tools.
+//
+// The controller is a long-lived daemon in the paper; operational visibility
+// matters. This logger is intentionally tiny: synchronous, line-oriented,
+// writes to stderr, filterable by level, and silenceable in unit tests.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcat {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global minimum level; messages below it are dropped. Defaults to kWarning
+// so library users are not spammed; tools raise it to kInfo/kDebug.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line ("[LEVEL] file:line: message") if enabled.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream-style helper: LogLine(LogLevel::kInfo, __FILE__, __LINE__) << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dcat
+
+#define DCAT_LOG(level) ::dcat::LogLine(::dcat::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOG_H_

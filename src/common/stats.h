@@ -1,0 +1,52 @@
+// Small statistics helpers used by the experiment harness and benchmarks.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcat {
+
+// Streaming mean/variance (Welford). O(1) memory, numerically stable.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  // Sample variance / stddev; zero with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Reservoir of samples supporting exact percentiles. Used for latency
+// distributions (e.g. the Elasticsearch p99 in Table 6).
+class PercentileTracker {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t count() const { return samples_.size(); }
+  // q in [0, 1]; 0.99 == p99. Linear interpolation between order statistics.
+  // Returns 0 when empty.
+  double Percentile(double q) const;
+  double Mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+// Geometric mean of strictly positive values; returns 0 for empty input.
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_STATS_H_

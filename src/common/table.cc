@@ -1,0 +1,85 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dcat {
+namespace {
+
+std::string PadTo(const std::string& s, size_t width) {
+  std::string out = s;
+  out.resize(std::max(width, s.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::FmtInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::FmtPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += PadTo(header_[c], widths[c]);
+    out += c + 1 < header_.size() ? "  " : "\n";
+  }
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += std::string(widths[c], '-');
+    out += c + 1 < header_.size() ? "  " : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += PadTo(row[c], widths[c]);
+      out += c + 1 < row.size() ? "  " : "\n";
+    }
+  }
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out += c + 1 < row.size() ? "," : "\n";
+    }
+  };
+  append_row(header_);
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+}  // namespace dcat

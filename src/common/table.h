@@ -1,0 +1,41 @@
+// ASCII table and CSV emission for benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures; this
+// writer renders aligned columns for the terminal and optionally mirrors the
+// rows to a CSV file for plotting.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dcat {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> row);
+
+  // Formatting helpers for numeric cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtInt(long long v);
+  static std::string FmtPercent(double fraction, int precision = 1);
+
+  // Renders the aligned table, header underlined with dashes.
+  std::string ToString() const;
+  // Comma-separated rendering (no alignment), suitable for plotting scripts.
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,20 @@
+// Size and time unit helpers shared across the dCat codebase.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace dcat {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Convenience user-defined literals: 8_MiB, 45_MiB, 4_KiB ...
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,85 @@
+#include "src/core/allocator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/pqos/mask.h"
+
+namespace dcat {
+
+std::vector<uint32_t> SolveMaxPerformance(const std::vector<TableChoices>& workloads,
+                                          uint32_t budget) {
+  const size_t n = workloads.size();
+  if (n == 0) {
+    return {};
+  }
+  constexpr double kNegInf = -1e18;
+  // dp[i][b]: best total value using workloads [0, i) with b ways spent.
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(budget + 1, kNegInf));
+  std::vector<std::vector<int>> choice(n + 1, std::vector<int>(budget + 1, -1));
+  dp[0][0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t b = 0; b <= budget; ++b) {
+      if (dp[i][b] == kNegInf) {
+        continue;
+      }
+      for (size_t k = 0; k < workloads[i].options.size(); ++k) {
+        const auto& [ways, value] = workloads[i].options[k];
+        if (b + ways > budget) {
+          continue;
+        }
+        if (dp[i][b] + value > dp[i + 1][b + ways]) {
+          dp[i + 1][b + ways] = dp[i][b] + value;
+          choice[i + 1][b + ways] = static_cast<int>(k);
+        }
+      }
+    }
+  }
+  // Best final budget point.
+  uint32_t best_b = 0;
+  double best = kNegInf;
+  for (uint32_t b = 0; b <= budget; ++b) {
+    if (dp[n][b] > best) {
+      best = dp[n][b];
+      best_b = b;
+    }
+  }
+  if (best == kNegInf) {
+    return {};
+  }
+  // Reconstruct.
+  std::vector<uint32_t> result(n, 0);
+  uint32_t b = best_b;
+  for (size_t i = n; i-- > 0;) {
+    const int k = choice[i + 1][b];
+    result[i] = workloads[i].options[static_cast<size_t>(k)].first;
+    b -= result[i];
+  }
+  return result;
+}
+
+std::vector<uint32_t> LayoutMasks(const std::vector<uint32_t>& ways_per_workload,
+                                  uint32_t total_ways) {
+  uint32_t used = 0;
+  for (uint32_t w : ways_per_workload) {
+    if (w == 0) {
+      std::fprintf(stderr, "LayoutMasks: zero-way allocation is not expressible in CAT\n");
+      std::abort();
+    }
+    used += w;
+  }
+  if (used > total_ways) {
+    std::fprintf(stderr, "LayoutMasks: %u ways requested > %u available\n", used, total_ways);
+    std::abort();
+  }
+  std::vector<uint32_t> masks;
+  masks.reserve(ways_per_workload.size());
+  uint32_t offset = 0;
+  for (uint32_t w : ways_per_workload) {
+    masks.push_back(MakeWayMask(offset, w));
+    offset += w;
+  }
+  return masks;
+}
+
+}  // namespace dcat

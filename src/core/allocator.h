@@ -1,0 +1,39 @@
+// Cache-way budgeting and mask layout (Step 5, Allocate Cache).
+//
+// Pure decision logic, separated from the controller so both allocation
+// policies are directly unit-testable — including the paper's worked
+// example (§3.5: workloads A and B with populated tables, C reclaiming
+// 2 ways; the optimum is A=3, B=5).
+#ifndef SRC_CORE_ALLOCATOR_H_
+#define SRC_CORE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/performance_table.h"
+
+namespace dcat {
+
+// One workload's options in the max-performance search.
+struct TableChoices {
+  // Candidate (ways, predicted normalized IPC) pairs, increasing ways.
+  // Must be non-empty; the solver picks exactly one per workload.
+  std::vector<std::pair<uint32_t, double>> options;
+};
+
+// Maximizes the sum of predicted normalized IPC subject to total ways
+// <= budget. Returns one chosen ways-count per workload (aligned with the
+// input order), or an empty vector when no combination fits the budget.
+// Exact dynamic program: O(n * budget * options).
+std::vector<uint32_t> SolveMaxPerformance(const std::vector<TableChoices>& workloads,
+                                          uint32_t budget);
+
+// Lays out contiguous, non-overlapping capacity masks for the given
+// way counts, starting at way 0. Sum of ways must not exceed total_ways
+// (callers enforce the budget). Each count must be >= 1.
+std::vector<uint32_t> LayoutMasks(const std::vector<uint32_t>& ways_per_workload,
+                                  uint32_t total_ways);
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_ALLOCATOR_H_

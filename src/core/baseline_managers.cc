@@ -1,0 +1,98 @@
+#include "src/core/baseline_managers.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/pqos/mask.h"
+
+namespace dcat {
+
+SharedCacheManager::SharedCacheManager(CatController* cat) : cat_(cat) {}
+
+void SharedCacheManager::AddTenant(const TenantSpec& spec) {
+  for (uint16_t core : spec.cores) {
+    if (cat_->AssociateCore(core, 0) != PqosStatus::kOk) {
+      std::fprintf(stderr, "SharedCacheManager: bad core %u\n", core);
+      std::abort();
+    }
+  }
+}
+
+uint32_t SharedCacheManager::TenantWays(TenantId id) const {
+  (void)id;
+  return cat_->NumWays();
+}
+
+StaticCatManager::StaticCatManager(CatController* cat) : cat_(cat) {}
+
+void StaticCatManager::AddTenant(const TenantSpec& spec) {
+  // First-fit reuse of freed segments, else bump-allocate fresh ways.
+  Segment segment;
+  const auto fit = std::find_if(
+      free_segments_.begin(), free_segments_.end(),
+      [&spec](const Segment& s) { return s.ways >= spec.baseline_ways; });
+  if (fit != free_segments_.end()) {
+    segment = *fit;
+    segment.ways = spec.baseline_ways;  // a larger hole stays fragmented
+    free_segments_.erase(fit);
+  } else {
+    if (next_way_ + spec.baseline_ways > cat_->NumWays()) {
+      std::fprintf(stderr, "StaticCatManager: LLC ways oversubscribed\n");
+      std::abort();
+    }
+    segment.first_way = next_way_;
+    segment.ways = spec.baseline_ways;
+    next_way_ += spec.baseline_ways;
+    // Lowest COS not held by a live tenant or parked with a free segment
+    // (COS 0 stays the unmanaged default).
+    segment.cos = 0;
+    for (uint8_t candidate = 1; candidate < cat_->NumCos(); ++candidate) {
+      const bool live =
+          std::any_of(segments_.begin(), segments_.end(),
+                      [candidate](const auto& kv) { return kv.second.cos == candidate; });
+      const bool parked =
+          std::any_of(free_segments_.begin(), free_segments_.end(),
+                      [candidate](const Segment& s) { return s.cos == candidate; });
+      if (!live && !parked) {
+        segment.cos = candidate;
+        break;
+      }
+    }
+    if (segment.cos == 0) {
+      std::fprintf(stderr, "StaticCatManager: out of COS entries\n");
+      std::abort();
+    }
+  }
+
+  const uint32_t mask = MakeWayMask(segment.first_way, segment.ways);
+  if (cat_->SetCosMask(segment.cos, mask) != PqosStatus::kOk) {
+    std::fprintf(stderr, "StaticCatManager: SetCosMask failed\n");
+    std::abort();
+  }
+  for (uint16_t core : spec.cores) {
+    if (cat_->AssociateCore(core, segment.cos) != PqosStatus::kOk) {
+      std::fprintf(stderr, "StaticCatManager: bad core %u\n", core);
+      std::abort();
+    }
+  }
+  segments_[spec.id] = segment;
+}
+
+void StaticCatManager::RemoveTenant(TenantId id) {
+  const auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return;
+  }
+  free_segments_.push_back(it->second);
+  segments_.erase(it);
+}
+
+uint32_t StaticCatManager::TenantWays(TenantId id) const {
+  if (auto it = segments_.find(id); it != segments_.end()) {
+    return it->second.ways;
+  }
+  return 0;
+}
+
+}  // namespace dcat

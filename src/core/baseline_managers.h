@@ -1,0 +1,57 @@
+// The two comparison regimes from the paper's evaluation.
+#ifndef SRC_CORE_BASELINE_MANAGERS_H_
+#define SRC_CORE_BASELINE_MANAGERS_H_
+
+#include <map>
+#include <vector>
+
+#include "src/core/manager.h"
+
+namespace dcat {
+
+// Fully shared LLC (no CAT): all tenants' cores stay in COS 0, which keeps
+// the full capacity mask. The "Shared cache" bars in Figures 1 and 17.
+class SharedCacheManager : public CacheManager {
+ public:
+  explicit SharedCacheManager(CatController* cat);
+
+  std::string name() const override { return "shared"; }
+  void AddTenant(const TenantSpec& spec) override;
+  void Tick() override {}
+  uint32_t TenantWays(TenantId id) const override;
+
+ private:
+  CatController* cat_;
+};
+
+// Static CAT partitioning: each tenant gets a fixed contiguous segment of
+// `baseline_ways` at admission and it never changes. The "Static CAT" bars.
+class StaticCatManager : public CacheManager {
+ public:
+  explicit StaticCatManager(CatController* cat);
+
+  std::string name() const override { return "static-cat"; }
+  void AddTenant(const TenantSpec& spec) override;
+  // Frees the tenant's segment and COS; a later admission reuses them
+  // first-fit (static partitioning fragments — that is part of why the
+  // paper argues for dynamic management).
+  void RemoveTenant(TenantId id) override;
+  void Tick() override {}
+  uint32_t TenantWays(TenantId id) const override;
+
+ private:
+  struct Segment {
+    uint32_t first_way = 0;
+    uint32_t ways = 0;
+    uint8_t cos = 0;
+  };
+
+  CatController* cat_;
+  uint32_t next_way_ = 0;
+  std::map<TenantId, Segment> segments_;
+  std::vector<Segment> free_segments_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_BASELINE_MANAGERS_H_

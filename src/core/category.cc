@@ -1,0 +1,23 @@
+#include "src/core/category.h"
+
+namespace dcat {
+
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kReclaim:
+      return "Reclaim";
+    case Category::kKeeper:
+      return "Keeper";
+    case Category::kDonor:
+      return "Donor";
+    case Category::kReceiver:
+      return "Receiver";
+    case Category::kStreaming:
+      return "Streaming";
+    case Category::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+}  // namespace dcat

@@ -1,0 +1,29 @@
+// Workload categories of the dCat state machine (Fig. 6 of the paper).
+#ifndef SRC_CORE_CATEGORY_H_
+#define SRC_CORE_CATEGORY_H_
+
+namespace dcat {
+
+enum class Category {
+  // Phase change detected: the workload must return to its baseline state
+  // before re-evaluation. Highest allocation priority.
+  kReclaim,
+  // Would suffer with less cache but does not benefit from more.
+  kKeeper,
+  // Neither suffers from less nor benefits from more; gives ways back.
+  kDonor,
+  // Benefits from more cache (and suffers from less); still growing.
+  kReceiver,
+  // Heavy misses with no reuse (cyclic pattern); a special Donor pinned at
+  // the minimum allocation.
+  kStreaming,
+  // Not yet distinguishable: needs a size comparison. Grows with priority
+  // over Receivers so streaming workloads are unmasked quickly.
+  kUnknown,
+};
+
+const char* CategoryName(Category category);
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_CATEGORY_H_

@@ -1,0 +1,73 @@
+// Tunable parameters of the dCat controller.
+//
+// Defaults follow the paper's evaluation choices: 3% LLC miss-rate
+// threshold (Fig. 8), 5% IPC-improvement threshold (Fig. 9), 10% phase
+// detection delta (§3.3), streaming threshold of 3x the baseline
+// allocation (§3.4), and a 1-second control interval (§4).
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace dcat {
+
+enum class AllocationPolicy {
+  kMaxFairness,     // spread spare ways evenly over beneficiaries
+  kMaxPerformance,  // search performance tables for max total normalized IPC
+};
+
+const char* AllocationPolicyName(AllocationPolicy policy);
+
+struct DcatConfig {
+  // --- Collect Statistics / Categorize Workloads thresholds ---
+  // A workload referencing the LLC less often than this (references per
+  // 1000 retired instructions) is considered idle/cache-indifferent and
+  // becomes a Donor at the minimum allocation.
+  double llc_ref_per_kilo_instruction_thr = 1.0;
+  // LLC miss rate above which a workload may benefit from more cache
+  // (paper default 3%).
+  double llc_miss_rate_thr = 0.03;
+  // Relative IPC improvement required to keep growing a Receiver
+  // (paper default 5%).
+  double ipc_improvement_thr = 0.05;
+  // Refinement over the paper: with greedy exploration on, an Unknown
+  // workload whose growth steps fall below ipc_improvement_thr but above
+  // exploration_gain_floor keeps exploring instead of stopping — capturing
+  // workloads with long, shallow utility curves (large Zipf-tailed data
+  // sets) that the paper's binary receiver test parks early. Off =
+  // paper-faithful: any sub-threshold step ends the growth.
+  bool greedy_exploration = true;
+  double exploration_gain_floor = 0.01;
+
+  // --- Detect Phase Change ---
+  // Relative change in memory-accesses-per-instruction that constitutes a
+  // phase change (paper: 10%).
+  double phase_change_thr = 0.10;
+  // Absolute mem/ins floor below which the workload counts as idle
+  // (avoids 0-vs-epsilon flapping on idle VMs).
+  double idle_mem_per_ins_epsilon = 0.001;
+  // Minimum retired instructions in an interval for metrics to be
+  // trustworthy; below it the sample is treated as idle.
+  uint64_t min_instructions_per_interval = 10'000;
+
+  // --- Allocate Cache ---
+  AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  // A workload whose allocation reaches streaming_multiplier x baseline
+  // without IPC improvement is classified Streaming (paper: 3x).
+  uint32_t streaming_multiplier = 3;
+  // Intel CAT cannot express an empty mask; one way is the floor.
+  uint32_t min_ways = 1;
+  // Stability refinement over the paper: a Keeper only starts donating
+  // ways gradually when its miss rate falls below
+  // donor_shrink_fraction * llc_miss_rate_thr. With the fraction at 1.0
+  // the behaviour is exactly the paper's; below 1.0 it adds hysteresis so
+  // a Receiver that stopped at miss rate ~ thr does not ping-pong.
+  double donor_shrink_fraction = 0.5;
+
+  // Control interval in (simulated) seconds; the paper uses 1 s.
+  double interval_seconds = 1.0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,174 @@
+#include "src/core/config_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dcat {
+namespace {
+
+std::string Trim(const std::string& text) {
+  const size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end != value.c_str() && *end == '\0';
+}
+
+bool ParseUint(const std::string& value, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(value.c_str(), &end, 10);
+  return end != value.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+ConfigParseResult ParseDcatConfig(const std::string& text) {
+  ConfigParseResult result;
+  result.config = DcatConfig{};
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [&result, &line_number](const std::string& message) {
+    result.ok = false;
+    result.error = "line " + std::to_string(line_number) + ": " + message;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail("expected key = value, got '" + line + "'");
+      return result;
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+
+    DcatConfig& c = result.config;
+    double d = 0.0;
+    uint64_t u = 0;
+    if (key == "llc_ref_per_kilo_instruction_thr" && ParseDouble(value, &d)) {
+      c.llc_ref_per_kilo_instruction_thr = d;
+    } else if (key == "llc_miss_rate_thr" && ParseDouble(value, &d)) {
+      c.llc_miss_rate_thr = d;
+    } else if (key == "ipc_improvement_thr" && ParseDouble(value, &d)) {
+      c.ipc_improvement_thr = d;
+    } else if (key == "greedy_exploration") {
+      if (value == "true" || value == "1") {
+        c.greedy_exploration = true;
+      } else if (value == "false" || value == "0") {
+        c.greedy_exploration = false;
+      } else {
+        fail("greedy_exploration must be true/false");
+        return result;
+      }
+    } else if (key == "exploration_gain_floor" && ParseDouble(value, &d)) {
+      c.exploration_gain_floor = d;
+    } else if (key == "phase_change_thr" && ParseDouble(value, &d)) {
+      c.phase_change_thr = d;
+    } else if (key == "idle_mem_per_ins_epsilon" && ParseDouble(value, &d)) {
+      c.idle_mem_per_ins_epsilon = d;
+    } else if (key == "min_instructions_per_interval" && ParseUint(value, &u)) {
+      c.min_instructions_per_interval = u;
+    } else if (key == "policy") {
+      if (value == "max-fairness" || value == "fair") {
+        c.policy = AllocationPolicy::kMaxFairness;
+      } else if (value == "max-performance" || value == "maxperf") {
+        c.policy = AllocationPolicy::kMaxPerformance;
+      } else {
+        fail("unknown policy '" + value + "'");
+        return result;
+      }
+    } else if (key == "streaming_multiplier" && ParseUint(value, &u)) {
+      c.streaming_multiplier = static_cast<uint32_t>(u);
+    } else if (key == "min_ways" && ParseUint(value, &u)) {
+      c.min_ways = static_cast<uint32_t>(u);
+    } else if (key == "donor_shrink_fraction" && ParseDouble(value, &d)) {
+      c.donor_shrink_fraction = d;
+    } else if (key == "interval_seconds" && ParseDouble(value, &d)) {
+      c.interval_seconds = d;
+    } else {
+      fail("unknown key or bad value: '" + key + "' = '" + value + "'");
+      return result;
+    }
+  }
+
+  // Sanity limits: a clearly broken config should not boot the daemon.
+  const DcatConfig& c = result.config;
+  if (c.llc_miss_rate_thr <= 0.0 || c.llc_miss_rate_thr > 1.0) {
+    result.error = "llc_miss_rate_thr must be in (0, 1]";
+    return result;
+  }
+  if (c.ipc_improvement_thr <= 0.0 || c.ipc_improvement_thr > 1.0) {
+    result.error = "ipc_improvement_thr must be in (0, 1]";
+    return result;
+  }
+  if (c.phase_change_thr <= 0.0 || c.phase_change_thr > 1.0) {
+    result.error = "phase_change_thr must be in (0, 1]";
+    return result;
+  }
+  if (c.streaming_multiplier < 1) {
+    result.error = "streaming_multiplier must be >= 1";
+    return result;
+  }
+  if (c.min_ways < 1) {
+    result.error = "min_ways must be >= 1 (CAT cannot express empty masks)";
+    return result;
+  }
+  if (c.interval_seconds <= 0.0) {
+    result.error = "interval_seconds must be positive";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+ConfigParseResult LoadDcatConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ConfigParseResult result;
+    result.error = "cannot open config file '" + path + "'";
+    return result;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ConfigParseResult result = ParseDcatConfig(text);
+  if (!result.ok) {
+    result.error = path + ": " + result.error;
+  }
+  return result;
+}
+
+std::string FormatDcatConfig(const DcatConfig& config) {
+  std::ostringstream out;
+  out << "llc_ref_per_kilo_instruction_thr = " << config.llc_ref_per_kilo_instruction_thr
+      << "\n";
+  out << "llc_miss_rate_thr = " << config.llc_miss_rate_thr << "\n";
+  out << "ipc_improvement_thr = " << config.ipc_improvement_thr << "\n";
+  out << "greedy_exploration = " << (config.greedy_exploration ? "true" : "false") << "\n";
+  out << "exploration_gain_floor = " << config.exploration_gain_floor << "\n";
+  out << "phase_change_thr = " << config.phase_change_thr << "\n";
+  out << "idle_mem_per_ins_epsilon = " << config.idle_mem_per_ins_epsilon << "\n";
+  out << "min_instructions_per_interval = " << config.min_instructions_per_interval << "\n";
+  out << "policy = " << AllocationPolicyName(config.policy) << "\n";
+  out << "streaming_multiplier = " << config.streaming_multiplier << "\n";
+  out << "min_ways = " << config.min_ways << "\n";
+  out << "donor_shrink_fraction = " << config.donor_shrink_fraction << "\n";
+  out << "interval_seconds = " << config.interval_seconds << "\n";
+  return out.str();
+}
+
+}  // namespace dcat

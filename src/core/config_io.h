@@ -1,0 +1,43 @@
+// Loading and saving DcatConfig as key=value text.
+//
+// The daemon's thresholds are deployment-specific ("all these thresholds
+// are configurable depending on the needs of users", §3.2), so dcatd
+// accepts a config file:
+//
+//     # dcat.conf
+//     llc_miss_rate_thr = 0.03
+//     ipc_improvement_thr = 0.05
+//     policy = max-performance
+//     interval_seconds = 1.0
+//
+// Unknown keys are errors (catching typos beats silently ignoring them);
+// omitted keys keep their defaults. '#' starts a comment.
+#ifndef SRC_CORE_CONFIG_IO_H_
+#define SRC_CORE_CONFIG_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/core/config.h"
+
+namespace dcat {
+
+struct ConfigParseResult {
+  bool ok = false;
+  DcatConfig config;
+  // Human-readable description of the first problem when !ok.
+  std::string error;
+};
+
+// Parses config text (file contents). Starts from defaults.
+ConfigParseResult ParseDcatConfig(const std::string& text);
+
+// Reads and parses a config file; error mentions the path on I/O failure.
+ConfigParseResult LoadDcatConfig(const std::string& path);
+
+// Serializes every field, suitable for round-tripping and documentation.
+std::string FormatDcatConfig(const DcatConfig& config);
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_CONFIG_IO_H_

@@ -1,0 +1,624 @@
+#include "src/core/dcat_controller.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/log.h"
+#include "src/common/table.h"
+
+namespace dcat {
+
+const char* AllocationPolicyName(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kMaxFairness:
+      return "max-fairness";
+    case AllocationPolicy::kMaxPerformance:
+      return "max-performance";
+  }
+  return "?";
+}
+
+DcatController::DcatController(CatController* cat, const MonitoringProvider* monitor,
+                               DcatConfig config)
+    : cat_(cat), monitor_(monitor), config_(config) {}
+
+void DcatController::AddTenant(const TenantSpec& spec) {
+  if (tenants_.size() + 1 >= cat_->NumCos()) {
+    std::fprintf(stderr, "DcatController: tenant count exceeds COS limit (%u)\n",
+                 cat_->NumCos());
+    std::abort();
+  }
+  uint32_t baseline_total = spec.baseline_ways;
+  for (const TenantState& t : tenants_) {
+    baseline_total += t.spec.baseline_ways;
+  }
+  if (baseline_total > cat_->NumWays()) {
+    std::fprintf(stderr, "DcatController: baseline ways oversubscribed (%u > %u)\n",
+                 baseline_total, cat_->NumWays());
+    std::abort();
+  }
+  if (spec.baseline_ways < config_.min_ways) {
+    std::fprintf(stderr, "DcatController: baseline below minimum allocation\n");
+    std::abort();
+  }
+
+  // Recycle the lowest unused COS (COS 0 stays the unmanaged default).
+  uint8_t cos = 0;
+  for (uint8_t candidate = 1; candidate < cat_->NumCos(); ++candidate) {
+    const bool in_use = std::any_of(tenants_.begin(), tenants_.end(),
+                                    [candidate](const TenantState& t) {
+                                      return t.cos == candidate;
+                                    });
+    if (!in_use) {
+      cos = candidate;
+      break;
+    }
+  }
+  if (cos == 0) {
+    std::fprintf(stderr, "DcatController: no free COS for tenant %u\n", spec.id);
+    std::abort();
+  }
+
+  TenantState state{.spec = spec,
+                    .cos = cos,
+                    .category = Category::kDonor,
+                    .ways = config_.min_ways,
+                    .detector = PhaseDetector(config_),
+                    .book = PhaseBook(config_.phase_change_thr)};
+  // Initialize the counter snapshot so the first delta is sane.
+  PerfCounterBlock sum;
+  for (uint16_t core : spec.cores) {
+    sum += monitor_->ReadCounters(core);
+  }
+  state.last_counters = sum;
+
+  for (uint16_t core : spec.cores) {
+    if (cat_->AssociateCore(core, state.cos) != PqosStatus::kOk) {
+      std::fprintf(stderr, "DcatController: AssociateCore(%u) failed\n", core);
+      std::abort();
+    }
+  }
+  tenants_.push_back(std::move(state));
+  // Re-layout masks for the new tenant set (all current allocations kept).
+  std::vector<uint32_t> targets;
+  targets.reserve(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    targets.push_back(t.ways);
+  }
+  ApplyMasks(targets);
+}
+
+bool DcatController::HasTenant(TenantId id) const {
+  return std::any_of(tenants_.begin(), tenants_.end(),
+                     [id](const TenantState& t) { return t.spec.id == id; });
+}
+
+void DcatController::RemoveTenant(TenantId id) {
+  const auto it = std::find_if(tenants_.begin(), tenants_.end(),
+                               [id](const TenantState& t) { return t.spec.id == id; });
+  if (it == tenants_.end()) {
+    return;
+  }
+  // Return the cores to the unmanaged class; the departed tenant's lines
+  // are evicted naturally by the ways' next owners.
+  for (uint16_t core : it->spec.cores) {
+    cat_->AssociateCore(core, 0);
+  }
+  tenants_.erase(it);
+  // Re-layout the survivors; the freed ways join the pool implicitly.
+  std::vector<uint32_t> targets;
+  targets.reserve(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    targets.push_back(t.ways);
+  }
+  ApplyMasks(targets);
+}
+
+DcatController::TenantState& DcatController::FindTenant(TenantId id) {
+  for (TenantState& t : tenants_) {
+    if (t.spec.id == id) {
+      return t;
+    }
+  }
+  std::fprintf(stderr, "DcatController: unknown tenant %u\n", id);
+  std::abort();
+}
+
+const DcatController::TenantState& DcatController::FindTenant(TenantId id) const {
+  return const_cast<DcatController*>(this)->FindTenant(id);
+}
+
+// --- Step 2: Collect Statistics ---
+
+WorkloadSample DcatController::CollectSample(TenantState& tenant) {
+  PerfCounterBlock sum;
+  for (uint16_t core : tenant.spec.cores) {
+    sum += monitor_->ReadCounters(core);
+  }
+  WorkloadSample sample;
+  sample.delta = sum - tenant.last_counters;
+  tenant.last_counters = sum;
+  return sample;
+}
+
+// --- Step 3: Detect Phase Change ---
+
+void DcatController::DetectPhase(TenantState& tenant) {
+  tenant.phase_changed = tenant.detector.Update(tenant.sample);
+  if (!tenant.phase_changed) {
+    return;
+  }
+  // A new phase invalidates the baseline comparison: Reclaim (§3.4,
+  // "Reclaim is applied immediately once there is a phase change").
+  tenant.category = Category::kReclaim;
+  tenant.phase_index = tenant.book.FindOrCreate(tenant.detector.signature());
+  tenant.has_phase = true;
+  tenant.has_last_ipc = false;
+  tenant.grow_denied = false;
+  tenant.measuring_baseline = false;
+}
+
+// --- Step 1 (Get Baseline) + performance table maintenance ---
+
+void DcatController::UpdateBaselineAndTable(TenantState& tenant) {
+  if (!tenant.has_phase || tenant.phase_changed || tenant.detector.idle()) {
+    return;
+  }
+  PhaseBook::PhaseRecord& phase = CurrentPhase(tenant);
+  if (tenant.measuring_baseline) {
+    // This interval ran at baseline ways: it defines the phase baseline.
+    phase.baseline_ipc = tenant.sample.ipc();
+    phase.baseline_valid = phase.baseline_ipc > 0.0;
+    tenant.measuring_baseline = false;
+  }
+  if (phase.baseline_valid && phase.baseline_ipc > 0.0) {
+    phase.table.Record(tenant.ways, tenant.sample.ipc() / phase.baseline_ipc);
+  }
+}
+
+// --- Step 4: Categorize Workloads (Fig. 6) ---
+
+void DcatController::Categorize(TenantState& tenant) {
+  if (tenant.phase_changed) {
+    return;  // stays Reclaim; allocation handles it below
+  }
+  const WorkloadSample& s = tenant.sample;
+  const double ref_rate = s.llc_refs_per_kilo_instruction();
+  const bool idle_or_low_llc =
+      tenant.detector.idle() || ref_rate <= config_.llc_ref_per_kilo_instruction_thr;
+  const double miss_rate = s.llc_miss_rate();
+  const double imp = (tenant.has_last_ipc && tenant.last_ipc > 0.0)
+                         ? (s.ipc() - tenant.last_ipc) / tenant.last_ipc
+                         : 0.0;
+
+  // Guarantee enforcement (§3: dCat must "never impact the performance of
+  // the workloads" relative to their reserved allocation). A tenant that
+  // donated ways below its contract but turns out to suffer for it — e.g.
+  // conflict misses appear only after the shrink — is reclaimed right away.
+  if (tenant.has_phase && !tenant.detector.idle() &&
+      (tenant.category == Category::kDonor || tenant.category == Category::kKeeper) &&
+      tenant.ways < tenant.spec.baseline_ways) {
+    const PhaseBook::PhaseRecord& phase = CurrentPhase(tenant);
+    if (phase.baseline_valid && phase.baseline_ipc > 0.0 &&
+        s.ipc() / phase.baseline_ipc < 1.0 - 2.0 * config_.ipc_improvement_thr) {
+      tenant.category = Category::kReclaim;
+      if (!tenant.detector.idle() && s.ipc() > 0.0) {
+        tenant.last_ipc = s.ipc();
+        tenant.has_last_ipc = true;
+      }
+      return;
+    }
+  }
+
+  switch (tenant.category) {
+    case Category::kReclaim: {
+      // The interval after a reclaim: baseline was (re-)measured by
+      // UpdateBaselineAndTable; resume normal operation as Keeper.
+      tenant.category = Category::kKeeper;
+      [[fallthrough]];
+    }
+    case Category::kKeeper: {
+      if (idle_or_low_llc) {
+        // Low LLC traffic usually means the tenant cannot be hurt by
+        // donating — but a few workloads (small working sets that straddle
+        // the L2) depend on the little LLC they use. If the table proves
+        // the minimum allocation costs real performance, keep the ways.
+        const auto at_min = CurrentPhase(tenant).table.Get(config_.min_ways);
+        if (tenant.detector.idle() || !at_min.has_value() ||
+            *at_min >= 1.0 - 2.0 * config_.ipc_improvement_thr) {
+          tenant.category = Category::kDonor;
+        }
+        break;
+      }
+      if (miss_rate > config_.llc_miss_rate_thr) {
+        // Might benefit from growth — unless the performance table already
+        // shows saturation. Two sources of evidence: a measured entry for
+        // ways+1 (direct), or the slope of the last measured step (a
+        // Receiver that just stopped at `ways` leaves a flat step behind
+        // and must not immediately re-explore).
+        const PerformanceTable& table = CurrentPhase(tenant).table;
+        // Greedy exploration lowers the bar for re-exploration to the gain
+        // floor (shallow curves stay worth walking); paper-faithful mode
+        // requires the full improvement threshold.
+        const double bar = config_.greedy_exploration ? config_.exploration_gain_floor
+                                                      : config_.ipc_improvement_thr;
+        bool profitable = true;
+        if (const auto up = table.Improvement(tenant.ways, tenant.ways + 1); up.has_value()) {
+          profitable = *up >= bar;
+        } else if (const auto last = table.Improvement(tenant.ways - 1, tenant.ways);
+                   last.has_value()) {
+          profitable = *last >= bar;
+        }
+        if (profitable) {
+          tenant.category = Category::kUnknown;
+        }
+        break;
+      }
+      if (miss_rate < config_.donor_shrink_fraction * config_.llc_miss_rate_thr &&
+          tenant.ways > config_.min_ways) {
+        // High LLC use but (almost) no misses: gradually donate — unless the
+        // table already proved the next size down costs real performance
+        // (conflict misses can appear only after a shrink, so the first
+        // donation is exploratory but is never repeated).
+        const PerformanceTable& table = CurrentPhase(tenant).table;
+        const auto down = table.Improvement(tenant.ways, tenant.ways - 1);
+        if (!down.has_value() || *down > -config_.ipc_improvement_thr) {
+          tenant.category = Category::kDonor;
+        }
+      }
+      break;
+    }
+    case Category::kDonor: {
+      if (!idle_or_low_llc && miss_rate > config_.llc_miss_rate_thr) {
+        // Misses became non-trivial: stop donating (paper: "until the LLC
+        // miss rate becomes non-trivial (hence labeled as Keeper)").
+        tenant.category = Category::kKeeper;
+      }
+      break;
+    }
+    case Category::kUnknown: {
+      if (miss_rate < config_.llc_miss_rate_thr && !idle_or_low_llc) {
+        tenant.category = Category::kKeeper;  // current size suffices
+        break;
+      }
+      if (idle_or_low_llc) {
+        tenant.category = Category::kDonor;
+        break;
+      }
+      const bool grew = tenant.ways > tenant.prev_interval_ways;
+      const uint32_t streaming_ways =
+          tenant.spec.baseline_ways * config_.streaming_multiplier;
+      // A workload that has accumulated a real gain over its baseline IPC is
+      // by definition reusing the cache — never condemn it as Streaming even
+      // if individual steps fall under the threshold.
+      const PhaseBook::PhaseRecord& phase = CurrentPhase(tenant);
+      const double cumulative_norm =
+          (phase.baseline_valid && phase.baseline_ipc > 0.0) ? s.ipc() / phase.baseline_ipc : 1.0;
+      const bool no_reuse_evidence =
+          cumulative_norm < 1.0 + config_.exploration_gain_floor;
+      if (grew && tenant.has_last_ipc) {
+        if (imp >= config_.ipc_improvement_thr) {
+          tenant.category = Category::kReceiver;
+        } else if (no_reuse_evidence) {
+          if (tenant.ways >= streaming_ways) {
+            // Grew all the way to the streaming threshold without any
+            // accumulated benefit: cyclic access pattern, no reuse.
+            tenant.category = Category::kStreaming;
+          }
+          // Not yet at the threshold: keep exploring to unmask it.
+        } else if (!config_.greedy_exploration ||
+                   imp < config_.exploration_gain_floor) {
+          // The workload demonstrably benefits from cache but this step was
+          // below the (effective) bar: stop and keep what it has.
+          tenant.category = Category::kKeeper;
+        }
+        // Greedy exploration with a step in [floor, thr): keep growing.
+        break;
+      }
+      if (!grew && tenant.grow_denied && no_reuse_evidence) {
+        // The pool is dry, so the size comparison cannot continue. Condemn
+        // only on actual evidence: the last measured growth step was flat
+        // (the paper's MLOAD releasing everything "when all available
+        // cache are consumed"). A workload whose table still shows a
+        // rising slope keeps waiting for capacity instead.
+        const PerformanceTable& table = CurrentPhase(tenant).table;
+        const auto slope = table.Improvement(tenant.ways - 1, tenant.ways);
+        if (slope.has_value() && *slope < config_.ipc_improvement_thr) {
+          tenant.category = Category::kStreaming;
+        }
+      }
+      break;
+    }
+    case Category::kReceiver: {
+      if (idle_or_low_llc) {
+        tenant.category = Category::kDonor;
+        break;
+      }
+      const bool grew = tenant.ways > tenant.prev_interval_ways;
+      if (miss_rate < config_.llc_miss_rate_thr ||
+          (grew && tenant.has_last_ipc && imp < config_.ipc_improvement_thr)) {
+        tenant.category = Category::kKeeper;  // stop growing (§3.4)
+      }
+      break;
+    }
+    case Category::kStreaming: {
+      // Only a phase change releases a Streaming workload.
+      break;
+    }
+  }
+
+  if (!tenant.detector.idle() && s.ipc() > 0.0) {
+    tenant.last_ipc = s.ipc();
+    tenant.has_last_ipc = true;
+  }
+}
+
+// --- Step 5: Allocate Cache ---
+
+void DcatController::AllocateAndApply() {
+  const uint32_t total = cat_->NumWays();
+  const size_t n = tenants_.size();
+  std::vector<uint32_t> targets(n, 0);
+
+  // Pass 1: fixed demands.
+  for (size_t i = 0; i < n; ++i) {
+    TenantState& t = tenants_[i];
+    t.grow_denied = false;
+    switch (t.category) {
+      case Category::kReclaim: {
+        if (t.detector.idle()) {
+          // Phase change into idleness: nothing to reclaim for.
+          t.category = Category::kDonor;
+          targets[i] = config_.min_ways;
+          break;
+        }
+        const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
+        const auto preferred =
+            phase.baseline_valid ? phase.table.PreferredWays(config_.ipc_improvement_thr)
+                                 : std::nullopt;
+        if (preferred.has_value()) {
+          // Fig. 12 fast path: the phase was seen before — jump straight to
+          // its preferred allocation (never below baseline: the guarantee
+          // must hold even if the table is stale).
+          targets[i] = std::max(*preferred, t.spec.baseline_ways);
+          t.category = Category::kKeeper;
+        } else {
+          targets[i] = t.spec.baseline_ways;
+          t.measuring_baseline = true;
+          // Category stays Reclaim for one interval; Categorize moves it to
+          // Keeper after the baseline measurement lands.
+        }
+        break;
+      }
+      case Category::kDonor:
+        if (t.detector.idle() ||
+            t.sample.llc_refs_per_kilo_instruction() <=
+                config_.llc_ref_per_kilo_instruction_thr) {
+          targets[i] = config_.min_ways;  // idle donor: release everything
+        } else {
+          targets[i] = std::max(t.ways > 0 ? t.ways - 1 : 0, config_.min_ways);  // gradual
+        }
+        break;
+      case Category::kStreaming:
+        targets[i] = config_.min_ways;
+        break;
+      case Category::kKeeper:
+      case Category::kUnknown:
+      case Category::kReceiver:
+        targets[i] = std::max(t.ways, config_.min_ways);
+        break;
+    }
+  }
+
+  // Pass 2: make reclaim demands fit. Σ baselines <= total ways (admission
+  // control), so shrinking over-baseline tenants always suffices.
+  auto used = [&targets]() {
+    uint32_t sum = 0;
+    for (uint32_t w : targets) {
+      sum += w;
+    }
+    return sum;
+  };
+  while (used() > total) {
+    // Shrink the non-reclaiming tenant with the largest surplus over its
+    // baseline by one way.
+    size_t victim = n;
+    uint32_t best_surplus = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (tenants_[i].category == Category::kReclaim) {
+        continue;
+      }
+      const uint32_t floor =
+          std::max(std::min(tenants_[i].spec.baseline_ways, targets[i]), config_.min_ways);
+      const uint32_t surplus = targets[i] > floor ? targets[i] - floor : 0;
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        victim = i;
+      }
+    }
+    if (victim == n) {
+      // No surplus anywhere: shrink over-baseline reclaims... cannot happen
+      // with admission control; guard against config bugs.
+      std::fprintf(stderr, "DcatController: cannot satisfy reclaim demands\n");
+      std::abort();
+    }
+    --targets[victim];
+  }
+
+  // Pass 3: growth. Unknowns have priority over Receivers (§3.5: identify
+  // streaming workloads sooner); within a class, round-robin one way at a
+  // time (the max-fairness rule; also the discovery mode of max-perf).
+  uint32_t pool = total - used();
+  for (Category cls : {Category::kUnknown, Category::kReceiver}) {
+    for (size_t i = 0; i < n && pool > 0; ++i) {
+      TenantState& t = tenants_[i];
+      if (t.category != cls || t.measuring_baseline) {
+        continue;
+      }
+      // Only grow once the phase baseline is established.
+      if (!t.has_phase || !CurrentPhase(t).baseline_valid) {
+        continue;
+      }
+      ++targets[i];
+      --pool;
+    }
+    // Anyone in this class who wanted a way but got none?
+    for (size_t i = 0; i < n; ++i) {
+      TenantState& t = tenants_[i];
+      if (t.category == cls && !t.measuring_baseline && targets[i] <= t.ways && pool == 0) {
+        t.grow_denied = true;
+      }
+    }
+  }
+
+  // Pass 4: max-performance rebalancing once discovery has populated the
+  // tables and the pool is exhausted.
+  if (config_.policy == AllocationPolicy::kMaxPerformance && pool == 0) {
+    MaxPerformanceRebalance(targets);
+  }
+
+  ApplyMasks(targets);
+}
+
+void DcatController::MaxPerformanceRebalance(std::vector<uint32_t>& targets) {
+  // Candidates: tenants with a valid baseline and at least two measured
+  // table entries, currently in a stable or growing state. Their combined
+  // ways are redistributed to maximize predicted total normalized IPC.
+  std::vector<size_t> candidate_index;
+  std::vector<TableChoices> choices;
+  uint32_t budget = 0;
+  double current_value = 0.0;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    TenantState& t = tenants_[i];
+    if (t.category != Category::kKeeper && t.category != Category::kReceiver) {
+      continue;
+    }
+    if (!t.has_phase) {
+      continue;
+    }
+    const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
+    if (!phase.baseline_valid || phase.table.size() < 2) {
+      continue;
+    }
+    // Still exploring: the current target has no measurement yet, so the
+    // solver would "optimize" it away to the best measured size and undo
+    // the exploration every other tick. Wait for the sample.
+    if (!phase.table.Has(targets[i])) {
+      return;
+    }
+    TableChoices c;
+    for (const auto& [ways, value] : phase.table.Entries()) {
+      // Never offer sizes below the contracted baseline: the guarantee
+      // outranks total-throughput optimization.
+      if (ways >= t.spec.baseline_ways) {
+        c.options.emplace_back(ways, value);
+      }
+    }
+    if (c.options.size() < 2) {
+      continue;
+    }
+    candidate_index.push_back(i);
+    choices.push_back(std::move(c));
+    budget += targets[i];
+    const auto at_current = phase.table.Get(targets[i]);
+    current_value += at_current.value_or(1.0);
+  }
+  if (candidate_index.size() < 2) {
+    return;
+  }
+  const std::vector<uint32_t> solution = SolveMaxPerformance(choices, budget);
+  if (solution.empty()) {
+    return;
+  }
+  double solution_value = 0.0;
+  for (size_t k = 0; k < solution.size(); ++k) {
+    const auto v = CurrentPhase(tenants_[candidate_index[k]]).table.Get(solution[k]);
+    solution_value += v.value_or(0.0);
+  }
+  // Only move ways for a predicted net win (epsilon guards thrash).
+  if (solution_value <= current_value + 1e-6) {
+    return;
+  }
+  for (size_t k = 0; k < solution.size(); ++k) {
+    targets[candidate_index[k]] = solution[k];
+  }
+  DCAT_LOG(kDebug) << "max-perf rebalance: predicted " << current_value << " -> "
+                   << solution_value;
+}
+
+void DcatController::ApplyMasks(const std::vector<uint32_t>& targets) {
+  const std::vector<uint32_t> masks = LayoutMasks(targets, cat_->NumWays());
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    TenantState& t = tenants_[i];
+    t.ways = targets[i];
+    if (cat_->SetCosMask(t.cos, masks[i]) != PqosStatus::kOk) {
+      std::fprintf(stderr, "DcatController: SetCosMask failed for tenant %u\n", t.spec.id);
+      std::abort();
+    }
+  }
+}
+
+void DcatController::Tick() {
+  ++tick_;
+  for (TenantState& t : tenants_) {
+    t.sample = CollectSample(t);
+    DetectPhase(t);
+    UpdateBaselineAndTable(t);
+    Categorize(t);
+    t.prev_interval_ways = t.ways;
+  }
+  AllocateAndApply();
+  if (logging_) {
+    for (TenantState& t : tenants_) {
+      LogEntry entry;
+      entry.tick = tick_;
+      entry.tenant = t.spec.id;
+      entry.category = t.category;
+      entry.ways = t.ways;
+      entry.ipc = t.sample.ipc();
+      entry.norm_ipc = TenantNormalizedIpc(t.spec.id);
+      entry.llc_miss_rate = t.sample.llc_miss_rate();
+      entry.phase_changed = t.phase_changed;
+      log_.push_back(entry);
+    }
+  }
+}
+
+std::string DcatController::LogToCsv() const {
+  TextTable table({"tick", "tenant", "category", "ways", "ipc", "norm_ipc", "llc_miss_rate",
+                   "phase_changed"});
+  for (const LogEntry& e : log_) {
+    table.AddRow({TextTable::FmtInt(static_cast<long long>(e.tick)), TextTable::FmtInt(e.tenant),
+                  CategoryName(e.category), TextTable::FmtInt(e.ways),
+                  TextTable::Fmt(e.ipc, 4), TextTable::Fmt(e.norm_ipc, 4),
+                  TextTable::Fmt(e.llc_miss_rate, 4), e.phase_changed ? "1" : "0"});
+  }
+  return table.ToCsv();
+}
+
+uint32_t DcatController::TenantWays(TenantId id) const { return FindTenant(id).ways; }
+
+Category DcatController::TenantCategory(TenantId id) const { return FindTenant(id).category; }
+
+uint32_t DcatController::TenantBaselineWays(TenantId id) const {
+  return FindTenant(id).spec.baseline_ways;
+}
+
+double DcatController::TenantNormalizedIpc(TenantId id) const {
+  const TenantState& t = FindTenant(id);
+  if (!t.has_phase) {
+    return 0.0;
+  }
+  const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
+  if (!phase.baseline_valid || phase.baseline_ipc <= 0.0) {
+    return 0.0;
+  }
+  return t.sample.ipc() / phase.baseline_ipc;
+}
+
+const PerformanceTable& DcatController::TenantTable(TenantId id) const {
+  return CurrentPhase(FindTenant(id)).table;
+}
+
+}  // namespace dcat

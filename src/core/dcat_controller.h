@@ -1,0 +1,137 @@
+// The dCat controller: dynamic LLC management on top of CAT (§3, §4).
+//
+// Runs as a periodic daemon loop. Every interval it executes the paper's
+// five steps for each tenant:
+//
+//   1. Get Baseline        — after a phase change the tenant returns to its
+//                            contracted ways; the next interval's IPC at
+//                            that size is the phase's baseline.
+//   2. Collect Statistics  — per-core counter deltas, summed per tenant.
+//   3. Detect Phase Change — via mem-accesses-per-instruction (PhaseDetector).
+//   4. Categorize          — the Fig. 6 state machine (Category).
+//   5. Allocate Cache      — reclaim first, then grow Unknowns (priority)
+//                            and Receivers from the free pool; optional
+//                            max-performance rebalancing over the
+//                            performance tables when the pool runs dry.
+//
+// Guarantee: a tenant in any cache-using phase is never held below its
+// baseline ways unless it donated them voluntarily (Donor/Streaming); a
+// phase change immediately reclaims the baseline, shrinking over-baseline
+// tenants if the free pool cannot cover it.
+#ifndef SRC_CORE_DCAT_CONTROLLER_H_
+#define SRC_CORE_DCAT_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/allocator.h"
+#include "src/core/category.h"
+#include "src/core/config.h"
+#include "src/core/manager.h"
+#include "src/core/metrics.h"
+#include "src/core/performance_table.h"
+#include "src/core/phase_detector.h"
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+class DcatController : public CacheManager {
+ public:
+  DcatController(CatController* cat, const MonitoringProvider* monitor, DcatConfig config);
+
+  std::string name() const override { return "dcat"; }
+  void AddTenant(const TenantSpec& spec) override;
+  // Releases the tenant's ways into the free pool and recycles its COS
+  // (the freed class of service is reused by the next admission).
+  void RemoveTenant(TenantId id) override;
+  void Tick() override;
+  uint32_t TenantWays(TenantId id) const override;
+  size_t num_tenants() const { return tenants_.size(); }
+  bool HasTenant(TenantId id) const;
+
+  // --- introspection (tests, benchmarks, operator tooling) ---
+
+  Category TenantCategory(TenantId id) const;
+  uint32_t TenantBaselineWays(TenantId id) const;
+  // Normalized IPC of the last interval (1.0 == phase baseline); 0 when the
+  // baseline is not yet established.
+  double TenantNormalizedIpc(TenantId id) const;
+  // The tenant's performance table for its current phase.
+  const PerformanceTable& TenantTable(TenantId id) const;
+  uint64_t ticks() const { return tick_; }
+
+  // One row of the decision log, recorded per tenant per tick.
+  struct LogEntry {
+    uint64_t tick = 0;
+    TenantId tenant = 0;
+    Category category = Category::kKeeper;
+    uint32_t ways = 0;
+    double ipc = 0.0;
+    double norm_ipc = 0.0;
+    double llc_miss_rate = 0.0;
+    bool phase_changed = false;
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+  void set_logging(bool enabled) { logging_ = enabled; }
+  // CSV rendering of the decision log for offline analysis/audit.
+  std::string LogToCsv() const;
+
+ private:
+  struct TenantState {
+    TenantSpec spec;
+    uint8_t cos = 0;
+    Category category = Category::kDonor;  // pre-arrival: nothing running
+    uint32_t ways = 1;        // allocation in effect (== during last interval)
+    PerfCounterBlock last_counters;
+    PhaseDetector detector;
+    PhaseBook book;
+    size_t phase_index = 0;
+    bool has_phase = false;
+    // True while waiting for one clean interval at baseline ways to
+    // establish the phase's baseline IPC.
+    bool measuring_baseline = false;
+    double last_ipc = 0.0;
+    bool has_last_ipc = false;
+    // Allocation in effect during the *previous* measured interval; lets the
+    // categorizer distinguish "grew and did not improve" (streaming
+    // evidence) from "could not grow" (no evidence).
+    uint32_t prev_interval_ways = 0;
+    // Growth was requested last tick but the pool could not serve it;
+    // feeds the Streaming determination ("all available cache used").
+    bool grow_denied = false;
+    WorkloadSample sample;  // scratch: this tick's sample
+    bool phase_changed = false;  // scratch
+  };
+
+  TenantState& FindTenant(TenantId id);
+  const TenantState& FindTenant(TenantId id) const;
+
+  WorkloadSample CollectSample(TenantState& tenant);
+  void DetectPhase(TenantState& tenant);
+  void UpdateBaselineAndTable(TenantState& tenant);
+  void Categorize(TenantState& tenant);
+  void AllocateAndApply();
+  void MaxPerformanceRebalance(std::vector<uint32_t>& targets);
+  void ApplyMasks(const std::vector<uint32_t>& targets);
+
+  PhaseBook::PhaseRecord& CurrentPhase(TenantState& tenant) {
+    return tenant.book.record(tenant.phase_index);
+  }
+  const PhaseBook::PhaseRecord& CurrentPhase(const TenantState& tenant) const {
+    return tenant.book.record(tenant.phase_index);
+  }
+
+  CatController* cat_;
+  const MonitoringProvider* monitor_;
+  DcatConfig config_;
+  std::vector<TenantState> tenants_;
+  uint64_t tick_ = 0;
+  bool logging_ = true;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_DCAT_CONTROLLER_H_

@@ -1,0 +1,55 @@
+// Common interface for LLC management strategies.
+//
+// Three implementations mirror the paper's three evaluation regimes:
+//   * SharedCacheManager — no CAT; every core may fill every way.
+//   * StaticCatManager   — CAT partitions fixed at tenant admission
+//                          (the "static partition" baseline).
+//   * DcatController     — the paper's contribution (dcat_controller.h).
+#ifndef SRC_CORE_MANAGER_H_
+#define SRC_CORE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+using TenantId = uint32_t;
+
+// A tenant's contract: which cores it owns exclusively (no CPU
+// overprovisioning, §4) and how many LLC ways it paid for.
+struct TenantSpec {
+  TenantId id = 0;
+  std::string name;
+  std::vector<uint16_t> cores;
+  uint32_t baseline_ways = 1;
+};
+
+class CacheManager {
+ public:
+  virtual ~CacheManager() = default;
+
+  virtual std::string name() const = 0;
+
+  // Admits a tenant. Aborts on contract violations (too many tenants for
+  // the COS count, oversubscribed baseline ways) — admission control is the
+  // cloud scheduler's job, upstream of the cache manager.
+  virtual void AddTenant(const TenantSpec& spec) = 0;
+
+  // Evicts a tenant (VM terminated / migrated): its cores return to the
+  // unmanaged COS 0 and its cache resources are recycled. Unknown ids are
+  // ignored. Default: no bookkeeping needed (shared cache).
+  virtual void RemoveTenant(TenantId id) { (void)id; }
+
+  // One control interval. Called by the host loop every interval_seconds.
+  virtual void Tick() = 0;
+
+  // Current LLC ways allocated to the tenant (for time-series recording).
+  virtual uint32_t TenantWays(TenantId id) const = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_MANAGER_H_

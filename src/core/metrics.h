@@ -1,0 +1,33 @@
+// Per-interval workload metrics derived from perf counter deltas.
+//
+// These are the quantities Step 2 (Collect Statistics) produces and the
+// later steps consume. For multi-core workloads the counters of all
+// assigned cores are summed before the rates are derived, matching §3.2
+// ("dCat measures the performance of all used cores").
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "src/sim/perf_counters.h"
+
+namespace dcat {
+
+struct WorkloadSample {
+  PerfCounterBlock delta;
+
+  uint64_t instructions() const { return delta.retired_instructions; }
+  double ipc() const { return delta.Ipc(); }
+  double llc_miss_rate() const { return delta.LlcMissRate(); }
+  double mem_per_instruction() const { return delta.MemAccessesPerInstruction(); }
+  double llc_refs_per_kilo_instruction() const {
+    return delta.retired_instructions > 0
+               ? 1000.0 * static_cast<double>(delta.llc_references) /
+                     static_cast<double>(delta.retired_instructions)
+               : 0.0;
+  }
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_METRICS_H_

@@ -1,0 +1,97 @@
+#include "src/core/performance_table.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dcat {
+namespace {
+constexpr double kEwmaAlpha = 0.5;
+}  // namespace
+
+void PerformanceTable::Record(uint32_t ways, double norm_ipc) {
+  auto [it, inserted] = entries_.emplace(ways, norm_ipc);
+  if (!inserted) {
+    it->second = kEwmaAlpha * norm_ipc + (1.0 - kEwmaAlpha) * it->second;
+  }
+}
+
+std::optional<double> PerformanceTable::Get(uint32_t ways) const {
+  if (auto it = entries_.find(ways); it != entries_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> PerformanceTable::PreferredWays(double improvement_thr) const {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  // Walk in increasing ways; the preferred size is the first one that no
+  // larger measured size beats by at least the threshold.
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    bool beaten = false;
+    for (auto later = std::next(it); later != entries_.end(); ++later) {
+      if (later->second >= it->second * (1.0 + improvement_thr)) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) {
+      return it->first;
+    }
+  }
+  return entries_.rbegin()->first;
+}
+
+std::optional<double> PerformanceTable::Improvement(uint32_t from_ways, uint32_t to_ways) const {
+  const auto from = Get(from_ways);
+  const auto to = Get(to_ways);
+  if (!from.has_value() || !to.has_value() || *from <= 0.0) {
+    return std::nullopt;
+  }
+  return (*to - *from) / *from;
+}
+
+std::vector<std::pair<uint32_t, double>> PerformanceTable::Entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+std::string PerformanceTable::ToString() const {
+  std::string out;
+  char buf[48];
+  for (const auto& [ways, ipc] : entries_) {
+    std::snprintf(buf, sizeof(buf), "%u:%.3f ", ways, ipc);
+    out += buf;
+  }
+  return out;
+}
+
+bool PhaseBook::Matches(double a, double b) const {
+  const double reference = std::max(std::abs(a), std::abs(b));
+  if (reference == 0.0) {
+    return true;  // both idle
+  }
+  return std::abs(a - b) <= tolerance_ * reference;
+}
+
+size_t PhaseBook::Find(double signature) const {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (Matches(records_[i].signature, signature)) {
+      return i;
+    }
+  }
+  return kNotFound;
+}
+
+size_t PhaseBook::FindOrCreate(double signature) {
+  const size_t found = Find(signature);
+  if (found != kNotFound) {
+    return found;
+  }
+  PhaseRecord record;
+  record.signature = signature;
+  records_.push_back(record);
+  return records_.size() - 1;
+}
+
+}  // namespace dcat

@@ -1,0 +1,90 @@
+// The per-phase performance table (§3.5, Table 1 of the paper).
+//
+// For each workload phase, dCat memoizes the normalized IPC (relative to
+// the baseline allocation) observed at every cache size it has tried. The
+// table serves three purposes:
+//   1. Fast path: when a phase recurs, jump straight to the preferred
+//      allocation instead of re-discovering one way per interval (Fig. 12).
+//   2. Max-performance allocation: the DP over tables that maximizes
+//      total normalized IPC (§3.5's worked example).
+//   3. Oscillation damping: a Keeper does not re-explore a size the table
+//      already shows to be unprofitable.
+#ifndef SRC_CORE_PERFORMANCE_TABLE_H_
+#define SRC_CORE_PERFORMANCE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcat {
+
+class PerformanceTable {
+ public:
+  // Records an observation of `norm_ipc` at `ways`. Repeated observations
+  // are blended with an EWMA (alpha 0.5) to ride out measurement noise.
+  void Record(uint32_t ways, double norm_ipc);
+
+  std::optional<double> Get(uint32_t ways) const;
+  bool Has(uint32_t ways) const { return entries_.count(ways) > 0; }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  // Smallest measured allocation after which no larger measured allocation
+  // improves normalized IPC by at least `improvement_thr` (relative).
+  // Table 1's "preferred" mark. nullopt when empty.
+  std::optional<uint32_t> PreferredWays(double improvement_thr) const;
+
+  // Relative IPC improvement of `to_ways` over `from_ways` when both are
+  // measured; nullopt otherwise.
+  std::optional<double> Improvement(uint32_t from_ways, uint32_t to_ways) const;
+
+  // Measured (ways, norm_ipc) pairs in increasing-ways order, for the
+  // max-performance DP.
+  std::vector<std::pair<uint32_t, double>> Entries() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<uint32_t, double> entries_;
+};
+
+// Phase-indexed store of performance tables and baselines.
+//
+// Phases are identified by their memory-accesses-per-instruction signature
+// (§3.3); two signatures within the phase-change tolerance are the same
+// phase. The book is how Fig. 12's "same phase seen again" lookup works.
+class PhaseBook {
+ public:
+  struct PhaseRecord {
+    double signature = 0.0;
+    double baseline_ipc = 0.0;
+    bool baseline_valid = false;
+    PerformanceTable table;
+  };
+
+  explicit PhaseBook(double tolerance) : tolerance_(tolerance) {}
+
+  // Finds the record whose signature matches within the tolerance, or
+  // creates one. Never invalidates previously returned indices.
+  size_t FindOrCreate(double signature);
+
+  // Finds without creating; npos (== SIZE_MAX) when absent.
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t Find(double signature) const;
+
+  PhaseRecord& record(size_t index) { return records_.at(index); }
+  const PhaseRecord& record(size_t index) const { return records_.at(index); }
+  size_t size() const { return records_.size(); }
+
+ private:
+  bool Matches(double a, double b) const;
+
+  double tolerance_;
+  std::vector<PhaseRecord> records_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_PERFORMANCE_TABLE_H_

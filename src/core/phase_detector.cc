@@ -1,0 +1,42 @@
+#include "src/core/phase_detector.h"
+
+#include <cmath>
+
+namespace dcat {
+
+bool PhaseDetector::IsIdle(const WorkloadSample& sample) const {
+  return sample.instructions() < min_instructions_ ||
+         sample.mem_per_instruction() < idle_epsilon_;
+}
+
+bool PhaseDetector::Update(const WorkloadSample& sample) {
+  const bool now_idle = IsIdle(sample);
+  const double now_signature = now_idle ? 0.0 : sample.mem_per_instruction();
+
+  if (!has_signature_) {
+    has_signature_ = true;
+    idle_ = now_idle;
+    signature_ = now_signature;
+    return true;
+  }
+
+  bool changed = false;
+  if (now_idle != idle_) {
+    changed = true;
+  } else if (!now_idle) {
+    const double reference = std::max(signature_, now_signature);
+    changed = reference > 0.0 && std::abs(now_signature - signature_) > threshold_ * reference;
+  }
+
+  if (changed) {
+    idle_ = now_idle;
+    signature_ = now_signature;
+  } else if (!now_idle) {
+    // Light smoothing keeps the signature representative of the phase
+    // without drifting across a genuine change (those reset above).
+    signature_ = 0.9 * signature_ + 0.1 * now_signature;
+  }
+  return changed;
+}
+
+}  // namespace dcat

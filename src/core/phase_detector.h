@@ -1,0 +1,50 @@
+// Phase-change detection (§3.3 of the paper).
+//
+// dCat keys a workload's phase on its memory accesses per retired
+// instruction (l1_ref / ret_ins): the metric depends only on the program's
+// instruction mix, not on how much cache it has (verified by Fig. 5), so it
+// stays valid while dCat itself changes the allocation. A relative change
+// larger than the threshold (10% by default) is a phase change and
+// invalidates the baseline IPC.
+#ifndef SRC_CORE_PHASE_DETECTOR_H_
+#define SRC_CORE_PHASE_DETECTOR_H_
+
+#include <cstdint>
+
+#include "src/core/config.h"
+#include "src/core/metrics.h"
+
+namespace dcat {
+
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(const DcatConfig& config)
+      : threshold_(config.phase_change_thr),
+        idle_epsilon_(config.idle_mem_per_ins_epsilon),
+        min_instructions_(config.min_instructions_per_interval) {}
+
+  // Feeds one interval sample; returns true when it belongs to a different
+  // phase than the previous one. The first sample always reports a change
+  // (the workload "starts"). The current phase signature is retained for
+  // PhaseBook lookups.
+  bool Update(const WorkloadSample& sample);
+
+  double signature() const { return signature_; }
+  bool idle() const { return idle_; }
+
+ private:
+  // An interval with almost no instructions, or almost no memory accesses
+  // per instruction, is the idle phase.
+  bool IsIdle(const WorkloadSample& sample) const;
+
+  double threshold_;
+  double idle_epsilon_;
+  uint64_t min_instructions_;
+  bool has_signature_ = false;
+  bool idle_ = true;
+  double signature_ = 0.0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_PHASE_DETECTOR_H_

@@ -1,0 +1,73 @@
+#include "src/pqos/mask.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace dcat {
+
+int MaskWays(uint32_t mask) { return std::popcount(mask); }
+
+bool IsContiguousMask(uint32_t mask) {
+  if (mask == 0) {
+    return false;
+  }
+  // Right-align the run; a contiguous run becomes 2^k - 1.
+  const uint32_t shifted = mask >> std::countr_zero(mask);
+  return (shifted & (shifted + 1)) == 0;
+}
+
+uint32_t MakeWayMask(uint32_t first_way, uint32_t count) {
+  if (count == 0) {
+    return 0;
+  }
+  if (count >= 32) {
+    return ~0u << first_way;
+  }
+  return ((1u << count) - 1) << first_way;
+}
+
+int LowestWay(uint32_t mask) {
+  if (mask == 0) {
+    return -1;
+  }
+  return std::countr_zero(mask);
+}
+
+std::string MaskToHex(uint32_t mask) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%x", mask);
+  return buf;
+}
+
+std::optional<uint32_t> ParseMaskHex(const std::string& text) {
+  size_t start = 0;
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    start = 2;
+  }
+  if (start >= text.size()) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else if (c == '\n' && i + 1 == text.size()) {
+      break;  // tolerate a trailing newline (sysfs reads)
+    } else {
+      return std::nullopt;
+    }
+    value = value * 16 + static_cast<uint64_t>(digit);
+    if (value > 0xffffffffULL) {
+      return std::nullopt;
+    }
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace dcat

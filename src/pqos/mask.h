@@ -1,0 +1,36 @@
+// Capacity bitmask (CBM) helpers.
+//
+// Intel CAT capacity masks must be non-empty and contiguous; these helpers
+// centralize construction, validation and formatting so every layer agrees
+// on the rules.
+#ifndef SRC_PQOS_MASK_H_
+#define SRC_PQOS_MASK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dcat {
+
+// Number of ways in a mask.
+int MaskWays(uint32_t mask);
+
+// True when the mask is non-zero and its set bits form one contiguous run
+// (Intel's hardware requirement for CBMs).
+bool IsContiguousMask(uint32_t mask);
+
+// Mask with `count` ways starting at bit `first_way`. count == 0 yields 0.
+uint32_t MakeWayMask(uint32_t first_way, uint32_t count);
+
+// Lowest set way of a non-zero mask; -1 for zero.
+int LowestWay(uint32_t mask);
+
+// Lowercase hex rendering, no 0x prefix (resctrl schemata format).
+std::string MaskToHex(uint32_t mask);
+
+// Parses lowercase/uppercase hex with or without 0x prefix.
+std::optional<uint32_t> ParseMaskHex(const std::string& text);
+
+}  // namespace dcat
+
+#endif  // SRC_PQOS_MASK_H_

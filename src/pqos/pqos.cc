@@ -1,0 +1,21 @@
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+const char* PqosStatusName(PqosStatus status) {
+  switch (status) {
+    case PqosStatus::kOk:
+      return "ok";
+    case PqosStatus::kInvalidMask:
+      return "invalid-mask";
+    case PqosStatus::kOutOfRange:
+      return "out-of-range";
+    case PqosStatus::kUnsupported:
+      return "unsupported";
+    case PqosStatus::kIoError:
+      return "io-error";
+  }
+  return "?";
+}
+
+}  // namespace dcat

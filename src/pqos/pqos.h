@@ -1,0 +1,81 @@
+// Platform QoS abstraction: the interface the dCat controller programs.
+//
+// Mirrors what the Intel pqos library provides on real hardware: a CAT
+// control surface (COS capacity masks + core association) and a monitoring
+// surface (per-core counters, per-COS LLC occupancy). The controller is
+// written against these interfaces only, so swapping the simulator backend
+// (SimPqos) for the Linux resctrl backend (ResctrlPqos) requires no
+// controller changes.
+#ifndef SRC_PQOS_PQOS_H_
+#define SRC_PQOS_PQOS_H_
+
+#include <cstdint>
+
+#include "src/sim/perf_counters.h"
+
+namespace dcat {
+
+enum class PqosStatus {
+  kOk,
+  kInvalidMask,    // empty or non-contiguous capacity mask
+  kOutOfRange,     // COS or core id beyond platform limits
+  kUnsupported,    // operation not available on this backend
+  kIoError,        // backend I/O failure (resctrl)
+};
+
+const char* PqosStatusName(PqosStatus status);
+
+// CAT allocation control.
+class CatController {
+ public:
+  virtual ~CatController() = default;
+
+  virtual uint32_t NumWays() const = 0;
+  virtual uint8_t NumCos() const = 0;
+  virtual uint16_t NumCores() const = 0;
+  virtual uint64_t WayCapacityBytes() const = 0;
+
+  // Programs the capacity mask of `cos`. Masks must be contiguous and
+  // non-empty (hardware rule); violations return kInvalidMask.
+  virtual PqosStatus SetCosMask(uint8_t cos, uint32_t mask) = 0;
+  virtual uint32_t GetCosMask(uint8_t cos) const = 0;
+
+  // Associates a core with a COS.
+  virtual PqosStatus AssociateCore(uint16_t core, uint8_t cos) = 0;
+  virtual uint8_t GetCoreAssociation(uint16_t core) const = 0;
+};
+
+// Memory Bandwidth Allocation control (Intel RDT's second knob). Optional:
+// platforms without MBA return kUnsupported.
+class MbaController {
+ public:
+  virtual ~MbaController() = default;
+
+  // Throttle as percent of full bandwidth (Intel convention: 100 = none,
+  // lower = more delay). Implementations clamp to their granularity.
+  virtual PqosStatus SetMbaThrottle(uint8_t cos, uint32_t percent) = 0;
+  virtual uint32_t GetMbaThrottle(uint8_t cos) const = 0;
+};
+
+// Monitoring: counter samples, occupancy and bandwidth.
+class MonitoringProvider {
+ public:
+  virtual ~MonitoringProvider() = default;
+
+  // Cumulative counters for one core (the controller computes deltas).
+  virtual PerfCounterBlock ReadCounters(uint16_t core) const = 0;
+
+  // CMT-style LLC occupancy of one COS, in bytes; 0 when unsupported.
+  virtual uint64_t LlcOccupancyBytes(uint8_t cos) const = 0;
+
+  // MBM-style cumulative DRAM traffic of one COS, in bytes; 0 when
+  // unsupported.
+  virtual uint64_t MemoryBandwidthBytes(uint8_t cos) const {
+    (void)cos;
+    return 0;
+  }
+};
+
+}  // namespace dcat
+
+#endif  // SRC_PQOS_PQOS_H_

@@ -1,0 +1,230 @@
+#include "src/pqos/resctrl_pqos.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/log.h"
+#include "src/pqos/mask.h"
+
+namespace dcat {
+namespace fs = std::filesystem;
+
+ResctrlPqos::ResctrlPqos(std::string root, uint16_t num_cores)
+    : root_(std::move(root)), num_cores_(num_cores) {}
+
+bool ResctrlPqos::ReadFileTrimmed(const std::string& path, std::string* out) const {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  while (!text.empty() && (text.back() == '\n' || text.back() == ' ' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  *out = std::move(text);
+  return true;
+}
+
+bool ResctrlPqos::WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool ResctrlPqos::Initialize() {
+  std::string cbm_text;
+  std::string closids_text;
+  if (!ReadFileTrimmed(root_ + "/info/L3/cbm_mask", &cbm_text) ||
+      !ReadFileTrimmed(root_ + "/info/L3/num_closids", &closids_text)) {
+    DCAT_LOG(kWarning) << "resctrl tree not found under " << root_;
+    return false;
+  }
+  const auto cbm = ParseMaskHex(cbm_text);
+  if (!cbm.has_value() || !IsContiguousMask(*cbm)) {
+    DCAT_LOG(kWarning) << "resctrl: malformed cbm_mask '" << cbm_text << "'";
+    return false;
+  }
+  num_ways_ = static_cast<uint32_t>(MaskWays(*cbm));
+  const long closids = std::strtol(closids_text.c_str(), nullptr, 10);
+  if (closids < 1 || closids > 255) {
+    DCAT_LOG(kWarning) << "resctrl: malformed num_closids '" << closids_text << "'";
+    return false;
+  }
+  num_cos_ = static_cast<uint8_t>(closids);
+
+  // Optional: LLC size for way capacity (info/L3/cache_size is not standard
+  // resctrl; fall back to mon scale or leave 0).
+  std::string size_text;
+  if (ReadFileTrimmed(root_ + "/info/L3/cache_size", &size_text)) {
+    way_capacity_bytes_ = std::strtoull(size_text.c_str(), nullptr, 10) / num_ways_;
+  }
+
+  masks_.assign(num_cos_, *cbm);
+  mba_percent_.assign(num_cos_, 100);
+  core_assoc_.assign(num_cores_, 0);
+
+  // MBA capability: the kernel exposes info/MB when the hardware has it.
+  std::string mba_min;
+  mba_supported_ = ReadFileTrimmed(root_ + "/info/MB/min_bandwidth", &mba_min) ||
+                   std::filesystem::is_directory(root_ + "/info/MB");
+
+  // COS 0 is the resctrl root group; create directories for the rest.
+  std::error_code ec;
+  for (uint8_t cos = 1; cos < num_cos_; ++cos) {
+    fs::create_directories(GroupDir(cos), ec);
+    if (ec) {
+      DCAT_LOG(kWarning) << "resctrl: cannot create group for COS " << static_cast<int>(cos)
+                         << ": " << ec.message();
+      return false;
+    }
+  }
+  initialized_ = true;
+  DCAT_LOG(kInfo) << "resctrl backend: " << static_cast<int>(num_cos_) << " COS, " << num_ways_
+                  << " ways";
+  return true;
+}
+
+std::string ResctrlPqos::GroupDir(uint8_t cos) const {
+  if (cos == 0) {
+    return root_;
+  }
+  std::ostringstream dir;
+  dir << root_ << "/dcat_cos" << static_cast<int>(cos);
+  return dir.str();
+}
+
+PqosStatus ResctrlPqos::WriteSchemata(uint8_t cos, uint32_t mask) {
+  const std::string path = GroupDir(cos) + "/schemata";
+  // One L3 domain assumed (single-socket management, like the paper). When
+  // the platform has MBA, the schemata file carries both resources.
+  std::string content = "L3:0=" + MaskToHex(mask) + "\n";
+  if (mba_supported_) {
+    content += "MB:0=" + std::to_string(mba_percent_.at(cos)) + "\n";
+  }
+  if (!WriteFile(path, content)) {
+    return PqosStatus::kIoError;
+  }
+  return PqosStatus::kOk;
+}
+
+PqosStatus ResctrlPqos::SetMbaThrottle(uint8_t cos, uint32_t percent) {
+  if (!initialized_ || cos >= num_cos_) {
+    return last_status_ = PqosStatus::kOutOfRange;
+  }
+  if (!mba_supported_) {
+    return last_status_ = PqosStatus::kUnsupported;
+  }
+  if (percent < 10 || percent > 100) {
+    return last_status_ = PqosStatus::kInvalidMask;
+  }
+  const uint32_t previous = mba_percent_.at(cos);
+  mba_percent_.at(cos) = percent;
+  const PqosStatus status = WriteSchemata(cos, masks_.at(cos));
+  if (status != PqosStatus::kOk) {
+    mba_percent_.at(cos) = previous;
+  }
+  return last_status_ = status;
+}
+
+uint32_t ResctrlPqos::GetMbaThrottle(uint8_t cos) const {
+  if (cos >= mba_percent_.size()) {
+    return 100;
+  }
+  return mba_percent_[cos];
+}
+
+uint64_t ResctrlPqos::MemoryBandwidthBytes(uint8_t cos) const {
+  std::string text;
+  if (!ReadFileTrimmed(GroupDir(cos) + "/mon_data/mon_L3_00/mbm_total_bytes", &text)) {
+    return 0;
+  }
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+PqosStatus ResctrlPqos::WriteCpusList(uint8_t cos) {
+  // resctrl semantics: writing a group's cpus_list claims those cores (they
+  // leave their previous group automatically). We rewrite the full list for
+  // the group each time.
+  std::ostringstream list;
+  bool first = true;
+  for (uint16_t core = 0; core < num_cores_; ++core) {
+    if (core_assoc_[core] == cos) {
+      if (!first) {
+        list << ",";
+      }
+      list << core;
+      first = false;
+    }
+  }
+  list << "\n";
+  if (!WriteFile(GroupDir(cos) + "/cpus_list", list.str())) {
+    return PqosStatus::kIoError;
+  }
+  return PqosStatus::kOk;
+}
+
+PqosStatus ResctrlPqos::SetCosMask(uint8_t cos, uint32_t mask) {
+  if (!initialized_ || cos >= num_cos_) {
+    return last_status_ = PqosStatus::kOutOfRange;
+  }
+  if (!IsContiguousMask(mask) || (mask & ~MakeWayMask(0, num_ways_)) != 0) {
+    return last_status_ = PqosStatus::kInvalidMask;
+  }
+  const PqosStatus status = WriteSchemata(cos, mask);
+  if (status == PqosStatus::kOk) {
+    masks_[cos] = mask;
+  }
+  return last_status_ = status;
+}
+
+uint32_t ResctrlPqos::GetCosMask(uint8_t cos) const {
+  if (cos >= masks_.size()) {
+    return 0;
+  }
+  return masks_[cos];
+}
+
+PqosStatus ResctrlPqos::AssociateCore(uint16_t core, uint8_t cos) {
+  if (!initialized_ || core >= num_cores_ || cos >= num_cos_) {
+    return last_status_ = PqosStatus::kOutOfRange;
+  }
+  const uint8_t previous = core_assoc_[core];
+  core_assoc_[core] = cos;
+  PqosStatus status = WriteCpusList(cos);
+  if (status == PqosStatus::kOk && previous != cos) {
+    status = WriteCpusList(previous);
+  }
+  if (status != PqosStatus::kOk) {
+    core_assoc_[core] = previous;
+  }
+  return last_status_ = status;
+}
+
+uint8_t ResctrlPqos::GetCoreAssociation(uint16_t core) const {
+  if (core >= core_assoc_.size()) {
+    return 0;
+  }
+  return core_assoc_[core];
+}
+
+PerfCounterBlock ResctrlPqos::ReadCounters(uint16_t core) const {
+  // resctrl exposes no IPC/L1 events; a perf_event provider would supply
+  // them on real hardware. Returning zeros keeps the interface total.
+  (void)core;
+  return PerfCounterBlock{};
+}
+
+uint64_t ResctrlPqos::LlcOccupancyBytes(uint8_t cos) const {
+  std::string text;
+  if (!ReadFileTrimmed(GroupDir(cos) + "/mon_data/mon_L3_00/llc_occupancy", &text)) {
+    return 0;
+  }
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+}  // namespace dcat

@@ -1,0 +1,89 @@
+// pqos backend for the Linux resctrl filesystem.
+//
+// On an RDT-capable machine the kernel exposes CAT through
+// /sys/fs/resctrl:
+//   info/L3/cbm_mask      full capacity mask (hex)
+//   info/L3/num_closids   number of classes of service
+//   <group>/schemata      "L3:0=<hex>" per cache domain
+//   <group>/cpus_list     cores associated with the group
+//   <group>/mon_data/mon_L3_00/llc_occupancy   CMT occupancy (bytes)
+//
+// This backend maps COS i to a control group "dcat_cos<i>" (COS 0 is the
+// resctrl root group). The filesystem root is injectable so the backend is
+// fully unit-testable against a fake tree, and so it can drive a mounted
+// /sys/fs/resctrl unchanged on real hardware.
+//
+// ReadCounters is kUnsupported here: resctrl has no IPC/L1 counters; the
+// paper reads them from MSRs (a perf_event-based provider would slot in via
+// the MonitoringProvider interface).
+#ifndef SRC_PQOS_RESCTRL_PQOS_H_
+#define SRC_PQOS_RESCTRL_PQOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+class ResctrlPqos : public CatController, public MbaController, public MonitoringProvider {
+ public:
+  // `root` is the resctrl mount point (e.g. "/sys/fs/resctrl" or a test
+  // directory). `num_cores` is the core count of the managed socket.
+  ResctrlPqos(std::string root, uint16_t num_cores);
+
+  // Reads platform limits from info/L3 and creates the COS group
+  // directories. Returns false (with a log line) when the tree is absent or
+  // malformed — callers fall back to other backends.
+  bool Initialize();
+
+  // Last status of an operation that returned a value (for diagnostics).
+  PqosStatus last_status() const { return last_status_; }
+
+  // CatController:
+  uint32_t NumWays() const override { return num_ways_; }
+  uint8_t NumCos() const override { return num_cos_; }
+  uint16_t NumCores() const override { return num_cores_; }
+  uint64_t WayCapacityBytes() const override { return way_capacity_bytes_; }
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override;
+  uint32_t GetCosMask(uint8_t cos) const override;
+  PqosStatus AssociateCore(uint16_t core, uint8_t cos) override;
+  uint8_t GetCoreAssociation(uint16_t core) const override;
+
+  // MbaController (requires info/MB in the resctrl tree, i.e. MBA-capable
+  // hardware; kUnsupported otherwise):
+  PqosStatus SetMbaThrottle(uint8_t cos, uint32_t percent) override;
+  uint32_t GetMbaThrottle(uint8_t cos) const override;
+  bool mba_supported() const { return mba_supported_; }
+
+  // MonitoringProvider:
+  PerfCounterBlock ReadCounters(uint16_t core) const override;
+  uint64_t LlcOccupancyBytes(uint8_t cos) const override;
+  uint64_t MemoryBandwidthBytes(uint8_t cos) const override;
+
+  // Group directory for a COS ("" == root group for COS 0).
+  std::string GroupDir(uint8_t cos) const;
+
+ private:
+  bool ReadFileTrimmed(const std::string& path, std::string* out) const;
+  bool WriteFile(const std::string& path, const std::string& content);
+  PqosStatus WriteSchemata(uint8_t cos, uint32_t mask);
+  PqosStatus WriteCpusList(uint8_t cos);
+
+  std::string root_;
+  uint16_t num_cores_;
+  uint32_t num_ways_ = 0;
+  uint8_t num_cos_ = 0;
+  uint64_t way_capacity_bytes_ = 0;
+  bool initialized_ = false;
+  PqosStatus last_status_ = PqosStatus::kOk;
+  bool mba_supported_ = false;
+  std::vector<uint32_t> masks_;       // cached CBMs per COS
+  std::vector<uint32_t> mba_percent_;  // cached MBA throttles per COS
+  std::vector<uint8_t> core_assoc_;   // core -> COS
+};
+
+}  // namespace dcat
+
+#endif  // SRC_PQOS_RESCTRL_PQOS_H_

@@ -1,0 +1,66 @@
+#include "src/pqos/sim_pqos.h"
+
+#include "src/pqos/mask.h"
+
+namespace dcat {
+
+PqosStatus SimPqos::SetCosMask(uint8_t cos, uint32_t mask) {
+  if (cos >= NumCos()) {
+    return PqosStatus::kOutOfRange;
+  }
+  if (!IsContiguousMask(mask) || (mask & ~((1u << NumWays()) - 1)) != 0) {
+    return PqosStatus::kInvalidMask;
+  }
+  const uint32_t old_mask = socket_->CosMask(cos);
+  socket_->SetCosMask(cos, mask);
+  // The paper's dCat pairs a shrinking allocation with a user-level cache
+  // flush of the surrendered ways (§6): without it, the tenant keeps
+  // hitting stale lines in ways nobody else evicts, which both inflates its
+  // measured performance and delays the new owner's use of the capacity.
+  // Pure moves/grows are left lazy, exactly like real CAT.
+  if (MaskWays(mask) < MaskWays(old_mask)) {
+    socket_->FlushCosOutsideMask(cos, mask);
+  }
+  return PqosStatus::kOk;
+}
+
+uint32_t SimPqos::GetCosMask(uint8_t cos) const { return socket_->CosMask(cos); }
+
+PqosStatus SimPqos::AssociateCore(uint16_t core, uint8_t cos) {
+  if (core >= NumCores() || cos >= NumCos()) {
+    return PqosStatus::kOutOfRange;
+  }
+  socket_->AssignCoreToCos(core, cos);
+  return PqosStatus::kOk;
+}
+
+uint8_t SimPqos::GetCoreAssociation(uint16_t core) const { return socket_->CoreCos(core); }
+
+PerfCounterBlock SimPqos::ReadCounters(uint16_t core) const {
+  return socket_->core(core).counters();
+}
+
+uint64_t SimPqos::LlcOccupancyBytes(uint8_t cos) const {
+  return socket_->LlcOccupancyBytes(cos);
+}
+
+PqosStatus SimPqos::SetMbaThrottle(uint8_t cos, uint32_t percent) {
+  if (cos >= NumCos()) {
+    return PqosStatus::kOutOfRange;
+  }
+  if (!socket_->memory_bus().enabled()) {
+    return PqosStatus::kUnsupported;
+  }
+  socket_->memory_bus().SetThrottle(cos, percent);
+  return PqosStatus::kOk;
+}
+
+uint32_t SimPqos::GetMbaThrottle(uint8_t cos) const {
+  return socket_->memory_bus().GetThrottle(cos);
+}
+
+uint64_t SimPqos::MemoryBandwidthBytes(uint8_t cos) const {
+  return socket_->memory_bus().TotalBytes(cos);
+}
+
+}  // namespace dcat

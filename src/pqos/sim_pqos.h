@@ -1,0 +1,46 @@
+// pqos backend driving the socket simulator.
+#ifndef SRC_PQOS_SIM_PQOS_H_
+#define SRC_PQOS_SIM_PQOS_H_
+
+#include <cstdint>
+
+#include "src/pqos/pqos.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+
+// Implements the CAT, MBA and monitoring interfaces against a sim::Socket.
+// Mask validation (contiguity, bounds) happens here, exactly where the real
+// pqos library enforces it, so the simulator below stays permissive.
+class SimPqos : public CatController, public MbaController, public MonitoringProvider {
+ public:
+  explicit SimPqos(Socket* socket) : socket_(socket) {}
+
+  // CatController:
+  uint32_t NumWays() const override { return socket_->num_ways(); }
+  uint8_t NumCos() const override { return socket_->num_cos(); }
+  uint16_t NumCores() const override { return socket_->num_cores(); }
+  uint64_t WayCapacityBytes() const override {
+    return socket_->config().llc_geometry.WayCapacityBytes();
+  }
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override;
+  uint32_t GetCosMask(uint8_t cos) const override;
+  PqosStatus AssociateCore(uint16_t core, uint8_t cos) override;
+  uint8_t GetCoreAssociation(uint16_t core) const override;
+
+  // MbaController:
+  PqosStatus SetMbaThrottle(uint8_t cos, uint32_t percent) override;
+  uint32_t GetMbaThrottle(uint8_t cos) const override;
+
+  // MonitoringProvider:
+  PerfCounterBlock ReadCounters(uint16_t core) const override;
+  uint64_t LlcOccupancyBytes(uint8_t cos) const override;
+  uint64_t MemoryBandwidthBytes(uint8_t cos) const override;
+
+ private:
+  Socket* socket_;  // not owned
+};
+
+}  // namespace dcat
+
+#endif  // SRC_PQOS_SIM_PQOS_H_

@@ -1,0 +1,154 @@
+#include "src/sim/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcat {
+
+SetAssociativeCache::SetAssociativeCache(const CacheGeometry& geometry,
+                                         ReplacementKind replacement)
+    : geometry_(geometry),
+      selector_(replacement),
+      lines_(static_cast<size_t>(geometry.num_sets) * geometry.num_ways),
+      cos_occupancy_(256, 0) {
+  if (!geometry.IsValid()) {
+    std::fprintf(stderr, "SetAssociativeCache: invalid geometry %s\n",
+                 geometry.ToString().c_str());
+    std::abort();
+  }
+}
+
+SetAssociativeCache::Line* SetAssociativeCache::FindLine(uint64_t paddr) {
+  const uint32_t set = geometry_.SetIndex(paddr);
+  const uint64_t tag = geometry_.Tag(paddr);
+  Line* base = &lines_[static_cast<size_t>(set) * geometry_.num_ways];
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const SetAssociativeCache::Line* SetAssociativeCache::FindLine(uint64_t paddr) const {
+  return const_cast<SetAssociativeCache*>(this)->FindLine(paddr);
+}
+
+CacheAccessResult SetAssociativeCache::Access(uint64_t paddr, uint32_t allowed_ways, uint8_t cos,
+                                              uint16_t owner, bool allocate_on_miss) {
+  CacheAccessResult result;
+  ++clock_;
+  if (Line* line = FindLine(paddr); line != nullptr) {
+    result.hit = true;
+    selector_.Touch(line->meta, clock_);
+    return result;
+  }
+  if (!allocate_on_miss) {
+    return result;
+  }
+  allowed_ways &= FullWayMask();
+  if (allowed_ways == 0) {
+    // A COS must own at least one way (Intel disallows empty masks); treat a
+    // zero mask as a cache bypass rather than crashing in release paths.
+    return result;
+  }
+
+  const uint32_t set = geometry_.SetIndex(paddr);
+  Line* base = &lines_[static_cast<size_t>(set) * geometry_.num_ways];
+  uint32_t valid_mask = 0;
+  LineMeta metas[32];
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (base[w].valid) {
+      valid_mask |= 1u << w;
+    }
+    metas[w] = base[w].meta;
+  }
+  const uint32_t victim = selector_.Select(geometry_.num_ways, valid_mask, allowed_ways, metas);
+  // The NRU policy may age reference bits during selection; write them back.
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    base[w].meta = metas[w];
+  }
+
+  Line& slot = base[victim];
+  if (slot.valid) {
+    result.evicted = true;
+    result.evicted_paddr = (slot.tag * geometry_.num_sets + set) * geometry_.line_size;
+    result.evicted_owner = slot.owner;
+    result.evicted_cos = slot.cos;
+    --cos_occupancy_[slot.cos];
+  }
+  slot.valid = true;
+  slot.tag = geometry_.Tag(paddr);
+  slot.cos = cos;
+  slot.owner = owner;
+  selector_.Touch(slot.meta, clock_);
+  ++cos_occupancy_[cos];
+  return result;
+}
+
+bool SetAssociativeCache::Contains(uint64_t paddr) const { return FindLine(paddr) != nullptr; }
+
+bool SetAssociativeCache::Invalidate(uint64_t paddr) {
+  if (Line* line = FindLine(paddr); line != nullptr) {
+    line->valid = false;
+    --cos_occupancy_[line->cos];
+    return true;
+  }
+  return false;
+}
+
+std::vector<SetAssociativeCache::FlushedLine> SetAssociativeCache::FlushCosOutsideWays(
+    uint8_t cos, uint32_t allowed_ways) {
+  std::vector<FlushedLine> flushed;
+  for (uint32_t set = 0; set < geometry_.num_sets; ++set) {
+    Line* base = &lines_[static_cast<size_t>(set) * geometry_.num_ways];
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.cos == cos && ((allowed_ways >> w) & 1u) == 0) {
+        line.valid = false;
+        --cos_occupancy_[cos];
+        flushed.push_back(
+            {(line.tag * geometry_.num_sets + set) * geometry_.line_size, line.owner});
+      }
+    }
+  }
+  return flushed;
+}
+
+uint64_t SetAssociativeCache::FlushCos(uint8_t cos) {
+  uint64_t flushed = 0;
+  for (Line& line : lines_) {
+    if (line.valid && line.cos == cos) {
+      line.valid = false;
+      ++flushed;
+    }
+  }
+  cos_occupancy_[cos] = 0;
+  return flushed;
+}
+
+void SetAssociativeCache::Reset() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.meta = LineMeta{};
+  }
+  for (uint64_t& occ : cos_occupancy_) {
+    occ = 0;
+  }
+  clock_ = 0;
+}
+
+uint64_t SetAssociativeCache::OccupancyLines(uint8_t cos) const { return cos_occupancy_[cos]; }
+
+uint32_t SetAssociativeCache::ValidLinesInSet(uint32_t set_index) const {
+  uint32_t count = 0;
+  const Line* base = &lines_[static_cast<size_t>(set_index) * geometry_.num_ways];
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (base[w].valid) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dcat

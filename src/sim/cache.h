@@ -1,0 +1,110 @@
+// Set-associative cache with Intel CAT way-partitioning semantics.
+//
+// The crucial CAT behaviour, reproduced exactly:
+//   * A *lookup* may hit in ANY way of the set, regardless of the
+//     accessor's class of service (COS). CAT does not partition hits.
+//   * A *fill* (and therefore the eviction it causes) is restricted to the
+//     ways in the accessor's COS capacity mask. Shrinking a mask does NOT
+//     flush lines already resident in the removed ways — they linger until
+//     some other COS that owns those ways evicts them (the paper's §6 notes
+//     Intel provides no way-flush instruction).
+//
+// The cache is a passive model: it classifies accesses as hit/miss and
+// reports evictions; timing and counters live in sim::Core / sim::Socket.
+#ifndef SRC_SIM_CACHE_H_
+#define SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/geometry.h"
+#include "src/sim/replacement.h"
+
+namespace dcat {
+
+// Identifies who filled a line, for inclusive back-invalidation.
+inline constexpr uint16_t kNoOwner = 0xffff;
+
+struct CacheAccessResult {
+  bool hit = false;
+  // Valid when a fill evicted a resident line.
+  bool evicted = false;
+  uint64_t evicted_paddr = 0;
+  uint16_t evicted_owner = kNoOwner;
+  // COS the evicted line was charged to (for occupancy accounting).
+  uint8_t evicted_cos = 0;
+};
+
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(const CacheGeometry& geometry,
+                      ReplacementKind replacement = ReplacementKind::kLru);
+
+  const CacheGeometry& geometry() const { return geometry_; }
+
+  // Full mask covering every way of this cache.
+  uint32_t FullWayMask() const { return (geometry_.num_ways >= 32) ? 0xffffffffu
+                                                                   : ((1u << geometry_.num_ways) - 1); }
+
+  // Performs a lookup and, on miss, a fill constrained to `allowed_ways`.
+  // `cos` and `owner` are recorded on the filled line for occupancy
+  // accounting and inclusive back-invalidation. `allocate_on_miss=false`
+  // models a probe that must not disturb the cache (used for lookups only).
+  CacheAccessResult Access(uint64_t paddr, uint32_t allowed_ways, uint8_t cos = 0,
+                           uint16_t owner = kNoOwner, bool allocate_on_miss = true);
+
+  // True if the line is resident (no state change).
+  bool Contains(uint64_t paddr) const;
+
+  // Invalidates one line if present; returns whether it was resident. Used
+  // for inclusive back-invalidation from an outer level.
+  bool Invalidate(uint64_t paddr);
+
+  // Drops every line charged to `cos`; returns the number invalidated.
+  // Models the paper's user-level "cache flush application" workaround.
+  uint64_t FlushCos(uint8_t cos);
+
+  // Drops every line charged to `cos` residing in a way outside
+  // `allowed_ways`, returning the flushed lines so the caller can
+  // back-invalidate inclusive copies. Used when a COS mask shrinks.
+  struct FlushedLine {
+    uint64_t paddr = 0;
+    uint16_t owner = kNoOwner;
+  };
+  std::vector<FlushedLine> FlushCosOutsideWays(uint8_t cos, uint32_t allowed_ways);
+
+  // Drops all lines.
+  void Reset();
+
+  // Lines currently charged to `cos` (CMT-style llc_occupancy, in lines).
+  uint64_t OccupancyLines(uint8_t cos) const;
+  uint64_t OccupancyBytes(uint8_t cos) const {
+    return OccupancyLines(cos) * geometry_.line_size;
+  }
+
+  // Number of valid lines in set `set_index` (test/inspection hook).
+  uint32_t ValidLinesInSet(uint32_t set_index) const;
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    bool valid = false;
+    uint8_t cos = 0;
+    uint16_t owner = kNoOwner;
+    LineMeta meta;
+  };
+
+  Line* FindLine(uint64_t paddr);
+  const Line* FindLine(uint64_t paddr) const;
+
+  CacheGeometry geometry_;
+  VictimSelector selector_;
+  std::vector<Line> lines_;       // num_sets * num_ways, set-major
+  std::vector<uint64_t> cos_occupancy_;  // lines per COS (index 0..255)
+  uint64_t clock_ = 0;            // LRU timestamp source
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_CACHE_H_

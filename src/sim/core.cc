@@ -1,0 +1,85 @@
+#include "src/sim/core.h"
+
+#include "src/sim/socket.h"
+
+namespace dcat {
+
+Core::Core(uint16_t id, const CacheGeometry& l1_geometry, const CacheGeometry& l2_geometry,
+           bool model_l2, const TimingModel& timing, Socket* socket)
+    : id_(id),
+      model_l2_(model_l2),
+      timing_(timing),
+      socket_(socket),
+      l1_(l1_geometry),
+      l2_(l2_geometry) {}
+
+double Core::Access(uint64_t paddr, bool write) {
+  (void)write;  // the latency model treats loads and stores identically
+  ++counters_.retired_instructions;
+  ++counters_.l1_references;
+
+  if (l1_.Access(paddr, l1_.FullWayMask()).hit) {
+    counters_.unhalted_cycles += timing_.l1_hit_cycles;
+    return timing_.l1_hit_cycles;
+  }
+  ++counters_.l1_misses;
+
+  if (model_l2_) {
+    ++counters_.l2_references;
+    if (l2_.Access(paddr, l2_.FullWayMask()).hit) {
+      l1_.Access(paddr, l1_.FullWayMask());  // refill L1
+      counters_.unhalted_cycles += timing_.l2_hit_cycles;
+      return timing_.l2_hit_cycles;
+    }
+    ++counters_.l2_misses;
+  }
+
+  ++counters_.llc_references;
+  const Socket::LlcOutcome outcome = socket_->AccessLlc(id_, paddr);
+  double latency = 0.0;
+  if (outcome.hit) {
+    latency = timing_.llc_hit_cycles;
+  } else {
+    ++counters_.llc_misses;
+    const uint64_t line = paddr / l1_.geometry().line_size;
+    double dram = timing_.dram_cycles /
+                  (timing_.dram_parallelism > 0 ? timing_.dram_parallelism : 1.0);
+    if (last_llc_miss_line_ != ~0ull && line == last_llc_miss_line_ + 1 &&
+        timing_.stream_prefetch_factor > 1.0) {
+      // Sequential miss stream: the prefetcher hides most of the DRAM trip.
+      dram /= timing_.stream_prefetch_factor;
+    }
+    last_llc_miss_line_ = line;
+    // Bus contention and MBA throttling scale the DRAM trip (1.0 when the
+    // bandwidth model is disabled).
+    latency = timing_.llc_hit_cycles + dram * outcome.dram_factor;
+  }
+  // Refill the private hierarchy on the way back.
+  if (model_l2_) {
+    l2_.Access(paddr, l2_.FullWayMask());
+  }
+  l1_.Access(paddr, l1_.FullWayMask());
+  counters_.unhalted_cycles += latency;
+  return latency;
+}
+
+void Core::Compute(uint64_t n) {
+  counters_.retired_instructions += n;
+  counters_.unhalted_cycles += timing_.base_cpi * static_cast<double>(n);
+}
+
+void Core::Idle(double cycles) { idle_cycles_ += cycles; }
+
+void Core::BackInvalidate(uint64_t paddr) {
+  l1_.Invalidate(paddr);
+  if (model_l2_) {
+    l2_.Invalidate(paddr);
+  }
+}
+
+void Core::ResetCaches() {
+  l1_.Reset();
+  l2_.Reset();
+}
+
+}  // namespace dcat

@@ -1,0 +1,72 @@
+// A simulated CPU core with private L1D/L2 caches.
+//
+// Cores execute two kinds of work: memory accesses (walked through
+// L1 -> L2 -> shared LLC -> DRAM) and compute instructions (charged at the
+// timing model's base CPI). Every event updates the core's perf counter
+// block, which is what the dCat daemon samples.
+#ifndef SRC_SIM_CORE_H_
+#define SRC_SIM_CORE_H_
+
+#include <cstdint>
+
+#include "src/sim/cache.h"
+#include "src/sim/geometry.h"
+#include "src/sim/perf_counters.h"
+#include "src/sim/timing.h"
+
+namespace dcat {
+
+class Socket;
+
+class Core {
+ public:
+  Core(uint16_t id, const CacheGeometry& l1_geometry, const CacheGeometry& l2_geometry,
+       bool model_l2, const TimingModel& timing, Socket* socket);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+  Core(Core&&) = default;
+
+  uint16_t id() const { return id_; }
+  const PerfCounterBlock& counters() const { return counters_; }
+  double cycles() const { return counters_.unhalted_cycles; }
+
+  // Wall-clock progress of this core including halted (idle) time. The
+  // harness schedules cores by wall cycles; IPC uses unhalted cycles only,
+  // so an idle vCPU does not dilute its VM's measured IPC.
+  double wall_cycles() const { return counters_.unhalted_cycles + idle_cycles_; }
+
+  // Executes one memory instruction touching physical address `paddr`.
+  // Returns the access latency in cycles (already added to the counters).
+  double Access(uint64_t paddr, bool write);
+
+  // Executes `n` non-memory instructions.
+  void Compute(uint64_t n);
+
+  // Models idle (halted) time: advances wall-clock without retiring
+  // instructions or unhalted cycles.
+  void Idle(double cycles);
+
+  // Invalidates `paddr` from the private caches; called by the socket when
+  // the inclusive LLC evicts a line this core owns.
+  void BackInvalidate(uint64_t paddr);
+
+  // Drops all private-cache contents (used when re-assigning a core).
+  void ResetCaches();
+
+ private:
+  uint16_t id_;
+  bool model_l2_;
+  TimingModel timing_;
+  Socket* socket_;  // not owned
+  SetAssociativeCache l1_;
+  SetAssociativeCache l2_;
+  PerfCounterBlock counters_;
+  double idle_cycles_ = 0.0;
+  // Stream-prefetch detector state: line number of the previous LLC miss.
+  uint64_t last_llc_miss_line_ = ~0ull;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_CORE_H_

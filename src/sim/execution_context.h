@@ -1,0 +1,39 @@
+// Binds a workload's virtual address space to a core.
+//
+// Workloads issue virtual-address reads/writes and compute instructions;
+// the context translates through the VM's page table and drives the core's
+// memory hierarchy. A multi-vCPU workload holds one context per core, all
+// sharing one page table (one guest physical address space).
+#ifndef SRC_SIM_EXECUTION_CONTEXT_H_
+#define SRC_SIM_EXECUTION_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/sim/core.h"
+#include "src/sim/page_table.h"
+
+namespace dcat {
+
+class ExecutionContext {
+ public:
+  ExecutionContext(Core* core, PageTable* page_table) : core_(core), page_table_(page_table) {}
+
+  Core& core() { return *core_; }
+  const Core& core() const { return *core_; }
+  PageTable& page_table() { return *page_table_; }
+
+  // One load/store instruction; returns latency in cycles.
+  double Read(uint64_t vaddr) { return core_->Access(page_table_->Translate(vaddr), false); }
+  double Write(uint64_t vaddr) { return core_->Access(page_table_->Translate(vaddr), true); }
+
+  // `n` ALU/branch instructions.
+  void Compute(uint64_t n) { core_->Compute(n); }
+
+ private:
+  Core* core_;            // not owned
+  PageTable* page_table_;  // not owned
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_EXECUTION_CONTEXT_H_

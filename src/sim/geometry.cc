@@ -1,0 +1,45 @@
+#include "src/sim/geometry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/units.h"
+
+namespace dcat {
+
+bool CacheGeometry::IsValid() const {
+  const bool line_pow2 = line_size != 0 && (line_size & (line_size - 1)) == 0;
+  return line_pow2 && num_ways >= 1 && num_ways <= 32 && num_sets >= 1;
+}
+
+std::string CacheGeometry::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%u-way x %u sets x %uB (%.2f MiB)", num_ways, num_sets,
+                line_size, static_cast<double>(CapacityBytes()) / static_cast<double>(kMiB));
+  return buf;
+}
+
+CacheGeometry MakeGeometry(uint64_t capacity_bytes, uint32_t num_ways, uint32_t line_size) {
+  const uint64_t way_bytes = num_ways == 0 ? 0 : capacity_bytes / num_ways;
+  if (num_ways == 0 || line_size == 0 || capacity_bytes % num_ways != 0 ||
+      way_bytes % line_size != 0) {
+    std::fprintf(stderr, "MakeGeometry: capacity %llu not divisible into %u ways of %uB lines\n",
+                 static_cast<unsigned long long>(capacity_bytes), num_ways, line_size);
+    std::abort();
+  }
+  CacheGeometry geo;
+  geo.line_size = line_size;
+  geo.num_ways = num_ways;
+  geo.num_sets = static_cast<uint32_t>(way_bytes / line_size);
+  return geo;
+}
+
+CacheGeometry L1dGeometry() { return MakeGeometry(32_KiB, 8); }
+
+CacheGeometry L2Geometry() { return MakeGeometry(256_KiB, 8); }
+
+CacheGeometry XeonDLlcGeometry() { return MakeGeometry(12_MiB, 12); }
+
+CacheGeometry XeonE5LlcGeometry() { return MakeGeometry(45_MiB, 20); }
+
+}  // namespace dcat

@@ -1,0 +1,59 @@
+// Cache geometry descriptions for the socket simulator.
+//
+// The paper evaluates on two Intel Broadwell parts:
+//   * Xeon-D:     8 cores, 12-way 12 MiB LLC
+//   * Xeon E5 v4: 18 cores, 20-way 45 MiB LLC (2.25 MiB per way)
+// Presets for both are provided so the benchmarks can reference the exact
+// machines from the paper.
+#ifndef SRC_SIM_GEOMETRY_H_
+#define SRC_SIM_GEOMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dcat {
+
+struct CacheGeometry {
+  uint32_t line_size = 64;  // bytes; must be a power of two
+  uint32_t num_ways = 8;
+  uint32_t num_sets = 64;  // need not be a power of two (sliced LLCs are not)
+
+  constexpr uint64_t CapacityBytes() const {
+    return static_cast<uint64_t>(line_size) * num_ways * num_sets;
+  }
+  constexpr uint64_t WayCapacityBytes() const {
+    return static_cast<uint64_t>(line_size) * num_sets;
+  }
+
+  // Line-granular physical address decomposition.
+  constexpr uint64_t LineNumber(uint64_t paddr) const { return paddr / line_size; }
+  constexpr uint32_t SetIndex(uint64_t paddr) const {
+    return static_cast<uint32_t>(LineNumber(paddr) % num_sets);
+  }
+  constexpr uint64_t Tag(uint64_t paddr) const { return LineNumber(paddr) / num_sets; }
+
+  bool IsValid() const;
+  std::string ToString() const;
+
+  bool operator==(const CacheGeometry&) const = default;
+};
+
+// Derives a geometry from (capacity, ways, line size); capacity must divide
+// evenly. Dies on invalid input (programming error).
+CacheGeometry MakeGeometry(uint64_t capacity_bytes, uint32_t num_ways, uint32_t line_size = 64);
+
+// Machine presets used throughout the paper's evaluation.
+
+// 32 KiB 8-way L1D (both machines).
+CacheGeometry L1dGeometry();
+// 256 KiB 8-way private L2 (both machines).
+CacheGeometry L2Geometry();
+// Xeon-D: 12-way 12 MiB LLC.
+CacheGeometry XeonDLlcGeometry();
+// Xeon E5-2697 v4: 20-way 45 MiB LLC (2.25 MiB per way).
+CacheGeometry XeonE5LlcGeometry();
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_GEOMETRY_H_

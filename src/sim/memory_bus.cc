@@ -1,0 +1,41 @@
+#include "src/sim/memory_bus.h"
+
+#include <algorithm>
+
+namespace dcat {
+
+MemoryBus::MemoryBus(const MemoryBusConfig& config, uint32_t line_size, uint8_t num_cos)
+    : config_(config),
+      line_size_(line_size),
+      throttle_percent_(num_cos, 100),
+      cos_bytes_(num_cos, 0) {}
+
+double MemoryBus::NoteTransfer(uint8_t cos) {
+  if (!config_.enabled) {
+    return 1.0;
+  }
+  ++interval_transfers_;
+  cos_bytes_.at(cos) += line_size_;
+  const double throttle =
+      100.0 / static_cast<double>(std::max(throttle_percent_.at(cos), 1u));
+  return contention_multiplier_ * throttle;
+}
+
+void MemoryBus::AdvanceInterval(double cycles) {
+  if (!config_.enabled || cycles <= 0.0) {
+    interval_transfers_ = 0;
+    return;
+  }
+  const double bytes = static_cast<double>(interval_transfers_) * line_size_;
+  const double capacity = cycles * config_.bytes_per_cycle;
+  utilization_ = std::min(bytes / capacity, config_.max_utilization);
+  contention_multiplier_ =
+      1.0 + config_.contention_coefficient * utilization_ / (1.0 - utilization_);
+  interval_transfers_ = 0;
+}
+
+void MemoryBus::SetThrottle(uint8_t cos, uint32_t percent) {
+  throttle_percent_.at(cos) = std::clamp(percent, 10u, 100u);
+}
+
+}  // namespace dcat

@@ -1,0 +1,73 @@
+#include "src/sim/page_table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/units.h"
+
+namespace dcat {
+namespace {
+
+constexpr uint64_t kSmallPage = 4_KiB;
+constexpr uint64_t kHugePage = 2_MiB;
+
+}  // namespace
+
+const char* PagePolicyName(PagePolicy policy) {
+  switch (policy) {
+    case PagePolicy::kContiguous:
+      return "contiguous";
+    case PagePolicy::kRandom4K:
+      return "4K";
+    case PagePolicy::kHuge2M:
+      return "2M-huge";
+  }
+  return "?";
+}
+
+PageTable::PageTable(PagePolicy policy, uint64_t phys_bytes, uint64_t seed, uint64_t phys_base)
+    : policy_(policy), phys_bytes_(phys_bytes), phys_base_(phys_base), rng_(seed) {
+  if (phys_bytes_ < kHugePage) {
+    std::fprintf(stderr, "PageTable: physical space too small (%llu bytes)\n",
+                 static_cast<unsigned long long>(phys_bytes_));
+    std::abort();
+  }
+}
+
+uint64_t PageTable::PageSize() const {
+  return policy_ == PagePolicy::kHuge2M ? kHugePage : kSmallPage;
+}
+
+uint64_t PageTable::Translate(uint64_t vaddr) {
+  if (policy_ == PagePolicy::kContiguous) {
+    return phys_base_ + vaddr;
+  }
+  const uint64_t page_size = PageSize();
+  const uint64_t page_number = vaddr / page_size;
+  const uint64_t offset = vaddr % page_size;
+  return FrameFor(page_number) + offset;
+}
+
+uint64_t PageTable::FrameFor(uint64_t page_number) {
+  if (auto it = page_to_frame_.find(page_number); it != page_to_frame_.end()) {
+    return it->second;
+  }
+  const uint64_t page_size = PageSize();
+  const uint64_t num_frames = phys_bytes_ / page_size;
+  if (page_to_frame_.size() >= num_frames) {
+    std::fprintf(stderr, "PageTable: out of physical frames (%llu mapped)\n",
+                 static_cast<unsigned long long>(page_to_frame_.size()));
+    std::abort();
+  }
+  // Rejection-sample a free frame; load factor stays low in practice because
+  // working sets are far smaller than the physical space.
+  uint64_t frame_index = 0;
+  do {
+    frame_index = rng_.Below(num_frames);
+  } while (!used_frames_.insert(frame_index).second);
+  const uint64_t frame_addr = phys_base_ + frame_index * page_size;
+  page_to_frame_.emplace(page_number, frame_addr);
+  return frame_addr;
+}
+
+}  // namespace dcat

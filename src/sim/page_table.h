@@ -1,0 +1,55 @@
+// Virtual-to-physical address translation for simulated workloads.
+//
+// Section 2.1 of the paper shows that conflict misses depend on how the OS
+// scatters a workload's pages across physical frames: with 4 KiB pages a
+// contiguous virtual buffer maps to random frames, so even a working set
+// equal to the allocated cache capacity suffers set conflicts; 2 MiB huge
+// pages keep 2 MiB runs physically contiguous and mostly eliminate them.
+// Three policies reproduce those regimes.
+#ifndef SRC_SIM_PAGE_TABLE_H_
+#define SRC_SIM_PAGE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace dcat {
+
+enum class PagePolicy {
+  kContiguous,  // vaddr -> base + vaddr (idealized; zero mapping noise)
+  kRandom4K,    // each 4 KiB page gets a uniformly random free frame
+  kHuge2M,      // each 2 MiB region gets a random free 2 MiB-aligned frame
+};
+
+const char* PagePolicyName(PagePolicy policy);
+
+class PageTable {
+ public:
+  // `phys_bytes` bounds the simulated physical address space frames are
+  // drawn from (a VM's RAM, e.g. 4 GiB). Frames are allocated lazily on
+  // first touch, never reused for two virtual pages.
+  PageTable(PagePolicy policy, uint64_t phys_bytes, uint64_t seed, uint64_t phys_base = 0);
+
+  uint64_t Translate(uint64_t vaddr);
+
+  PagePolicy policy() const { return policy_; }
+  uint64_t PageSize() const;
+  size_t mapped_pages() const { return page_to_frame_.size(); }
+
+ private:
+  uint64_t FrameFor(uint64_t page_number);
+
+  PagePolicy policy_;
+  uint64_t phys_bytes_;
+  uint64_t phys_base_;
+  Rng rng_;
+  std::unordered_map<uint64_t, uint64_t> page_to_frame_;
+  std::unordered_set<uint64_t> used_frames_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_PAGE_TABLE_H_

@@ -1,0 +1,73 @@
+// Per-core performance counter block.
+//
+// Mirrors the MSR events the dCat daemon reads on real hardware (Table 2 of
+// the paper): LLC references/misses, L1 references, retired instructions and
+// unhalted cycles. The controller works with *deltas* between periodic
+// samples, so the block supports snapshot-and-subtract.
+#ifndef SRC_SIM_PERF_COUNTERS_H_
+#define SRC_SIM_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace dcat {
+
+struct PerfCounterBlock {
+  uint64_t retired_instructions = 0;
+  // Kept as double internally: the timing model produces fractional cycles
+  // (base CPI 0.25). Rounded only at presentation time.
+  double unhalted_cycles = 0.0;
+  uint64_t l1_references = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_references = 0;
+  uint64_t l2_misses = 0;
+  uint64_t llc_references = 0;
+  uint64_t llc_misses = 0;
+
+  PerfCounterBlock operator-(const PerfCounterBlock& rhs) const {
+    PerfCounterBlock d;
+    d.retired_instructions = retired_instructions - rhs.retired_instructions;
+    d.unhalted_cycles = unhalted_cycles - rhs.unhalted_cycles;
+    d.l1_references = l1_references - rhs.l1_references;
+    d.l1_misses = l1_misses - rhs.l1_misses;
+    d.l2_references = l2_references - rhs.l2_references;
+    d.l2_misses = l2_misses - rhs.l2_misses;
+    d.llc_references = llc_references - rhs.llc_references;
+    d.llc_misses = llc_misses - rhs.llc_misses;
+    return d;
+  }
+
+  PerfCounterBlock& operator+=(const PerfCounterBlock& rhs) {
+    retired_instructions += rhs.retired_instructions;
+    unhalted_cycles += rhs.unhalted_cycles;
+    l1_references += rhs.l1_references;
+    l1_misses += rhs.l1_misses;
+    l2_references += rhs.l2_references;
+    l2_misses += rhs.l2_misses;
+    llc_references += rhs.llc_references;
+    llc_misses += rhs.llc_misses;
+    return *this;
+  }
+
+  // Derived metrics used by the controller. All guard division by zero.
+  double Ipc() const {
+    return unhalted_cycles > 0.0 ? static_cast<double>(retired_instructions) / unhalted_cycles
+                                 : 0.0;
+  }
+  double LlcMissRate() const {
+    return llc_references > 0 ? static_cast<double>(llc_misses) /
+                                    static_cast<double>(llc_references)
+                              : 0.0;
+  }
+  // Memory accesses per instruction, estimated from L1 references exactly as
+  // the paper does (§4, "we use L1 references value to estimate the memory
+  // accesses number").
+  double MemAccessesPerInstruction() const {
+    return retired_instructions > 0 ? static_cast<double>(l1_references) /
+                                          static_cast<double>(retired_instructions)
+                                    : 0.0;
+  }
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_PERF_COUNTERS_H_

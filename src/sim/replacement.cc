@@ -1,0 +1,102 @@
+#include "src/sim/replacement.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace dcat {
+
+const char* ReplacementKindName(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return "lru";
+    case ReplacementKind::kNru:
+      return "nru";
+    case ReplacementKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+VictimSelector::VictimSelector(ReplacementKind kind, uint64_t rng_seed)
+    : kind_(kind), rng_(rng_seed) {}
+
+uint32_t VictimSelector::Select(uint32_t num_ways, uint32_t valid_mask, uint32_t allowed_mask,
+                                LineMeta* metas) {
+  if (allowed_mask == 0) {
+    std::fprintf(stderr, "VictimSelector: empty allowed mask\n");
+    std::abort();
+  }
+  // Invalid allowed way first: a free slot never costs an eviction.
+  const uint32_t free_mask = allowed_mask & ~valid_mask & ((1u << num_ways) - 1);
+  if (free_mask != 0) {
+    return static_cast<uint32_t>(std::countr_zero(free_mask));
+  }
+
+  switch (kind_) {
+    case ReplacementKind::kLru: {
+      uint32_t victim = 0;
+      uint64_t oldest = std::numeric_limits<uint64_t>::max();
+      for (uint32_t w = 0; w < num_ways; ++w) {
+        if ((allowed_mask >> w) & 1u) {
+          if (metas[w].last_use < oldest) {
+            oldest = metas[w].last_use;
+            victim = w;
+          }
+        }
+      }
+      return victim;
+    }
+    case ReplacementKind::kNru: {
+      // Random victim among allowed ways with a clear reference bit; if all
+      // are referenced, clear them (aging) and retry.
+      for (int pass = 0; pass < 2; ++pass) {
+        uint32_t candidates = 0;
+        for (uint32_t w = 0; w < num_ways; ++w) {
+          if (((allowed_mask >> w) & 1u) && !metas[w].referenced) {
+            candidates |= 1u << w;
+          }
+        }
+        if (candidates != 0) {
+          uint64_t pick = rng_.Below(static_cast<uint64_t>(std::popcount(candidates)));
+          for (uint32_t w = 0; w < num_ways; ++w) {
+            if ((candidates >> w) & 1u) {
+              if (pick == 0) {
+                return w;
+              }
+              --pick;
+            }
+          }
+        }
+        for (uint32_t w = 0; w < num_ways; ++w) {
+          if ((allowed_mask >> w) & 1u) {
+            metas[w].referenced = false;
+          }
+        }
+      }
+      return static_cast<uint32_t>(std::countr_zero(allowed_mask));
+    }
+    case ReplacementKind::kRandom: {
+      const int candidates = std::popcount(allowed_mask);
+      uint64_t pick = rng_.Below(static_cast<uint64_t>(candidates));
+      for (uint32_t w = 0; w < num_ways; ++w) {
+        if ((allowed_mask >> w) & 1u) {
+          if (pick == 0) {
+            return w;
+          }
+          --pick;
+        }
+      }
+      break;
+    }
+  }
+  return static_cast<uint32_t>(std::countr_zero(allowed_mask));
+}
+
+void VictimSelector::Touch(LineMeta& meta, uint64_t now) const {
+  meta.last_use = now;
+  meta.referenced = true;
+}
+
+}  // namespace dcat

@@ -1,0 +1,58 @@
+// Victim selection policies for the set-associative cache model.
+//
+// CAT constrains which ways a fill may claim; the policy therefore always
+// selects among an allowed-way mask. True LRU is the default (matches how
+// the paper reasons about reuse); NRU and random are provided for the
+// replacement-policy ablation in bench_ablation.
+#ifndef SRC_SIM_REPLACEMENT_H_
+#define SRC_SIM_REPLACEMENT_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace dcat {
+
+enum class ReplacementKind {
+  kLru,  // true least-recently-used via per-line timestamps
+  // Not-recently-used: reference bits with a random victim among the
+  // non-referenced candidates. This approximates the quad-age pseudo-LRU
+  // of Intel's Broadwell LLC — crucially, a streaming scan CAN displace
+  // reused lines (unlike true LRU, which protects them perfectly), which
+  // is what makes "noisy neighbors" noisy in Figure 1.
+  kNru,
+  kRandom,  // uniform over allowed ways
+};
+
+const char* ReplacementKindName(ReplacementKind kind);
+
+// Per-line replacement metadata, owned by the cache.
+struct LineMeta {
+  uint64_t last_use = 0;  // LRU timestamp
+  bool referenced = false;  // NRU bit
+};
+
+// Selects the victim way within one set.
+//
+// `valid_mask` marks ways holding valid lines, `allowed_mask` the ways the
+// accessor's COS may claim (never zero). Invalid allowed ways are always
+// preferred. Returns the chosen way index.
+class VictimSelector {
+ public:
+  explicit VictimSelector(ReplacementKind kind, uint64_t rng_seed = 0x7e91aceULL);
+
+  ReplacementKind kind() const { return kind_; }
+
+  uint32_t Select(uint32_t num_ways, uint32_t valid_mask, uint32_t allowed_mask, LineMeta* metas);
+
+  // Called on every hit/fill so the policy can update its state.
+  void Touch(LineMeta& meta, uint64_t now) const;
+
+ private:
+  ReplacementKind kind_;
+  Rng rng_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_REPLACEMENT_H_

@@ -1,0 +1,89 @@
+#include "src/sim/socket.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcat {
+
+SocketConfig SocketConfig::XeonE5() {
+  SocketConfig config;
+  config.num_cores = 18;
+  config.llc_geometry = XeonE5LlcGeometry();
+  return config;
+}
+
+SocketConfig SocketConfig::XeonD() {
+  SocketConfig config;
+  config.num_cores = 8;
+  config.llc_geometry = XeonDLlcGeometry();
+  return config;
+}
+
+Socket::Socket(const SocketConfig& config)
+    : config_(config),
+      llc_(config.llc_geometry, config.llc_replacement),
+      bus_(config.memory_bus, config.llc_geometry.line_size, config.num_cos),
+      cos_masks_(config.num_cos, llc_.FullWayMask()),
+      core_cos_(config.num_cores, 0) {
+  if (config_.num_cores == 0 || config_.num_cos == 0) {
+    std::fprintf(stderr, "Socket: need at least one core and one COS\n");
+    std::abort();
+  }
+  cores_.reserve(config_.num_cores);
+  for (uint16_t i = 0; i < config_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, config_.l1_geometry, config_.l2_geometry,
+                                            config_.model_l2, config_.timing, this));
+  }
+}
+
+void Socket::SetCosMask(uint8_t cos, uint32_t mask) {
+  if (cos >= config_.num_cos) {
+    std::fprintf(stderr, "Socket::SetCosMask: COS %u out of range\n", cos);
+    std::abort();
+  }
+  cos_masks_.at(cos) = mask & llc_.FullWayMask();
+}
+
+void Socket::AssignCoreToCos(uint16_t core_id, uint8_t cos) {
+  if (cos >= config_.num_cos) {
+    std::fprintf(stderr, "Socket::AssignCoreToCos: COS %u out of range\n", cos);
+    std::abort();
+  }
+  core_cos_.at(core_id) = cos;
+}
+
+uint64_t Socket::FlushCosOutsideMask(uint8_t cos, uint32_t mask) {
+  const auto flushed = llc_.FlushCosOutsideWays(cos, mask);
+  for (const auto& line : flushed) {
+    if (line.owner != kNoOwner && line.owner < config_.num_cores) {
+      cores_[line.owner]->BackInvalidate(line.paddr);
+    }
+  }
+  return flushed.size();
+}
+
+Socket::LlcOutcome Socket::AccessLlc(uint16_t core_id, uint64_t paddr) {
+  const uint8_t cos = core_cos_.at(core_id);
+  const CacheAccessResult result = llc_.Access(paddr, cos_masks_.at(cos), cos, core_id);
+  if (result.evicted && result.evicted_owner != kNoOwner &&
+      result.evicted_owner < config_.num_cores) {
+    // Inclusive LLC: a line leaving the LLC must leave the private caches of
+    // the core that brought it in.
+    cores_[result.evicted_owner]->BackInvalidate(result.evicted_paddr);
+  }
+  LlcOutcome outcome;
+  outcome.hit = result.hit;
+  if (!result.hit) {
+    outcome.dram_factor = bus_.NoteTransfer(cos);
+  }
+  return outcome;
+}
+
+void Socket::ResetCaches() {
+  llc_.Reset();
+  for (auto& core : cores_) {
+    core->ResetCaches();
+  }
+}
+
+}  // namespace dcat

@@ -1,0 +1,108 @@
+// The simulated processor socket: cores + shared, way-partitioned LLC.
+//
+// This is the stand-in for the Xeon hardware the paper runs on. The socket
+// exposes exactly the knobs Intel RDT exposes:
+//   * a class-of-service (COS) table: COS -> capacity way mask,
+//   * a core association table: core -> COS,
+//   * monitoring: per-core counters and per-COS LLC occupancy.
+// The pqos layer (src/pqos/) wraps these in the library-level API dCat uses.
+#ifndef SRC_SIM_SOCKET_H_
+#define SRC_SIM_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/cache.h"
+#include "src/sim/core.h"
+#include "src/sim/geometry.h"
+#include "src/sim/memory_bus.h"
+#include "src/sim/replacement.h"
+#include "src/sim/timing.h"
+
+namespace dcat {
+
+struct SocketConfig {
+  uint16_t num_cores = 18;
+  CacheGeometry llc_geometry = XeonE5LlcGeometry();
+  CacheGeometry l1_geometry = L1dGeometry();
+  CacheGeometry l2_geometry = L2Geometry();
+  // The L2 can be disabled to study its effect on LLC reference counts
+  // (bench_ablation); the paper's machines have one.
+  bool model_l2 = true;
+  TimingModel timing;
+  // NRU (QLRU-like) matches Broadwell LLC behaviour under streaming scans;
+  // the private L1/L2 use true LRU.
+  ReplacementKind llc_replacement = ReplacementKind::kNru;
+  uint8_t num_cos = 16;  // Intel Xeon supports up to 16 classes of service
+  // Optional DRAM bandwidth contention + MBA model (off by default).
+  MemoryBusConfig memory_bus;
+
+  // Convenience presets matching the two evaluation machines.
+  static SocketConfig XeonE5();
+  static SocketConfig XeonD();
+};
+
+class Socket {
+ public:
+  explicit Socket(const SocketConfig& config);
+
+  const SocketConfig& config() const { return config_; }
+  uint16_t num_cores() const { return config_.num_cores; }
+  uint32_t num_ways() const { return config_.llc_geometry.num_ways; }
+  uint8_t num_cos() const { return config_.num_cos; }
+
+  Core& core(uint16_t id) { return *cores_.at(id); }
+  const Core& core(uint16_t id) const { return *cores_.at(id); }
+  SetAssociativeCache& llc() { return llc_; }
+  const SetAssociativeCache& llc() const { return llc_; }
+
+  // --- CAT control surface (used by pqos::SimPqos) ---
+  // Masks are validated by the pqos layer (contiguous, non-empty); the
+  // socket itself only requires them to fit the LLC's way count.
+  void SetCosMask(uint8_t cos, uint32_t mask);
+  uint32_t CosMask(uint8_t cos) const { return cos_masks_.at(cos); }
+  void AssignCoreToCos(uint16_t core_id, uint8_t cos);
+  uint8_t CoreCos(uint16_t core_id) const { return core_cos_.at(core_id); }
+
+  // Flushes the COS's lines that sit outside `mask` and back-invalidates
+  // their owners' private caches. Models the user-level cache-flush
+  // application the paper's §6 prescribes for shrinking allocations (Intel
+  // has no way-flush instruction). Returns the number of lines flushed.
+  uint64_t FlushCosOutsideMask(uint8_t cos, uint32_t mask);
+
+  // --- monitoring ---
+  uint64_t LlcOccupancyBytes(uint8_t cos) const { return llc_.OccupancyBytes(cos); }
+
+  // Internal: LLC access on behalf of `core_id` (called by Core on L2 miss).
+  // Handles the fill under the core's COS mask, inclusive back-invalidation
+  // of the evicted line's owner, and — on miss — memory-bus accounting.
+  // `dram_factor` is the DRAM latency multiplier in force for the core's
+  // COS (1.0 unless the memory-bus model is enabled).
+  struct LlcOutcome {
+    bool hit = false;
+    double dram_factor = 1.0;
+  };
+  LlcOutcome AccessLlc(uint16_t core_id, uint64_t paddr);
+
+  // Memory-bus surface (MBA-style throttling + MBM monitoring).
+  MemoryBus& memory_bus() { return bus_; }
+  const MemoryBus& memory_bus() const { return bus_; }
+  // Interval boundary for the bandwidth model; no-op when disabled.
+  void AdvanceInterval(double cycles) { bus_.AdvanceInterval(cycles); }
+
+  // Drops all cache contents (LLC + private caches of every core).
+  void ResetCaches();
+
+ private:
+  SocketConfig config_;
+  SetAssociativeCache llc_;
+  MemoryBus bus_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<uint32_t> cos_masks_;
+  std::vector<uint8_t> core_cos_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_SOCKET_H_

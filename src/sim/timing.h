@@ -1,0 +1,36 @@
+// Latency model for the simulated memory hierarchy.
+//
+// Latencies are representative of a Broadwell Xeon at 2.3 GHz; the absolute
+// values only need to preserve the ordering L1 << L2 << LLC << DRAM for the
+// paper's results to reproduce in shape.
+#ifndef SRC_SIM_TIMING_H_
+#define SRC_SIM_TIMING_H_
+
+#include <cstdint>
+
+namespace dcat {
+
+struct TimingModel {
+  double l1_hit_cycles = 4.0;
+  double l2_hit_cycles = 12.0;
+  double llc_hit_cycles = 42.0;
+  double dram_cycles = 180.0;
+  // Cycles per non-memory instruction (4-wide issue => 0.25).
+  double base_cpi = 0.25;
+  // Memory-level parallelism: outstanding-miss overlap divides the DRAM
+  // penalty for independent accesses. 1.0 = fully serialized (pointer chase).
+  double dram_parallelism = 1.0;
+  // Sequential-stream prefetching: an LLC miss whose line directly follows
+  // the core's previous LLC miss is considered covered by the hardware
+  // prefetcher and pays dram_cycles / stream_prefetch_factor instead. This
+  // is what makes streaming scans (MLOAD) both fast and highly polluting,
+  // as on real hardware.
+  double stream_prefetch_factor = 6.0;
+  double frequency_ghz = 2.3;
+
+  double CyclesToNanos(double cycles) const { return cycles / frequency_ghz; }
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_TIMING_H_

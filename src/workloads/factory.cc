@@ -1,0 +1,109 @@
+#include "src/workloads/factory.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/log.h"
+#include "src/common/units.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/microbench.h"
+#include "src/workloads/search.h"
+#include "src/workloads/spec_suite.h"
+#include "src/workloads/sqldb.h"
+#include "src/workloads/trace.h"
+
+namespace dcat {
+namespace {
+
+// Parses "8M" / "512K" / "1G" / "4096" (bytes) size suffixes.
+bool ParseSize(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value <= 0) {
+    return false;
+  }
+  uint64_t multiplier = 1;
+  switch (*end) {
+    case '\0':
+      break;
+    case 'k':
+    case 'K':
+      multiplier = kKiB;
+      break;
+    case 'm':
+    case 'M':
+      multiplier = kMiB;
+      break;
+    case 'g':
+    case 'G':
+      multiplier = kGiB;
+      break;
+    default:
+      return false;
+  }
+  *out = static_cast<uint64_t>(value * static_cast<double>(multiplier));
+  return *out > 0;
+}
+
+bool SpecExists(const std::string& name) {
+  const auto roster = SpecCpu2006Roster();
+  return std::any_of(roster.begin(), roster.end(),
+                     [&name](const SpecProxyParams& p) { return p.name == name; });
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& spec, uint64_t seed) {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+  if (kind == "mlr" || kind == "mload") {
+    uint64_t wss = 0;
+    if (!ParseSize(arg, &wss)) {
+      DCAT_LOG(kError) << "workload spec '" << spec << "': bad working-set size";
+      return nullptr;
+    }
+    if (kind == "mlr") {
+      return std::make_unique<MlrWorkload>(wss, seed);
+    }
+    return std::make_unique<MloadWorkload>(wss, seed);
+  }
+  if (kind == "lookbusy") {
+    return std::make_unique<LookbusyWorkload>(seed);
+  }
+  if (kind == "idle") {
+    return std::make_unique<IdleWorkload>();
+  }
+  if (kind == "redis") {
+    return std::make_unique<KvStoreWorkload>(KvStoreParams{}, seed);
+  }
+  if (kind == "postgres") {
+    return std::make_unique<SqlDbWorkload>(SqlDbParams{}, seed);
+  }
+  if (kind == "search") {
+    return std::make_unique<SearchWorkload>(SearchParams{}, seed);
+  }
+  if (kind == "trace") {
+    return TraceWorkload::FromFile(arg);
+  }
+  if (kind == "spec") {
+    if (!SpecExists(arg)) {
+      DCAT_LOG(kError) << "workload spec '" << spec << "': unknown SPEC benchmark";
+      return nullptr;
+    }
+    return std::make_unique<SpecProxyWorkload>(SpecParamsByName(arg), seed);
+  }
+  DCAT_LOG(kError) << "workload spec '" << spec << "': unknown kind";
+  return nullptr;
+}
+
+std::vector<std::string> WorkloadSpecExamples() {
+  return {"mlr:8M",    "mload:60M", "lookbusy",      "idle",
+          "redis",     "postgres",  "search",        "spec:omnetpp"};
+}
+
+}  // namespace dcat

@@ -1,0 +1,32 @@
+// Workload factory: builds workloads from compact spec strings.
+//
+// Used by the dcatd demo tool and handy for experiment scripts:
+//   "mlr:8M"         MLR with an 8 MiB working set
+//   "mload:60M"      MLOAD with a 60 MiB working set
+//   "lookbusy"       compute-only spinner
+//   "idle"           halted VM
+//   "redis"          KV store model (Table 4 defaults)
+//   "postgres"       relational DB model (Table 5 defaults)
+//   "search"         search engine model (Table 6 defaults)
+//   "spec:omnetpp"   a SPEC CPU2006 proxy by name
+//   "trace:t.txt"    replay a memory-access trace file (src/workloads/trace.h)
+#ifndef SRC_WORKLOADS_FACTORY_H_
+#define SRC_WORKLOADS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace dcat {
+
+// Parses a spec; returns nullptr (and logs) on malformed input.
+std::unique_ptr<Workload> MakeWorkload(const std::string& spec, uint64_t seed = 1);
+
+// The spec grammar's canonical examples, for --help output.
+std::vector<std::string> WorkloadSpecExamples();
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_FACTORY_H_

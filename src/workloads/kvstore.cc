@@ -1,0 +1,76 @@
+#include "src/workloads/kvstore.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcat {
+namespace {
+
+// Hash-table region: one 64-byte bucket per record, then the value heap.
+constexpr uint64_t kBucketBytes = 64;
+
+// Fibonacci hash spreads sequential keys across buckets like a real table.
+uint64_t HashKey(uint64_t key) { return key * 0x9e3779b97f4a7c15ULL; }
+
+}  // namespace
+
+KvStoreWorkload::KvStoreWorkload(KvStoreParams params, uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      zipf_(params.num_records, params.zipf_theta),
+      sigma_keys_(params.gaussian_sigma_keys != 0 ? params.gaussian_sigma_keys
+                                                  : std::max<uint64_t>(params.num_records / 25, 1)) {}
+
+uint64_t KvStoreWorkload::NextKey() {
+  if (params_.pattern == KeyPattern::kZipfian) {
+    return zipf_.Next(rng_);
+  }
+  // Gaussian around the middle of the key space (Box-Muller), clamped.
+  const double u1 = std::max(rng_.NextDouble(), 1e-12);
+  const double u2 = rng_.NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double center = static_cast<double>(params_.num_records) / 2.0;
+  double key = center + z * static_cast<double>(sigma_keys_);
+  if (key < 0.0) {
+    key = 0.0;
+  }
+  if (key >= static_cast<double>(params_.num_records)) {
+    key = static_cast<double>(params_.num_records - 1);
+  }
+  return static_cast<uint64_t>(key);
+}
+
+uint64_t KvStoreWorkload::BucketAddr(uint64_t key) const {
+  return (HashKey(key) % params_.num_records) * kBucketBytes;
+}
+
+uint64_t KvStoreWorkload::ValueAddr(uint64_t key) const {
+  const uint64_t heap_base = params_.num_records * kBucketBytes;
+  return heap_base + key * params_.value_bytes;
+}
+
+void KvStoreWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  const uint64_t lines_per_value = (params_.value_bytes + 63) / 64;
+  const uint64_t per_request = 1 + lines_per_value + params_.compute_per_request;
+  const uint64_t n = instructions / per_request;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t key = NextKey();
+    double cycles = 0.0;
+    cycles += ctx.Read(BucketAddr(key));
+    for (uint64_t line = 0; line < lines_per_value; ++line) {
+      cycles += ctx.Read(ValueAddr(key) + line * 64);
+    }
+    ctx.Compute(params_.compute_per_request);
+    cycles += 0.25 * static_cast<double>(params_.compute_per_request);
+    latency_.Add(cycles);
+    ++requests_;
+  }
+}
+
+void KvStoreWorkload::ResetMetrics() {
+  requests_ = 0;
+  latency_ = PercentileTracker();
+}
+
+}  // namespace dcat

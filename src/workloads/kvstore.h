@@ -1,0 +1,72 @@
+// In-memory key/value store model (Redis + memtier proxy, Table 4).
+//
+// The paper loads 1M 128-byte records into Redis and drives concurrent GETs
+// with memtier. The proxy lays records out as hash-bucket + value blocks in
+// the VM's address space and serves GET requests: one bucket probe, a value
+// copy (two cache lines), and per-request protocol/compute work. Key
+// popularity is Zipfian, so a bigger LLC slice captures the hot set — the
+// effect dCat exploits.
+#ifndef SRC_WORKLOADS_KVSTORE_H_
+#define SRC_WORKLOADS_KVSTORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/workloads/workload.h"
+#include "src/workloads/zipf.h"
+
+namespace dcat {
+
+// Key popularity distribution, mirroring memtier_benchmark's --key-pattern.
+enum class KeyPattern {
+  kGaussian,  // memtier "G": keys near the center dominate; the hot set is
+              // a few sigma wide — the regime where every extra cache way
+              // captures measurably more of it (what Table 4 exercises)
+  kZipfian,   // heavy-tailed popularity (YCSB-style)
+};
+
+struct KvStoreParams {
+  uint64_t num_records = 1'000'000;
+  uint32_t value_bytes = 128;
+  KeyPattern pattern = KeyPattern::kGaussian;
+  // Gaussian width in keys; 0 = num_records / 25 (a hot set of a few sigma
+  // — larger than a contracted 4-way partition but well within the LLC, so
+  // each extra way captures a measurable slice of it).
+  uint64_t gaussian_sigma_keys = 0;
+  double zipf_theta = 0.99;
+  // Instructions of protocol parsing / response formatting per GET.
+  uint32_t compute_per_request = 300;
+  uint32_t num_vcpus = 2;
+};
+
+class KvStoreWorkload : public Workload {
+ public:
+  explicit KvStoreWorkload(KvStoreParams params = {}, uint64_t seed = 1);
+
+  std::string name() const override { return "redis-kv"; }
+  uint32_t num_vcpus() const override { return params_.num_vcpus; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+  void ResetMetrics() override;
+
+  uint64_t requests_completed() const { return requests_; }
+  double AvgRequestLatencyCycles() const { return latency_.Mean(); }
+  double P99RequestLatencyCycles() const { return latency_.Percentile(0.99); }
+
+ private:
+  uint64_t BucketAddr(uint64_t key) const;
+  uint64_t ValueAddr(uint64_t key) const;
+  uint64_t NextKey();
+
+  KvStoreParams params_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  uint64_t sigma_keys_;
+  uint64_t requests_ = 0;
+  PercentileTracker latency_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_KVSTORE_H_

@@ -1,0 +1,82 @@
+#include "src/workloads/microbench.h"
+
+#include <cstdio>
+
+#include "src/common/units.h"
+
+namespace dcat {
+
+ArrayMicrobench::ArrayMicrobench(uint64_t working_set_bytes, uint64_t seed)
+    : working_set_bytes_(working_set_bytes), rng_(seed) {}
+
+MlrWorkload::MlrWorkload(uint64_t working_set_bytes, uint64_t seed)
+    : ArrayMicrobench(working_set_bytes, seed) {}
+
+std::string MlrWorkload::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "MLR-%lluMB",
+                static_cast<unsigned long long>(working_set_bytes_ / kMiB));
+  return buf;
+}
+
+void MlrWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  const uint64_t slots = working_set_bytes_ / kStride;
+  const uint64_t iterations = instructions / (1 + kComputePerAccess);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const uint64_t vaddr = rng_.Below(slots) * kStride;
+    RecordLatency(ctx.Read(vaddr));
+    ctx.Compute(kComputePerAccess);
+  }
+}
+
+MloadWorkload::MloadWorkload(uint64_t working_set_bytes, uint64_t seed)
+    : ArrayMicrobench(working_set_bytes, seed) {}
+
+std::string MloadWorkload::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "MLOAD-%lluMB",
+                static_cast<unsigned long long>(working_set_bytes_ / kMiB));
+  return buf;
+}
+
+void MloadWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  const uint64_t iterations = instructions / (1 + kComputePerAccess);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    RecordLatency(ctx.Read(cursor_));
+    ctx.Compute(kComputePerAccess);
+    cursor_ += kStride;
+    if (cursor_ >= working_set_bytes_) {
+      cursor_ = 0;
+    }
+  }
+}
+
+LookbusyWorkload::LookbusyWorkload(uint64_t seed) : rng_(seed) {}
+
+void LookbusyWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  // ~1 memory access per 100 instructions, confined to one 4 KiB page:
+  // negligible LLC pressure, matching the paper's lookbusy neighbors.
+  constexpr uint64_t kComputeChunk = 99;
+  uint64_t remaining = instructions;
+  while (remaining >= kComputeChunk + 1) {
+    ctx.Compute(kComputeChunk);
+    ctx.Read((cursor_ * 64) % 4_KiB);
+    ++cursor_;
+    remaining -= kComputeChunk + 1;
+  }
+  if (remaining > 0) {
+    ctx.Compute(remaining);
+  }
+}
+
+void IdleWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  // Convert the instruction budget into halted cycles so the interval's
+  // wall-clock still elapses for this core.
+  ctx.core().Idle(static_cast<double>(instructions) * 0.25);
+}
+
+}  // namespace dcat

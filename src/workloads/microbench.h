@@ -1,0 +1,94 @@
+// The paper's internally-developed microbenchmarks: MLR, MLOAD, lookbusy.
+//
+//   MLR   — a stream of random 8-byte reads over an array (latency-bound,
+//           no spatial locality; every read is an independent cache probe).
+//   MLOAD — a stream of sequential reads over an array, wrapping around
+//           (cyclic pattern: with a working set larger than the cache it
+//           never re-hits, i.e. "streaming" in the paper's taxonomy).
+//   lookbusy — burns CPU with negligible cache footprint (the "polite
+//           neighbor" that donates its LLC ways).
+#ifndef SRC_WORKLOADS_MICROBENCH_H_
+#define SRC_WORKLOADS_MICROBENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/workloads/workload.h"
+
+namespace dcat {
+
+// Common base for the two array-walking microbenchmarks: tracks the average
+// data access latency that Figures 1, 8, 11 and 16 report.
+class ArrayMicrobench : public Workload {
+ public:
+  ArrayMicrobench(uint64_t working_set_bytes, uint64_t seed);
+
+  uint64_t working_set_bytes() const { return working_set_bytes_; }
+
+  // Average access latency over the metric window, in cycles.
+  double AvgAccessLatencyCycles() const { return latency_.mean(); }
+  uint64_t AccessCount() const { return latency_.count(); }
+  void ResetMetrics() override { latency_ = RunningStats(); }
+
+ protected:
+  // Each iteration is one 8-byte read plus `kComputePerAccess` ALU
+  // instructions (address generation, loop overhead).
+  static constexpr uint64_t kComputePerAccess = 2;
+  static constexpr uint64_t kStride = 8;
+
+  void RecordLatency(double cycles) { latency_.Add(cycles); }
+
+  uint64_t working_set_bytes_;
+  Rng rng_;
+
+ private:
+  RunningStats latency_;
+};
+
+// Random reads ("Memory Latency Random").
+class MlrWorkload : public ArrayMicrobench {
+ public:
+  MlrWorkload(uint64_t working_set_bytes, uint64_t seed = 1);
+
+  std::string name() const override;
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+};
+
+// Sequential cyclic reads ("Memory LOAD").
+class MloadWorkload : public ArrayMicrobench {
+ public:
+  MloadWorkload(uint64_t working_set_bytes, uint64_t seed = 1);
+
+  std::string name() const override;
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+
+ private:
+  uint64_t cursor_ = 0;
+};
+
+// CPU spinner with a tiny (4 KiB) data footprint.
+class LookbusyWorkload : public Workload {
+ public:
+  explicit LookbusyWorkload(uint64_t seed = 1);
+
+  std::string name() const override { return "lookbusy"; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+
+ private:
+  Rng rng_;
+  uint64_t cursor_ = 0;
+};
+
+// An idle workload: consumes wall-clock without retiring instructions.
+// Models a VM that has been provisioned but runs nothing (Fig. 7 before t1).
+class IdleWorkload : public Workload {
+ public:
+  std::string name() const override { return "idle"; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_MICROBENCH_H_

@@ -1,0 +1,61 @@
+#include "src/workloads/phased.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcat {
+
+PhasedWorkload::PhasedWorkload(std::string name, bool loop) : name_(std::move(name)), loop_(loop) {}
+
+void PhasedWorkload::AddPhase(std::unique_ptr<Workload> workload,
+                              uint64_t duration_instructions) {
+  if (workload->num_vcpus() != 1) {
+    std::fprintf(stderr, "PhasedWorkload: only single-vCPU phases supported\n");
+    std::abort();
+  }
+  phases_.push_back(Phase{std::move(workload), duration_instructions});
+}
+
+void PhasedWorkload::Advance() {
+  if (current_ + 1 < phases_.size()) {
+    ++current_;
+  } else if (loop_) {
+    current_ = 0;
+  }
+  executed_in_phase_ = 0;
+}
+
+void PhasedWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  if (phases_.empty()) {
+    ctx.Compute(instructions);
+    return;
+  }
+  uint64_t remaining = instructions;
+  while (remaining > 0) {
+    Phase& phase = phases_[current_];
+    const bool is_last_nonloop = !loop_ && current_ + 1 == phases_.size();
+    uint64_t chunk = remaining;
+    if (!is_last_nonloop && phase.duration_instructions > 0) {
+      const uint64_t left_in_phase = phase.duration_instructions > executed_in_phase_
+                                         ? phase.duration_instructions - executed_in_phase_
+                                         : 0;
+      chunk = std::min(remaining, left_in_phase);
+      if (chunk == 0) {
+        Advance();
+        continue;
+      }
+    }
+    phase.workload->Execute(ctx, vcpu, chunk);
+    executed_in_phase_ += chunk;
+    remaining -= chunk;
+  }
+}
+
+void PhasedWorkload::ResetMetrics() {
+  for (Phase& phase : phases_) {
+    phase.workload->ResetMetrics();
+  }
+}
+
+}  // namespace dcat

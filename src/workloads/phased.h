@@ -1,0 +1,53 @@
+// Composite workload that switches between sub-workloads over time.
+//
+// Drives the controller's phase-change machinery: each switch changes the
+// memory-accesses-per-instruction signature, which dCat detects (>10% delta)
+// and answers with a Reclaim. Also used to model "start -> run -> stop ->
+// run again" (Fig. 12's performance-table fast path).
+#ifndef SRC_WORKLOADS_PHASED_H_
+#define SRC_WORKLOADS_PHASED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace dcat {
+
+class PhasedWorkload : public Workload {
+ public:
+  struct Phase {
+    std::unique_ptr<Workload> workload;
+    // How many instructions this phase runs before moving on. The last
+    // phase repeats forever if `loop` is false; otherwise the schedule
+    // cycles back to phase 0.
+    uint64_t duration_instructions = 0;
+  };
+
+  PhasedWorkload(std::string name, bool loop = false);
+
+  void AddPhase(std::unique_ptr<Workload> workload, uint64_t duration_instructions);
+
+  std::string name() const override { return name_; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+  void ResetMetrics() override;
+
+  // Index of the phase currently executing (test/inspection hook).
+  size_t current_phase() const { return current_; }
+  Workload& phase_workload(size_t i) { return *phases_.at(i).workload; }
+
+ private:
+  void Advance();
+
+  std::string name_;
+  bool loop_;
+  std::vector<Phase> phases_;
+  size_t current_ = 0;
+  uint64_t executed_in_phase_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_PHASED_H_

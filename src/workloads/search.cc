@@ -1,0 +1,42 @@
+#include "src/workloads/search.h"
+
+namespace dcat {
+
+SearchWorkload::SearchWorkload(SearchParams params, uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      doc_popularity_(params.num_docs, params.zipf_theta > 0 ? params.zipf_theta : 1e-9) {}
+
+void SearchWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  const uint64_t doc_lines = (params_.doc_bytes + 63) / 64;
+  const uint64_t mem_per_query = params_.dictionary_probes + 1 + doc_lines;
+  const uint64_t per_query = mem_per_query + params_.compute_per_query;
+  const uint64_t n = instructions / per_query;
+  const uint64_t doc_base = params_.dictionary_bytes + params_.num_docs * 8;
+  for (uint64_t i = 0; i < n; ++i) {
+    double cycles = 0.0;
+    // Term dictionary probes (hot, skewed toward common terms).
+    for (uint32_t p = 0; p < params_.dictionary_probes; ++p) {
+      const uint64_t term = rng_.Below(params_.dictionary_bytes / 64);
+      cycles += ctx.Read(term * 64);
+    }
+    // Doc-id table entry, then the document body (Zipf-popular, YCSB-C).
+    const uint64_t doc = doc_popularity_.Next(rng_);
+    cycles += ctx.Read(params_.dictionary_bytes + doc * 8);
+    for (uint64_t line = 0; line < doc_lines; ++line) {
+      cycles += ctx.Read(doc_base + doc * params_.doc_bytes + line * 64);
+    }
+    ctx.Compute(params_.compute_per_query);
+    cycles += 0.25 * static_cast<double>(params_.compute_per_query);
+    latency_.Add(cycles);
+    ++queries_;
+  }
+}
+
+void SearchWorkload::ResetMetrics() {
+  queries_ = 0;
+  latency_ = PercentileTracker();
+}
+
+}  // namespace dcat

@@ -1,0 +1,58 @@
+// Search engine model (Elasticsearch + YCSB workload-C proxy, Table 6).
+//
+// YCSB workload C issues 100% reads over 100K 1 KiB records with the
+// suite's default Zipfian request distribution — the hot head of the
+// corpus is what a larger LLC share captures. The proxy models a
+// term-dictionary probe (small, hot), a document-id lookup in a doc
+// table, and the 1 KiB document fetch (16 cache lines), plus
+// scoring/serialization compute. The paper reports average and
+// 99th-percentile latency, so the proxy tracks a full distribution.
+#ifndef SRC_WORKLOADS_SEARCH_H_
+#define SRC_WORKLOADS_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/workloads/workload.h"
+#include "src/workloads/zipf.h"
+
+namespace dcat {
+
+struct SearchParams {
+  uint64_t num_docs = 100'000;
+  uint32_t doc_bytes = 1024;
+  // YCSB default request distribution is Zipfian; theta 0 degrades to
+  // (nearly) uniform for sensitivity studies.
+  double zipf_theta = 0.99;
+  uint64_t dictionary_bytes = 2 * 1024 * 1024;  // hot term dictionary
+  uint32_t dictionary_probes = 4;
+  uint32_t compute_per_query = 2000;  // scoring + JSON serialization
+  uint32_t num_vcpus = 2;
+};
+
+class SearchWorkload : public Workload {
+ public:
+  explicit SearchWorkload(SearchParams params = {}, uint64_t seed = 1);
+
+  std::string name() const override { return "elasticsearch-ycsbc"; }
+  uint32_t num_vcpus() const override { return params_.num_vcpus; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+  void ResetMetrics() override;
+
+  uint64_t queries() const { return queries_; }
+  double AvgQueryLatencyCycles() const { return latency_.Mean(); }
+  double P99QueryLatencyCycles() const { return latency_.Percentile(0.99); }
+
+ private:
+  SearchParams params_;
+  Rng rng_;
+  ZipfGenerator doc_popularity_;
+  uint64_t queries_ = 0;
+  PercentileTracker latency_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_SEARCH_H_

@@ -1,0 +1,93 @@
+#include "src/workloads/spec_suite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/units.h"
+
+namespace dcat {
+
+SpecProxyWorkload::SpecProxyWorkload(SpecProxyParams params, uint64_t seed)
+    : params_(std::move(params)), rng_(seed) {
+  if (params_.wss_bytes == 0 || params_.cwss_bytes == 0 ||
+      params_.cwss_bytes > params_.wss_bytes) {
+    std::fprintf(stderr, "SpecProxyWorkload %s: invalid working-set sizes\n",
+                 params_.name.c_str());
+    std::abort();
+  }
+  // Derive the compute:access ratio from the memory-per-instruction target:
+  // each iteration issues 1 access + k compute, so mem/ins = 1/(1+k).
+  const double k = 1.0 / std::max(params_.mem_per_instruction, 0.02) - 1.0;
+  compute_per_access_ = static_cast<uint64_t>(std::llround(std::max(k, 0.0)));
+}
+
+void SpecProxyWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  constexpr uint64_t kStride = 8;
+  const uint64_t per_iteration = 1 + compute_per_access_;
+  const uint64_t n = instructions / per_iteration;
+  const uint64_t hot_slots = params_.cwss_bytes / kStride;
+  const uint64_t cold_bytes = params_.wss_bytes - params_.cwss_bytes;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t vaddr = 0;
+    if (cold_bytes == 0 || rng_.NextDouble() < params_.hot_probability) {
+      vaddr = rng_.Below(hot_slots) * kStride;
+    } else if (params_.cold_pattern == AccessPattern::kSequential) {
+      vaddr = params_.cwss_bytes + stream_cursor_;
+      stream_cursor_ += kStride;
+      if (stream_cursor_ >= cold_bytes) {
+        stream_cursor_ = 0;
+      }
+    } else {
+      vaddr = params_.cwss_bytes + rng_.Below(cold_bytes / kStride) * kStride;
+    }
+    ctx.Read(vaddr);
+    ctx.Compute(compute_per_access_);
+    ++iterations_;
+  }
+}
+
+std::vector<SpecProxyParams> SpecCpu2006Roster() {
+  // {name, WSS, CWSS, hot probability, cold pattern, mem/ins}
+  // Classes: S = small WSS (donor), R = high-reuse medium/large (receiver),
+  // T = streaming (classified Streaming by dCat), M = mixed.
+  const auto R = AccessPattern::kRandom;
+  const auto Q = AccessPattern::kSequential;
+  return {
+      {"perlbench", 1_MiB, 512_KiB, 0.90, R, 0.30},    // S
+      {"bzip2", 8_MiB, 2_MiB, 0.70, Q, 0.28},          // M
+      {"gcc", 20_MiB, 6_MiB, 0.65, R, 0.30},           // M/R
+      {"mcf", 40_MiB, 10_MiB, 0.60, R, 0.40},          // R, huge WSS
+      {"gobmk", 1_MiB, 512_KiB, 0.90, R, 0.25},        // S
+      {"hmmer", 512_KiB, 256_KiB, 0.95, R, 0.35},      // S
+      {"sjeng", 2_MiB, 1_MiB, 0.90, R, 0.22},          // S
+      {"libquantum", 32_MiB, 64_KiB, 0.05, Q, 0.33},   // T
+      {"h264ref", 2_MiB, 1_MiB, 0.85, Q, 0.30},        // S/M
+      {"omnetpp", 12_MiB, 8_MiB, 0.90, R, 0.35},       // R, high CWSS/WSS
+      {"astar", 10_MiB, 7_MiB, 0.90, R, 0.33},         // R, high CWSS/WSS
+      {"xalancbmk", 6_MiB, 3_MiB, 0.80, R, 0.32},      // M
+      {"milc", 24_MiB, 2_MiB, 0.30, Q, 0.35},          // T-ish
+      {"namd", 1_MiB, 512_KiB, 0.90, R, 0.25},         // S
+      {"soplex", 16_MiB, 6_MiB, 0.75, R, 0.38},        // R
+      {"povray", 512_KiB, 256_KiB, 0.95, R, 0.20},     // S
+      {"lbm", 60_MiB, 64_KiB, 0.02, Q, 0.40},          // T
+      {"sphinx3", 8_MiB, 4_MiB, 0.80, R, 0.33},        // R
+      {"GemsFDTD", 24_MiB, 1_MiB, 0.20, Q, 0.38},      // T
+      {"leslie3d", 20_MiB, 2_MiB, 0.30, Q, 0.36},      // T-ish
+  };
+}
+
+SpecProxyParams SpecParamsByName(const std::string& name) {
+  const auto roster = SpecCpu2006Roster();
+  const auto it = std::find_if(roster.begin(), roster.end(),
+                               [&name](const SpecProxyParams& p) { return p.name == name; });
+  if (it == roster.end()) {
+    std::fprintf(stderr, "SpecParamsByName: unknown benchmark '%s'\n", name.c_str());
+    std::abort();
+  }
+  return *it;
+}
+
+}  // namespace dcat

@@ -1,0 +1,74 @@
+// Synthetic SPEC CPU2006 proxies.
+//
+// The paper evaluates 20 (single-threaded) SPEC CPU2006 subtests whose cache
+// behaviour spans the design space: small working sets (cache-insensitive
+// donors), high-reuse medium/large working sets (dCat's receivers — e.g.
+// omnetpp, astar with high CWSS/WSS ratio), and streaming codes (lbm,
+// libquantum). SPEC itself is proprietary, so each subtest is replaced by a
+// parameterized proxy with the working-set size and reuse characteristics
+// reported in the characterization studies the paper cites (Jaleel 2007,
+// Gove 2007). The parameters are not calibrated to cycle accuracy; they
+// preserve each benchmark's qualitative class, which is what Fig. 17 and
+// Table 3 exercise.
+#ifndef SRC_WORKLOADS_SPEC_SUITE_H_
+#define SRC_WORKLOADS_SPEC_SUITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+namespace dcat {
+
+enum class AccessPattern {
+  kRandom,      // uniform random over the region
+  kSequential,  // streaming scan, wraps around
+};
+
+struct SpecProxyParams {
+  std::string name;
+  // Total working-set size (bytes) and the hot "core working set" the
+  // benchmark re-references frequently (CWSS in the paper's terminology).
+  uint64_t wss_bytes = 0;
+  uint64_t cwss_bytes = 0;
+  // Probability an access lands in the hot region (reuse intensity).
+  double hot_probability = 0.8;
+  AccessPattern cold_pattern = AccessPattern::kRandom;
+  // Memory accesses per instruction (l1_ref/ret_ins signature).
+  double mem_per_instruction = 0.3;
+};
+
+class SpecProxyWorkload : public Workload {
+ public:
+  SpecProxyWorkload(SpecProxyParams params, uint64_t seed = 1);
+
+  const SpecProxyParams& params() const { return params_; }
+
+  std::string name() const override { return params_.name; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+
+  // Application progress: iterations completed (inverse of SPEC run time).
+  uint64_t iterations() const { return iterations_; }
+  void ResetMetrics() override { iterations_ = 0; }
+
+ private:
+  SpecProxyParams params_;
+  Rng rng_;
+  uint64_t stream_cursor_ = 0;
+  uint64_t iterations_ = 0;
+  uint64_t compute_per_access_ = 1;
+};
+
+// The 20-benchmark roster used by bench_fig17_spec_suite. Parameters encode
+// published working-set/reuse classes; see the table in spec_suite.cc.
+std::vector<SpecProxyParams> SpecCpu2006Roster();
+
+// Finds a roster entry by name; aborts if absent (programming error).
+SpecProxyParams SpecParamsByName(const std::string& name);
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_SPEC_SUITE_H_

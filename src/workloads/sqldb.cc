@@ -1,0 +1,65 @@
+#include "src/workloads/sqldb.h"
+
+namespace dcat {
+
+SqlDbWorkload::SqlDbWorkload(SqlDbParams params, uint64_t seed) : params_(params), rng_(seed) {
+  // Build the level map top-down: leaves hold `fanout` tuples each, inner
+  // nodes hold `fanout` children. Stop when one node suffices.
+  std::vector<uint64_t> nodes_per_level;  // leaf-first
+  uint64_t nodes = (params_.num_tuples + params_.btree_fanout - 1) / params_.btree_fanout;
+  nodes_per_level.push_back(nodes);
+  while (nodes > 1) {
+    nodes = (nodes + params_.btree_fanout - 1) / params_.btree_fanout;
+    nodes_per_level.push_back(nodes);
+  }
+  // Lay out root-first in the address space so hot levels are compact.
+  uint64_t base = 0;
+  for (auto it = nodes_per_level.rbegin(); it != nodes_per_level.rend(); ++it) {
+    level_base_.push_back(base);
+    level_nodes_.push_back(*it);
+    base += *it * params_.node_bytes;
+  }
+  heap_base_ = base;
+}
+
+void SqlDbWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  const uint64_t mem_per_txn =
+      static_cast<uint64_t>(level_base_.size()) * params_.lines_touched_per_node + 2;
+  const uint64_t per_txn = mem_per_txn + params_.compute_per_txn;
+  const uint64_t n = instructions / per_txn;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t tuple = rng_.Below(params_.num_tuples);
+    double cycles = 0.0;
+    // Walk the index: at level l the node visited is tuple's ancestor.
+    uint64_t divisor = 1;
+    for (size_t l = level_base_.size(); l-- > 0;) {
+      // ancestor index at this level (leaf level l = size-1 has divisor fanout)
+      divisor *= params_.btree_fanout;
+      const uint64_t node = tuple / divisor >= level_nodes_[l] ? level_nodes_[l] - 1
+                                                               : tuple / divisor;
+      const uint64_t node_addr =
+          level_base_[l] + node * params_.node_bytes;
+      for (uint32_t line = 0; line < params_.lines_touched_per_node; ++line) {
+        // Binary search touches scattered lines within the node.
+        const uint64_t offset = ((line * 37) % (params_.node_bytes / 64)) * 64;
+        cycles += ctx.Read(node_addr + offset);
+      }
+    }
+    // Heap fetch: the tuple itself (two lines for a 128B tuple).
+    const uint64_t tuple_addr = heap_base_ + tuple * params_.tuple_bytes;
+    cycles += ctx.Read(tuple_addr);
+    cycles += ctx.Read(tuple_addr + 64);
+    ctx.Compute(params_.compute_per_txn);
+    cycles += 0.25 * static_cast<double>(params_.compute_per_txn);
+    latency_.Add(cycles);
+    ++transactions_;
+  }
+}
+
+void SqlDbWorkload::ResetMetrics() {
+  transactions_ = 0;
+  latency_ = PercentileTracker();
+}
+
+}  // namespace dcat

@@ -1,0 +1,132 @@
+#include "src/workloads/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/log.h"
+
+namespace dcat {
+
+bool ParseTrace(const std::string& text, std::vector<TraceRecord>* out, std::string* error) {
+  out->clear();
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    const char kind = line[pos];
+    const char* rest = line.c_str() + pos + 1;
+    char* end = nullptr;
+    const uint64_t value = std::strtoull(rest, &end, 0);  // base 0: dec or 0x-hex
+    if (end == rest) {
+      *error = "line " + std::to_string(line_number) + ": missing operand";
+      return false;
+    }
+    TraceRecord record;
+    record.value = value;
+    switch (kind) {
+      case 'R':
+      case 'r':
+        record.kind = TraceRecord::Kind::kRead;
+        break;
+      case 'W':
+      case 'w':
+        record.kind = TraceRecord::Kind::kWrite;
+        break;
+      case 'C':
+      case 'c':
+        record.kind = TraceRecord::Kind::kCompute;
+        if (value == 0) {
+          *error = "line " + std::to_string(line_number) + ": compute count must be positive";
+          return false;
+        }
+        break;
+      default:
+        *error = "line " + std::to_string(line_number) + ": unknown record '" +
+                 std::string(1, kind) + "'";
+        return false;
+    }
+    out->push_back(record);
+  }
+  if (out->empty()) {
+    *error = "trace contains no records";
+    return false;
+  }
+  return true;
+}
+
+TraceWorkload::TraceWorkload(std::string name, std::vector<TraceRecord> records, uint32_t vcpus)
+    : name_(std::move(name)), records_(std::move(records)), vcpus_(vcpus == 0 ? 1 : vcpus) {
+  for (const TraceRecord& r : records_) {
+    instructions_per_pass_ += r.kind == TraceRecord::Kind::kCompute ? r.value : 1;
+  }
+  cursor_.resize(vcpus_);
+  compute_residual_.resize(vcpus_, 0);
+  for (uint32_t v = 0; v < vcpus_; ++v) {
+    cursor_[v] = records_.size() * v / vcpus_;  // spread start offsets
+  }
+}
+
+std::unique_ptr<TraceWorkload> TraceWorkload::FromFile(const std::string& path, uint32_t vcpus) {
+  std::ifstream in(path);
+  if (!in) {
+    DCAT_LOG(kError) << "trace file '" << path << "' not readable";
+    return nullptr;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::vector<TraceRecord> records;
+  std::string error;
+  if (!ParseTrace(text, &records, &error)) {
+    DCAT_LOG(kError) << "trace file '" << path << "': " << error;
+    return nullptr;
+  }
+  return std::make_unique<TraceWorkload>(path, std::move(records), vcpus);
+}
+
+void TraceWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
+  size_t& cursor = cursor_.at(vcpu);
+  uint64_t& residual = compute_residual_.at(vcpu);
+  uint64_t remaining = instructions;
+  while (remaining > 0) {
+    const TraceRecord& r = records_[cursor];
+    switch (r.kind) {
+      case TraceRecord::Kind::kRead:
+        ctx.Read(r.value);
+        --remaining;
+        break;
+      case TraceRecord::Kind::kWrite:
+        ctx.Write(r.value);
+        --remaining;
+        break;
+      case TraceRecord::Kind::kCompute: {
+        // A big compute block may span scheduling quanta; remember how far
+        // into it this vCPU got.
+        const uint64_t left = r.value - residual;
+        const uint64_t n = left < remaining ? left : remaining;
+        ctx.Compute(n);
+        remaining -= n;
+        residual += n;
+        if (residual < r.value) {
+          return;  // quantum ended mid-block; resume here next time
+        }
+        residual = 0;
+        break;
+      }
+    }
+    if (++cursor == records_.size()) {
+      cursor = 0;
+      ++passes_;
+    }
+  }
+}
+
+}  // namespace dcat

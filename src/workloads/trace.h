@@ -1,0 +1,66 @@
+// Trace-replay workload.
+//
+// Replays a memory-access trace captured elsewhere (e.g. with Pin or perf
+// mem) so real application behaviour can be pushed through the simulator
+// and the controller. Text format, one record per line:
+//
+//     R <vaddr>     read at virtual address (decimal or 0x-hex)
+//     W <vaddr>     write at virtual address
+//     C <count>     <count> non-memory instructions
+//     # comment
+//
+// The trace is replayed cyclically — a finite capture stands in for a
+// steady-state workload. Multi-vCPU replay shares the trace; each vCPU
+// starts at an offset stride so the cores do not run in lockstep.
+#ifndef SRC_WORKLOADS_TRACE_H_
+#define SRC_WORKLOADS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace dcat {
+
+struct TraceRecord {
+  enum class Kind : uint8_t { kRead, kWrite, kCompute };
+  Kind kind = Kind::kRead;
+  uint64_t value = 0;  // address for R/W, instruction count for C
+};
+
+// Parses trace text; returns false and sets `error` on the first bad line.
+bool ParseTrace(const std::string& text, std::vector<TraceRecord>* out, std::string* error);
+
+class TraceWorkload : public Workload {
+ public:
+  TraceWorkload(std::string name, std::vector<TraceRecord> records, uint32_t vcpus = 1);
+
+  // Loads from a file; returns nullptr and logs on failure.
+  static std::unique_ptr<TraceWorkload> FromFile(const std::string& path, uint32_t vcpus = 1);
+
+  std::string name() const override { return name_; }
+  uint32_t num_vcpus() const override { return vcpus_; }
+  void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+
+  size_t trace_length() const { return records_.size(); }
+  // Total instructions one full pass of the trace retires.
+  uint64_t instructions_per_pass() const { return instructions_per_pass_; }
+  // Completed full passes across all vCPUs (application progress metric).
+  uint64_t passes() const { return passes_; }
+  void ResetMetrics() override { passes_ = 0; }
+
+ private:
+  std::string name_;
+  std::vector<TraceRecord> records_;
+  uint32_t vcpus_;
+  uint64_t instructions_per_pass_ = 0;
+  std::vector<size_t> cursor_;  // per-vCPU position in the trace
+  std::vector<uint64_t> compute_residual_;  // progress within a compute block
+  uint64_t passes_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_TRACE_H_

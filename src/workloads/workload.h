@@ -1,0 +1,40 @@
+// Workload interface for the socket simulator.
+//
+// A workload is what a tenant runs inside a VM: it issues virtual-address
+// memory accesses and compute instructions against an ExecutionContext.
+// Workloads are black boxes to the dCat controller — the controller sees
+// only perf counters — but they expose application-level metrics (latency,
+// throughput) to the experiment harness, mirroring how the paper measures
+// "from the application side".
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/execution_context.h"
+
+namespace dcat {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Number of vCPUs the workload wants; the harness provides one
+  // ExecutionContext per vCPU, all sharing the VM's page table.
+  virtual uint32_t num_vcpus() const { return 1; }
+
+  // Runs approximately `instructions` instructions of vCPU `vcpu`.
+  // Implementations should come close; exactness is not required (the
+  // harness drives cores by cycle budget, not instruction quota).
+  virtual void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) = 0;
+
+  // Clears application-level metrics (not the simulated state).
+  virtual void ResetMetrics() {}
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,46 @@
+#include "src/workloads/zipf.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcat {
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n == 0) {
+    std::fprintf(stderr, "ZipfGenerator: n must be positive\n");
+    std::abort();
+  }
+  zeta_n_ = Zeta(n, theta);
+  zeta_theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta_theta_ / zeta_n_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double k = static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(k);
+  if (result >= n_) {
+    result = n_ - 1;
+  }
+  return result;
+}
+
+}  // namespace dcat

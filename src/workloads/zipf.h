@@ -1,0 +1,40 @@
+// Zipfian distribution generator (YCSB-style).
+//
+// Used by the cloud application models: key popularity in the Redis-like
+// store follows a Zipf distribution, which is what gives a larger cache
+// allocation its value (the hot set fits).
+#ifndef SRC_WORKLOADS_ZIPF_H_
+#define SRC_WORKLOADS_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace dcat {
+
+// Draws values in [0, n) with P(k) proportional to 1/(k+1)^theta.
+// Implementation follows Gray et al. ("Quickly generating billion-record
+// synthetic databases"), the same algorithm YCSB uses.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zeta_n_;
+  double eta_;
+  double zeta_theta_;  // zeta(2, theta)
+};
+
+}  // namespace dcat
+
+#endif  // SRC_WORKLOADS_ZIPF_H_

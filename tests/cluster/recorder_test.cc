@@ -1,0 +1,93 @@
+#include "src/cluster/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dcat {
+namespace {
+
+VmIntervalStats MakeStats(TenantId id, uint32_t ways, double ipc) {
+  VmIntervalStats s;
+  s.id = id;
+  s.ways = ways;
+  s.sample.delta.retired_instructions = 1000;
+  s.sample.delta.unhalted_cycles = ipc > 0 ? 1000.0 / ipc : 0.0;
+  return s;
+}
+
+TEST(RecorderTest, EmptySeries) {
+  Recorder r;
+  EXPECT_TRUE(r.series(1).empty());
+  EXPECT_TRUE(r.tenants().empty());
+  EXPECT_EQ(r.FinalWays(1), 0u);
+  EXPECT_EQ(r.AvgIpc(1, 0, 100), 0.0);
+}
+
+TEST(RecorderTest, RecordAppendsPoints) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(1, 3, 0.5), MakeStats(2, 1, 3.0)});
+  r.Record(2.0, {MakeStats(1, 4, 0.6), MakeStats(2, 1, 3.0)});
+  EXPECT_EQ(r.series(1).size(), 2u);
+  EXPECT_EQ(r.series(2).size(), 2u);
+  EXPECT_EQ(r.tenants().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.series(1)[1].t, 2.0);
+  EXPECT_EQ(r.series(1)[1].ways, 4u);
+}
+
+TEST(RecorderTest, FinalAndPeakWays) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(1, 3, 0.5)});
+  r.Record(2.0, {MakeStats(1, 9, 0.9)});
+  r.Record(3.0, {MakeStats(1, 5, 0.7)});
+  EXPECT_EQ(r.FinalWays(1), 5u);
+  EXPECT_EQ(r.PeakWays(1), 9u);
+}
+
+TEST(RecorderTest, AvgIpcOverWindow) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(1, 3, 0.4)});
+  r.Record(2.0, {MakeStats(1, 3, 0.6)});
+  r.Record(3.0, {MakeStats(1, 3, 1.0)});
+  EXPECT_NEAR(r.AvgIpc(1, 1.0, 3.0), 0.5, 1e-9);   // excludes t=3
+  EXPECT_NEAR(r.AvgIpc(1, 0.0, 10.0), 2.0 / 3.0, 1e-9);
+}
+
+TEST(RecorderTest, TimelineTableRendersNamesAndNormalization) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(1, 3, 0.5)});
+  r.Record(2.0, {MakeStats(1, 4, 1.0)});
+  const std::string s = r.TimelineTable({{1, "mlr"}}, {{1, 0.5}});
+  EXPECT_NE(s.find("mlr.ways"), std::string::npos);
+  EXPECT_NE(s.find("mlr.normIPC"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);  // 1.0 / 0.5 normalized
+}
+
+TEST(RecorderTest, TimelineTableWithoutBaseShowsRawIpc) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(1, 3, 0.5)});
+  const std::string s = r.TimelineTable({{1, "vm"}});
+  EXPECT_NE(s.find("vm.IPC"), std::string::npos);
+}
+
+TEST(RecorderTest, CsvIsLongFormat) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(1, 3, 0.5), MakeStats(2, 1, 3.0)});
+  r.Record(2.0, {MakeStats(1, 4, 0.6), MakeStats(2, 1, 3.0)});
+  const std::string csv = r.ToCsv();
+  EXPECT_NE(csv.find("tenant,t,ways,ipc,llc_miss_rate\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,1.00,3,0.5000"), std::string::npos);
+  EXPECT_NE(csv.find("2,2.00,1,3.0000"), std::string::npos);
+  // header + 4 data rows.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+}
+
+TEST(RecorderTest, UnnamedTenantsGetDefaultLabels) {
+  Recorder r;
+  r.Record(1.0, {MakeStats(9, 1, 0.1)});
+  const std::string s = r.TimelineTable({});
+  EXPECT_NE(s.find("vm9.ways"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcat

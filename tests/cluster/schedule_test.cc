@@ -1,0 +1,104 @@
+#include "src/cluster/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/log.h"
+#include "src/common/units.h"
+#include "src/workloads/microbench.h"
+
+namespace dcat {
+namespace {
+
+TEST(ScheduleParseTest, EmptyIsValidAndEmpty) {
+  const ScheduleParseResult r = ParseSchedule("");
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.events.empty());
+}
+
+TEST(ScheduleParseTest, ParsesSingleEvent) {
+  const ScheduleParseResult r = ParseSchedule("10:1=mlr:8M");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].interval, 10u);
+  EXPECT_EQ(r.events[0].tenant, 1u);
+  EXPECT_EQ(r.events[0].workload_spec, "mlr:8M");
+}
+
+TEST(ScheduleParseTest, ParsesAndSortsMultipleEvents) {
+  const ScheduleParseResult r = ParseSchedule("20:2=redis,5:1=idle,10:1=mlr:4M");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[0].interval, 5u);
+  EXPECT_EQ(r.events[1].interval, 10u);
+  EXPECT_EQ(r.events[2].interval, 20u);
+}
+
+TEST(ScheduleParseTest, SpecMayContainColons) {
+  // The workload spec's own colon (mlr:8M) must not confuse the parser.
+  const ScheduleParseResult r = ParseSchedule("3:7=spec:omnetpp");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.events[0].workload_spec, "spec:omnetpp");
+}
+
+TEST(ScheduleParseTest, RejectsMalformedItems) {
+  EXPECT_FALSE(ParseSchedule("banana").ok);
+  EXPECT_FALSE(ParseSchedule("10=mlr:8M").ok);       // missing tenant
+  EXPECT_FALSE(ParseSchedule("10:0=mlr:8M").ok);     // tenant 0 invalid
+  EXPECT_FALSE(ParseSchedule("x:1=mlr:8M").ok);      // bad interval
+  EXPECT_FALSE(ParseSchedule("10:1=").ok);           // empty spec
+  EXPECT_FALSE(ParseSchedule("10:1x=mlr").ok);       // trailing junk
+}
+
+HostConfig SmallHost() {
+  HostConfig config;
+  config.socket.num_cores = 4;
+  config.socket.llc_geometry = MakeGeometry(4_MiB, 8);
+  config.mode = ManagerMode::kDcat;
+  config.cycles_per_interval = 2e6;
+  return config;
+}
+
+TEST(ScheduleRunnerTest, FiresEventsAtTheirIntervals) {
+  SetLogLevel(LogLevel::kOff);
+  Host host(SmallHost());
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<IdleWorkload>());
+
+  ScheduleRunner runner(ParseSchedule("2:1=lookbusy").events);
+  EXPECT_EQ(runner.Fire(0, host), 0);
+  EXPECT_EQ(runner.Fire(1, host), 0);
+  host.Step();
+  EXPECT_EQ(host.socket().core(0).counters().retired_instructions, 0u);  // still idle
+  EXPECT_EQ(runner.Fire(2, host), 1);
+  host.Step();
+  EXPECT_GT(host.socket().core(0).counters().retired_instructions, 0u);
+  EXPECT_TRUE(runner.done());
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(ScheduleRunnerTest, CatchesUpOnSkippedIntervals) {
+  SetLogLevel(LogLevel::kOff);
+  Host host(SmallHost());
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<IdleWorkload>());
+  ScheduleRunner runner(ParseSchedule("1:1=lookbusy,3:1=idle").events);
+  // Jumping straight to interval 5 fires both pending events in order.
+  EXPECT_EQ(runner.Fire(5, host), 2);
+  EXPECT_TRUE(runner.done());
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(ScheduleRunnerTest, UnknownTenantAndBadSpecAreSkipped) {
+  SetLogLevel(LogLevel::kOff);
+  Host host(SmallHost());
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<IdleWorkload>());
+  ScheduleRunner runner(ParseSchedule("1:9=lookbusy,2:1=bogus").events);
+  EXPECT_EQ(runner.Fire(10, host), 0);  // both skipped, no crash
+  SetLogLevel(LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace dcat

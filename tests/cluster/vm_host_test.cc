@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/host.h"
+#include "src/common/units.h"
+#include "src/workloads/microbench.h"
+
+namespace dcat {
+namespace {
+
+HostConfig SmallHostConfig(ManagerMode mode) {
+  HostConfig config;
+  config.socket.num_cores = 6;
+  config.socket.llc_geometry = MakeGeometry(4_MiB, 8);
+  config.mode = mode;
+  config.cycles_per_interval = 2e6;  // keep unit tests fast
+  return config;
+}
+
+TEST(VmTest, PinsVcpusToDistinctCores) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  Vm& a = host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+                     std::make_unique<LookbusyWorkload>());
+  Vm& b = host.AddVm(VmConfig{.id = 2, .name = "b", .vcpus = 2, .baseline_ways = 2},
+                     std::make_unique<LookbusyWorkload>());
+  EXPECT_EQ(a.cores(), (std::vector<uint16_t>{0, 1}));
+  EXPECT_EQ(b.cores(), (std::vector<uint16_t>{2, 3}));
+}
+
+TEST(VmTest, TenantSpecReflectsConfig) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  Vm& vm = host.AddVm(VmConfig{.id = 7, .name = "x", .vcpus = 2, .baseline_ways = 3},
+                      std::make_unique<LookbusyWorkload>());
+  const TenantSpec spec = vm.tenant_spec();
+  EXPECT_EQ(spec.id, 7u);
+  EXPECT_EQ(spec.baseline_ways, 3u);
+  EXPECT_EQ(spec.cores.size(), 2u);
+}
+
+TEST(VmTest, RunUntilAdvancesAllCoresToTarget) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<MlrWorkload>(64_KiB));  // single-threaded: vCPU 1 idles
+  host.Step();
+  const double target = 2e6;
+  EXPECT_GE(host.socket().core(0).wall_cycles(), target);
+  EXPECT_GE(host.socket().core(1).wall_cycles(), target);
+  // vCPU 1 idles: no instructions retired.
+  EXPECT_EQ(host.socket().core(1).counters().retired_instructions, 0u);
+  EXPECT_GT(host.socket().core(0).counters().retired_instructions, 0u);
+}
+
+TEST(VmTest, ReplaceWorkloadSwitchesExecution) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  Vm& vm = host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+                      std::make_unique<IdleWorkload>());
+  host.Step();
+  EXPECT_EQ(host.socket().core(0).counters().retired_instructions, 0u);
+  vm.ReplaceWorkload(std::make_unique<LookbusyWorkload>());
+  host.Step();
+  EXPECT_GT(host.socket().core(0).counters().retired_instructions, 0u);
+}
+
+TEST(HostTest, StepReturnsPerVmStats) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  host.AddVm(VmConfig{.id = 2, .name = "b", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<MlrWorkload>(1_MiB));
+  const auto stats = host.Step();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].id, 1u);
+  EXPECT_GT(stats[0].sample.ipc(), stats[1].sample.ipc());  // lookbusy is faster
+  EXPECT_GT(stats[1].sample.llc_miss_rate(), 0.0);
+}
+
+TEST(HostTest, IntervalStatsAreDeltasNotCumulative) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  const auto first = host.Step();
+  const auto second = host.Step();
+  // Roughly the same amount of work per interval (not doubling).
+  EXPECT_NEAR(static_cast<double>(second[0].sample.instructions()),
+              static_cast<double>(first[0].sample.instructions()),
+              static_cast<double>(first[0].sample.instructions()) * 0.2);
+}
+
+TEST(HostTest, NowSecondsTracksIntervals) {
+  Host host(SmallHostConfig(ManagerMode::kDcat));
+  EXPECT_DOUBLE_EQ(host.now_seconds(), 0.0);
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  host.Run(3);
+  EXPECT_DOUBLE_EQ(host.now_seconds(), 3.0);
+  EXPECT_EQ(host.intervals(), 3u);
+}
+
+TEST(HostTest, DcatModeExposesController) {
+  Host host(SmallHostConfig(ManagerMode::kDcat));
+  EXPECT_NE(host.dcat(), nullptr);
+  EXPECT_EQ(host.manager().name(), "dcat");
+}
+
+TEST(HostTest, SharedAndStaticModesHaveNoController) {
+  Host shared(SmallHostConfig(ManagerMode::kShared));
+  EXPECT_EQ(shared.dcat(), nullptr);
+  Host fixed(SmallHostConfig(ManagerMode::kStaticCat));
+  EXPECT_EQ(fixed.dcat(), nullptr);
+  EXPECT_EQ(fixed.manager().name(), "static-cat");
+}
+
+TEST(HostTest, StaticModeProgramsBaselineMasks) {
+  Host host(SmallHostConfig(ManagerMode::kStaticCat));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<LookbusyWorkload>());
+  EXPECT_EQ(host.manager().TenantWays(1), 3u);
+  EXPECT_EQ(host.pqos().GetCosMask(1), 0b111u);
+}
+
+TEST(HostTest, OutOfCoresDies) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 4, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  EXPECT_DEATH(host.AddVm(VmConfig{.id = 2, .name = "b", .vcpus = 4, .baseline_ways = 2},
+                          std::make_unique<LookbusyWorkload>()),
+               "out of physical cores");
+}
+
+TEST(HostTest, RemoveVmFreesCoresForReuse) {
+  Host host(SmallHostConfig(ManagerMode::kDcat));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 4, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  host.AddVm(VmConfig{.id = 2, .name = "b", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  host.Run(2);
+  ASSERT_EQ(host.num_vms(), 2u);
+  host.RemoveVm(1);
+  EXPECT_EQ(host.num_vms(), 1u);
+  // 6 cores total; without the freed cores this VM would not fit.
+  Vm& replacement = host.AddVm(VmConfig{.id = 3, .name = "c", .vcpus = 4, .baseline_ways = 2},
+                               std::make_unique<MlrWorkload>(64_KiB));
+  EXPECT_EQ(replacement.cores().size(), 4u);
+  host.Run(2);  // keeps running without assertion failures
+  EXPECT_GT(host.manager().TenantWays(3), 0u);
+}
+
+TEST(HostTest, RemoveUnknownVmIsIgnored) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  host.RemoveVm(42);
+  EXPECT_EQ(host.num_vms(), 1u);
+}
+
+TEST(HostTest, LateArrivalStartsAtCurrentWallClock) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "a", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<LookbusyWorkload>());
+  host.Run(3);
+  Vm& late = host.AddVm(VmConfig{.id = 2, .name = "late", .vcpus = 2, .baseline_ways = 2},
+                        std::make_unique<LookbusyWorkload>());
+  // The late VM's cores were idled forward: they must not replay 3
+  // intervals of missed work in the next step.
+  const auto stats = host.Step();
+  const double target = 4 * 2e6;
+  EXPECT_GE(host.socket().core(late.cores()[0]).wall_cycles(), target);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(stats[1].sample.instructions()),
+              static_cast<double>(stats[0].sample.instructions()),
+              static_cast<double>(stats[0].sample.instructions()) * 0.25);
+}
+
+TEST(HostTest, MemoryBusAdvancesAtIntervalBoundaries) {
+  HostConfig config = SmallHostConfig(ManagerMode::kShared);
+  config.socket.memory_bus.enabled = true;
+  config.socket.memory_bus.bytes_per_cycle = 0.05;  // tiny: easy to load
+  Host host(config);
+  host.AddVm(VmConfig{.id = 1, .name = "stream", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<MloadWorkload>(16_MiB));
+  host.Step();
+  // The streaming VM saturated the bus; the boundary update must have
+  // produced a >1 contention multiplier for the next interval.
+  EXPECT_GT(host.socket().memory_bus().contention_multiplier(), 1.0);
+  EXPECT_GT(host.socket().memory_bus().TotalBytes(0), 0u);
+}
+
+TEST(HostTest, DisabledBusStaysTransparentThroughSteps) {
+  Host host(SmallHostConfig(ManagerMode::kShared));
+  host.AddVm(VmConfig{.id = 1, .name = "stream", .vcpus = 2, .baseline_ways = 2},
+             std::make_unique<MloadWorkload>(16_MiB));
+  host.Run(2);
+  EXPECT_DOUBLE_EQ(host.socket().memory_bus().contention_multiplier(), 1.0);
+}
+
+TEST(HostTest, ManagerModeNames) {
+  EXPECT_STREQ(ManagerModeName(ManagerMode::kShared), "shared");
+  EXPECT_STREQ(ManagerModeName(ManagerMode::kStaticCat), "static-cat");
+  EXPECT_STREQ(ManagerModeName(ManagerMode::kDcat), "dcat");
+}
+
+}  // namespace
+}  // namespace dcat

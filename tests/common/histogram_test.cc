@@ -1,0 +1,88 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+TEST(HistogramTest, StartsEmpty) {
+  Histogram h(4);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.Fraction(0), 0.0);
+  EXPECT_EQ(h.FractionAtLeast(2), 0.0);
+}
+
+TEST(HistogramTest, CountsLandInBuckets) {
+  Histogram h(4);
+  h.Add(0);
+  h.Add(1);
+  h.Add(1);
+  h.Add(2);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OverflowGoesToLastBucket) {
+  Histogram h(3);  // buckets 0, 1, >=2
+  h.Add(2);
+  h.Add(100);
+  EXPECT_EQ(h.bucket(2), 2u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(3);
+  h.Add(1, 10);
+  EXPECT_EQ(h.bucket(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(HistogramTest, FractionSumsToOne) {
+  Histogram h(5);
+  for (uint64_t v = 0; v < 5; ++v) {
+    h.Add(v, v + 1);
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    sum += h.Fraction(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionAtLeastIsCumulative) {
+  Histogram h(10);
+  h.Add(1, 50);
+  h.Add(3, 30);
+  h.Add(5, 20);
+  EXPECT_NEAR(h.FractionAtLeast(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.FractionAtLeast(2), 0.5, 1e-12);
+  EXPECT_NEAR(h.FractionAtLeast(4), 0.2, 1e-12);
+  EXPECT_NEAR(h.FractionAtLeast(6), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionAtLeastClampsToOverflowBucket) {
+  Histogram h(3);
+  h.Add(10);  // lands in >=2
+  EXPECT_NEAR(h.FractionAtLeast(100), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, ToStringContainsEveryBucket) {
+  Histogram h(3);
+  h.Add(0);
+  h.Add(2);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("0:"), std::string::npos);
+  EXPECT_NE(s.find("1:"), std::string::npos);
+  EXPECT_NE(s.find(">=2:"), std::string::npos);
+}
+
+TEST(HistogramTest, MinimumOneBucket) {
+  Histogram h(0);  // clamped to one bucket internally
+  h.Add(5);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,33 @@
+#include "src/common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+TEST(LogTest, LevelRoundTrips) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old_level);
+}
+
+TEST(LogTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  DCAT_LOG(kError) << "this must be swallowed " << 42;
+  DCAT_LOG(kDebug) << "so must this";
+  SetLogLevel(old_level);
+}
+
+TEST(LogTest, StreamingAcceptsMixedTypes) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  DCAT_LOG(kInfo) << "int=" << 1 << " double=" << 2.5 << " str=" << std::string("x");
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,114 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dcat {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownSequenceDeterministically) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  uint64_t s1 = 1;
+  uint64_t s2 = 2;
+  EXPECT_NE(SplitMix64(s1), SplitMix64(s2));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, ReseedRestartsTheStream) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(a.Next());
+  }
+  a.Reseed(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(RngTest, NextDoubleIsInUnitInterval) {
+  Rng rng(314);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(2024);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.Below(kBuckets)];
+  }
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    // Each bucket within 10% of the expected count.
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets / 10);
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(77);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Chance(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ull);
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace dcat

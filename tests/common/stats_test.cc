@@ -1,0 +1,121 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcat {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValuesTrackMinMax) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(2.0);
+  s.Add(-10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.Percentile(0.5), 0.0);
+  EXPECT_EQ(t.Mean(), 0.0);
+}
+
+TEST(PercentileTrackerTest, MedianOfOddCount) {
+  PercentileTracker t;
+  for (double v : {3.0, 1.0, 2.0}) {
+    t.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 2.0);
+}
+
+TEST(PercentileTrackerTest, InterpolatesBetweenOrderStatistics) {
+  PercentileTracker t;
+  t.Add(0.0);
+  t.Add(10.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.25), 2.5);
+}
+
+TEST(PercentileTrackerTest, ExtremesAreMinAndMax) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) {
+    t.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 100.0);
+}
+
+TEST(PercentileTrackerTest, P99OnUniformRamp) {
+  PercentileTracker t;
+  for (int i = 0; i < 1000; ++i) {
+    t.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(t.Percentile(0.99), 989.0, 1.0);
+}
+
+TEST(PercentileTrackerTest, ClampsOutOfRangeQuantiles) {
+  PercentileTracker t;
+  t.Add(1.0);
+  t.Add(2.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.5), 2.0);
+}
+
+TEST(PercentileTrackerTest, MeanMatchesArithmeticMean) {
+  PercentileTracker t;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    t.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(t.Mean(), 2.5);
+}
+
+TEST(GeometricMeanTest, EmptyIsZero) { EXPECT_EQ(GeometricMean({}), 0.0); }
+
+TEST(GeometricMeanTest, SingleValue) { EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0); }
+
+TEST(GeometricMeanTest, KnownValue) {
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMeanTest, IsInvariantToOrder) {
+  EXPECT_DOUBLE_EQ(GeometricMean({1.0, 2.0, 3.0}), GeometricMean({3.0, 1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,64 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+TEST(TextTableTest, HeaderOnly) {
+  TextTable t({"a", "bb"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("--"), std::string::npos);
+}
+
+TEST(TextTableTest, RowsAreRendered) {
+  TextTable t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"y", "2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  const std::string s = t.ToString();
+  // Renders without crashing; the row has trailing empty cells.
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"h", "col"});
+  t.AddRow({"longvalue", "x"});
+  const std::string s = t.ToString();
+  // Header cell is padded to the row value width: find "h        " (9 wide).
+  EXPECT_NE(s.find("h        "), std::string::npos);
+}
+
+TEST(TextTableTest, CsvUsesCommas) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, FmtRoundsToPrecision) {
+  EXPECT_EQ(TextTable::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Fmt(2.0, 0), "2");
+}
+
+TEST(TextTableTest, FmtIntHandlesNegatives) {
+  EXPECT_EQ(TextTable::FmtInt(-42), "-42");
+  EXPECT_EQ(TextTable::FmtInt(0), "0");
+}
+
+TEST(TextTableTest, FmtPercentScalesFractions) {
+  EXPECT_EQ(TextTable::FmtPercent(0.256, 1), "25.6%");
+  EXPECT_EQ(TextTable::FmtPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace dcat

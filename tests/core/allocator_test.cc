@@ -1,0 +1,133 @@
+#include "src/core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pqos/mask.h"
+
+namespace dcat {
+namespace {
+
+TEST(SolveMaxPerformanceTest, EmptyInput) {
+  EXPECT_TRUE(SolveMaxPerformance({}, 10).empty());
+}
+
+TEST(SolveMaxPerformanceTest, SingleWorkloadPicksBestAffordable) {
+  TableChoices w;
+  w.options = {{2, 1.0}, {4, 1.5}, {8, 2.0}};
+  EXPECT_EQ(SolveMaxPerformance({w}, 10), (std::vector<uint32_t>{8}));
+  EXPECT_EQ(SolveMaxPerformance({w}, 5), (std::vector<uint32_t>{4}));
+  EXPECT_EQ(SolveMaxPerformance({w}, 2), (std::vector<uint32_t>{2}));
+}
+
+TEST(SolveMaxPerformanceTest, InfeasibleBudgetReturnsEmpty) {
+  TableChoices w;
+  w.options = {{4, 1.0}};
+  EXPECT_TRUE(SolveMaxPerformance({w}, 3).empty());
+}
+
+TEST(SolveMaxPerformanceTest, PaperWorkedExample) {
+  // §3.5: 10 ways total; C reclaims 2, leaving 8 for A and B.
+  //   A: (2:1), (3:1.05), (4:1.08), (5:1.12)
+  //   B: (2:1), (3:1.1), (4:1.2), (5:1.25)
+  // Optimum: A=3, B=5 with total 1.05 + 1.25 = 2.3.
+  TableChoices a;
+  a.options = {{2, 1.0}, {3, 1.05}, {4, 1.08}, {5, 1.12}};
+  TableChoices b;
+  b.options = {{2, 1.0}, {3, 1.1}, {4, 1.2}, {5, 1.25}};
+  const auto solution = SolveMaxPerformance({a, b}, 8);
+  ASSERT_EQ(solution.size(), 2u);
+  EXPECT_EQ(solution[0], 3u);
+  EXPECT_EQ(solution[1], 5u);
+}
+
+TEST(SolveMaxPerformanceTest, SymmetricWorkloadsSplitEvenly) {
+  TableChoices w;
+  // Concave curve: even split maximizes the sum.
+  w.options = {{1, 1.0}, {2, 1.5}, {3, 1.8}, {4, 1.9}};
+  const auto solution = SolveMaxPerformance({w, w}, 6);
+  ASSERT_EQ(solution.size(), 2u);
+  EXPECT_EQ(solution[0] + solution[1], 6u);
+  EXPECT_EQ(solution[0], 3u);
+  EXPECT_EQ(solution[1], 3u);
+}
+
+TEST(SolveMaxPerformanceTest, SkewedBenefitConcentratesWays) {
+  TableChoices flat;
+  flat.options = {{1, 1.0}, {2, 1.01}, {3, 1.02}};
+  TableChoices steep;
+  steep.options = {{1, 1.0}, {2, 1.5}, {3, 2.0}};
+  const auto solution = SolveMaxPerformance({flat, steep}, 4);
+  ASSERT_EQ(solution.size(), 2u);
+  EXPECT_EQ(solution[0], 1u);
+  EXPECT_EQ(solution[1], 3u);
+}
+
+TEST(SolveMaxPerformanceTest, UsesAtMostBudget) {
+  TableChoices w;
+  w.options = {{1, 1.0}, {5, 1.001}};
+  const auto solution = SolveMaxPerformance({w, w, w}, 7);
+  ASSERT_EQ(solution.size(), 3u);
+  uint32_t total = 0;
+  for (uint32_t v : solution) {
+    total += v;
+  }
+  EXPECT_LE(total, 7u);
+}
+
+TEST(SolveMaxPerformanceTest, ThreeWorkloadsExactOptimum) {
+  TableChoices a;
+  a.options = {{1, 0.5}, {2, 1.0}, {3, 1.4}};
+  TableChoices b;
+  b.options = {{1, 0.8}, {2, 1.0}, {3, 1.1}};
+  TableChoices c;
+  c.options = {{1, 0.9}, {2, 1.0}};
+  // Budget 6: best is a=3 (1.4) + b=1 (0.8)... enumerate: candidates
+  // a3b1c2=1.4+0.8+1.0=3.2; a3b2c1=1.4+1.0+0.9=3.3; a2b2c2=1.0+1.0+1.0=3.0.
+  const auto solution = SolveMaxPerformance({a, b, c}, 6);
+  ASSERT_EQ(solution.size(), 3u);
+  EXPECT_EQ(solution[0], 3u);
+  EXPECT_EQ(solution[1], 2u);
+  EXPECT_EQ(solution[2], 1u);
+}
+
+// --- LayoutMasks ---
+
+TEST(LayoutMasksTest, ProducesContiguousNonOverlappingMasks) {
+  const auto masks = LayoutMasks({3, 1, 4}, 20);
+  ASSERT_EQ(masks.size(), 3u);
+  EXPECT_EQ(masks[0], MakeWayMask(0, 3));
+  EXPECT_EQ(masks[1], MakeWayMask(3, 1));
+  EXPECT_EQ(masks[2], MakeWayMask(4, 4));
+  // Pairwise disjoint.
+  EXPECT_EQ(masks[0] & masks[1], 0u);
+  EXPECT_EQ(masks[0] & masks[2], 0u);
+  EXPECT_EQ(masks[1] & masks[2], 0u);
+}
+
+TEST(LayoutMasksTest, AllMasksContiguous) {
+  for (const auto& masks : {LayoutMasks({1, 1, 1}, 20), LayoutMasks({5, 10, 5}, 20)}) {
+    for (uint32_t m : masks) {
+      EXPECT_TRUE(IsContiguousMask(m));
+    }
+  }
+}
+
+TEST(LayoutMasksTest, ExactFitUsesAllWays) {
+  const auto masks = LayoutMasks({10, 10}, 20);
+  EXPECT_EQ(masks[0] | masks[1], 0xfffffu);
+}
+
+TEST(LayoutMasksTest, EmptyInput) {
+  EXPECT_TRUE(LayoutMasks({}, 20).empty());
+}
+
+TEST(LayoutMasksTest, DiesOnOversubscription) {
+  EXPECT_DEATH(LayoutMasks({15, 10}, 20), "available");
+}
+
+TEST(LayoutMasksTest, DiesOnZeroWays) {
+  EXPECT_DEATH(LayoutMasks({3, 0}, 20), "zero-way");
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,115 @@
+#include "src/core/baseline_managers.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pqos/mask.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+TEST(SharedCacheManagerTest, AllCoresStayInCosZeroWithFullMask) {
+  FakePqos pqos(20, 16, 18);
+  SharedCacheManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0, 1}, .baseline_ways = 3});
+  manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {2, 3}, .baseline_ways = 3});
+  for (uint16_t core : {0, 1, 2, 3}) {
+    EXPECT_EQ(pqos.GetCoreAssociation(core), 0);
+  }
+  EXPECT_EQ(pqos.GetCosMask(0), MakeWayMask(0, 20));
+  EXPECT_EQ(manager.TenantWays(1), 20u);
+  EXPECT_EQ(manager.TenantWays(2), 20u);
+  manager.Tick();  // no-op, must not crash
+  EXPECT_EQ(manager.name(), "shared");
+}
+
+TEST(StaticCatManagerTest, AssignsFixedContiguousSegments) {
+  FakePqos pqos(20, 16, 18);
+  StaticCatManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0, 1}, .baseline_ways = 6});
+  manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {2}, .baseline_ways = 4});
+  EXPECT_EQ(pqos.GetCosMask(1), MakeWayMask(0, 6));
+  EXPECT_EQ(pqos.GetCosMask(2), MakeWayMask(6, 4));
+  EXPECT_EQ(pqos.GetCoreAssociation(0), 1);
+  EXPECT_EQ(pqos.GetCoreAssociation(1), 1);
+  EXPECT_EQ(pqos.GetCoreAssociation(2), 2);
+  EXPECT_EQ(manager.TenantWays(1), 6u);
+  EXPECT_EQ(manager.TenantWays(2), 4u);
+}
+
+TEST(StaticCatManagerTest, TicksNeverChangeAllocations) {
+  FakePqos pqos(20, 16, 18);
+  StaticCatManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 5});
+  const int calls = pqos.set_mask_calls();
+  for (int i = 0; i < 10; ++i) {
+    manager.Tick();
+  }
+  EXPECT_EQ(pqos.set_mask_calls(), calls);
+  EXPECT_EQ(manager.TenantWays(1), 5u);
+}
+
+TEST(StaticCatManagerTest, UnknownTenantHasZeroWays) {
+  FakePqos pqos(20, 16, 18);
+  StaticCatManager manager(&pqos);
+  EXPECT_EQ(manager.TenantWays(42), 0u);
+}
+
+TEST(StaticCatManagerTest, RemovedSegmentIsReusedFirstFit) {
+  FakePqos pqos(/*num_ways=*/8, 16, 18);
+  StaticCatManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 4});
+  manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 4});
+  // The LLC is fully allocated; without segment reuse this admission dies.
+  manager.RemoveTenant(1);
+  EXPECT_EQ(manager.TenantWays(1), 0u);
+  manager.AddTenant(TenantSpec{.id = 3, .name = "c", .cores = {2}, .baseline_ways = 4});
+  EXPECT_EQ(manager.TenantWays(3), 4u);
+  EXPECT_EQ(pqos.GetCosMask(pqos.GetCoreAssociation(2)), MakeWayMask(0, 4));
+}
+
+TEST(StaticCatManagerTest, SmallerTenantFitsInLargerHole) {
+  FakePqos pqos(/*num_ways=*/8, 16, 18);
+  StaticCatManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 5});
+  manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 3});
+  manager.RemoveTenant(1);
+  manager.AddTenant(TenantSpec{.id = 3, .name = "c", .cores = {2}, .baseline_ways = 2});
+  EXPECT_EQ(manager.TenantWays(3), 2u);
+}
+
+TEST(StaticCatManagerTest, RemoveUnknownTenantIsIgnored) {
+  FakePqos pqos(20, 16, 18);
+  StaticCatManager manager(&pqos);
+  manager.RemoveTenant(5);  // no crash
+  EXPECT_EQ(manager.TenantWays(5), 0u);
+}
+
+TEST(SharedCacheManagerTest, RemoveTenantIsANoOp) {
+  FakePqos pqos(20, 16, 18);
+  SharedCacheManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 3});
+  manager.RemoveTenant(1);
+  EXPECT_EQ(manager.TenantWays(1), 20u);  // shared: everyone sees everything
+}
+
+TEST(StaticCatManagerTest, DiesOnWayOversubscription) {
+  FakePqos pqos(/*num_ways=*/8, 16, 18);
+  StaticCatManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 6});
+  EXPECT_DEATH(
+      manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 3}),
+      "oversubscribed");
+}
+
+TEST(StaticCatManagerTest, DiesWhenOutOfCos) {
+  FakePqos pqos(20, /*num_cos=*/2, 18);
+  StaticCatManager manager(&pqos);
+  manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 1});
+  EXPECT_DEATH(
+      manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 1}),
+      "COS");
+}
+
+}  // namespace
+}  // namespace dcat

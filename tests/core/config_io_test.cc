@@ -1,0 +1,141 @@
+#include "src/core/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dcat {
+namespace {
+
+TEST(ConfigIoTest, EmptyTextYieldsDefaults) {
+  const ConfigParseResult result = ParseDcatConfig("");
+  ASSERT_TRUE(result.ok) << result.error;
+  const DcatConfig defaults;
+  EXPECT_DOUBLE_EQ(result.config.llc_miss_rate_thr, defaults.llc_miss_rate_thr);
+  EXPECT_DOUBLE_EQ(result.config.ipc_improvement_thr, defaults.ipc_improvement_thr);
+  EXPECT_EQ(result.config.policy, defaults.policy);
+}
+
+TEST(ConfigIoTest, ParsesAllKeys) {
+  const ConfigParseResult result = ParseDcatConfig(
+      "llc_ref_per_kilo_instruction_thr = 2.5\n"
+      "llc_miss_rate_thr = 0.05\n"
+      "ipc_improvement_thr = 0.08\n"
+      "phase_change_thr = 0.2\n"
+      "idle_mem_per_ins_epsilon = 0.002\n"
+      "min_instructions_per_interval = 5000\n"
+      "policy = max-performance\n"
+      "streaming_multiplier = 4\n"
+      "min_ways = 2\n"
+      "donor_shrink_fraction = 1.0\n"
+      "interval_seconds = 2.5\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_DOUBLE_EQ(result.config.llc_ref_per_kilo_instruction_thr, 2.5);
+  EXPECT_DOUBLE_EQ(result.config.llc_miss_rate_thr, 0.05);
+  EXPECT_DOUBLE_EQ(result.config.ipc_improvement_thr, 0.08);
+  EXPECT_DOUBLE_EQ(result.config.phase_change_thr, 0.2);
+  EXPECT_DOUBLE_EQ(result.config.idle_mem_per_ins_epsilon, 0.002);
+  EXPECT_EQ(result.config.min_instructions_per_interval, 5000u);
+  EXPECT_EQ(result.config.policy, AllocationPolicy::kMaxPerformance);
+  EXPECT_EQ(result.config.streaming_multiplier, 4u);
+  EXPECT_EQ(result.config.min_ways, 2u);
+  EXPECT_DOUBLE_EQ(result.config.donor_shrink_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.config.interval_seconds, 2.5);
+}
+
+TEST(ConfigIoTest, CommentsAndBlankLinesIgnored) {
+  const ConfigParseResult result = ParseDcatConfig(
+      "# a comment\n"
+      "\n"
+      "llc_miss_rate_thr = 0.02  # trailing comment\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_DOUBLE_EQ(result.config.llc_miss_rate_thr, 0.02);
+}
+
+TEST(ConfigIoTest, ExplorationKeys) {
+  const ConfigParseResult result = ParseDcatConfig(
+      "greedy_exploration = false\nexploration_gain_floor = 0.01\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.config.greedy_exploration);
+  EXPECT_DOUBLE_EQ(result.config.exploration_gain_floor, 0.01);
+  EXPECT_TRUE(ParseDcatConfig("greedy_exploration = 1\n").config.greedy_exploration);
+  EXPECT_FALSE(ParseDcatConfig("greedy_exploration = maybe\n").ok);
+}
+
+TEST(ConfigIoTest, PolicyAliases) {
+  EXPECT_EQ(ParseDcatConfig("policy = fair\n").config.policy, AllocationPolicy::kMaxFairness);
+  EXPECT_EQ(ParseDcatConfig("policy = maxperf\n").config.policy,
+            AllocationPolicy::kMaxPerformance);
+}
+
+TEST(ConfigIoTest, UnknownKeyIsAnError) {
+  const ConfigParseResult result = ParseDcatConfig("lcc_miss_rate_thr = 0.03\n");  // typo
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 1"), std::string::npos);
+  EXPECT_NE(result.error.find("lcc_miss_rate_thr"), std::string::npos);
+}
+
+TEST(ConfigIoTest, MalformedLineIsAnError) {
+  EXPECT_FALSE(ParseDcatConfig("just some words\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("llc_miss_rate_thr 0.03\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("llc_miss_rate_thr = abc\n").ok);
+}
+
+TEST(ConfigIoTest, SanityLimitsEnforced) {
+  EXPECT_FALSE(ParseDcatConfig("llc_miss_rate_thr = 0\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("llc_miss_rate_thr = 1.5\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("ipc_improvement_thr = -0.1\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("streaming_multiplier = 0\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("min_ways = 0\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("interval_seconds = 0\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("policy = bogus\n").ok);
+}
+
+TEST(ConfigIoTest, FormatRoundTrips) {
+  DcatConfig config;
+  config.llc_miss_rate_thr = 0.07;
+  config.policy = AllocationPolicy::kMaxPerformance;
+  config.streaming_multiplier = 5;
+  const ConfigParseResult result = ParseDcatConfig(FormatDcatConfig(config));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_DOUBLE_EQ(result.config.llc_miss_rate_thr, 0.07);
+  EXPECT_EQ(result.config.policy, AllocationPolicy::kMaxPerformance);
+  EXPECT_EQ(result.config.streaming_multiplier, 5u);
+}
+
+TEST(ConfigIoTest, LoadFromFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcat_config_io_test.conf").string();
+  {
+    std::ofstream out(path);
+    out << "llc_miss_rate_thr = 0.04\npolicy = maxperf\n";
+  }
+  const ConfigParseResult result = LoadDcatConfig(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_DOUBLE_EQ(result.config.llc_miss_rate_thr, 0.04);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIoTest, LoadMissingFileFails) {
+  const ConfigParseResult result = LoadDcatConfig("/nonexistent/dcat.conf");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("/nonexistent/dcat.conf"), std::string::npos);
+}
+
+TEST(ConfigIoTest, ErrorMentionsFileOnParseFailure) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcat_config_io_bad.conf").string();
+  {
+    std::ofstream out(path);
+    out << "garbage\n";
+  }
+  const ConfigParseResult result = LoadDcatConfig(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcat

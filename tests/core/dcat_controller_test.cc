@@ -1,0 +1,752 @@
+#include "src/core/dcat_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/pqos/mask.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+// Canonical single-tenant fixture: tenant 1 on core 0, baseline 3 ways on a
+// 20-way socket. The fake lets every test script the exact counter story.
+class DcatControllerTest : public ::testing::Test {
+ protected:
+  DcatControllerTest() : controller_(&pqos_, &pqos_, DcatConfig{}) {}
+
+  void AddTenant(TenantId id, uint16_t core, uint32_t baseline = 3) {
+    controller_.AddTenant(
+        TenantSpec{.id = id, .name = "t" + std::to_string(id), .cores = {core},
+                   .baseline_ways = baseline});
+  }
+
+  // MLR-ish signature: memory heavy, misses, IPC supplied per step.
+  void FeedMlr(uint16_t core, double ipc, double miss_rate = 0.5) {
+    pqos_.Feed(core, ipc, /*mem_per_ins=*/0.33, /*llc_per_ki=*/300, miss_rate);
+  }
+
+  FakePqos pqos_;
+  DcatController controller_;
+};
+
+TEST_F(DcatControllerTest, IdleTenantBecomesDonorAtMinimum) {
+  AddTenant(1, 0);
+  controller_.Tick();  // no counters advanced: idle
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_EQ(controller_.TenantWays(1), 1u);
+}
+
+TEST_F(DcatControllerTest, WorkloadStartTriggersReclaimToBaseline) {
+  AddTenant(1, 0);
+  controller_.Tick();  // idle
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // phase change: idle -> active
+  EXPECT_EQ(controller_.TenantWays(1), 3u);  // contracted ways restored
+}
+
+TEST_F(DcatControllerTest, BaselineMeasuredOnFirstCleanInterval) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // reclaim to baseline
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // measures baseline at 3 ways
+  EXPECT_NEAR(controller_.TenantNormalizedIpc(1), 1.0, 1e-6);
+  EXPECT_TRUE(controller_.TenantTable(1).Has(3));
+}
+
+TEST_F(DcatControllerTest, CacheHungryWorkloadGrowsOneWayPerInterval) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // reclaim
+  double ipc = 0.05;
+  FeedMlr(0, ipc);
+  controller_.Tick();  // baseline, becomes Unknown, grows to 4
+  EXPECT_EQ(controller_.TenantWays(1), 4u);
+  for (uint32_t expect_ways = 5; expect_ways <= 8; ++expect_ways) {
+    ipc *= 1.3;  // healthy improvement each step
+    FeedMlr(0, ipc);
+    controller_.Tick();
+    EXPECT_EQ(controller_.TenantWays(1), expect_ways);
+  }
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kReceiver);
+}
+
+TEST_F(DcatControllerTest, ReceiverStopsWhenImprovementFades) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // baseline @3, -> 4 ways
+  FeedMlr(0, 0.10);
+  controller_.Tick();  // +100%: Receiver, -> 5 ways
+  FeedMlr(0, 0.101);
+  controller_.Tick();  // +1%: stop
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  const uint32_t settled = controller_.TenantWays(1);
+  EXPECT_EQ(settled, 5u);
+  // And it must stay settled: the table blocks re-exploration.
+  for (int i = 0; i < 5; ++i) {
+    FeedMlr(0, 0.101);
+    controller_.Tick();
+    EXPECT_EQ(controller_.TenantWays(1), settled) << "oscillation at tick " << i;
+    EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  }
+}
+
+TEST_F(DcatControllerTest, ReceiverStopsWhenMissRateDropsAndKeeps) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // -> 4
+  FeedMlr(0, 0.10);
+  controller_.Tick();  // Receiver -> 5
+  // Working set now fits: misses vanish (but stay above the donor-shrink
+  // watermark so the allocation holds).
+  FeedMlr(0, 0.12, /*miss_rate=*/0.02);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.TenantWays(1), 5u);
+}
+
+TEST_F(DcatControllerTest, StreamingDetectedAtThreeTimesBaseline) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  // Constant IPC regardless of size: cyclic access pattern.
+  for (int i = 0; i < 8; ++i) {
+    FeedMlr(0, 0.05, /*miss_rate=*/0.9);
+    controller_.Tick();
+    if (controller_.TenantCategory(1) == Category::kStreaming) {
+      break;
+    }
+    EXPECT_LE(controller_.TenantWays(1), 9u);  // 3x baseline cap while Unknown
+  }
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kStreaming);
+  EXPECT_EQ(controller_.TenantWays(1), 1u);  // special donor: minimum ways
+}
+
+TEST_F(DcatControllerTest, StreamingStaysUntilPhaseChange) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  for (int i = 0; i < 10; ++i) {
+    FeedMlr(0, 0.05, 0.9);
+    controller_.Tick();
+  }
+  ASSERT_EQ(controller_.TenantCategory(1), Category::kStreaming);
+  // Different instruction mix -> phase change -> reclaim.
+  pqos_.Feed(0, 0.5, /*mem_per_ins=*/0.10, /*llc_per_ki=*/50, 0.2);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 3u);
+  EXPECT_NE(controller_.TenantCategory(1), Category::kStreaming);
+}
+
+TEST_F(DcatControllerTest, PhaseChangeReclaimsBaseline) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.10);
+  controller_.Tick();
+  FeedMlr(0, 0.15);
+  controller_.Tick();
+  ASSERT_GT(controller_.TenantWays(1), 3u);
+  // New phase: 3x the memory intensity.
+  pqos_.Feed(0, 0.05, /*mem_per_ins=*/0.9, /*llc_per_ki=*/800, 0.6);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 3u);
+}
+
+TEST_F(DcatControllerTest, PerformanceTableFastPathOnPhaseRecurrence) {
+  AddTenant(1, 0);
+  // Learn phase A: grows to 5 then saturates.
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // ->4
+  FeedMlr(0, 0.10);
+  controller_.Tick();  // ->5
+  FeedMlr(0, 0.101);
+  controller_.Tick();  // Keeper @5
+  ASSERT_EQ(controller_.TenantWays(1), 5u);
+  // Interlude: idle (workload stops).
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 1u);
+  // Phase A returns: dCat must jump straight to the preferred size, not
+  // re-climb from baseline (Fig. 12). Preferred is 4, not the 5 the run
+  // settled at: the 5th way bought <5% and the table remembers that.
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 4u);
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+}
+
+TEST_F(DcatControllerTest, LowLlcUsageKeeperBecomesIdleDonor) {
+  AddTenant(1, 0);
+  // Compute-heavy, almost no LLC traffic: lookbusy.
+  pqos_.Feed(0, 3.5, /*mem_per_ins=*/0.01, /*llc_per_ki=*/0.05, 0.0);
+  controller_.Tick();
+  pqos_.Feed(0, 3.5, 0.01, 0.05, 0.0);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_EQ(controller_.TenantWays(1), 1u);
+}
+
+TEST_F(DcatControllerTest, SatisfiedKeeperDonatesGradually) {
+  AddTenant(1, 0, /*baseline=*/6);
+  // Active, LLC-using, but zero miss rate: more cache than needed.
+  pqos_.Feed(0, 1.0, 0.33, /*llc_per_ki=*/100, /*miss_rate=*/0.0);
+  controller_.Tick();  // reclaim to 6
+  ASSERT_EQ(controller_.TenantWays(1), 6u);
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();  // baseline measured; Keeper -> Donor (gradual)
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_LT(controller_.TenantWays(1), 6u);
+  // One way per interval, not a cliff.
+  const uint32_t after_first_shrink = controller_.TenantWays(1);
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), after_first_shrink - 1);
+}
+
+TEST_F(DcatControllerTest, GradualDonorStopsWhenMissesReturn) {
+  AddTenant(1, 0, 6);
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();  // shrinking...
+  const uint32_t shrunk = controller_.TenantWays(1);
+  ASSERT_LT(shrunk, 6u);
+  // Misses become non-trivial: donation stops, size holds.
+  pqos_.Feed(0, 0.9, 0.33, 100, /*miss_rate=*/0.10);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  pqos_.Feed(0, 0.9, 0.33, 100, 0.10);
+  controller_.Tick();
+  EXPECT_GE(controller_.TenantWays(1), shrunk - 1);
+}
+
+// --- multi-tenant allocation ---
+
+TEST_F(DcatControllerTest, DonatedWaysFlowToTheReceiver) {
+  AddTenant(1, 0, 3);  // cache-hungry
+  AddTenant(2, 1, 3);  // lookbusy
+  auto feed_both = [this](double mlr_ipc) {
+    FeedMlr(0, mlr_ipc);
+    pqos_.Feed(1, 3.5, 0.01, 0.05, 0.0);
+  };
+  feed_both(0.05);
+  controller_.Tick();
+  double ipc = 0.05;
+  for (int i = 0; i < 12; ++i) {
+    ipc *= 1.2;
+    feed_both(ipc);
+    controller_.Tick();
+  }
+  EXPECT_EQ(controller_.TenantWays(2), 1u);
+  EXPECT_GE(controller_.TenantWays(1), 10u);  // grew far beyond baseline
+}
+
+TEST_F(DcatControllerTest, ReclaimShrinksOverBaselineTenantsWhenPoolIsDry) {
+  FakePqos pqos(/*num_ways=*/10, 16, 18);
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  controller.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 3});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 3});
+  // Tenant 1 grows to consume nearly everything; tenant 2 idles.
+  pqos.Feed(0, 0.05, 0.33, 300, 0.5);
+  controller.Tick();
+  double ipc = 0.05;
+  for (int i = 0; i < 8; ++i) {
+    ipc *= 1.3;
+    pqos.Feed(0, ipc, 0.33, 300, 0.5);
+    controller.Tick();
+  }
+  ASSERT_GT(controller.TenantWays(1), 6u);
+  ASSERT_EQ(controller.TenantWays(2), 1u);
+  // Tenant 2 wakes up: its baseline must be restored immediately even
+  // though the pool is empty — ways come out of tenant 1's surplus.
+  pqos.Feed(0, ipc, 0.33, 300, 0.5);
+  pqos.Feed(1, 0.05, 0.33, 300, 0.5);
+  controller.Tick();
+  EXPECT_EQ(controller.TenantWays(2), 3u);
+  EXPECT_LE(controller.TenantWays(1) + controller.TenantWays(2), 10u);
+}
+
+TEST_F(DcatControllerTest, MasksAreAlwaysContiguousAndDisjoint) {
+  AddTenant(1, 0, 3);
+  AddTenant(2, 1, 3);
+  AddTenant(3, 2, 3);
+  Rng rng(42);
+  for (int tick = 0; tick < 40; ++tick) {
+    for (uint16_t core = 0; core < 3; ++core) {
+      if (rng.Chance(0.8)) {
+        pqos_.Feed(core, 0.05 + rng.NextDouble(), 0.1 + rng.NextDouble() * 0.5,
+                   rng.NextDouble() * 400, rng.NextDouble());
+      }
+    }
+    controller_.Tick();
+    uint32_t combined = 0;
+    uint32_t total = 0;
+    for (TenantId id : {1u, 2u, 3u}) {
+      // Masks live in COS 1..3 (tenant order).
+      const uint32_t mask = pqos_.GetCosMask(static_cast<uint8_t>(id));
+      EXPECT_TRUE(IsContiguousMask(mask)) << "tick " << tick;
+      EXPECT_EQ(combined & mask, 0u) << "overlap at tick " << tick;
+      combined |= mask;
+      total += static_cast<uint32_t>(MaskWays(mask));
+      EXPECT_GE(controller_.TenantWays(id), 1u);
+    }
+    EXPECT_LE(total, 20u);
+  }
+}
+
+TEST_F(DcatControllerTest, UnknownHasPriorityOverReceiverForTheLastWay) {
+  FakePqos pqos(/*num_ways=*/8, 16, 18);
+  DcatConfig config;
+  DcatController controller(&pqos, &pqos, config);
+  controller.AddTenant(TenantSpec{.id = 1, .name = "recv", .cores = {0}, .baseline_ways = 2});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "unk", .cores = {1}, .baseline_ways = 2});
+  // Both start; tenant 1 shows improvement (Receiver), tenant 2 does not
+  // (stays Unknown). Pool shrinks to a single spare way; the Unknown must
+  // get it (the paper gives Unknowns priority to unmask streaming sooner).
+  pqos.Feed(0, 0.05, 0.33, 300, 0.5);
+  pqos.Feed(1, 0.05, 0.33, 300, 0.9);
+  controller.Tick();  // both reclaim to 2+2, pool 4
+  pqos.Feed(0, 0.05, 0.33, 300, 0.5);
+  pqos.Feed(1, 0.05, 0.33, 300, 0.9);
+  controller.Tick();  // baselines; both Unknown; each +1 (3+3), pool 2
+  pqos.Feed(0, 0.08, 0.33, 300, 0.5);   // +60%: Receiver
+  pqos.Feed(1, 0.05, 0.33, 300, 0.9);   // flat: Unknown
+  controller.Tick();  // Unknown first: t2 -> 4, then Receiver: t1 -> 4, pool 0
+  ASSERT_EQ(controller.TenantWays(1) + controller.TenantWays(2), 8u);
+  pqos.Feed(0, 0.12, 0.33, 300, 0.5);  // still improving, wants more
+  pqos.Feed(1, 0.05, 0.33, 300, 0.9);
+  controller.Tick();
+  // No free ways: neither can grow, but the Unknown was never starved
+  // behind the Receiver.
+  EXPECT_EQ(controller.TenantCategory(1), Category::kReceiver);
+}
+
+TEST_F(DcatControllerTest, TenantCountLimitedByCos) {
+  FakePqos pqos(20, /*num_cos=*/3, 18);
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  controller.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 1});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 1});
+  EXPECT_DEATH(
+      controller.AddTenant(TenantSpec{.id = 3, .name = "c", .cores = {2}, .baseline_ways = 1}),
+      "COS");
+}
+
+TEST_F(DcatControllerTest, BaselineOversubscriptionRejected) {
+  FakePqos pqos(/*num_ways=*/4, 16, 18);
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  controller.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 3});
+  EXPECT_DEATH(
+      controller.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 2}),
+      "oversubscribed");
+}
+
+TEST_F(DcatControllerTest, MultiCoreTenantAggregatesCounters) {
+  controller_.AddTenant(
+      TenantSpec{.id = 1, .name = "vm", .cores = {0, 1}, .baseline_ways = 3});
+  // Core 0 runs the workload; core 1 idles (0 instructions). The VM-level
+  // metrics must still look like the active core's.
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 3u);  // active, reclaimed baseline
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  EXPECT_NEAR(controller_.TenantNormalizedIpc(1), 1.0, 1e-6);
+}
+
+TEST_F(DcatControllerTest, DecisionLogRecordsEveryTenantEveryTick) {
+  AddTenant(1, 0);
+  AddTenant(2, 1);
+  controller_.Tick();
+  controller_.Tick();
+  ASSERT_EQ(controller_.log().size(), 4u);
+  EXPECT_EQ(controller_.log()[0].tick, 1u);
+  EXPECT_EQ(controller_.log()[3].tick, 2u);
+  EXPECT_EQ(controller_.log()[3].tenant, 2u);
+}
+
+TEST_F(DcatControllerTest, LoggingCanBeDisabled) {
+  AddTenant(1, 0);
+  controller_.set_logging(false);
+  controller_.Tick();
+  EXPECT_TRUE(controller_.log().empty());
+}
+
+TEST_F(DcatControllerTest, LogCsvHasHeaderAndOneRowPerDecision) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  const std::string csv = controller_.LogToCsv();
+  EXPECT_NE(csv.find("tick,tenant,category,ways,"), std::string::npos);
+  EXPECT_NE(csv.find("Reclaim"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 3);  // header + 2
+}
+
+TEST_F(DcatControllerTest, DistinctPhasesKeepDistinctTables) {
+  // Phase A (mpi 0.33) learns a preferred size; phase B (mpi 0.9) learns a
+  // different one; returning to A must restore A's table, not B's.
+  AddTenant(1, 0, /*baseline=*/3);
+  auto feed_phase_a = [this](double ipc) { pqos_.Feed(0, ipc, 0.33, 300, 0.5); };
+  auto feed_phase_b = [this](double ipc) { pqos_.Feed(0, ipc, 0.90, 800, 0.5); };
+
+  // Phase A: grows to 5 then saturates.
+  feed_phase_a(0.05);
+  controller_.Tick();
+  feed_phase_a(0.05);
+  controller_.Tick();  // -> 4
+  feed_phase_a(0.10);
+  controller_.Tick();  // -> 5
+  feed_phase_a(0.101);
+  controller_.Tick();  // Keeper @5
+  ASSERT_EQ(controller_.TenantWays(1), 5u);
+
+  // Phase B: saturates immediately (no improvement at 4).
+  feed_phase_b(0.02);
+  controller_.Tick();  // phase change -> reclaim 3
+  feed_phase_b(0.02);
+  controller_.Tick();  // baseline -> Unknown -> 4
+  feed_phase_b(0.0201);
+  controller_.Tick();  // flat step
+  const uint32_t phase_b_ways = controller_.TenantWays(1);
+
+  // Back to phase A: the fast path must use A's table (preferred 4, since
+  // the 5th way bought <5%), not phase B's.
+  feed_phase_a(0.05);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 4u);
+  EXPECT_NE(controller_.TenantWays(1), phase_b_ways + 100);  // sanity use
+  EXPECT_TRUE(controller_.TenantTable(1).Has(5));  // A's exploration preserved
+}
+
+TEST_F(DcatControllerTest, NormalizedIpcIsZeroBeforeBaseline) {
+  AddTenant(1, 0);
+  EXPECT_EQ(controller_.TenantNormalizedIpc(1), 0.0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // reclaim tick: baseline not yet measured
+  EXPECT_EQ(controller_.TenantNormalizedIpc(1), 0.0);
+}
+
+TEST_F(DcatControllerTest, TwoTenantsOnSamePhaseSignatureStayIndependent) {
+  AddTenant(1, 0, 3);
+  AddTenant(2, 1, 3);
+  // Identical signatures, very different curves.
+  FeedMlr(0, 0.05);
+  FeedMlr(1, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  FeedMlr(1, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.20);   // strong improvement: Receiver
+  FeedMlr(1, 0.0501);  // flat
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kReceiver);
+  EXPECT_NE(controller_.TenantCategory(2), Category::kReceiver);
+  EXPECT_NE(controller_.TenantTable(1).ToString(), controller_.TenantTable(2).ToString());
+}
+
+// --- tenant removal / COS recycling ---
+
+TEST_F(DcatControllerTest, RemoveTenantReleasesWaysToSurvivors) {
+  AddTenant(1, 0, 3);
+  AddTenant(2, 1, 3);
+  // Tenant 2 is cache-hungry; tenant 1 holds its baseline as a Keeper.
+  double ipc = 0.05;
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.04);
+  FeedMlr(1, ipc);
+  controller_.Tick();
+  for (int i = 0; i < 10; ++i) {
+    ipc *= 1.2;
+    pqos_.Feed(0, 1.0, 0.33, 100, 0.04);
+    FeedMlr(1, ipc);
+    controller_.Tick();
+  }
+  const uint32_t before = controller_.TenantWays(2);
+  controller_.RemoveTenant(1);
+  EXPECT_FALSE(controller_.HasTenant(1));
+  EXPECT_EQ(controller_.num_tenants(), 1u);
+  // The freed ways are pool capacity the survivor keeps growing into.
+  ipc *= 1.2;
+  FeedMlr(1, ipc);
+  controller_.Tick();
+  ipc *= 1.2;
+  FeedMlr(1, ipc);
+  controller_.Tick();
+  EXPECT_GT(controller_.TenantWays(2), before);
+}
+
+TEST_F(DcatControllerTest, RemoveUnknownTenantIsIgnored) {
+  AddTenant(1, 0);
+  controller_.RemoveTenant(99);
+  EXPECT_EQ(controller_.num_tenants(), 1u);
+}
+
+TEST_F(DcatControllerTest, RemovedTenantsCoresReturnToCosZero) {
+  AddTenant(1, 0);
+  ASSERT_NE(pqos_.GetCoreAssociation(0), 0);
+  controller_.RemoveTenant(1);
+  EXPECT_EQ(pqos_.GetCoreAssociation(0), 0);
+}
+
+TEST_F(DcatControllerTest, CosIsRecycledAfterRemoval) {
+  FakePqos pqos(20, /*num_cos=*/3, 18);  // room for exactly two tenants
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  controller.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 1});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 1});
+  controller.RemoveTenant(1);
+  // Without recycling this would die on COS exhaustion.
+  controller.AddTenant(TenantSpec{.id = 3, .name = "c", .cores = {2}, .baseline_ways = 1});
+  EXPECT_TRUE(controller.HasTenant(3));
+  EXPECT_EQ(controller.num_tenants(), 2u);
+}
+
+// --- the baseline performance guarantee ---
+
+TEST_F(DcatControllerTest, HarmfulDonationIsReclaimedAndNotRepeated) {
+  // A tenant with a zero miss rate donates a way; conflict misses appear
+  // only after the shrink (its IPC collapses). The guarantee must restore
+  // the contracted allocation, and the table must veto a repeat donation.
+  AddTenant(1, 0, /*baseline=*/4);
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();  // reclaim to 4
+  pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+  controller_.Tick();  // baseline @4; satisfied Keeper -> Donor
+  ASSERT_EQ(controller_.TenantWays(1), 3u);  // exploratory shrink
+  pqos_.Feed(0, 0.8, 0.33, 100, 0.0);  // -20% IPC at 3 ways
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 4u) << "guarantee must restore the baseline";
+  // From now on the table knows 3 ways costs 20%: no more donations.
+  for (int i = 0; i < 6; ++i) {
+    pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
+    controller_.Tick();
+    EXPECT_EQ(controller_.TenantWays(1), 4u) << "repeat donation at tick " << i;
+  }
+}
+
+TEST_F(DcatControllerTest, LowLlcTenantKeepsWaysWhenMinimumAllocationHurts) {
+  // Low LLC reference rate normally means "Donor, give everything back" —
+  // but a tenant whose few LLC accesses are performance-critical must be
+  // restored once the minimum allocation shows real damage.
+  AddTenant(1, 0, /*baseline=*/4);
+  pqos_.Feed(0, 1.0, 0.33, /*llc_per_ki=*/0.5, 0.0);
+  controller_.Tick();  // reclaim
+  pqos_.Feed(0, 1.0, 0.33, 0.5, 0.0);
+  controller_.Tick();  // baseline; low-LLC Keeper -> Donor at minimum
+  ASSERT_EQ(controller_.TenantWays(1), 1u);
+  pqos_.Feed(0, 0.8, 0.33, 0.5, 0.0);  // hurts at 1 way
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 4u);
+  // The table's entry for the minimum allocation now vetoes re-donation.
+  pqos_.Feed(0, 1.0, 0.33, 0.5, 0.0);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 4u);
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+}
+
+TEST_F(DcatControllerTest, TrulyIdleTenantStillDonatesEverything) {
+  AddTenant(1, 0, 4);
+  pqos_.Feed(0, 1.0, 0.33, 300, 0.5);
+  controller_.Tick();
+  controller_.Tick();  // no counters advanced: idle
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantWays(1), 1u);
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+}
+
+TEST_F(DcatControllerTest, PaperFaithfulModeStopsOnFirstSubThresholdStep) {
+  // greedy_exploration=false restores the paper's binary receiver test: a
+  // +4% step (below the 5% threshold) ends the growth at once.
+  DcatConfig config;
+  config.greedy_exploration = false;
+  DcatController controller(&pqos_, &pqos_, config);
+  controller.AddTenant(TenantSpec{.id = 1, .name = "t", .cores = {0}, .baseline_ways = 3});
+  double ipc = 0.5;
+  pqos_.Feed(0, ipc, 0.33, 300, 0.5);
+  controller.Tick();  // reclaim
+  pqos_.Feed(0, ipc, 0.33, 300, 0.5);
+  controller.Tick();  // baseline, grow to 4
+  ASSERT_EQ(controller.TenantWays(1), 4u);
+  ipc *= 1.04;
+  pqos_.Feed(0, ipc, 0.33, 300, 0.5);
+  controller.Tick();  // +4% at 4 ways: below threshold -> Keeper
+  EXPECT_EQ(controller.TenantCategory(1), Category::kKeeper);
+  const uint32_t parked = controller.TenantWays(1);
+  // Steady state from here on (constant IPC at constant ways): no growth.
+  for (int i = 0; i < 5; ++i) {
+    pqos_.Feed(0, ipc, 0.33, 300, 0.5);
+    controller.Tick();
+    EXPECT_EQ(controller.TenantWays(1), parked);
+  }
+}
+
+TEST_F(DcatControllerTest, GreedyExplorationStopsBelowTheGainFloor) {
+  // Default mode: steps in [floor, thr) keep growing; a step below the 2%
+  // floor finally parks the workload as a Keeper.
+  AddTenant(1, 0, /*baseline=*/3);
+  double ipc = 0.5;
+  FeedMlr(0, ipc);
+  controller_.Tick();
+  FeedMlr(0, ipc);
+  controller_.Tick();  // baseline @3 -> 4 ways
+  for (int i = 0; i < 4; ++i) {
+    ipc *= 1.03;  // between floor and threshold: keeps exploring
+    FeedMlr(0, ipc);
+    controller_.Tick();
+  }
+  const uint32_t grown = controller_.TenantWays(1);
+  EXPECT_GT(grown, 5u);
+  ipc *= 1.005;  // below the floor: stop
+  FeedMlr(0, ipc);
+  controller_.Tick();
+  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.TenantWays(1), grown);
+}
+
+TEST_F(DcatControllerTest, CumulativelyImprovingWorkloadIsNeverStreaming) {
+  // +4% IPC per extra way: every single step is below the 5% Receiver
+  // threshold, but the cumulative gain is real — the streaming rule must
+  // not fire at 3x baseline (this is the Redis-like profile of Table 4).
+  AddTenant(1, 0, /*baseline=*/2);
+  double ipc = 0.5;
+  FeedMlr(0, ipc);
+  controller_.Tick();  // reclaim to 2
+  for (int i = 0; i < 10; ++i) {
+    FeedMlr(0, ipc);
+    controller_.Tick();
+    EXPECT_NE(controller_.TenantCategory(1), Category::kStreaming) << "tick " << i;
+    ipc *= 1.04;
+  }
+  EXPECT_GT(controller_.TenantWays(1), 6u) << "should grow past 3x baseline";
+}
+
+TEST_F(DcatControllerTest, PoolExhaustionAloneDoesNotCondemnARisingTable) {
+  // Two tenants: one flat (streaming-like), one improving. When the pool
+  // dries up mid-climb, only the flat one may be condemned.
+  FakePqos pqos(/*num_ways=*/10, 16, 18);
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  controller.AddTenant(TenantSpec{.id = 1, .name = "good", .cores = {0}, .baseline_ways = 2});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "flat", .cores = {1}, .baseline_ways = 2});
+  double ipc = 0.5;
+  pqos.Feed(0, ipc, 0.33, 300, 0.5);
+  pqos.Feed(1, 0.5, 0.33, 300, 0.9);
+  controller.Tick();
+  for (int i = 0; i < 8; ++i) {
+    ipc *= 1.04;  // below per-step threshold but cumulative
+    pqos.Feed(0, ipc, 0.33, 300, 0.5);
+    pqos.Feed(1, 0.5, 0.33, 300, 0.9);
+    controller.Tick();
+  }
+  EXPECT_EQ(controller.TenantCategory(2), Category::kStreaming);
+  EXPECT_EQ(controller.TenantWays(2), 1u);
+  EXPECT_NE(controller.TenantCategory(1), Category::kStreaming);
+  EXPECT_GT(controller.TenantWays(1), 2u);
+}
+
+// --- max-performance policy ---
+
+TEST(DcatMaxPerfTest, RebalancesTowardTheSteeperTableWhenWaysShrink) {
+  // The paper's §3.5 scenario: two receivers learn their tables while the
+  // pool lasts; a third tenant wakes up and reclaims its baseline, and the
+  // max-performance policy re-splits the remainder using the tables —
+  // concentrating ways on the steeper curve.
+  FakePqos pqos(/*num_ways=*/16, 16, 18);
+  DcatConfig config;
+  config.policy = AllocationPolicy::kMaxPerformance;
+  DcatController controller(&pqos, &pqos, config);
+  controller.AddTenant(TenantSpec{.id = 1, .name = "flat", .cores = {0}, .baseline_ways = 2});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "steep", .cores = {1}, .baseline_ways = 2});
+  controller.AddTenant(TenantSpec{.id = 3, .name = "late", .cores = {2}, .baseline_ways = 4});
+
+  // Tenant 3 idles; tenants 1 and 2 grow. 1 improves 6%/way, 2 improves
+  // 40%/way.
+  double ipc1 = 0.05;
+  double ipc2 = 0.05;
+  auto feed_active = [&] {
+    pqos.Feed(0, ipc1, 0.33, 300, 0.5);
+    pqos.Feed(1, ipc2, 0.33, 300, 0.5);
+  };
+  feed_active();
+  controller.Tick();  // reclaim baselines
+  for (int i = 0; i < 8; ++i) {
+    ipc1 *= 1.06;
+    ipc2 *= 1.40;
+    feed_active();
+    controller.Tick();
+  }
+  const uint32_t flat_before = controller.TenantWays(1);
+  const uint32_t steep_before = controller.TenantWays(2);
+  ASSERT_GT(flat_before + steep_before, 10u);  // they absorbed the pool
+
+  // Tenant 3 wakes: baseline 4 must come out of the receivers, and the
+  // DP should take it disproportionately from the flat curve.
+  ipc1 *= 1.06;
+  ipc2 *= 1.40;
+  feed_active();
+  pqos.Feed(2, 0.5, 0.33, 300, 0.5);
+  controller.Tick();
+  feed_active();
+  pqos.Feed(2, 0.5, 0.33, 300, 0.5);
+  controller.Tick();
+
+  EXPECT_EQ(controller.TenantWays(3), 4u);
+  EXPECT_GT(controller.TenantWays(2), controller.TenantWays(1));
+  EXPECT_GE(controller.TenantWays(1), 2u);  // never below contracted baseline
+  EXPECT_LE(controller.TenantWays(1) + controller.TenantWays(2) + controller.TenantWays(3),
+            16u);
+}
+
+TEST(DcatMaxPerfTest, FairnessPolicySplitsEvenly) {
+  FakePqos pqos(/*num_ways=*/12, 16, 18);
+  DcatConfig config;
+  config.policy = AllocationPolicy::kMaxFairness;
+  DcatController controller(&pqos, &pqos, config);
+  controller.AddTenant(TenantSpec{.id = 1, .name = "flat", .cores = {0}, .baseline_ways = 2});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "steep", .cores = {1}, .baseline_ways = 2});
+  double ipc1 = 0.05;
+  double ipc2 = 0.05;
+  pqos.Feed(0, ipc1, 0.33, 300, 0.5);
+  pqos.Feed(1, ipc2, 0.33, 300, 0.5);
+  controller.Tick();
+  for (int i = 0; i < 10; ++i) {
+    ipc1 *= 1.06;
+    ipc2 *= 1.40;
+    pqos.Feed(0, ipc1, 0.33, 300, 0.5);
+    pqos.Feed(1, ipc2, 0.33, 300, 0.5);
+    controller.Tick();
+  }
+  // Under fairness the split ignores the magnitude of improvement.
+  EXPECT_EQ(controller.TenantWays(1), controller.TenantWays(2));
+}
+
+TEST(DcatConfigTest, PolicyNames) {
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kMaxFairness), "max-fairness");
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kMaxPerformance), "max-performance");
+}
+
+TEST(DcatCategoryTest, Names) {
+  EXPECT_STREQ(CategoryName(Category::kReclaim), "Reclaim");
+  EXPECT_STREQ(CategoryName(Category::kKeeper), "Keeper");
+  EXPECT_STREQ(CategoryName(Category::kDonor), "Donor");
+  EXPECT_STREQ(CategoryName(Category::kReceiver), "Receiver");
+  EXPECT_STREQ(CategoryName(Category::kStreaming), "Streaming");
+  EXPECT_STREQ(CategoryName(Category::kUnknown), "Unknown");
+}
+
+}  // namespace
+}  // namespace dcat

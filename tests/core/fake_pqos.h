@@ -1,0 +1,97 @@
+// Scriptable pqos fake for controller unit tests.
+//
+// Tests feed per-core counter deltas describing exactly the workload
+// behaviour they want the controller to see — IPC, memory intensity, LLC
+// reference/miss rates — then call Tick() and assert on the decision.
+#ifndef TESTS_CORE_FAKE_PQOS_H_
+#define TESTS_CORE_FAKE_PQOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pqos/mask.h"
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+class FakePqos : public CatController, public MonitoringProvider {
+ public:
+  FakePqos(uint32_t num_ways = 20, uint8_t num_cos = 16, uint16_t num_cores = 18)
+      : num_ways_(num_ways),
+        num_cos_(num_cos),
+        num_cores_(num_cores),
+        masks_(num_cos, MakeWayMask(0, num_ways)),
+        assoc_(num_cores, 0),
+        counters_(num_cores) {}
+
+  // --- test scripting ---
+
+  // Advances one core by an interval of synthetic execution.
+  //   ipc        -> unhalted cycles = instructions / ipc
+  //   mem_per_ins-> l1 references
+  //   llc_per_ki -> LLC references per 1000 instructions
+  //   miss_rate  -> LLC misses / references
+  void Feed(uint16_t core, double ipc, double mem_per_ins, double llc_per_ki, double miss_rate,
+            uint64_t instructions = 1'000'000) {
+    PerfCounterBlock& c = counters_.at(core);
+    c.retired_instructions += instructions;
+    c.unhalted_cycles += static_cast<double>(instructions) / (ipc > 0 ? ipc : 1.0);
+    c.l1_references += static_cast<uint64_t>(static_cast<double>(instructions) * mem_per_ins);
+    const uint64_t refs =
+        static_cast<uint64_t>(static_cast<double>(instructions) / 1000.0 * llc_per_ki);
+    c.llc_references += refs;
+    c.llc_misses += static_cast<uint64_t>(static_cast<double>(refs) * miss_rate);
+  }
+
+  // Feeds an idle interval (no retired instructions).
+  void FeedIdle(uint16_t core) { (void)core; }
+
+  int set_mask_calls() const { return set_mask_calls_; }
+
+  // --- CatController ---
+  uint32_t NumWays() const override { return num_ways_; }
+  uint8_t NumCos() const override { return num_cos_; }
+  uint16_t NumCores() const override { return num_cores_; }
+  uint64_t WayCapacityBytes() const override { return 2'359'296; }  // 2.25 MiB
+
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override {
+    if (cos >= num_cos_) {
+      return PqosStatus::kOutOfRange;
+    }
+    if (!IsContiguousMask(mask) || (mask & ~MakeWayMask(0, num_ways_)) != 0) {
+      return PqosStatus::kInvalidMask;
+    }
+    masks_.at(cos) = mask;
+    ++set_mask_calls_;
+    return PqosStatus::kOk;
+  }
+  uint32_t GetCosMask(uint8_t cos) const override { return masks_.at(cos); }
+  PqosStatus AssociateCore(uint16_t core, uint8_t cos) override {
+    if (core >= num_cores_ || cos >= num_cos_) {
+      return PqosStatus::kOutOfRange;
+    }
+    assoc_.at(core) = cos;
+    return PqosStatus::kOk;
+  }
+  uint8_t GetCoreAssociation(uint16_t core) const override { return assoc_.at(core); }
+
+  // --- MonitoringProvider ---
+  PerfCounterBlock ReadCounters(uint16_t core) const override { return counters_.at(core); }
+  uint64_t LlcOccupancyBytes(uint8_t cos) const override {
+    (void)cos;
+    return 0;
+  }
+
+ private:
+  uint32_t num_ways_;
+  uint8_t num_cos_;
+  uint16_t num_cores_;
+  std::vector<uint32_t> masks_;
+  std::vector<uint8_t> assoc_;
+  std::vector<PerfCounterBlock> counters_;
+  int set_mask_calls_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // TESTS_CORE_FAKE_PQOS_H_

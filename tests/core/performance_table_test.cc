@@ -1,0 +1,172 @@
+#include "src/core/performance_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+TEST(PerformanceTableTest, EmptyTable) {
+  PerformanceTable t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Get(3).has_value());
+  EXPECT_FALSE(t.PreferredWays(0.05).has_value());
+  EXPECT_FALSE(t.Improvement(2, 3).has_value());
+}
+
+TEST(PerformanceTableTest, RecordAndGet) {
+  PerformanceTable t;
+  t.Record(3, 1.0);
+  ASSERT_TRUE(t.Get(3).has_value());
+  EXPECT_DOUBLE_EQ(*t.Get(3), 1.0);
+  EXPECT_TRUE(t.Has(3));
+  EXPECT_FALSE(t.Has(4));
+}
+
+TEST(PerformanceTableTest, RepeatedRecordsBlendWithEwma) {
+  PerformanceTable t;
+  t.Record(4, 1.0);
+  t.Record(4, 2.0);  // EWMA(0.5): 1.5
+  EXPECT_DOUBLE_EQ(*t.Get(4), 1.5);
+}
+
+TEST(PerformanceTableTest, PaperTableOnePreferredDependsOnThreshold) {
+  // Table 1 of the paper marks 6 ways "preferred" (7 and 8 add nothing).
+  // PreferredWays(thr) returns the smallest size no later size beats by
+  // at least thr: with a 4% threshold that reproduces the paper's mark;
+  // with the default 5% it stops one way earlier (5 -> 6 gains only 4%),
+  // consistent with a Receiver that would not have taken the 6th way.
+  PerformanceTable t;
+  t.Record(2, 0.9);
+  t.Record(3, 1.0);  // baseline
+  t.Record(4, 1.15);
+  t.Record(5, 1.25);
+  t.Record(6, 1.3);
+  t.Record(7, 1.3);
+  t.Record(8, 1.3);
+  EXPECT_EQ(t.PreferredWays(0.03), 6u);
+  EXPECT_EQ(t.PreferredWays(0.05), 5u);
+}
+
+TEST(PerformanceTableTest, PreferredOfFlatTableIsSmallest) {
+  PerformanceTable t;
+  t.Record(2, 1.0);
+  t.Record(4, 1.01);
+  t.Record(6, 1.02);
+  EXPECT_EQ(t.PreferredWays(0.05), 2u);
+}
+
+TEST(PerformanceTableTest, PreferredOfMonotonicTableIsLargest) {
+  PerformanceTable t;
+  t.Record(2, 1.0);
+  t.Record(3, 1.2);
+  t.Record(4, 1.45);
+  EXPECT_EQ(t.PreferredWays(0.05), 4u);
+}
+
+TEST(PerformanceTableTest, ImprovementBetweenMeasuredSizes) {
+  PerformanceTable t;
+  t.Record(3, 1.0);
+  t.Record(4, 1.2);
+  EXPECT_NEAR(*t.Improvement(3, 4), 0.2, 1e-12);
+  EXPECT_NEAR(*t.Improvement(4, 3), -1.0 / 6.0, 1e-12);
+  EXPECT_FALSE(t.Improvement(3, 5).has_value());
+}
+
+TEST(PerformanceTableTest, EntriesAreSortedByWays) {
+  PerformanceTable t;
+  t.Record(5, 1.2);
+  t.Record(2, 1.0);
+  t.Record(9, 1.3);
+  const auto entries = t.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, 2u);
+  EXPECT_EQ(entries[1].first, 5u);
+  EXPECT_EQ(entries[2].first, 9u);
+}
+
+TEST(PerformanceTableTest, SingleEntryIsItsOwnPreferred) {
+  PerformanceTable t;
+  t.Record(3, 1.0);
+  EXPECT_EQ(t.PreferredWays(0.05), 3u);
+}
+
+TEST(PerformanceTableTest, EwmaConvergesTowardRecentObservations) {
+  PerformanceTable t;
+  t.Record(4, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    t.Record(4, 2.0);
+  }
+  EXPECT_NEAR(*t.Get(4), 2.0, 0.01);
+}
+
+TEST(PerformanceTableTest, ImprovementWithZeroBaseIsUndefined) {
+  PerformanceTable t;
+  t.Record(2, 0.0);
+  t.Record(3, 1.0);
+  EXPECT_FALSE(t.Improvement(2, 3).has_value());
+}
+
+TEST(PerformanceTableTest, ClearEmptiesTheTable) {
+  PerformanceTable t;
+  t.Record(2, 1.0);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(PerformanceTableTest, ToStringListsEntries) {
+  PerformanceTable t;
+  t.Record(3, 1.0);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("3:1.000"), std::string::npos);
+}
+
+// --- PhaseBook ---
+
+TEST(PhaseBookTest, FindOrCreateReusesMatchingSignature) {
+  PhaseBook book(0.10);
+  const size_t a = book.FindOrCreate(0.30);
+  const size_t b = book.FindOrCreate(0.31);  // within 10%
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(book.size(), 1u);
+}
+
+TEST(PhaseBookTest, DistinctSignaturesGetDistinctRecords) {
+  PhaseBook book(0.10);
+  const size_t a = book.FindOrCreate(0.30);
+  const size_t b = book.FindOrCreate(0.50);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(book.size(), 2u);
+}
+
+TEST(PhaseBookTest, FindWithoutCreate) {
+  PhaseBook book(0.10);
+  EXPECT_EQ(book.Find(0.30), PhaseBook::kNotFound);
+  book.FindOrCreate(0.30);
+  EXPECT_NE(book.Find(0.295), PhaseBook::kNotFound);
+  EXPECT_EQ(book.Find(0.60), PhaseBook::kNotFound);
+}
+
+TEST(PhaseBookTest, RecordsPersistAcrossPhaseSwitches) {
+  // The Fig. 12 mechanism: leave a phase, come back, find the table intact.
+  PhaseBook book(0.10);
+  const size_t mlr = book.FindOrCreate(0.333);
+  book.record(mlr).baseline_ipc = 0.05;
+  book.record(mlr).baseline_valid = true;
+  book.record(mlr).table.Record(8, 2.5);
+
+  book.FindOrCreate(0.0);  // idle phase interlude
+
+  const size_t again = book.FindOrCreate(0.334);
+  EXPECT_EQ(again, mlr);
+  EXPECT_TRUE(book.record(again).baseline_valid);
+  EXPECT_DOUBLE_EQ(*book.record(again).table.Get(8), 2.5);
+}
+
+TEST(PhaseBookTest, ZeroSignaturesMatch) {
+  PhaseBook book(0.10);
+  const size_t a = book.FindOrCreate(0.0);
+  EXPECT_EQ(book.FindOrCreate(0.0), a);
+}
+
+}  // namespace
+}  // namespace dcat

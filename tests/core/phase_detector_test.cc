@@ -1,0 +1,116 @@
+#include "src/core/phase_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+WorkloadSample MakeSample(uint64_t instructions, uint64_t l1_refs) {
+  WorkloadSample s;
+  s.delta.retired_instructions = instructions;
+  s.delta.l1_references = l1_refs;
+  s.delta.unhalted_cycles = static_cast<double>(instructions);
+  return s;
+}
+
+DcatConfig DefaultConfig() { return DcatConfig{}; }
+
+TEST(PhaseDetectorTest, FirstSampleIsAlwaysAChange) {
+  PhaseDetector det(DefaultConfig());
+  EXPECT_TRUE(det.Update(MakeSample(1'000'000, 300'000)));
+}
+
+TEST(PhaseDetectorTest, StableSignatureIsNoChange) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 300'000));
+  EXPECT_FALSE(det.Update(MakeSample(1'000'000, 301'000)));
+  EXPECT_FALSE(det.Update(MakeSample(900'000, 272'000)));
+}
+
+TEST(PhaseDetectorTest, TenPercentDeltaTriggers) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 300'000));  // 0.30
+  EXPECT_TRUE(det.Update(MakeSample(1'000'000, 360'000)));  // 0.36: +20%
+}
+
+TEST(PhaseDetectorTest, JustUnderThresholdDoesNotTrigger) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 300'000));
+  // 0.32/0.30 ≈ +6.7% relative to the max: below 10%.
+  EXPECT_FALSE(det.Update(MakeSample(1'000'000, 320'000)));
+}
+
+TEST(PhaseDetectorTest, IdleToActiveIsAChange) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(0, 0));  // idle
+  EXPECT_TRUE(det.idle());
+  EXPECT_TRUE(det.Update(MakeSample(1'000'000, 300'000)));
+  EXPECT_FALSE(det.idle());
+}
+
+TEST(PhaseDetectorTest, ActiveToIdleIsAChange) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 300'000));
+  EXPECT_TRUE(det.Update(MakeSample(0, 0)));
+  EXPECT_TRUE(det.idle());
+}
+
+TEST(PhaseDetectorTest, FewInstructionsCountAsIdle) {
+  DcatConfig config;
+  config.min_instructions_per_interval = 10'000;
+  PhaseDetector det(config);
+  det.Update(MakeSample(500, 200));
+  EXPECT_TRUE(det.idle());
+}
+
+TEST(PhaseDetectorTest, ComputeOnlyWorkloadIsIdlePhase) {
+  // Memory accesses per instruction below epsilon: lookbusy-like, treated
+  // as the idle phase for cache purposes.
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 100));
+  EXPECT_TRUE(det.idle());
+}
+
+TEST(PhaseDetectorTest, SignatureTracksTheMetric) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 300'000));
+  EXPECT_NEAR(det.signature(), 0.30, 1e-9);
+}
+
+TEST(PhaseDetectorTest, SlowDriftDoesNotRetrigger) {
+  // Drift of 1% per interval: smoothing keeps up without firing. A detector
+  // that compared to a frozen first sample would eventually fire spuriously.
+  PhaseDetector det(DefaultConfig());
+  double mpi = 0.300;
+  det.Update(MakeSample(1'000'000, static_cast<uint64_t>(1'000'000 * mpi)));
+  for (int i = 0; i < 20; ++i) {
+    mpi *= 1.01;
+    EXPECT_FALSE(det.Update(MakeSample(1'000'000, static_cast<uint64_t>(1'000'000 * mpi))))
+        << "spurious change at step " << i;
+  }
+}
+
+TEST(PhaseDetectorTest, SignatureIsAllocationInvariantByConstruction) {
+  // The same instruction mix under different cache behaviour (different
+  // cycle counts / LLC misses) is the same phase — the Figure 5 property.
+  PhaseDetector det(DefaultConfig());
+  WorkloadSample fast = MakeSample(1'000'000, 300'000);
+  fast.delta.unhalted_cycles = 1'000'000;  // IPC 1.0
+  fast.delta.llc_misses = 100;
+  WorkloadSample slow = MakeSample(1'000'000, 300'000);
+  slow.delta.unhalted_cycles = 40'000'000;  // IPC 0.025
+  slow.delta.llc_misses = 500'000;
+  det.Update(fast);
+  EXPECT_FALSE(det.Update(slow));
+}
+
+TEST(PhaseDetectorTest, ReturnFromIdleToSamePhase) {
+  PhaseDetector det(DefaultConfig());
+  det.Update(MakeSample(1'000'000, 300'000));
+  det.Update(MakeSample(0, 0));  // stop
+  EXPECT_TRUE(det.Update(MakeSample(1'000'000, 300'000)));  // change fires...
+  EXPECT_NEAR(det.signature(), 0.30, 1e-9);  // ...and the signature matches
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,77 @@
+#include "src/pqos/mask.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+TEST(MaskTest, MaskWaysCountsBits) {
+  EXPECT_EQ(MaskWays(0), 0);
+  EXPECT_EQ(MaskWays(0b1), 1);
+  EXPECT_EQ(MaskWays(0b1110), 3);
+  EXPECT_EQ(MaskWays(0xfffff), 20);
+}
+
+TEST(MaskTest, ContiguityRules) {
+  EXPECT_FALSE(IsContiguousMask(0));  // empty masks are illegal CBMs
+  EXPECT_TRUE(IsContiguousMask(0b1));
+  EXPECT_TRUE(IsContiguousMask(0b0110));
+  EXPECT_TRUE(IsContiguousMask(0xfffff));
+  EXPECT_FALSE(IsContiguousMask(0b0101));
+  EXPECT_FALSE(IsContiguousMask(0b1001));
+  EXPECT_TRUE(IsContiguousMask(0x80000000u));  // single high bit
+  EXPECT_FALSE(IsContiguousMask(0x80000001u));
+}
+
+TEST(MaskTest, MakeWayMaskBuildsRuns) {
+  EXPECT_EQ(MakeWayMask(0, 1), 0b1u);
+  EXPECT_EQ(MakeWayMask(2, 3), 0b11100u);
+  EXPECT_EQ(MakeWayMask(0, 20), 0xfffffu);
+  EXPECT_EQ(MakeWayMask(5, 0), 0u);
+}
+
+TEST(MaskTest, MakeWayMaskFullWidth) {
+  EXPECT_EQ(MakeWayMask(0, 32), 0xffffffffu);
+  EXPECT_EQ(MakeWayMask(1, 32), 0xfffffffeu);
+}
+
+TEST(MaskTest, EveryMakeWayMaskIsContiguous) {
+  for (uint32_t first = 0; first < 20; ++first) {
+    for (uint32_t count = 1; first + count <= 20; ++count) {
+      EXPECT_TRUE(IsContiguousMask(MakeWayMask(first, count)))
+          << "first=" << first << " count=" << count;
+      EXPECT_EQ(MaskWays(MakeWayMask(first, count)), static_cast<int>(count));
+    }
+  }
+}
+
+TEST(MaskTest, LowestWay) {
+  EXPECT_EQ(LowestWay(0), -1);
+  EXPECT_EQ(LowestWay(0b1), 0);
+  EXPECT_EQ(LowestWay(0b11000), 3);
+}
+
+TEST(MaskTest, HexRoundTrip) {
+  for (uint32_t mask : {0x1u, 0xfu, 0xff0u, 0xfffffu, 0xdeadbeefu}) {
+    const auto parsed = ParseMaskHex(MaskToHex(mask));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mask);
+  }
+}
+
+TEST(MaskTest, ParseAcceptsPrefixAndTrailingNewline) {
+  EXPECT_EQ(ParseMaskHex("0xff"), 0xffu);
+  EXPECT_EQ(ParseMaskHex("FF"), 0xffu);
+  EXPECT_EQ(ParseMaskHex("fffff\n"), 0xfffffu);  // sysfs read
+}
+
+TEST(MaskTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseMaskHex("").has_value());
+  EXPECT_FALSE(ParseMaskHex("0x").has_value());
+  EXPECT_FALSE(ParseMaskHex("xyz").has_value());
+  EXPECT_FALSE(ParseMaskHex("12 34").has_value());
+  EXPECT_FALSE(ParseMaskHex("123456789").has_value());  // > 32 bits
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,178 @@
+#include "src/pqos/resctrl_pqos.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace dcat {
+namespace {
+namespace fs = std::filesystem;
+
+// Builds a fake resctrl tree the way the kernel would present it.
+class ResctrlPqosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            (std::string("resctrl_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "info" / "L3");
+    WriteFile(root_ / "info" / "L3" / "cbm_mask", "fffff\n");  // 20 ways
+    WriteFile(root_ / "info" / "L3" / "num_closids", "16\n");
+    WriteFile(root_ / "schemata", "L3:0=fffff\n");
+    WriteFile(root_ / "cpus_list", "0-17\n");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  static void WriteFile(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  static std::string ReadFile(const fs::path& path) {
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ResctrlPqosTest, InitializeReadsPlatformInfo) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.NumWays(), 20u);
+  EXPECT_EQ(pqos.NumCos(), 16);
+  EXPECT_EQ(pqos.NumCores(), 18);
+}
+
+TEST_F(ResctrlPqosTest, InitializeCreatesGroupDirectories) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_TRUE(fs::is_directory(root_ / "dcat_cos1"));
+  EXPECT_TRUE(fs::is_directory(root_ / "dcat_cos15"));
+}
+
+TEST_F(ResctrlPqosTest, InitializeFailsOnMissingTree) {
+  ResctrlPqos pqos((root_ / "nonexistent").string(), 18);
+  EXPECT_FALSE(pqos.Initialize());
+}
+
+TEST_F(ResctrlPqosTest, InitializeFailsOnMalformedCbm) {
+  WriteFile(root_ / "info" / "L3" / "cbm_mask", "zzz\n");
+  ResctrlPqos pqos(root_.string(), 18);
+  EXPECT_FALSE(pqos.Initialize());
+}
+
+TEST_F(ResctrlPqosTest, InitializeFailsOnNonContiguousCbm) {
+  WriteFile(root_ / "info" / "L3" / "cbm_mask", "f0f\n");
+  ResctrlPqos pqos(root_.string(), 18);
+  EXPECT_FALSE(pqos.Initialize());
+}
+
+TEST_F(ResctrlPqosTest, SetCosMaskWritesSchemata) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.SetCosMask(3, 0x3c), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos3" / "schemata"), "L3:0=3c\n");
+  EXPECT_EQ(pqos.GetCosMask(3), 0x3cu);
+}
+
+TEST_F(ResctrlPqosTest, Cos0WritesRootSchemata) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.SetCosMask(0, 0xf), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "schemata"), "L3:0=f\n");
+}
+
+TEST_F(ResctrlPqosTest, RejectsNonContiguousAndOversizedMasks) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.SetCosMask(1, 0b101), PqosStatus::kInvalidMask);
+  EXPECT_EQ(pqos.SetCosMask(1, 0x1fffff), PqosStatus::kInvalidMask);  // 21 bits
+  EXPECT_EQ(pqos.SetCosMask(16, 0b1), PqosStatus::kOutOfRange);
+}
+
+TEST_F(ResctrlPqosTest, AssociateCoreWritesCpusLists) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.AssociateCore(4, 2), PqosStatus::kOk);
+  EXPECT_EQ(pqos.AssociateCore(5, 2), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "cpus_list"), "4,5\n");
+  EXPECT_EQ(pqos.GetCoreAssociation(4), 2);
+}
+
+TEST_F(ResctrlPqosTest, ReassociationRemovesFromOldGroup) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  ASSERT_EQ(pqos.AssociateCore(4, 2), PqosStatus::kOk);
+  ASSERT_EQ(pqos.AssociateCore(4, 3), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "cpus_list"), "\n");
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos3" / "cpus_list"), "4\n");
+}
+
+TEST_F(ResctrlPqosTest, LlcOccupancyReadsMonData) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  fs::create_directories(root_ / "dcat_cos2" / "mon_data" / "mon_L3_00");
+  WriteFile(root_ / "dcat_cos2" / "mon_data" / "mon_L3_00" / "llc_occupancy", "1234567\n");
+  EXPECT_EQ(pqos.LlcOccupancyBytes(2), 1234567u);
+  EXPECT_EQ(pqos.LlcOccupancyBytes(5), 0u);  // absent -> 0
+}
+
+TEST_F(ResctrlPqosTest, ReadCountersIsUnsupportedButTotal) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  const PerfCounterBlock counters = pqos.ReadCounters(0);
+  EXPECT_EQ(counters.retired_instructions, 0u);
+}
+
+TEST_F(ResctrlPqosTest, MbaUnsupportedWithoutInfoMb) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_FALSE(pqos.mba_supported());
+  EXPECT_EQ(pqos.SetMbaThrottle(1, 50), PqosStatus::kUnsupported);
+  EXPECT_EQ(pqos.GetMbaThrottle(1), 100u);
+}
+
+TEST_F(ResctrlPqosTest, MbaWritesCombinedSchemata) {
+  fs::create_directories(root_ / "info" / "MB");
+  WriteFile(root_ / "info" / "MB" / "min_bandwidth", "10\n");
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_TRUE(pqos.mba_supported());
+  EXPECT_EQ(pqos.SetMbaThrottle(2, 40), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=fffff\nMB:0=40\n");
+  EXPECT_EQ(pqos.GetMbaThrottle(2), 40u);
+  // A subsequent CAT change preserves the MBA line.
+  EXPECT_EQ(pqos.SetCosMask(2, 0xf), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=f\nMB:0=40\n");
+}
+
+TEST_F(ResctrlPqosTest, MbaRejectsOutOfRangeValues) {
+  fs::create_directories(root_ / "info" / "MB");
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.SetMbaThrottle(1, 5), PqosStatus::kInvalidMask);
+  EXPECT_EQ(pqos.SetMbaThrottle(1, 101), PqosStatus::kInvalidMask);
+  EXPECT_EQ(pqos.SetMbaThrottle(16, 50), PqosStatus::kOutOfRange);
+}
+
+TEST_F(ResctrlPqosTest, MbmBytesReadFromMonData) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  fs::create_directories(root_ / "dcat_cos3" / "mon_data" / "mon_L3_00");
+  WriteFile(root_ / "dcat_cos3" / "mon_data" / "mon_L3_00" / "mbm_total_bytes", "987654\n");
+  EXPECT_EQ(pqos.MemoryBandwidthBytes(3), 987654u);
+  EXPECT_EQ(pqos.MemoryBandwidthBytes(4), 0u);
+}
+
+TEST_F(ResctrlPqosTest, OperationsBeforeInitializeFail) {
+  ResctrlPqos pqos(root_.string(), 18);
+  EXPECT_EQ(pqos.SetCosMask(1, 0b11), PqosStatus::kOutOfRange);
+  EXPECT_EQ(pqos.AssociateCore(0, 1), PqosStatus::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,86 @@
+#include "src/pqos/sim_pqos.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pqos/mask.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+namespace {
+
+SocketConfig SmallConfig() {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.llc_geometry = CacheGeometry{.line_size = 64, .num_ways = 8, .num_sets = 64};
+  config.num_cos = 4;
+  return config;
+}
+
+class SimPqosTest : public ::testing::Test {
+ protected:
+  SimPqosTest() : socket_(SmallConfig()), pqos_(&socket_) {}
+  Socket socket_;
+  SimPqos pqos_;
+};
+
+TEST_F(SimPqosTest, ReportsPlatformLimits) {
+  EXPECT_EQ(pqos_.NumWays(), 8u);
+  EXPECT_EQ(pqos_.NumCos(), 4);
+  EXPECT_EQ(pqos_.NumCores(), 4);
+  EXPECT_EQ(pqos_.WayCapacityBytes(), 64u * 64u);
+}
+
+TEST_F(SimPqosTest, SetCosMaskProgramsSocket) {
+  EXPECT_EQ(pqos_.SetCosMask(1, 0b0011), PqosStatus::kOk);
+  EXPECT_EQ(socket_.CosMask(1), 0b0011u);
+  EXPECT_EQ(pqos_.GetCosMask(1), 0b0011u);
+}
+
+TEST_F(SimPqosTest, RejectsNonContiguousMask) {
+  EXPECT_EQ(pqos_.SetCosMask(1, 0b0101), PqosStatus::kInvalidMask);
+  EXPECT_EQ(pqos_.SetCosMask(1, 0), PqosStatus::kInvalidMask);
+}
+
+TEST_F(SimPqosTest, RejectsMaskBeyondWayCount) {
+  EXPECT_EQ(pqos_.SetCosMask(1, 0x1ff), PqosStatus::kInvalidMask);  // 9 ways on 8-way LLC
+}
+
+TEST_F(SimPqosTest, RejectsOutOfRangeCos) {
+  EXPECT_EQ(pqos_.SetCosMask(4, 0b1), PqosStatus::kOutOfRange);
+}
+
+TEST_F(SimPqosTest, AssociateCoreRoundTrips) {
+  EXPECT_EQ(pqos_.AssociateCore(2, 3), PqosStatus::kOk);
+  EXPECT_EQ(pqos_.GetCoreAssociation(2), 3);
+  EXPECT_EQ(socket_.CoreCos(2), 3);
+}
+
+TEST_F(SimPqosTest, AssociateRejectsBadIds) {
+  EXPECT_EQ(pqos_.AssociateCore(9, 1), PqosStatus::kOutOfRange);
+  EXPECT_EQ(pqos_.AssociateCore(1, 9), PqosStatus::kOutOfRange);
+}
+
+TEST_F(SimPqosTest, ReadCountersSeesCoreActivity) {
+  socket_.core(1).Compute(100);
+  const PerfCounterBlock counters = pqos_.ReadCounters(1);
+  EXPECT_EQ(counters.retired_instructions, 100u);
+}
+
+TEST_F(SimPqosTest, OccupancyFollowsFills) {
+  pqos_.AssociateCore(0, 1);
+  pqos_.SetCosMask(1, 0b0011);
+  socket_.core(0).Access(0, false);
+  socket_.core(0).Access(64u * 64u, false);  // a different set
+  EXPECT_EQ(pqos_.LlcOccupancyBytes(1), 2u * 64u);
+}
+
+TEST_F(SimPqosTest, StatusNamesAreStable) {
+  EXPECT_STREQ(PqosStatusName(PqosStatus::kOk), "ok");
+  EXPECT_STREQ(PqosStatusName(PqosStatus::kInvalidMask), "invalid-mask");
+  EXPECT_STREQ(PqosStatusName(PqosStatus::kOutOfRange), "out-of-range");
+  EXPECT_STREQ(PqosStatusName(PqosStatus::kUnsupported), "unsupported");
+  EXPECT_STREQ(PqosStatusName(PqosStatus::kIoError), "io-error");
+}
+
+}  // namespace
+}  // namespace dcat

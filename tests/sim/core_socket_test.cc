@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/pqos/sim_pqos.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+namespace {
+
+SocketConfig SmallConfig() {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.llc_geometry = CacheGeometry{.line_size = 64, .num_ways = 8, .num_sets = 64};  // 32 KiB
+  config.l1_geometry = CacheGeometry{.line_size = 64, .num_ways = 2, .num_sets = 8};  // 1 KiB
+  config.l2_geometry = CacheGeometry{.line_size = 64, .num_ways = 4, .num_sets = 16};  // 4 KiB
+  return config;
+}
+
+TEST(SocketTest, DefaultsToFullMaskAndCosZero) {
+  Socket socket(SmallConfig());
+  EXPECT_EQ(socket.CosMask(0), socket.llc().FullWayMask());
+  for (uint16_t c = 0; c < socket.num_cores(); ++c) {
+    EXPECT_EQ(socket.CoreCos(c), 0);
+  }
+}
+
+TEST(SocketTest, CosAssociationRoundTrips) {
+  Socket socket(SmallConfig());
+  socket.AssignCoreToCos(2, 5);
+  EXPECT_EQ(socket.CoreCos(2), 5);
+  socket.SetCosMask(5, 0b0011);
+  EXPECT_EQ(socket.CosMask(5), 0b0011u);
+}
+
+TEST(CoreTest, CountersTrackHierarchyWalk) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  Core& core = socket.core(0);
+
+  core.Access(0, false);  // cold: misses L1, L2, LLC
+  EXPECT_EQ(core.counters().retired_instructions, 1u);
+  EXPECT_EQ(core.counters().l1_references, 1u);
+  EXPECT_EQ(core.counters().l1_misses, 1u);
+  EXPECT_EQ(core.counters().l2_misses, 1u);
+  EXPECT_EQ(core.counters().llc_references, 1u);
+  EXPECT_EQ(core.counters().llc_misses, 1u);
+
+  core.Access(0, false);  // L1 hit
+  EXPECT_EQ(core.counters().l1_references, 2u);
+  EXPECT_EQ(core.counters().l1_misses, 1u);
+}
+
+TEST(CoreTest, LatencyOrdering) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  Core& core = socket.core(0);
+  const double miss = core.Access(0, false);
+  const double hit_l1 = core.Access(0, false);
+  EXPECT_GT(miss, hit_l1);
+  EXPECT_DOUBLE_EQ(hit_l1, config.timing.l1_hit_cycles);
+  EXPECT_DOUBLE_EQ(miss, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(CoreTest, LlcHitLatencyAfterL1Eviction) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  Core& core = socket.core(0);
+  // Touch enough distinct lines to evict line 0 from L1 (1 KiB) and L2
+  // (4 KiB) but keep it in the 32 KiB LLC.
+  core.Access(0, false);
+  for (uint64_t a = 64; a < 16_KiB; a += 64) {
+    core.Access(a, false);
+  }
+  const double lat = core.Access(0, false);
+  EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles);
+}
+
+TEST(CoreTest, ComputeChargesBaseCpi) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  Core& core = socket.core(0);
+  core.Compute(100);
+  EXPECT_EQ(core.counters().retired_instructions, 100u);
+  EXPECT_DOUBLE_EQ(core.counters().unhalted_cycles, 25.0);
+}
+
+TEST(CoreTest, SequentialMissStreamIsPrefetched) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  Core& core = socket.core(0);
+  // First miss of the stream: full DRAM cost.
+  const double first = core.Access(1_MiB, false);
+  EXPECT_DOUBLE_EQ(first, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+  // Consecutive-line misses ride the prefetcher.
+  const double second = core.Access(1_MiB + 64, false);
+  EXPECT_DOUBLE_EQ(second, config.timing.llc_hit_cycles +
+                               config.timing.dram_cycles / config.timing.stream_prefetch_factor);
+  // A random jump breaks the stream: full cost again.
+  const double jump = core.Access(2_MiB, false);
+  EXPECT_DOUBLE_EQ(jump, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(CoreTest, PrefetchDetectorIsPerCore) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  socket.core(0).Access(1_MiB, false);
+  // Core 1's first miss at the "next" line is NOT part of core 0's stream.
+  const double lat = socket.core(1).Access(1_MiB + 64, false);
+  EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(CoreTest, PrefetchDisabledWhenFactorIsOne) {
+  SocketConfig config = SmallConfig();
+  config.timing.stream_prefetch_factor = 1.0;
+  Socket socket(config);
+  Core& core = socket.core(0);
+  core.Access(1_MiB, false);
+  const double second = core.Access(1_MiB + 64, false);
+  EXPECT_DOUBLE_EQ(second, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(CoreTest, IdleAdvancesWallClockOnly) {
+  Socket socket(SmallConfig());
+  Core& core = socket.core(0);
+  core.Idle(500.0);
+  EXPECT_DOUBLE_EQ(core.wall_cycles(), 500.0);
+  EXPECT_DOUBLE_EQ(core.counters().unhalted_cycles, 0.0);
+  EXPECT_EQ(core.counters().retired_instructions, 0u);
+}
+
+TEST(SocketTest, WayPartitionIsolatesCores) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  // Core 0 -> COS 1 (ways 0-3), core 1 -> COS 2 (ways 4-7).
+  socket.AssignCoreToCos(0, 1);
+  socket.SetCosMask(1, 0b00001111);
+  socket.AssignCoreToCos(1, 2);
+  socket.SetCosMask(2, 0b11110000);
+
+  // Core 0 fills 4 lines in every set (its full capacity).
+  const auto geo = config.llc_geometry;
+  for (uint64_t t = 0; t < 4; ++t) {
+    for (uint64_t s = 0; s < geo.num_sets; ++s) {
+      socket.core(0).Access((t * geo.num_sets + s) * 64, false);
+    }
+  }
+  const uint64_t occupancy_before = socket.llc().OccupancyLines(1);
+  // Core 1 streams a large buffer; core 0's lines must survive.
+  for (uint64_t a = 1_MiB; a < 2_MiB; a += 64) {
+    socket.core(1).Access(a, false);
+  }
+  EXPECT_EQ(socket.llc().OccupancyLines(1), occupancy_before);
+}
+
+TEST(SocketTest, SharedCacheAllowsEviction) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);  // both cores in COS 0, full mask
+  for (uint64_t t = 0; t < 4; ++t) {
+    socket.core(0).Access(t * 64 * config.llc_geometry.num_sets, false);
+  }
+  const uint64_t misses_before = socket.core(0).counters().llc_misses;
+  // Core 1 streams far more than the LLC; core 0's data is flushed.
+  for (uint64_t a = 1_MiB; a < 1_MiB + 64_KiB; a += 64) {
+    socket.core(1).Access(a, false);
+  }
+  for (uint64_t t = 0; t < 4; ++t) {
+    socket.core(0).Access(t * 64 * config.llc_geometry.num_sets, false);
+  }
+  EXPECT_GT(socket.core(0).counters().llc_misses, misses_before);
+}
+
+TEST(SocketTest, InclusiveEvictionBackInvalidatesOwnerL1) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  socket.AssignCoreToCos(0, 1);
+  socket.SetCosMask(1, 0b1);  // single way: easy to evict
+  socket.AssignCoreToCos(1, 1);
+
+  Core& core0 = socket.core(0);
+  core0.Access(0, false);  // in L1 and LLC way 0
+  EXPECT_TRUE(core0.counters().l1_misses == 1);
+  // Core 1 (same COS, same single way) fills the same set with a new tag,
+  // evicting core 0's line from the LLC...
+  socket.core(1).Access(static_cast<uint64_t>(config.llc_geometry.num_sets) * 64, false);
+  // ...so core 0 must re-miss all the way to DRAM (L1 was back-invalidated).
+  const double lat = core0.Access(0, false);
+  EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(SocketTest, ResetCachesClearsEverything) {
+  Socket socket(SmallConfig());
+  socket.core(0).Access(0, false);
+  socket.ResetCaches();
+  EXPECT_EQ(socket.llc().OccupancyLines(0), 0u);
+  // Re-access misses again.
+  const uint64_t misses = socket.core(0).counters().llc_misses;
+  socket.core(0).Access(0, false);
+  EXPECT_EQ(socket.core(0).counters().llc_misses, misses + 1);
+}
+
+TEST(SocketTest, NoL2ModeSkipsL2Counters) {
+  SocketConfig config = SmallConfig();
+  config.model_l2 = false;
+  Socket socket(config);
+  socket.core(0).Access(0, false);
+  EXPECT_EQ(socket.core(0).counters().l2_references, 0u);
+  EXPECT_EQ(socket.core(0).counters().llc_references, 1u);
+}
+
+TEST(SocketTest, FlushCosOutsideMaskDropsOnlySurrenderedWays) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  socket.AssignCoreToCos(0, 1);
+  socket.SetCosMask(1, 0b1111);
+  // Fill 4 distinct tags into set 0 (ways 0-3).
+  const auto geo = config.llc_geometry;
+  for (uint64_t t = 0; t < 4; ++t) {
+    socket.core(0).Access(t * geo.num_sets * 64, false);
+  }
+  ASSERT_EQ(socket.llc().OccupancyLines(1), 4u);
+  // Shrink to ways 0-1 and flush: exactly the lines in ways 2-3 disappear.
+  socket.SetCosMask(1, 0b0011);
+  const uint64_t flushed = socket.FlushCosOutsideMask(1, 0b0011);
+  EXPECT_EQ(flushed, 2u);
+  EXPECT_EQ(socket.llc().OccupancyLines(1), 2u);
+}
+
+TEST(SocketTest, FlushBackInvalidatesOwnersPrivateCaches) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  socket.AssignCoreToCos(0, 1);
+  socket.SetCosMask(1, 0b0001);
+  socket.core(0).Access(0, false);  // resident in L1, L2 and LLC way 0
+  socket.FlushCosOutsideMask(1, 0);  // flush everything of COS 1
+  // The next access must pay the full DRAM trip: the private copies died
+  // with the LLC line (inclusion).
+  const double lat = socket.core(0).Access(0, false);
+  EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(SocketTest, SimPqosShrinkTriggersFlushGrowDoesNot) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  SimPqos pqos(&socket);
+  pqos.AssociateCore(0, 1);
+  pqos.SetCosMask(1, 0b1111);
+  const auto geo = config.llc_geometry;
+  for (uint64_t t = 0; t < 4; ++t) {
+    socket.core(0).Access(t * geo.num_sets * 64, false);
+  }
+  // Growth: lazy, nothing flushed.
+  pqos.SetCosMask(1, 0b11111);
+  EXPECT_EQ(socket.llc().OccupancyLines(1), 4u);
+  // Shrink: the surrendered ways are flushed (the paper's flush utility).
+  pqos.SetCosMask(1, 0b0011);
+  EXPECT_EQ(socket.llc().OccupancyLines(1), 2u);
+}
+
+TEST(SocketTest, PresetsMatchPaperMachines) {
+  const SocketConfig e5 = SocketConfig::XeonE5();
+  EXPECT_EQ(e5.num_cores, 18);
+  EXPECT_EQ(e5.llc_geometry.num_ways, 20u);
+  const SocketConfig xd = SocketConfig::XeonD();
+  EXPECT_EQ(xd.num_cores, 8);
+  EXPECT_EQ(xd.llc_geometry.num_ways, 12u);
+}
+
+TEST(ExecutionContextTest, TranslatesThroughPageTable) {
+  Socket socket(SmallConfig());
+  PageTable pt(PagePolicy::kContiguous, 1_GiB, 1, /*phys_base=*/4_KiB);
+  ExecutionContext ctx(&socket.core(0), &pt);
+  ctx.Read(0);
+  // The physical line 4 KiB (not 0) must be the resident one.
+  EXPECT_TRUE(socket.llc().Contains(4_KiB));
+  EXPECT_FALSE(socket.llc().Contains(0));
+}
+
+TEST(ExecutionContextTest, ComputeDelegatesToCore) {
+  Socket socket(SmallConfig());
+  PageTable pt(PagePolicy::kContiguous, 1_GiB, 1);
+  ExecutionContext ctx(&socket.core(2), &pt);
+  ctx.Compute(40);
+  EXPECT_EQ(socket.core(2).counters().retired_instructions, 40u);
+}
+
+TEST(PerfCounterBlockTest, DeltaAndDerivedMetrics) {
+  PerfCounterBlock a;
+  a.retired_instructions = 1000;
+  a.unhalted_cycles = 2000;
+  a.l1_references = 300;
+  a.llc_references = 100;
+  a.llc_misses = 10;
+  PerfCounterBlock b = a;
+  b.retired_instructions += 500;
+  b.unhalted_cycles += 1000;
+  b.l1_references += 150;
+  b.llc_references += 60;
+  b.llc_misses += 30;
+  const PerfCounterBlock d = b - a;
+  EXPECT_EQ(d.retired_instructions, 500u);
+  EXPECT_DOUBLE_EQ(d.Ipc(), 0.5);
+  EXPECT_DOUBLE_EQ(d.LlcMissRate(), 0.5);
+  EXPECT_DOUBLE_EQ(d.MemAccessesPerInstruction(), 0.3);
+}
+
+TEST(PerfCounterBlockTest, ZeroDenominatorsAreSafe) {
+  PerfCounterBlock z;
+  EXPECT_EQ(z.Ipc(), 0.0);
+  EXPECT_EQ(z.LlcMissRate(), 0.0);
+  EXPECT_EQ(z.MemAccessesPerInstruction(), 0.0);
+}
+
+}  // namespace
+}  // namespace dcat

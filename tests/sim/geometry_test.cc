@@ -1,0 +1,75 @@
+#include "src/sim/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace dcat {
+namespace {
+
+TEST(GeometryTest, CapacityMath) {
+  CacheGeometry g{.line_size = 64, .num_ways = 8, .num_sets = 64};
+  EXPECT_EQ(g.CapacityBytes(), 32_KiB);
+  EXPECT_EQ(g.WayCapacityBytes(), 4_KiB);
+}
+
+TEST(GeometryTest, SetIndexAndTagRoundTrip) {
+  CacheGeometry g{.line_size = 64, .num_ways = 4, .num_sets = 128};
+  const uint64_t paddr = 0x123456;
+  const uint64_t line = g.LineNumber(paddr);
+  EXPECT_EQ(g.SetIndex(paddr), line % 128);
+  EXPECT_EQ(g.Tag(paddr), line / 128);
+  // Reconstructing the line address from (tag, set) recovers the line.
+  EXPECT_EQ(g.Tag(paddr) * 128 + g.SetIndex(paddr), line);
+}
+
+TEST(GeometryTest, AddressesInSameLineShareSet) {
+  CacheGeometry g{.line_size = 64, .num_ways = 4, .num_sets = 128};
+  EXPECT_EQ(g.SetIndex(0x1000), g.SetIndex(0x103F));
+  EXPECT_NE(g.SetIndex(0x1000), g.SetIndex(0x1040));
+}
+
+TEST(GeometryTest, NonPowerOfTwoSetsSupported) {
+  // The Xeon E5 LLC has 36864 sets (not a power of two).
+  const CacheGeometry g = XeonE5LlcGeometry();
+  EXPECT_EQ(g.num_sets, 36864u);
+  EXPECT_LT(g.SetIndex(0xdeadbeef), g.num_sets);
+}
+
+TEST(GeometryTest, ValidityChecks) {
+  EXPECT_TRUE((CacheGeometry{64, 8, 64}).IsValid());
+  EXPECT_FALSE((CacheGeometry{.line_size = 63, .num_ways = 8, .num_sets = 64}).IsValid());
+  EXPECT_FALSE((CacheGeometry{.line_size = 64, .num_ways = 0, .num_sets = 64}).IsValid());
+  EXPECT_FALSE((CacheGeometry{.line_size = 64, .num_ways = 33, .num_sets = 64}).IsValid());
+  EXPECT_FALSE((CacheGeometry{.line_size = 64, .num_ways = 8, .num_sets = 0}).IsValid());
+}
+
+TEST(GeometryTest, MakeGeometryDividesEvenly) {
+  const CacheGeometry g = MakeGeometry(12_MiB, 12);
+  EXPECT_EQ(g.num_ways, 12u);
+  EXPECT_EQ(g.CapacityBytes(), 12_MiB);
+}
+
+TEST(GeometryTest, PaperMachinePresets) {
+  // Xeon-D: 12-way, 12 MiB.
+  const CacheGeometry xd = XeonDLlcGeometry();
+  EXPECT_EQ(xd.num_ways, 12u);
+  EXPECT_EQ(xd.CapacityBytes(), 12_MiB);
+  // Xeon E5-2697 v4: 20-way, 45 MiB, 2.25 MiB per way (§5's "capacity of
+  // each cache way is 2.25 MB").
+  const CacheGeometry xe = XeonE5LlcGeometry();
+  EXPECT_EQ(xe.num_ways, 20u);
+  EXPECT_EQ(xe.CapacityBytes(), 45_MiB);
+  EXPECT_EQ(xe.WayCapacityBytes(), 45_MiB / 20);
+  // Private levels.
+  EXPECT_EQ(L1dGeometry().CapacityBytes(), 32_KiB);
+  EXPECT_EQ(L2Geometry().CapacityBytes(), 256_KiB);
+}
+
+TEST(GeometryTest, ToStringMentionsShape) {
+  const std::string s = XeonDLlcGeometry().ToString();
+  EXPECT_NE(s.find("12-way"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,149 @@
+#include "src/sim/memory_bus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+namespace {
+
+MemoryBusConfig EnabledConfig() {
+  MemoryBusConfig config;
+  config.enabled = true;
+  config.bytes_per_cycle = 64.0;  // 1 line per cycle: easy arithmetic
+  config.contention_coefficient = 1.0;
+  return config;
+}
+
+TEST(MemoryBusTest, DisabledIsTransparent) {
+  MemoryBus bus(MemoryBusConfig{}, 64, 16);
+  EXPECT_FALSE(bus.enabled());
+  EXPECT_DOUBLE_EQ(bus.NoteTransfer(1), 1.0);
+  bus.AdvanceInterval(1000.0);
+  EXPECT_DOUBLE_EQ(bus.contention_multiplier(), 1.0);
+  EXPECT_EQ(bus.TotalBytes(1), 0u);
+}
+
+TEST(MemoryBusTest, UtilizationMathIsExact) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  // 500 transfers in 1000 cycles at 1 line/cycle capacity: u = 0.5.
+  for (int i = 0; i < 500; ++i) {
+    bus.NoteTransfer(0);
+  }
+  bus.AdvanceInterval(1000.0);
+  EXPECT_DOUBLE_EQ(bus.utilization(), 0.5);
+  // multiplier = 1 + 1.0 * 0.5 / (1 - 0.5) = 2.
+  EXPECT_DOUBLE_EQ(bus.contention_multiplier(), 2.0);
+}
+
+TEST(MemoryBusTest, UtilizationIsClamped) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  for (int i = 0; i < 100000; ++i) {
+    bus.NoteTransfer(0);
+  }
+  bus.AdvanceInterval(1000.0);
+  EXPECT_DOUBLE_EQ(bus.utilization(), 0.90);
+  EXPECT_DOUBLE_EQ(bus.contention_multiplier(), 10.0);
+}
+
+TEST(MemoryBusTest, TransfersResetEachInterval) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  for (int i = 0; i < 500; ++i) {
+    bus.NoteTransfer(0);
+  }
+  bus.AdvanceInterval(1000.0);
+  bus.AdvanceInterval(1000.0);  // idle interval
+  EXPECT_DOUBLE_EQ(bus.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(bus.contention_multiplier(), 1.0);
+}
+
+TEST(MemoryBusTest, MultiplierAppliesToNextIntervalTransfers) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  EXPECT_DOUBLE_EQ(bus.NoteTransfer(0), 1.0);  // no history yet
+  for (int i = 0; i < 499; ++i) {
+    bus.NoteTransfer(0);
+  }
+  bus.AdvanceInterval(1000.0);
+  EXPECT_DOUBLE_EQ(bus.NoteTransfer(0), 2.0);  // now reflects last interval
+}
+
+TEST(MemoryBusTest, ThrottleScalesLatency) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  bus.SetThrottle(3, 50);
+  EXPECT_EQ(bus.GetThrottle(3), 50u);
+  EXPECT_DOUBLE_EQ(bus.NoteTransfer(3), 2.0);  // 100/50
+  EXPECT_DOUBLE_EQ(bus.NoteTransfer(4), 1.0);  // other COS unthrottled
+}
+
+TEST(MemoryBusTest, ThrottleClampsToIntelRange) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  bus.SetThrottle(1, 5);
+  EXPECT_EQ(bus.GetThrottle(1), 10u);
+  bus.SetThrottle(1, 250);
+  EXPECT_EQ(bus.GetThrottle(1), 100u);
+}
+
+TEST(MemoryBusTest, MbmBytesAccumulatePerCos) {
+  MemoryBus bus(EnabledConfig(), 64, 16);
+  bus.NoteTransfer(2);
+  bus.NoteTransfer(2);
+  bus.NoteTransfer(5);
+  EXPECT_EQ(bus.TotalBytes(2), 128u);
+  EXPECT_EQ(bus.TotalBytes(5), 64u);
+  EXPECT_EQ(bus.TotalBytes(0), 0u);
+}
+
+// --- socket integration ---
+
+SocketConfig BusSocketConfig() {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.llc_geometry = MakeGeometry(1_MiB, 8);
+  config.memory_bus.enabled = true;
+  config.memory_bus.bytes_per_cycle = 0.64;  // tiny bus: easy to saturate
+  config.memory_bus.contention_coefficient = 1.0;
+  return config;
+}
+
+TEST(SocketBusTest, ContentionInflatesDramLatency) {
+  SocketConfig config = BusSocketConfig();
+  Socket socket(config);
+  PageTable pt(PagePolicy::kContiguous, 1_GiB, 1);
+  ExecutionContext ctx(&socket.core(0), &pt);
+
+  // Saturate the bus in interval 1: stream far beyond the LLC.
+  for (uint64_t a = 0; a < 8_MiB; a += 64) {
+    ctx.Read(a);
+  }
+  socket.AdvanceInterval(1e6);
+  ASSERT_GT(socket.memory_bus().contention_multiplier(), 1.0);
+
+  // A cold miss in interval 2 pays the inflated DRAM latency.
+  const double lat = socket.core(1).Access(512_MiB, false);
+  EXPECT_GT(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(SocketBusTest, MbaThrottleSlowsOnlyTheThrottledCos) {
+  Socket socket(BusSocketConfig());
+  socket.AssignCoreToCos(0, 1);
+  socket.AssignCoreToCos(1, 2);
+  socket.memory_bus().SetThrottle(1, 20);  // 5x DRAM delay
+  const double throttled = socket.core(0).Access(0, false);
+  const double free_lat = socket.core(1).Access(256_MiB, false);
+  EXPECT_GT(throttled, free_lat * 3.0);
+}
+
+TEST(SocketBusTest, DisabledBusKeepsExactBaseLatencies) {
+  SocketConfig config;
+  config.num_cores = 1;
+  config.llc_geometry = MakeGeometry(1_MiB, 8);
+  Socket socket(config);
+  const double lat = socket.core(0).Access(0, false);
+  EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+}  // namespace
+}  // namespace dcat

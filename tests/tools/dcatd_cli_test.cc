@@ -1,0 +1,112 @@
+// End-to-end tests of the dcatd command-line tool: spawn the real binary
+// and check its output and exit codes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace dcat {
+namespace {
+namespace fs = std::filesystem;
+
+// The build injects the binary's absolute path (see tests/CMakeLists.txt).
+std::string DcatdPath() {
+#ifdef DCATD_PATH
+  if (fs::exists(DCATD_PATH)) {
+    return DCATD_PATH;
+  }
+#endif
+  // Fallback: walk up from the CWD looking for (build/)tools/dcatd.
+  fs::path dir = fs::current_path();
+  for (int depth = 0; depth < 6; ++depth) {
+    for (const fs::path candidate :
+         {dir / "tools" / "dcatd", dir / "build" / "tools" / "dcatd"}) {
+      if (fs::exists(candidate)) {
+        return candidate.string();
+      }
+    }
+    dir = dir.parent_path();
+  }
+  return "tools/dcatd";  // let the failure message show something useful
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunCommand(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+TEST(DcatdCliTest, HelpExitsZeroAndDocumentsFlags) {
+  const RunResult r = RunCommand(DcatdPath() + " --help");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("--mode=sim|resctrl"), std::string::npos);
+  EXPECT_NE(r.output.find("--tenants="), std::string::npos);
+  EXPECT_NE(r.output.find("mlr:8M"), std::string::npos);
+}
+
+TEST(DcatdCliTest, SimModeRunsTheScenario) {
+  const RunResult r =
+      RunCommand(DcatdPath() + " --intervals=6 --tenants=mlr:4M/3,lookbusy/3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("dcatd[sim]"), std::string::npos);
+  EXPECT_NE(r.output.find("final state:"), std::string::npos);
+  EXPECT_NE(r.output.find("lookbusy"), std::string::npos);
+  // The lookbusy tenant must end as a Donor at 1 way.
+  EXPECT_NE(r.output.find("Donor"), std::string::npos);
+}
+
+TEST(DcatdCliTest, PrintConfigRoundTrips) {
+  const RunResult r = RunCommand(DcatdPath() + " --print-config");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("llc_miss_rate_thr = 0.03"), std::string::npos);
+  EXPECT_NE(r.output.find("policy = max-fairness"), std::string::npos);
+}
+
+TEST(DcatdCliTest, ConfigFileOverridesThresholds) {
+  const std::string path =
+      (fs::temp_directory_path() / "dcatd_cli_test.conf").string();
+  {
+    std::ofstream out(path);
+    out << "llc_miss_rate_thr = 0.07\npolicy = maxperf\n";
+  }
+  const RunResult r =
+      RunCommand(DcatdPath() + " --config=" + path + " --print-config");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("llc_miss_rate_thr = 0.07"), std::string::npos);
+  EXPECT_NE(r.output.find("policy = max-performance"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DcatdCliTest, BadFlagsFailWithDiagnostics) {
+  EXPECT_NE(RunCommand(DcatdPath() + " --bogus").exit_code, 0);
+  EXPECT_NE(RunCommand(DcatdPath() + " --tenants=nonsense").exit_code, 0);
+  EXPECT_NE(RunCommand(DcatdPath() + " --mode=martian").exit_code, 0);
+  EXPECT_NE(RunCommand(DcatdPath() + " --config=/nonexistent.conf").exit_code, 0);
+}
+
+TEST(DcatdCliTest, ResctrlModeFailsGracefullyWithoutTree) {
+  const RunResult r =
+      RunCommand(DcatdPath() + " --mode=resctrl --root=/nonexistent/resctrl");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("resctrl"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/sim/socket.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/search.h"
+#include "src/workloads/sqldb.h"
+
+namespace dcat {
+namespace {
+
+SocketConfig SmallConfig() {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.llc_geometry = MakeGeometry(4_MiB, 8);
+  return config;
+}
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest()
+      : socket_(SmallConfig()),
+        page_table_(PagePolicy::kRandom4K, 2_GiB, 1),
+        ctx_(&socket_.core(0), &page_table_) {}
+
+  Socket socket_;
+  PageTable page_table_;
+  ExecutionContext ctx_;
+};
+
+// --- KV store (Redis proxy) ---
+
+TEST_F(AppsTest, KvStoreServesRequests) {
+  KvStoreWorkload kv(KvStoreParams{.num_records = 10000});
+  kv.Execute(ctx_, 0, 500000);
+  EXPECT_GT(kv.requests_completed(), 500u);
+  EXPECT_GT(kv.AvgRequestLatencyCycles(), 0.0);
+  EXPECT_GE(kv.P99RequestLatencyCycles(), kv.AvgRequestLatencyCycles());
+}
+
+TEST_F(AppsTest, KvStoreDefaultsMatchPaperSetup) {
+  KvStoreParams params;
+  EXPECT_EQ(params.num_records, 1'000'000u);  // 1M records
+  EXPECT_EQ(params.value_bytes, 128u);        // 128 bytes each
+  KvStoreWorkload kv;
+  EXPECT_EQ(kv.name(), "redis-kv");
+  EXPECT_EQ(kv.num_vcpus(), 2u);
+}
+
+TEST_F(AppsTest, KvStoreHotSetBenefitsFromCache) {
+  // Small hot set (Zipf 0.99 over 10K keys): warm runs must beat cold ones.
+  KvStoreWorkload kv(KvStoreParams{.num_records = 10000});
+  kv.Execute(ctx_, 0, 1'000'000);
+  const double cold = kv.AvgRequestLatencyCycles();
+  kv.ResetMetrics();
+  kv.Execute(ctx_, 0, 1'000'000);
+  const double warm = kv.AvgRequestLatencyCycles();
+  EXPECT_LT(warm, cold);
+}
+
+TEST_F(AppsTest, KvStoreResetMetricsClearsCounts) {
+  KvStoreWorkload kv(KvStoreParams{.num_records = 1000});
+  kv.Execute(ctx_, 0, 100000);
+  kv.ResetMetrics();
+  EXPECT_EQ(kv.requests_completed(), 0u);
+  EXPECT_EQ(kv.AvgRequestLatencyCycles(), 0.0);
+}
+
+// --- SQL DB (PostgreSQL proxy) ---
+
+TEST_F(AppsTest, SqlDbBuildsMultiLevelBtree) {
+  SqlDbWorkload db(SqlDbParams{.num_tuples = 10'000'000});
+  EXPECT_EQ(db.num_levels(), 4u);  // 10M tuples / fanout 64: 4 levels
+  SqlDbWorkload wide(SqlDbParams{.num_tuples = 10'000'000, .btree_fanout = 256});
+  EXPECT_EQ(wide.num_levels(), 3u);
+  SqlDbWorkload tiny(SqlDbParams{.num_tuples = 200, .btree_fanout = 256});
+  EXPECT_EQ(tiny.num_levels(), 1u);
+}
+
+TEST_F(AppsTest, SqlDbExecutesTransactions) {
+  SqlDbWorkload db(SqlDbParams{.num_tuples = 100000});
+  db.Execute(ctx_, 0, 1'000'000);
+  EXPECT_GT(db.transactions(), 100u);
+  EXPECT_GT(db.AvgTxnLatencyCycles(), 0.0);
+}
+
+TEST_F(AppsTest, SqlDbUpperIndexLevelsAreHot) {
+  SqlDbWorkload db(SqlDbParams{.num_tuples = 1'000'000});
+  db.Execute(ctx_, 0, 2'000'000);
+  const auto& c = socket_.core(0).counters();
+  // Root/inner nodes hit in private caches: LLC references well below L1
+  // references.
+  EXPECT_LT(static_cast<double>(c.llc_references) / static_cast<double>(c.l1_references), 0.8);
+}
+
+TEST_F(AppsTest, SqlDbName) {
+  EXPECT_EQ(SqlDbWorkload().name(), "postgres-select");
+}
+
+// --- Search (Elasticsearch proxy) ---
+
+TEST_F(AppsTest, SearchExecutesQueries) {
+  SearchWorkload search(SearchParams{.num_docs = 10000});
+  search.Execute(ctx_, 0, 2'000'000);
+  EXPECT_GT(search.queries(), 100u);
+  EXPECT_GE(search.P99QueryLatencyCycles(), search.AvgQueryLatencyCycles());
+}
+
+TEST_F(AppsTest, SearchDefaultsMatchYcsbC) {
+  SearchParams params;
+  EXPECT_EQ(params.num_docs, 100'000u);  // 100K records
+  EXPECT_EQ(params.doc_bytes, 1024u);    // 1 KB each
+  EXPECT_EQ(SearchWorkload().name(), "elasticsearch-ycsbc");
+}
+
+TEST_F(AppsTest, SearchResetMetrics) {
+  SearchWorkload search(SearchParams{.num_docs = 1000});
+  search.Execute(ctx_, 0, 500000);
+  search.ResetMetrics();
+  EXPECT_EQ(search.queries(), 0u);
+}
+
+TEST_F(AppsTest, SearchLatencyScalesWithCorpusVsCacheSize) {
+  // A corpus that fits the 4 MiB LLC must serve queries faster (after
+  // warmup) than one that is mostly DRAM-resident.
+  SearchWorkload small(SearchParams{.num_docs = 2000});  // ~2 MB
+  small.Execute(ctx_, 0, 4'000'000);
+  small.ResetMetrics();
+  small.Execute(ctx_, 0, 4'000'000);
+
+  Socket socket2(SmallConfig());
+  PageTable pt2(PagePolicy::kRandom4K, 2_GiB, 2);
+  ExecutionContext ctx2(&socket2.core(0), &pt2);
+  SearchWorkload large(SearchParams{.num_docs = 80000});  // ~80 MB
+  large.Execute(ctx2, 0, 4'000'000);
+  large.ResetMetrics();
+  large.Execute(ctx2, 0, 4'000'000);
+
+  EXPECT_LT(small.AvgQueryLatencyCycles(), large.AvgQueryLatencyCycles());
+}
+
+// --- key distribution properties ---
+
+TEST_F(AppsTest, KvStoreGaussianConcentratesAroundTheCenter) {
+  KvStoreWorkload kv(KvStoreParams{.num_records = 100000});  // sigma = 4000
+  kv.Execute(ctx_, 0, 2'000'000);
+  // Gaussian keys live near the center: the mapped portion of the value
+  // heap must be a small fraction of the full 100K-record space.
+  // heap region begins after 100K buckets; hot window ~ +-4 sigma.
+  const uint64_t total_bytes = 100000ull * (64 + 128);
+  EXPECT_LT(page_table_.mapped_pages() * 4096, total_bytes / 2);
+}
+
+TEST_F(AppsTest, KvStoreZipfPatternSelectable) {
+  KvStoreWorkload kv(
+      KvStoreParams{.num_records = 100000, .pattern = KeyPattern::kZipfian}, 3);
+  kv.Execute(ctx_, 0, 500000);
+  EXPECT_GT(kv.requests_completed(), 100u);
+}
+
+TEST_F(AppsTest, SearchZipfHeadDominates) {
+  // With YCSB's Zipfian request distribution the low-id (popular) docs
+  // are touched overwhelmingly more than the tail.
+  SearchWorkload search(SearchParams{.num_docs = 50000});
+  search.Execute(ctx_, 0, 4'000'000);
+  // Doc bodies start after dictionary + doc table; popular docs are the
+  // low addresses there. Warm run must be faster than a uniform one.
+  SearchWorkload uniform(SearchParams{.num_docs = 50000, .zipf_theta = 0.0}, 2);
+  Socket socket2(SmallConfig());
+  PageTable pt2(PagePolicy::kRandom4K, 2_GiB, 5);
+  ExecutionContext ctx2(&socket2.core(0), &pt2);
+  uniform.Execute(ctx2, 0, 4'000'000);
+
+  search.ResetMetrics();
+  uniform.ResetMetrics();
+  search.Execute(ctx_, 0, 2'000'000);
+  uniform.Execute(ctx2, 0, 2'000'000);
+  EXPECT_LT(search.AvgQueryLatencyCycles(), uniform.AvgQueryLatencyCycles());
+}
+
+// All three apps must present a cache-sensitive profile: measurable LLC
+// reference rate (above dCat's donor threshold).
+TEST_F(AppsTest, AppsGenerateLlcTraffic) {
+  KvStoreWorkload kv(KvStoreParams{.num_records = 100000});
+  kv.Execute(ctx_, 0, 1'000'000);
+  const auto& c = socket_.core(0).counters();
+  const double refs_per_ki =
+      1000.0 * static_cast<double>(c.llc_references) / static_cast<double>(c.retired_instructions);
+  EXPECT_GT(refs_per_ki, 1.0);
+}
+
+}  // namespace
+}  // namespace dcat

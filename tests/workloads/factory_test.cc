@@ -1,0 +1,102 @@
+#include "src/workloads/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/log.h"
+#include "src/common/units.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/microbench.h"
+#include "src/workloads/spec_suite.h"
+
+namespace dcat {
+namespace {
+
+class FactoryTest : public ::testing::Test {
+ protected:
+  // The factory logs parse errors; keep test output clean.
+  void SetUp() override { SetLogLevel(LogLevel::kOff); }
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(FactoryTest, MlrWithSizeSuffix) {
+  auto w = MakeWorkload("mlr:8M");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->name(), "MLR-8MB");
+  auto* mlr = dynamic_cast<MlrWorkload*>(w.get());
+  ASSERT_NE(mlr, nullptr);
+  EXPECT_EQ(mlr->working_set_bytes(), 8_MiB);
+}
+
+TEST_F(FactoryTest, SizeSuffixVariants) {
+  EXPECT_EQ(dynamic_cast<MlrWorkload*>(MakeWorkload("mlr:512K").get())->working_set_bytes(),
+            512_KiB);
+  EXPECT_EQ(dynamic_cast<MlrWorkload*>(MakeWorkload("mlr:1G").get())->working_set_bytes(),
+            1_GiB);
+  EXPECT_EQ(dynamic_cast<MlrWorkload*>(MakeWorkload("mlr:4096").get())->working_set_bytes(),
+            4096u);
+  EXPECT_EQ(dynamic_cast<MlrWorkload*>(MakeWorkload("mlr:1.5M").get())->working_set_bytes(),
+            1536_KiB);
+}
+
+TEST_F(FactoryTest, MloadAndSimpleKinds) {
+  EXPECT_NE(dynamic_cast<MloadWorkload*>(MakeWorkload("mload:60M").get()), nullptr);
+  EXPECT_NE(dynamic_cast<LookbusyWorkload*>(MakeWorkload("lookbusy").get()), nullptr);
+  EXPECT_NE(dynamic_cast<IdleWorkload*>(MakeWorkload("idle").get()), nullptr);
+}
+
+TEST_F(FactoryTest, CloudApps) {
+  EXPECT_EQ(MakeWorkload("redis")->name(), "redis-kv");
+  EXPECT_EQ(MakeWorkload("postgres")->name(), "postgres-select");
+  EXPECT_EQ(MakeWorkload("search")->name(), "elasticsearch-ycsbc");
+}
+
+TEST_F(FactoryTest, SpecProxyByName) {
+  auto w = MakeWorkload("spec:omnetpp");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->name(), "omnetpp");
+}
+
+TEST_F(FactoryTest, EveryRosterEntryIsConstructible) {
+  for (const SpecProxyParams& params : SpecCpu2006Roster()) {
+    EXPECT_NE(MakeWorkload("spec:" + params.name), nullptr) << params.name;
+  }
+}
+
+TEST_F(FactoryTest, MalformedSpecsReturnNull) {
+  EXPECT_EQ(MakeWorkload(""), nullptr);
+  EXPECT_EQ(MakeWorkload("unknown"), nullptr);
+  EXPECT_EQ(MakeWorkload("mlr"), nullptr);          // missing size
+  EXPECT_EQ(MakeWorkload("mlr:"), nullptr);         // empty size
+  EXPECT_EQ(MakeWorkload("mlr:abc"), nullptr);      // non-numeric
+  EXPECT_EQ(MakeWorkload("mlr:-4M"), nullptr);      // negative
+  EXPECT_EQ(MakeWorkload("mlr:8X"), nullptr);       // bad suffix
+  EXPECT_EQ(MakeWorkload("spec:notabench"), nullptr);
+}
+
+TEST_F(FactoryTest, TraceSpecLoadsFromFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcat_factory_trace.txt").string();
+  {
+    std::ofstream out(path);
+    out << "R 0\nC 10\n";
+  }
+  auto w = MakeWorkload("trace:" + path);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->name(), path);
+  std::remove(path.c_str());
+  // Missing file: clean failure.
+  EXPECT_EQ(MakeWorkload("trace:/does/not/exist.txt"), nullptr);
+}
+
+TEST_F(FactoryTest, ExamplesAllParse) {
+  for (const std::string& example : WorkloadSpecExamples()) {
+    EXPECT_NE(MakeWorkload(example), nullptr) << example;
+  }
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,142 @@
+#include "src/workloads/microbench.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+namespace {
+
+SocketConfig SmallConfig() {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.llc_geometry = MakeGeometry(1_MiB, 8);
+  return config;
+}
+
+class MicrobenchTest : public ::testing::Test {
+ protected:
+  // 4K paging (the realistic default) also lets tests observe the footprint
+  // through mapped_pages().
+  MicrobenchTest()
+      : socket_(SmallConfig()),
+        page_table_(PagePolicy::kRandom4K, 1_GiB, 1),
+        ctx_(&socket_.core(0), &page_table_) {}
+
+  Socket socket_;
+  PageTable page_table_;
+  ExecutionContext ctx_;
+};
+
+TEST_F(MicrobenchTest, MlrNameEncodesWorkingSet) {
+  EXPECT_EQ(MlrWorkload(8_MiB).name(), "MLR-8MB");
+  EXPECT_EQ(MloadWorkload(60_MiB).name(), "MLOAD-60MB");
+}
+
+TEST_F(MicrobenchTest, MlrStaysInsideWorkingSet) {
+  MlrWorkload mlr(64_KiB);
+  mlr.Execute(ctx_, 0, 30000);
+  // Every mapped page must be below the working-set bound.
+  EXPECT_LE(page_table_.mapped_pages() * 4_KiB, 64_KiB);
+  EXPECT_GT(mlr.AccessCount(), 0u);
+}
+
+TEST_F(MicrobenchTest, MlrRetiresRequestedInstructions) {
+  MlrWorkload mlr(64_KiB);
+  mlr.Execute(ctx_, 0, 30000);
+  EXPECT_NEAR(static_cast<double>(socket_.core(0).counters().retired_instructions), 30000.0,
+              3.0);
+}
+
+TEST_F(MicrobenchTest, MlrMemPerInstructionIsOneThird) {
+  MlrWorkload mlr(256_KiB);
+  mlr.Execute(ctx_, 0, 90000);
+  const auto& c = socket_.core(0).counters();
+  EXPECT_NEAR(c.MemAccessesPerInstruction(), 1.0 / 3.0, 0.01);
+}
+
+TEST_F(MicrobenchTest, MloadIsSequentialAndCyclic) {
+  MloadWorkload mload(1_MiB);
+  mload.Execute(ctx_, 0, 60000);
+  // 20000 accesses * 8B = 160 KB touched: first 40 pages mapped, in order.
+  EXPECT_EQ(page_table_.mapped_pages(), 40u);
+  // Sequential 8B reads: 7 of 8 accesses hit the line in L1.
+  const auto& c = socket_.core(0).counters();
+  EXPECT_LT(static_cast<double>(c.l1_misses) / static_cast<double>(c.l1_references), 0.15);
+}
+
+TEST_F(MicrobenchTest, MloadWrapsAround) {
+  MloadWorkload mload(16_KiB);  // tiny: wraps many times
+  mload.Execute(ctx_, 0, 30000);
+  EXPECT_EQ(page_table_.mapped_pages(), 4u);  // never leaves 16 KiB
+}
+
+TEST_F(MicrobenchTest, MlrLatencyDropsWithCacheFit) {
+  // Working set fits LLC (1 MiB): after a warmup pass, latency per access
+  // must be far below DRAM cost.
+  MlrWorkload mlr(128_KiB);
+  mlr.Execute(ctx_, 0, 300000);  // warm
+  mlr.ResetMetrics();
+  mlr.Execute(ctx_, 0, 300000);
+  EXPECT_LT(mlr.AvgAccessLatencyCycles(), 60.0);
+
+  MlrWorkload big(16_MiB, /*seed=*/2);
+  PageTable pt2(PagePolicy::kContiguous, 1_GiB, 2);
+  ExecutionContext ctx2(&socket_.core(1), &pt2);
+  big.Execute(ctx2, 0, 300000);
+  big.ResetMetrics();
+  big.Execute(ctx2, 0, 300000);
+  EXPECT_GT(big.AvgAccessLatencyCycles(), 100.0);  // mostly DRAM
+}
+
+TEST_F(MicrobenchTest, ResetMetricsClearsLatency) {
+  MlrWorkload mlr(64_KiB);
+  mlr.Execute(ctx_, 0, 3000);
+  EXPECT_GT(mlr.AccessCount(), 0u);
+  mlr.ResetMetrics();
+  EXPECT_EQ(mlr.AccessCount(), 0u);
+}
+
+TEST_F(MicrobenchTest, LookbusyHasTinyCacheFootprint) {
+  LookbusyWorkload lookbusy;
+  lookbusy.Execute(ctx_, 0, 500000);
+  const auto& c = socket_.core(0).counters();
+  // ~1% memory instructions, nearly all L1 hits.
+  EXPECT_LT(c.MemAccessesPerInstruction(), 0.02);
+  EXPECT_LT(c.llc_references, 200u);
+  EXPECT_EQ(page_table_.mapped_pages(), 1u);
+}
+
+TEST_F(MicrobenchTest, LookbusyHighIpc) {
+  LookbusyWorkload lookbusy;
+  lookbusy.Execute(ctx_, 0, 500000);
+  EXPECT_GT(socket_.core(0).counters().Ipc(), 2.0);
+}
+
+TEST_F(MicrobenchTest, IdleAdvancesWallClockWithoutInstructions) {
+  IdleWorkload idle;
+  idle.Execute(ctx_, 0, 100000);
+  EXPECT_EQ(socket_.core(0).counters().retired_instructions, 0u);
+  EXPECT_GT(socket_.core(0).wall_cycles(), 0.0);
+}
+
+TEST_F(MicrobenchTest, MlrIsDeterministicPerSeed) {
+  MlrWorkload a(64_KiB, 5);
+  MlrWorkload b(64_KiB, 5);
+  PageTable pta(PagePolicy::kContiguous, 1_GiB, 9);
+  PageTable ptb(PagePolicy::kContiguous, 1_GiB, 9);
+  Socket s1(SmallConfig());
+  Socket s2(SmallConfig());
+  ExecutionContext ca(&s1.core(0), &pta);
+  ExecutionContext cb(&s2.core(0), &ptb);
+  a.Execute(ca, 0, 30000);
+  b.Execute(cb, 0, 30000);
+  EXPECT_EQ(s1.core(0).counters().llc_misses, s2.core(0).counters().llc_misses);
+  EXPECT_DOUBLE_EQ(a.AvgAccessLatencyCycles(), b.AvgAccessLatencyCycles());
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,139 @@
+#include "src/workloads/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/units.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/sim/socket.h"
+
+namespace dcat {
+namespace {
+
+SocketConfig SmallConfig() {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.llc_geometry = MakeGeometry(1_MiB, 8);
+  return config;
+}
+
+TEST(TraceParseTest, ParsesAllRecordKinds) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  ASSERT_TRUE(ParseTrace("R 0x1000\nW 4096\nC 100\n", &records, &error)) << error;
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, TraceRecord::Kind::kRead);
+  EXPECT_EQ(records[0].value, 0x1000u);
+  EXPECT_EQ(records[1].kind, TraceRecord::Kind::kWrite);
+  EXPECT_EQ(records[1].value, 4096u);
+  EXPECT_EQ(records[2].kind, TraceRecord::Kind::kCompute);
+  EXPECT_EQ(records[2].value, 100u);
+}
+
+TEST(TraceParseTest, LowercaseAndCommentsAccepted) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  ASSERT_TRUE(ParseTrace("# header\nr 1\n\nw 2  # inline\nc 3\n", &records, &error)) << error;
+  EXPECT_EQ(records.size(), 3u);
+}
+
+TEST(TraceParseTest, RejectsMalformedInput) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  EXPECT_FALSE(ParseTrace("", &records, &error));
+  EXPECT_FALSE(ParseTrace("X 5\n", &records, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseTrace("R\n", &records, &error));
+  EXPECT_FALSE(ParseTrace("C 0\n", &records, &error));
+  EXPECT_FALSE(ParseTrace("# only comments\n", &records, &error));
+}
+
+TEST(TraceParseTest, ErrorsCarryLineNumbers) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  EXPECT_FALSE(ParseTrace("R 1\nR 2\nbogus 3\n", &records, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(TraceWorkloadTest, InstructionAccounting) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  ASSERT_TRUE(ParseTrace("R 0\nC 9\n", &records, &error));
+  TraceWorkload trace("t", records);
+  EXPECT_EQ(trace.trace_length(), 2u);
+  EXPECT_EQ(trace.instructions_per_pass(), 10u);
+}
+
+TEST(TraceWorkloadTest, ReplaysCyclically) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  ASSERT_TRUE(ParseTrace("R 0\nR 64\nC 8\n", &records, &error));  // 10 ins/pass
+  TraceWorkload trace("t", records);
+
+  Socket socket(SmallConfig());
+  PageTable pt(PagePolicy::kContiguous, 1_GiB, 1);
+  ExecutionContext ctx(&socket.core(0), &pt);
+  trace.Execute(ctx, 0, 100);
+  EXPECT_EQ(trace.passes(), 10u);
+  EXPECT_EQ(socket.core(0).counters().retired_instructions, 100u);
+  // Two distinct lines only.
+  EXPECT_EQ(socket.core(0).counters().llc_misses, 2u);
+}
+
+TEST(TraceWorkloadTest, MultiVcpuSpreadsCursors) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  ASSERT_TRUE(ParseTrace("R 0\nR 64\nR 128\nR 192\n", &records, &error));
+  TraceWorkload trace("t", records, /*vcpus=*/2);
+  EXPECT_EQ(trace.num_vcpus(), 2u);
+
+  Socket socket(SmallConfig());
+  PageTable pt(PagePolicy::kContiguous, 1_GiB, 1);
+  ExecutionContext c0(&socket.core(0), &pt);
+  ExecutionContext c1(&socket.core(1), &pt);
+  trace.Execute(c0, 0, 2);
+  trace.Execute(c1, 1, 2);
+  // vCPU 1 starts halfway through the trace: addresses 128, 192 first, so
+  // after two accesses each, all four lines are resident.
+  EXPECT_TRUE(socket.llc().Contains(0));
+  EXPECT_TRUE(socket.llc().Contains(128));
+  EXPECT_TRUE(socket.llc().Contains(192));
+}
+
+TEST(TraceWorkloadTest, FromFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcat_trace_test.txt").string();
+  {
+    std::ofstream out(path);
+    out << "# tiny trace\nR 0x0\nW 0x40\nC 10\n";
+  }
+  auto trace = TraceWorkload::FromFile(path, 1);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->trace_length(), 3u);
+  EXPECT_EQ(trace->instructions_per_pass(), 12u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkloadTest, FromFileMissingReturnsNull) {
+  EXPECT_EQ(TraceWorkload::FromFile("/nonexistent/trace.txt"), nullptr);
+}
+
+TEST(TraceWorkloadTest, ComputeRecordSplitsAcrossChunks) {
+  std::vector<TraceRecord> records;
+  std::string error;
+  ASSERT_TRUE(ParseTrace("C 1000\nR 0\n", &records, &error));
+  TraceWorkload trace("t", records);
+  Socket socket(SmallConfig());
+  PageTable pt(PagePolicy::kContiguous, 1_GiB, 1);
+  ExecutionContext ctx(&socket.core(0), &pt);
+  trace.Execute(ctx, 0, 300);  // stops mid-compute
+  EXPECT_EQ(socket.core(0).counters().retired_instructions, 300u);
+  EXPECT_EQ(socket.core(0).counters().l1_references, 0u);
+}
+
+}  // namespace
+}  // namespace dcat

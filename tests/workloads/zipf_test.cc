@@ -1,0 +1,82 @@
+#include "src/workloads/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcat {
+namespace {
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(100, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfGenerator zipf(1, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Next(rng), 0u);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(42);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfTest, HeadConcentrationMatchesTheory) {
+  // With theta=0.99, n=1000, the top 10% of keys should receive well over
+  // half of the draws.
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(7);
+  int head = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(rng) < 100) {
+      ++head;
+    }
+  }
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.6);
+}
+
+TEST(ZipfTest, ThetaZeroIsNearlyUniform) {
+  ZipfGenerator zipf(10, 1e-9);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 / 4);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenSameRngSeed) {
+  ZipfGenerator zipf(500, 0.9);
+  Rng a(11);
+  Rng b(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Next(a), zipf.Next(b));
+  }
+}
+
+TEST(ZipfTest, AccessorsReflectConstruction) {
+  ZipfGenerator zipf(12345, 0.8);
+  EXPECT_EQ(zipf.n(), 12345u);
+  EXPECT_DOUBLE_EQ(zipf.theta(), 0.8);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,278 @@
+// dcatd — the dCat daemon, as a command-line tool.
+//
+// Two modes:
+//
+//   sim (default)  Runs the controller against the socket simulator with a
+//                  tenant mix given on the command line — the complete demo
+//                  of the paper's system with no hardware requirements.
+//
+//     dcatd --mode=sim --tenants=mlr:8M/3,mload:60M/3,lookbusy/3 \
+//           --intervals=20 [--policy=maxperf] [--machine=xeon-d]
+//
+//                  Each tenant spec is <workload>/<baseline-ways>; workload
+//                  grammar per src/workloads/factory.h.
+//
+//   resctrl        Applies static contracted partitions through the Linux
+//                  resctrl filesystem on real RDT hardware (and prints LLC
+//                  occupancy when monitoring is mounted). Full dynamic
+//                  control on real hardware additionally needs an IPC/L1
+//                  counter provider (MSR/perf), which this build leaves to
+//                  the deployment — see README.
+//
+//     dcatd --mode=resctrl --root=/sys/fs/resctrl --tenants=0-1/3,2-3/3
+//
+//                  Each tenant spec is <first-core>-<last-core>/<ways>.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/host.h"
+#include "src/cluster/recorder.h"
+#include "src/cluster/schedule.h"
+#include "src/common/log.h"
+#include "src/core/config_io.h"
+#include "src/pqos/mask.h"
+#include "src/pqos/resctrl_pqos.h"
+#include "src/workloads/factory.h"
+
+namespace dcat {
+namespace {
+
+struct Options {
+  std::string mode = "sim";
+  std::string tenants = "mlr:8M/3,mload:60M/3,lookbusy/3";
+  std::string root = "/sys/fs/resctrl";
+  std::string machine = "xeon-e5";
+  std::string config_path;
+  std::string schedule;
+  int intervals = 20;
+  DcatConfig dcat;
+  bool print_config = false;
+  bool verbose = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "dcatd — dynamic LLC management daemon (dCat, EuroSys'18)\n\n"
+      "  --mode=sim|resctrl      backend (default sim)\n"
+      "  --tenants=SPEC,...      sim: <workload>/<ways>; resctrl: <c0>-<c1>/<ways>\n"
+      "  --intervals=N           sim: control intervals to run (default 20)\n"
+      "  --policy=fair|maxperf   allocation policy (default fair)\n"
+      "  --config=FILE           load thresholds from a key=value file\n"
+      "  --print-config          print the effective config and exit\n"
+      "  --schedule=I:T=SPEC,..  sim: at interval I switch tenant T's workload\n"
+      "  --machine=xeon-e5|xeon-d  simulated socket (default xeon-e5)\n"
+      "  --root=PATH             resctrl mount point (default /sys/fs/resctrl)\n"
+      "  --verbose               log controller decisions\n\n"
+      "workload grammar:");
+  for (const std::string& example : WorkloadSpecExamples()) {
+    std::printf(" %s", example.c_str());
+  }
+  std::printf("\n");
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+int RunSim(const Options& options) {
+  HostConfig config;
+  config.socket =
+      options.machine == "xeon-d" ? SocketConfig::XeonD() : SocketConfig::XeonE5();
+  config.mode = ManagerMode::kDcat;
+  config.dcat = options.dcat;
+  config.cycles_per_interval = 20e6;
+  Host host(config);
+
+  std::map<TenantId, std::string> names;
+  TenantId next_id = 1;
+  for (const std::string& tenant_spec : Split(options.tenants, ',')) {
+    const size_t slash = tenant_spec.rfind('/');
+    if (slash == std::string::npos) {
+      std::fprintf(stderr, "tenant spec '%s': expected <workload>/<ways>\n",
+                   tenant_spec.c_str());
+      return 1;
+    }
+    const std::string workload_spec = tenant_spec.substr(0, slash);
+    const uint32_t ways = static_cast<uint32_t>(std::atoi(tenant_spec.c_str() + slash + 1));
+    auto workload = MakeWorkload(workload_spec, /*seed=*/next_id * 101);
+    if (workload == nullptr || ways == 0) {
+      std::fprintf(stderr, "bad tenant spec '%s'\n", tenant_spec.c_str());
+      return 1;
+    }
+    const TenantId id = next_id++;
+    names[id] = workload_spec;
+    host.AddVm(VmConfig{.id = id, .name = workload_spec, .baseline_ways = ways},
+               std::move(workload));
+  }
+
+  const ScheduleParseResult schedule = ParseSchedule(options.schedule);
+  if (!schedule.ok) {
+    std::fprintf(stderr, "bad --schedule: %s\n", schedule.error.c_str());
+    return 1;
+  }
+  ScheduleRunner schedule_runner(schedule.events);
+
+  std::printf("dcatd[sim]: %s, %zu tenants, %s policy, %d intervals\n",
+              config.socket.llc_geometry.ToString().c_str(), host.num_vms(),
+              AllocationPolicyName(options.dcat.policy), options.intervals);
+
+  Recorder recorder;
+  for (int t = 0; t < options.intervals; ++t) {
+    schedule_runner.Fire(static_cast<uint64_t>(t), host);
+    recorder.Record(host.now_seconds(), host.Step());
+    if (options.verbose) {
+      for (const auto& [id, name] : names) {
+        std::printf("  t=%2d %-12s %-9s %2u ways\n", t + 1, name.c_str(),
+                    CategoryName(host.dcat()->TenantCategory(id)),
+                    host.dcat()->TenantWays(id));
+      }
+    }
+  }
+  std::printf("\n%s\n", recorder.TimelineTable(names).c_str());
+  std::printf("final state:\n");
+  for (const auto& [id, name] : names) {
+    std::printf("  %-12s %-9s %2u ways (baseline %u)  table: %s\n", name.c_str(),
+                CategoryName(host.dcat()->TenantCategory(id)), host.dcat()->TenantWays(id),
+                host.dcat()->TenantBaselineWays(id),
+                host.dcat()->TenantTable(id).ToString().c_str());
+  }
+  return 0;
+}
+
+int RunResctrl(const Options& options) {
+  // Core count: read from the system.
+  const long num_cores = sysconf(_SC_NPROCESSORS_ONLN);
+  ResctrlPqos pqos(options.root, static_cast<uint16_t>(num_cores > 0 ? num_cores : 1));
+  if (!pqos.Initialize()) {
+    std::fprintf(stderr, "dcatd: no resctrl tree at %s (is resctrl mounted?)\n",
+                 options.root.c_str());
+    return 1;
+  }
+  std::printf("dcatd[resctrl]: %u ways, %u COS at %s\n", pqos.NumWays(), pqos.NumCos(),
+              options.root.c_str());
+
+  uint32_t next_way = 0;
+  uint8_t next_cos = 1;
+  for (const std::string& tenant_spec : Split(options.tenants, ',')) {
+    unsigned first = 0;
+    unsigned last = 0;
+    unsigned ways = 0;
+    if (std::sscanf(tenant_spec.c_str(), "%u-%u/%u", &first, &last, &ways) != 3 ||
+        last < first || ways == 0) {
+      std::fprintf(stderr, "tenant spec '%s': expected <c0>-<c1>/<ways>\n",
+                   tenant_spec.c_str());
+      return 1;
+    }
+    if (next_way + ways > pqos.NumWays() || next_cos >= pqos.NumCos()) {
+      std::fprintf(stderr, "dcatd: out of ways or COS for '%s'\n", tenant_spec.c_str());
+      return 1;
+    }
+    const uint8_t cos = next_cos++;
+    const uint32_t mask = MakeWayMask(next_way, ways);
+    next_way += ways;
+    if (pqos.SetCosMask(cos, mask) != PqosStatus::kOk) {
+      std::fprintf(stderr, "dcatd: SetCosMask failed for '%s'\n", tenant_spec.c_str());
+      return 1;
+    }
+    for (unsigned core = first; core <= last; ++core) {
+      if (pqos.AssociateCore(static_cast<uint16_t>(core), cos) != PqosStatus::kOk) {
+        std::fprintf(stderr, "dcatd: AssociateCore(%u) failed\n", core);
+        return 1;
+      }
+    }
+    std::printf("  COS%u: cores %u-%u, mask 0x%s (%u ways), occupancy %llu bytes\n", cos,
+                first, last, MaskToHex(mask).c_str(), ways,
+                static_cast<unsigned long long>(pqos.LlcOccupancyBytes(cos)));
+  }
+  std::printf(
+      "contracted partitions applied. Dynamic control requires an IPC/L1\n"
+      "counter provider (MSR or perf_event) — see README 'Using the library'.\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (arg == "--verbose") {
+      options.verbose = true;
+      SetLogLevel(LogLevel::kInfo);
+    } else if (const char* v = value("--mode=")) {
+      options.mode = v;
+    } else if (const char* v = value("--tenants=")) {
+      options.tenants = v;
+    } else if (const char* v = value("--root=")) {
+      options.root = v;
+    } else if (const char* v = value("--machine=")) {
+      options.machine = v;
+    } else if (const char* v = value("--intervals=")) {
+      options.intervals = std::atoi(v);
+    } else if (const char* v = value("--config=")) {
+      options.config_path = v;
+    } else if (const char* v = value("--schedule=")) {
+      options.schedule = v;
+    } else if (arg == "--print-config") {
+      options.print_config = true;
+    } else if (const char* v = value("--policy=")) {
+      options.dcat.policy = std::string(v) == "maxperf" ? AllocationPolicy::kMaxPerformance
+                                                        : AllocationPolicy::kMaxFairness;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (!options.config_path.empty()) {
+    // --policy given after --config still wins; remember the explicit pick.
+    const AllocationPolicy requested = options.dcat.policy;
+    const ConfigParseResult loaded = LoadDcatConfig(options.config_path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "dcatd: %s\n", loaded.error.c_str());
+      return 1;
+    }
+    options.dcat = loaded.config;
+    options.dcat.policy = requested != DcatConfig{}.policy ? requested : options.dcat.policy;
+  }
+  if (options.print_config) {
+    std::printf("%s", FormatDcatConfig(options.dcat).c_str());
+    return 0;
+  }
+  if (options.mode == "sim") {
+    return RunSim(options);
+  }
+  if (options.mode == "resctrl") {
+    return RunResctrl(options);
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", options.mode.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main(int argc, char** argv) { return dcat::Main(argc, argv); }
