@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mba.dir/bench_ext_mba.cc.o"
+  "CMakeFiles/bench_ext_mba.dir/bench_ext_mba.cc.o.d"
+  "bench_ext_mba"
+  "bench_ext_mba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

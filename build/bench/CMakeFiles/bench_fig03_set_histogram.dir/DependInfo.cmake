@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_set_histogram.cc" "bench/CMakeFiles/bench_fig03_set_histogram.dir/bench_fig03_set_histogram.cc.o" "gcc" "bench/CMakeFiles/bench_fig03_set_histogram.dir/bench_fig03_set_histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dcat_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dcat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pqos/CMakeFiles/dcat_pqos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_phase_metric.dir/bench_fig05_phase_metric.cc.o"
+  "CMakeFiles/bench_fig05_phase_metric.dir/bench_fig05_phase_metric.cc.o.d"
+  "bench_fig05_phase_metric"
+  "bench_fig05_phase_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_phase_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

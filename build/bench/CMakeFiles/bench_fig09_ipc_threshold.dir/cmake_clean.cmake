@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_ipc_threshold.dir/bench_fig09_ipc_threshold.cc.o"
+  "CMakeFiles/bench_fig09_ipc_threshold.dir/bench_fig09_ipc_threshold.cc.o.d"
+  "bench_fig09_ipc_threshold"
+  "bench_fig09_ipc_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_ipc_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mlr_allocation.dir/bench_fig10_mlr_allocation.cc.o"
+  "CMakeFiles/bench_fig10_mlr_allocation.dir/bench_fig10_mlr_allocation.cc.o.d"
+  "bench_fig10_mlr_allocation"
+  "bench_fig10_mlr_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mlr_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

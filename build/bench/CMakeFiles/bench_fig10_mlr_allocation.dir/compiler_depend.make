@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_mlr_allocation.
+# This may be replaced when dependencies are built.

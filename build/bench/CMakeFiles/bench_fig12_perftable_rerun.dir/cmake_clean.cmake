@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_perftable_rerun.dir/bench_fig12_perftable_rerun.cc.o"
+  "CMakeFiles/bench_fig12_perftable_rerun.dir/bench_fig12_perftable_rerun.cc.o.d"
+  "bench_fig12_perftable_rerun"
+  "bench_fig12_perftable_rerun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_perftable_rerun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_streaming.dir/bench_fig13_streaming.cc.o"
+  "CMakeFiles/bench_fig13_streaming.dir/bench_fig13_streaming.cc.o.d"
+  "bench_fig13_streaming"
+  "bench_fig13_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_two_receivers.dir/bench_fig14_two_receivers.cc.o"
+  "CMakeFiles/bench_fig14_two_receivers.dir/bench_fig14_two_receivers.cc.o.d"
+  "bench_fig14_two_receivers"
+  "bench_fig14_two_receivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_two_receivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

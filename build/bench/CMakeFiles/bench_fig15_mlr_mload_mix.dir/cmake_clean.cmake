@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_mlr_mload_mix.dir/bench_fig15_mlr_mload_mix.cc.o"
+  "CMakeFiles/bench_fig15_mlr_mload_mix.dir/bench_fig15_mlr_mload_mix.cc.o.d"
+  "bench_fig15_mlr_mload_mix"
+  "bench_fig15_mlr_mload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_mlr_mload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

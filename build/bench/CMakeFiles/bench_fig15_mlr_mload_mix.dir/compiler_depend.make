@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig15_mlr_mload_mix.
+# This may be replaced when dependencies are built.

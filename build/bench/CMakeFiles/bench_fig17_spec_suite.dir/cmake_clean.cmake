@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_spec_suite.dir/bench_fig17_spec_suite.cc.o"
+  "CMakeFiles/bench_fig17_spec_suite.dir/bench_fig17_spec_suite.cc.o.d"
+  "bench_fig17_spec_suite"
+  "bench_fig17_spec_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_spec_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

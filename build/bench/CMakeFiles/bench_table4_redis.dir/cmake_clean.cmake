@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_redis.dir/bench_table4_redis.cc.o"
+  "CMakeFiles/bench_table4_redis.dir/bench_table4_redis.cc.o.d"
+  "bench_table4_redis"
+  "bench_table4_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

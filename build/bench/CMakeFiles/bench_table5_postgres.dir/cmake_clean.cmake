@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_postgres.dir/bench_table5_postgres.cc.o"
+  "CMakeFiles/bench_table5_postgres.dir/bench_table5_postgres.cc.o.d"
+  "bench_table5_postgres"
+  "bench_table5_postgres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_postgres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_elasticsearch.dir/bench_table6_elasticsearch.cc.o"
+  "CMakeFiles/bench_table6_elasticsearch.dir/bench_table6_elasticsearch.cc.o.d"
+  "bench_table6_elasticsearch"
+  "bench_table6_elasticsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_elasticsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

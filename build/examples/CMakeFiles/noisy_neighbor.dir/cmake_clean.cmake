@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_neighbor.dir/noisy_neighbor.cpp.o"
+  "CMakeFiles/noisy_neighbor.dir/noisy_neighbor.cpp.o.d"
+  "noisy_neighbor"
+  "noisy_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_tour.dir/resctrl_tour.cpp.o"
+  "CMakeFiles/resctrl_tour.dir/resctrl_tour.cpp.o.d"
+  "resctrl_tour"
+  "resctrl_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_cluster.dir/host.cc.o"
+  "CMakeFiles/dcat_cluster.dir/host.cc.o.d"
+  "CMakeFiles/dcat_cluster.dir/recorder.cc.o"
+  "CMakeFiles/dcat_cluster.dir/recorder.cc.o.d"
+  "CMakeFiles/dcat_cluster.dir/schedule.cc.o"
+  "CMakeFiles/dcat_cluster.dir/schedule.cc.o.d"
+  "CMakeFiles/dcat_cluster.dir/vm.cc.o"
+  "CMakeFiles/dcat_cluster.dir/vm.cc.o.d"
+  "libdcat_cluster.a"
+  "libdcat_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_common.dir/histogram.cc.o"
+  "CMakeFiles/dcat_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dcat_common.dir/log.cc.o"
+  "CMakeFiles/dcat_common.dir/log.cc.o.d"
+  "CMakeFiles/dcat_common.dir/stats.cc.o"
+  "CMakeFiles/dcat_common.dir/stats.cc.o.d"
+  "CMakeFiles/dcat_common.dir/table.cc.o"
+  "CMakeFiles/dcat_common.dir/table.cc.o.d"
+  "libdcat_common.a"
+  "libdcat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

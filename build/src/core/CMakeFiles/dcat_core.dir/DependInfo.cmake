@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cc" "src/core/CMakeFiles/dcat_core.dir/allocator.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/allocator.cc.o.d"
+  "/root/repo/src/core/baseline_managers.cc" "src/core/CMakeFiles/dcat_core.dir/baseline_managers.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/baseline_managers.cc.o.d"
+  "/root/repo/src/core/category.cc" "src/core/CMakeFiles/dcat_core.dir/category.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/category.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/dcat_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/dcat_controller.cc" "src/core/CMakeFiles/dcat_core.dir/dcat_controller.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/dcat_controller.cc.o.d"
+  "/root/repo/src/core/performance_table.cc" "src/core/CMakeFiles/dcat_core.dir/performance_table.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/performance_table.cc.o.d"
+  "/root/repo/src/core/phase_detector.cc" "src/core/CMakeFiles/dcat_core.dir/phase_detector.cc.o" "gcc" "src/core/CMakeFiles/dcat_core.dir/phase_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pqos/CMakeFiles/dcat_pqos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/dcat_core.dir/category.cc.o: \
+ /root/repo/src/core/category.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/category.h

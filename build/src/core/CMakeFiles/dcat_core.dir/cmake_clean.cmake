@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_core.dir/allocator.cc.o"
+  "CMakeFiles/dcat_core.dir/allocator.cc.o.d"
+  "CMakeFiles/dcat_core.dir/baseline_managers.cc.o"
+  "CMakeFiles/dcat_core.dir/baseline_managers.cc.o.d"
+  "CMakeFiles/dcat_core.dir/category.cc.o"
+  "CMakeFiles/dcat_core.dir/category.cc.o.d"
+  "CMakeFiles/dcat_core.dir/config_io.cc.o"
+  "CMakeFiles/dcat_core.dir/config_io.cc.o.d"
+  "CMakeFiles/dcat_core.dir/dcat_controller.cc.o"
+  "CMakeFiles/dcat_core.dir/dcat_controller.cc.o.d"
+  "CMakeFiles/dcat_core.dir/performance_table.cc.o"
+  "CMakeFiles/dcat_core.dir/performance_table.cc.o.d"
+  "CMakeFiles/dcat_core.dir/phase_detector.cc.o"
+  "CMakeFiles/dcat_core.dir/phase_detector.cc.o.d"
+  "libdcat_core.a"
+  "libdcat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pqos/mask.cc" "src/pqos/CMakeFiles/dcat_pqos.dir/mask.cc.o" "gcc" "src/pqos/CMakeFiles/dcat_pqos.dir/mask.cc.o.d"
+  "/root/repo/src/pqos/pqos.cc" "src/pqos/CMakeFiles/dcat_pqos.dir/pqos.cc.o" "gcc" "src/pqos/CMakeFiles/dcat_pqos.dir/pqos.cc.o.d"
+  "/root/repo/src/pqos/resctrl_pqos.cc" "src/pqos/CMakeFiles/dcat_pqos.dir/resctrl_pqos.cc.o" "gcc" "src/pqos/CMakeFiles/dcat_pqos.dir/resctrl_pqos.cc.o.d"
+  "/root/repo/src/pqos/sim_pqos.cc" "src/pqos/CMakeFiles/dcat_pqos.dir/sim_pqos.cc.o" "gcc" "src/pqos/CMakeFiles/dcat_pqos.dir/sim_pqos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

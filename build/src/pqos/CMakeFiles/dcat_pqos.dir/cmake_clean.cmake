@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_pqos.dir/mask.cc.o"
+  "CMakeFiles/dcat_pqos.dir/mask.cc.o.d"
+  "CMakeFiles/dcat_pqos.dir/pqos.cc.o"
+  "CMakeFiles/dcat_pqos.dir/pqos.cc.o.d"
+  "CMakeFiles/dcat_pqos.dir/resctrl_pqos.cc.o"
+  "CMakeFiles/dcat_pqos.dir/resctrl_pqos.cc.o.d"
+  "CMakeFiles/dcat_pqos.dir/sim_pqos.cc.o"
+  "CMakeFiles/dcat_pqos.dir/sim_pqos.cc.o.d"
+  "libdcat_pqos.a"
+  "libdcat_pqos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_pqos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/dcat_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/dcat_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/geometry.cc" "src/sim/CMakeFiles/dcat_sim.dir/geometry.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/geometry.cc.o.d"
+  "/root/repo/src/sim/memory_bus.cc" "src/sim/CMakeFiles/dcat_sim.dir/memory_bus.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/memory_bus.cc.o.d"
+  "/root/repo/src/sim/page_table.cc" "src/sim/CMakeFiles/dcat_sim.dir/page_table.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/page_table.cc.o.d"
+  "/root/repo/src/sim/replacement.cc" "src/sim/CMakeFiles/dcat_sim.dir/replacement.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/replacement.cc.o.d"
+  "/root/repo/src/sim/socket.cc" "src/sim/CMakeFiles/dcat_sim.dir/socket.cc.o" "gcc" "src/sim/CMakeFiles/dcat_sim.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_sim.dir/cache.cc.o"
+  "CMakeFiles/dcat_sim.dir/cache.cc.o.d"
+  "CMakeFiles/dcat_sim.dir/core.cc.o"
+  "CMakeFiles/dcat_sim.dir/core.cc.o.d"
+  "CMakeFiles/dcat_sim.dir/geometry.cc.o"
+  "CMakeFiles/dcat_sim.dir/geometry.cc.o.d"
+  "CMakeFiles/dcat_sim.dir/memory_bus.cc.o"
+  "CMakeFiles/dcat_sim.dir/memory_bus.cc.o.d"
+  "CMakeFiles/dcat_sim.dir/page_table.cc.o"
+  "CMakeFiles/dcat_sim.dir/page_table.cc.o.d"
+  "CMakeFiles/dcat_sim.dir/replacement.cc.o"
+  "CMakeFiles/dcat_sim.dir/replacement.cc.o.d"
+  "CMakeFiles/dcat_sim.dir/socket.cc.o"
+  "CMakeFiles/dcat_sim.dir/socket.cc.o.d"
+  "libdcat_sim.a"
+  "libdcat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/kvstore.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/kvstore.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/microbench.cc.o.d"
+  "/root/repo/src/workloads/phased.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/phased.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/phased.cc.o.d"
+  "/root/repo/src/workloads/search.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/search.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/search.cc.o.d"
+  "/root/repo/src/workloads/spec_suite.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/spec_suite.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/spec_suite.cc.o.d"
+  "/root/repo/src/workloads/sqldb.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/sqldb.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/sqldb.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/trace.cc.o.d"
+  "/root/repo/src/workloads/zipf.cc" "src/workloads/CMakeFiles/dcat_workloads.dir/zipf.cc.o" "gcc" "src/workloads/CMakeFiles/dcat_workloads.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_workloads.dir/factory.cc.o"
+  "CMakeFiles/dcat_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/dcat_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/microbench.cc.o"
+  "CMakeFiles/dcat_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/phased.cc.o"
+  "CMakeFiles/dcat_workloads.dir/phased.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/search.cc.o"
+  "CMakeFiles/dcat_workloads.dir/search.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/spec_suite.cc.o"
+  "CMakeFiles/dcat_workloads.dir/spec_suite.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/sqldb.cc.o"
+  "CMakeFiles/dcat_workloads.dir/sqldb.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/trace.cc.o"
+  "CMakeFiles/dcat_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/dcat_workloads.dir/zipf.cc.o"
+  "CMakeFiles/dcat_workloads.dir/zipf.cc.o.d"
+  "libdcat_workloads.a"
+  "libdcat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcat_workloads.a"
+)

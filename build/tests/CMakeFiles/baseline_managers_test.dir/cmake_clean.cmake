@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_managers_test.dir/core/baseline_managers_test.cc.o"
+  "CMakeFiles/baseline_managers_test.dir/core/baseline_managers_test.cc.o.d"
+  "baseline_managers_test"
+  "baseline_managers_test.pdb"
+  "baseline_managers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_managers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_managers_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_property_test.dir/sim/cache_property_test.cc.o"
+  "CMakeFiles/cache_property_test.dir/sim/cache_property_test.cc.o.d"
+  "cache_property_test"
+  "cache_property_test.pdb"
+  "cache_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

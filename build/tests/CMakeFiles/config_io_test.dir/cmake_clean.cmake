@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_io_test.dir/core/config_io_test.cc.o"
+  "CMakeFiles/config_io_test.dir/core/config_io_test.cc.o.d"
+  "config_io_test"
+  "config_io_test.pdb"
+  "config_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

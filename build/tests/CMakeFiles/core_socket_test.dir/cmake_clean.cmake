@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_socket_test.dir/sim/core_socket_test.cc.o"
+  "CMakeFiles/core_socket_test.dir/sim/core_socket_test.cc.o.d"
+  "core_socket_test"
+  "core_socket_test.pdb"
+  "core_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcat_controller_test.dir/core/dcat_controller_test.cc.o"
+  "CMakeFiles/dcat_controller_test.dir/core/dcat_controller_test.cc.o.d"
+  "dcat_controller_test"
+  "dcat_controller_test.pdb"
+  "dcat_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcat_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatd_cli_test.dir/tools/dcatd_cli_test.cc.o"
+  "CMakeFiles/dcatd_cli_test.dir/tools/dcatd_cli_test.cc.o.d"
+  "dcatd_cli_test"
+  "dcatd_cli_test.pdb"
+  "dcatd_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatd_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

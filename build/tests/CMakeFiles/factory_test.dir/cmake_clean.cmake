@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_test.dir/workloads/factory_test.cc.o"
+  "CMakeFiles/factory_test.dir/workloads/factory_test.cc.o.d"
+  "factory_test"
+  "factory_test.pdb"
+  "factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mask_test.dir/pqos/mask_test.cc.o"
+  "CMakeFiles/mask_test.dir/pqos/mask_test.cc.o.d"
+  "mask_test"
+  "mask_test.pdb"
+  "mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_bus_test.dir/sim/memory_bus_test.cc.o"
+  "CMakeFiles/memory_bus_test.dir/sim/memory_bus_test.cc.o.d"
+  "memory_bus_test"
+  "memory_bus_test.pdb"
+  "memory_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_table_test.dir/core/performance_table_test.cc.o"
+  "CMakeFiles/performance_table_test.dir/core/performance_table_test.cc.o.d"
+  "performance_table_test"
+  "performance_table_test.pdb"
+  "performance_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_detector_test.dir/core/phase_detector_test.cc.o"
+  "CMakeFiles/phase_detector_test.dir/core/phase_detector_test.cc.o.d"
+  "phase_detector_test"
+  "phase_detector_test.pdb"
+  "phase_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phased_test.dir/workloads/phased_test.cc.o"
+  "CMakeFiles/phased_test.dir/workloads/phased_test.cc.o.d"
+  "phased_test"
+  "phased_test.pdb"
+  "phased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

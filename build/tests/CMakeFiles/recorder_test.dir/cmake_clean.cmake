@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recorder_test.dir/cluster/recorder_test.cc.o"
+  "CMakeFiles/recorder_test.dir/cluster/recorder_test.cc.o.d"
+  "recorder_test"
+  "recorder_test.pdb"
+  "recorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_pqos_test.dir/pqos/resctrl_pqos_test.cc.o"
+  "CMakeFiles/resctrl_pqos_test.dir/pqos/resctrl_pqos_test.cc.o.d"
+  "resctrl_pqos_test"
+  "resctrl_pqos_test.pdb"
+  "resctrl_pqos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_pqos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pqos_test.dir/pqos/sim_pqos_test.cc.o"
+  "CMakeFiles/sim_pqos_test.dir/pqos/sim_pqos_test.cc.o.d"
+  "sim_pqos_test"
+  "sim_pqos_test.pdb"
+  "sim_pqos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pqos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_suite_test.dir/workloads/spec_suite_test.cc.o"
+  "CMakeFiles/spec_suite_test.dir/workloads/spec_suite_test.cc.o.d"
+  "spec_suite_test"
+  "spec_suite_test.pdb"
+  "spec_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

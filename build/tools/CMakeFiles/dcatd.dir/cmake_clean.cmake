@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatd.dir/dcatd.cc.o"
+  "CMakeFiles/dcatd.dir/dcatd.cc.o.d"
+  "dcatd"
+  "dcatd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
