@@ -47,6 +47,6 @@ int main() {
   std::printf("first run settled at %u ways (one way per interval discovery)\n", discovered);
   std::printf("rerun reached %u ways within 2 intervals (fast path; no re-climb)\n",
               ways_after_one_interval);
-  std::printf("performance table: %s\n", host.dcat()->TenantTable(1).ToString().c_str());
+  std::printf("performance table: %s\n", host.dcat()->Snapshot(1).table.ToString().c_str());
   return 0;
 }

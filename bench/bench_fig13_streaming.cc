@@ -37,7 +37,7 @@ int main() {
   std::printf("peak allocation while Unknown: %u ways (streaming threshold: 9 = 3x baseline)\n",
               peak);
   std::printf("final: %u way(s), category %s\n", host.dcat()->TenantWays(1),
-              CategoryName(host.dcat()->TenantCategory(1)));
+              CategoryName(host.dcat()->Snapshot(1).category));
   std::printf(
       "Expected shape: grows toward 3x baseline with flat normalized IPC,\n"
       "then is classified Streaming and drops to 1 way.\n");

@@ -39,8 +39,8 @@ int main() {
               recorder.TimelineTable({{1, "mlr"}, {2, "mload"}}, {{1, mlr_base}, {2, mload_base}})
                   .c_str());
   std::printf("final: MLR %u ways (%s), MLOAD %u ways (%s)\n\n", host.dcat()->TenantWays(1),
-              CategoryName(host.dcat()->TenantCategory(1)), host.dcat()->TenantWays(2),
-              CategoryName(host.dcat()->TenantCategory(2)));
+              CategoryName(host.dcat()->Snapshot(1).category), host.dcat()->TenantWays(2),
+              CategoryName(host.dcat()->Snapshot(2).category));
 
   // --- Figure 16: normalized (to full cache) latency for both ---
   auto full_cache_latency = [](auto make_workload) {

@@ -65,8 +65,8 @@ int main() {
   std::printf("final categories:\n");
   for (TenantId id = 1; id <= 6; ++id) {
     std::printf("  tenant %u: %-10s %2u ways (baseline %u)\n", id,
-                CategoryName(host.dcat()->TenantCategory(id)), host.dcat()->TenantWays(id),
-                host.dcat()->TenantBaselineWays(id));
+                CategoryName(host.dcat()->Snapshot(id).category), host.dcat()->TenantWays(id),
+                host.dcat()->Snapshot(id).baseline_ways);
   }
 
   // The controller's decision log doubles as an audit trail.

@@ -43,11 +43,11 @@ int main() {
                           .TimelineTable({{1, "mlr"}, {2, "lookbusy"}})
                           .c_str());
   std::printf("mlr     : category=%s ways=%u (baseline %u)\n",
-              CategoryName(host.dcat()->TenantCategory(1)), host.dcat()->TenantWays(1),
-              host.dcat()->TenantBaselineWays(1));
+              CategoryName(host.dcat()->Snapshot(1).category), host.dcat()->TenantWays(1),
+              host.dcat()->Snapshot(1).baseline_ways);
   std::printf("lookbusy: category=%s ways=%u (baseline %u)\n",
-              CategoryName(host.dcat()->TenantCategory(2)), host.dcat()->TenantWays(2),
-              host.dcat()->TenantBaselineWays(2));
-  std::printf("mlr performance table: %s\n", host.dcat()->TenantTable(1).ToString().c_str());
+              CategoryName(host.dcat()->Snapshot(2).category), host.dcat()->TenantWays(2),
+              host.dcat()->Snapshot(2).baseline_ways);
+  std::printf("mlr performance table: %s\n", host.dcat()->Snapshot(1).table.ToString().c_str());
   return 0;
 }

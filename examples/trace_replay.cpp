@@ -73,9 +73,9 @@ int main(int argc, char** argv) {
   std::printf("%s\n", recorder.TimelineTable({{1, "trace"}, {2, "busy"}}).c_str());
   auto& replay = static_cast<TraceWorkload&>(vm.workload());
   std::printf("trace tenant: %s, %u ways (baseline %u), %llu full passes replayed\n",
-              CategoryName(host.dcat()->TenantCategory(1)), host.dcat()->TenantWays(1),
-              host.dcat()->TenantBaselineWays(1),
+              CategoryName(host.dcat()->Snapshot(1).category), host.dcat()->TenantWays(1),
+              host.dcat()->Snapshot(1).baseline_ways,
               static_cast<unsigned long long>(replay.passes()));
-  std::printf("performance table: %s\n", host.dcat()->TenantTable(1).ToString().c_str());
+  std::printf("performance table: %s\n", host.dcat()->Snapshot(1).table.ToString().c_str());
   return 0;
 }

@@ -75,6 +75,15 @@ class Host {
   }
   uint64_t intervals() const { return intervals_; }
 
+  // Registers a telemetry sink with the cache manager's decision stream.
+  // Only the dCat controller emits events; a no-op in the baseline modes
+  // so experiment harnesses can attach sinks unconditionally.
+  void AddEventSink(EventSink* sink) {
+    if (dcat_ != nullptr) {
+      dcat_->AddEventSink(sink);
+    }
+  }
+
   Socket& socket() { return socket_; }
   SimPqos& pqos() { return pqos_; }
   CacheManager& manager() { return *manager_; }

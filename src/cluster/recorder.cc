@@ -17,6 +17,15 @@ void Recorder::Record(double t, const std::vector<VmIntervalStats>& stats) {
   }
 }
 
+void Recorder::OnTick(const TickEvent& event) {
+  Point p;
+  p.t = static_cast<double>(event.tick) * interval_seconds_;
+  p.ways = event.ways;
+  p.ipc = event.ipc;
+  p.llc_miss_rate = event.llc_miss_rate;
+  series_[event.tenant].push_back(p);
+}
+
 const std::vector<Recorder::Point>& Recorder::series(TenantId id) const {
   static const std::vector<Point> kEmpty;
   if (auto it = series_.find(id); it != series_.end()) {

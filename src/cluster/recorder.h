@@ -1,8 +1,11 @@
 // Time-series recording for experiments.
 //
-// Collects the per-interval stats Host::Step() returns and renders the
-// "ways over time" / "normalized IPC over time" views the paper's Figures
-// 10, 12, 13, 14 and 15 plot.
+// Collects per-interval tenant stats and renders the "ways over time" /
+// "normalized IPC over time" views the paper's Figures 10, 12, 13, 14 and
+// 15 plot. Two feeding paths: Record() with the stats Host::Step()
+// returns (works for every manager mode), or attaching the Recorder as an
+// EventSink on the dCat controller's decision stream, which records each
+// TickEvent automatically at t = tick * interval_seconds.
 #ifndef SRC_CLUSTER_RECORDER_H_
 #define SRC_CLUSTER_RECORDER_H_
 
@@ -12,12 +15,21 @@
 #include <vector>
 
 #include "src/cluster/host.h"
+#include "src/telemetry/events.h"
 
 namespace dcat {
 
-class Recorder {
+class Recorder : public EventSink {
  public:
+  Recorder() = default;
+  // interval_seconds converts controller ticks to wall time when the
+  // Recorder is fed through the event stream.
+  explicit Recorder(double interval_seconds) : interval_seconds_(interval_seconds) {}
+
   void Record(double t, const std::vector<VmIntervalStats>& stats);
+
+  // EventSink: one point per tenant per controller tick.
+  void OnTick(const TickEvent& event) override;
 
   struct Point {
     double t = 0.0;
@@ -45,6 +57,7 @@ class Recorder {
   std::string ToCsv() const;
 
  private:
+  double interval_seconds_ = 1.0;
   std::map<TenantId, std::vector<Point>> series_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/common/log.h"
+#include "src/common/strings.h"
 #include "src/workloads/factory.h"
 
 namespace dcat {
@@ -14,39 +15,30 @@ ScheduleParseResult ParseSchedule(const std::string& text) {
     result.ok = true;
     return result;
   }
-  size_t start = 0;
-  while (start <= text.size()) {
-    const size_t end = text.find(',', start);
-    const std::string item =
-        text.substr(start, end == std::string::npos ? std::string::npos : end - start);
-    if (!item.empty()) {
-      const size_t colon = item.find(':');
-      const size_t eq = item.find('=', colon == std::string::npos ? 0 : colon);
-      if (colon == std::string::npos || eq == std::string::npos || eq < colon) {
-        result.error = "expected interval:tenant=spec, got '" + item + "'";
-        return result;
-      }
-      char* after_interval = nullptr;
-      char* after_tenant = nullptr;
-      const uint64_t interval = std::strtoull(item.c_str(), &after_interval, 10);
-      const uint64_t tenant = std::strtoull(item.c_str() + colon + 1, &after_tenant, 10);
-      if (after_interval != item.c_str() + colon || after_tenant != item.c_str() + eq ||
-          tenant == 0) {
-        result.error = "bad interval or tenant id in '" + item + "'";
-        return result;
-      }
-      const std::string spec = item.substr(eq + 1);
-      if (spec.empty()) {
-        result.error = "empty workload spec in '" + item + "'";
-        return result;
-      }
-      result.events.push_back(
-          ScheduleEvent{interval, static_cast<TenantId>(tenant), spec});
+  for (const std::string& item : Split(text, ',')) {
+    if (item.empty()) {
+      continue;
     }
-    if (end == std::string::npos) {
-      break;
+    // "<interval>:<tenant>=<spec>"; the spec may contain ':' itself.
+    const auto [interval_text, rest] = SplitFirst(item, ':');
+    const auto [tenant_text, spec] = SplitFirst(rest, '=');
+    if (rest.empty() || item.find(':') == std::string::npos ||
+        rest.find('=') == std::string::npos) {
+      result.error = "expected interval:tenant=spec, got '" + item + "'";
+      return result;
     }
-    start = end + 1;
+    uint64_t interval = 0;
+    uint64_t tenant = 0;
+    if (!ParseUint64(interval_text, &interval) || !ParseUint64(tenant_text, &tenant) ||
+        tenant == 0) {
+      result.error = "bad interval or tenant id in '" + item + "'";
+      return result;
+    }
+    if (spec.empty()) {
+      result.error = "empty workload spec in '" + item + "'";
+      return result;
+    }
+    result.events.push_back(ScheduleEvent{interval, static_cast<TenantId>(tenant), spec});
   }
   std::stable_sort(result.events.begin(), result.events.end(),
                    [](const ScheduleEvent& a, const ScheduleEvent& b) {

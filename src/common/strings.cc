@@ -1,0 +1,78 @@
+#include "src/common/strings.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace dcat {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::pair<std::string, std::string> SplitFirst(const std::string& text, char sep) {
+  const size_t pos = text.find(sep);
+  if (pos == std::string::npos) {
+    return {text, ""};
+  }
+  return {text.substr(0, pos), text.substr(pos + 1)};
+}
+
+std::string Trim(const std::string& text) {
+  const size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  // strtoull silently skips leading whitespace and accepts signs; ban both.
+  if (text.empty() || !(text[0] >= '0' && text[0] <= '9')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ParseUint32(const std::string& text, uint32_t* out) {
+  uint64_t wide = 0;
+  if (!ParseUint64(text, &wide) || wide > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace dcat

@@ -1,0 +1,37 @@
+// Small string utilities shared by the CLI, config, and workload parsers.
+//
+// Every user-facing parser in the tree (dcatd flags, dcat.conf, workload
+// specs, schedules) splits on single-character separators and converts
+// number-like fields; this header is the one copy of that logic. The Parse*
+// helpers are strict: trailing garbage ("12abc") and empty strings fail
+// instead of silently truncating the way std::atoi does.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcat {
+
+// Splits on every occurrence of `sep`. "a,,b" -> {"a", "", "b"}; the empty
+// string yields {""} (one empty field), matching the usual CSV convention.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+// Splits at the first occurrence of `sep` only: "trace:a:b" -> {"trace",
+// "a:b"}. When `sep` is absent the second element is empty.
+std::pair<std::string, std::string> SplitFirst(const std::string& text, char sep);
+
+// Strips leading/trailing spaces, tabs and carriage returns.
+std::string Trim(const std::string& text);
+
+// Strict decimal parsers: the whole string must be consumed, no sign for the
+// unsigned variants. Return false (leaving *out untouched) on any garbage.
+bool ParseUint64(const std::string& text, uint64_t* out);
+bool ParseUint32(const std::string& text, uint32_t* out);
+bool ParseDouble(const std::string& text, double* out);
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,4 +1,7 @@
 // Workload categories of the dCat state machine (Fig. 6 of the paper).
+//
+// Header-only (including CategoryName) so the telemetry layer can render
+// categories without linking the controller library.
 #ifndef SRC_CORE_CATEGORY_H_
 #define SRC_CORE_CATEGORY_H_
 
@@ -22,7 +25,23 @@ enum class Category {
   kUnknown,
 };
 
-const char* CategoryName(Category category);
+constexpr const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kReclaim:
+      return "Reclaim";
+    case Category::kKeeper:
+      return "Keeper";
+    case Category::kDonor:
+      return "Donor";
+    case Category::kReceiver:
+      return "Receiver";
+    case Category::kStreaming:
+      return "Streaming";
+    case Category::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
 
 }  // namespace dcat
 

@@ -1,47 +1,27 @@
 #include "src/core/config_io.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "src/common/strings.h"
 
 namespace dcat {
 namespace {
 
-std::string Trim(const std::string& text) {
-  const size_t begin = text.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) {
-    return "";
-  }
-  const size_t end = text.find_last_not_of(" \t\r");
-  return text.substr(begin, end - begin + 1);
-}
-
-bool ParseDouble(const std::string& value, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(value.c_str(), &end);
-  return end != value.c_str() && *end == '\0';
-}
-
-bool ParseUint(const std::string& value, uint64_t* out) {
-  char* end = nullptr;
-  *out = std::strtoull(value.c_str(), &end, 10);
-  return end != value.c_str() && *end == '\0';
-}
+bool ParseUint(const std::string& value, uint64_t* out) { return ParseUint64(value, out); }
 
 }  // namespace
 
 ConfigParseResult ParseDcatConfig(const std::string& text) {
   ConfigParseResult result;
   result.config = DcatConfig{};
-  std::istringstream in(text);
-  std::string line;
   int line_number = 0;
   auto fail = [&result, &line_number](const std::string& message) {
     result.ok = false;
     result.error = "line " + std::to_string(line_number) + ": " + message;
   };
 
-  while (std::getline(in, line)) {
+  for (std::string line : Split(text, '\n')) {
     ++line_number;
     if (const size_t hash = line.find('#'); hash != std::string::npos) {
       line.resize(hash);
@@ -50,13 +30,13 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
     if (line.empty()) {
       continue;
     }
-    const size_t eq = line.find('=');
-    if (eq == std::string::npos) {
+    const auto [raw_key, raw_value] = SplitFirst(line, '=');
+    if (line.find('=') == std::string::npos) {
       fail("expected key = value, got '" + line + "'");
       return result;
     }
-    const std::string key = Trim(line.substr(0, eq));
-    const std::string value = Trim(line.substr(eq + 1));
+    const std::string key = Trim(raw_key);
+    const std::string value = Trim(raw_value);
 
     DcatConfig& c = result.config;
     double d = 0.0;

@@ -1,11 +1,12 @@
 #include "src/core/dcat_controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "src/common/log.h"
-#include "src/common/table.h"
 
 namespace dcat {
 
@@ -87,6 +88,12 @@ void DcatController::AddTenant(const TenantSpec& spec) {
     targets.push_back(t.ways);
   }
   ApplyMasks(targets);
+  sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                      .tenant = spec.id,
+                                      .reason = AllocationReason::kAdmit,
+                                      .from_ways = 0,
+                                      .to_ways = config_.min_ways});
+  metrics_.counter("controller.admissions").Increment();
 }
 
 bool DcatController::HasTenant(TenantId id) const {
@@ -100,6 +107,7 @@ void DcatController::RemoveTenant(TenantId id) {
   if (it == tenants_.end()) {
     return;
   }
+  const uint32_t released_ways = it->ways;
   // Return the cores to the unmanaged class; the departed tenant's lines
   // are evicted naturally by the ways' next owners.
   for (uint16_t core : it->spec.cores) {
@@ -113,6 +121,12 @@ void DcatController::RemoveTenant(TenantId id) {
     targets.push_back(t.ways);
   }
   ApplyMasks(targets);
+  sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                      .tenant = id,
+                                      .reason = AllocationReason::kEvict,
+                                      .from_ways = released_ways,
+                                      .to_ways = 0});
+  metrics_.counter("controller.evictions").Increment();
 }
 
 DcatController::TenantState& DcatController::FindTenant(TenantId id) {
@@ -152,11 +166,20 @@ void DcatController::DetectPhase(TenantState& tenant) {
   // A new phase invalidates the baseline comparison: Reclaim (§3.4,
   // "Reclaim is applied immediately once there is a phase change").
   tenant.category = Category::kReclaim;
-  tenant.phase_index = tenant.book.FindOrCreate(tenant.detector.signature());
+  const double signature = tenant.detector.signature();
+  const bool known_phase = tenant.book.Find(signature) != PhaseBook::kNotFound;
+  tenant.phase_index = tenant.book.FindOrCreate(signature);
   tenant.has_phase = true;
   tenant.has_last_ipc = false;
   tenant.grow_denied = false;
   tenant.measuring_baseline = false;
+  sinks_.OnPhaseChange(PhaseChangeEvent{.tick = tick_,
+                                        .tenant = tenant.spec.id,
+                                        .phase_index = tenant.phase_index,
+                                        .signature = signature,
+                                        .known_phase = known_phase});
+  metrics_.counter("controller.phase_changes").Increment();
+  metrics_.counter("tenant." + std::to_string(tenant.spec.id) + ".phase_changes").Increment();
 }
 
 // --- Step 1 (Get Baseline) + performance table maintenance ---
@@ -360,6 +383,11 @@ void DcatController::AllocateAndApply() {
   const uint32_t total = cat_->NumWays();
   const size_t n = tenants_.size();
   std::vector<uint32_t> targets(n, 0);
+  std::vector<uint32_t> before(n, 0);
+  std::vector<std::optional<AllocationReason>> reason(n);
+  for (size_t i = 0; i < n; ++i) {
+    before[i] = tenants_[i].ways;
+  }
 
   // Pass 1: fixed demands.
   for (size_t i = 0; i < n; ++i) {
@@ -371,6 +399,7 @@ void DcatController::AllocateAndApply() {
           // Phase change into idleness: nothing to reclaim for.
           t.category = Category::kDonor;
           targets[i] = config_.min_ways;
+          reason[i] = AllocationReason::kDonate;
           break;
         }
         const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
@@ -389,6 +418,8 @@ void DcatController::AllocateAndApply() {
           // Category stays Reclaim for one interval; Categorize moves it to
           // Keeper after the baseline measurement lands.
         }
+        reason[i] = AllocationReason::kReclaim;
+        metrics_.counter("controller.reclaims").Increment();
         break;
       }
       case Category::kDonor:
@@ -399,9 +430,11 @@ void DcatController::AllocateAndApply() {
         } else {
           targets[i] = std::max(t.ways > 0 ? t.ways - 1 : 0, config_.min_ways);  // gradual
         }
+        reason[i] = AllocationReason::kDonate;
         break;
       case Category::kStreaming:
         targets[i] = config_.min_ways;
+        reason[i] = AllocationReason::kDonate;
         break;
       case Category::kKeeper:
       case Category::kUnknown:
@@ -444,6 +477,7 @@ void DcatController::AllocateAndApply() {
       std::abort();
     }
     --targets[victim];
+    reason[victim] = AllocationReason::kShrinkForReclaim;
   }
 
   // Pass 3: growth. Unknowns have priority over Receivers (§3.5: identify
@@ -462,6 +496,7 @@ void DcatController::AllocateAndApply() {
       }
       ++targets[i];
       --pool;
+      reason[i] = AllocationReason::kGrowFromPool;
     }
     // Anyone in this class who wanted a way but got none?
     for (size_t i = 0; i < n; ++i) {
@@ -475,10 +510,41 @@ void DcatController::AllocateAndApply() {
   // Pass 4: max-performance rebalancing once discovery has populated the
   // tables and the pool is exhausted.
   if (config_.policy == AllocationPolicy::kMaxPerformance && pool == 0) {
+    const std::vector<uint32_t> before_rebalance = targets;
     MaxPerformanceRebalance(targets);
+    for (size_t i = 0; i < n; ++i) {
+      if (targets[i] != before_rebalance[i]) {
+        reason[i] = AllocationReason::kRebalance;
+      }
+    }
   }
 
   ApplyMasks(targets);
+  metrics_.gauge("controller.pool_ways").Set(static_cast<double>(total - used()));
+
+  // Publish the decisions: every change carries its reason; a denied grow
+  // is published even though the allocation itself did not move.
+  for (size_t i = 0; i < n; ++i) {
+    const TenantState& t = tenants_[i];
+    if (targets[i] != before[i]) {
+      const AllocationReason r = reason[i].value_or(
+          targets[i] > before[i] ? AllocationReason::kGrowFromPool : AllocationReason::kDonate);
+      sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                          .tenant = t.spec.id,
+                                          .reason = r,
+                                          .from_ways = before[i],
+                                          .to_ways = targets[i]});
+      metrics_.counter(std::string("controller.alloc.") + AllocationReasonName(r)).Increment();
+    }
+    if (t.grow_denied) {
+      sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                          .tenant = t.spec.id,
+                                          .reason = AllocationReason::kGrowDenied,
+                                          .from_ways = before[i],
+                                          .to_ways = targets[i]});
+      metrics_.counter("controller.alloc.grow-denied").Increment();
+    }
+  }
 }
 
 void DcatController::MaxPerformanceRebalance(std::vector<uint32_t>& targets) {
@@ -562,39 +628,109 @@ void DcatController::ApplyMasks(const std::vector<uint32_t>& targets) {
 void DcatController::Tick() {
   ++tick_;
   for (TenantState& t : tenants_) {
+    t.category_at_tick_start = t.category;
     t.sample = CollectSample(t);
     DetectPhase(t);
     UpdateBaselineAndTable(t);
     Categorize(t);
     t.prev_interval_ways = t.ways;
   }
+  const auto alloc_start = std::chrono::steady_clock::now();
   AllocateAndApply();
-  if (logging_) {
-    for (TenantState& t : tenants_) {
-      LogEntry entry;
-      entry.tick = tick_;
-      entry.tenant = t.spec.id;
-      entry.category = t.category;
-      entry.ways = t.ways;
-      entry.ipc = t.sample.ipc();
-      entry.norm_ipc = TenantNormalizedIpc(t.spec.id);
-      entry.llc_miss_rate = t.sample.llc_miss_rate();
-      entry.phase_changed = t.phase_changed;
-      log_.push_back(entry);
+  const double alloc_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - alloc_start)
+          .count();
+  EmitTickEventsAndMetrics();
+  metrics_.histogram("controller.allocate_latency_us", {1.0, 10.0, 100.0, 1000.0, 10000.0})
+      .Observe(alloc_us);
+}
+
+void DcatController::EmitTickEventsAndMetrics() {
+  // Category transitions cover the whole interval: detector-driven moves to
+  // Reclaim, the Fig. 6 machine, and allocation-time fixups alike.
+  for (const TenantState& t : tenants_) {
+    if (t.category != t.category_at_tick_start) {
+      sinks_.OnCategoryChange(CategoryChangeEvent{.tick = tick_,
+                                                  .tenant = t.spec.id,
+                                                  .from = t.category_at_tick_start,
+                                                  .to = t.category});
     }
+  }
+  size_t category_counts[6] = {};
+  for (const TenantState& t : tenants_) {
+    TickEvent entry;
+    entry.tick = tick_;
+    entry.tenant = t.spec.id;
+    entry.category = t.category;
+    entry.ways = t.ways;
+    entry.ipc = t.sample.ipc();
+    entry.norm_ipc = NormalizedIpc(t);
+    entry.llc_miss_rate = t.sample.llc_miss_rate();
+    entry.phase_changed = t.phase_changed;
+    sinks_.OnTick(entry);
+    if (logging_) {
+      decision_log_.OnTick(entry);
+    }
+    ++category_counts[static_cast<size_t>(t.category)];
+  }
+  metrics_.counter("controller.ticks").Increment();
+  metrics_.gauge("controller.tenants").Set(static_cast<double>(tenants_.size()));
+  for (const Category c : {Category::kReclaim, Category::kKeeper, Category::kDonor,
+                           Category::kReceiver, Category::kStreaming, Category::kUnknown}) {
+    metrics_.gauge(std::string("controller.category.") + CategoryName(c))
+        .Set(static_cast<double>(category_counts[static_cast<size_t>(c)]));
   }
 }
 
-std::string DcatController::LogToCsv() const {
-  TextTable table({"tick", "tenant", "category", "ways", "ipc", "norm_ipc", "llc_miss_rate",
-                   "phase_changed"});
-  for (const LogEntry& e : log_) {
-    table.AddRow({TextTable::FmtInt(static_cast<long long>(e.tick)), TextTable::FmtInt(e.tenant),
-                  CategoryName(e.category), TextTable::FmtInt(e.ways),
-                  TextTable::Fmt(e.ipc, 4), TextTable::Fmt(e.norm_ipc, 4),
-                  TextTable::Fmt(e.llc_miss_rate, 4), e.phase_changed ? "1" : "0"});
+double DcatController::NormalizedIpc(const TenantState& tenant) const {
+  if (!tenant.has_phase) {
+    return 0.0;
   }
-  return table.ToCsv();
+  const PhaseBook::PhaseRecord& phase = CurrentPhase(tenant);
+  if (!phase.baseline_valid || phase.baseline_ipc <= 0.0) {
+    return 0.0;
+  }
+  return tenant.sample.ipc() / phase.baseline_ipc;
+}
+
+TenantSnapshot DcatController::MakeSnapshot(const TenantState& tenant) const {
+  TenantSnapshot s;
+  s.id = tenant.spec.id;
+  s.name = tenant.spec.name;
+  s.category = tenant.category;
+  s.ways = tenant.ways;
+  s.baseline_ways = tenant.spec.baseline_ways;
+  s.ipc = tenant.sample.ipc();
+  s.norm_ipc = NormalizedIpc(tenant);
+  s.llc_miss_rate = tenant.sample.llc_miss_rate();
+  s.phase_changed = tenant.phase_changed;
+  s.has_phase = tenant.has_phase;
+  s.grow_denied = tenant.grow_denied;
+  if (tenant.has_phase) {
+    const PhaseBook::PhaseRecord& phase = CurrentPhase(tenant);
+    s.baseline_valid = phase.baseline_valid;
+    s.baseline_ipc = phase.baseline_ipc;
+    s.table = phase.table;
+  }
+  return s;
+}
+
+TenantSnapshot DcatController::Snapshot(TenantId id) const {
+  return MakeSnapshot(FindTenant(id));
+}
+
+ControllerSnapshot DcatController::Snapshot() const {
+  ControllerSnapshot s;
+  s.tick = tick_;
+  s.policy = config_.policy;
+  s.total_ways = cat_->NumWays();
+  s.tenants.reserve(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    s.tenants.push_back(MakeSnapshot(t));
+    s.allocated_ways += t.ways;
+  }
+  s.pool_ways = s.total_ways > s.allocated_ways ? s.total_ways - s.allocated_ways : 0;
+  return s;
 }
 
 uint32_t DcatController::TenantWays(TenantId id) const { return FindTenant(id).ways; }
@@ -606,15 +742,7 @@ uint32_t DcatController::TenantBaselineWays(TenantId id) const {
 }
 
 double DcatController::TenantNormalizedIpc(TenantId id) const {
-  const TenantState& t = FindTenant(id);
-  if (!t.has_phase) {
-    return 0.0;
-  }
-  const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
-  if (!phase.baseline_valid || phase.baseline_ipc <= 0.0) {
-    return 0.0;
-  }
-  return t.sample.ipc() / phase.baseline_ipc;
+  return NormalizedIpc(FindTenant(id));
 }
 
 const PerformanceTable& DcatController::TenantTable(TenantId id) const {

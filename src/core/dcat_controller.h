@@ -18,6 +18,12 @@
 // baseline ways unless it donated them voluntarily (Donor/Streaming); a
 // phase change immediately reclaims the baseline, shrinking over-baseline
 // tenants if the free pool cannot cover it.
+//
+// Observability: every decision is published through the telemetry layer
+// (src/telemetry/) — phase changes, category transitions and allocation
+// moves (with reasons) stream to registered EventSinks, counters/gauges/
+// histograms accumulate in a MetricsRegistry, and point-in-time state is
+// read through the Snapshot() value API.
 #ifndef SRC_CORE_DCAT_CONTROLLER_H_
 #define SRC_CORE_DCAT_CONTROLLER_H_
 
@@ -34,8 +40,44 @@
 #include "src/core/performance_table.h"
 #include "src/core/phase_detector.h"
 #include "src/pqos/pqos.h"
+#include "src/telemetry/events.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace dcat {
+
+// Immutable value copy of one tenant's controller state — the single
+// introspection surface for tools, tests and benchmarks.
+struct TenantSnapshot {
+  TenantId id = 0;
+  std::string name;
+  Category category = Category::kDonor;
+  uint32_t ways = 0;
+  uint32_t baseline_ways = 0;
+  // Raw IPC of the last interval, and IPC normalized to the current phase's
+  // baseline (0 until that baseline is established).
+  double ipc = 0.0;
+  double norm_ipc = 0.0;
+  double llc_miss_rate = 0.0;
+  bool phase_changed = false;  // fired during the last interval
+  bool has_phase = false;
+  bool baseline_valid = false;
+  double baseline_ipc = 0.0;
+  bool grow_denied = false;  // wanted a way last interval, pool was dry
+  // Copy of the current phase's performance table; empty before the first
+  // phase is identified.
+  PerformanceTable table;
+};
+
+// Whole-socket controller state at one instant.
+struct ControllerSnapshot {
+  uint64_t tick = 0;
+  AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  uint32_t total_ways = 0;
+  uint32_t allocated_ways = 0;
+  uint32_t pool_ways = 0;
+  std::vector<TenantSnapshot> tenants;
+};
 
 class DcatController : public CacheManager {
  public:
@@ -51,32 +93,42 @@ class DcatController : public CacheManager {
   size_t num_tenants() const { return tenants_.size(); }
   bool HasTenant(TenantId id) const;
 
-  // --- introspection (tests, benchmarks, operator tooling) ---
+  // --- introspection ---
 
-  Category TenantCategory(TenantId id) const;
-  uint32_t TenantBaselineWays(TenantId id) const;
-  // Normalized IPC of the last interval (1.0 == phase baseline); 0 when the
-  // baseline is not yet established.
-  double TenantNormalizedIpc(TenantId id) const;
-  // The tenant's performance table for its current phase.
-  const PerformanceTable& TenantTable(TenantId id) const;
+  // Value snapshot of one tenant (aborts on unknown id, like every other
+  // per-tenant accessor) or of the whole controller.
+  TenantSnapshot Snapshot(TenantId id) const;
+  ControllerSnapshot Snapshot() const;
   uint64_t ticks() const { return tick_; }
 
+  // Deprecated getter quintet, kept as thin wrappers over Snapshot state
+  // until the last out-of-tree caller migrates. TenantWays stays: it is the
+  // CacheManager interface, not an introspection extra.
+  [[deprecated("use Snapshot(id).category")]] Category TenantCategory(TenantId id) const;
+  [[deprecated("use Snapshot(id).baseline_ways")]] uint32_t TenantBaselineWays(
+      TenantId id) const;
+  [[deprecated("use Snapshot(id).norm_ipc")]] double TenantNormalizedIpc(TenantId id) const;
+  [[deprecated("use Snapshot(id).table")]] const PerformanceTable& TenantTable(
+      TenantId id) const;
+
+  // --- telemetry ---
+
+  // Registers a sink for decision events (borrowed; must outlive the
+  // controller or be removed by destroying the controller first).
+  void AddEventSink(EventSink* sink) { sinks_.AddSink(sink); }
+
+  // Control-loop metrics (ticks, phase changes, reclaims, pool occupancy,
+  // per-category tenant counts, allocation latency).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   // One row of the decision log, recorded per tenant per tick.
-  struct LogEntry {
-    uint64_t tick = 0;
-    TenantId tenant = 0;
-    Category category = Category::kKeeper;
-    uint32_t ways = 0;
-    double ipc = 0.0;
-    double norm_ipc = 0.0;
-    double llc_miss_rate = 0.0;
-    bool phase_changed = false;
-  };
-  const std::vector<LogEntry>& log() const { return log_; }
+  using LogEntry = TickEvent;
+  const std::vector<LogEntry>& log() const { return decision_log_.rows(); }
   void set_logging(bool enabled) { logging_ = enabled; }
-  // CSV rendering of the decision log for offline analysis/audit.
-  std::string LogToCsv() const;
+  // CSV rendering of the decision log for offline analysis/audit (the
+  // DecisionLog exporter over the event stream).
+  std::string LogToCsv() const { return decision_log_.ToCsv(); }
 
  private:
   struct TenantState {
@@ -103,6 +155,7 @@ class DcatController : public CacheManager {
     bool grow_denied = false;
     WorkloadSample sample;  // scratch: this tick's sample
     bool phase_changed = false;  // scratch
+    Category category_at_tick_start = Category::kDonor;  // scratch
   };
 
   TenantState& FindTenant(TenantId id);
@@ -115,6 +168,10 @@ class DcatController : public CacheManager {
   void AllocateAndApply();
   void MaxPerformanceRebalance(std::vector<uint32_t>& targets);
   void ApplyMasks(const std::vector<uint32_t>& targets);
+
+  TenantSnapshot MakeSnapshot(const TenantState& tenant) const;
+  double NormalizedIpc(const TenantState& tenant) const;
+  void EmitTickEventsAndMetrics();
 
   PhaseBook::PhaseRecord& CurrentPhase(TenantState& tenant) {
     return tenant.book.record(tenant.phase_index);
@@ -129,7 +186,9 @@ class DcatController : public CacheManager {
   std::vector<TenantState> tenants_;
   uint64_t tick_ = 0;
   bool logging_ = true;
-  std::vector<LogEntry> log_;
+  EventFanout sinks_;
+  DecisionLog decision_log_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace dcat

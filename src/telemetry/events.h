@@ -1,0 +1,136 @@
+// Typed telemetry events of the dCat control loop.
+//
+// Every decision the controller takes per interval — phase changes,
+// category transitions, allocation moves with their *reason*, and the
+// per-tenant interval summary — is published as a typed event through the
+// EventSink interface. Sinks are how every consumer observes the
+// controller: the JSONL/CSV trace exporters (trace.h), the Recorder's
+// time series, the metrics registry, and tests that assert on decision
+// sequences. The controller never formats text itself; it emits events and
+// the sinks decide the representation.
+#ifndef SRC_TELEMETRY_EVENTS_H_
+#define SRC_TELEMETRY_EVENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/category.h"
+
+namespace dcat {
+
+using TenantId = uint32_t;
+
+// Why an allocation changed (or was refused). The controller has always
+// decided these; the event stream is where they become observable.
+enum class AllocationReason {
+  kAdmit,             // tenant admitted at the minimum allocation
+  kEvict,             // tenant removed; its ways return to the pool
+  kReclaim,           // phase change: return to baseline / table fast path
+  kShrinkForReclaim,  // over-baseline tenant shrunk to fund a reclaim
+  kGrowFromPool,      // Unknown/Receiver granted a way from the free pool
+  kGrowDenied,        // growth wanted but the pool was dry (ways unchanged)
+  kDonate,            // Donor/Streaming releasing ways
+  kRebalance,         // max-performance DP moved ways between tenants
+};
+
+constexpr const char* AllocationReasonName(AllocationReason reason) {
+  switch (reason) {
+    case AllocationReason::kAdmit:
+      return "admit";
+    case AllocationReason::kEvict:
+      return "evict";
+    case AllocationReason::kReclaim:
+      return "reclaim";
+    case AllocationReason::kShrinkForReclaim:
+      return "shrink-for-reclaim";
+    case AllocationReason::kGrowFromPool:
+      return "grow-from-pool";
+    case AllocationReason::kGrowDenied:
+      return "grow-denied";
+    case AllocationReason::kDonate:
+      return "donate";
+    case AllocationReason::kRebalance:
+      return "rebalance";
+  }
+  return "?";
+}
+
+// Per-tenant summary of one control interval; the decision log's row type
+// (the legacy DcatController::LogEntry is an alias of this struct).
+struct TickEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  Category category = Category::kKeeper;
+  uint32_t ways = 0;
+  double ipc = 0.0;
+  double norm_ipc = 0.0;
+  double llc_miss_rate = 0.0;
+  bool phase_changed = false;
+};
+
+// Step 3 fired: the tenant's mem-accesses-per-instruction signature moved.
+struct PhaseChangeEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  uint64_t phase_index = 0;  // index into the tenant's PhaseBook
+  double signature = 0.0;    // mem/ins signature of the new phase
+  bool known_phase = false;  // true when the PhaseBook had seen it before
+};
+
+// The Fig. 6 state machine moved the tenant between categories.
+struct CategoryChangeEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  Category from = Category::kKeeper;
+  Category to = Category::kKeeper;
+};
+
+// Step 5 changed (or explicitly refused to change) the tenant's ways.
+struct AllocationEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  AllocationReason reason = AllocationReason::kReclaim;
+  uint32_t from_ways = 0;
+  uint32_t to_ways = 0;
+};
+
+// Receiver interface. Default-empty handlers: a sink overrides only the
+// events it cares about. Handlers run synchronously on the control loop —
+// keep them cheap (buffer, don't block).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual void OnTick(const TickEvent& event) { (void)event; }
+  virtual void OnPhaseChange(const PhaseChangeEvent& event) { (void)event; }
+  virtual void OnCategoryChange(const CategoryChangeEvent& event) { (void)event; }
+  virtual void OnAllocation(const AllocationEvent& event) { (void)event; }
+};
+
+// Fan-out sink: forwards every event to each registered sink in
+// registration order. Sinks are borrowed and must outlive the fanout.
+class EventFanout : public EventSink {
+ public:
+  void AddSink(EventSink* sink) { sinks_.push_back(sink); }
+  size_t num_sinks() const { return sinks_.size(); }
+
+  void OnTick(const TickEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnTick(event);
+  }
+  void OnPhaseChange(const PhaseChangeEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnPhaseChange(event);
+  }
+  void OnCategoryChange(const CategoryChangeEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnCategoryChange(event);
+  }
+  void OnAllocation(const AllocationEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnAllocation(event);
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_TELEMETRY_EVENTS_H_

@@ -1,0 +1,314 @@
+#include "src/telemetry/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcat {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (need_comma_) {
+    out_ << ',';
+  }
+  need_comma_ = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ << '{';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ << '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ << '[';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ << ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  Comma();
+  out_ << '"' << JsonEscape(name) << "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& value) {
+  Comma();
+  out_ << '"' << JsonEscape(value) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* value) { return Value(std::string(value)); }
+
+JsonWriter& JsonWriter::Value(double value) {
+  Comma();
+  // %.17g round-trips every double; trim the common integral case.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  Comma();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  Comma();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  Comma();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+namespace {
+
+// Hand-rolled recursive-descent over the flat-object grammar.
+class FlatParser {
+ public:
+  explicit FlatParser(const std::string& text) : text_(text) {}
+
+  bool Parse(std::map<std::string, JsonValue>* out) {
+    SkipSpace();
+    if (!Consume('{')) {
+      return false;
+    }
+    SkipSpace();
+    if (Consume('}')) {
+      return AtEnd();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipSpace();
+      JsonValue value;
+      if (!ParseScalar(&value)) {
+        return false;
+      }
+      (*out)[key] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return AtEnd();
+      }
+      return false;
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // Traces only escape control characters; anything wider would
+          // need UTF-8 encoding this parser does not attempt.
+          if (code > 0x7f) {
+            return false;
+          }
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseScalar(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return ConsumeWord("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return ConsumeWord("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return ConsumeWord("null");
+    }
+    if (c == '{' || c == '[') {
+      return false;  // flat objects only
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ' ' && text_[pos_] != '\t' && text_[pos_] != '\r' &&
+           text_[pos_] != '\n') {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->num = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseFlatJsonObject(const std::string& text, std::map<std::string, JsonValue>* out) {
+  out->clear();
+  return FlatParser(text).Parse(out);
+}
+
+}  // namespace dcat

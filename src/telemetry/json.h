@@ -1,0 +1,63 @@
+// Minimal JSON emission and parsing for the telemetry subsystem.
+//
+// The writer produces compact (no-whitespace) JSON — enough for the JSONL
+// trace and metrics snapshots; the parser handles the flat scalar objects
+// those traces contain (one event per line, no nesting inside events).
+// Deliberately not a general JSON library: no external dependency is worth
+// carrying for newline-delimited telemetry records.
+#ifndef SRC_TELEMETRY_JSON_H_
+#define SRC_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace dcat {
+
+// Escapes `"` `\` and control characters per RFC 8259.
+std::string JsonEscape(const std::string& text);
+
+// Streaming writer with just enough state to place commas correctly.
+//   JsonWriter w; w.BeginObject(); w.Key("a").Value(1); w.EndObject();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& Value(const std::string& value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(uint32_t value) { return Value(static_cast<uint64_t>(value)); }
+  JsonWriter& Value(bool value);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Comma();
+
+  std::ostringstream out_;
+  bool need_comma_ = false;
+};
+
+// A scalar from a parsed flat object.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;     // kString
+  double num = 0.0;    // kNumber
+  bool boolean = false;  // kBool
+};
+
+// Parses one flat JSON object ({"k": scalar, ...}; no nested containers).
+// Returns false on malformed input or nesting. Duplicate keys keep the
+// last occurrence.
+bool ParseFlatJsonObject(const std::string& text, std::map<std::string, JsonValue>* out);
+
+}  // namespace dcat
+
+#endif  // SRC_TELEMETRY_JSON_H_

@@ -1,0 +1,138 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/telemetry/json.h"
+
+namespace dcat {
+namespace {
+
+// Instruments of different kinds share one namespace; a clash is a bug in
+// the instrumenting code, not a runtime condition.
+template <typename Map>
+void CheckNameFree(const Map& map, const std::string& name, const char* kind) {
+  if (map.count(name) > 0) {
+    std::fprintf(stderr, "MetricsRegistry: '%s' already registered as a %s\n", name.c_str(),
+                 kind);
+    std::abort();
+  }
+}
+
+std::string FmtNumber(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);  // +1: the +inf overflow bucket
+}
+
+void HistogramMetric::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) {
+    ++i;
+  }
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second;
+  }
+  CheckNameFree(gauges_, name, "gauge");
+  CheckNameFree(histograms_, name, "histogram");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second;
+  }
+  CheckNameFree(counters_, name, "counter");
+  CheckNameFree(histograms_, name, "histogram");
+  return gauges_[name];
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> bounds) {
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second;
+  }
+  CheckNameFree(counters_, name, "counter");
+  CheckNameFree(gauges_, name, "gauge");
+  return histograms_.emplace(name, HistogramMetric(std::move(bounds))).first->second;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  size_t width = 0;
+  for (const auto& [name, _] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, _] : histograms_) width = std::max(width, name.size());
+
+  std::ostringstream out;
+  auto line = [&out, width](const std::string& name, const std::string& value) {
+    out << name << std::string(width - name.size() + 2, ' ') << value << "\n";
+  };
+  for (const auto& [name, c] : counters_) {
+    line(name, std::to_string(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    line(name, FmtNumber(g.value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    line(name, "count=" + std::to_string(h.count()) + " mean=" + FmtNumber(h.mean()) +
+                   " max=" + FmtNumber(h.max()));
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, c] : counters_) {
+    json.Key(name).Value(static_cast<uint64_t>(c.value()));
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    json.Key(name).Value(g.value());
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count").Value(static_cast<uint64_t>(h.count()));
+    json.Key("sum").Value(h.sum());
+    json.Key("mean").Value(h.mean());
+    json.Key("max").Value(h.max());
+    json.Key("bounds");
+    json.BeginArray();
+    for (double b : h.bounds()) json.Value(b);
+    json.EndArray();
+    json.Key("buckets");
+    json.BeginArray();
+    for (uint64_t b : h.bucket_counts()) json.Value(b);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace dcat

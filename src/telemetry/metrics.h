@@ -1,0 +1,90 @@
+// Metrics registry for the dCat daemon: counters, gauges, histograms.
+//
+// The control loop updates a small fixed set of instruments every interval
+// (ticks, phase changes per tenant, reclaims, pool occupancy, per-category
+// tenant counts, allocation latency); operators snapshot them as aligned
+// text (`dcatd --metrics`) or JSON. Instruments are created on first use
+// and live as long as the registry; returned references stay valid across
+// later registrations.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcat {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time value (pool occupancy, tenants per category).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bound histogram with count/sum, for latency-style distributions.
+// Bounds are upper edges; an implicit +inf bucket catches the tail.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max() const { return max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bucket_counts()[i] observations fell in (bounds[i-1], bounds[i]];
+  // the final element is the +inf overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Finds or creates the named instrument. A name registered as one kind
+  // must not be requested as another (aborts: it is a programming error).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Aligned "name value" text, one instrument per line, sorted by name.
+  std::string RenderText() const;
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum, mean, max, buckets: [...]}}}.
+  std::string RenderJson() const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+ private:
+  // std::map: node-stable, so references survive later registrations, and
+  // iteration is already name-sorted for rendering.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, HistogramMetric> histograms_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_TELEMETRY_METRICS_H_

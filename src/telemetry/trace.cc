@@ -1,0 +1,236 @@
+#include "src/telemetry/trace.h"
+
+#include <istream>
+#include <ostream>
+
+#include "src/common/table.h"
+#include "src/telemetry/json.h"
+
+namespace dcat {
+namespace {
+
+// Writer and reader must agree on field names; keep them in one place.
+constexpr char kType[] = "type";
+constexpr char kTick[] = "tick";
+constexpr char kTenant[] = "tenant";
+
+double NumberOr(const std::map<std::string, JsonValue>& fields, const std::string& key,
+                double fallback) {
+  const auto it = fields.find(key);
+  return it != fields.end() && it->second.kind == JsonValue::Kind::kNumber ? it->second.num
+                                                                           : fallback;
+}
+
+std::optional<std::string> String(const std::map<std::string, JsonValue>& fields,
+                                  const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != JsonValue::Kind::kString) {
+    return std::nullopt;
+  }
+  return it->second.str;
+}
+
+bool BoolOr(const std::map<std::string, JsonValue>& fields, const std::string& key,
+            bool fallback) {
+  const auto it = fields.find(key);
+  return it != fields.end() && it->second.kind == JsonValue::Kind::kBool ? it->second.boolean
+                                                                         : fallback;
+}
+
+}  // namespace
+
+void JsonlTraceWriter::OnTick(const TickEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("tick");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("category").Value(CategoryName(event.category));
+  json.Key("ways").Value(event.ways);
+  json.Key("ipc").Value(event.ipc);
+  json.Key("norm_ipc").Value(event.norm_ipc);
+  json.Key("llc_miss_rate").Value(event.llc_miss_rate);
+  json.Key("phase_changed").Value(event.phase_changed);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnPhaseChange(const PhaseChangeEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("phase_change");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("phase").Value(event.phase_index);
+  json.Key("signature").Value(event.signature);
+  json.Key("known_phase").Value(event.known_phase);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnCategoryChange(const CategoryChangeEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("category_change");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("from").Value(CategoryName(event.from));
+  json.Key("to").Value(CategoryName(event.to));
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnAllocation(const AllocationEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("allocation");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("reason").Value(AllocationReasonName(event.reason));
+  json.Key("from_ways").Value(event.from_ways);
+  json.Key("to_ways").Value(event.to_ways);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+std::string DecisionLog::ToCsv() const {
+  TextTable table({"tick", "tenant", "category", "ways", "ipc", "norm_ipc", "llc_miss_rate",
+                   "phase_changed"});
+  for (const TickEvent& e : rows_) {
+    table.AddRow({TextTable::FmtInt(static_cast<long long>(e.tick)), TextTable::FmtInt(e.tenant),
+                  CategoryName(e.category), TextTable::FmtInt(e.ways),
+                  TextTable::Fmt(e.ipc, 4), TextTable::Fmt(e.norm_ipc, 4),
+                  TextTable::Fmt(e.llc_miss_rate, 4), e.phase_changed ? "1" : "0"});
+  }
+  return table.ToCsv();
+}
+
+std::optional<Category> CategoryFromName(const std::string& name) {
+  for (const Category c : {Category::kReclaim, Category::kKeeper, Category::kDonor,
+                           Category::kReceiver, Category::kStreaming, Category::kUnknown}) {
+    if (name == CategoryName(c)) {
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AllocationReason> AllocationReasonFromName(const std::string& name) {
+  for (const AllocationReason r :
+       {AllocationReason::kAdmit, AllocationReason::kEvict, AllocationReason::kReclaim,
+        AllocationReason::kShrinkForReclaim, AllocationReason::kGrowFromPool,
+        AllocationReason::kGrowDenied, AllocationReason::kDonate,
+        AllocationReason::kRebalance}) {
+    if (name == AllocationReasonName(r)) {
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
+  std::map<std::string, JsonValue> fields;
+  if (!ParseFlatJsonObject(line, &fields)) {
+    return std::nullopt;
+  }
+  const auto type = String(fields, kType);
+  if (!type.has_value()) {
+    return std::nullopt;
+  }
+  TraceEvent record;
+  record.type = *type;
+  const auto tick = static_cast<uint64_t>(NumberOr(fields, kTick, 0));
+  const auto tenant = static_cast<TenantId>(NumberOr(fields, kTenant, 0));
+
+  if (*type == "tick") {
+    TickEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    const auto category = String(fields, "category");
+    const auto parsed = category.has_value() ? CategoryFromName(*category) : std::nullopt;
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    e.category = *parsed;
+    e.ways = static_cast<uint32_t>(NumberOr(fields, "ways", 0));
+    e.ipc = NumberOr(fields, "ipc", 0.0);
+    e.norm_ipc = NumberOr(fields, "norm_ipc", 0.0);
+    e.llc_miss_rate = NumberOr(fields, "llc_miss_rate", 0.0);
+    e.phase_changed = BoolOr(fields, "phase_changed", false);
+    record.tick = e;
+    return record;
+  }
+  if (*type == "phase_change") {
+    PhaseChangeEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    e.phase_index = static_cast<uint64_t>(NumberOr(fields, "phase", 0));
+    e.signature = NumberOr(fields, "signature", 0.0);
+    e.known_phase = BoolOr(fields, "known_phase", false);
+    record.phase_change = e;
+    return record;
+  }
+  if (*type == "category_change") {
+    CategoryChangeEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    const auto from = String(fields, "from");
+    const auto to = String(fields, "to");
+    const auto parsed_from = from.has_value() ? CategoryFromName(*from) : std::nullopt;
+    const auto parsed_to = to.has_value() ? CategoryFromName(*to) : std::nullopt;
+    if (!parsed_from.has_value() || !parsed_to.has_value()) {
+      return std::nullopt;
+    }
+    e.from = *parsed_from;
+    e.to = *parsed_to;
+    record.category_change = e;
+    return record;
+  }
+  if (*type == "allocation") {
+    AllocationEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    const auto reason = String(fields, "reason");
+    const auto parsed = reason.has_value() ? AllocationReasonFromName(*reason) : std::nullopt;
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    e.reason = *parsed;
+    e.from_ways = static_cast<uint32_t>(NumberOr(fields, "from_ways", 0));
+    e.to_ways = static_cast<uint32_t>(NumberOr(fields, "to_ways", 0));
+    record.allocation = e;
+    return record;
+  }
+  return std::nullopt;  // unknown type
+}
+
+std::optional<std::vector<TraceEvent>> ReadTrace(std::istream& in, size_t* error_line) {
+  std::vector<TraceEvent> records;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    auto record = ParseTraceLine(line);
+    if (!record.has_value()) {
+      if (error_line != nullptr) {
+        *error_line = line_number;
+      }
+      return std::nullopt;
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+}  // namespace dcat

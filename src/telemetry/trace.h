@@ -1,0 +1,85 @@
+// Machine-readable decision traces over the telemetry event stream.
+//
+// JsonlTraceWriter serializes every event as one JSON object per line
+// (JSONL), the format `dcatd --trace=FILE` emits:
+//
+//   {"type":"phase_change","tick":1,"tenant":1,"phase":0,...}
+//   {"type":"category_change","tick":1,"tenant":1,"from":"Donor","to":"Reclaim"}
+//   {"type":"allocation","tick":1,"tenant":1,"reason":"reclaim",...}
+//   {"type":"tick","tick":1,"tenant":1,"category":"Reclaim","ways":3,...}
+//
+// DecisionLog accumulates TickEvents and renders the legacy CSV table —
+// the old DcatController::LogToCsv is now exactly this exporter. The
+// reader half (ParseTraceLine / ReadTrace) parses a trace back into typed
+// records so tests can round-trip and tools can post-process.
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/events.h"
+
+namespace dcat {
+
+// Streams events as JSONL to an ostream (borrowed; must outlive the sink).
+// Lines are flushed per event: a trace of a crashed daemon stays readable
+// up to the last completed decision.
+class JsonlTraceWriter : public EventSink {
+ public:
+  explicit JsonlTraceWriter(std::ostream* out) : out_(out) {}
+
+  void OnTick(const TickEvent& event) override;
+  void OnPhaseChange(const PhaseChangeEvent& event) override;
+  void OnCategoryChange(const CategoryChangeEvent& event) override;
+  void OnAllocation(const AllocationEvent& event) override;
+
+  uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream* out_;
+  uint64_t lines_ = 0;
+};
+
+// In-memory decision log: the per-tenant-per-tick rows plus the CSV
+// rendering for offline analysis/audit.
+class DecisionLog : public EventSink {
+ public:
+  void OnTick(const TickEvent& event) override { rows_.push_back(event); }
+
+  const std::vector<TickEvent>& rows() const { return rows_; }
+  void Clear() { rows_.clear(); }
+
+  // "tick,tenant,category,ways,ipc,norm_ipc,llc_miss_rate,phase_changed".
+  std::string ToCsv() const;
+
+ private:
+  std::vector<TickEvent> rows_;
+};
+
+// A parsed trace line: exactly one of the optionals is set.
+struct TraceEvent {
+  std::string type;  // "tick" | "phase_change" | "category_change" | "allocation"
+  std::optional<TickEvent> tick;
+  std::optional<PhaseChangeEvent> phase_change;
+  std::optional<CategoryChangeEvent> category_change;
+  std::optional<AllocationEvent> allocation;
+};
+
+// Parses one JSONL trace line; nullopt on malformed input or unknown type.
+std::optional<TraceEvent> ParseTraceLine(const std::string& line);
+
+// Reads a whole trace; stops and returns nullopt on the first bad line
+// (line numbers start at 1; *error_line is set when provided).
+std::optional<std::vector<TraceEvent>> ReadTrace(std::istream& in,
+                                                  size_t* error_line = nullptr);
+
+// Name <-> enum helpers used by the trace round trip.
+std::optional<Category> CategoryFromName(const std::string& name);
+std::optional<AllocationReason> AllocationReasonFromName(const std::string& name);
+
+}  // namespace dcat
+
+#endif  // SRC_TELEMETRY_TRACE_H_

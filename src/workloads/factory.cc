@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/common/log.h"
+#include "src/common/strings.h"
 #include "src/common/units.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/microbench.h"
@@ -57,9 +58,8 @@ bool SpecExists(const std::string& name) {
 }  // namespace
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& spec, uint64_t seed) {
-  const size_t colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  // "<kind>[:<arg>]"; the arg may itself contain ':' (e.g. trace paths).
+  const auto [kind, arg] = SplitFirst(spec, ':');
 
   if (kind == "mlr" || kind == "mload") {
     uint64_t wss = 0;

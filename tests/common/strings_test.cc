@@ -1,0 +1,69 @@
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dcat {
+namespace {
+
+TEST(SplitTest, SplitsOnEveryOccurrence) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("no-sep", ','), (std::vector<std::string>{"no-sep"}));
+}
+
+TEST(SplitFirstTest, SplitsAtFirstSeparatorOnly) {
+  EXPECT_EQ(SplitFirst("trace:a:b", ':'), (std::pair<std::string, std::string>{"trace", "a:b"}));
+  EXPECT_EQ(SplitFirst("key=value", '='), (std::pair<std::string, std::string>{"key", "value"}));
+  EXPECT_EQ(SplitFirst("lookbusy", ':'), (std::pair<std::string, std::string>{"lookbusy", ""}));
+  EXPECT_EQ(SplitFirst("=v", '='), (std::pair<std::string, std::string>{"", "v"}));
+}
+
+TEST(TrimTest, StripsSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  a b \t"), "a b");
+  EXPECT_EQ(Trim("line\r"), "line");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ParseUint64Test, AcceptsPlainDecimal) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbage) {
+  uint64_t v = 99;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("abc", &v));
+  EXPECT_FALSE(ParseUint64("12abc", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("+5", &v));
+  EXPECT_FALSE(ParseUint64(" 7", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_EQ(v, 99u);  // untouched on failure
+}
+
+TEST(ParseUint32Test, RejectsValuesAbove32Bits) {
+  uint32_t v = 0;
+  EXPECT_TRUE(ParseUint32("4294967295", &v));
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_FALSE(ParseUint32("4294967296", &v));
+  EXPECT_FALSE(ParseUint32("abc", &v));
+}
+
+TEST(ParseDoubleTest, AcceptsDecimalsRejectsTrailingGarbage) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("0.03", &v));
+  EXPECT_DOUBLE_EQ(v, 0.03);
+  EXPECT_TRUE(ParseDouble("-2.5", &v));
+  EXPECT_DOUBLE_EQ(v, -2.5);
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+}  // namespace
+}  // namespace dcat

@@ -36,7 +36,7 @@ TEST_F(DcatControllerTest, IdleTenantBecomesDonorAtMinimum) {
   AddTenant(1, 0);
   controller_.Tick();  // no counters advanced: idle
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kDonor);
   EXPECT_EQ(controller_.TenantWays(1), 1u);
 }
 
@@ -54,8 +54,8 @@ TEST_F(DcatControllerTest, BaselineMeasuredOnFirstCleanInterval) {
   controller_.Tick();  // reclaim to baseline
   FeedMlr(0, 0.05);
   controller_.Tick();  // measures baseline at 3 ways
-  EXPECT_NEAR(controller_.TenantNormalizedIpc(1), 1.0, 1e-6);
-  EXPECT_TRUE(controller_.TenantTable(1).Has(3));
+  EXPECT_NEAR(controller_.Snapshot(1).norm_ipc, 1.0, 1e-6);
+  EXPECT_TRUE(controller_.Snapshot(1).table.Has(3));
 }
 
 TEST_F(DcatControllerTest, CacheHungryWorkloadGrowsOneWayPerInterval) {
@@ -72,7 +72,7 @@ TEST_F(DcatControllerTest, CacheHungryWorkloadGrowsOneWayPerInterval) {
     controller_.Tick();
     EXPECT_EQ(controller_.TenantWays(1), expect_ways);
   }
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kReceiver);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kReceiver);
 }
 
 TEST_F(DcatControllerTest, ReceiverStopsWhenImprovementFades) {
@@ -85,7 +85,7 @@ TEST_F(DcatControllerTest, ReceiverStopsWhenImprovementFades) {
   controller_.Tick();  // +100%: Receiver, -> 5 ways
   FeedMlr(0, 0.101);
   controller_.Tick();  // +1%: stop
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
   const uint32_t settled = controller_.TenantWays(1);
   EXPECT_EQ(settled, 5u);
   // And it must stay settled: the table blocks re-exploration.
@@ -93,7 +93,7 @@ TEST_F(DcatControllerTest, ReceiverStopsWhenImprovementFades) {
     FeedMlr(0, 0.101);
     controller_.Tick();
     EXPECT_EQ(controller_.TenantWays(1), settled) << "oscillation at tick " << i;
-    EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+    EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
   }
 }
 
@@ -109,7 +109,7 @@ TEST_F(DcatControllerTest, ReceiverStopsWhenMissRateDropsAndKeeps) {
   // watermark so the allocation holds).
   FeedMlr(0, 0.12, /*miss_rate=*/0.02);
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
   EXPECT_EQ(controller_.TenantWays(1), 5u);
 }
 
@@ -121,12 +121,12 @@ TEST_F(DcatControllerTest, StreamingDetectedAtThreeTimesBaseline) {
   for (int i = 0; i < 8; ++i) {
     FeedMlr(0, 0.05, /*miss_rate=*/0.9);
     controller_.Tick();
-    if (controller_.TenantCategory(1) == Category::kStreaming) {
+    if (controller_.Snapshot(1).category == Category::kStreaming) {
       break;
     }
     EXPECT_LE(controller_.TenantWays(1), 9u);  // 3x baseline cap while Unknown
   }
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kStreaming);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kStreaming);
   EXPECT_EQ(controller_.TenantWays(1), 1u);  // special donor: minimum ways
 }
 
@@ -138,12 +138,12 @@ TEST_F(DcatControllerTest, StreamingStaysUntilPhaseChange) {
     FeedMlr(0, 0.05, 0.9);
     controller_.Tick();
   }
-  ASSERT_EQ(controller_.TenantCategory(1), Category::kStreaming);
+  ASSERT_EQ(controller_.Snapshot(1).category, Category::kStreaming);
   // Different instruction mix -> phase change -> reclaim.
   pqos_.Feed(0, 0.5, /*mem_per_ins=*/0.10, /*llc_per_ki=*/50, 0.2);
   controller_.Tick();
   EXPECT_EQ(controller_.TenantWays(1), 3u);
-  EXPECT_NE(controller_.TenantCategory(1), Category::kStreaming);
+  EXPECT_NE(controller_.Snapshot(1).category, Category::kStreaming);
 }
 
 TEST_F(DcatControllerTest, PhaseChangeReclaimsBaseline) {
@@ -184,7 +184,7 @@ TEST_F(DcatControllerTest, PerformanceTableFastPathOnPhaseRecurrence) {
   FeedMlr(0, 0.05);
   controller_.Tick();
   EXPECT_EQ(controller_.TenantWays(1), 4u);
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
 }
 
 TEST_F(DcatControllerTest, LowLlcUsageKeeperBecomesIdleDonor) {
@@ -194,7 +194,7 @@ TEST_F(DcatControllerTest, LowLlcUsageKeeperBecomesIdleDonor) {
   controller_.Tick();
   pqos_.Feed(0, 3.5, 0.01, 0.05, 0.0);
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kDonor);
   EXPECT_EQ(controller_.TenantWays(1), 1u);
 }
 
@@ -208,7 +208,7 @@ TEST_F(DcatControllerTest, SatisfiedKeeperDonatesGradually) {
   controller_.Tick();  // baseline measured; Keeper -> Donor (gradual)
   pqos_.Feed(0, 1.0, 0.33, 100, 0.0);
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kDonor);
   EXPECT_LT(controller_.TenantWays(1), 6u);
   // One way per interval, not a cliff.
   const uint32_t after_first_shrink = controller_.TenantWays(1);
@@ -230,7 +230,7 @@ TEST_F(DcatControllerTest, GradualDonorStopsWhenMissesReturn) {
   // Misses become non-trivial: donation stops, size holds.
   pqos_.Feed(0, 0.9, 0.33, 100, /*miss_rate=*/0.10);
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
   pqos_.Feed(0, 0.9, 0.33, 100, 0.10);
   controller_.Tick();
   EXPECT_GE(controller_.TenantWays(1), shrunk - 1);
@@ -334,7 +334,7 @@ TEST_F(DcatControllerTest, UnknownHasPriorityOverReceiverForTheLastWay) {
   controller.Tick();
   // No free ways: neither can grow, but the Unknown was never starved
   // behind the Receiver.
-  EXPECT_EQ(controller.TenantCategory(1), Category::kReceiver);
+  EXPECT_EQ(controller.Snapshot(1).category, Category::kReceiver);
 }
 
 TEST_F(DcatControllerTest, TenantCountLimitedByCos) {
@@ -366,7 +366,7 @@ TEST_F(DcatControllerTest, MultiCoreTenantAggregatesCounters) {
   EXPECT_EQ(controller_.TenantWays(1), 3u);  // active, reclaimed baseline
   FeedMlr(0, 0.05);
   controller_.Tick();
-  EXPECT_NEAR(controller_.TenantNormalizedIpc(1), 1.0, 1e-6);
+  EXPECT_NEAR(controller_.Snapshot(1).norm_ipc, 1.0, 1e-6);
 }
 
 TEST_F(DcatControllerTest, DecisionLogRecordsEveryTenantEveryTick) {
@@ -397,6 +397,135 @@ TEST_F(DcatControllerTest, LogCsvHasHeaderAndOneRowPerDecision) {
   EXPECT_NE(csv.find("tick,tenant,category,ways,"), std::string::npos);
   EXPECT_NE(csv.find("Reclaim"), std::string::npos);
   EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 3);  // header + 2
+}
+
+// --- snapshot API ---
+
+TEST_F(DcatControllerTest, SnapshotMatchesLegacyGetters) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // reclaim to baseline
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // baseline measured
+  FeedMlr(0, 0.10);
+  controller_.Tick();  // growing
+
+  const TenantSnapshot snap = controller_.Snapshot(1);
+  EXPECT_EQ(snap.id, 1u);
+  EXPECT_EQ(snap.ways, controller_.TenantWays(1));
+  // The deprecated wrappers must stay consistent with Snapshot() until the
+  // last caller migrates.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(snap.category, controller_.TenantCategory(1));
+  EXPECT_EQ(snap.baseline_ways, controller_.TenantBaselineWays(1));
+  EXPECT_DOUBLE_EQ(snap.norm_ipc, controller_.TenantNormalizedIpc(1));
+  EXPECT_EQ(snap.table.ToString(), controller_.TenantTable(1).ToString());
+#pragma GCC diagnostic pop
+}
+
+TEST_F(DcatControllerTest, SnapshotBeforeFirstPhaseHasEmptyTable) {
+  AddTenant(1, 0);
+  const TenantSnapshot snap = controller_.Snapshot(1);
+  EXPECT_FALSE(snap.has_phase);
+  EXPECT_FALSE(snap.baseline_valid);
+  EXPECT_EQ(snap.table.size(), 0u);
+  EXPECT_EQ(snap.norm_ipc, 0.0);
+}
+
+TEST_F(DcatControllerTest, ControllerSnapshotAccountsForEveryWay) {
+  AddTenant(1, 0, 3);
+  AddTenant(2, 1, 3);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  const ControllerSnapshot snap = controller_.Snapshot();
+  EXPECT_EQ(snap.tick, 1u);
+  EXPECT_EQ(snap.total_ways, 20u);
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  uint32_t sum = 0;
+  for (const TenantSnapshot& t : snap.tenants) {
+    sum += t.ways;
+  }
+  EXPECT_EQ(snap.allocated_ways, sum);
+  EXPECT_EQ(snap.pool_ways, snap.total_ways - sum);
+}
+
+// --- event stream ---
+
+// Buffers every event so tests can assert on exact decision sequences.
+struct CapturingSink : public EventSink {
+  void OnTick(const TickEvent& e) override { ticks.push_back(e); }
+  void OnPhaseChange(const PhaseChangeEvent& e) override { phase_changes.push_back(e); }
+  void OnCategoryChange(const CategoryChangeEvent& e) override { category_changes.push_back(e); }
+  void OnAllocation(const AllocationEvent& e) override { allocations.push_back(e); }
+
+  std::vector<TickEvent> ticks;
+  std::vector<PhaseChangeEvent> phase_changes;
+  std::vector<CategoryChangeEvent> category_changes;
+  std::vector<AllocationEvent> allocations;
+};
+
+TEST_F(DcatControllerTest, PhaseChangeEmitsEventWithReclaimReason) {
+  CapturingSink sink;
+  controller_.AddEventSink(&sink);
+  AddTenant(1, 0);
+  ASSERT_EQ(sink.allocations.size(), 1u);  // admission
+  EXPECT_EQ(sink.allocations[0].reason, AllocationReason::kAdmit);
+
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // idle -> active phase change, reclaim to baseline
+  ASSERT_EQ(sink.phase_changes.size(), 1u);
+  EXPECT_EQ(sink.phase_changes[0].tenant, 1u);
+  EXPECT_FALSE(sink.phase_changes[0].known_phase);
+
+  const auto reclaim = std::find_if(
+      sink.allocations.begin(), sink.allocations.end(),
+      [](const AllocationEvent& e) { return e.reason == AllocationReason::kReclaim; });
+  ASSERT_NE(reclaim, sink.allocations.end());
+  EXPECT_EQ(reclaim->to_ways, 3u);
+
+  // The category moved Donor -> Reclaim during the same tick.
+  ASSERT_FALSE(sink.category_changes.empty());
+  EXPECT_EQ(sink.category_changes[0].to, Category::kReclaim);
+}
+
+TEST_F(DcatControllerTest, GrowthEmitsGrowFromPoolEvents) {
+  CapturingSink sink;
+  controller_.AddEventSink(&sink);
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();  // baseline -> Unknown, grows 3 -> 4
+  const auto grow = std::find_if(
+      sink.allocations.begin(), sink.allocations.end(),
+      [](const AllocationEvent& e) { return e.reason == AllocationReason::kGrowFromPool; });
+  ASSERT_NE(grow, sink.allocations.end());
+  EXPECT_EQ(grow->from_ways, 3u);
+  EXPECT_EQ(grow->to_ways, 4u);
+}
+
+TEST_F(DcatControllerTest, EventSinkSeesTicksEvenWhenLoggingDisabled) {
+  CapturingSink sink;
+  controller_.AddEventSink(&sink);
+  controller_.set_logging(false);
+  AddTenant(1, 0);
+  controller_.Tick();
+  EXPECT_TRUE(controller_.log().empty());
+  EXPECT_EQ(sink.ticks.size(), 1u);
+}
+
+TEST_F(DcatControllerTest, MetricsCountTicksAndPhaseChanges) {
+  AddTenant(1, 0);
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  FeedMlr(0, 0.05);
+  controller_.Tick();
+  EXPECT_EQ(controller_.metrics().counter("controller.ticks").value(), 2u);
+  EXPECT_EQ(controller_.metrics().counter("controller.phase_changes").value(), 1u);
+  EXPECT_EQ(controller_.metrics().counter("tenant.1.phase_changes").value(), 1u);
+  EXPECT_GE(controller_.metrics().counter("controller.reclaims").value(), 1u);
+  EXPECT_EQ(controller_.metrics().histogram("controller.allocate_latency_us", {}).count(), 2u);
 }
 
 TEST_F(DcatControllerTest, DistinctPhasesKeepDistinctTables) {
@@ -432,15 +561,15 @@ TEST_F(DcatControllerTest, DistinctPhasesKeepDistinctTables) {
   controller_.Tick();
   EXPECT_EQ(controller_.TenantWays(1), 4u);
   EXPECT_NE(controller_.TenantWays(1), phase_b_ways + 100);  // sanity use
-  EXPECT_TRUE(controller_.TenantTable(1).Has(5));  // A's exploration preserved
+  EXPECT_TRUE(controller_.Snapshot(1).table.Has(5));  // A's exploration preserved
 }
 
 TEST_F(DcatControllerTest, NormalizedIpcIsZeroBeforeBaseline) {
   AddTenant(1, 0);
-  EXPECT_EQ(controller_.TenantNormalizedIpc(1), 0.0);
+  EXPECT_EQ(controller_.Snapshot(1).norm_ipc, 0.0);
   FeedMlr(0, 0.05);
   controller_.Tick();  // reclaim tick: baseline not yet measured
-  EXPECT_EQ(controller_.TenantNormalizedIpc(1), 0.0);
+  EXPECT_EQ(controller_.Snapshot(1).norm_ipc, 0.0);
 }
 
 TEST_F(DcatControllerTest, TwoTenantsOnSamePhaseSignatureStayIndependent) {
@@ -456,9 +585,9 @@ TEST_F(DcatControllerTest, TwoTenantsOnSamePhaseSignatureStayIndependent) {
   FeedMlr(0, 0.20);   // strong improvement: Receiver
   FeedMlr(1, 0.0501);  // flat
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kReceiver);
-  EXPECT_NE(controller_.TenantCategory(2), Category::kReceiver);
-  EXPECT_NE(controller_.TenantTable(1).ToString(), controller_.TenantTable(2).ToString());
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kReceiver);
+  EXPECT_NE(controller_.Snapshot(2).category, Category::kReceiver);
+  EXPECT_NE(controller_.Snapshot(1).table.ToString(), controller_.Snapshot(2).table.ToString());
 }
 
 // --- tenant removal / COS recycling ---
@@ -556,7 +685,7 @@ TEST_F(DcatControllerTest, LowLlcTenantKeepsWaysWhenMinimumAllocationHurts) {
   pqos_.Feed(0, 1.0, 0.33, 0.5, 0.0);
   controller_.Tick();
   EXPECT_EQ(controller_.TenantWays(1), 4u);
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
 }
 
 TEST_F(DcatControllerTest, TrulyIdleTenantStillDonatesEverything) {
@@ -566,7 +695,7 @@ TEST_F(DcatControllerTest, TrulyIdleTenantStillDonatesEverything) {
   controller_.Tick();  // no counters advanced: idle
   controller_.Tick();
   EXPECT_EQ(controller_.TenantWays(1), 1u);
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kDonor);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kDonor);
 }
 
 TEST_F(DcatControllerTest, PaperFaithfulModeStopsOnFirstSubThresholdStep) {
@@ -585,7 +714,7 @@ TEST_F(DcatControllerTest, PaperFaithfulModeStopsOnFirstSubThresholdStep) {
   ipc *= 1.04;
   pqos_.Feed(0, ipc, 0.33, 300, 0.5);
   controller.Tick();  // +4% at 4 ways: below threshold -> Keeper
-  EXPECT_EQ(controller.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller.Snapshot(1).category, Category::kKeeper);
   const uint32_t parked = controller.TenantWays(1);
   // Steady state from here on (constant IPC at constant ways): no growth.
   for (int i = 0; i < 5; ++i) {
@@ -614,7 +743,7 @@ TEST_F(DcatControllerTest, GreedyExplorationStopsBelowTheGainFloor) {
   ipc *= 1.005;  // below the floor: stop
   FeedMlr(0, ipc);
   controller_.Tick();
-  EXPECT_EQ(controller_.TenantCategory(1), Category::kKeeper);
+  EXPECT_EQ(controller_.Snapshot(1).category, Category::kKeeper);
   EXPECT_EQ(controller_.TenantWays(1), grown);
 }
 
@@ -629,7 +758,7 @@ TEST_F(DcatControllerTest, CumulativelyImprovingWorkloadIsNeverStreaming) {
   for (int i = 0; i < 10; ++i) {
     FeedMlr(0, ipc);
     controller_.Tick();
-    EXPECT_NE(controller_.TenantCategory(1), Category::kStreaming) << "tick " << i;
+    EXPECT_NE(controller_.Snapshot(1).category, Category::kStreaming) << "tick " << i;
     ipc *= 1.04;
   }
   EXPECT_GT(controller_.TenantWays(1), 6u) << "should grow past 3x baseline";
@@ -652,9 +781,9 @@ TEST_F(DcatControllerTest, PoolExhaustionAloneDoesNotCondemnARisingTable) {
     pqos.Feed(1, 0.5, 0.33, 300, 0.9);
     controller.Tick();
   }
-  EXPECT_EQ(controller.TenantCategory(2), Category::kStreaming);
+  EXPECT_EQ(controller.Snapshot(2).category, Category::kStreaming);
   EXPECT_EQ(controller.TenantWays(2), 1u);
-  EXPECT_NE(controller.TenantCategory(1), Category::kStreaming);
+  EXPECT_NE(controller.Snapshot(1).category, Category::kStreaming);
   EXPECT_GT(controller.TenantWays(1), 2u);
 }
 

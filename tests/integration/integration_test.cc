@@ -31,7 +31,7 @@ TEST(IntegrationTest, LookbusyNeighborsAreDonorsAndMlrGrows) {
   host.AddVm(VmConfig{.id = 2, .name = "busy", .vcpus = 2, .baseline_ways = 3},
              std::make_unique<LookbusyWorkload>());
   host.Run(15);
-  EXPECT_EQ(host.dcat()->TenantCategory(2), Category::kDonor);
+  EXPECT_EQ(host.dcat()->Snapshot(2).category, Category::kDonor);
   EXPECT_EQ(host.dcat()->TenantWays(2), 1u);
   EXPECT_GT(host.dcat()->TenantWays(1), 3u);
 }
@@ -64,7 +64,7 @@ TEST(IntegrationTest, StreamingWorkloadIsDetectedAndShrunk) {
   }
   // It must have been cut down to the minimum by the end...
   EXPECT_EQ(host.dcat()->TenantWays(1), 1u);
-  EXPECT_EQ(host.dcat()->TenantCategory(1), Category::kStreaming);
+  EXPECT_EQ(host.dcat()->Snapshot(1).category, Category::kStreaming);
   // ...after having grown toward the streaming threshold first (3x base).
   EXPECT_GE(recorder.PeakWays(1), 4u);
 }

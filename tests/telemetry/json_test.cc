@@ -1,0 +1,104 @@
+#include "src/telemetry/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace dcat {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("tenant-1"), "tenant-1");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, EmitsCompactObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("tick");
+  w.Key("tick").Value(static_cast<uint64_t>(7));
+  w.Key("ok").Value(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"type\":\"tick\",\"tick\":7,\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NestsObjectsAndArrays) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("buckets").BeginArray();
+  w.Value(static_cast<uint64_t>(1));
+  w.Value(static_cast<uint64_t>(2));
+  w.EndArray();
+  w.Key("inner").BeginObject();
+  w.Key("x").Value(0.5);
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"buckets\":[1,2],\"inner\":{\"x\":0.5}}");
+}
+
+TEST(ParseFlatJsonObjectTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("allocation");
+  w.Key("tenant").Value(static_cast<uint64_t>(3));
+  w.Key("norm_ipc").Value(1.25);
+  w.Key("phase_changed").Value(false);
+  w.EndObject();
+
+  std::map<std::string, JsonValue> fields;
+  ASSERT_TRUE(ParseFlatJsonObject(w.str(), &fields));
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields["type"].kind, JsonValue::Kind::kString);
+  EXPECT_EQ(fields["type"].str, "allocation");
+  EXPECT_EQ(fields["tenant"].kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(fields["tenant"].num, 3.0);
+  EXPECT_DOUBLE_EQ(fields["norm_ipc"].num, 1.25);
+  EXPECT_EQ(fields["phase_changed"].kind, JsonValue::Kind::kBool);
+  EXPECT_FALSE(fields["phase_changed"].boolean);
+}
+
+TEST(ParseFlatJsonObjectTest, RoundTripsDoublesExactly) {
+  // %.17g must preserve the bit pattern of awkward doubles.
+  const double awkward = 0.1 + 0.2;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("v").Value(awkward);
+  w.EndObject();
+  std::map<std::string, JsonValue> fields;
+  ASSERT_TRUE(ParseFlatJsonObject(w.str(), &fields));
+  EXPECT_EQ(fields["v"].num, awkward);
+}
+
+TEST(ParseFlatJsonObjectTest, HandlesEscapesAndWhitespace) {
+  std::map<std::string, JsonValue> fields;
+  ASSERT_TRUE(ParseFlatJsonObject("  { \"a\\n\" : \"q\\\"uote\" , \"b\": null } ", &fields));
+  EXPECT_EQ(fields["a\n"].str, "q\"uote");
+  EXPECT_EQ(fields["b"].kind, JsonValue::Kind::kNull);
+}
+
+TEST(ParseFlatJsonObjectTest, RejectsMalformedInput) {
+  std::map<std::string, JsonValue> fields;
+  EXPECT_FALSE(ParseFlatJsonObject("", &fields));
+  EXPECT_FALSE(ParseFlatJsonObject("{", &fields));
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":}", &fields));
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":1,}", &fields));
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":1} trailing", &fields));
+  EXPECT_FALSE(ParseFlatJsonObject("[1,2]", &fields));
+}
+
+TEST(ParseFlatJsonObjectTest, RejectsNestedContainers) {
+  std::map<std::string, JsonValue> fields;
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":{\"b\":1}}", &fields));
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":[1]}", &fields));
+}
+
+}  // namespace
+}  // namespace dcat

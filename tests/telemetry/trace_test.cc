@@ -1,0 +1,207 @@
+#include "src/telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/dcat_controller.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+// --- unit round trips on hand-built events ---
+
+TEST(JsonlTraceWriterTest, TickEventRoundTrips) {
+  std::ostringstream out;
+  JsonlTraceWriter writer(&out);
+  TickEvent event;
+  event.tick = 42;
+  event.tenant = 7;
+  event.category = Category::kReceiver;
+  event.ways = 5;
+  event.ipc = 0.75;
+  event.norm_ipc = 1.2;
+  event.llc_miss_rate = 0.31;
+  event.phase_changed = true;
+  writer.OnTick(event);
+  EXPECT_EQ(writer.lines_written(), 1u);
+
+  const auto parsed = ParseTraceLine(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, "tick");
+  ASSERT_TRUE(parsed->tick.has_value());
+  EXPECT_EQ(parsed->tick->tick, 42u);
+  EXPECT_EQ(parsed->tick->tenant, 7u);
+  EXPECT_EQ(parsed->tick->category, Category::kReceiver);
+  EXPECT_EQ(parsed->tick->ways, 5u);
+  EXPECT_DOUBLE_EQ(parsed->tick->ipc, 0.75);
+  EXPECT_DOUBLE_EQ(parsed->tick->norm_ipc, 1.2);
+  EXPECT_DOUBLE_EQ(parsed->tick->llc_miss_rate, 0.31);
+  EXPECT_TRUE(parsed->tick->phase_changed);
+}
+
+TEST(JsonlTraceWriterTest, AllocationEventRoundTripsEveryReason) {
+  const AllocationReason reasons[] = {
+      AllocationReason::kAdmit,          AllocationReason::kEvict,
+      AllocationReason::kReclaim,        AllocationReason::kShrinkForReclaim,
+      AllocationReason::kGrowFromPool,   AllocationReason::kGrowDenied,
+      AllocationReason::kDonate,         AllocationReason::kRebalance,
+  };
+  for (const AllocationReason reason : reasons) {
+    std::ostringstream out;
+    JsonlTraceWriter writer(&out);
+    AllocationEvent event;
+    event.tick = 3;
+    event.tenant = 2;
+    event.reason = reason;
+    event.from_ways = 4;
+    event.to_ways = 6;
+    writer.OnAllocation(event);
+    const auto parsed = ParseTraceLine(out.str());
+    ASSERT_TRUE(parsed.has_value()) << AllocationReasonName(reason);
+    ASSERT_TRUE(parsed->allocation.has_value());
+    EXPECT_EQ(parsed->allocation->reason, reason) << AllocationReasonName(reason);
+    EXPECT_EQ(parsed->allocation->from_ways, 4u);
+    EXPECT_EQ(parsed->allocation->to_ways, 6u);
+  }
+}
+
+TEST(JsonlTraceWriterTest, PhaseAndCategoryEventsRoundTrip) {
+  std::ostringstream out;
+  JsonlTraceWriter writer(&out);
+  PhaseChangeEvent phase;
+  phase.tick = 9;
+  phase.tenant = 1;
+  phase.phase_index = 2;
+  phase.signature = 0.33;
+  phase.known_phase = true;
+  writer.OnPhaseChange(phase);
+  CategoryChangeEvent cat;
+  cat.tick = 9;
+  cat.tenant = 1;
+  cat.from = Category::kDonor;
+  cat.to = Category::kReclaim;
+  writer.OnCategoryChange(cat);
+
+  std::istringstream in(out.str());
+  const auto records = ReadTrace(in);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 2u);
+  ASSERT_TRUE((*records)[0].phase_change.has_value());
+  EXPECT_EQ((*records)[0].phase_change->phase_index, 2u);
+  EXPECT_DOUBLE_EQ((*records)[0].phase_change->signature, 0.33);
+  EXPECT_TRUE((*records)[0].phase_change->known_phase);
+  ASSERT_TRUE((*records)[1].category_change.has_value());
+  EXPECT_EQ((*records)[1].category_change->from, Category::kDonor);
+  EXPECT_EQ((*records)[1].category_change->to, Category::kReclaim);
+}
+
+TEST(ReadTraceTest, ReportsFirstBadLine) {
+  std::istringstream in(
+      "{\"type\":\"category_change\",\"tick\":1,\"tenant\":1,"
+      "\"from\":\"Donor\",\"to\":\"Reclaim\"}\n"
+      "not json\n");
+  size_t error_line = 0;
+  EXPECT_FALSE(ReadTrace(in, &error_line).has_value());
+  EXPECT_EQ(error_line, 2u);
+}
+
+TEST(ReadTraceTest, RejectsUnknownTypeAndBadEnums) {
+  EXPECT_FALSE(ParseTraceLine("{\"type\":\"mystery\",\"tick\":1}").has_value());
+  EXPECT_FALSE(ParseTraceLine(
+                   "{\"type\":\"allocation\",\"tick\":1,\"tenant\":1,"
+                   "\"reason\":\"bogus\",\"from_ways\":1,\"to_ways\":2}")
+                   .has_value());
+}
+
+TEST(NameMappingTest, CategoryAndReasonNamesAreInvertible) {
+  for (const Category c : {Category::kReclaim, Category::kKeeper, Category::kDonor,
+                           Category::kReceiver, Category::kStreaming, Category::kUnknown}) {
+    const auto back = CategoryFromName(CategoryName(c));
+    ASSERT_TRUE(back.has_value()) << CategoryName(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(CategoryFromName("NotACategory").has_value());
+  EXPECT_FALSE(AllocationReasonFromName("NotAReason").has_value());
+}
+
+// --- end-to-end: scripted phase change through a live controller ---
+
+TEST(TraceRoundTripTest, ScriptedPhaseChangeProducesExpectedEventSequence) {
+  FakePqos pqos;
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  std::ostringstream out;
+  JsonlTraceWriter writer(&out);
+  controller.AddEventSink(&writer);
+
+  controller.AddTenant(TenantSpec{.id = 1, .name = "t1", .cores = {0}, .baseline_ways = 3});
+  controller.Tick();  // idle interval: tenant contracts as a Donor
+  pqos.Feed(/*core=*/0, /*ipc=*/0.05, /*mem_per_ins=*/0.33, /*llc_per_ki=*/300,
+            /*miss_rate=*/0.5);
+  controller.Tick();  // memory-heavy phase begins: phase change + reclaim
+
+  std::istringstream in(out.str());
+  const auto records = ReadTrace(in);
+  ASSERT_TRUE(records.has_value());
+
+  bool saw_admit = false;
+  bool saw_phase_change = false;
+  bool saw_reclaim = false;
+  bool saw_category_to_reclaim = false;
+  uint64_t ticks = 0;
+  for (const TraceEvent& record : *records) {
+    if (record.allocation && record.allocation->reason == AllocationReason::kAdmit) {
+      saw_admit = true;
+    }
+    if (record.phase_change) {
+      saw_phase_change = true;
+      EXPECT_EQ(record.phase_change->tenant, 1u);
+      EXPECT_FALSE(record.phase_change->known_phase);  // first time this phase is seen
+    }
+    if (record.allocation && record.allocation->reason == AllocationReason::kReclaim) {
+      saw_reclaim = true;
+      EXPECT_EQ(record.allocation->to_ways, 3u);  // back to baseline
+    }
+    if (record.category_change && record.category_change->to == Category::kReclaim) {
+      saw_category_to_reclaim = true;
+    }
+    if (record.tick) {
+      ++ticks;
+    }
+  }
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_phase_change);
+  EXPECT_TRUE(saw_reclaim);
+  EXPECT_TRUE(saw_category_to_reclaim);
+  EXPECT_EQ(ticks, 2u);  // one tenant, two intervals
+
+  // The same run, replayed through the CSV exporter, matches the
+  // controller's own decision log.
+  DecisionLog log;
+  for (const TraceEvent& record : *records) {
+    if (record.tick) {
+      log.OnTick(*record.tick);
+    }
+  }
+  EXPECT_EQ(log.ToCsv(), controller.LogToCsv());
+}
+
+TEST(DecisionLogTest, CsvHasLegacyHeaderAndRows) {
+  DecisionLog log;
+  TickEvent event;
+  event.tick = 1;
+  event.tenant = 4;
+  event.category = Category::kKeeper;
+  event.ways = 6;
+  log.OnTick(event);
+  const std::string csv = log.ToCsv();
+  EXPECT_EQ(csv.rfind("tick,tenant,category,ways,ipc,norm_ipc,llc_miss_rate,phase_changed", 0),
+            0u);
+  EXPECT_NE(csv.find("\n1,4,Keeper,6,"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace dcat

@@ -101,6 +101,50 @@ TEST(DcatdCliTest, BadFlagsFailWithDiagnostics) {
   EXPECT_NE(RunCommand(DcatdPath() + " --config=/nonexistent.conf").exit_code, 0);
 }
 
+TEST(DcatdCliTest, RejectsNonNumericIntervals) {
+  const RunResult r = RunCommand(DcatdPath() + " --intervals=abc");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--intervals"), std::string::npos) << r.output;
+  EXPECT_NE(RunCommand(DcatdPath() + " --intervals=12abc").exit_code, 0);
+  EXPECT_NE(RunCommand(DcatdPath() + " --intervals=0").exit_code, 0);
+  EXPECT_NE(RunCommand(DcatdPath() + " --intervals=-3").exit_code, 0);
+  EXPECT_NE(RunCommand(DcatdPath() + " --tenants=mlr:4M/abc").exit_code, 0);
+}
+
+TEST(DcatdCliTest, TraceAndMetricsEmitMachineReadableDecisions) {
+  const std::string trace_path =
+      (fs::temp_directory_path() / "dcatd_cli_test_trace.jsonl").string();
+  std::remove(trace_path.c_str());
+  const RunResult r = RunCommand(DcatdPath() +
+                                 " --mode=sim --intervals=8 --tenants=mlr:4M/3,lookbusy/3"
+                                 " --trace=" + trace_path + " --metrics");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  // --metrics prints the registry snapshot after the run.
+  EXPECT_NE(r.output.find("controller.ticks"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("controller.phase_changes"), std::string::npos) << r.output;
+
+  // The trace file carries every decision kind with its reason.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::string trace((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(trace.find("\"type\":\"tick\""), std::string::npos);
+  EXPECT_NE(trace.find("\"type\":\"phase_change\""), std::string::npos);
+  EXPECT_NE(trace.find("\"type\":\"category_change\""), std::string::npos);
+  EXPECT_NE(trace.find("\"type\":\"allocation\""), std::string::npos);
+  EXPECT_NE(trace.find("\"reason\":\"admit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"reason\":\"reclaim\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(DcatdCliTest, MetricsJsonPrintsOneJsonObject) {
+  const RunResult r = RunCommand(DcatdPath() +
+                                 " --mode=sim --intervals=4 --tenants=mlr:4M/3 --metrics-json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"counters\":{"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"controller.ticks\":4"), std::string::npos) << r.output;
+}
+
 TEST(DcatdCliTest, ResctrlModeFailsGracefullyWithoutTree) {
   const RunResult r =
       RunCommand(DcatdPath() + " --mode=resctrl --root=/nonexistent/resctrl");

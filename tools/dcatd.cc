@@ -7,10 +7,15 @@
 //                  of the paper's system with no hardware requirements.
 //
 //     dcatd --mode=sim --tenants=mlr:8M/3,mload:60M/3,lookbusy/3 \
-//           --intervals=20 [--policy=maxperf] [--machine=xeon-d]
+//           --intervals=20 [--policy=maxperf] [--machine=xeon-d] \
+//           [--trace=trace.jsonl] [--metrics]
 //
 //                  Each tenant spec is <workload>/<baseline-ways>; workload
-//                  grammar per src/workloads/factory.h.
+//                  grammar per src/workloads/factory.h. --trace streams the
+//                  controller's decision events (phase changes, category
+//                  transitions, allocations with reasons, per-tick rows) as
+//                  JSONL; --metrics prints the control-loop metrics
+//                  snapshot after the run.
 //
 //   resctrl        Applies static contracted partitions through the Linux
 //                  resctrl filesystem on real RDT hardware (and prints LLC
@@ -25,8 +30,8 @@
 #include <unistd.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,9 +41,11 @@
 #include "src/cluster/recorder.h"
 #include "src/cluster/schedule.h"
 #include "src/common/log.h"
+#include "src/common/strings.h"
 #include "src/core/config_io.h"
 #include "src/pqos/mask.h"
 #include "src/pqos/resctrl_pqos.h"
+#include "src/telemetry/trace.h"
 #include "src/workloads/factory.h"
 
 namespace dcat {
@@ -51,9 +58,12 @@ struct Options {
   std::string machine = "xeon-e5";
   std::string config_path;
   std::string schedule;
-  int intervals = 20;
+  std::string trace_path;
+  uint32_t intervals = 20;
   DcatConfig dcat;
   bool print_config = false;
+  bool print_metrics = false;
+  bool metrics_json = false;
   bool verbose = false;
 };
 
@@ -69,27 +79,15 @@ void PrintUsage() {
       "  --schedule=I:T=SPEC,..  sim: at interval I switch tenant T's workload\n"
       "  --machine=xeon-e5|xeon-d  simulated socket (default xeon-e5)\n"
       "  --root=PATH             resctrl mount point (default /sys/fs/resctrl)\n"
+      "  --trace=FILE            sim: write the decision trace as JSONL\n"
+      "  --metrics               sim: print control-loop metrics after the run\n"
+      "  --metrics-json          sim: print the metrics snapshot as JSON\n"
       "  --verbose               log controller decisions\n\n"
       "workload grammar:");
   for (const std::string& example : WorkloadSpecExamples()) {
     std::printf(" %s", example.c_str());
   }
   std::printf("\n");
-}
-
-std::vector<std::string> Split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (start <= text.size()) {
-    const size_t end = text.find(sep, start);
-    if (end == std::string::npos) {
-      parts.push_back(text.substr(start));
-      break;
-    }
-    parts.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  return parts;
 }
 
 int RunSim(const Options& options) {
@@ -101,6 +99,22 @@ int RunSim(const Options& options) {
   config.cycles_per_interval = 20e6;
   Host host(config);
 
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlTraceWriter> trace;
+  if (!options.trace_path.empty()) {
+    trace_file.open(options.trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "dcatd: cannot open trace file '%s'\n",
+                   options.trace_path.c_str());
+      return 1;
+    }
+    trace = std::make_unique<JsonlTraceWriter>(&trace_file);
+    host.AddEventSink(trace.get());
+  }
+  // The recorder rides the same event stream as the trace exporter.
+  Recorder recorder(config.dcat.interval_seconds);
+  host.AddEventSink(&recorder);
+
   std::map<TenantId, std::string> names;
   TenantId next_id = 1;
   for (const std::string& tenant_spec : Split(options.tenants, ',')) {
@@ -111,9 +125,14 @@ int RunSim(const Options& options) {
       return 1;
     }
     const std::string workload_spec = tenant_spec.substr(0, slash);
-    const uint32_t ways = static_cast<uint32_t>(std::atoi(tenant_spec.c_str() + slash + 1));
+    uint32_t ways = 0;
+    if (!ParseUint32(tenant_spec.substr(slash + 1), &ways) || ways == 0) {
+      std::fprintf(stderr, "tenant spec '%s': bad ways count '%s'\n", tenant_spec.c_str(),
+                   tenant_spec.substr(slash + 1).c_str());
+      return 1;
+    }
     auto workload = MakeWorkload(workload_spec, /*seed=*/next_id * 101);
-    if (workload == nullptr || ways == 0) {
+    if (workload == nullptr) {
       std::fprintf(stderr, "bad tenant spec '%s'\n", tenant_spec.c_str());
       return 1;
     }
@@ -130,29 +149,42 @@ int RunSim(const Options& options) {
   }
   ScheduleRunner schedule_runner(schedule.events);
 
-  std::printf("dcatd[sim]: %s, %zu tenants, %s policy, %d intervals\n",
+  std::printf("dcatd[sim]: %s, %zu tenants, %s policy, %u intervals\n",
               config.socket.llc_geometry.ToString().c_str(), host.num_vms(),
               AllocationPolicyName(options.dcat.policy), options.intervals);
 
-  Recorder recorder;
-  for (int t = 0; t < options.intervals; ++t) {
-    schedule_runner.Fire(static_cast<uint64_t>(t), host);
-    recorder.Record(host.now_seconds(), host.Step());
+  for (uint32_t t = 0; t < options.intervals; ++t) {
+    schedule_runner.Fire(t, host);
+    host.Step();
     if (options.verbose) {
       for (const auto& [id, name] : names) {
-        std::printf("  t=%2d %-12s %-9s %2u ways\n", t + 1, name.c_str(),
-                    CategoryName(host.dcat()->TenantCategory(id)),
-                    host.dcat()->TenantWays(id));
+        const TenantSnapshot snap = host.dcat()->Snapshot(id);
+        std::printf("  t=%2u %-12s %-9s %2u ways\n", t + 1, name.c_str(),
+                    CategoryName(snap.category), snap.ways);
       }
     }
   }
   std::printf("\n%s\n", recorder.TimelineTable(names).c_str());
   std::printf("final state:\n");
-  for (const auto& [id, name] : names) {
-    std::printf("  %-12s %-9s %2u ways (baseline %u)  table: %s\n", name.c_str(),
-                CategoryName(host.dcat()->TenantCategory(id)), host.dcat()->TenantWays(id),
-                host.dcat()->TenantBaselineWays(id),
-                host.dcat()->TenantTable(id).ToString().c_str());
+  const ControllerSnapshot final_state = host.dcat()->Snapshot();
+  for (const TenantSnapshot& snap : final_state.tenants) {
+    const auto name_it = names.find(snap.id);
+    std::printf("  %-12s %-9s %2u ways (baseline %u)  table: %s\n",
+                (name_it != names.end() ? name_it->second : snap.name).c_str(),
+                CategoryName(snap.category), snap.ways, snap.baseline_ways,
+                snap.table.ToString().c_str());
+  }
+  std::printf("pool: %u of %u ways free\n", final_state.pool_ways, final_state.total_ways);
+  if (trace != nullptr) {
+    std::printf("trace: %llu events -> %s\n",
+                static_cast<unsigned long long>(trace->lines_written()),
+                options.trace_path.c_str());
+  }
+  if (options.print_metrics) {
+    std::printf("\nmetrics:\n%s", host.dcat()->metrics().RenderText().c_str());
+  }
+  if (options.metrics_json) {
+    std::printf("%s\n", host.dcat()->metrics().RenderJson().c_str());
   }
   return 0;
 }
@@ -232,11 +264,20 @@ int Main(int argc, char** argv) {
     } else if (const char* v = value("--machine=")) {
       options.machine = v;
     } else if (const char* v = value("--intervals=")) {
-      options.intervals = std::atoi(v);
+      if (!ParseUint32(v, &options.intervals) || options.intervals == 0) {
+        std::fprintf(stderr, "--intervals: expected a positive integer, got '%s'\n", v);
+        return 1;
+      }
     } else if (const char* v = value("--config=")) {
       options.config_path = v;
     } else if (const char* v = value("--schedule=")) {
       options.schedule = v;
+    } else if (const char* v = value("--trace=")) {
+      options.trace_path = v;
+    } else if (arg == "--metrics") {
+      options.print_metrics = true;
+    } else if (arg == "--metrics-json") {
+      options.metrics_json = true;
     } else if (arg == "--print-config") {
       options.print_config = true;
     } else if (const char* v = value("--policy=")) {
