@@ -81,13 +81,50 @@ void DcatController::AddTenant(const TenantSpec& spec) {
     }
   }
   tenants_.push_back(std::move(state));
-  // Re-layout masks for the new tenant set (all current allocations kept).
+  // Re-layout masks for the new tenant set, keeping current allocations.
+  // When grown tenants already fill the socket there is no room for the
+  // newcomer's minimum allocation: shrink the largest over-baseline surplus
+  // first — contracted minimums outrank opportunistic growth. Σ baselines
+  // <= total ways (checked above), so shrinking to baselines always fits.
   std::vector<uint32_t> targets;
   targets.reserve(tenants_.size());
+  uint32_t used = 0;
   for (const TenantState& t : tenants_) {
     targets.push_back(t.ways);
+    used += t.ways;
+  }
+  const std::vector<uint32_t> before = targets;
+  while (used > cat_->NumWays()) {
+    size_t victim = tenants_.size();
+    uint32_t best_surplus = 0;
+    for (size_t i = 0; i + 1 < tenants_.size(); ++i) {  // newcomer is last, exempt
+      const uint32_t floor =
+          std::max(std::min(tenants_[i].spec.baseline_ways, targets[i]), config_.min_ways);
+      const uint32_t surplus = targets[i] > floor ? targets[i] - floor : 0;
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        victim = i;
+      }
+    }
+    if (victim == tenants_.size()) {
+      std::fprintf(stderr, "DcatController: no room for tenant %u's minimum allocation\n",
+                   spec.id);
+      std::abort();
+    }
+    --targets[victim];
+    --used;
   }
   ApplyMasks(targets);
+  for (size_t i = 0; i + 1 < tenants_.size(); ++i) {
+    if (targets[i] != before[i]) {
+      sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                          .tenant = tenants_[i].spec.id,
+                                          .reason = AllocationReason::kShrinkForReclaim,
+                                          .from_ways = before[i],
+                                          .to_ways = targets[i]});
+      metrics_.counter("controller.alloc.shrink-for-reclaim").Increment();
+    }
+  }
   sinks_.OnAllocation(AllocationEvent{.tick = tick_,
                                       .tenant = spec.id,
                                       .reason = AllocationReason::kAdmit,
@@ -698,6 +735,7 @@ TenantSnapshot DcatController::MakeSnapshot(const TenantState& tenant) const {
   s.id = tenant.spec.id;
   s.name = tenant.spec.name;
   s.category = tenant.category;
+  s.cos = tenant.cos;
   s.ways = tenant.ways;
   s.baseline_ways = tenant.spec.baseline_ways;
   s.ipc = tenant.sample.ipc();

@@ -52,6 +52,9 @@ struct TenantSnapshot {
   TenantId id = 0;
   std::string name;
   Category category = Category::kDonor;
+  // Class of service the tenant's cores are associated with; lets auditors
+  // (src/verify/) read the tenant's capacity mask off the CAT backend.
+  uint8_t cos = 0;
   uint32_t ways = 0;
   uint32_t baseline_ways = 0;
   // Raw IPC of the last interval, and IPC normalized to the current phase's

@@ -1,0 +1,399 @@
+#include "src/verify/invariant_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/pqos/mask.h"
+
+namespace dcat {
+namespace {
+
+// Memory backstop for pathological runs: the metrics counter keeps the true
+// total, but the stored list stops growing here.
+constexpr size_t kMaxStoredViolations = 10'000;
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(InvariantOptions options) : options_(options) {}
+
+void InvariantChecker::RegisterTenant(TenantId id, uint32_t baseline_ways) {
+  TenantTrack& track = Track(id);
+  track.baseline_ways = baseline_ways;
+  track.active = true;
+  track.admit_tick = group_open_ ? group_tick_ : 0;
+}
+
+namespace {
+
+// Adapter: the production ControllerView over a live DcatController.
+class DcatControllerView : public ControllerView {
+ public:
+  explicit DcatControllerView(const DcatController* controller) : controller_(controller) {}
+  bool HasTenant(TenantId id) const override { return controller_->HasTenant(id); }
+  TenantSnapshot GetTenant(TenantId id) const override { return controller_->Snapshot(id); }
+  ControllerSnapshot GetController() const override { return controller_->Snapshot(); }
+
+ private:
+  const DcatController* controller_;
+};
+
+}  // namespace
+
+void InvariantChecker::AttachController(const DcatController* controller,
+                                        const CatController* cat) {
+  owned_view_ = std::make_unique<DcatControllerView>(controller);
+  view_ = owned_view_.get();
+  cat_ = cat;
+}
+
+void InvariantChecker::AttachView(const ControllerView* view, const CatController* cat) {
+  owned_view_.reset();
+  view_ = view;
+  cat_ = cat;
+}
+
+void InvariantChecker::AddViolation(uint64_t tick, TenantId tenant, const char* invariant,
+                                    std::string detail) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("invariant_violations_total").Increment();
+    metrics_->counter(std::string("invariant_violations.") + invariant).Increment();
+  }
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(
+        Violation{.tick = tick, .tenant = tenant, .invariant = invariant,
+                  .detail = std::move(detail)});
+  }
+}
+
+size_t InvariantChecker::ExpectedRows() const {
+  size_t expected = 0;
+  for (const auto& [id, track] : tenants_) {
+    if (track.active && track.admit_tick < group_tick_) {
+      ++expected;
+    }
+  }
+  return expected;
+}
+
+void InvariantChecker::BeginGroup(uint64_t tick) {
+  if (group_open_ && !group_finalized_) {
+    FinalizeGroup();
+  }
+  group_open_ = true;
+  group_finalized_ = false;
+  group_tick_ = tick;
+  group_rows_.clear();
+  for (auto& [id, track] : tenants_) {
+    track.phase_changed_this_group = false;
+  }
+}
+
+void InvariantChecker::FinalizeGroup() {
+  group_finalized_ = true;
+  if (group_rows_.empty()) {
+    // Lifecycle-only group (admissions between control intervals): nothing
+    // interval-wide to audit.
+    return;
+  }
+  ++ticks_checked_;
+
+  // Way conservation: the allocations in effect must fit the socket.
+  uint64_t total_assigned = 0;
+  for (const TickEvent& row : group_rows_) {
+    total_assigned += row.ways;
+  }
+  if (total_assigned > options_.total_ways) {
+    std::ostringstream detail;
+    detail << "sum of assigned ways " << total_assigned << " exceeds socket ways "
+           << options_.total_ways;
+    AddViolation(group_tick_, 0, kInvWayConservation, detail.str());
+  }
+
+  // Every tenant admitted before this interval must have reported a row —
+  // a silently dropped tenant is an unaudited tenant.
+  for (const auto& [id, track] : tenants_) {
+    if (!track.active || track.admit_tick >= group_tick_) {
+      continue;
+    }
+    const bool seen = std::any_of(group_rows_.begin(), group_rows_.end(),
+                                  [id = id](const TickEvent& row) { return row.tenant == id; });
+    if (!seen) {
+      AddViolation(group_tick_, id, kInvMissingTick,
+                   "active tenant missing from the interval's tick rows");
+    }
+  }
+
+  CheckControllerState();
+}
+
+void InvariantChecker::CheckControllerState() {
+  if (view_ == nullptr) {
+    return;
+  }
+  const ControllerSnapshot snap = view_->GetController();
+  if (snap.tick != group_tick_) {
+    // The controller moved on (lazily finalized group); its state no longer
+    // describes this interval, so mask/table audits would be meaningless.
+    return;
+  }
+  const uint32_t socket_mask = MakeWayMask(0, options_.total_ways);
+  uint32_t seen_union = 0;
+  for (const TenantSnapshot& tenant : snap.tenants) {
+    if (cat_ != nullptr) {
+      const uint32_t mask = cat_->GetCosMask(tenant.cos);
+      std::ostringstream where;
+      where << "COS " << static_cast<int>(tenant.cos) << " mask 0x" << MaskToHex(mask);
+      if (mask == 0 || !IsContiguousMask(mask)) {
+        AddViolation(group_tick_, tenant.id, kInvMaskShape,
+                     where.str() + " is empty or non-contiguous");
+        continue;
+      }
+      if ((mask & ~socket_mask) != 0) {
+        AddViolation(group_tick_, tenant.id, kInvMaskShape,
+                     where.str() + " reaches beyond the socket's ways");
+      }
+      if (static_cast<uint32_t>(MaskWays(mask)) != tenant.ways) {
+        std::ostringstream detail;
+        detail << where.str() << " holds " << MaskWays(mask)
+               << " ways but the controller says " << tenant.ways;
+        AddViolation(group_tick_, tenant.id, kInvMaskShape, detail.str());
+      }
+      if ((mask & seen_union) != 0) {
+        AddViolation(group_tick_, tenant.id, kInvMaskOverlap,
+                     where.str() + " overlaps another tenant's mask");
+      }
+      seen_union |= mask;
+    }
+
+    // Performance-table sanity: entries must be positive, finite, and for
+    // sizes the socket can actually grant.
+    for (const auto& [ways, value] : tenant.table.Entries()) {
+      if (!(value > 0.0) || !std::isfinite(value)) {
+        std::ostringstream detail;
+        detail << "table entry at " << ways << " ways has non-positive/non-finite value "
+               << value;
+        AddViolation(group_tick_, tenant.id, kInvTableConsistency, detail.str());
+      }
+      if (ways < options_.min_ways || ways > options_.total_ways) {
+        std::ostringstream detail;
+        detail << "table entry at " << ways << " ways is outside the grantable range ["
+               << options_.min_ways << ", " << options_.total_ways << "]";
+        AddViolation(group_tick_, tenant.id, kInvTableConsistency, detail.str());
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckRow(const TickEvent& row) {
+  TenantTrack& track = Track(row.tenant);
+
+  if (row.ways < options_.min_ways) {
+    std::ostringstream detail;
+    detail << "tenant holds " << row.ways << " ways, below the CAT floor of "
+           << options_.min_ways;
+    AddViolation(row.tick, row.tenant, kInvMinAllocation, detail.str());
+  }
+
+  // A condemned Streaming tenant is a special Donor pinned at the minimum
+  // until a phase change releases it (§3.4).
+  if (row.category == Category::kStreaming && row.ways != options_.min_ways) {
+    std::ostringstream detail;
+    detail << "Streaming tenant holds " << row.ways << " ways instead of the pinned minimum "
+           << options_.min_ways;
+    AddViolation(row.tick, row.tenant, kInvStreamingPinned, detail.str());
+  }
+
+  // Reclaim deadline: a tenant below its contract whose normalized IPC has
+  // sunk below the controller's own guarantee-enforcement trigger must not
+  // be left to suffer (the baseline guarantee, §3).
+  const bool suffering =
+      track.baseline_ways > 0 && row.ways < track.baseline_ways && row.norm_ipc > 0.0 &&
+      row.norm_ipc < 1.0 - 2.0 * options_.ipc_improvement_thr && !row.phase_changed &&
+      (row.category == Category::kDonor || row.category == Category::kKeeper);
+  if (row.category == Category::kReclaim || !suffering) {
+    track.suffering_streak = 0;
+  } else {
+    ++track.suffering_streak;
+    if (track.suffering_streak > options_.reclaim_deadline_ticks) {
+      std::ostringstream detail;
+      detail << "tenant below contract (" << row.ways << " < " << track.baseline_ways
+             << " ways) with normalized IPC " << row.norm_ipc << " for "
+             << track.suffering_streak << " ticks without a reclaim (deadline "
+             << options_.reclaim_deadline_ticks << ")";
+      AddViolation(row.tick, row.tenant, kInvReclaimDeadline, detail.str());
+      track.suffering_streak = 0;
+    }
+  }
+
+  // Table consistency: the measurement surfaced at tick T ran at the ways
+  // decided at T-1, and the controller folds exactly this normalized IPC
+  // into the table entry for that size by EWMA (or leaves it untouched on
+  // an idle/baseline-measuring interval). Either way the post-update entry
+  // must lie between the pre-update entry — cached from the previous
+  // tick's snapshot — and the sample. A phase change swaps the whole
+  // table, so those rows only refresh the cache.
+  if (view_ != nullptr && view_->HasTenant(row.tenant)) {
+    const TenantSnapshot snap = view_->GetTenant(row.tenant);
+    if (track.has_prev_ways && track.has_cached_entry && !row.phase_changed &&
+        snap.baseline_valid) {
+      const auto entry = snap.table.Get(track.prev_ways);
+      if (entry.has_value()) {
+        const double lo = std::min(track.cached_entry, row.norm_ipc);
+        const double hi = std::max(track.cached_entry, row.norm_ipc);
+        const double slack = options_.table_update_slack * std::max(1.0, hi);
+        if (*entry < lo - slack || *entry > hi + slack) {
+          std::ostringstream detail;
+          detail << "table entry at " << track.prev_ways << " ways is " << *entry
+                 << " outside the EWMA interval [" << lo << ", " << hi
+                 << "] of the previous entry " << track.cached_entry
+                 << " and this interval's normalized IPC " << row.norm_ipc;
+          AddViolation(row.tick, row.tenant, kInvTableConsistency, detail.str());
+        }
+      }
+    }
+    // Cache the entry for the size the *next* interval runs at (this row's
+    // post-allocation ways).
+    const auto next_entry = snap.table.Get(row.ways);
+    track.has_cached_entry = next_entry.has_value();
+    track.cached_entry = next_entry.value_or(0.0);
+  }
+
+  track.prev_ways = row.ways;
+  track.has_prev_ways = true;
+}
+
+void InvariantChecker::OnTick(const TickEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  group_rows_.push_back(event);
+  CheckRow(event);
+  if (!group_finalized_ && group_rows_.size() >= ExpectedRows() && ExpectedRows() > 0) {
+    // All expected rows are in: the controller's interval is complete and
+    // its state is final — audit now, while masks still describe this tick.
+    FinalizeGroup();
+  }
+}
+
+void InvariantChecker::OnPhaseChange(const PhaseChangeEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  Track(event.tenant).phase_changed_this_group = true;
+}
+
+void InvariantChecker::OnCategoryChange(const CategoryChangeEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+}
+
+void InvariantChecker::OnAllocation(const AllocationEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  TenantTrack& track = Track(event.tenant);
+  switch (event.reason) {
+    case AllocationReason::kAdmit:
+      track.active = true;
+      track.admit_tick = event.tick;
+      track.suffering_streak = 0;
+      track.last_direction = 0;
+      track.flip_ticks.clear();
+      track.has_prev_ways = false;
+      return;
+    case AllocationReason::kEvict:
+      track.active = false;
+      track.suffering_streak = 0;
+      track.last_direction = 0;
+      track.flip_ticks.clear();
+      track.has_prev_ways = false;
+      return;
+    case AllocationReason::kReclaim: {
+      if (track.phase_changed_this_group) {
+        // A phase change legitimately resets the donate/reclaim dance.
+        track.last_direction = 0;
+        break;
+      }
+      if (track.last_direction > 0) {
+        track.flip_ticks.push_back(event.tick);
+      }
+      track.last_direction = -1;
+      break;
+    }
+    case AllocationReason::kDonate: {
+      if (track.last_direction < 0) {
+        track.flip_ticks.push_back(event.tick);
+      }
+      track.last_direction = 1;
+      break;
+    }
+    case AllocationReason::kShrinkForReclaim:
+    case AllocationReason::kGrowFromPool:
+    case AllocationReason::kGrowDenied:
+    case AllocationReason::kRebalance:
+      break;
+  }
+
+  // A between-interval adjustment (the group is already audited — this is
+  // an admission-time re-layout): the next interval runs at this size, so
+  // the measurement pairing for table consistency must follow it.
+  if (group_finalized_ && track.has_prev_ways) {
+    track.prev_ways = event.to_ways;
+    track.has_cached_entry = false;  // the cache was for the old size
+  }
+
+  // Any non-eviction allocation must respect the CAT floor.
+  if (event.to_ways < options_.min_ways) {
+    std::ostringstream detail;
+    detail << AllocationReasonName(event.reason) << " left the tenant at " << event.to_ways
+           << " ways, below the CAT floor of " << options_.min_ways;
+    AddViolation(event.tick, event.tenant, kInvMinAllocation, detail.str());
+  }
+
+  // Oscillation: prune the sliding window, then count direction flips.
+  while (!track.flip_ticks.empty() &&
+         track.flip_ticks.front() + options_.flip_window_ticks <= event.tick) {
+    track.flip_ticks.pop_front();
+  }
+  if (track.flip_ticks.size() > options_.max_flips_per_window) {
+    std::ostringstream detail;
+    detail << track.flip_ticks.size() << " donate<->reclaim flips within "
+           << options_.flip_window_ticks << " ticks (limit " << options_.max_flips_per_window
+           << ")";
+    AddViolation(event.tick, event.tenant, kInvOscillation, detail.str());
+    track.flip_ticks.clear();
+  }
+}
+
+void InvariantChecker::Finish() {
+  if (group_open_ && !group_finalized_) {
+    FinalizeGroup();
+  }
+}
+
+std::string InvariantChecker::Report(size_t max_items) const {
+  std::ostringstream out;
+  if (violations_.empty()) {
+    out << "invariants: clean (" << ticks_checked_ << " ticks audited)\n";
+    return out.str();
+  }
+  out << "invariants: " << violations_.size() << " violation(s) over " << ticks_checked_
+      << " ticks\n";
+  const size_t shown = std::min(max_items, violations_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const Violation& v = violations_[i];
+    out << "  [" << v.invariant << "] tick " << v.tick;
+    if (v.tenant != 0) {
+      out << " tenant " << v.tenant;
+    }
+    out << ": " << v.detail << "\n";
+  }
+  if (shown < violations_.size()) {
+    out << "  ... " << (violations_.size() - shown) << " more\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcat

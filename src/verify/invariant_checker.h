@@ -1,0 +1,180 @@
+// Invariant-checking sink over the controller's telemetry stream.
+//
+// The controller's safety claims (DESIGN §6, §10) are machine-checkable
+// from the decision events it already publishes: way conservation, the
+// one-way floor, contiguous CAT masks, timely reclaim of a suffering
+// under-contract tenant, no donate/reclaim oscillation, Streaming pinned
+// at the minimum, and performance-table entries consistent with observed
+// samples. InvariantChecker implements EventSink, so it rides the same
+// fanout as the trace writers: attach it to any run — unit test, dcatd
+// session, fuzz scenario — and every tick is audited as it happens.
+//
+// Event-only invariants need nothing beyond the stream plus the tenant
+// contracts (RegisterTenant, or automatic via an attached controller).
+// Deep checks — COS mask states and table consistency — activate when
+// AttachController provides the controller and its CAT backend.
+#ifndef SRC_VERIFY_INVARIANT_CHECKER_H_
+#define SRC_VERIFY_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dcat_controller.h"
+#include "src/pqos/pqos.h"
+#include "src/telemetry/events.h"
+#include "src/telemetry/metrics.h"
+
+namespace dcat {
+
+struct InvariantOptions {
+  // Socket-wide way budget (CatController::NumWays of the audited socket).
+  uint32_t total_ways = 20;
+  // The CAT floor: no active tenant may ever hold fewer ways.
+  uint32_t min_ways = 1;
+  // Mirror of DcatConfig::ipc_improvement_thr; the reclaim deadline arms
+  // when normalized IPC sinks below 1 - 2x this threshold (the
+  // controller's own guarantee-enforcement trigger).
+  double ipc_improvement_thr = 0.05;
+  // A non-Streaming tenant below contracted ways whose normalized IPC
+  // stays below the trigger must be reclaimed within this many
+  // consecutive ticks.
+  uint32_t reclaim_deadline_ticks = 3;
+  // Donate<->reclaim oscillation: more than this many direction flips
+  // (reclaims not explained by a phase change, following a donation, and
+  // vice versa) within `flip_window_ticks` is a violation.
+  uint32_t max_flips_per_window = 4;
+  uint32_t flip_window_ticks = 40;
+  // Table consistency: the table updates by EWMA, so after tick T the entry
+  // for the ways the interval ran at must lie between the pre-update entry
+  // (read from the previous tick's snapshot) and the fresh sample — any
+  // convex-combination update passes, a corrupted entry cannot. This is the
+  // tolerance beyond that interval, covering float rounding.
+  double table_update_slack = 1e-6;
+};
+
+// One invariant failure. `invariant` is a stable kebab-case key so tests
+// and the fuzzer can select by kind; `detail` is the human explanation.
+struct Violation {
+  uint64_t tick = 0;
+  TenantId tenant = 0;  // 0 for socket-wide findings
+  std::string invariant;
+  std::string detail;
+};
+
+// Stable invariant keys (the `Violation::invariant` values).
+inline constexpr char kInvWayConservation[] = "way-conservation";
+inline constexpr char kInvMinAllocation[] = "min-allocation";
+inline constexpr char kInvMissingTick[] = "missing-tick-row";
+inline constexpr char kInvMaskShape[] = "mask-shape";
+inline constexpr char kInvMaskOverlap[] = "mask-overlap";
+inline constexpr char kInvReclaimDeadline[] = "reclaim-deadline";
+inline constexpr char kInvOscillation[] = "donate-reclaim-oscillation";
+inline constexpr char kInvStreamingPinned[] = "streaming-pinned";
+inline constexpr char kInvTableConsistency[] = "table-consistency";
+
+// Read-only view of controller state for the deep checks. Production code
+// attaches a DcatController (adapted internally); tests attach a fake that
+// serves corrupted snapshots to prove each deep invariant actually fires.
+class ControllerView {
+ public:
+  virtual ~ControllerView() = default;
+  virtual bool HasTenant(TenantId id) const = 0;
+  virtual TenantSnapshot GetTenant(TenantId id) const = 0;
+  virtual ControllerSnapshot GetController() const = 0;
+};
+
+class InvariantChecker : public EventSink {
+ public:
+  explicit InvariantChecker(InvariantOptions options);
+
+  // Declares a tenant's contract. Harnesses that attach a controller can
+  // skip this: contracts are pulled from snapshots at tick boundaries.
+  void RegisterTenant(TenantId id, uint32_t baseline_ways);
+
+  // Enables the deep checks (COS masks, performance tables). Both are
+  // borrowed and must outlive the checker's event feed.
+  void AttachController(const DcatController* controller, const CatController* cat);
+
+  // Same, through the view seam (both borrowed). `cat` may be null: mask
+  // audits are skipped, snapshot-based checks still run.
+  void AttachView(const ControllerView* view, const CatController* cat);
+
+  // Violations additionally bump `invariant_violations_total` here
+  // (borrowed). Typically the controller's own registry, so
+  // `dcatd --metrics` surfaces findings next to the control-loop counters.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // EventSink. Tick rows arrive last within a control interval, so the
+  // checker audits interval T as soon as the final expected row of T
+  // lands (controller state is final at that point).
+  void OnTick(const TickEvent& event) override;
+  void OnPhaseChange(const PhaseChangeEvent& event) override;
+  void OnCategoryChange(const CategoryChangeEvent& event) override;
+  void OnAllocation(const AllocationEvent& event) override;
+
+  // Audits the final (possibly incomplete) interval; call once when the
+  // run ends.
+  void Finish();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t ticks_checked() const { return ticks_checked_; }
+
+  // Multi-line human rendering of up to `max_items` violations.
+  std::string Report(size_t max_items = 10) const;
+
+ private:
+  struct TenantTrack {
+    uint32_t baseline_ways = 0;
+    bool active = false;
+    uint64_t admit_tick = 0;
+    // Reclaim-deadline bookkeeping.
+    uint32_t suffering_streak = 0;
+    // Oscillation bookkeeping: +1 after a donate, -1 after a non-phase
+    // reclaim, 0 before either.
+    int last_direction = 0;
+    std::deque<uint64_t> flip_ticks;
+    bool phase_changed_this_group = false;
+    // Table-consistency pairing: the measurement surfaced at tick T was
+    // taken at the allocation decided at T-1.
+    uint32_t prev_ways = 0;
+    bool has_prev_ways = false;
+    // The table entry at `prev_ways` as of the previous tick's snapshot —
+    // the pre-update value the EWMA bound is checked against.
+    double cached_entry = 0.0;
+    bool has_cached_entry = false;
+  };
+
+  TenantTrack& Track(TenantId id) { return tenants_[id]; }
+  void AddViolation(uint64_t tick, TenantId tenant, const char* invariant,
+                    std::string detail);
+  // Called when an event for a tick beyond the current group arrives.
+  void BeginGroup(uint64_t tick);
+  // Full audit of the completed group (way sums, masks, tables).
+  void FinalizeGroup();
+  void CheckRow(const TickEvent& row);
+  void CheckControllerState();
+  size_t ExpectedRows() const;
+
+  InvariantOptions options_;
+  const ControllerView* view_ = nullptr;
+  std::unique_ptr<ControllerView> owned_view_;  // adapter from AttachController
+  const CatController* cat_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+
+  std::map<TenantId, TenantTrack> tenants_;
+  std::vector<TickEvent> group_rows_;  // rows of the in-flight interval
+  uint64_t group_tick_ = 0;
+  bool group_open_ = false;
+  bool group_finalized_ = false;
+  uint64_t ticks_checked_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_VERIFY_INVARIANT_CHECKER_H_

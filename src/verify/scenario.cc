@@ -1,0 +1,432 @@
+#include "src/verify/scenario.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "src/cluster/host.h"
+#include "src/common/rng.h"
+#include "src/pqos/mask.h"
+#include "src/pqos/resctrl_pqos.h"
+#include "src/telemetry/trace.h"
+#include "src/workloads/factory.h"
+#include "src/workloads/phased.h"
+
+namespace dcat {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Workload pool the fuzzer draws from: receivers (MLR, cache-hungry SPEC),
+// streamers (MLOAD, lbm/libquantum), donors (lookbusy, idle, small-WSS
+// SPEC), an application model, and a phase-churning composite.
+const char* const kWorkloadPool[] = {
+    "mlr:4M",     "mlr:8M",    "mlr:12M",       "mlr:16M",   "mload:30M",
+    "mload:60M",  "lookbusy",  "lookbusy",      "idle",      "redis",
+    "spec:omnetpp", "spec:mcf", "spec:lbm",     "spec:libquantum",
+    "spec:povray",  "phased-mlr", "phased-mload",
+};
+
+// Builds a workload from a scenario spec: the factory grammar plus the
+// scenario-local "phased-*" composites that exercise phase churn.
+std::unique_ptr<Workload> MakeScenarioWorkload(const std::string& spec, uint64_t seed) {
+  constexpr uint64_t kPhaseInstructions = 12'000'000;
+  if (spec == "phased-mlr") {
+    auto phased = std::make_unique<PhasedWorkload>("phased-mlr", /*loop=*/true);
+    phased->AddPhase(MakeWorkload("mlr:6M", seed), kPhaseInstructions);
+    phased->AddPhase(MakeWorkload("lookbusy", seed + 1), kPhaseInstructions);
+    return phased;
+  }
+  if (spec == "phased-mload") {
+    auto phased = std::make_unique<PhasedWorkload>("phased-mload", /*loop=*/true);
+    phased->AddPhase(MakeWorkload("mload:30M", seed), kPhaseInstructions);
+    phased->AddPhase(MakeWorkload("lookbusy", seed + 1), kPhaseInstructions);
+    return phased;
+  }
+  return MakeWorkload(spec, seed);
+}
+
+uint64_t WorkloadSeed(const Scenario& scenario, TenantId id) {
+  // Distinct, deterministic, never 1 (Host would override 1 with its own
+  // default) and never 0.
+  return scenario.seed * 1000003ULL + static_cast<uint64_t>(id) * 7919ULL + 13;
+}
+
+struct MachineLimits {
+  uint32_t total_ways;
+  uint16_t num_cores;
+  size_t max_tenants;  // COS limit: tenants + 1 < 16
+};
+
+MachineLimits LimitsFor(const std::string& machine) {
+  if (machine == "xeon-d") {
+    return {12, 8, 14};
+  }
+  return {20, 18, 14};
+}
+
+}  // namespace
+
+std::string Scenario::Describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " machine=" << machine << " intervals=" << intervals
+      << " tenants=[";
+  for (size_t i = 0; i < initial.size(); ++i) {
+    if (i > 0) {
+      out << " ";
+    }
+    out << initial[i].id << ":" << initial[i].workload << "/" << initial[i].baseline_ways;
+  }
+  out << "]";
+  if (!churn.empty()) {
+    out << " churn=[";
+    for (size_t i = 0; i < churn.size(); ++i) {
+      if (i > 0) {
+        out << " ";
+      }
+      if (churn[i].add) {
+        out << "@" << churn[i].interval << " +" << churn[i].tenant.id << ":"
+            << churn[i].tenant.workload << "/" << churn[i].tenant.baseline_ways;
+      } else {
+        out << "@" << churn[i].interval << " -" << churn[i].remove_id;
+      }
+    }
+    out << "]";
+  }
+  out << " cfg={miss=" << dcat.llc_miss_rate_thr << " imp=" << dcat.ipc_improvement_thr
+      << " phase=" << dcat.phase_change_thr << " greedy=" << (dcat.greedy_exploration ? 1 : 0)
+      << " shrink=" << dcat.donor_shrink_fraction << " stream=" << dcat.streaming_multiplier
+      << "}";
+  return out.str();
+}
+
+Scenario RandomScenario(uint64_t seed) {
+  // Decorrelate the scenario stream from the workload seeds.
+  Rng rng(seed ^ 0xd0a7f022ULL);
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.machine = rng.Chance(0.3) ? "xeon-d" : "xeon-e5";
+  const MachineLimits limits = LimitsFor(scenario.machine);
+  scenario.intervals = 18 + static_cast<uint32_t>(rng.Below(18));  // 18..35
+
+  // Config perturbations around the paper's defaults (§3, Figs. 8/9).
+  scenario.dcat.llc_miss_rate_thr = 0.01 + rng.NextDouble() * 0.05;
+  scenario.dcat.ipc_improvement_thr = 0.03 + rng.NextDouble() * 0.07;
+  scenario.dcat.phase_change_thr = 0.05 + rng.NextDouble() * 0.15;
+  scenario.dcat.greedy_exploration = rng.Chance(0.7);
+  scenario.dcat.donor_shrink_fraction = 0.3 + rng.NextDouble() * 0.7;
+  scenario.dcat.streaming_multiplier = 2 + static_cast<uint32_t>(rng.Below(3));
+  scenario.dcat.llc_ref_per_kilo_instruction_thr = 0.5 + rng.NextDouble() * 1.5;
+
+  const size_t max_vms_by_cores = limits.num_cores / 2;  // 2 vcpus per VM
+  const size_t max_initial = std::min<size_t>({6, max_vms_by_cores, limits.max_tenants});
+  const size_t want = 2 + rng.Below(max_initial - 1);  // 2..max_initial
+
+  // Simulated admission state, kept valid at every point in time so the
+  // controller's admission control (Σ baselines ≤ ways, core and COS
+  // limits) can never abort a generated scenario.
+  uint32_t ways_used = 0;
+  size_t active_vms = 0;
+  std::map<TenantId, uint32_t> active;  // id -> baseline ways
+  TenantId next_id = 1;
+
+  auto try_make_tenant = [&](TenantSetup* out) {
+    const uint32_t max_baseline = std::min<uint32_t>(4, limits.total_ways - ways_used);
+    if (max_baseline < 1 || active_vms >= max_vms_by_cores ||
+        active.size() >= limits.max_tenants) {
+      return false;
+    }
+    out->id = next_id++;
+    out->workload = kWorkloadPool[rng.Below(std::size(kWorkloadPool))];
+    out->baseline_ways = 1 + static_cast<uint32_t>(rng.Below(max_baseline));
+    ways_used += out->baseline_ways;
+    ++active_vms;
+    active[out->id] = out->baseline_ways;
+    return true;
+  };
+
+  for (size_t i = 0; i < want; ++i) {
+    TenantSetup tenant;
+    if (try_make_tenant(&tenant)) {
+      scenario.initial.push_back(tenant);
+    }
+  }
+
+  // Arrival/departure churn at a few interior intervals.
+  const size_t churn_count = rng.Below(4);  // 0..3
+  std::vector<uint32_t> when;
+  for (size_t i = 0; i < churn_count; ++i) {
+    when.push_back(3 + static_cast<uint32_t>(rng.Below(scenario.intervals - 6)));
+  }
+  std::sort(when.begin(), when.end());
+  for (const uint32_t interval : when) {
+    const bool remove = active.size() > 1 && rng.Chance(0.5);
+    if (remove) {
+      // Pick a deterministic victim among the currently active tenants.
+      auto it = active.begin();
+      std::advance(it, static_cast<long>(rng.Below(active.size())));
+      ChurnEvent event;
+      event.interval = interval;
+      event.add = false;
+      event.remove_id = it->first;
+      ways_used -= it->second;
+      --active_vms;
+      active.erase(it);
+      scenario.churn.push_back(event);
+    } else {
+      ChurnEvent event;
+      event.interval = interval;
+      event.add = true;
+      if (try_make_tenant(&event.tenant)) {
+        scenario.churn.push_back(event);
+      }
+    }
+  }
+  return scenario;
+}
+
+Scenario Fig10Scenario() {
+  Scenario scenario;
+  scenario.seed = 4242;
+  scenario.machine = "xeon-e5";
+  scenario.intervals = 30;
+  scenario.initial.push_back(TenantSetup{.id = 1, .workload = "mlr:8M", .baseline_ways = 3});
+  for (TenantId id = 2; id <= 6; ++id) {
+    scenario.initial.push_back(
+        TenantSetup{.id = id, .workload = "lookbusy", .baseline_ways = 3});
+  }
+  return scenario;
+}
+
+namespace {
+
+// Shadow backends for the differential mask check: every mask the live
+// SimPqos was programmed with is replayed through a second SimPqos and a
+// fake-tree ResctrlPqos; all three must agree at every interval.
+class BackendDifferential {
+ public:
+  BackendDifferential(const SocketConfig& socket_config, uint64_t seed,
+                      std::vector<Violation>* violations)
+      : shadow_socket_(socket_config),
+        shadow_sim_(&shadow_socket_),
+        violations_(violations),
+        prev_masks_(socket_config.num_cos, kUnseen) {
+    static std::atomic<uint64_t> counter{0};
+    root_ = fs::temp_directory_path() /
+            ("dcat_verify_" + std::to_string(::getpid()) + "_" + std::to_string(seed) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+    fs::create_directories(root_ / "info" / "L3", ec);
+    const uint32_t full = MakeWayMask(0, shadow_socket_.num_ways());
+    WriteFile(root_ / "info" / "L3" / "cbm_mask", MaskToHex(full) + "\n");
+    WriteFile(root_ / "info" / "L3" / "num_closids",
+              std::to_string(shadow_socket_.num_cos()) + "\n");
+    WriteFile(root_ / "schemata", "L3:0=" + MaskToHex(full) + "\n");
+    WriteFile(root_ / "cpus_list", "0-" + std::to_string(socket_config.num_cores - 1) + "\n");
+    shadow_resctrl_ =
+        std::make_unique<ResctrlPqos>(root_.string(), socket_config.num_cores);
+    resctrl_ok_ = shadow_resctrl_->Initialize();
+    if (!resctrl_ok_) {
+      violations_->push_back(Violation{
+          .tick = 0, .tenant = 0, .invariant = kCheckBackendDivergence,
+          .detail = "fake resctrl tree failed to initialize at " + root_.string()});
+    }
+  }
+
+  ~BackendDifferential() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  // Applies the live backend's mask changes to both shadows, then compares
+  // all three mask states for every COS touched so far.
+  void Sync(const CatController& live, uint64_t tick) {
+    if (!resctrl_ok_) {
+      return;
+    }
+    for (uint8_t cos = 1; cos < shadow_socket_.num_cos(); ++cos) {
+      const uint32_t mask = live.GetCosMask(cos);
+      if (mask == prev_masks_[cos]) {
+        continue;
+      }
+      prev_masks_[cos] = mask;
+      const PqosStatus sim_status = shadow_sim_.SetCosMask(cos, mask);
+      const PqosStatus res_status = shadow_resctrl_->SetCosMask(cos, mask);
+      if (sim_status != PqosStatus::kOk || res_status != PqosStatus::kOk) {
+        std::ostringstream detail;
+        detail << "SetCosMask(COS " << static_cast<int>(cos) << ", 0x" << MaskToHex(mask)
+               << ") -> sim " << PqosStatusName(sim_status) << ", resctrl "
+               << PqosStatusName(res_status);
+        violations_->push_back(Violation{.tick = tick, .tenant = 0,
+                                         .invariant = kCheckBackendDivergence,
+                                         .detail = detail.str()});
+      }
+    }
+    for (uint8_t cos = 1; cos < shadow_socket_.num_cos(); ++cos) {
+      if (prev_masks_[cos] == kUnseen) {
+        continue;
+      }
+      const uint32_t live_mask = live.GetCosMask(cos);
+      const uint32_t sim_mask = shadow_sim_.GetCosMask(cos);
+      const uint32_t res_mask = shadow_resctrl_->GetCosMask(cos);
+      if (sim_mask != res_mask || sim_mask != live_mask) {
+        std::ostringstream detail;
+        detail << "COS " << static_cast<int>(cos) << " mask state diverged: live 0x"
+               << MaskToHex(live_mask) << ", shadow sim 0x" << MaskToHex(sim_mask)
+               << ", fake resctrl 0x" << MaskToHex(res_mask);
+        violations_->push_back(Violation{.tick = tick, .tenant = 0,
+                                         .invariant = kCheckBackendDivergence,
+                                         .detail = detail.str()});
+      }
+    }
+  }
+
+ private:
+  static constexpr uint32_t kUnseen = 0xffffffffu;
+
+  static void WriteFile(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  Socket shadow_socket_;
+  SimPqos shadow_sim_;
+  std::unique_ptr<ResctrlPqos> shadow_resctrl_;
+  std::vector<Violation>* violations_;
+  std::vector<uint32_t> prev_masks_;
+  fs::path root_;
+  bool resctrl_ok_ = false;
+};
+
+}  // namespace
+
+ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) {
+  HostConfig host_config;
+  host_config.socket =
+      scenario.machine == "xeon-d" ? SocketConfig::XeonD() : SocketConfig::XeonE5();
+  host_config.mode = ManagerMode::kDcat;
+  host_config.dcat = scenario.dcat;
+  host_config.dcat.policy = options.policy;
+  host_config.cycles_per_interval = options.cycles_per_interval;
+  Host host(host_config);
+
+  std::ostringstream trace_out;
+  JsonlTraceWriter writer(&trace_out);
+
+  InvariantOptions checker_options;
+  checker_options.total_ways = host.socket().num_ways();
+  checker_options.min_ways = host_config.dcat.min_ways;
+  checker_options.ipc_improvement_thr = host_config.dcat.ipc_improvement_thr;
+  InvariantChecker checker(checker_options);
+  checker.AttachController(host.dcat(), &host.pqos());
+  checker.set_metrics(&host.dcat()->metrics());
+
+  host.AddEventSink(&writer);
+  host.AddEventSink(&checker);
+
+  ScenarioResult result;
+
+  auto add_tenant = [&](const TenantSetup& tenant) {
+    checker.RegisterTenant(tenant.id, tenant.baseline_ways);
+    host.AddVm(VmConfig{.id = tenant.id,
+                        .name = tenant.workload,
+                        .baseline_ways = tenant.baseline_ways,
+                        .seed = WorkloadSeed(scenario, tenant.id)},
+               MakeScenarioWorkload(tenant.workload, WorkloadSeed(scenario, tenant.id)));
+  };
+  for (const TenantSetup& tenant : scenario.initial) {
+    add_tenant(tenant);
+  }
+
+  std::unique_ptr<BackendDifferential> differential;
+  if (options.check_backend_differential) {
+    differential = std::make_unique<BackendDifferential>(host_config.socket, scenario.seed,
+                                                         &result.violations);
+    differential->Sync(host.pqos(), 0);
+  }
+
+  size_t next_churn = 0;
+  for (uint32_t interval = 0; interval < scenario.intervals; ++interval) {
+    while (next_churn < scenario.churn.size() &&
+           scenario.churn[next_churn].interval == interval) {
+      const ChurnEvent& event = scenario.churn[next_churn];
+      if (event.add) {
+        add_tenant(event.tenant);
+      } else {
+        host.RemoveVm(event.remove_id);
+      }
+      ++next_churn;
+    }
+    host.Step();
+    if (differential != nullptr) {
+      differential->Sync(host.pqos(), host.intervals());
+    }
+  }
+  checker.Finish();
+
+  result.violations.insert(result.violations.end(), checker.violations().begin(),
+                           checker.violations().end());
+  result.trace = trace_out.str();
+  result.ticks = checker.ticks_checked();
+  result.invariant_violations_total =
+      host.dcat()->metrics().counter("invariant_violations_total").value();
+  return result;
+}
+
+std::string DescribeTraceDivergence(const std::string& first, const std::string& second) {
+  if (first == second) {
+    return "";
+  }
+  std::istringstream a(first);
+  std::istringstream b(second);
+  std::string line_a;
+  std::string line_b;
+  size_t line_number = 0;
+  while (true) {
+    ++line_number;
+    const bool got_a = static_cast<bool>(std::getline(a, line_a));
+    const bool got_b = static_cast<bool>(std::getline(b, line_b));
+    if (!got_a && !got_b) {
+      return "traces differ but no diverging line found";
+    }
+    if (!got_a || !got_b || line_a != line_b) {
+      std::ostringstream out;
+      out << "first divergence at line " << line_number << ":\n  run1: "
+          << (got_a ? line_a : "<eof>") << "\n  run2: " << (got_b ? line_b : "<eof>");
+      return out.str();
+    }
+  }
+}
+
+bool CheckTraceDeterminism(const Scenario& scenario, const RunOptions& options,
+                           std::string* detail) {
+  RunOptions run_options = options;
+  run_options.check_backend_differential = false;  // no effect on the trace
+  const ScenarioResult first = RunScenario(scenario, run_options);
+  const ScenarioResult second = RunScenario(scenario, run_options);
+  const std::string divergence = DescribeTraceDivergence(first.trace, second.trace);
+  if (divergence.empty()) {
+    return true;
+  }
+  if (detail != nullptr) {
+    *detail = divergence;
+  }
+  return false;
+}
+
+ScenarioResult RunFig10Golden() {
+  RunOptions options;
+  options.policy = AllocationPolicy::kMaxFairness;
+  options.cycles_per_interval = 20e6;  // matches the dcatd demo
+  options.check_backend_differential = false;
+  return RunScenario(Fig10Scenario(), options);
+}
+
+}  // namespace dcat

@@ -1,0 +1,100 @@
+// Deterministic controller scenarios: random tenant mixes for fuzzing and
+// the canonical Fig. 10 mix for golden-trace regression.
+//
+// A Scenario is a complete, serializable description of one host run —
+// machine, controller config perturbation, tenant mix, arrival/departure
+// churn — derived entirely from a seed, so any fuzz finding replays from
+// the seed alone. RunScenario executes the full host+controller loop with
+// an InvariantChecker riding the telemetry fanout and the JSONL trace
+// captured in memory; optional extras check that the SimPqos and fake-tree
+// ResctrlPqos backends agree on every programmed mask, and
+// CheckTraceDeterminism proves the same seed yields a byte-identical trace.
+#ifndef SRC_VERIFY_SCENARIO_H_
+#define SRC_VERIFY_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/verify/invariant_checker.h"
+
+namespace dcat {
+
+// Harness-level finding keys (reported as Violation::invariant alongside
+// the checker's own keys).
+inline constexpr char kCheckBackendDivergence[] = "backend-divergence";
+inline constexpr char kCheckTraceDeterminism[] = "trace-nondeterminism";
+
+struct TenantSetup {
+  TenantId id = 0;
+  std::string workload;  // factory spec, or the scenario-local "phased-*"
+  uint32_t baseline_ways = 1;
+};
+
+struct ChurnEvent {
+  uint32_t interval = 0;  // fires before Step() of this interval (0-based)
+  bool add = false;       // true: admit `tenant`; false: evict `remove_id`
+  TenantSetup tenant;
+  TenantId remove_id = 0;
+};
+
+struct Scenario {
+  uint64_t seed = 0;
+  std::string machine = "xeon-e5";  // "xeon-e5" | "xeon-d"
+  DcatConfig dcat;                  // perturbed thresholds; policy set per run
+  uint32_t intervals = 20;
+  std::vector<TenantSetup> initial;
+  std::vector<ChurnEvent> churn;  // sorted by interval
+
+  // One-line human description (printed by dcat_fuzz on a finding).
+  std::string Describe() const;
+};
+
+// Expands `seed` into a full scenario: machine, 2..6 tenants drawn from the
+// MLR/MLOAD/lookbusy/phased/SPEC-proxy pool, churn, and config
+// perturbations. Same seed, same scenario — always.
+Scenario RandomScenario(uint64_t seed);
+
+// The paper's Fig. 10 mix: one MLR-8M receiver among five lookbusy donors,
+// baseline 3 ways each on the Xeon E5 socket. Basis of the golden trace.
+Scenario Fig10Scenario();
+
+struct RunOptions {
+  AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  // Simulated cycles per control interval; smaller = faster fuzzing. The
+  // controller consumes rates only, so dilation changes no decision logic.
+  double cycles_per_interval = 1e6;
+  // Replay every programmed mask through a second SimPqos and a fake-tree
+  // ResctrlPqos and require identical mask states (writes a temp dir).
+  bool check_backend_differential = false;
+};
+
+struct ScenarioResult {
+  std::vector<Violation> violations;  // checker findings + harness findings
+  std::string trace;                  // full JSONL decision trace
+  uint64_t ticks = 0;                 // intervals audited
+  uint64_t invariant_violations_total = 0;  // metrics counter after the run
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs the scenario under the given policy with the invariant checker
+// attached. Deterministic: the trace depends only on (scenario, options).
+ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options);
+
+// Runs the scenario twice and byte-compares the JSONL traces. Returns true
+// when identical; otherwise fills *detail with the first diverging line.
+bool CheckTraceDeterminism(const Scenario& scenario, const RunOptions& options,
+                           std::string* detail);
+
+// Human description of where two traces first diverge (for reports when a
+// caller already holds both traces). Empty string when they are identical.
+std::string DescribeTraceDivergence(const std::string& first, const std::string& second);
+
+// The pinned golden-trace run: Fig10Scenario under max-fairness with fixed
+// run options, shared by `dcat_fuzz --write-golden` and the regression test.
+ScenarioResult RunFig10Golden();
+
+}  // namespace dcat
+
+#endif  // SRC_VERIFY_SCENARIO_H_

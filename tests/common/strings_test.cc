@@ -13,11 +13,22 @@ TEST(SplitTest, SplitsOnEveryOccurrence) {
   EXPECT_EQ(Split("no-sep", ','), (std::vector<std::string>{"no-sep"}));
 }
 
+TEST(SplitTest, SeparatorOnlyInputYieldsAllEmptyTokens) {
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split(",,,", ','), (std::vector<std::string>{"", "", "", ""}));
+}
+
 TEST(SplitFirstTest, SplitsAtFirstSeparatorOnly) {
   EXPECT_EQ(SplitFirst("trace:a:b", ':'), (std::pair<std::string, std::string>{"trace", "a:b"}));
   EXPECT_EQ(SplitFirst("key=value", '='), (std::pair<std::string, std::string>{"key", "value"}));
   EXPECT_EQ(SplitFirst("lookbusy", ':'), (std::pair<std::string, std::string>{"lookbusy", ""}));
   EXPECT_EQ(SplitFirst("=v", '='), (std::pair<std::string, std::string>{"", "v"}));
+}
+
+TEST(SplitFirstTest, DegenerateSeparatorPositions) {
+  EXPECT_EQ(SplitFirst("a=", '='), (std::pair<std::string, std::string>{"a", ""}));
+  EXPECT_EQ(SplitFirst("=", '='), (std::pair<std::string, std::string>{"", ""}));
+  EXPECT_EQ(SplitFirst("", '='), (std::pair<std::string, std::string>{"", ""}));
 }
 
 TEST(TrimTest, StripsSurroundingWhitespace) {
@@ -47,12 +58,48 @@ TEST(ParseUint64Test, RejectsGarbage) {
   EXPECT_EQ(v, 99u);  // untouched on failure
 }
 
+TEST(ParseUint64Test, AcceptsLeadingZeros) {
+  // strtoull with base 10 treats leading zeros as plain decimal digits.
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("007", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(ParseUint64("00", &v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(ParseUint64Test, RejectsNonDigitSuffixes) {
+  uint64_t v = 99;
+  EXPECT_FALSE(ParseUint64("7 ", &v));
+  EXPECT_FALSE(ParseUint64("7\n", &v));
+  EXPECT_FALSE(ParseUint64("7\t", &v));
+  EXPECT_FALSE(ParseUint64("1.0", &v));
+  EXPECT_FALSE(ParseUint64("0x10", &v));
+  EXPECT_EQ(v, 99u);
+}
+
+TEST(ParseUint64Test, RejectsOverflowFarBeyondRange) {
+  // strtoull clamps with ERANGE; the wrapper must report failure, not the
+  // clamped value, even when the input is many digits past the limit.
+  uint64_t v = 42;
+  EXPECT_FALSE(ParseUint64("99999999999999999999999999999999", &v));
+  EXPECT_EQ(v, 42u);
+}
+
 TEST(ParseUint32Test, RejectsValuesAbove32Bits) {
   uint32_t v = 0;
   EXPECT_TRUE(ParseUint32("4294967295", &v));
   EXPECT_EQ(v, UINT32_MAX);
   EXPECT_FALSE(ParseUint32("4294967296", &v));
+  EXPECT_FALSE(ParseUint32("18446744073709551615", &v));  // fits u64, not u32
   EXPECT_FALSE(ParseUint32("abc", &v));
+}
+
+TEST(ParseUint32Test, FailureLeavesOutputUntouched) {
+  uint32_t v = 7;
+  EXPECT_FALSE(ParseUint32("4294967296", &v));
+  EXPECT_FALSE(ParseUint32("-1", &v));
+  EXPECT_FALSE(ParseUint32("12x", &v));
+  EXPECT_EQ(v, 7u);
 }
 
 TEST(ParseDoubleTest, AcceptsDecimalsRejectsTrailingGarbage) {
@@ -63,6 +110,16 @@ TEST(ParseDoubleTest, AcceptsDecimalsRejectsTrailingGarbage) {
   EXPECT_DOUBLE_EQ(v, -2.5);
   EXPECT_FALSE(ParseDouble("1.5x", &v));
   EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(ParseDoubleTest, AcceptsScientificNotationAndBareDot) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("5e6", &v));
+  EXPECT_DOUBLE_EQ(v, 5e6);
+  EXPECT_TRUE(ParseDouble(".5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_FALSE(ParseDouble(".", &v));
+  EXPECT_FALSE(ParseDouble("1e", &v));  // dangling exponent
 }
 
 }  // namespace

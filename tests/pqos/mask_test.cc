@@ -23,6 +23,19 @@ TEST(MaskTest, ContiguityRules) {
   EXPECT_FALSE(IsContiguousMask(0x80000001u));
 }
 
+TEST(MaskTest, WrapAroundLookingMasksAreNotContiguous) {
+  // Runs touching both ends of the word would be contiguous on a ring, but
+  // CBMs are linear: bit 31 adjacent to bit 0 never counts as one run.
+  EXPECT_FALSE(IsContiguousMask(0xc0000001u));
+  EXPECT_FALSE(IsContiguousMask(0xc0000003u));
+  EXPECT_FALSE(IsContiguousMask(0xf000000fu));
+}
+
+TEST(MaskTest, FullWordMaskIsContiguous) {
+  EXPECT_TRUE(IsContiguousMask(0xffffffffu));
+  EXPECT_EQ(MaskWays(0xffffffffu), 32);
+}
+
 TEST(MaskTest, MakeWayMaskBuildsRuns) {
   EXPECT_EQ(MakeWayMask(0, 1), 0b1u);
   EXPECT_EQ(MakeWayMask(2, 3), 0b11100u);
@@ -45,10 +58,18 @@ TEST(MaskTest, EveryMakeWayMaskIsContiguous) {
   }
 }
 
+TEST(MaskTest, MakeWayMaskAtTopOfWord) {
+  EXPECT_EQ(MakeWayMask(19, 1), 0x80000u);  // top way of a 20-way socket
+  EXPECT_EQ(MakeWayMask(31, 1), 0x80000000u);
+  EXPECT_EQ(MakeWayMask(30, 2), 0xc0000000u);
+}
+
 TEST(MaskTest, LowestWay) {
   EXPECT_EQ(LowestWay(0), -1);
   EXPECT_EQ(LowestWay(0b1), 0);
   EXPECT_EQ(LowestWay(0b11000), 3);
+  EXPECT_EQ(LowestWay(0x80000000u), 31);
+  EXPECT_EQ(LowestWay(0xffffffffu), 0);
 }
 
 TEST(MaskTest, HexRoundTrip) {
@@ -63,6 +84,18 @@ TEST(MaskTest, ParseAcceptsPrefixAndTrailingNewline) {
   EXPECT_EQ(ParseMaskHex("0xff"), 0xffu);
   EXPECT_EQ(ParseMaskHex("FF"), 0xffu);
   EXPECT_EQ(ParseMaskHex("fffff\n"), 0xfffffu);  // sysfs read
+}
+
+TEST(MaskTest, HexHasNoPrefixAndZeroRoundTrips) {
+  // resctrl schemata lines want bare lowercase hex.
+  EXPECT_EQ(MaskToHex(0xfffffu), "fffff");
+  EXPECT_EQ(MaskToHex(0xABCu), "abc");
+  const auto zero = ParseMaskHex(MaskToHex(0));
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(*zero, 0u);
+  const auto full = ParseMaskHex(MaskToHex(0xffffffffu));
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, 0xffffffffu);
 }
 
 TEST(MaskTest, ParseRejectsGarbage) {

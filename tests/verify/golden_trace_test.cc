@@ -1,0 +1,93 @@
+// Golden-trace regression for the paper's Fig. 10 scenario (one MLR-8M
+// receiver among five lookbusy donors): the controller's decision sequence
+// — admissions, phase changes, category transitions, allocation moves with
+// reasons — must match the checked-in trace event for event.
+//
+// Only integer/string decision fields are compared, so the golden file is
+// robust to float formatting; byte-level determinism of full traces is
+// separately proven in scenario_test.cc. Regenerate after an intentional
+// controller change with:  dcat_fuzz --write-golden=tests/verify/data/golden_fig10.jsonl
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/trace.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+// One decision event, normalized for comparison.
+std::vector<std::string> DecisionEvents(const std::vector<TraceEvent>& events) {
+  std::vector<std::string> out;
+  for (const TraceEvent& event : events) {
+    std::ostringstream line;
+    if (event.allocation.has_value()) {
+      const AllocationEvent& a = *event.allocation;
+      line << "alloc t" << a.tick << " tenant" << a.tenant << " "
+           << AllocationReasonName(a.reason) << " " << a.from_ways << "->" << a.to_ways;
+    } else if (event.category_change.has_value()) {
+      const CategoryChangeEvent& c = *event.category_change;
+      line << "category t" << c.tick << " tenant" << c.tenant << " " << CategoryName(c.from)
+           << "->" << CategoryName(c.to);
+    } else if (event.phase_change.has_value()) {
+      // The float signature is excluded on purpose: the decision is the
+      // phase transition itself.
+      const PhaseChangeEvent& p = *event.phase_change;
+      line << "phase t" << p.tick << " tenant" << p.tenant << " phase" << p.phase_index
+           << (p.known_phase ? " known" : " new");
+    } else {
+      continue;  // tick rows carry measurements, not decisions
+    }
+    out.push_back(line.str());
+  }
+  return out;
+}
+
+TEST(GoldenTraceTest, Fig10DecisionSequenceMatchesGolden) {
+  std::ifstream golden_file(GOLDEN_TRACE_PATH);
+  ASSERT_TRUE(golden_file) << "missing golden trace at " << GOLDEN_TRACE_PATH;
+  const auto golden = ReadTrace(golden_file);
+  ASSERT_TRUE(golden.has_value()) << "golden trace is not valid JSONL";
+
+  const ScenarioResult result = RunFig10Golden();
+  ASSERT_TRUE(result.ok()) << result.violations.front().invariant << " — "
+                           << result.violations.front().detail;
+  std::istringstream live_stream(result.trace);
+  const auto live = ReadTrace(live_stream);
+  ASSERT_TRUE(live.has_value());
+
+  const std::vector<std::string> want = DecisionEvents(*golden);
+  const std::vector<std::string> got = DecisionEvents(*live);
+  ASSERT_FALSE(want.empty());
+  const size_t common = std::min(want.size(), got.size());
+  for (size_t i = 0; i < common; ++i) {
+    ASSERT_EQ(got[i], want[i])
+        << "decision " << i << " diverged from the golden trace; if the change is "
+        << "intentional, regenerate with dcat_fuzz --write-golden";
+  }
+  EXPECT_EQ(got.size(), want.size());
+}
+
+// The golden scenario must exercise the paper's headline behaviour: the MLR
+// tenant (tenant 1) grows beyond its 3-way contract while donors shrink.
+TEST(GoldenTraceTest, Fig10MlrTenantGrowsBeyondContract) {
+  std::ifstream golden_file(GOLDEN_TRACE_PATH);
+  ASSERT_TRUE(golden_file);
+  const auto golden = ReadTrace(golden_file);
+  ASSERT_TRUE(golden.has_value());
+  uint32_t mlr_peak_ways = 0;
+  for (const TraceEvent& event : *golden) {
+    if (event.tick.has_value() && event.tick->tenant == 1) {
+      mlr_peak_ways = std::max(mlr_peak_ways, event.tick->ways);
+    }
+  }
+  EXPECT_GT(mlr_peak_ways, 3u);
+}
+
+}  // namespace
+}  // namespace dcat

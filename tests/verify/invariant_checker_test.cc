@@ -1,0 +1,375 @@
+// Proves each invariant FIRES on a purpose-built violating input — a
+// checker that cannot fail is no checker — and stays silent on a clean,
+// fully-attached controller run.
+#include "src/verify/invariant_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/pqos/mask.h"
+#include "src/telemetry/metrics.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+TickEvent Row(uint64_t tick, TenantId tenant, uint32_t ways, double norm_ipc = 1.0,
+              Category category = Category::kKeeper, bool phase_changed = false) {
+  TickEvent row;
+  row.tick = tick;
+  row.tenant = tenant;
+  row.category = category;
+  row.ways = ways;
+  row.ipc = norm_ipc;  // raw value is not audited; any plausible number works
+  row.norm_ipc = norm_ipc;
+  row.phase_changed = phase_changed;
+  return row;
+}
+
+AllocationEvent Alloc(uint64_t tick, TenantId tenant, AllocationReason reason,
+                      uint32_t from_ways, uint32_t to_ways) {
+  return AllocationEvent{
+      .tick = tick, .tenant = tenant, .reason = reason, .from_ways = from_ways,
+      .to_ways = to_ways};
+}
+
+bool Has(const InvariantChecker& checker, const char* invariant) {
+  for (const Violation& violation : checker.violations()) {
+    if (violation.invariant == invariant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(InvariantCheckerTest, WayConservationFires) {
+  InvariantChecker checker(InvariantOptions{.total_ways = 20});
+  checker.RegisterTenant(1, 3);
+  checker.RegisterTenant(2, 3);
+  checker.OnTick(Row(1, 1, 12));
+  checker.OnTick(Row(1, 2, 10));  // 22 > 20
+  checker.Finish();
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(Has(checker, kInvWayConservation));
+}
+
+TEST(InvariantCheckerTest, MinAllocationFiresOnTickRow) {
+  InvariantChecker checker(InvariantOptions{});
+  checker.RegisterTenant(1, 3);
+  checker.OnTick(Row(1, 1, 0));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvMinAllocation));
+}
+
+TEST(InvariantCheckerTest, MinAllocationFiresOnAllocationEvent) {
+  InvariantChecker checker(InvariantOptions{});
+  checker.RegisterTenant(1, 3);
+  // A broken allocator "granting" zero ways outside an eviction.
+  checker.OnAllocation(Alloc(1, 1, AllocationReason::kDonate, 2, 0));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvMinAllocation));
+}
+
+TEST(InvariantCheckerTest, StreamingPinnedFires) {
+  InvariantChecker checker(InvariantOptions{});
+  checker.RegisterTenant(1, 3);
+  checker.OnTick(Row(1, 1, 4, 1.0, Category::kStreaming));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvStreamingPinned));
+}
+
+TEST(InvariantCheckerTest, MissingTickRowFires) {
+  InvariantChecker checker(InvariantOptions{});
+  checker.RegisterTenant(1, 3);
+  checker.RegisterTenant(2, 3);
+  checker.OnTick(Row(1, 1, 3));
+  // Tenant 2 never reports at tick 1; the next tick's row closes the group.
+  checker.OnTick(Row(2, 1, 3));
+  checker.OnTick(Row(2, 2, 3));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvMissingTick));
+}
+
+TEST(InvariantCheckerTest, ReclaimDeadlineFires) {
+  InvariantChecker checker(InvariantOptions{.reclaim_deadline_ticks = 3});
+  checker.RegisterTenant(1, 4);
+  for (uint64_t tick = 1; tick <= 4; ++tick) {
+    // Below contract (2 < 4), IPC collapsed, never reclaimed.
+    checker.OnTick(Row(tick, 1, 2, 0.5, Category::kDonor));
+  }
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvReclaimDeadline));
+}
+
+TEST(InvariantCheckerTest, ReclaimWithinDeadlineStaysClean) {
+  InvariantChecker checker(InvariantOptions{.reclaim_deadline_ticks = 3});
+  checker.RegisterTenant(1, 4);
+  checker.OnTick(Row(1, 1, 2, 0.5, Category::kDonor));
+  checker.OnTick(Row(2, 1, 2, 0.5, Category::kDonor));
+  // The controller reacts: the tenant enters Reclaim on the third tick.
+  checker.OnTick(Row(3, 1, 2, 0.5, Category::kReclaim));
+  checker.OnTick(Row(4, 1, 4, 1.0, Category::kKeeper));
+  checker.Finish();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(InvariantCheckerTest, OscillationFires) {
+  InvariantChecker checker(
+      InvariantOptions{.max_flips_per_window = 4, .flip_window_ticks = 40});
+  checker.RegisterTenant(1, 3);
+  // donate -> reclaim -> donate ... every reversal after the first donate
+  // is a flip; the sixth event is the fifth flip, over the limit of four.
+  for (uint64_t tick = 1; tick <= 6; ++tick) {
+    const bool donate = (tick % 2) == 1;
+    checker.OnAllocation(Alloc(tick, 1,
+                               donate ? AllocationReason::kDonate
+                                      : AllocationReason::kReclaim,
+                               donate ? 3 : 2, donate ? 2 : 3));
+  }
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvOscillation));
+}
+
+TEST(InvariantCheckerTest, PhaseChangeReclaimsAreNotOscillation) {
+  InvariantChecker checker(
+      InvariantOptions{.max_flips_per_window = 4, .flip_window_ticks = 40});
+  checker.RegisterTenant(1, 3);
+  // Phase-change-driven reclaims legitimately follow donations any number
+  // of times (§3: the guarantee acts on every phase change).
+  for (uint64_t i = 0; i < 12; ++i) {
+    const uint64_t tick = 2 * i + 1;
+    checker.OnAllocation(Alloc(tick, 1, AllocationReason::kDonate, 3, 2));
+    checker.OnPhaseChange(PhaseChangeEvent{.tick = tick + 1, .tenant = 1});
+    checker.OnAllocation(Alloc(tick + 1, 1, AllocationReason::kReclaim, 2, 3));
+  }
+  checker.Finish();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(InvariantCheckerTest, AdmissionChurnLifecycleStaysClean) {
+  InvariantChecker checker(InvariantOptions{});
+  checker.RegisterTenant(1, 3);
+  checker.OnTick(Row(1, 1, 3));
+  // Tenant 2 arrives between ticks 1 and 2 (the event carries tick 1, the
+  // last completed interval) and departs after tick 2.
+  checker.OnAllocation(Alloc(1, 2, AllocationReason::kAdmit, 0, 1));
+  checker.OnTick(Row(2, 1, 3));
+  checker.OnTick(Row(2, 2, 1));
+  checker.OnAllocation(Alloc(2, 2, AllocationReason::kEvict, 1, 0));
+  checker.OnTick(Row(3, 1, 3));
+  checker.Finish();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(InvariantCheckerTest, ViolationsBumpMetricsCounter) {
+  MetricsRegistry metrics;
+  InvariantChecker checker(InvariantOptions{});
+  checker.set_metrics(&metrics);
+  checker.RegisterTenant(1, 3);
+  checker.OnTick(Row(1, 1, 0));  // below the CAT floor
+  checker.Finish();
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(metrics.counter("invariant_violations_total").value(),
+            checker.violations().size());
+  EXPECT_GE(metrics.counter(std::string("invariant_violations.") + kInvMinAllocation)
+                .value(),
+            1u);
+  // `dcatd --metrics` renders this registry: findings are operator-visible.
+  EXPECT_NE(metrics.RenderText().find("invariant_violations_total"), std::string::npos);
+}
+
+// --- deep checks: controller-state audits through the view seam ---
+
+// ControllerView fake serving snapshots the tests corrupt at will.
+class FakeView : public ControllerView {
+ public:
+  bool HasTenant(TenantId id) const override {
+    for (const TenantSnapshot& t : controller.tenants) {
+      if (t.id == id) {
+        return true;
+      }
+    }
+    return false;
+  }
+  TenantSnapshot GetTenant(TenantId id) const override {
+    for (const TenantSnapshot& t : controller.tenants) {
+      if (t.id == id) {
+        return t;
+      }
+    }
+    return TenantSnapshot{};
+  }
+  ControllerSnapshot GetController() const override { return controller; }
+
+  ControllerSnapshot controller;
+};
+
+// CatController stub returning arbitrary (even invalid) masks — the point
+// is auditing a backend that went wrong.
+class ScriptedCat : public CatController {
+ public:
+  uint32_t NumWays() const override { return 20; }
+  uint8_t NumCos() const override { return 16; }
+  uint16_t NumCores() const override { return 18; }
+  uint64_t WayCapacityBytes() const override { return 2'359'296; }
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override {
+    masks[cos] = mask;
+    return PqosStatus::kOk;
+  }
+  uint32_t GetCosMask(uint8_t cos) const override {
+    const auto it = masks.find(cos);
+    return it != masks.end() ? it->second : 0;
+  }
+  PqosStatus AssociateCore(uint16_t, uint8_t) override { return PqosStatus::kOk; }
+  uint8_t GetCoreAssociation(uint16_t) const override { return 0; }
+
+  std::map<uint8_t, uint32_t> masks;
+};
+
+TenantSnapshot SnapshotFor(TenantId id, uint8_t cos, uint32_t ways) {
+  TenantSnapshot snap;
+  snap.id = id;
+  snap.cos = cos;
+  snap.ways = ways;
+  snap.baseline_ways = ways;
+  snap.baseline_valid = true;
+  return snap;
+}
+
+TEST(InvariantCheckerDeepTest, MaskShapeFires) {
+  FakeView view;
+  ScriptedCat cat;
+  view.controller.tick = 1;
+  view.controller.tenants = {SnapshotFor(1, 1, 2)};
+  cat.masks[1] = MakeWayMask(0, 3);  // 3 ways where the controller claims 2
+
+  InvariantChecker checker(InvariantOptions{});
+  checker.AttachView(&view, &cat);
+  checker.RegisterTenant(1, 2);
+  checker.OnTick(Row(1, 1, 2));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvMaskShape));
+}
+
+TEST(InvariantCheckerDeepTest, NonContiguousMaskFires) {
+  FakeView view;
+  ScriptedCat cat;
+  view.controller.tick = 1;
+  view.controller.tenants = {SnapshotFor(1, 1, 2)};
+  cat.masks[1] = 0b101;  // two ways, but split — illegal for CAT
+
+  InvariantChecker checker(InvariantOptions{});
+  checker.AttachView(&view, &cat);
+  checker.RegisterTenant(1, 2);
+  checker.OnTick(Row(1, 1, 2));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvMaskShape));
+}
+
+TEST(InvariantCheckerDeepTest, MaskOverlapFires) {
+  FakeView view;
+  ScriptedCat cat;
+  view.controller.tick = 1;
+  view.controller.tenants = {SnapshotFor(1, 1, 2), SnapshotFor(2, 2, 2)};
+  cat.masks[1] = MakeWayMask(0, 2);
+  cat.masks[2] = MakeWayMask(1, 2);  // shares way 1 with COS 1
+
+  InvariantChecker checker(InvariantOptions{});
+  checker.AttachView(&view, &cat);
+  checker.RegisterTenant(1, 2);
+  checker.RegisterTenant(2, 2);
+  checker.OnTick(Row(1, 1, 2));
+  checker.OnTick(Row(1, 2, 2));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvMaskOverlap));
+}
+
+TEST(InvariantCheckerDeepTest, TableEntryOutsideEwmaBoundFires) {
+  FakeView view;
+  TenantSnapshot snap = SnapshotFor(1, 1, 2);
+  snap.table.Record(2, 0.9);
+  view.controller.tenants = {snap};
+  // tick 0 in the controller snapshot never matches a finalized group, so
+  // only the per-row EWMA check is active — exactly what this test targets.
+
+  InvariantChecker checker(InvariantOptions{});
+  checker.AttachView(&view, /*cat=*/nullptr);
+  checker.RegisterTenant(1, 2);
+  checker.OnTick(Row(1, 1, 2));  // caches the 0.9 entry at 2 ways
+
+  // A corrupted update: the entry lands far above the interval's sample of
+  // 1.0 — no convex combination of {0.9, 1.0} can reach it.
+  view.controller.tenants[0].table.Record(2, 50.0);  // EWMA -> 25.45
+  checker.OnTick(Row(2, 1, 2));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvTableConsistency));
+}
+
+TEST(InvariantCheckerDeepTest, HonestEwmaUpdateStaysClean) {
+  FakeView view;
+  TenantSnapshot snap = SnapshotFor(1, 1, 2);
+  snap.table.Record(2, 2.0);
+  view.controller.tenants = {snap};
+
+  InvariantChecker checker(InvariantOptions{});
+  checker.AttachView(&view, /*cat=*/nullptr);
+  checker.RegisterTenant(1, 2);
+  checker.OnTick(Row(1, 1, 2));
+
+  // Honest alpha-0.5 EWMA toward the 0.5 sample: 2.0 -> 1.25, inside the
+  // [0.5, 2.0] interval even though it is far from the sample itself.
+  view.controller.tenants[0].table.Record(2, 0.5);
+  checker.OnTick(Row(2, 1, 2, 0.5));
+  checker.Finish();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(InvariantCheckerDeepTest, TableEntryOutOfRangeFires) {
+  FakeView view;
+  TenantSnapshot snap = SnapshotFor(1, 1, 2);
+  snap.table.Record(0, 0.5);    // 0 ways is not grantable
+  snap.table.Record(25, -1.0);  // beyond the socket, negative value
+  view.controller.tick = 1;
+  view.controller.tenants = {snap};
+
+  InvariantChecker checker(InvariantOptions{.total_ways = 20, .min_ways = 1});
+  checker.AttachView(&view, /*cat=*/nullptr);
+  checker.RegisterTenant(1, 2);
+  checker.OnTick(Row(1, 1, 2));
+  checker.Finish();
+  EXPECT_TRUE(Has(checker, kInvTableConsistency));
+}
+
+// A clean, fully-attached controller run must produce zero findings — the
+// checker's false-positive contract.
+TEST(InvariantCheckerDeepTest, CleanControllerRunStaysClean) {
+  FakePqos pqos;
+  DcatController controller(&pqos, &pqos, DcatConfig{});
+  controller.AddTenant(TenantSpec{.id = 1, .name = "mlr", .cores = {0}, .baseline_ways = 3});
+  controller.AddTenant(TenantSpec{.id = 2, .name = "busy", .cores = {1}, .baseline_ways = 3});
+
+  MetricsRegistry metrics;
+  InvariantChecker checker(
+      InvariantOptions{.total_ways = pqos.NumWays(), .min_ways = DcatConfig{}.min_ways});
+  checker.AttachController(&controller, &pqos);
+  checker.set_metrics(&metrics);
+  checker.RegisterTenant(1, 3);
+  checker.RegisterTenant(2, 3);
+  controller.AddEventSink(&checker);
+
+  for (int tick = 0; tick < 12; ++tick) {
+    pqos.Feed(0, /*ipc=*/0.6, /*mem_per_ins=*/0.33, /*llc_per_ki=*/300, /*miss_rate=*/0.4);
+    pqos.Feed(1, /*ipc=*/1.2, /*mem_per_ins=*/0.05, /*llc_per_ki=*/2, /*miss_rate=*/0.1);
+    controller.Tick();
+  }
+  checker.Finish();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_EQ(checker.ticks_checked(), 12u);
+  EXPECT_EQ(metrics.counter("invariant_violations_total").value(), 0u);
+}
+
+}  // namespace
+}  // namespace dcat

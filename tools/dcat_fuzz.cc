@@ -1,0 +1,243 @@
+// dcat_fuzz — deterministic scenario fuzzer for the dCat controller.
+//
+// Expands each seed into a random host scenario (machine, tenant mix,
+// arrival/departure churn, config perturbation — see src/verify/scenario.h),
+// runs the full host+controller loop under the selected allocation
+// policies with the invariant checker riding the telemetry stream, and
+// fails loudly on any violation. Every finding replays from its seed:
+//
+//   dcat_fuzz --seeds=100                 # seeds 0..99, both policies
+//   dcat_fuzz --seed=37 --policy=maxperf  # replay one finding
+//   dcat_fuzz --write-golden=golden.jsonl # regenerate the Fig. 10 trace
+//
+// Per scenario the fuzzer checks, beyond the checker's own invariants:
+//   * trace determinism — the same seed must yield a byte-identical JSONL
+//     decision trace (skip with --no-determinism);
+//   * backend agreement — every programmed mask replayed through a shadow
+//     SimPqos and a fake-tree ResctrlPqos must leave identical mask state
+//     (skip with --no-differential).
+//
+// Exit status is nonzero when any scenario fails; the report prints the
+// seed, the scenario description, the violations, and the trace tail.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+struct Options {
+  uint64_t seeds = 25;       // number of seeds, starting at start_seed
+  uint64_t start_seed = 0;
+  bool single_seed = false;  // --seed=S: run exactly one
+  std::string policy = "both";
+  double cycles_per_interval = 1e6;
+  bool check_differential = true;
+  bool check_determinism = true;
+  size_t trace_tail = 12;
+  std::string write_golden;
+};
+
+void PrintUsage() {
+  std::printf(
+      "dcat_fuzz — deterministic scenario fuzzer for the dCat controller\n\n"
+      "  --seeds=N               run seeds start..start+N-1 (default 25)\n"
+      "  --start-seed=S          first seed (default 0)\n"
+      "  --seed=S                run exactly one seed (replay a finding)\n"
+      "  --policy=fair|maxperf|both  allocation policies to run (default both)\n"
+      "  --cycles=C              simulated cycles per interval (default 1e6)\n"
+      "  --no-differential       skip the SimPqos vs fake-resctrl mask check\n"
+      "  --no-determinism        skip the byte-identical-trace check\n"
+      "  --trace-tail=N          trace lines to print on a finding (default 12)\n"
+      "  --write-golden=FILE     write the pinned Fig. 10 golden trace and exit\n");
+}
+
+void PrintTraceTail(const std::string& trace, size_t tail) {
+  const std::vector<std::string> lines = Split(trace, '\n');
+  size_t begin = 0;
+  // Split leaves one trailing empty field after the final newline.
+  size_t end = lines.size();
+  while (end > 0 && lines[end - 1].empty()) {
+    --end;
+  }
+  if (end > tail) {
+    begin = end - tail;
+    std::printf("  ... (%zu earlier trace lines)\n", begin);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    std::printf("  %s\n", lines[i].c_str());
+  }
+}
+
+const char* PolicyName(AllocationPolicy policy) {
+  return policy == AllocationPolicy::kMaxPerformance ? "maxperf" : "fair";
+}
+
+// Runs one (scenario, policy) pair; prints a replay report on failure.
+bool RunOne(const Scenario& scenario, AllocationPolicy policy, const Options& options) {
+  RunOptions run_options;
+  run_options.policy = policy;
+  run_options.cycles_per_interval = options.cycles_per_interval;
+  run_options.check_backend_differential = options.check_differential;
+  ScenarioResult result = RunScenario(scenario, run_options);
+
+  if (result.ok() && options.check_determinism) {
+    // One re-run suffices: compare against the trace already captured.
+    RunOptions rerun = run_options;
+    rerun.check_backend_differential = false;
+    const ScenarioResult again = RunScenario(scenario, rerun);
+    const std::string divergence = DescribeTraceDivergence(result.trace, again.trace);
+    if (!divergence.empty()) {
+      result.violations.push_back(Violation{.tick = 0,
+                                            .tenant = 0,
+                                            .invariant = kCheckTraceDeterminism,
+                                            .detail = divergence});
+    }
+  }
+  if (result.ok()) {
+    return true;
+  }
+
+  std::printf("FAIL seed=%llu policy=%s\n",
+              static_cast<unsigned long long>(scenario.seed), PolicyName(policy));
+  std::printf("  scenario: %s\n", scenario.Describe().c_str());
+  std::printf("  replay:   dcat_fuzz --seed=%llu --policy=%s\n",
+              static_cast<unsigned long long>(scenario.seed), PolicyName(policy));
+  for (const Violation& violation : result.violations) {
+    std::printf("  violation [%s] tick=%llu tenant=%llu: %s\n",
+                violation.invariant.c_str(),
+                static_cast<unsigned long long>(violation.tick),
+                static_cast<unsigned long long>(violation.tenant),
+                violation.detail.c_str());
+  }
+  std::printf("  trace tail:\n");
+  PrintTraceTail(result.trace, options.trace_tail);
+  return false;
+}
+
+int WriteGolden(const std::string& path) {
+  const ScenarioResult result = RunFig10Golden();
+  if (!result.ok()) {
+    std::fprintf(stderr, "dcat_fuzz: the Fig. 10 scenario itself violates invariants:\n");
+    for (const Violation& violation : result.violations) {
+      std::fprintf(stderr, "  [%s] %s\n", violation.invariant.c_str(),
+                   violation.detail.c_str());
+    }
+    return 1;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "dcat_fuzz: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  out << result.trace;
+  std::printf("wrote %s (%llu ticks audited, %zu bytes)\n", path.c_str(),
+              static_cast<unsigned long long>(result.ticks), result.trace.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (const char* v = value("--seeds=")) {
+      if (!ParseUint64(v, &options.seeds) || options.seeds == 0) {
+        std::fprintf(stderr, "--seeds: expected a positive integer, got '%s'\n", v);
+        return 1;
+      }
+    } else if (const char* v = value("--start-seed=")) {
+      if (!ParseUint64(v, &options.start_seed)) {
+        std::fprintf(stderr, "--start-seed: expected an integer, got '%s'\n", v);
+        return 1;
+      }
+    } else if (const char* v = value("--seed=")) {
+      if (!ParseUint64(v, &options.start_seed)) {
+        std::fprintf(stderr, "--seed: expected an integer, got '%s'\n", v);
+        return 1;
+      }
+      options.single_seed = true;
+    } else if (const char* v = value("--policy=")) {
+      options.policy = v;
+      if (options.policy != "fair" && options.policy != "maxperf" &&
+          options.policy != "both") {
+        std::fprintf(stderr, "--policy: expected fair|maxperf|both, got '%s'\n", v);
+        return 1;
+      }
+    } else if (const char* v = value("--cycles=")) {
+      if (!ParseDouble(v, &options.cycles_per_interval) ||
+          options.cycles_per_interval <= 0) {
+        std::fprintf(stderr, "--cycles: expected a positive number, got '%s'\n", v);
+        return 1;
+      }
+    } else if (arg == "--no-differential") {
+      options.check_differential = false;
+    } else if (arg == "--no-determinism") {
+      options.check_determinism = false;
+    } else if (const char* v = value("--trace-tail=")) {
+      uint64_t tail = 0;
+      if (!ParseUint64(v, &tail)) {
+        std::fprintf(stderr, "--trace-tail: expected an integer, got '%s'\n", v);
+        return 1;
+      }
+      options.trace_tail = static_cast<size_t>(tail);
+    } else if (const char* v = value("--write-golden=")) {
+      options.write_golden = v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (!options.write_golden.empty()) {
+    return WriteGolden(options.write_golden);
+  }
+
+  std::vector<AllocationPolicy> policies;
+  if (options.policy == "fair" || options.policy == "both") {
+    policies.push_back(AllocationPolicy::kMaxFairness);
+  }
+  if (options.policy == "maxperf" || options.policy == "both") {
+    policies.push_back(AllocationPolicy::kMaxPerformance);
+  }
+
+  const uint64_t count = options.single_seed ? 1 : options.seeds;
+  uint64_t failures = 0;
+  uint64_t runs = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const Scenario scenario = RandomScenario(options.start_seed + i);
+    for (const AllocationPolicy policy : policies) {
+      ++runs;
+      if (!RunOne(scenario, policy, options)) {
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    std::printf("dcat_fuzz: %llu of %llu runs FAILED\n",
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(runs));
+    return 1;
+  }
+  std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies)\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(count), policies.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main(int argc, char** argv) { return dcat::Main(argc, argv); }
