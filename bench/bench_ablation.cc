@@ -55,86 +55,129 @@ void AblatePerfTable() {
 }
 
 // --- B: replacement policy ---
+struct ReplacementOutcome {
+  double latency_ns = 0.0;
+  uint32_t ways = 0;
+};
+
+ReplacementOutcome RunReplacement(ReplacementKind kind) {
+  HostConfig config = BenchHostConfig(ManagerMode::kDcat);
+  config.socket.llc_replacement = kind;
+  Host host(config);
+  Vm& mlr_vm = host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 3},
+                          std::make_unique<MlrWorkload>(8_MiB));
+  host.AddVm(VmConfig{.id = 2, .name = "mload", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<MloadWorkload>(60_MiB, 2));
+  for (TenantId id = 3; id <= 6; ++id) {
+    host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 3},
+               std::make_unique<LookbusyWorkload>());
+  }
+  host.Run(14);
+  auto& mlr = static_cast<MlrWorkload&>(mlr_vm.workload());
+  mlr.ResetMetrics();
+  host.Run(4);
+  return {CyclesToNs(mlr.AvgAccessLatencyCycles()), host.dcat()->TenantWays(1)};
+}
+
 void AblateReplacement() {
   std::printf("--- B. LLC replacement policy (MLR-8MB + MLOAD-60MB mix) ---\n");
+  const std::vector<ReplacementKind> kinds = {ReplacementKind::kLru, ReplacementKind::kNru,
+                                              ReplacementKind::kRandom};
+  std::vector<std::function<ReplacementOutcome()>> cells;
+  for (ReplacementKind kind : kinds) {
+    cells.push_back([kind] { return RunReplacement(kind); });
+  }
+  const std::vector<ReplacementOutcome> outcomes = RunBenchCells(cells);
   TextTable table({"policy", "MLR latency (ns)", "MLR final ways"});
-  for (ReplacementKind kind :
-       {ReplacementKind::kLru, ReplacementKind::kNru, ReplacementKind::kRandom}) {
-    HostConfig config = BenchHostConfig(ManagerMode::kDcat);
-    config.socket.llc_replacement = kind;
-    Host host(config);
-    Vm& mlr_vm = host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 3},
-                            std::make_unique<MlrWorkload>(8_MiB));
-    host.AddVm(VmConfig{.id = 2, .name = "mload", .vcpus = 2, .baseline_ways = 3},
-               std::make_unique<MloadWorkload>(60_MiB, 2));
-    for (TenantId id = 3; id <= 6; ++id) {
-      host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 3},
-                 std::make_unique<LookbusyWorkload>());
-    }
-    host.Run(14);
-    auto& mlr = static_cast<MlrWorkload&>(mlr_vm.workload());
-    mlr.ResetMetrics();
-    host.Run(4);
-    table.AddRow({ReplacementKindName(kind), TextTable::Fmt(CyclesToNs(mlr.AvgAccessLatencyCycles()), 1),
-                  TextTable::FmtInt(host.dcat()->TenantWays(1))});
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    table.AddRow({ReplacementKindName(kinds[i]), TextTable::Fmt(outcomes[i].latency_ns, 1),
+                  TextTable::FmtInt(outcomes[i].ways)});
   }
   std::printf("%s\n", table.ToString().c_str());
 }
 
 // --- C: donor hysteresis ---
+struct HysteresisOutcome {
+  int changes = 0;
+  uint32_t final_ways = 0;
+};
+
+HysteresisOutcome RunHysteresis(double fraction) {
+  HostConfig config = BenchHostConfig(ManagerMode::kDcat);
+  config.dcat.donor_shrink_fraction = fraction;
+  Host host(config);
+  // A working set that lands near the miss threshold at its preferred
+  // size: the paper-exact rule (1.0) keeps nibbling a way and giving it
+  // back; the damped rule holds steady.
+  host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 3},
+             std::make_unique<MlrWorkload>(6_MiB));
+  for (TenantId id = 2; id <= 6; ++id) {
+    host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 3},
+               std::make_unique<LookbusyWorkload>());
+  }
+  host.Run(8);  // settle
+  HysteresisOutcome outcome;
+  uint32_t prev = host.dcat()->TenantWays(1);
+  for (int t = 0; t < 24; ++t) {
+    host.Step();
+    if (host.dcat()->TenantWays(1) != prev) {
+      ++outcome.changes;
+      prev = host.dcat()->TenantWays(1);
+    }
+  }
+  outcome.final_ways = prev;
+  return outcome;
+}
+
 void AblateDonorHysteresis() {
   std::printf("--- C. donor-shrink hysteresis (allocation churn) ---\n");
+  const std::vector<double> fractions = {1.0, 0.5};
+  std::vector<std::function<HysteresisOutcome()>> cells;
+  for (double fraction : fractions) {
+    cells.push_back([fraction] { return RunHysteresis(fraction); });
+  }
+  const std::vector<HysteresisOutcome> outcomes = RunBenchCells(cells);
   TextTable table({"donor_shrink_fraction", "way changes over 24 intervals", "final ways"});
-  for (double fraction : {1.0, 0.5}) {
-    HostConfig config = BenchHostConfig(ManagerMode::kDcat);
-    config.dcat.donor_shrink_fraction = fraction;
-    Host host(config);
-    // A working set that lands near the miss threshold at its preferred
-    // size: the paper-exact rule (1.0) keeps nibbling a way and giving it
-    // back; the damped rule holds steady.
-    host.AddVm(VmConfig{.id = 1, .name = "mlr", .vcpus = 2, .baseline_ways = 3},
-               std::make_unique<MlrWorkload>(6_MiB));
-    for (TenantId id = 2; id <= 6; ++id) {
-      host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 3},
-                 std::make_unique<LookbusyWorkload>());
-    }
-    host.Run(8);  // settle
-    int changes = 0;
-    uint32_t prev = host.dcat()->TenantWays(1);
-    for (int t = 0; t < 24; ++t) {
-      host.Step();
-      if (host.dcat()->TenantWays(1) != prev) {
-        ++changes;
-        prev = host.dcat()->TenantWays(1);
-      }
-    }
-    table.AddRow({TextTable::Fmt(fraction, 1), TextTable::FmtInt(changes),
-                  TextTable::FmtInt(prev)});
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    table.AddRow({TextTable::Fmt(fractions[i], 1), TextTable::FmtInt(outcomes[i].changes),
+                  TextTable::FmtInt(outcomes[i].final_ways)});
   }
   std::printf("%s\n", table.ToString().c_str());
 }
 
 // --- D: L2 filtering ---
+struct L2Outcome {
+  double refs_per_ki = 0.0;
+  uint32_t ways = 0;
+};
+
+L2Outcome RunL2(bool model_l2) {
+  HostConfig config = BenchHostConfig(ManagerMode::kDcat);
+  config.socket.model_l2 = model_l2;
+  Host host(config);
+  host.AddVm(VmConfig{.id = 1, .name = "gcc", .vcpus = 2, .baseline_ways = 4},
+             std::make_unique<SpecProxyWorkload>(SpecParamsByName("gcc")));
+  for (TenantId id = 2; id <= 5; ++id) {
+    host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 4},
+               std::make_unique<LookbusyWorkload>());
+  }
+  L2Outcome outcome;
+  for (int t = 0; t < 12; ++t) {
+    const auto stats = host.Step();
+    outcome.refs_per_ki = stats[0].sample.llc_refs_per_kilo_instruction();
+  }
+  outcome.ways = host.dcat()->TenantWays(1);
+  return outcome;
+}
+
 void AblateL2() {
   std::printf("--- D. private L2 filtering of LLC references ---\n");
+  const std::vector<L2Outcome> outcomes = RunBenchCells<L2Outcome>(
+      {[] { return RunL2(true); }, [] { return RunL2(false); }});
   TextTable table({"config", "llc refs / 1K ins (spec gcc proxy)", "dCat final ways"});
-  for (bool model_l2 : {true, false}) {
-    HostConfig config = BenchHostConfig(ManagerMode::kDcat);
-    config.socket.model_l2 = model_l2;
-    Host host(config);
-    host.AddVm(VmConfig{.id = 1, .name = "gcc", .vcpus = 2, .baseline_ways = 4},
-               std::make_unique<SpecProxyWorkload>(SpecParamsByName("gcc")));
-    for (TenantId id = 2; id <= 5; ++id) {
-      host.AddVm(VmConfig{.id = id, .name = "busy", .vcpus = 2, .baseline_ways = 4},
-                 std::make_unique<LookbusyWorkload>());
-    }
-    double refs_per_ki = 0.0;
-    for (int t = 0; t < 12; ++t) {
-      const auto stats = host.Step();
-      refs_per_ki = stats[0].sample.llc_refs_per_kilo_instruction();
-    }
-    table.AddRow({model_l2 ? "with L2" : "no L2", TextTable::Fmt(refs_per_ki, 1),
-                  TextTable::FmtInt(host.dcat()->TenantWays(1))});
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    table.AddRow({i == 0 ? "with L2" : "no L2", TextTable::Fmt(outcomes[i].refs_per_ki, 1),
+                  TextTable::FmtInt(outcomes[i].ways)});
   }
   std::printf("%s\n", table.ToString().c_str());
 }

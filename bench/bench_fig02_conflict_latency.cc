@@ -49,15 +49,23 @@ int main() {
       {"Xeon-E5 (4.5MB WSS, 2/20 ways)", SocketConfig::XeonE5(), 4608_KiB},
   };
 
+  // Three measurement cells per machine, each with its own Socket.
+  std::vector<std::function<double()>> cells;
+  for (const MachineCase& m : machines) {
+    cells.push_back([&m] { return MeasureLatencyNs(m.socket, m.wss, PagePolicy::kRandom4K, 2); });
+    cells.push_back([&m] { return MeasureLatencyNs(m.socket, m.wss, PagePolicy::kHuge2M, 2); });
+    cells.push_back([&m] {
+      return MeasureLatencyNs(m.socket, m.wss, PagePolicy::kRandom4K,
+                              m.socket.llc_geometry.num_ways);
+    });
+  }
+  const std::vector<double> ns = RunBenchCells(cells);
+
   TextTable table({"Machine", "CAT 2-way, 4K pages (ns)", "CAT 2-way, 2M huge (ns)",
                    "Full cache, 4K pages (ns)"});
-  for (const MachineCase& m : machines) {
-    const double cat_4k = MeasureLatencyNs(m.socket, m.wss, PagePolicy::kRandom4K, 2);
-    const double cat_2m = MeasureLatencyNs(m.socket, m.wss, PagePolicy::kHuge2M, 2);
-    const double full_4k = MeasureLatencyNs(m.socket, m.wss, PagePolicy::kRandom4K,
-                                            m.socket.llc_geometry.num_ways);
-    table.AddRow({m.name, TextTable::Fmt(cat_4k, 1), TextTable::Fmt(cat_2m, 1),
-                  TextTable::Fmt(full_4k, 1)});
+  for (size_t i = 0; i < std::size(machines); ++i) {
+    table.AddRow({machines[i].name, TextTable::Fmt(ns[3 * i], 1),
+                  TextTable::Fmt(ns[3 * i + 1], 1), TextTable::Fmt(ns[3 * i + 2], 1)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

@@ -39,11 +39,17 @@ Outcome RunWithThreshold(double miss_thr) {
 int main() {
   using namespace dcat;
   PrintHeader("Impact of the cache-miss threshold (MLR-8MB, 2-way baseline)", "Figure 8");
+  const std::vector<double> thresholds = {0.01, 0.02, 0.03, 0.05, 0.10, 0.20};
+  std::vector<std::function<Outcome()>> cells;
+  for (double thr : thresholds) {
+    cells.push_back([thr] { return RunWithThreshold(thr); });
+  }
+  const std::vector<Outcome> outcomes = RunBenchCells(cells);
+
   TextTable table({"llc_miss_rate_thr", "assigned ways", "avg access latency (ns)"});
-  for (double thr : {0.01, 0.02, 0.03, 0.05, 0.10, 0.20}) {
-    const Outcome o = RunWithThreshold(thr);
-    table.AddRow({TextTable::FmtPercent(thr, 0), TextTable::FmtInt(o.ways),
-                  TextTable::Fmt(o.latency_ns, 1)});
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    table.AddRow({TextTable::FmtPercent(thresholds[i], 0), TextTable::FmtInt(outcomes[i].ways),
+                  TextTable::Fmt(outcomes[i].latency_ns, 1)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

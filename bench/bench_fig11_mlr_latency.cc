@@ -34,13 +34,21 @@ double RunLatencyNs(uint64_t wss, ManagerMode mode, bool neighbors) {
 int main() {
   using namespace dcat;
   PrintHeader("Normalized (to full cache) data access latency for MLR", "Figure 11");
+  const std::vector<uint64_t> sizes = {4_MiB, 8_MiB, 12_MiB, 16_MiB};
+  std::vector<std::function<double()>> cells;
+  for (uint64_t wss : sizes) {
+    cells.push_back([wss] { return RunLatencyNs(wss, ManagerMode::kShared, /*neighbors=*/false); });
+    cells.push_back([wss] { return RunLatencyNs(wss, ManagerMode::kDcat, true); });
+    cells.push_back([wss] { return RunLatencyNs(wss, ManagerMode::kStaticCat, true); });
+  }
+  const std::vector<double> ns = RunBenchCells(cells);
+
   TextTable table({"MLR WSS", "full cache (ns)", "dCat (norm)", "static CAT 3-way (norm)"});
-  for (uint64_t wss : {4_MiB, 8_MiB, 12_MiB, 16_MiB}) {
-    const double full = RunLatencyNs(wss, ManagerMode::kShared, /*neighbors=*/false);
-    const double with_dcat = RunLatencyNs(wss, ManagerMode::kDcat, true);
-    const double with_static = RunLatencyNs(wss, ManagerMode::kStaticCat, true);
-    table.AddRow({std::to_string(wss / 1_MiB) + "MB", TextTable::Fmt(full, 1),
-                  TextTable::Fmt(with_dcat / full, 2), TextTable::Fmt(with_static / full, 2)});
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const double full = ns[3 * i];
+    table.AddRow({std::to_string(sizes[i] / 1_MiB) + "MB", TextTable::Fmt(full, 1),
+                  TextTable::Fmt(ns[3 * i + 1] / full, 2),
+                  TextTable::Fmt(ns[3 * i + 2] / full, 2)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

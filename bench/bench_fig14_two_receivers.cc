@@ -12,7 +12,7 @@
 namespace dcat {
 namespace {
 
-void RunPolicy(AllocationPolicy policy) {
+std::string RunPolicy(AllocationPolicy policy) {
   HostConfig config = BenchHostConfig(ManagerMode::kDcat);
   config.dcat.policy = policy;
   Host host(config);
@@ -39,11 +39,18 @@ void RunPolicy(AllocationPolicy policy) {
     }
     recorder.Record(host.now_seconds(), host.Step());
   }
-  std::printf("--- policy: %s ---\n", AllocationPolicyName(policy));
-  std::printf("%s", recorder.TimelineTable({{1, "mlr8"}, {2, "mlr12"}, {3, "late"}}).c_str());
-  std::printf("final ways: MLR-8MB=%u, MLR-12MB=%u, late MLR-4MB=%u\n\n",
-              host.dcat()->TenantWays(1), host.dcat()->TenantWays(2),
-              host.dcat()->TenantWays(3));
+  // Rendered to a string so both policy cells can run concurrently and
+  // print in a fixed order from the main thread.
+  std::string report = "--- policy: ";
+  report += AllocationPolicyName(policy);
+  report += " ---\n";
+  report += recorder.TimelineTable({{1, "mlr8"}, {2, "mlr12"}, {3, "late"}});
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "final ways: MLR-8MB=%u, MLR-12MB=%u, late MLR-4MB=%u\n\n",
+                host.dcat()->TenantWays(1), host.dcat()->TenantWays(2),
+                host.dcat()->TenantWays(3));
+  report += tail;
+  return report;
 }
 
 }  // namespace
@@ -52,8 +59,12 @@ void RunPolicy(AllocationPolicy policy) {
 int main() {
   using namespace dcat;
   PrintHeader("Two memory-intensive VMs: fairness vs max-performance", "Figure 14");
-  RunPolicy(AllocationPolicy::kMaxFairness);
-  RunPolicy(AllocationPolicy::kMaxPerformance);
+  const std::vector<std::string> reports = RunBenchCells<std::string>(
+      {[] { return RunPolicy(AllocationPolicy::kMaxFairness); },
+       [] { return RunPolicy(AllocationPolicy::kMaxPerformance); }});
+  for (const std::string& report : reports) {
+    std::printf("%s", report.c_str());
+  }
   std::printf(
       "Expected shape: both policies behave identically while the free pool\n"
       "lasts (tables still empty); once it dries up, max-performance skews\n"

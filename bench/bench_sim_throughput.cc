@@ -1,0 +1,195 @@
+// Simulator throughput tracker: simulated accesses per second.
+//
+// The figure/table benches and the fuzzer are all bounded by how fast the
+// LLC model executes accesses, so this bench pins that number and emits it
+// as BENCH_sim.json — CI uploads the file per commit and the perf
+// trajectory of the hot path stays visible over time.
+//
+// Four measurements:
+//   * llc_hit         — tag-compare fast path (resident working set)
+//   * llc_miss_evict  — fill path: victim selection + eviction accounting
+//   * hierarchy_walk  — full L1 -> L2 -> LLC -> DRAM walk through a Core
+//   * parallel_walk   — hierarchy walks on one Socket per worker, measuring
+//                       the scenario engine's scaling (speedup vs 1 thread)
+//
+//   bench_sim_throughput [--quick] [--jobs=N] [--out=FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/thread_pool.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/page_table.h"
+#include "src/sim/socket.h"
+#include "src/telemetry/json.h"
+
+namespace dcat {
+namespace {
+
+struct Measurement {
+  std::string name;
+  uint64_t accesses = 0;
+  double seconds = 0.0;
+  double per_second() const { return seconds > 0 ? accesses / seconds : 0.0; }
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Measurement MeasureLlcHit(uint64_t accesses) {
+  SetAssociativeCache cache(XeonE5LlcGeometry(), ReplacementKind::kNru);
+  const uint32_t mask = cache.FullWayMask();
+  // Resident working set: 8 lines in each of the first 4K sets.
+  const uint64_t sets = 4096;
+  const uint64_t lines_per_set = 8;
+  const uint64_t num_sets = cache.geometry().num_sets;
+  std::vector<uint64_t> addrs;
+  addrs.reserve(sets * lines_per_set);
+  for (uint64_t t = 0; t < lines_per_set; ++t) {
+    for (uint64_t s = 0; s < sets; ++s) {
+      addrs.push_back((t * num_sets + s) * 64);
+    }
+  }
+  for (uint64_t a : addrs) {
+    cache.Access(a, mask);
+  }
+  const double start = Now();
+  uint64_t i = 0;
+  for (uint64_t n = 0; n < accesses; ++n) {
+    cache.Access(addrs[i], mask);
+    if (++i == addrs.size()) {
+      i = 0;
+    }
+  }
+  return {"llc_hit", accesses, Now() - start};
+}
+
+Measurement MeasureLlcMissEvict(uint64_t accesses) {
+  SetAssociativeCache cache(XeonE5LlcGeometry(), ReplacementKind::kNru);
+  const uint64_t num_sets = cache.geometry().num_sets;
+  const double start = Now();
+  uint64_t tag = 0;
+  for (uint64_t n = 0; n < accesses; ++n) {
+    // Same set every time, single allowed way: every access fills/evicts.
+    cache.Access((tag++ * num_sets) * 64, 0b1);
+  }
+  return {"llc_miss_evict", accesses, Now() - start};
+}
+
+uint64_t WalkOnce(Socket& socket, uint64_t accesses, uint64_t seed) {
+  PageTable pt(PagePolicy::kRandom4K, 1ull << 32, /*seed=*/1);
+  ExecutionContext ctx(&socket.core(0), &pt);
+  Rng rng(seed);
+  for (uint64_t n = 0; n < accesses; ++n) {
+    ctx.Read(rng.Below(8ull << 20));
+  }
+  return accesses;
+}
+
+Measurement MeasureHierarchyWalk(uint64_t accesses) {
+  Socket socket(SocketConfig::XeonE5());
+  const double start = Now();
+  WalkOnce(socket, accesses, /*seed=*/1);
+  return {"hierarchy_walk", accesses, Now() - start};
+}
+
+// Scenario-engine scaling: `jobs` independent sockets walked concurrently,
+// exactly the shape of a parallel bench/fuzz run.
+Measurement MeasureParallelWalk(uint64_t accesses_per_shard, size_t jobs) {
+  ThreadPool pool(jobs);
+  const double start = Now();
+  pool.ParallelFor(0, jobs, [&](size_t i) {
+    Socket socket(SocketConfig::XeonE5());
+    WalkOnce(socket, accesses_per_shard, /*seed=*/i + 1);
+  });
+  const double elapsed = Now() - start;
+  return {"parallel_walk", accesses_per_shard * jobs, elapsed};
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  size_t jobs = ThreadPool::DefaultJobs();
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      uint64_t v = 0;
+      if (!ParseUint64(arg.c_str() + 7, &v)) {
+        std::fprintf(stderr, "--jobs: expected an integer, got '%s'\n", arg.c_str() + 7);
+        return 1;
+      }
+      jobs = v > 0 ? static_cast<size_t>(v) : ThreadPool::DefaultJobs();
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("bench_sim_throughput [--quick] [--jobs=N] [--out=FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  const uint64_t scale = quick ? 1 : 8;
+  std::vector<Measurement> results;
+  results.push_back(MeasureLlcHit(4'000'000 * scale));
+  results.push_back(MeasureLlcMissEvict(2'000'000 * scale));
+  results.push_back(MeasureHierarchyWalk(1'000'000 * scale));
+  const Measurement serial_walk = results.back();
+  results.push_back(MeasureParallelWalk(1'000'000 * scale, jobs));
+  const Measurement& parallel_walk = results.back();
+  const double speedup = serial_walk.per_second() > 0
+                             ? parallel_walk.per_second() / serial_walk.per_second()
+                             : 0.0;
+
+  std::printf("%-16s %14s %10s %16s\n", "measurement", "accesses", "seconds",
+              "accesses/sec");
+  for (const Measurement& m : results) {
+    std::printf("%-16s %14llu %10.3f %16.0f\n", m.name.c_str(),
+                static_cast<unsigned long long>(m.accesses), m.seconds, m.per_second());
+  }
+  std::printf("parallel_walk: %zu jobs, %.2fx vs single-thread hierarchy_walk\n", jobs,
+              speedup);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("sim_throughput");
+  json.Key("quick").Value(quick);
+  json.Key("jobs").Value(static_cast<uint64_t>(jobs));
+  json.Key("parallel_speedup").Value(speedup);
+  json.Key("results").BeginArray();
+  for (const Measurement& m : results) {
+    json.BeginObject();
+    json.Key("name").Value(m.name);
+    json.Key("accesses").Value(m.accesses);
+    json.Key("seconds").Value(m.seconds);
+    json.Key("accesses_per_sec").Value(m.per_second());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main(int argc, char** argv) { return dcat::Main(argc, argv); }

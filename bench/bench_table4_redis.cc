@@ -45,9 +45,13 @@ AppResult RunMode(ManagerMode mode) {
 int main() {
   using namespace dcat;
   PrintHeader("Redis (1M x 128B, Zipfian GETs) vs 2x MLOAD-60MB neighbors", "Table 4");
-  const AppResult shared = RunMode(ManagerMode::kShared);
-  const AppResult fixed = RunMode(ManagerMode::kStaticCat);
-  const AppResult dynamic = RunMode(ManagerMode::kDcat);
+  const std::vector<AppResult> results =
+      RunBenchCells<AppResult>({[] { return RunMode(ManagerMode::kShared); },
+                                [] { return RunMode(ManagerMode::kStaticCat); },
+                                [] { return RunMode(ManagerMode::kDcat); }});
+  const AppResult& shared = results[0];
+  const AppResult& fixed = results[1];
+  const AppResult& dynamic = results[2];
 
   TextTable table({"mode", "GETs/interval", "norm throughput", "avg latency (ns)",
                    "p99 latency (ns)"});

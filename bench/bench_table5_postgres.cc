@@ -44,9 +44,13 @@ DbResult RunMode(ManagerMode mode) {
 int main() {
   using namespace dcat;
   PrintHeader("PostgreSQL select-only (10M tuples) vs 2x MLOAD-60MB neighbors", "Table 5");
-  const DbResult shared = RunMode(ManagerMode::kShared);
-  const DbResult fixed = RunMode(ManagerMode::kStaticCat);
-  const DbResult dynamic = RunMode(ManagerMode::kDcat);
+  const std::vector<DbResult> results =
+      RunBenchCells<DbResult>({[] { return RunMode(ManagerMode::kShared); },
+                               [] { return RunMode(ManagerMode::kStaticCat); },
+                               [] { return RunMode(ManagerMode::kDcat); }});
+  const DbResult& shared = results[0];
+  const DbResult& fixed = results[1];
+  const DbResult& dynamic = results[2];
 
   TextTable table({"mode", "TPS (txn/interval)", "norm TPS", "avg latency (ns)"});
   for (const auto& [label, r] : {std::pair<const char*, const DbResult&>{"shared", shared},

@@ -41,9 +41,13 @@ SearchResult RunMode(ManagerMode mode) {
 int main() {
   using namespace dcat;
   PrintHeader("Elasticsearch, YCSB-C (100K x 1KB reads) vs noisy neighbors", "Table 6");
-  const SearchResult shared = RunMode(ManagerMode::kShared);
-  const SearchResult fixed = RunMode(ManagerMode::kStaticCat);
-  const SearchResult dynamic = RunMode(ManagerMode::kDcat);
+  const std::vector<SearchResult> results =
+      RunBenchCells<SearchResult>({[] { return RunMode(ManagerMode::kShared); },
+                                   [] { return RunMode(ManagerMode::kStaticCat); },
+                                   [] { return RunMode(ManagerMode::kDcat); }});
+  const SearchResult& shared = results[0];
+  const SearchResult& fixed = results[1];
+  const SearchResult& dynamic = results[2];
 
   TextTable table({"mode", "avg latency (ns)", "p99 latency (ns)"});
   table.AddRow({"shared", TextTable::Fmt(shared.avg_ns, 0), TextTable::Fmt(shared.p99_ns, 0)});

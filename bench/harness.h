@@ -10,12 +10,15 @@
 #define BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cluster/host.h"
 #include "src/cluster/recorder.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/workloads/microbench.h"
 
@@ -42,6 +45,26 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
 
 // Converts a latency in cycles to nanoseconds at the modeled 2.3 GHz.
 inline double CyclesToNs(double cycles) { return cycles / 2.3; }
+
+// --- parallel scenario engine -------------------------------------------
+//
+// Bench cells (one figure configuration, way-count point, policy variant)
+// are independent: each constructs its own Host/Socket and seeds its
+// workloads explicitly, so cells may run concurrently on the shared pool
+// without changing any result. Determinism rules:
+//   * a cell must create ALL of its state inside its lambda — no captured
+//     mutable simulator objects, no shared RNGs;
+//   * results come back indexed by cell order, so tables are printed in
+//     the same order as a serial run (output is byte-identical);
+//   * cells must not print; printing happens on the main thread afterward.
+// DCAT_JOBS=1 forces serial execution (the pool degrades to inline calls).
+template <typename T>
+std::vector<T> RunBenchCells(const std::vector<std::function<T()>>& cells) {
+  std::vector<T> results(cells.size());
+  SharedThreadPool().ParallelFor(
+      0, cells.size(), [&](size_t i) { results[i] = cells[i](); });
+  return results;
+}
 
 }  // namespace dcat
 

@@ -1,0 +1,146 @@
+#include "src/common/thread_pool.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/common/strings.h"
+
+namespace dcat {
+
+namespace {
+// Set while a thread (worker or participating caller) executes batch
+// tasks; guards against nested ParallelFor, which would deadlock the
+// fixed-size pool.
+thread_local bool tls_in_parallel_task = false;
+}  // namespace
+
+size_t ThreadPool::DefaultJobs() {
+  if (const char* env = std::getenv("DCAT_JOBS"); env != nullptr) {
+    uint64_t jobs = 0;
+    if (ParseUint64(env, &jobs) && jobs > 0) {
+      return static_cast<size_t>(jobs);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = DefaultJobs();
+  }
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (batch_ != nullptr &&
+                         batch_->next.load(std::memory_order_relaxed) < batch_->count);
+      });
+      if (stop_) {
+        return;
+      }
+      batch = batch_;
+    }
+    RunBatch(*batch);
+  }
+}
+
+void ThreadPool::RunBatch(Batch& batch) {
+  tls_in_parallel_task = true;
+  for (;;) {
+    const size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.count) {
+      break;
+    }
+    try {
+      (*batch.fn)(batch.begin + index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mu);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.count) {
+      // Lock pairs with the caller's wait to avoid a missed wakeup.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+  tls_in_parallel_task = false;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  if (tls_in_parallel_task) {
+    throw std::logic_error(
+        "ThreadPool::ParallelFor: nested call from inside a pool task "
+        "(parallelize at one level only)");
+  }
+  const size_t count = end - begin;
+  if (workers_.empty() || count == 1) {
+    // Inline tasks still count as "inside a task" so nesting behaves the
+    // same whether a range happened to run pooled or not.
+    struct FlagGuard {
+      FlagGuard() { tls_in_parallel_task = true; }
+      ~FlagGuard() { tls_in_parallel_task = false; }
+    } guard;
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);  // exceptions propagate directly
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->count = count;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+  }
+  work_cv_.notify_all();
+  RunBatch(*batch);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&batch] {
+      return batch->completed.load(std::memory_order_acquire) == batch->count;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_.reset();
+  }
+  if (batch->error) {
+    std::rethrow_exception(batch->error);
+  }
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dcat

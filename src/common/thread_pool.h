@@ -1,0 +1,85 @@
+// Fixed-size worker pool with a blocking ParallelFor.
+//
+// Built for the scenario engine: bench cells, fuzz seeds and throughput
+// shards are embarrassingly parallel, each owning its whole simulation
+// state (Socket, Host, RNGs), so the pool only has to hand out indices.
+// Determinism rule: tasks must not share mutable state or draw from a
+// common RNG — each index derives everything it needs from its own seed,
+// and callers merge results by index so output order never depends on
+// scheduling.
+//
+// Semantics:
+//   * ParallelFor(begin, end, fn) runs fn(i) for every i in [begin, end)
+//     and blocks until all complete. The calling thread participates.
+//   * The first exception thrown by any fn is rethrown on the caller
+//     after the whole range finishes; later exceptions are dropped.
+//   * Nested ParallelFor (calling it from inside a task) throws
+//     std::logic_error — the pool is fixed-size and nesting would
+//     deadlock it. Parallelize at one level only.
+//   * An empty range is a no-op; a single-thread pool runs inline.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcat {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the caller too: N means the caller plus N-1
+  // workers. 0 picks DefaultJobs().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn);
+
+  // DCAT_JOBS environment override, else std::thread::hardware_concurrency
+  // (min 1).
+  static size_t DefaultJobs();
+
+ private:
+  struct Batch {
+    size_t begin = 0;
+    size_t count = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  void RunBatch(Batch& batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  // Serializes concurrent ParallelFor calls from different threads.
+  std::mutex run_mu_;
+  // Shared so a worker woken late can still probe a batch the caller has
+  // already finished waiting on.
+  std::shared_ptr<Batch> batch_;  // guarded by mu_
+  bool stop_ = false;             // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+// Lazily constructed process-wide pool sized by ThreadPool::DefaultJobs().
+// Used by the bench harness; tools that take --jobs build their own.
+ThreadPool& SharedThreadPool();
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,154 +1,149 @@
 #include "src/sim/cache.h"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dcat {
 
 SetAssociativeCache::SetAssociativeCache(const CacheGeometry& geometry,
-                                         ReplacementKind replacement)
+                                         ReplacementKind replacement, uint16_t num_cos)
     : geometry_(geometry),
       selector_(replacement),
-      lines_(static_cast<size_t>(geometry.num_sets) * geometry.num_ways),
-      cos_occupancy_(256, 0) {
+      full_way_mask_((geometry.num_ways >= 32) ? 0xffffffffu
+                                               : ((1u << geometry.num_ways) - 1)),
+      tags_(static_cast<size_t>(geometry.num_sets) * geometry.num_ways, 0),
+      line_cos_(tags_.size(), 0),
+      line_owner_(tags_.size(), kNoOwner),
+      meta_(tags_.size()),
+      valid_(geometry.num_sets, 0),
+      cos_occupancy_(num_cos, 0) {
   if (!geometry.IsValid()) {
     std::fprintf(stderr, "SetAssociativeCache: invalid geometry %s\n",
                  geometry.ToString().c_str());
     std::abort();
   }
-}
-
-SetAssociativeCache::Line* SetAssociativeCache::FindLine(uint64_t paddr) {
-  const uint32_t set = geometry_.SetIndex(paddr);
-  const uint64_t tag = geometry_.Tag(paddr);
-  Line* base = &lines_[static_cast<size_t>(set) * geometry_.num_ways];
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      return &base[w];
-    }
+  if (num_cos == 0) {
+    std::fprintf(stderr, "SetAssociativeCache: need at least one COS\n");
+    std::abort();
   }
-  return nullptr;
 }
 
-const SetAssociativeCache::Line* SetAssociativeCache::FindLine(uint64_t paddr) const {
-  return const_cast<SetAssociativeCache*>(this)->FindLine(paddr);
+uint32_t SetAssociativeCache::FindWay(uint32_t set, uint64_t tag) const {
+  const uint64_t* tags = &tags_[static_cast<size_t>(set) * geometry_.num_ways];
+  uint32_t remaining = valid_[set];
+  while (remaining != 0) {
+    const uint32_t w = static_cast<uint32_t>(std::countr_zero(remaining));
+    if (tags[w] == tag) {
+      return w;
+    }
+    remaining &= remaining - 1;
+  }
+  return kNoWay;
 }
 
 CacheAccessResult SetAssociativeCache::Access(uint64_t paddr, uint32_t allowed_ways, uint8_t cos,
                                               uint16_t owner, bool allocate_on_miss) {
   CacheAccessResult result;
   ++clock_;
-  if (Line* line = FindLine(paddr); line != nullptr) {
+  const uint32_t set = geometry_.SetIndex(paddr);
+  const uint64_t tag = geometry_.Tag(paddr);
+  const size_t base = static_cast<size_t>(set) * geometry_.num_ways;
+  if (const uint32_t w = FindWay(set, tag); w != kNoWay) {
     result.hit = true;
-    selector_.Touch(line->meta, clock_);
+    selector_.Touch(meta_[base + w], clock_);
     return result;
   }
   if (!allocate_on_miss) {
     return result;
   }
-  allowed_ways &= FullWayMask();
+  allowed_ways &= full_way_mask_;
   if (allowed_ways == 0) {
     // A COS must own at least one way (Intel disallows empty masks); treat a
     // zero mask as a cache bypass rather than crashing in release paths.
     return result;
   }
+  assert(cos < cos_occupancy_.size());
 
-  const uint32_t set = geometry_.SetIndex(paddr);
-  Line* base = &lines_[static_cast<size_t>(set) * geometry_.num_ways];
-  uint32_t valid_mask = 0;
-  LineMeta metas[32];
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (base[w].valid) {
-      valid_mask |= 1u << w;
-    }
-    metas[w] = base[w].meta;
-  }
-  const uint32_t victim = selector_.Select(geometry_.num_ways, valid_mask, allowed_ways, metas);
-  // The NRU policy may age reference bits during selection; write them back.
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    base[w].meta = metas[w];
-  }
-
-  Line& slot = base[victim];
-  if (slot.valid) {
+  // The selector reads (and, for NRU aging, writes) the per-set meta slice
+  // in place — no copy, no write-back.
+  const uint32_t valid_mask = valid_[set];
+  const uint32_t victim =
+      selector_.Select(geometry_.num_ways, valid_mask, allowed_ways, &meta_[base]);
+  const size_t slot = base + victim;
+  if ((valid_mask >> victim) & 1u) {
     result.evicted = true;
-    result.evicted_paddr = (slot.tag * geometry_.num_sets + set) * geometry_.line_size;
-    result.evicted_owner = slot.owner;
-    result.evicted_cos = slot.cos;
-    --cos_occupancy_[slot.cos];
+    result.evicted_paddr = LinePaddr(set, tags_[slot]);
+    result.evicted_owner = line_owner_[slot];
+    result.evicted_cos = line_cos_[slot];
+    --cos_occupancy_[line_cos_[slot]];
   }
-  slot.valid = true;
-  slot.tag = geometry_.Tag(paddr);
-  slot.cos = cos;
-  slot.owner = owner;
-  selector_.Touch(slot.meta, clock_);
+  valid_[set] = valid_mask | (1u << victim);
+  tags_[slot] = tag;
+  line_cos_[slot] = cos;
+  line_owner_[slot] = owner;
+  selector_.Touch(meta_[slot], clock_);
   ++cos_occupancy_[cos];
   return result;
 }
 
-bool SetAssociativeCache::Contains(uint64_t paddr) const { return FindLine(paddr) != nullptr; }
+bool SetAssociativeCache::Contains(uint64_t paddr) const {
+  return FindWay(geometry_.SetIndex(paddr), geometry_.Tag(paddr)) != kNoWay;
+}
 
 bool SetAssociativeCache::Invalidate(uint64_t paddr) {
-  if (Line* line = FindLine(paddr); line != nullptr) {
-    line->valid = false;
-    --cos_occupancy_[line->cos];
-    return true;
+  const uint32_t set = geometry_.SetIndex(paddr);
+  const uint32_t w = FindWay(set, geometry_.Tag(paddr));
+  if (w == kNoWay) {
+    return false;
   }
-  return false;
+  valid_[set] &= ~(1u << w);
+  assert(line_cos_[static_cast<size_t>(set) * geometry_.num_ways + w] < cos_occupancy_.size());
+  --cos_occupancy_[line_cos_[static_cast<size_t>(set) * geometry_.num_ways + w]];
+  return true;
 }
 
 std::vector<SetAssociativeCache::FlushedLine> SetAssociativeCache::FlushCosOutsideWays(
     uint8_t cos, uint32_t allowed_ways) {
   std::vector<FlushedLine> flushed;
   for (uint32_t set = 0; set < geometry_.num_sets; ++set) {
-    Line* base = &lines_[static_cast<size_t>(set) * geometry_.num_ways];
-    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-      Line& line = base[w];
-      if (line.valid && line.cos == cos && ((allowed_ways >> w) & 1u) == 0) {
-        line.valid = false;
-        --cos_occupancy_[cos];
-        flushed.push_back(
-            {(line.tag * geometry_.num_sets + set) * geometry_.line_size, line.owner});
+    const size_t base = static_cast<size_t>(set) * geometry_.num_ways;
+    uint32_t remaining = valid_[set] & ~allowed_ways;
+    while (remaining != 0) {
+      const uint32_t w = static_cast<uint32_t>(std::countr_zero(remaining));
+      remaining &= remaining - 1;
+      if (line_cos_[base + w] != cos) {
+        continue;
       }
+      valid_[set] &= ~(1u << w);
+      --cos_occupancy_[cos];
+      flushed.push_back({LinePaddr(set, tags_[base + w]), line_owner_[base + w]});
     }
   }
   return flushed;
 }
 
-uint64_t SetAssociativeCache::FlushCos(uint8_t cos) {
-  uint64_t flushed = 0;
-  for (Line& line : lines_) {
-    if (line.valid && line.cos == cos) {
-      line.valid = false;
-      ++flushed;
-    }
-  }
-  cos_occupancy_[cos] = 0;
-  return flushed;
+std::vector<SetAssociativeCache::FlushedLine> SetAssociativeCache::FlushCos(uint8_t cos) {
+  // Flushing the whole COS == flushing it outside an empty mask.
+  return FlushCosOutsideWays(cos, 0);
 }
 
 void SetAssociativeCache::Reset() {
-  for (Line& line : lines_) {
-    line.valid = false;
-    line.meta = LineMeta{};
-  }
-  for (uint64_t& occ : cos_occupancy_) {
-    occ = 0;
-  }
+  std::fill(valid_.begin(), valid_.end(), 0u);
+  std::fill(meta_.begin(), meta_.end(), LineMeta{});
+  std::fill(cos_occupancy_.begin(), cos_occupancy_.end(), 0u);
   clock_ = 0;
 }
 
-uint64_t SetAssociativeCache::OccupancyLines(uint8_t cos) const { return cos_occupancy_[cos]; }
+uint64_t SetAssociativeCache::OccupancyLines(uint8_t cos) const {
+  assert(cos < cos_occupancy_.size());
+  return cos_occupancy_[cos];
+}
 
 uint32_t SetAssociativeCache::ValidLinesInSet(uint32_t set_index) const {
-  uint32_t count = 0;
-  const Line* base = &lines_[static_cast<size_t>(set_index) * geometry_.num_ways];
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (base[w].valid) {
-      ++count;
-    }
-  }
-  return count;
+  return static_cast<uint32_t>(std::popcount(valid_[set_index]));
 }
 
 }  // namespace dcat

@@ -11,11 +11,16 @@
 //
 // The cache is a passive model: it classifies accesses as hit/miss and
 // reports evictions; timing and counters live in sim::Core / sim::Socket.
+//
+// Storage is structure-of-arrays: per-set packed valid bitmasks plus
+// contiguous per-line tag/cos/owner/meta arrays. Lookups walk only the
+// valid ways of one set via the bitmask, and the replacement selector
+// operates on the per-set LineMeta slice in place — the hot Access path
+// copies nothing.
 #ifndef SRC_SIM_CACHE_H_
 #define SRC_SIM_CACHE_H_
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "src/sim/geometry.h"
@@ -38,14 +43,16 @@ struct CacheAccessResult {
 
 class SetAssociativeCache {
  public:
+  // `num_cos` sizes the per-COS occupancy table; Access/Invalidate assert
+  // (debug builds) that line COS values stay below it.
   SetAssociativeCache(const CacheGeometry& geometry,
-                      ReplacementKind replacement = ReplacementKind::kLru);
+                      ReplacementKind replacement = ReplacementKind::kLru,
+                      uint16_t num_cos = 16);
 
   const CacheGeometry& geometry() const { return geometry_; }
 
-  // Full mask covering every way of this cache.
-  uint32_t FullWayMask() const { return (geometry_.num_ways >= 32) ? 0xffffffffu
-                                                                   : ((1u << geometry_.num_ways) - 1); }
+  // Full mask covering every way of this cache (precomputed).
+  uint32_t FullWayMask() const { return full_way_mask_; }
 
   // Performs a lookup and, on miss, a fill constrained to `allowed_ways`.
   // `cos` and `owner` are recorded on the filled line for occupancy
@@ -61,17 +68,22 @@ class SetAssociativeCache {
   // for inclusive back-invalidation from an outer level.
   bool Invalidate(uint64_t paddr);
 
-  // Drops every line charged to `cos`; returns the number invalidated.
-  // Models the paper's user-level "cache flush application" workaround.
-  uint64_t FlushCos(uint8_t cos);
-
-  // Drops every line charged to `cos` residing in a way outside
-  // `allowed_ways`, returning the flushed lines so the caller can
-  // back-invalidate inclusive copies. Used when a COS mask shrinks.
+  // A line dropped by a flush, reported so the caller can back-invalidate
+  // inclusive copies in the owner's private caches.
   struct FlushedLine {
     uint64_t paddr = 0;
     uint16_t owner = kNoOwner;
   };
+
+  // Drops every line charged to `cos`, returning the flushed lines.
+  // Models the paper's user-level "cache flush application" workaround.
+  // Callers modeling an inclusive hierarchy MUST back-invalidate the
+  // returned (paddr, owner) pairs (Socket::FlushCos does).
+  std::vector<FlushedLine> FlushCos(uint8_t cos);
+
+  // Drops every line charged to `cos` residing in a way outside
+  // `allowed_ways`, returning the flushed lines so the caller can
+  // back-invalidate inclusive copies. Used when a COS mask shrinks.
   std::vector<FlushedLine> FlushCosOutsideWays(uint8_t cos, uint32_t allowed_ways);
 
   // Drops all lines.
@@ -87,22 +99,27 @@ class SetAssociativeCache {
   uint32_t ValidLinesInSet(uint32_t set_index) const;
 
  private:
-  struct Line {
-    uint64_t tag = 0;
-    bool valid = false;
-    uint8_t cos = 0;
-    uint16_t owner = kNoOwner;
-    LineMeta meta;
-  };
+  static constexpr uint32_t kNoWay = 0xffffffffu;
 
-  Line* FindLine(uint64_t paddr);
-  const Line* FindLine(uint64_t paddr) const;
+  // Way index of the resident line with `tag` in `set`, else kNoWay.
+  uint32_t FindWay(uint32_t set, uint64_t tag) const;
+
+  uint64_t LinePaddr(uint32_t set, uint64_t tag) const {
+    return (tag * geometry_.num_sets + set) * geometry_.line_size;
+  }
 
   CacheGeometry geometry_;
   VictimSelector selector_;
-  std::vector<Line> lines_;       // num_sets * num_ways, set-major
-  std::vector<uint64_t> cos_occupancy_;  // lines per COS (index 0..255)
-  uint64_t clock_ = 0;            // LRU timestamp source
+  uint32_t full_way_mask_ = 0;
+  // SoA line storage, set-major: line (set, way) lives at index
+  // set * num_ways + way of each per-line array.
+  std::vector<uint64_t> tags_;
+  std::vector<uint8_t> line_cos_;
+  std::vector<uint16_t> line_owner_;
+  std::vector<LineMeta> meta_;
+  std::vector<uint32_t> valid_;  // per-set packed valid-way bitmask
+  std::vector<uint64_t> cos_occupancy_;  // lines per COS, sized num_cos
+  uint64_t clock_ = 0;  // LRU timestamp source
 };
 
 }  // namespace dcat

@@ -1,5 +1,6 @@
 #include "src/sim/socket.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
@@ -21,7 +22,7 @@ SocketConfig SocketConfig::XeonD() {
 
 Socket::Socket(const SocketConfig& config)
     : config_(config),
-      llc_(config.llc_geometry, config.llc_replacement),
+      llc_(config.llc_geometry, config.llc_replacement, config.num_cos),
       bus_(config.memory_bus, config.llc_geometry.line_size, config.num_cos),
       cos_masks_(config.num_cos, llc_.FullWayMask()),
       core_cos_(config.num_cores, 0) {
@@ -62,9 +63,24 @@ uint64_t Socket::FlushCosOutsideMask(uint8_t cos, uint32_t mask) {
   return flushed.size();
 }
 
+uint64_t Socket::FlushCos(uint8_t cos) {
+  const auto flushed = llc_.FlushCos(cos);
+  for (const auto& line : flushed) {
+    if (line.owner != kNoOwner && line.owner < config_.num_cores) {
+      cores_[line.owner]->BackInvalidate(line.paddr);
+    }
+  }
+  return flushed.size();
+}
+
 Socket::LlcOutcome Socket::AccessLlc(uint16_t core_id, uint64_t paddr) {
-  const uint8_t cos = core_cos_.at(core_id);
-  const CacheAccessResult result = llc_.Access(paddr, cos_masks_.at(cos), cos, core_id);
+  // Hot path: called on every simulated L2 miss. core_id comes from our own
+  // Core objects and COS values are range-checked at assignment time, so
+  // debug asserts replace the old per-access .at() bounds checks.
+  assert(core_id < core_cos_.size());
+  const uint8_t cos = core_cos_[core_id];
+  assert(cos < cos_masks_.size());
+  const CacheAccessResult result = llc_.Access(paddr, cos_masks_[cos], cos, core_id);
   if (result.evicted && result.evicted_owner != kNoOwner &&
       result.evicted_owner < config_.num_cores) {
     // Inclusive LLC: a line leaving the LLC must leave the private caches of

@@ -71,6 +71,11 @@ class Socket {
   // has no way-flush instruction). Returns the number of lines flushed.
   uint64_t FlushCosOutsideMask(uint8_t cos, uint32_t mask);
 
+  // Flushes ALL of the COS's LLC lines and back-invalidates their owners'
+  // private caches — the inclusive-LLC contract a line leaving the LLC must
+  // honor everywhere, not just on mask shrinks. Returns the lines flushed.
+  uint64_t FlushCos(uint8_t cos);
+
   // --- monitoring ---
   uint64_t LlcOccupancyBytes(uint8_t cos) const { return llc_.OccupancyBytes(cos); }
 

@@ -1,0 +1,114 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dcat {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, RespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.ParallelFor(0, ids.size(), [&](size_t i) { ids[i] = std::this_thread::get_id(); });
+  for (const auto& id : ids) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [&](size_t i) {
+                         if (i == 42) {
+                           throw std::runtime_error("boom");
+                         }
+                         completed.fetch_add(1);
+                       }),
+      std::runtime_error);
+  // The rest of the range still ran; the pool is reusable afterwards.
+  EXPECT_EQ(completed.load(), 99);
+  std::atomic<int> again{0};
+  pool.ParallelFor(0, 10, [&](size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForIsRejected) {
+  ThreadPool pool(4);
+  std::atomic<int> nested_throws{0};
+  pool.ParallelFor(0, 8, [&](size_t) {
+    try {
+      pool.ParallelFor(0, 2, [](size_t) {});
+    } catch (const std::logic_error&) {
+      nested_throws.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(nested_throws.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedCallIntoAnotherPoolIsAlsoRejected) {
+  // The restriction is per-thread, not per-pool: a task must never block
+  // on any pool, or a fleet of pools could still deadlock each other.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  EXPECT_THROW(outer.ParallelFor(0, 1, [&](size_t) { inner.ParallelFor(0, 1, [](size_t) {}); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsDefaultJobs) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  uint64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(0, 64, [&](size_t i) { sum.fetch_add(i + 1); });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50ull * (64ull * 65ull / 2));
+}
+
+TEST(ThreadPoolTest, SharedPoolIsAGlobalSingleton) {
+  ThreadPool& a = SharedThreadPool();
+  ThreadPool& b = SharedThreadPool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.ParallelFor(0, 16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace dcat

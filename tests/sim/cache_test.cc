@@ -148,9 +148,34 @@ TEST(CacheTest, FlushCosDropsOnlyThatCos) {
   cache.Access(Addr(0, 0), 0b0011, 1);
   cache.Access(Addr(0, 1), 0b0011, 1);
   cache.Access(Addr(0, 2), 0b1100, 2);
-  EXPECT_EQ(cache.FlushCos(1), 2u);
+  EXPECT_EQ(cache.FlushCos(1).size(), 2u);
   EXPECT_FALSE(cache.Contains(Addr(0, 0)));
   EXPECT_TRUE(cache.Contains(Addr(0, 2)));
+  EXPECT_EQ(cache.OccupancyLines(1), 0u);
+  EXPECT_EQ(cache.OccupancyLines(2), 1u);
+}
+
+TEST(CacheTest, FlushCosReportsPaddrAndOwnerForBackInvalidation) {
+  SetAssociativeCache cache(TinyGeometry());
+  cache.Access(Addr(2, 1), 0b0011, /*cos=*/1, /*owner=*/5);
+  cache.Access(Addr(3, 3), 0b0011, /*cos=*/1, /*owner=*/6);
+  auto flushed = cache.FlushCos(1);
+  ASSERT_EQ(flushed.size(), 2u);
+  // Order is set-major; verify the (paddr, owner) pairs regardless.
+  bool saw_first = false;
+  bool saw_second = false;
+  for (const auto& line : flushed) {
+    if (line.paddr == Addr(2, 1) && line.owner == 5) saw_first = true;
+    if (line.paddr == Addr(3, 3) && line.owner == 6) saw_second = true;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(CacheTest, OccupancyTableSizedFromNumCos) {
+  SetAssociativeCache cache(TinyGeometry(), ReplacementKind::kLru, /*num_cos=*/4);
+  cache.Access(Addr(0, 0), 0b1111, /*cos=*/3);
+  EXPECT_EQ(cache.OccupancyLines(3), 1u);
 }
 
 TEST(CacheTest, ResetClearsEverything) {

@@ -189,6 +189,43 @@ TEST(SocketTest, InclusiveEvictionBackInvalidatesOwnerL1) {
   EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
 }
 
+TEST(SocketTest, FlushCosBackInvalidatesOwnerPrivateCaches) {
+  // Regression: FlushCos used to drop LLC lines without back-invalidating
+  // the owning core's private caches, so a flushed line could still hit in
+  // L1 — violating the inclusive-LLC contract FlushCosOutsideMask honors.
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  socket.AssignCoreToCos(0, 1);
+  socket.SetCosMask(1, 0b1111);
+
+  Core& core0 = socket.core(0);
+  core0.Access(0, false);  // resident in L1, L2 and LLC, charged to COS 1
+  EXPECT_DOUBLE_EQ(core0.Access(0, false), config.timing.l1_hit_cycles);
+
+  const uint64_t flushed = socket.FlushCos(1);
+  EXPECT_GE(flushed, 1u);
+  EXPECT_EQ(socket.llc().OccupancyLines(1), 0u);
+  // The line must be gone from the private caches too: full re-miss.
+  const double lat = core0.Access(0, false);
+  EXPECT_DOUBLE_EQ(lat, config.timing.llc_hit_cycles + config.timing.dram_cycles);
+}
+
+TEST(SocketTest, FlushCosLeavesOtherCosAlone) {
+  SocketConfig config = SmallConfig();
+  Socket socket(config);
+  socket.AssignCoreToCos(0, 1);
+  socket.SetCosMask(1, 0b0011);
+  socket.AssignCoreToCos(1, 2);
+  socket.SetCosMask(2, 0b1100);
+  socket.core(0).Access(0, false);
+  socket.core(1).Access(64, false);
+  socket.FlushCos(1);
+  EXPECT_EQ(socket.llc().OccupancyLines(1), 0u);
+  EXPECT_EQ(socket.llc().OccupancyLines(2), 1u);
+  // Core 1's line still hits in its L1 — untouched by the other COS flush.
+  EXPECT_DOUBLE_EQ(socket.core(1).Access(64, false), config.timing.l1_hit_cycles);
+}
+
 TEST(SocketTest, ResetCachesClearsEverything) {
   Socket socket(SmallConfig());
   socket.core(0).Access(0, false);

@@ -1,0 +1,98 @@
+// The parallel scenario engine promises byte-identical output regardless
+// of thread count: every (seed, policy) run derives all of its state from
+// the seed, so running them on a worker pool must produce exactly the
+// traces a serial loop produces. This test is the contract's regression
+// guard — if anyone threads shared mutable state through RunScenario (a
+// global RNG, a shared temp file, a racy log sink), the traces diverge
+// here before they diverge in CI fuzz output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+struct RunKey {
+  uint64_t seed;
+  AllocationPolicy policy;
+};
+
+std::vector<RunKey> Runs() {
+  std::vector<RunKey> runs;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    runs.push_back({seed, AllocationPolicy::kMaxFairness});
+    runs.push_back({seed, AllocationPolicy::kMaxPerformance});
+  }
+  return runs;
+}
+
+std::string RunTrace(const RunKey& key) {
+  RunOptions options;
+  options.policy = key.policy;
+  options.cycles_per_interval = 2e5;  // small intervals keep the test quick
+  options.check_backend_differential = false;
+  return RunScenario(RandomScenario(key.seed), options).trace;
+}
+
+TEST(ParallelDeterminismTest, PoolTracesMatchSerialTracesByteForByte) {
+  const std::vector<RunKey> runs = Runs();
+
+  std::vector<std::string> serial(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    serial[i] = RunTrace(runs[i]);
+  }
+
+  std::vector<std::string> parallel(runs.size());
+  ThreadPool pool(4);
+  pool.ParallelFor(0, runs.size(), [&](size_t i) { parallel[i] = RunTrace(runs[i]); });
+
+  for (size_t i = 0; i < runs.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "run " << i << " produced no trace";
+    EXPECT_EQ(serial[i], parallel[i])
+        << "seed " << runs[i].seed << " diverged under the pool:\n"
+        << DescribeTraceDivergence(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
+  // Two parallel passes over the same runs must agree with each other —
+  // catches scheduling-dependent state that a single serial-vs-parallel
+  // comparison could miss by luck.
+  const std::vector<RunKey> runs = Runs();
+  ThreadPool pool(4);
+
+  std::vector<std::string> first(runs.size());
+  pool.ParallelFor(0, runs.size(), [&](size_t i) { first[i] = RunTrace(runs[i]); });
+  std::vector<std::string> second(runs.size());
+  pool.ParallelFor(0, runs.size(), [&](size_t i) { second[i] = RunTrace(runs[i]); });
+
+  for (size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "seed " << runs[i].seed;
+  }
+}
+
+TEST(ParallelDeterminismTest, BackendDifferentialIsParallelSafe) {
+  // The differential check writes fake resctrl trees to temp dirs; those
+  // must be unique per run or concurrent runs corrupt each other.
+  const std::vector<RunKey> runs = Runs();
+  ThreadPool pool(4);
+  std::vector<uint8_t> ok(runs.size(), 0);
+  pool.ParallelFor(0, runs.size(), [&](size_t i) {
+    RunOptions options;
+    options.policy = runs[i].policy;
+    options.cycles_per_interval = 2e5;
+    options.check_backend_differential = true;
+    ok[i] = RunScenario(RandomScenario(runs[i].seed), options).ok() ? 1 : 0;
+  });
+  for (size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(ok[i], 1) << "seed " << runs[i].seed << " policy "
+                        << static_cast<int>(runs[i].policy);
+  }
+}
+
+}  // namespace
+}  // namespace dcat

@@ -6,9 +6,14 @@
 // policies with the invariant checker riding the telemetry stream, and
 // fails loudly on any violation. Every finding replays from its seed:
 //
-//   dcat_fuzz --seeds=100                 # seeds 0..99, both policies
+//   dcat_fuzz --seeds=100 --jobs=8        # seeds 0..99, both policies, 8 threads
 //   dcat_fuzz --seed=37 --policy=maxperf  # replay one finding
 //   dcat_fuzz --write-golden=golden.jsonl # regenerate the Fig. 10 trace
+//
+// With --jobs=N the (seed, policy) runs execute on a worker pool; each run
+// is self-contained (scenario expansion, host, checker, shadow backends all
+// derive from the seed), and reports are buffered and printed in seed order
+// afterward, so the output is byte-identical to --jobs=1.
 //
 // Per scenario the fuzzer checks, beyond the checker's own invariants:
 //   * trace determinism — the same seed must yield a byte-identical JSONL
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 #include "src/verify/scenario.h"
 
 namespace dcat {
@@ -36,6 +42,7 @@ struct Options {
   uint64_t seeds = 25;       // number of seeds, starting at start_seed
   uint64_t start_seed = 0;
   bool single_seed = false;  // --seed=S: run exactly one
+  uint64_t jobs = 1;         // worker threads; reports stay in seed order
   std::string policy = "both";
   double cycles_per_interval = 1e6;
   bool check_differential = true;
@@ -50,6 +57,9 @@ void PrintUsage() {
       "  --seeds=N               run seeds start..start+N-1 (default 25)\n"
       "  --start-seed=S          first seed (default 0)\n"
       "  --seed=S                run exactly one seed (replay a finding)\n"
+      "  --jobs=N                run scenarios on N threads, output merged in\n"
+      "                          seed order (byte-identical to --jobs=1); 0 =\n"
+      "                          all cores (default 1)\n"
       "  --policy=fair|maxperf|both  allocation policies to run (default both)\n"
       "  --cycles=C              simulated cycles per interval (default 1e6)\n"
       "  --no-differential       skip the SimPqos vs fake-resctrl mask check\n"
@@ -58,7 +68,7 @@ void PrintUsage() {
       "  --write-golden=FILE     write the pinned Fig. 10 golden trace and exit\n");
 }
 
-void PrintTraceTail(const std::string& trace, size_t tail) {
+std::string FormatTraceTail(const std::string& trace, size_t tail) {
   const std::vector<std::string> lines = Split(trace, '\n');
   size_t begin = 0;
   // Split leaves one trailing empty field after the final newline.
@@ -66,21 +76,26 @@ void PrintTraceTail(const std::string& trace, size_t tail) {
   while (end > 0 && lines[end - 1].empty()) {
     --end;
   }
+  std::ostringstream out;
   if (end > tail) {
     begin = end - tail;
-    std::printf("  ... (%zu earlier trace lines)\n", begin);
+    out << "  ... (" << begin << " earlier trace lines)\n";
   }
   for (size_t i = begin; i < end; ++i) {
-    std::printf("  %s\n", lines[i].c_str());
+    out << "  " << lines[i] << "\n";
   }
+  return out.str();
 }
 
 const char* PolicyName(AllocationPolicy policy) {
   return policy == AllocationPolicy::kMaxPerformance ? "maxperf" : "fair";
 }
 
-// Runs one (scenario, policy) pair; prints a replay report on failure.
-bool RunOne(const Scenario& scenario, AllocationPolicy policy, const Options& options) {
+// Runs one (scenario, policy) pair. On failure fills *report with the
+// replay report; the caller prints reports in seed order so parallel runs
+// produce byte-identical output.
+bool RunOne(const Scenario& scenario, AllocationPolicy policy, const Options& options,
+            std::string* report) {
   RunOptions run_options;
   run_options.policy = policy;
   run_options.cycles_per_interval = options.cycles_per_interval;
@@ -104,20 +119,17 @@ bool RunOne(const Scenario& scenario, AllocationPolicy policy, const Options& op
     return true;
   }
 
-  std::printf("FAIL seed=%llu policy=%s\n",
-              static_cast<unsigned long long>(scenario.seed), PolicyName(policy));
-  std::printf("  scenario: %s\n", scenario.Describe().c_str());
-  std::printf("  replay:   dcat_fuzz --seed=%llu --policy=%s\n",
-              static_cast<unsigned long long>(scenario.seed), PolicyName(policy));
+  std::ostringstream out;
+  out << "FAIL seed=" << scenario.seed << " policy=" << PolicyName(policy) << "\n";
+  out << "  scenario: " << scenario.Describe() << "\n";
+  out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << PolicyName(policy)
+      << "\n";
   for (const Violation& violation : result.violations) {
-    std::printf("  violation [%s] tick=%llu tenant=%llu: %s\n",
-                violation.invariant.c_str(),
-                static_cast<unsigned long long>(violation.tick),
-                static_cast<unsigned long long>(violation.tenant),
-                violation.detail.c_str());
+    out << "  violation [" << violation.invariant << "] tick=" << violation.tick
+        << " tenant=" << violation.tenant << ": " << violation.detail << "\n";
   }
-  std::printf("  trace tail:\n");
-  PrintTraceTail(result.trace, options.trace_tail);
+  out << "  trace tail:\n" << FormatTraceTail(result.trace, options.trace_tail);
+  *report = out.str();
   return false;
 }
 
@@ -170,6 +182,14 @@ int Main(int argc, char** argv) {
         return 1;
       }
       options.single_seed = true;
+    } else if (const char* v = value("--jobs=")) {
+      if (!ParseUint64(v, &options.jobs)) {
+        std::fprintf(stderr, "--jobs: expected an integer, got '%s'\n", v);
+        return 1;
+      }
+      if (options.jobs == 0) {
+        options.jobs = ThreadPool::DefaultJobs();
+      }
     } else if (const char* v = value("--policy=")) {
       options.policy = v;
       if (options.policy != "fair" && options.policy != "maxperf" &&
@@ -214,15 +234,38 @@ int Main(int argc, char** argv) {
   }
 
   const uint64_t count = options.single_seed ? 1 : options.seeds;
-  uint64_t failures = 0;
-  uint64_t runs = 0;
+
+  // One job per (seed, policy) pair; jobs are independent and derive all
+  // state from the seed, so they can run on the pool in any order. Reports
+  // land in the job-indexed slot and print in seed order afterward.
+  struct Job {
+    uint64_t seed = 0;
+    AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  };
+  std::vector<Job> job_list;
+  job_list.reserve(static_cast<size_t>(count) * policies.size());
   for (uint64_t i = 0; i < count; ++i) {
-    const Scenario scenario = RandomScenario(options.start_seed + i);
     for (const AllocationPolicy policy : policies) {
-      ++runs;
-      if (!RunOne(scenario, policy, options)) {
-        ++failures;
-      }
+      job_list.push_back({options.start_seed + i, policy});
+    }
+  }
+  std::vector<std::string> reports(job_list.size());
+  std::vector<uint8_t> failed(job_list.size(), 0);
+
+  ThreadPool pool(static_cast<size_t>(options.jobs));
+  pool.ParallelFor(0, job_list.size(), [&](size_t j) {
+    const Scenario scenario = RandomScenario(job_list[j].seed);
+    if (!RunOne(scenario, job_list[j].policy, options, &reports[j])) {
+      failed[j] = 1;
+    }
+  });
+
+  uint64_t failures = 0;
+  const uint64_t runs = job_list.size();
+  for (size_t j = 0; j < job_list.size(); ++j) {
+    if (failed[j]) {
+      ++failures;
+      std::fputs(reports[j].c_str(), stdout);
     }
   }
   if (failures > 0) {
