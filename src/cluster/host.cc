@@ -20,15 +20,31 @@ const char* ManagerModeName(ManagerMode mode) {
 }
 
 Host::Host(HostConfig config) : config_(config), socket_(config.socket), pqos_(&socket_) {
+  CatController* cat = &pqos_;
+  const MonitoringProvider* monitor = &pqos_;
+  if (config_.inject_faults) {
+    const auto named = FaultProfileByName(config_.fault_profile);
+    if (!named.has_value()) {
+      std::fprintf(stderr, "Host: unknown fault profile '%s'\n",
+                   config_.fault_profile.c_str());
+      std::abort();
+    }
+    FaultProfile profile = *named;
+    profile.active_ticks = config_.fault_active_ticks;
+    faulty_ = std::make_unique<FaultyPqos>(&pqos_, &pqos_,
+                                           FaultPlan(config_.fault_seed, profile));
+    cat = faulty_.get();
+    monitor = faulty_.get();
+  }
   switch (config_.mode) {
     case ManagerMode::kShared:
-      manager_ = std::make_unique<SharedCacheManager>(&pqos_);
+      manager_ = std::make_unique<SharedCacheManager>(cat);
       break;
     case ManagerMode::kStaticCat:
-      manager_ = std::make_unique<StaticCatManager>(&pqos_);
+      manager_ = std::make_unique<StaticCatManager>(cat);
       break;
     case ManagerMode::kDcat: {
-      auto controller = std::make_unique<DcatController>(&pqos_, &pqos_, config_.dcat);
+      auto controller = std::make_unique<DcatController>(cat, monitor, config_.dcat);
       dcat_ = controller.get();
       manager_ = std::move(controller);
       break;
@@ -37,6 +53,16 @@ Host::Host(HostConfig config) : config_(config), socket_(config.socket), pqos_(&
 }
 
 Vm& Host::AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
+  const std::string name = vm_config.name;
+  Vm* vm = TryAddVm(std::move(vm_config), std::move(workload));
+  if (vm == nullptr) {
+    std::fprintf(stderr, "Host: manager rejected VM %s\n", name.c_str());
+    std::abort();
+  }
+  return *vm;
+}
+
+Vm* Host::TryAddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
   std::vector<uint16_t> cores;
   // Reuse cores freed by departed VMs before claiming fresh ones.
   while (cores.size() < vm_config.vcpus && !free_cores_.empty()) {
@@ -46,7 +72,10 @@ Vm& Host::AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
   while (cores.size() < vm_config.vcpus) {
     if (next_core_ >= socket_.num_cores()) {
       std::fprintf(stderr, "Host: out of physical cores for VM %s\n", vm_config.name.c_str());
-      std::abort();
+      for (uint16_t core : cores) {
+        free_cores_.push_back(core);
+      }
+      return nullptr;
     }
     cores.push_back(next_core_++);
   }
@@ -62,10 +91,18 @@ Vm& Host::AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
     }
   }
   auto vm = std::make_unique<Vm>(vm_config, std::move(workload), &socket_, cores);
-  manager_->AddTenant(vm->tenant_spec());
+  const AdmitStatus status = manager_->AddTenant(vm->tenant_spec());
+  if (status != AdmitStatus::kOk) {
+    std::fprintf(stderr, "Host: admission of VM %s rejected: %s\n", vm_config.name.c_str(),
+                 AdmitStatusName(status));
+    for (uint16_t core : cores) {
+      free_cores_.push_back(core);
+    }
+    return nullptr;
+  }
   vms_.push_back(std::move(vm));
   vm_snapshots_.emplace_back();
-  return *vms_.back();
+  return vms_.back().get();
 }
 
 void Host::RemoveVm(TenantId id) {
@@ -93,6 +130,11 @@ std::vector<VmIntervalStats> Host::Step() {
     vm->RunUntil(target);
   }
   socket_.AdvanceInterval(config_.cycles_per_interval);  // bandwidth model boundary
+  if (faulty_ != nullptr) {
+    // The fault plan's clock is the control interval: advance it before the
+    // manager observes the backend this tick.
+    faulty_->AdvanceTick();
+  }
   manager_->Tick();
 
   std::vector<VmIntervalStats> stats;

@@ -14,12 +14,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "src/cluster/vm.h"
 #include "src/core/baseline_managers.h"
 #include "src/core/config.h"
 #include "src/core/dcat_controller.h"
 #include "src/core/manager.h"
 #include "src/core/metrics.h"
+#include "src/faults/faulty_pqos.h"
 #include "src/pqos/sim_pqos.h"
 #include "src/sim/socket.h"
 
@@ -42,6 +45,15 @@ struct HostConfig {
   // real 2.3 GHz an interval would be 2.3G cycles — the dilation changes no
   // controller decision because all thresholds are rates.
   double cycles_per_interval = 50e6;
+  // Chaos harness: interpose a FaultyPqos between the manager and the
+  // SimPqos backend, driven by the named fault profile and seed. The
+  // simulation itself is untouched — only the manager's view misbehaves.
+  bool inject_faults = false;
+  uint64_t fault_seed = 0;
+  std::string fault_profile = "mixed";  // see FaultProfileByName
+  // Stop injecting new faults after this many intervals (0 = never stop);
+  // lets harnesses end a run with a quiescent settle window.
+  uint32_t fault_active_ticks = 0;
 };
 
 // Per-VM statistics of one completed interval, for recording.
@@ -57,7 +69,15 @@ class Host {
 
   // Creates a VM pinned to free cores and registers it with the manager.
   // The reference stays valid until RemoveVm destroys the VM.
+  // Aborts when the manager rejects the admission (legacy contract — every
+  // pre-planned experiment admits within capacity); TryAddVm is the
+  // status-returning form for callers that can handle a rejection.
   Vm& AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload);
+
+  // Returns nullptr when the manager rejects the tenant (oversubscription,
+  // COS exhaustion, or a faulty backend refusing admission writes); the
+  // claimed cores are returned to the free pool and nothing is registered.
+  Vm* TryAddVm(VmConfig vm_config, std::unique_ptr<Workload> workload);
 
   // Terminates a VM: deregisters the tenant from the cache manager and
   // returns its cores to the free pool (a later AddVm may reuse them).
@@ -85,7 +105,11 @@ class Host {
   }
 
   Socket& socket() { return socket_; }
+  // The inner, always-truthful backend — auditors read real state here
+  // even when the manager's view is faulted.
   SimPqos& pqos() { return pqos_; }
+  // Non-null only when HostConfig::inject_faults is set.
+  FaultyPqos* faulty() { return faulty_.get(); }
   CacheManager& manager() { return *manager_; }
   // Non-null only in kDcat mode.
   DcatController* dcat() { return dcat_; }
@@ -96,6 +120,7 @@ class Host {
   HostConfig config_;
   Socket socket_;
   SimPqos pqos_;
+  std::unique_ptr<FaultyPqos> faulty_;  // interposed when inject_faults
   std::unique_ptr<CacheManager> manager_;
   DcatController* dcat_ = nullptr;  // borrowed view into manager_
   std::vector<std::unique_ptr<Vm>> vms_;

@@ -58,19 +58,19 @@ std::vector<uint32_t> SolveMaxPerformance(const std::vector<TableChoices>& workl
   return result;
 }
 
-std::vector<uint32_t> LayoutMasks(const std::vector<uint32_t>& ways_per_workload,
-                                  uint32_t total_ways) {
+std::optional<std::vector<uint32_t>> LayoutMasks(
+    const std::vector<uint32_t>& ways_per_workload, uint32_t total_ways) {
   uint32_t used = 0;
   for (uint32_t w : ways_per_workload) {
     if (w == 0) {
       std::fprintf(stderr, "LayoutMasks: zero-way allocation is not expressible in CAT\n");
-      std::abort();
+      return std::nullopt;
     }
     used += w;
   }
   if (used > total_ways) {
     std::fprintf(stderr, "LayoutMasks: %u ways requested > %u available\n", used, total_ways);
-    std::abort();
+    return std::nullopt;
   }
   std::vector<uint32_t> masks;
   masks.reserve(ways_per_workload.size());

@@ -8,6 +8,7 @@
 #define SRC_CORE_ALLOCATOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/core/performance_table.h"
@@ -29,10 +30,11 @@ std::vector<uint32_t> SolveMaxPerformance(const std::vector<TableChoices>& workl
                                           uint32_t budget);
 
 // Lays out contiguous, non-overlapping capacity masks for the given
-// way counts, starting at way 0. Sum of ways must not exceed total_ways
-// (callers enforce the budget). Each count must be >= 1.
-std::vector<uint32_t> LayoutMasks(const std::vector<uint32_t>& ways_per_workload,
-                                  uint32_t total_ways);
+// way counts, starting at way 0. Returns nullopt when the request is not
+// expressible in CAT — a zero-way count or a sum exceeding total_ways —
+// so callers reject the allocation instead of dying.
+std::optional<std::vector<uint32_t>> LayoutMasks(
+    const std::vector<uint32_t>& ways_per_workload, uint32_t total_ways);
 
 }  // namespace dcat
 

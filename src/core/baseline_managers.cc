@@ -10,13 +10,16 @@ namespace dcat {
 
 SharedCacheManager::SharedCacheManager(CatController* cat) : cat_(cat) {}
 
-void SharedCacheManager::AddTenant(const TenantSpec& spec) {
-  for (uint16_t core : spec.cores) {
-    if (cat_->AssociateCore(core, 0) != PqosStatus::kOk) {
-      std::fprintf(stderr, "SharedCacheManager: bad core %u\n", core);
-      std::abort();
+AdmitStatus SharedCacheManager::AddTenant(const TenantSpec& spec) {
+  for (size_t i = 0; i < spec.cores.size(); ++i) {
+    if (cat_->AssociateCore(spec.cores[i], 0) != PqosStatus::kOk) {
+      std::fprintf(stderr, "SharedCacheManager: bad core %u\n", spec.cores[i]);
+      // Unwind: cores were already in COS 0 before admission, so prior
+      // successful writes are no-ops; nothing to roll back.
+      return AdmitStatus::kBackendError;
     }
   }
+  return AdmitStatus::kOk;
 }
 
 uint32_t SharedCacheManager::TenantWays(TenantId id) const {
@@ -26,24 +29,27 @@ uint32_t SharedCacheManager::TenantWays(TenantId id) const {
 
 StaticCatManager::StaticCatManager(CatController* cat) : cat_(cat) {}
 
-void StaticCatManager::AddTenant(const TenantSpec& spec) {
+AdmitStatus StaticCatManager::AddTenant(const TenantSpec& spec) {
   // First-fit reuse of freed segments, else bump-allocate fresh ways.
+  // Bookkeeping (next_way_, segment lists) commits only after every backend
+  // write is acknowledged: a rejected admission leaves the manager exactly
+  // as it was.
   Segment segment;
+  bool from_free_list = false;
   const auto fit = std::find_if(
       free_segments_.begin(), free_segments_.end(),
       [&spec](const Segment& s) { return s.ways >= spec.baseline_ways; });
   if (fit != free_segments_.end()) {
     segment = *fit;
     segment.ways = spec.baseline_ways;  // a larger hole stays fragmented
-    free_segments_.erase(fit);
+    from_free_list = true;
   } else {
     if (next_way_ + spec.baseline_ways > cat_->NumWays()) {
       std::fprintf(stderr, "StaticCatManager: LLC ways oversubscribed\n");
-      std::abort();
+      return AdmitStatus::kOversubscribed;
     }
     segment.first_way = next_way_;
     segment.ways = spec.baseline_ways;
-    next_way_ += spec.baseline_ways;
     // Lowest COS not held by a live tenant or parked with a free segment
     // (COS 0 stays the unmanaged default).
     segment.cos = 0;
@@ -61,22 +67,36 @@ void StaticCatManager::AddTenant(const TenantSpec& spec) {
     }
     if (segment.cos == 0) {
       std::fprintf(stderr, "StaticCatManager: out of COS entries\n");
-      std::abort();
+      return AdmitStatus::kNoFreeCos;
     }
   }
 
   const uint32_t mask = MakeWayMask(segment.first_way, segment.ways);
   if (cat_->SetCosMask(segment.cos, mask) != PqosStatus::kOk) {
     std::fprintf(stderr, "StaticCatManager: SetCosMask failed\n");
-    std::abort();
+    return AdmitStatus::kBackendError;
   }
-  for (uint16_t core : spec.cores) {
-    if (cat_->AssociateCore(core, segment.cos) != PqosStatus::kOk) {
-      std::fprintf(stderr, "StaticCatManager: bad core %u\n", core);
-      std::abort();
+  for (size_t i = 0; i < spec.cores.size(); ++i) {
+    if (cat_->AssociateCore(spec.cores[i], segment.cos) != PqosStatus::kOk) {
+      std::fprintf(stderr, "StaticCatManager: bad core %u\n", spec.cores[i]);
+      // Unwind the cores already moved into the new COS.
+      for (size_t j = 0; j < i; ++j) {
+        cat_->AssociateCore(spec.cores[j], 0);
+      }
+      return AdmitStatus::kBackendError;
     }
   }
+  if (from_free_list) {
+    free_segments_.erase(std::find_if(free_segments_.begin(), free_segments_.end(),
+                                      [&segment](const Segment& s) {
+                                        return s.first_way == segment.first_way &&
+                                               s.cos == segment.cos;
+                                      }));
+  } else {
+    next_way_ += spec.baseline_ways;
+  }
   segments_[spec.id] = segment;
+  return AdmitStatus::kOk;
 }
 
 void StaticCatManager::RemoveTenant(TenantId id) {

@@ -16,7 +16,7 @@ class SharedCacheManager : public CacheManager {
   explicit SharedCacheManager(CatController* cat);
 
   std::string name() const override { return "shared"; }
-  void AddTenant(const TenantSpec& spec) override;
+  AdmitStatus AddTenant(const TenantSpec& spec) override;
   void Tick() override {}
   uint32_t TenantWays(TenantId id) const override;
 
@@ -31,7 +31,7 @@ class StaticCatManager : public CacheManager {
   explicit StaticCatManager(CatController* cat);
 
   std::string name() const override { return "static-cat"; }
-  void AddTenant(const TenantSpec& spec) override;
+  AdmitStatus AddTenant(const TenantSpec& spec) override;
   // Frees the tenant's segment and COS; a later admission reuses them
   // first-fit (static partitioning fragments — that is part of why the
   // paper argues for dynamic management).

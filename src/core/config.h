@@ -66,6 +66,21 @@ struct DcatConfig {
 
   // Control interval in (simulated) seconds; the paper uses 1 s.
   double interval_seconds = 1.0;
+
+  // --- Fault tolerance (robustness layer over a flaky control surface) ---
+  // Write attempts beyond the first for SetCosMask/AssociateCore before the
+  // write is abandoned for the interval.
+  uint32_t max_write_retries = 3;
+  // Consecutive intervals whose mask application failed outright before the
+  // controller falls back to the static baseline partition (degraded mode).
+  uint32_t degraded_after_failures = 3;
+  // Consecutive clean degraded intervals (baseline masks applied and
+  // verified) before the controller re-enters dynamic mode.
+  uint32_t degraded_recovery_ticks = 2;
+  // Interval IPC above this is implausible for any real core; such samples
+  // are quarantined as counter garbage. Far above any simulated IPC (<= 4)
+  // so fault-free runs are unaffected.
+  double counter_sanity_max_ipc = 16.0;
 };
 
 }  // namespace dcat

@@ -81,6 +81,14 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
       c.donor_shrink_fraction = d;
     } else if (key == "interval_seconds" && ParseDouble(value, &d)) {
       c.interval_seconds = d;
+    } else if (key == "max_write_retries" && ParseUint(value, &u)) {
+      c.max_write_retries = static_cast<uint32_t>(u);
+    } else if (key == "degraded_after_failures" && ParseUint(value, &u)) {
+      c.degraded_after_failures = static_cast<uint32_t>(u);
+    } else if (key == "degraded_recovery_ticks" && ParseUint(value, &u)) {
+      c.degraded_recovery_ticks = static_cast<uint32_t>(u);
+    } else if (key == "counter_sanity_max_ipc" && ParseDouble(value, &d)) {
+      c.counter_sanity_max_ipc = d;
     } else {
       fail("unknown key or bad value: '" + key + "' = '" + value + "'");
       return result;
@@ -111,6 +119,18 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
   }
   if (c.interval_seconds <= 0.0) {
     result.error = "interval_seconds must be positive";
+    return result;
+  }
+  if (c.degraded_after_failures < 1) {
+    result.error = "degraded_after_failures must be >= 1";
+    return result;
+  }
+  if (c.degraded_recovery_ticks < 1) {
+    result.error = "degraded_recovery_ticks must be >= 1";
+    return result;
+  }
+  if (c.counter_sanity_max_ipc <= 0.0) {
+    result.error = "counter_sanity_max_ipc must be positive";
     return result;
   }
   result.ok = true;
@@ -148,6 +168,10 @@ std::string FormatDcatConfig(const DcatConfig& config) {
   out << "min_ways = " << config.min_ways << "\n";
   out << "donor_shrink_fraction = " << config.donor_shrink_fraction << "\n";
   out << "interval_seconds = " << config.interval_seconds << "\n";
+  out << "max_write_retries = " << config.max_write_retries << "\n";
+  out << "degraded_after_failures = " << config.degraded_after_failures << "\n";
+  out << "degraded_recovery_ticks = " << config.degraded_recovery_ticks << "\n";
+  out << "counter_sanity_max_ipc = " << config.counter_sanity_max_ipc << "\n";
   return out.str();
 }
 

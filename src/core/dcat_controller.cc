@@ -24,11 +24,11 @@ DcatController::DcatController(CatController* cat, const MonitoringProvider* mon
                                DcatConfig config)
     : cat_(cat), monitor_(monitor), config_(config) {}
 
-void DcatController::AddTenant(const TenantSpec& spec) {
+AdmitStatus DcatController::AddTenant(const TenantSpec& spec) {
   if (tenants_.size() + 1 >= cat_->NumCos()) {
     std::fprintf(stderr, "DcatController: tenant count exceeds COS limit (%u)\n",
                  cat_->NumCos());
-    std::abort();
+    return AdmitStatus::kTooManyTenants;
   }
   uint32_t baseline_total = spec.baseline_ways;
   for (const TenantState& t : tenants_) {
@@ -37,11 +37,11 @@ void DcatController::AddTenant(const TenantSpec& spec) {
   if (baseline_total > cat_->NumWays()) {
     std::fprintf(stderr, "DcatController: baseline ways oversubscribed (%u > %u)\n",
                  baseline_total, cat_->NumWays());
-    std::abort();
+    return AdmitStatus::kOversubscribed;
   }
   if (spec.baseline_ways < config_.min_ways) {
     std::fprintf(stderr, "DcatController: baseline below minimum allocation\n");
-    std::abort();
+    return AdmitStatus::kBelowMinimum;
   }
 
   // Recycle the lowest unused COS (COS 0 stays the unmanaged default).
@@ -58,7 +58,7 @@ void DcatController::AddTenant(const TenantSpec& spec) {
   }
   if (cos == 0) {
     std::fprintf(stderr, "DcatController: no free COS for tenant %u\n", spec.id);
-    std::abort();
+    return AdmitStatus::kNoFreeCos;
   }
 
   TenantState state{.spec = spec,
@@ -67,17 +67,27 @@ void DcatController::AddTenant(const TenantSpec& spec) {
                     .ways = config_.min_ways,
                     .detector = PhaseDetector(config_),
                     .book = PhaseBook(config_.phase_change_thr)};
-  // Initialize the counter snapshot so the first delta is sane.
+  // Initialize the counter snapshot so the first delta is sane. The MBM
+  // snapshot matters too: a recycled COS carries the previous owner's
+  // cumulative traffic.
   PerfCounterBlock sum;
   for (uint16_t core : spec.cores) {
     sum += monitor_->ReadCounters(core);
   }
   state.last_counters = sum;
+  state.last_mbm = monitor_->MemoryBandwidthBytes(cos);
 
-  for (uint16_t core : spec.cores) {
-    if (cat_->AssociateCore(core, state.cos) != PqosStatus::kOk) {
-      std::fprintf(stderr, "DcatController: AssociateCore(%u) failed\n", core);
-      std::abort();
+  for (size_t i = 0; i < spec.cores.size(); ++i) {
+    if (!AssociateWithRetry(spec.cores[i], state.cos, spec.id)) {
+      std::fprintf(stderr, "DcatController: AssociateCore(%u) failed\n", spec.cores[i]);
+      // Unwind the cores already moved; a failed release is parked for the
+      // reconciliation pass to keep retrying.
+      for (size_t j = 0; j < i; ++j) {
+        if (!AssociateWithRetry(spec.cores[j], 0, spec.id)) {
+          orphaned_cores_.push_back(spec.cores[j]);
+        }
+      }
+      return AdmitStatus::kBackendError;
     }
   }
   tenants_.push_back(std::move(state));
@@ -114,7 +124,18 @@ void DcatController::AddTenant(const TenantSpec& spec) {
     --targets[victim];
     --used;
   }
-  ApplyMasks(targets);
+  if (!ApplyMasks(targets)) {
+    // Admission writes failed even with retries: undo the tenant. Survivor
+    // masks were rolled back by ApplyMasks; release the newcomer's cores.
+    for (uint16_t core : spec.cores) {
+      if (!AssociateWithRetry(core, 0, spec.id)) {
+        orphaned_cores_.push_back(core);
+      }
+    }
+    tenants_.pop_back();
+    std::fprintf(stderr, "DcatController: admission masks failed for tenant %u\n", spec.id);
+    return AdmitStatus::kBackendError;
+  }
   for (size_t i = 0; i + 1 < tenants_.size(); ++i) {
     if (targets[i] != before[i]) {
       sinks_.OnAllocation(AllocationEvent{.tick = tick_,
@@ -131,6 +152,7 @@ void DcatController::AddTenant(const TenantSpec& spec) {
                                       .from_ways = 0,
                                       .to_ways = config_.min_ways});
   metrics_.counter("controller.admissions").Increment();
+  return AdmitStatus::kOk;
 }
 
 bool DcatController::HasTenant(TenantId id) const {
@@ -146,9 +168,13 @@ void DcatController::RemoveTenant(TenantId id) {
   }
   const uint32_t released_ways = it->ways;
   // Return the cores to the unmanaged class; the departed tenant's lines
-  // are evicted naturally by the ways' next owners.
+  // are evicted naturally by the ways' next owners. A core whose release
+  // fails is parked as an orphan and retried by the reconciliation pass —
+  // losing track of it would leave the core filling another tenant's ways.
   for (uint16_t core : it->spec.cores) {
-    cat_->AssociateCore(core, 0);
+    if (!AssociateWithRetry(core, 0, id)) {
+      orphaned_cores_.push_back(core);
+    }
   }
   tenants_.erase(it);
   // Re-layout the survivors; the freed ways join the pool implicitly.
@@ -180,16 +206,87 @@ const DcatController::TenantState& DcatController::FindTenant(TenantId id) const
   return const_cast<DcatController*>(this)->FindTenant(id);
 }
 
-// --- Step 2: Collect Statistics ---
+// --- Step 2: Collect Statistics (with counter-anomaly quarantine) ---
+
+std::optional<CounterAnomalyKind> DcatController::ClassifyAnomaly(
+    const TenantState& tenant, const PerfCounterBlock& sum, const PerfCounterBlock& delta,
+    uint64_t mbm_delta) const {
+  const PerfCounterBlock& last = tenant.last_counters;
+  // Cumulative counters never go backwards on a sane backend; a wrap shows
+  // up the same way, so both report kNonMonotonic here.
+  if (sum.retired_instructions < last.retired_instructions ||
+      sum.unhalted_cycles < last.unhalted_cycles || sum.l1_references < last.l1_references ||
+      sum.l1_misses < last.l1_misses || sum.l2_references < last.l2_references ||
+      sum.l2_misses < last.l2_misses || sum.llc_references < last.llc_references ||
+      sum.llc_misses < last.llc_misses) {
+    return CounterAnomalyKind::kNonMonotonic;
+  }
+  // Frozen perf counters: the per-core counter path reports a dead-flat
+  // interval while the independent MBM path shows the tenant still moving
+  // DRAM traffic. Both signals flat is a genuinely stalled or idle interval
+  // (a halted vCPU, or a low-IPC workload whose last scheduling quantum
+  // overshot the interval boundary) and must be treated as idle, exactly as
+  // a fault-free controller would.
+  if (tenant.prev_active && mbm_delta > 0 && delta.retired_instructions == 0 &&
+      delta.unhalted_cycles == 0.0 && delta.l1_references == 0) {
+    return CounterAnomalyKind::kFrozen;
+  }
+  // Impossible ratios: more misses than references at any level, or IPC far
+  // beyond what any core retires.
+  if (delta.l1_misses > delta.l1_references || delta.l2_misses > delta.l2_references ||
+      delta.llc_misses > delta.llc_references) {
+    return CounterAnomalyKind::kGarbage;
+  }
+  if (delta.unhalted_cycles > 0.0 && delta.Ipc() > config_.counter_sanity_max_ipc) {
+    return CounterAnomalyKind::kGarbage;
+  }
+  return std::nullopt;
+}
 
 WorkloadSample DcatController::CollectSample(TenantState& tenant) {
   PerfCounterBlock sum;
   for (uint16_t core : tenant.spec.cores) {
     sum += monitor_->ReadCounters(core);
   }
+  const PerfCounterBlock delta = sum - tenant.last_counters;
+  // The MBM path is read unconditionally: it is the cross-check the frozen
+  // classification relies on, and it stays trustworthy even while the
+  // per-core counters are quarantined (separate hardware path).
+  const uint64_t mbm = monitor_->MemoryBandwidthBytes(tenant.cos);
+  const uint64_t mbm_delta = mbm >= tenant.last_mbm ? mbm - tenant.last_mbm : 0;
+  tenant.last_mbm = mbm;
+  const auto anomaly = ClassifyAnomaly(tenant, sum, delta, mbm_delta);
   WorkloadSample sample;
-  sample.delta = sum - tenant.last_counters;
-  tenant.last_counters = sum;
+  tenant.quarantined = anomaly.has_value();
+  if (!anomaly.has_value()) {
+    sample.delta = delta;
+    tenant.last_counters = sum;
+    tenant.anomaly_streak = 0;
+    tenant.prev_active = delta.retired_instructions > 0;
+    return sample;
+  }
+  // Quarantine: the sample stays zeroed and is folded into nothing — not
+  // EWMAs, not phase detection, not the performance tables. last_counters
+  // is *kept*, so the next clean interval yields a multi-interval delta
+  // whose ratios (IPC, miss rates, mem/ins) are still correct.
+  ++tenant.anomaly_streak;
+  // A frozen counter quarantines only while the MBM cross-check proves the
+  // tenant alive; the moment the workload genuinely stops, MBM goes flat
+  // and the zero delta classifies as a clean idle interval — so frozen
+  // quarantine self-limits without a streak cap.
+  if (*anomaly == CounterAnomalyKind::kNonMonotonic && tenant.anomaly_streak >= 3) {
+    // A persistent backwards level is a true wrap (the counter lost its
+    // high bits for good): re-anchor the snapshot so deltas resume from
+    // the new base instead of quarantining forever.
+    tenant.last_counters = sum;
+  }
+  sinks_.OnCounterAnomaly(CounterAnomalyEvent{.tick = tick_,
+                                              .tenant = tenant.spec.id,
+                                              .kind = *anomaly,
+                                              .streak = tenant.anomaly_streak});
+  metrics_.counter("faults.counter_anomalies").Increment();
+  metrics_.counter(std::string("faults.counter_anomalies.") + CounterAnomalyKindName(*anomaly))
+      .Increment();
   return sample;
 }
 
@@ -273,6 +370,11 @@ void DcatController::Categorize(TenantState& tenant) {
 
   switch (tenant.category) {
     case Category::kReclaim: {
+      if (tenant.ways < tenant.spec.baseline_ways) {
+        // The reclaim never landed (a backend failure rolled the apply
+        // back): keep the intent and let allocation retry this interval.
+        return;
+      }
       // The interval after a reclaim: baseline was (re-)measured by
       // UpdateBaselineAndTable; resume normal operation as Keeper.
       tenant.category = Category::kKeeper;
@@ -426,10 +528,32 @@ void DcatController::AllocateAndApply() {
     before[i] = tenants_[i].ways;
   }
 
+  // Snapshot the decision state passes 1-3 mutate: if the apply fails, the
+  // allocation never happened and next tick's decisions must start from the
+  // pre-apply state (e.g. measuring_baseline armed for ways that were never
+  // programmed would corrupt the phase baseline).
+  struct SavedDecision {
+    Category category;
+    bool measuring_baseline;
+    bool grow_denied;
+  };
+  std::vector<SavedDecision> saved(n);
+  for (size_t i = 0; i < n; ++i) {
+    saved[i] = {tenants_[i].category, tenants_[i].measuring_baseline,
+                tenants_[i].grow_denied};
+  }
+
   // Pass 1: fixed demands.
   for (size_t i = 0; i < n; ++i) {
     TenantState& t = tenants_[i];
     t.grow_denied = false;
+    if (t.quarantined) {
+      // No trustworthy sample this interval: hold the allocation steady.
+      // Every category branch below keys off the (zeroed) sample and would
+      // misread the tenant as idle and strip it to the minimum.
+      targets[i] = std::max(t.ways, config_.min_ways);
+      continue;
+    }
     switch (t.category) {
       case Category::kReclaim: {
         if (t.detector.idle()) {
@@ -524,7 +648,7 @@ void DcatController::AllocateAndApply() {
   for (Category cls : {Category::kUnknown, Category::kReceiver}) {
     for (size_t i = 0; i < n && pool > 0; ++i) {
       TenantState& t = tenants_[i];
-      if (t.category != cls || t.measuring_baseline) {
+      if (t.category != cls || t.measuring_baseline || t.quarantined) {
         continue;
       }
       // Only grow once the phase baseline is established.
@@ -538,7 +662,8 @@ void DcatController::AllocateAndApply() {
     // Anyone in this class who wanted a way but got none?
     for (size_t i = 0; i < n; ++i) {
       TenantState& t = tenants_[i];
-      if (t.category == cls && !t.measuring_baseline && targets[i] <= t.ways && pool == 0) {
+      if (t.category == cls && !t.measuring_baseline && !t.quarantined &&
+          targets[i] <= t.ways && pool == 0) {
         t.grow_denied = true;
       }
     }
@@ -556,7 +681,31 @@ void DcatController::AllocateAndApply() {
     }
   }
 
-  ApplyMasks(targets);
+  if (!ApplyMasks(targets)) {
+    // The allocation never took effect: roll the decision state back so the
+    // next interval re-derives it from allocations that actually ran, and
+    // count the failure toward graceful degradation.
+    for (size_t i = 0; i < n; ++i) {
+      tenants_[i].category = saved[i].category;
+      tenants_[i].measuring_baseline = saved[i].measuring_baseline;
+      tenants_[i].grow_denied = saved[i].grow_denied;
+      if (reason[i] == AllocationReason::kReclaim) {
+        // A reclaim that failed to program must not be forgotten: the
+        // phase-change edge that triggered it was already consumed by the
+        // detector, so restoring the pre-tick category would strand the
+        // tenant below its contracted baseline. Park it in Reclaim and
+        // retry next interval.
+        tenants_[i].category = Category::kReclaim;
+      }
+    }
+    ++consecutive_apply_failures_;
+    metrics_.counter("faults.apply_failures").Increment();
+    if (consecutive_apply_failures_ >= config_.degraded_after_failures) {
+      EnterDegraded();
+    }
+    return;
+  }
+  consecutive_apply_failures_ = 0;
   metrics_.gauge("controller.pool_ways").Set(static_cast<double>(total - used()));
 
   // Publish the decisions: every change carries its reason; a denied grow
@@ -650,26 +799,262 @@ void DcatController::MaxPerformanceRebalance(std::vector<uint32_t>& targets) {
                    << solution_value;
 }
 
-void DcatController::ApplyMasks(const std::vector<uint32_t>& targets) {
-  const std::vector<uint32_t> masks = LayoutMasks(targets, cat_->NumWays());
+// --- fault-tolerant write primitives ---
+
+bool DcatController::WriteMaskWithRetry(uint8_t cos, TenantId tenant, uint32_t mask) {
+  uint32_t attempts = 0;
+  bool ok = false;
+  for (uint32_t attempt = 0; attempt <= config_.max_write_retries; ++attempt) {
+    ++attempts;
+    if (cat_->SetCosMask(cos, mask) != PqosStatus::kOk) {
+      metrics_.counter("faults.write_errors").Increment();
+      continue;
+    }
+    // Verify-after-write: a backend may acknowledge and still not program
+    // the mask (silent drop); only the readback is believed.
+    if (cat_->GetCosMask(cos) != mask) {
+      metrics_.counter("faults.silent_drops_detected").Increment();
+      continue;
+    }
+    ok = true;
+    break;
+  }
+  if (attempts > 1 || !ok) {
+    sinks_.OnBackendFault(BackendFaultEvent{.tick = tick_,
+                                            .tenant = tenant,
+                                            .op = BackendOp::kSetCosMask,
+                                            .attempts = attempts,
+                                            .recovered = ok});
+    metrics_.counter(ok ? "faults.write_recovered" : "faults.write_failures").Increment();
+  }
+  return ok;
+}
+
+bool DcatController::AssociateWithRetry(uint16_t core, uint8_t cos, TenantId tenant) {
+  uint32_t attempts = 0;
+  bool ok = false;
+  for (uint32_t attempt = 0; attempt <= config_.max_write_retries; ++attempt) {
+    ++attempts;
+    if (cat_->AssociateCore(core, cos) != PqosStatus::kOk) {
+      metrics_.counter("faults.write_errors").Increment();
+      continue;
+    }
+    if (cat_->GetCoreAssociation(core) != cos) {
+      metrics_.counter("faults.silent_drops_detected").Increment();
+      continue;
+    }
+    ok = true;
+    break;
+  }
+  if (attempts > 1 || !ok) {
+    sinks_.OnBackendFault(BackendFaultEvent{.tick = tick_,
+                                            .tenant = tenant,
+                                            .op = BackendOp::kAssociateCore,
+                                            .attempts = attempts,
+                                            .recovered = ok});
+    metrics_.counter(ok ? "faults.write_recovered" : "faults.write_failures").Increment();
+  }
+  return ok;
+}
+
+bool DcatController::ApplyMasks(const std::vector<uint32_t>& targets) {
+  const auto masks = LayoutMasks(targets, cat_->NumWays());
+  if (!masks.has_value()) {
+    // Targets come from this controller's own allocator under invariants it
+    // enforces (Σ targets <= ways, every target >= min_ways >= 1); an
+    // inexpressible layout is a programmer error, not a backend fault.
+    std::fprintf(stderr, "DcatController: allocator produced an inexpressible layout\n");
+    std::abort();
+  }
+  // Phase 1: program every changed mask; remember what landed so a partial
+  // failure can be rolled back (leaving overlapping masks across tenants
+  // until the next reconcile would break isolation, not just optimality).
+  std::vector<size_t> written;
+  bool failed = false;
   for (size_t i = 0; i < tenants_.size(); ++i) {
     TenantState& t = tenants_[i];
-    t.ways = targets[i];
-    if (cat_->SetCosMask(t.cos, masks[i]) != PqosStatus::kOk) {
-      std::fprintf(stderr, "DcatController: SetCosMask failed for tenant %u\n", t.spec.id);
-      std::abort();
+    if (t.mask == (*masks)[i]) {
+      continue;  // already acknowledged at this value
+    }
+    if (!WriteMaskWithRetry(t.cos, t.spec.id, (*masks)[i])) {
+      failed = true;
+      break;
+    }
+    written.push_back(i);
+  }
+  if (failed) {
+    for (size_t i : written) {
+      const TenantState& t = tenants_[i];
+      if (t.mask != 0) {
+        // Best effort: an unrecoverable rollback leaves drift that the
+        // per-tick reconciliation keeps repairing.
+        WriteMaskWithRetry(t.cos, t.spec.id, t.mask);
+      }
+    }
+    return false;
+  }
+  // Phase 2: the backend acknowledged everything — commit the bookkeeping.
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    tenants_[i].ways = targets[i];
+    tenants_[i].mask = (*masks)[i];
+  }
+  return true;
+}
+
+void DcatController::ReconcileBackend() {
+  // Keep retrying core releases that failed during tenant removal. A core
+  // re-admitted to a live tenant, or already back in COS 0, is done.
+  for (auto it = orphaned_cores_.begin(); it != orphaned_cores_.end();) {
+    const uint16_t core = *it;
+    const bool owned_by_live_tenant =
+        std::any_of(tenants_.begin(), tenants_.end(), [core](const TenantState& t) {
+          return std::find(t.spec.cores.begin(), t.spec.cores.end(), core) !=
+                 t.spec.cores.end();
+        });
+    if (owned_by_live_tenant || cat_->GetCoreAssociation(core) == 0 ||
+        AssociateWithRetry(core, 0, 0)) {
+      it = orphaned_cores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Audit the backend against the acknowledged state: silent drops and
+  // external interference surface here as drift, and get re-programmed.
+  for (TenantState& t : tenants_) {
+    if (t.mask != 0) {
+      const uint32_t actual = cat_->GetCosMask(t.cos);
+      if (actual != t.mask) {
+        const bool repaired = WriteMaskWithRetry(t.cos, t.spec.id, t.mask);
+        sinks_.OnMaskDrift(MaskDriftEvent{.tick = tick_,
+                                          .tenant = t.spec.id,
+                                          .cos = t.cos,
+                                          .expected = t.mask,
+                                          .actual = actual,
+                                          .association = false,
+                                          .core = 0,
+                                          .repaired = repaired});
+        metrics_
+            .counter(repaired ? "faults.mask_drift_repaired" : "faults.mask_drift_unrepaired")
+            .Increment();
+      }
+    }
+    for (uint16_t core : t.spec.cores) {
+      const uint8_t actual_cos = cat_->GetCoreAssociation(core);
+      if (actual_cos != t.cos) {
+        const bool repaired = AssociateWithRetry(core, t.cos, t.spec.id);
+        sinks_.OnMaskDrift(MaskDriftEvent{.tick = tick_,
+                                          .tenant = t.spec.id,
+                                          .cos = t.cos,
+                                          .expected = t.cos,
+                                          .actual = actual_cos,
+                                          .association = true,
+                                          .core = core,
+                                          .repaired = repaired});
+        metrics_
+            .counter(repaired ? "faults.mask_drift_repaired" : "faults.mask_drift_unrepaired")
+            .Increment();
+      }
     }
   }
 }
 
-void DcatController::Tick() {
-  ++tick_;
+// --- graceful degradation (the paper's safety contract as a fallback) ---
+
+void DcatController::EnterDegraded() {
+  mode_ = Mode::kDegraded;
+  degraded_clean_ticks_ = 0;
+  for (TenantState& t : tenants_) {
+    // Degraded mode pins everyone at their contracted baseline — exactly a
+    // reclaim of the static partition. Dynamic decision state is disarmed.
+    t.category = Category::kReclaim;
+    t.measuring_baseline = false;
+    t.grow_denied = false;
+  }
+  sinks_.OnModeChange(ModeChangeEvent{.tick = tick_,
+                                      .degraded = true,
+                                      .consecutive_failures = consecutive_apply_failures_});
+  metrics_.counter("faults.degraded_entries").Increment();
+  metrics_.gauge("controller.degraded_mode").Set(1.0);
+}
+
+void DcatController::ExitDegraded() {
+  mode_ = Mode::kDynamic;
+  consecutive_apply_failures_ = 0;
+  for (TenantState& t : tenants_) {
+    // Re-enter dynamic mode as a Keeper measuring a fresh baseline: the
+    // tenant has been running at baseline ways throughout degraded mode, so
+    // the next interval's sample is a valid baseline measurement. (Reclaim
+    // would be flipped to Keeper by the categorizer before allocation saw
+    // it, so it is not a usable re-entry state.)
+    t.category = Category::kKeeper;
+    t.measuring_baseline = true;
+    t.has_last_ipc = false;
+    t.grow_denied = false;
+  }
+  sinks_.OnModeChange(
+      ModeChangeEvent{.tick = tick_, .degraded = false, .consecutive_failures = 0});
+  metrics_.counter("faults.degraded_exits").Increment();
+  metrics_.gauge("controller.degraded_mode").Set(0.0);
+}
+
+void DcatController::DegradedTick() {
   for (TenantState& t : tenants_) {
     t.category_at_tick_start = t.category;
     t.sample = CollectSample(t);
-    DetectPhase(t);
-    UpdateBaselineAndTable(t);
-    Categorize(t);
+    t.phase_changed = false;
+    t.prev_interval_ways = t.ways;
+  }
+  const size_t n = tenants_.size();
+  std::vector<uint32_t> before(n, 0);
+  std::vector<uint32_t> targets(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    before[i] = tenants_[i].ways;
+    targets[i] = std::max(tenants_[i].spec.baseline_ways, config_.min_ways);
+  }
+  // Σ baselines <= total ways (admission control), so this always fits.
+  if (ApplyMasks(targets)) {
+    consecutive_apply_failures_ = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (targets[i] != before[i]) {
+        sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                            .tenant = tenants_[i].spec.id,
+                                            .reason = AllocationReason::kDegradedBaseline,
+                                            .from_ways = before[i],
+                                            .to_ways = targets[i]});
+        metrics_.counter("controller.alloc.degraded-baseline").Increment();
+      }
+    }
+    ++degraded_clean_ticks_;
+    if (degraded_clean_ticks_ >= config_.degraded_recovery_ticks) {
+      ExitDegraded();
+    }
+  } else {
+    ++consecutive_apply_failures_;
+    metrics_.counter("faults.apply_failures").Increment();
+    degraded_clean_ticks_ = 0;
+  }
+  EmitTickEventsAndMetrics();
+}
+
+void DcatController::Tick() {
+  ++tick_;
+  ReconcileBackend();
+  if (mode_ == Mode::kDegraded) {
+    DegradedTick();
+    return;
+  }
+  for (TenantState& t : tenants_) {
+    t.category_at_tick_start = t.category;
+    t.sample = CollectSample(t);
+    if (t.quarantined) {
+      // The interval's telemetry is untrustworthy: freeze every decision
+      // input (phase detection, baselines, tables, categories) this tick.
+      t.phase_changed = false;
+    } else {
+      DetectPhase(t);
+      UpdateBaselineAndTable(t);
+      Categorize(t);
+    }
     t.prev_interval_ways = t.ways;
   }
   const auto alloc_start = std::chrono::steady_clock::now();
@@ -762,6 +1147,7 @@ ControllerSnapshot DcatController::Snapshot() const {
   s.tick = tick_;
   s.policy = config_.policy;
   s.total_ways = cat_->NumWays();
+  s.degraded = mode_ == Mode::kDegraded;
   s.tenants.reserve(tenants_.size());
   for (const TenantState& t : tenants_) {
     s.tenants.push_back(MakeSnapshot(t));

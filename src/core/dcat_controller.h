@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,9 @@ struct ControllerSnapshot {
   uint32_t total_ways = 0;
   uint32_t allocated_ways = 0;
   uint32_t pool_ways = 0;
+  // True while the controller has fallen back to the static baseline
+  // partition after repeated backend failures.
+  bool degraded = false;
   std::vector<TenantSnapshot> tenants;
 };
 
@@ -87,7 +91,7 @@ class DcatController : public CacheManager {
   DcatController(CatController* cat, const MonitoringProvider* monitor, DcatConfig config);
 
   std::string name() const override { return "dcat"; }
-  void AddTenant(const TenantSpec& spec) override;
+  AdmitStatus AddTenant(const TenantSpec& spec) override;
   // Releases the tenant's ways into the free pool and recycles its COS
   // (the freed class of service is reused by the next admission).
   void RemoveTenant(TenantId id) override;
@@ -95,6 +99,9 @@ class DcatController : public CacheManager {
   uint32_t TenantWays(TenantId id) const override;
   size_t num_tenants() const { return tenants_.size(); }
   bool HasTenant(TenantId id) const;
+  // True while the controller runs the static-baseline fallback after
+  // repeated backend failures (it keeps retrying to re-enter dynamic mode).
+  bool degraded() const { return mode_ == Mode::kDegraded; }
 
   // --- introspection ---
 
@@ -139,6 +146,10 @@ class DcatController : public CacheManager {
     uint8_t cos = 0;
     Category category = Category::kDonor;  // pre-arrival: nothing running
     uint32_t ways = 1;        // allocation in effect (== during last interval)
+    // Capacity mask the backend acknowledged for this tenant's COS; the
+    // reference reconciliation compares GetCosMask against. 0 = never
+    // successfully programmed.
+    uint32_t mask = 0;
     PerfCounterBlock last_counters;
     PhaseDetector detector;
     PhaseBook book;
@@ -159,7 +170,17 @@ class DcatController : public CacheManager {
     WorkloadSample sample;  // scratch: this tick's sample
     bool phase_changed = false;  // scratch
     Category category_at_tick_start = Category::kDonor;  // scratch
+    // --- counter-anomaly quarantine ---
+    uint32_t anomaly_streak = 0;   // consecutive quarantined intervals
+    bool prev_active = false;      // last accepted interval showed activity
+    bool quarantined = false;      // scratch: this tick's sample was rejected
+    // Cumulative MBM bytes of the tenant's COS at the last sample — the
+    // independent liveness signal that separates frozen perf counters
+    // (MBM still moving) from a genuinely stalled/idle interval (MBM flat).
+    uint64_t last_mbm = 0;
   };
+
+  enum class Mode { kDynamic, kDegraded };
 
   TenantState& FindTenant(TenantId id);
   const TenantState& FindTenant(TenantId id) const;
@@ -170,7 +191,30 @@ class DcatController : public CacheManager {
   void Categorize(TenantState& tenant);
   void AllocateAndApply();
   void MaxPerformanceRebalance(std::vector<uint32_t>& targets);
-  void ApplyMasks(const std::vector<uint32_t>& targets);
+  // Transactionally programs the target allocation: nothing commits to the
+  // controller's bookkeeping unless every mask write is acknowledged (a
+  // partial failure rolls the written masks back). Returns false on failure.
+  bool ApplyMasks(const std::vector<uint32_t>& targets);
+
+  // --- fault tolerance ---
+  // Bounded-retry, verify-after-write primitives. On real hardware the
+  // retry loop would back off between attempts; here retries are immediate
+  // (the simulated backend has no time axis inside a tick).
+  bool WriteMaskWithRetry(uint8_t cos, TenantId tenant, uint32_t mask);
+  bool AssociateWithRetry(uint16_t core, uint8_t cos, TenantId tenant);
+  // Start-of-tick audit: re-programs masks/associations that drifted from
+  // the acknowledged state (silent drops, external interference) and keeps
+  // retrying orphaned core releases from failed removals.
+  void ReconcileBackend();
+  // Counter-anomaly quarantine over the summed per-tenant delta; returns
+  // the detected anomaly kind, or nullopt for a plausible sample.
+  std::optional<CounterAnomalyKind> ClassifyAnomaly(const TenantState& tenant,
+                                                    const PerfCounterBlock& sum,
+                                                    const PerfCounterBlock& delta,
+                                                    uint64_t mbm_delta) const;
+  void EnterDegraded();
+  void ExitDegraded();
+  void DegradedTick();
 
   TenantSnapshot MakeSnapshot(const TenantState& tenant) const;
   double NormalizedIpc(const TenantState& tenant) const;
@@ -189,6 +233,12 @@ class DcatController : public CacheManager {
   std::vector<TenantState> tenants_;
   uint64_t tick_ = 0;
   bool logging_ = true;
+  Mode mode_ = Mode::kDynamic;
+  uint32_t consecutive_apply_failures_ = 0;
+  uint32_t degraded_clean_ticks_ = 0;
+  // Cores whose release (AssociateCore(core, 0)) failed during tenant
+  // removal; retried every reconciliation pass.
+  std::vector<uint16_t> orphaned_cores_;
   EventFanout sinks_;
   DecisionLog decision_log_;
   MetricsRegistry metrics_;

@@ -27,16 +27,45 @@ struct TenantSpec {
   uint32_t baseline_ways = 1;
 };
 
+// Outcome of an admission request. A bad tenant spec is a rejected request,
+// not a dead daemon: the cloud scheduler upstream retries elsewhere.
+enum class AdmitStatus {
+  kOk,
+  kTooManyTenants,  // COS entries exhausted by tenant count
+  kOversubscribed,  // Σ baseline ways would exceed the LLC
+  kBelowMinimum,    // baseline_ways below the manager's minimum allocation
+  kNoFreeCos,       // no class of service left to program
+  kBackendError,    // the CAT backend refused the admission writes
+};
+
+inline constexpr const char* AdmitStatusName(AdmitStatus status) {
+  switch (status) {
+    case AdmitStatus::kOk:
+      return "ok";
+    case AdmitStatus::kTooManyTenants:
+      return "too-many-tenants";
+    case AdmitStatus::kOversubscribed:
+      return "oversubscribed";
+    case AdmitStatus::kBelowMinimum:
+      return "below-minimum";
+    case AdmitStatus::kNoFreeCos:
+      return "no-free-cos";
+    case AdmitStatus::kBackendError:
+      return "backend-error";
+  }
+  return "?";
+}
+
 class CacheManager {
  public:
   virtual ~CacheManager() = default;
 
   virtual std::string name() const = 0;
 
-  // Admits a tenant. Aborts on contract violations (too many tenants for
-  // the COS count, oversubscribed baseline ways) — admission control is the
-  // cloud scheduler's job, upstream of the cache manager.
-  virtual void AddTenant(const TenantSpec& spec) = 0;
+  // Admits a tenant. Contract violations (too many tenants for the COS
+  // count, oversubscribed baseline ways, backend refusal) reject the
+  // request; on non-kOk the manager's state is unchanged.
+  virtual AdmitStatus AddTenant(const TenantSpec& spec) = 0;
 
   // Evicts a tenant (VM terminated / migrated): its cores return to the
   // unmanaged COS 0 and its cache resources are recycled. Unknown ids are

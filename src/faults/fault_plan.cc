@@ -1,0 +1,161 @@
+#include "src/faults/fault_plan.h"
+
+#include <array>
+
+#include "src/common/rng.h"
+
+namespace dcat {
+namespace {
+
+// Decision streams keep the hash inputs of unrelated fault families
+// disjoint even when (tick, index) collide.
+enum Stream : uint64_t {
+  kStreamWriteKind = 1,
+  kStreamOutageStart = 2,
+  kStreamOutageLength = 3,
+  kStreamAnomalyFire = 4,
+  kStreamAnomalyKind = 5,
+};
+
+uint64_t Mix(uint64_t seed, uint64_t stream, uint64_t a, uint64_t b) {
+  uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  (void)SplitMix64(state);
+  state ^= a * 0xbf58476d1ce4e5b9ULL;
+  (void)SplitMix64(state);
+  state ^= b * 0x94d049bb133111ebULL;
+  return SplitMix64(state);
+}
+
+}  // namespace
+
+FaultProfile TransientProfile() {
+  FaultProfile p;
+  p.name = "transient";
+  p.transient_write_rate = 0.15;
+  p.transient_burst = 2;
+  return p;
+}
+
+FaultProfile SilentDriftProfile() {
+  FaultProfile p;
+  p.name = "silent-drift";
+  p.silent_drop_rate = 0.15;
+  p.drop_burst = 1;
+  return p;
+}
+
+FaultProfile CounterGarbageProfile() {
+  FaultProfile p;
+  p.name = "counter-garbage";
+  p.counter_anomaly_rate = 0.10;
+  return p;
+}
+
+FaultProfile PersistentOutageProfile() {
+  FaultProfile p;
+  p.name = "persistent-outage";
+  p.outage_rate = 0.08;
+  p.outage_min_ticks = 3;
+  p.outage_max_ticks = 6;
+  return p;
+}
+
+FaultProfile MixedChaosProfile() {
+  FaultProfile p;
+  p.name = "mixed";
+  p.transient_write_rate = 0.10;
+  p.transient_burst = 2;
+  p.silent_drop_rate = 0.08;
+  p.drop_burst = 1;
+  p.outage_rate = 0.04;
+  p.outage_min_ticks = 2;
+  p.outage_max_ticks = 4;
+  p.counter_anomaly_rate = 0.06;
+  return p;
+}
+
+std::optional<FaultProfile> FaultProfileByName(const std::string& name) {
+  if (name == "transient") return TransientProfile();
+  if (name == "silent-drift") return SilentDriftProfile();
+  if (name == "counter-garbage") return CounterGarbageProfile();
+  if (name == "persistent-outage") return PersistentOutageProfile();
+  if (name == "mixed") return MixedChaosProfile();
+  return std::nullopt;
+}
+
+FaultPlan::FaultPlan(uint64_t seed, FaultProfile profile)
+    : seed_(seed), profile_(std::move(profile)) {}
+
+double FaultPlan::UnitHash(uint64_t stream, uint64_t a, uint64_t b) const {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Mix(seed_, stream, a, b) >> 11) * 0x1.0p-53;
+}
+
+void FaultPlan::AdvanceTick() {
+  ++tick_;
+  if (!Active() || profile_.outage_rate <= 0.0) {
+    return;
+  }
+  // Outages are drawn sequentially and never overlap: a tick already inside
+  // an outage window cannot start a new one.
+  if (tick_ < outage_until_) {
+    return;
+  }
+  if (UnitHash(kStreamOutageStart, tick_, 0) < profile_.outage_rate) {
+    const uint64_t span = profile_.outage_max_ticks > profile_.outage_min_ticks
+                              ? profile_.outage_max_ticks - profile_.outage_min_ticks + 1
+                              : 1;
+    const uint64_t length =
+        profile_.outage_min_ticks +
+        Mix(seed_, kStreamOutageLength, tick_, 0) % span;
+    outage_until_ = tick_ + length;
+  }
+}
+
+bool FaultPlan::Active() const {
+  if (tick_ == 0) {
+    return false;
+  }
+  return profile_.active_ticks == 0 || tick_ <= profile_.active_ticks;
+}
+
+bool FaultPlan::InOutage() const { return Active() && tick_ < outage_until_; }
+
+WriteFault FaultPlan::OnWrite(BackendOp op, uint32_t index, uint32_t attempt) const {
+  if (!Active()) {
+    return WriteFault::kNone;
+  }
+  if (InOutage()) {
+    return WriteFault::kIoError;  // the whole control surface is down
+  }
+  const uint64_t key = (static_cast<uint64_t>(op) << 32) | index;
+  const double roll = UnitHash(kStreamWriteKind, tick_, key);
+  if (roll < profile_.transient_write_rate) {
+    return attempt < profile_.transient_burst ? WriteFault::kIoError : WriteFault::kNone;
+  }
+  if (roll < profile_.transient_write_rate + profile_.silent_drop_rate) {
+    return attempt < profile_.drop_burst ? WriteFault::kSilentDrop : WriteFault::kNone;
+  }
+  return WriteFault::kNone;
+}
+
+std::optional<CounterAnomalyKind> FaultPlan::OnReadCounters(uint16_t core) const {
+  if (!Active() || profile_.counter_anomaly_rate <= 0.0) {
+    return std::nullopt;
+  }
+  if (UnitHash(kStreamAnomalyFire, tick_, core) >= profile_.counter_anomaly_rate) {
+    return std::nullopt;
+  }
+  std::array<CounterAnomalyKind, 4> enabled{};
+  size_t n = 0;
+  if (profile_.anomaly_non_monotonic) enabled[n++] = CounterAnomalyKind::kNonMonotonic;
+  if (profile_.anomaly_wrapped) enabled[n++] = CounterAnomalyKind::kWrapped;
+  if (profile_.anomaly_frozen) enabled[n++] = CounterAnomalyKind::kFrozen;
+  if (profile_.anomaly_garbage) enabled[n++] = CounterAnomalyKind::kGarbage;
+  if (n == 0) {
+    return std::nullopt;
+  }
+  return enabled[Mix(seed_, kStreamAnomalyKind, tick_, core) % n];
+}
+
+}  // namespace dcat

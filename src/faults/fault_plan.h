@@ -1,0 +1,116 @@
+// Deterministic fault schedules for the FaultyPqos injection decorator.
+//
+// A FaultPlan turns (seed, profile) into a pure function from control-plane
+// operations to faults: every decision is a stateless hash of
+// (seed, tick, op, index, attempt), so replaying the same seed reproduces the
+// exact fault schedule regardless of call interleaving — the property the
+// chaos fuzzer relies on for byte-identical replays. The plan never fires at
+// tick 0 (before the first AdvanceTick), so initial admissions always program
+// the backend cleanly and faults exercise the *running* control loop.
+#ifndef SRC_FAULTS_FAULT_PLAN_H_
+#define SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/telemetry/events.h"
+
+namespace dcat {
+
+// What a FaultPlan does to one CAT write attempt.
+enum class WriteFault {
+  kNone,        // forward to the real backend
+  kIoError,     // return kIoError without touching the backend
+  kSilentDrop,  // return kOk without touching the backend (silent drift)
+};
+
+// Tunable fault mix. Rates are per-decision probabilities in [0, 1].
+struct FaultProfile {
+  std::string name = "none";
+
+  // Transient kIoError on SetCosMask/AssociateCore: the first
+  // `transient_burst` attempts of an afflicted write fail, then it succeeds —
+  // the shape a bounded-retry loop must absorb.
+  double transient_write_rate = 0.0;
+  uint32_t transient_burst = 2;
+
+  // Dropped-but-reported-OK writes: the first `drop_burst` attempts of an
+  // afflicted write are swallowed. Only verify-after-write catches these.
+  double silent_drop_rate = 0.0;
+  uint32_t drop_burst = 1;
+
+  // Persistent outages: with probability `outage_rate` per tick, the control
+  // surface goes down for outage_min_ticks..outage_max_ticks whole ticks
+  // (every write attempt returns kIoError). Drives graceful degradation.
+  double outage_rate = 0.0;
+  uint32_t outage_min_ticks = 2;
+  uint32_t outage_max_ticks = 4;
+
+  // Per-(tick, core) counter anomalies among the enabled kinds.
+  double counter_anomaly_rate = 0.0;
+  bool anomaly_non_monotonic = true;
+  bool anomaly_wrapped = true;
+  bool anomaly_frozen = true;
+  bool anomaly_garbage = true;
+
+  // Faults only fire while 1 <= tick <= active_ticks (0 = no upper bound).
+  // Chaos runs cap this at the scenario length so a settle window after the
+  // last interval is fault-free and degraded mode can prove it re-enters
+  // dynamic operation.
+  uint64_t active_ticks = 0;
+};
+
+// Named profiles used by `dcat_fuzz --chaos` and the chaos CI job.
+FaultProfile TransientProfile();       // retry-able kIoError bursts
+FaultProfile SilentDriftProfile();     // dropped-but-OK writes
+FaultProfile CounterGarbageProfile();  // counter anomalies, all kinds
+FaultProfile PersistentOutageProfile();  // multi-tick outages
+FaultProfile MixedChaosProfile();      // everything at once
+
+// nullopt for unknown names. Accepts: "transient", "silent-drift",
+// "counter-garbage", "persistent-outage", "mixed".
+std::optional<FaultProfile> FaultProfileByName(const std::string& name);
+
+// A seeded, deterministic schedule over a FaultProfile. Default-constructed
+// plans are inert (profile "none", every rate 0).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(uint64_t seed, FaultProfile profile);
+
+  // Advances the plan to the next control interval. Outage windows are drawn
+  // here, sequentially, so they are independent of per-write call order.
+  void AdvanceTick();
+
+  uint64_t tick() const { return tick_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  // True while faults may fire (tick >= 1 and within active_ticks).
+  bool Active() const;
+
+  // True while a persistent outage covers the current tick.
+  bool InOutage() const;
+
+  // Fault decision for attempt `attempt` (0-based) of a write identified by
+  // (op, index) this tick. index is the COS for kSetCosMask, the core for
+  // kAssociateCore.
+  WriteFault OnWrite(BackendOp op, uint32_t index, uint32_t attempt) const;
+
+  // Counter anomaly (if any) for reads of `core` this tick. Every read of
+  // the same core in the same tick gets the same answer.
+  std::optional<CounterAnomalyKind> OnReadCounters(uint16_t core) const;
+
+ private:
+  // Stateless per-decision hash in [0, 1).
+  double UnitHash(uint64_t stream, uint64_t a, uint64_t b) const;
+
+  uint64_t seed_ = 0;
+  FaultProfile profile_;
+  uint64_t tick_ = 0;
+  uint64_t outage_until_ = 0;  // outage covers ticks in [start, outage_until_)
+};
+
+}  // namespace dcat
+
+#endif  // SRC_FAULTS_FAULT_PLAN_H_

@@ -1,0 +1,145 @@
+#include "src/faults/faulty_pqos.h"
+
+#include <utility>
+
+namespace dcat {
+namespace {
+
+// Modulus for the "wrapped" anomaly. A real 32-bit MSR wrap is the
+// motivating failure, but simulated cumulative counters stay well below
+// 2^32, so a mod-2^32 wrap would be a no-op; a 24-bit wrap actually sends
+// the counter backwards, which is the observable the quarantine must catch.
+constexpr uint64_t kWrapModulus = uint64_t{1} << 24;
+
+}  // namespace
+
+FaultyPqos::FaultyPqos(CatController* cat, MonitoringProvider* monitor, FaultPlan plan)
+    : cat_(cat), monitor_(monitor), plan_(std::move(plan)) {}
+
+void FaultyPqos::AdvanceTick() {
+  attempts_.clear();
+  plan_.AdvanceTick();
+}
+
+WriteFault FaultyPqos::DecideWriteFault(BackendOp op, uint32_t index) {
+  const uint64_t key = (static_cast<uint64_t>(op) << 32) | index;
+  const uint32_t attempt = attempts_[key]++;
+  WriteFault fault = WriteFault::kNone;
+  std::deque<WriteFault>& scripted = scripted_writes_[static_cast<size_t>(op)];
+  if (!scripted.empty()) {
+    fault = scripted.front();
+    scripted.pop_front();
+  } else {
+    fault = plan_.OnWrite(op, index, attempt);
+  }
+  switch (fault) {
+    case WriteFault::kIoError:
+      ++stats_.injected_io_errors;
+      break;
+    case WriteFault::kSilentDrop:
+      ++stats_.injected_silent_drops;
+      break;
+    case WriteFault::kNone:
+      ++stats_.forwarded_writes;
+      break;
+  }
+  return fault;
+}
+
+PqosStatus FaultyPqos::SetCosMask(uint8_t cos, uint32_t mask) {
+  switch (DecideWriteFault(BackendOp::kSetCosMask, cos)) {
+    case WriteFault::kIoError:
+      return PqosStatus::kIoError;
+    case WriteFault::kSilentDrop:
+      return PqosStatus::kOk;  // lie: the backend never sees the mask
+    case WriteFault::kNone:
+      break;
+  }
+  return cat_->SetCosMask(cos, mask);
+}
+
+PqosStatus FaultyPqos::AssociateCore(uint16_t core, uint8_t cos) {
+  switch (DecideWriteFault(BackendOp::kAssociateCore, core)) {
+    case WriteFault::kIoError:
+      return PqosStatus::kIoError;
+    case WriteFault::kSilentDrop:
+      return PqosStatus::kOk;
+    case WriteFault::kNone:
+      break;
+  }
+  return cat_->AssociateCore(core, cos);
+}
+
+PerfCounterBlock FaultyPqos::ReadCounters(uint16_t core) const {
+  const PerfCounterBlock clean = monitor_->ReadCounters(core);
+  std::optional<CounterAnomalyKind> kind;
+  const auto scripted = scripted_reads_.find(core);
+  if (scripted != scripted_reads_.end() && !scripted->second.empty()) {
+    kind = scripted->second.front();
+    scripted->second.pop_front();
+  } else {
+    kind = plan_.OnReadCounters(core);
+  }
+  if (!kind.has_value()) {
+    last_clean_[core] = clean;
+    return clean;
+  }
+  ++stats_.injected_counter_anomalies;
+  return Corrupt(core, clean, *kind);
+}
+
+PerfCounterBlock FaultyPqos::Corrupt(uint16_t core, const PerfCounterBlock& clean,
+                                     CounterAnomalyKind kind) const {
+  PerfCounterBlock bad = clean;
+  switch (kind) {
+    case CounterAnomalyKind::kNonMonotonic:
+      // Cumulative counters jump backwards by half.
+      bad.retired_instructions /= 2;
+      bad.unhalted_cycles /= 2;
+      bad.l1_references /= 2;
+      bad.l1_misses /= 2;
+      bad.l2_references /= 2;
+      bad.l2_misses /= 2;
+      bad.llc_references /= 2;
+      bad.llc_misses /= 2;
+      break;
+    case CounterAnomalyKind::kWrapped:
+      bad.retired_instructions %= kWrapModulus;
+      bad.l1_references %= kWrapModulus;
+      bad.l1_misses %= kWrapModulus;
+      bad.l2_references %= kWrapModulus;
+      bad.l2_misses %= kWrapModulus;
+      bad.llc_references %= kWrapModulus;
+      bad.llc_misses %= kWrapModulus;
+      break;
+    case CounterAnomalyKind::kFrozen: {
+      // Replay the last clean snapshot: the counters stop advancing.
+      const auto it = last_clean_.find(core);
+      if (it != last_clean_.end()) {
+        return it->second;
+      }
+      return bad;  // no prior read: freezing at the current value
+    }
+    case CounterAnomalyKind::kGarbage:
+      // Impossible readings: more misses than references and absurd IPC.
+      bad.llc_misses = bad.llc_references * 4 + 1000;
+      bad.retired_instructions += uint64_t{1000000000000000};
+      break;
+  }
+  return bad;
+}
+
+void FaultyPqos::ScriptWriteFault(BackendOp op, WriteFault fault, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    scripted_writes_[static_cast<size_t>(op)].push_back(fault);
+  }
+}
+
+void FaultyPqos::ScriptCounterAnomaly(uint16_t core, CounterAnomalyKind kind,
+                                      uint32_t reads) {
+  for (uint32_t i = 0; i < reads; ++i) {
+    scripted_reads_[core].push_back(kind);
+  }
+}
+
+}  // namespace dcat

@@ -1,0 +1,102 @@
+// Fault-injecting decorator over any CatController + MonitoringProvider.
+//
+// FaultyPqos sits between the controller and the real backend and perturbs
+// the control surface per its FaultPlan: kIoError on writes, silently
+// dropped writes (reported kOk, never forwarded — the backend drifts from
+// what the controller believes), and corrupted counter reads. Reads of the
+// *control* surface (GetCosMask / GetCoreAssociation) always pass through to
+// the inner backend: they report the truth, which is exactly what lets
+// verify-after-write and reconciliation catch silent drops.
+//
+// Tests can also script faults explicitly (ScriptWriteFault /
+// ScriptCounterAnomaly) without a probabilistic plan.
+#ifndef SRC_FAULTS_FAULTY_PQOS_H_
+#define SRC_FAULTS_FAULTY_PQOS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "src/faults/fault_plan.h"
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+class FaultyPqos : public CatController, public MonitoringProvider {
+ public:
+  // `cat` and `monitor` are borrowed and must outlive the decorator. They
+  // may be the same object (SimPqos implements both).
+  FaultyPqos(CatController* cat, MonitoringProvider* monitor, FaultPlan plan = FaultPlan());
+
+  // Advances the fault plan one control interval and resets per-write
+  // attempt counters. Call once per tick, before the controller runs.
+  void AdvanceTick();
+
+  // --- CatController ---
+  uint32_t NumWays() const override { return cat_->NumWays(); }
+  uint8_t NumCos() const override { return cat_->NumCos(); }
+  uint16_t NumCores() const override { return cat_->NumCores(); }
+  uint64_t WayCapacityBytes() const override { return cat_->WayCapacityBytes(); }
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override;
+  uint32_t GetCosMask(uint8_t cos) const override { return cat_->GetCosMask(cos); }
+  PqosStatus AssociateCore(uint16_t core, uint8_t cos) override;
+  uint8_t GetCoreAssociation(uint16_t core) const override {
+    return cat_->GetCoreAssociation(core);
+  }
+
+  // --- MonitoringProvider ---
+  PerfCounterBlock ReadCounters(uint16_t core) const override;
+  uint64_t LlcOccupancyBytes(uint8_t cos) const override {
+    return monitor_->LlcOccupancyBytes(cos);
+  }
+  uint64_t MemoryBandwidthBytes(uint8_t cos) const override {
+    return monitor_->MemoryBandwidthBytes(cos);
+  }
+
+  // --- test scripting: scripted faults run before the plan ---
+  // The next `count` calls to the given write op get `fault`.
+  void ScriptWriteFault(BackendOp op, WriteFault fault, uint32_t count = 1);
+  // The next `reads` ReadCounters(core) calls get `kind`.
+  void ScriptCounterAnomaly(uint16_t core, CounterAnomalyKind kind, uint32_t reads = 1);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  struct Stats {
+    uint64_t injected_io_errors = 0;
+    uint64_t injected_silent_drops = 0;
+    uint64_t injected_counter_anomalies = 0;
+    uint64_t forwarded_writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Decides the fault (scripted first, then plan) for the next attempt of
+  // write (op, index) and updates the attempt counter and stats.
+  WriteFault DecideWriteFault(BackendOp op, uint32_t index);
+  PerfCounterBlock Corrupt(uint16_t core, const PerfCounterBlock& clean,
+                           CounterAnomalyKind kind) const;
+
+  CatController* cat_;
+  MonitoringProvider* monitor_;
+  FaultPlan plan_;
+  // mutable: ReadCounters is const in MonitoringProvider but consumes
+  // scripted anomalies and counts injections.
+  mutable Stats stats_;
+
+  // Per-(op, index) attempt counts within the current tick; drives the
+  // plan's burst semantics (first N attempts fail, retry N+1 succeeds).
+  std::map<uint64_t, uint32_t> attempts_;
+
+  std::deque<WriteFault> scripted_writes_[2];  // indexed by BackendOp
+  mutable std::map<uint16_t, std::deque<CounterAnomalyKind>> scripted_reads_;
+
+  // Last clean counters per core: kFrozen replays these; kNonMonotonic and
+  // kWrapped corrupt relative to the fresh read. mutable because
+  // ReadCounters is const in the MonitoringProvider interface.
+  mutable std::map<uint16_t, PerfCounterBlock> last_clean_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_FAULTS_FAULTY_PQOS_H_

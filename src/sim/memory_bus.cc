@@ -11,11 +11,14 @@ MemoryBus::MemoryBus(const MemoryBusConfig& config, uint32_t line_size, uint8_t 
       cos_bytes_(num_cos, 0) {}
 
 double MemoryBus::NoteTransfer(uint8_t cos) {
+  // MBM-style byte accounting is monitoring, not control: it runs even when
+  // the contention/MBA model is disabled (on real RDT hardware the MBM
+  // counters exist independently of MBA). It has no effect on timing.
+  cos_bytes_.at(cos) += line_size_;
   if (!config_.enabled) {
     return 1.0;
   }
   ++interval_transfers_;
-  cos_bytes_.at(cos) += line_size_;
   const double throttle =
       100.0 / static_cast<double>(std::max(throttle_percent_.at(cos), 1u));
   return contention_multiplier_ * throttle;

@@ -12,9 +12,13 @@
 //   * MBA throttle: per-COS delay levels (100% = unthrottled, 10% = max
 //     delay), modeled as a multiplier on that COS's DRAM latency — the
 //     same abstraction Intel documents (programmable request-rate delay);
-//   * MBM monitoring: cumulative per-COS DRAM traffic in bytes.
+//   * MBM monitoring: cumulative per-COS DRAM traffic in bytes. Unlike the
+//     two control halves, monitoring is always on (real RDT exposes MBM
+//     counters independently of MBA) — the controller's counter-anomaly
+//     quarantine uses it as a second, independent liveness signal.
 //
-// Disabled (the default) the model costs nothing and changes nothing.
+// Disabled (the default) the contention/throttle model costs nothing and
+// changes nothing; only the byte counters tick.
 #ifndef SRC_SIM_MEMORY_BUS_H_
 #define SRC_SIM_MEMORY_BUS_H_
 

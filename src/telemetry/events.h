@@ -31,6 +31,7 @@ enum class AllocationReason {
   kGrowDenied,        // growth wanted but the pool was dry (ways unchanged)
   kDonate,            // Donor/Streaming releasing ways
   kRebalance,         // max-performance DP moved ways between tenants
+  kDegradedBaseline,  // degraded mode pinned the tenant to its baseline
 };
 
 constexpr const char* AllocationReasonName(AllocationReason reason) {
@@ -51,6 +52,49 @@ constexpr const char* AllocationReasonName(AllocationReason reason) {
       return "donate";
     case AllocationReason::kRebalance:
       return "rebalance";
+    case AllocationReason::kDegradedBaseline:
+      return "degraded-baseline";
+  }
+  return "?";
+}
+
+// Which CAT control-surface write an event refers to.
+enum class BackendOp {
+  kSetCosMask,
+  kAssociateCore,
+};
+
+constexpr const char* BackendOpName(BackendOp op) {
+  switch (op) {
+    case BackendOp::kSetCosMask:
+      return "set-cos-mask";
+    case BackendOp::kAssociateCore:
+      return "associate-core";
+  }
+  return "?";
+}
+
+// Counter-anomaly taxonomy shared by the fault injector (src/faults/) and
+// the controller's quarantine. The controller cannot distinguish a 32-bit
+// wrap from any other backwards jump, so it reports kNonMonotonic for both;
+// kWrapped is emitted by injectors that know what they did.
+enum class CounterAnomalyKind {
+  kNonMonotonic,  // a cumulative counter went backwards
+  kWrapped,       // narrow-counter wraparound (injector-side label)
+  kFrozen,        // counters stopped advancing on an active tenant
+  kGarbage,       // implausible values (misses > references, absurd IPC)
+};
+
+constexpr const char* CounterAnomalyKindName(CounterAnomalyKind kind) {
+  switch (kind) {
+    case CounterAnomalyKind::kNonMonotonic:
+      return "non-monotonic";
+    case CounterAnomalyKind::kWrapped:
+      return "wrapped";
+    case CounterAnomalyKind::kFrozen:
+      return "frozen";
+    case CounterAnomalyKind::kGarbage:
+      return "garbage";
   }
   return "?";
 }
@@ -94,6 +138,50 @@ struct AllocationEvent {
   uint32_t to_ways = 0;
 };
 
+// A CAT write failed at least once. `recovered` means a bounded retry (with
+// verify-after-write readback) eventually landed the write; false means the
+// retry budget ran out and the write was abandoned.
+struct BackendFaultEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;  // 0 when the write serves no specific tenant
+  BackendOp op = BackendOp::kSetCosMask;
+  uint32_t attempts = 1;  // total write attempts made (including the first)
+  bool recovered = true;
+};
+
+// Reconciliation found backend state diverged from the controller's
+// bookkeeping. For mask drift, expected/actual are capacity masks; for
+// association drift (`association` = true), they are COS ids and `core`
+// names the drifted core.
+struct MaskDriftEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  uint8_t cos = 0;
+  uint32_t expected = 0;
+  uint32_t actual = 0;
+  bool association = false;
+  uint16_t core = 0;
+  bool repaired = true;  // re-program succeeded; false leaves drift in place
+};
+
+// Collect Statistics rejected an interval's counter delta as implausible;
+// the sample was quarantined (not folded into EWMAs, phase detection, or
+// performance tables).
+struct CounterAnomalyEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  CounterAnomalyKind kind = CounterAnomalyKind::kGarbage;
+  uint32_t streak = 1;  // consecutive quarantined intervals for this tenant
+};
+
+// The controller switched between dynamic operation and the degraded
+// static-baseline fallback (the paper's safety contract).
+struct ModeChangeEvent {
+  uint64_t tick = 0;
+  bool degraded = false;  // true: entered degraded mode; false: recovered
+  uint32_t consecutive_failures = 0;  // hard apply failures behind an entry
+};
+
 // Receiver interface. Default-empty handlers: a sink overrides only the
 // events it cares about. Handlers run synchronously on the control loop —
 // keep them cheap (buffer, don't block).
@@ -105,6 +193,10 @@ class EventSink {
   virtual void OnPhaseChange(const PhaseChangeEvent& event) { (void)event; }
   virtual void OnCategoryChange(const CategoryChangeEvent& event) { (void)event; }
   virtual void OnAllocation(const AllocationEvent& event) { (void)event; }
+  virtual void OnBackendFault(const BackendFaultEvent& event) { (void)event; }
+  virtual void OnMaskDrift(const MaskDriftEvent& event) { (void)event; }
+  virtual void OnCounterAnomaly(const CounterAnomalyEvent& event) { (void)event; }
+  virtual void OnModeChange(const ModeChangeEvent& event) { (void)event; }
 };
 
 // Fan-out sink: forwards every event to each registered sink in
@@ -125,6 +217,18 @@ class EventFanout : public EventSink {
   }
   void OnAllocation(const AllocationEvent& event) override {
     for (EventSink* sink : sinks_) sink->OnAllocation(event);
+  }
+  void OnBackendFault(const BackendFaultEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnBackendFault(event);
+  }
+  void OnMaskDrift(const MaskDriftEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnMaskDrift(event);
+  }
+  void OnCounterAnomaly(const CounterAnomalyEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnCounterAnomaly(event);
+  }
+  void OnModeChange(const ModeChangeEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnModeChange(event);
   }
 
  private:

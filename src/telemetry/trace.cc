@@ -101,6 +101,66 @@ void JsonlTraceWriter::OnAllocation(const AllocationEvent& event) {
   ++lines_;
 }
 
+void JsonlTraceWriter::OnBackendFault(const BackendFaultEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("backend_fault");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("op").Value(BackendOpName(event.op));
+  json.Key("attempts").Value(event.attempts);
+  json.Key("recovered").Value(event.recovered);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnMaskDrift(const MaskDriftEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("mask_drift");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("cos").Value(static_cast<uint32_t>(event.cos));
+  json.Key("expected").Value(event.expected);
+  json.Key("actual").Value(event.actual);
+  json.Key("association").Value(event.association);
+  json.Key("core").Value(static_cast<uint32_t>(event.core));
+  json.Key("repaired").Value(event.repaired);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnCounterAnomaly(const CounterAnomalyEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("counter_anomaly");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("kind").Value(CounterAnomalyKindName(event.kind));
+  json.Key("streak").Value(event.streak);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnModeChange(const ModeChangeEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("mode_change");
+  json.Key(kTick).Value(event.tick);
+  json.Key("degraded").Value(event.degraded);
+  json.Key("consecutive_failures").Value(event.consecutive_failures);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
 std::string DecisionLog::ToCsv() const {
   TextTable table({"tick", "tenant", "category", "ways", "ipc", "norm_ipc", "llc_miss_rate",
                    "phase_changed"});
@@ -128,9 +188,29 @@ std::optional<AllocationReason> AllocationReasonFromName(const std::string& name
        {AllocationReason::kAdmit, AllocationReason::kEvict, AllocationReason::kReclaim,
         AllocationReason::kShrinkForReclaim, AllocationReason::kGrowFromPool,
         AllocationReason::kGrowDenied, AllocationReason::kDonate,
-        AllocationReason::kRebalance}) {
+        AllocationReason::kRebalance, AllocationReason::kDegradedBaseline}) {
     if (name == AllocationReasonName(r)) {
       return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BackendOp> BackendOpFromName(const std::string& name) {
+  for (const BackendOp op : {BackendOp::kSetCosMask, BackendOp::kAssociateCore}) {
+    if (name == BackendOpName(op)) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CounterAnomalyKind> CounterAnomalyKindFromName(const std::string& name) {
+  for (const CounterAnomalyKind kind :
+       {CounterAnomalyKind::kNonMonotonic, CounterAnomalyKind::kWrapped,
+        CounterAnomalyKind::kFrozen, CounterAnomalyKind::kGarbage}) {
+    if (name == CounterAnomalyKindName(kind)) {
+      return kind;
     }
   }
   return std::nullopt;
@@ -207,6 +287,57 @@ std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
     e.from_ways = static_cast<uint32_t>(NumberOr(fields, "from_ways", 0));
     e.to_ways = static_cast<uint32_t>(NumberOr(fields, "to_ways", 0));
     record.allocation = e;
+    return record;
+  }
+  if (*type == "backend_fault") {
+    BackendFaultEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    const auto op = String(fields, "op");
+    const auto parsed = op.has_value() ? BackendOpFromName(*op) : std::nullopt;
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    e.op = *parsed;
+    e.attempts = static_cast<uint32_t>(NumberOr(fields, "attempts", 1));
+    e.recovered = BoolOr(fields, "recovered", true);
+    record.backend_fault = e;
+    return record;
+  }
+  if (*type == "mask_drift") {
+    MaskDriftEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    e.cos = static_cast<uint8_t>(NumberOr(fields, "cos", 0));
+    e.expected = static_cast<uint32_t>(NumberOr(fields, "expected", 0));
+    e.actual = static_cast<uint32_t>(NumberOr(fields, "actual", 0));
+    e.association = BoolOr(fields, "association", false);
+    e.core = static_cast<uint16_t>(NumberOr(fields, "core", 0));
+    e.repaired = BoolOr(fields, "repaired", true);
+    record.mask_drift = e;
+    return record;
+  }
+  if (*type == "counter_anomaly") {
+    CounterAnomalyEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    const auto kind = String(fields, "kind");
+    const auto parsed = kind.has_value() ? CounterAnomalyKindFromName(*kind) : std::nullopt;
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    e.kind = *parsed;
+    e.streak = static_cast<uint32_t>(NumberOr(fields, "streak", 1));
+    record.counter_anomaly = e;
+    return record;
+  }
+  if (*type == "mode_change") {
+    ModeChangeEvent e;
+    e.tick = tick;
+    e.degraded = BoolOr(fields, "degraded", false);
+    e.consecutive_failures =
+        static_cast<uint32_t>(NumberOr(fields, "consecutive_failures", 0));
+    record.mode_change = e;
     return record;
   }
   return std::nullopt;  // unknown type

@@ -35,6 +35,10 @@ class JsonlTraceWriter : public EventSink {
   void OnPhaseChange(const PhaseChangeEvent& event) override;
   void OnCategoryChange(const CategoryChangeEvent& event) override;
   void OnAllocation(const AllocationEvent& event) override;
+  void OnBackendFault(const BackendFaultEvent& event) override;
+  void OnMaskDrift(const MaskDriftEvent& event) override;
+  void OnCounterAnomaly(const CounterAnomalyEvent& event) override;
+  void OnModeChange(const ModeChangeEvent& event) override;
 
   uint64_t lines_written() const { return lines_; }
 
@@ -62,10 +66,16 @@ class DecisionLog : public EventSink {
 // A parsed trace line: exactly one of the optionals is set.
 struct TraceEvent {
   std::string type;  // "tick" | "phase_change" | "category_change" | "allocation"
+                     // | "backend_fault" | "mask_drift" | "counter_anomaly"
+                     // | "mode_change"
   std::optional<TickEvent> tick;
   std::optional<PhaseChangeEvent> phase_change;
   std::optional<CategoryChangeEvent> category_change;
   std::optional<AllocationEvent> allocation;
+  std::optional<BackendFaultEvent> backend_fault;
+  std::optional<MaskDriftEvent> mask_drift;
+  std::optional<CounterAnomalyEvent> counter_anomaly;
+  std::optional<ModeChangeEvent> mode_change;
 };
 
 // Parses one JSONL trace line; nullopt on malformed input or unknown type.
@@ -79,6 +89,8 @@ std::optional<std::vector<TraceEvent>> ReadTrace(std::istream& in,
 // Name <-> enum helpers used by the trace round trip.
 std::optional<Category> CategoryFromName(const std::string& name);
 std::optional<AllocationReason> AllocationReasonFromName(const std::string& name);
+std::optional<BackendOp> BackendOpFromName(const std::string& name);
+std::optional<CounterAnomalyKind> CounterAnomalyKindFromName(const std::string& name);
 
 }  // namespace dcat
 

@@ -84,8 +84,10 @@ void InvariantChecker::BeginGroup(uint64_t tick) {
   group_finalized_ = false;
   group_tick_ = tick;
   group_rows_.clear();
+  hard_fault_this_group_ = false;
   for (auto& [id, track] : tenants_) {
     track.phase_changed_this_group = false;
+    track.anomaly_this_group = false;
   }
 }
 
@@ -131,6 +133,12 @@ void InvariantChecker::CheckControllerState() {
   if (view_ == nullptr) {
     return;
   }
+  // While the backend is refusing or losing writes the controller's
+  // bookkeeping intentionally lags the hardware (transactional apply rolls
+  // back, reconciliation re-programs next interval): comparing the two mid
+  // -outage would report the fault itself, not a controller bug. The event
+  // stream already carries the fault; skip the agreement audit this tick.
+  const bool audit_masks = !hard_fault_this_group_;
   const ControllerSnapshot snap = view_->GetController();
   if (snap.tick != group_tick_) {
     // The controller moved on (lazily finalized group); its state no longer
@@ -140,7 +148,7 @@ void InvariantChecker::CheckControllerState() {
   const uint32_t socket_mask = MakeWayMask(0, options_.total_ways);
   uint32_t seen_union = 0;
   for (const TenantSnapshot& tenant : snap.tenants) {
-    if (cat_ != nullptr) {
+    if (cat_ != nullptr && audit_masks) {
       const uint32_t mask = cat_->GetCosMask(tenant.cos);
       std::ostringstream where;
       where << "COS " << static_cast<int>(tenant.cos) << " mask 0x" << MaskToHex(mask);
@@ -196,8 +204,11 @@ void InvariantChecker::CheckRow(const TickEvent& row) {
   }
 
   // A condemned Streaming tenant is a special Donor pinned at the minimum
-  // until a phase change releases it (§3.4).
-  if (row.category == Category::kStreaming && row.ways != options_.min_ways) {
+  // until a phase change releases it (§3.4). A backend that refused this
+  // interval's apply can leave a fresh condemnation above the pin for one
+  // tick — the controller's retry/reconcile path owns that window.
+  if (row.category == Category::kStreaming && row.ways != options_.min_ways &&
+      !hard_fault_this_group_ && !degraded_) {
     std::ostringstream detail;
     detail << "Streaming tenant holds " << row.ways << " ways instead of the pinned minimum "
            << options_.min_ways;
@@ -211,7 +222,12 @@ void InvariantChecker::CheckRow(const TickEvent& row) {
       track.baseline_ways > 0 && row.ways < track.baseline_ways && row.norm_ipc > 0.0 &&
       row.norm_ipc < 1.0 - 2.0 * options_.ipc_improvement_thr && !row.phase_changed &&
       (row.category == Category::kDonor || row.category == Category::kKeeper);
-  if (row.category == Category::kReclaim || !suffering) {
+  if (track.anomaly_this_group || hard_fault_this_group_ || degraded_) {
+    // Pause, not reset: quarantined counters carry no IPC evidence either
+    // way, and a backend that refuses writes cannot serve a reclaim no
+    // matter what the controller decides (it is already retrying). The
+    // streak resumes from its held value once the interval is clean.
+  } else if (row.category == Category::kReclaim || !suffering) {
     track.suffering_streak = 0;
   } else {
     ++track.suffering_streak;
@@ -334,6 +350,12 @@ void InvariantChecker::OnAllocation(const AllocationEvent& event) {
     case AllocationReason::kGrowDenied:
     case AllocationReason::kRebalance:
       break;
+    case AllocationReason::kDegradedBaseline:
+      // The static-baseline fallback is neither a donation nor a reclaim;
+      // it must not feed the oscillation detector, and entering/leaving it
+      // resets the dance like a phase change does.
+      track.last_direction = 0;
+      break;
   }
 
   // A between-interval adjustment (the group is already audited — this is
@@ -365,6 +387,38 @@ void InvariantChecker::OnAllocation(const AllocationEvent& event) {
     AddViolation(event.tick, event.tenant, kInvOscillation, detail.str());
     track.flip_ticks.clear();
   }
+}
+
+void InvariantChecker::OnBackendFault(const BackendFaultEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  if (!event.recovered) {
+    hard_fault_this_group_ = true;
+  }
+}
+
+void InvariantChecker::OnMaskDrift(const MaskDriftEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  if (!event.repaired) {
+    hard_fault_this_group_ = true;
+  }
+}
+
+void InvariantChecker::OnCounterAnomaly(const CounterAnomalyEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  Track(event.tenant).anomaly_this_group = true;
+}
+
+void InvariantChecker::OnModeChange(const ModeChangeEvent& event) {
+  if (!group_open_ || event.tick > group_tick_) {
+    BeginGroup(event.tick);
+  }
+  degraded_ = event.degraded;
 }
 
 void InvariantChecker::Finish() {

@@ -115,6 +115,15 @@ class InvariantChecker : public EventSink {
   void OnPhaseChange(const PhaseChangeEvent& event) override;
   void OnCategoryChange(const CategoryChangeEvent& event) override;
   void OnAllocation(const AllocationEvent& event) override;
+  // Fault-stream awareness: an unrecovered backend fault or unrepaired
+  // drift marks the interval as backend-degraded, which pauses the audits
+  // that presume a cooperating backend (mask agreement, reclaim deadline);
+  // a counter anomaly pauses the per-tenant suffering clock (its IPC
+  // evidence is quarantined, not trustworthy in either direction).
+  void OnBackendFault(const BackendFaultEvent& event) override;
+  void OnMaskDrift(const MaskDriftEvent& event) override;
+  void OnCounterAnomaly(const CounterAnomalyEvent& event) override;
+  void OnModeChange(const ModeChangeEvent& event) override;
 
   // Audits the final (possibly incomplete) interval; call once when the
   // run ends.
@@ -139,6 +148,9 @@ class InvariantChecker : public EventSink {
     int last_direction = 0;
     std::deque<uint64_t> flip_ticks;
     bool phase_changed_this_group = false;
+    // A counter anomaly was quarantined this interval: the tenant's IPC
+    // row is a zeroed placeholder, so the suffering clock holds its value.
+    bool anomaly_this_group = false;
     // Table-consistency pairing: the measurement surfaced at tick T was
     // taken at the allocation decided at T-1.
     uint32_t prev_ways = 0;
@@ -171,6 +183,12 @@ class InvariantChecker : public EventSink {
   uint64_t group_tick_ = 0;
   bool group_open_ = false;
   bool group_finalized_ = false;
+  // The backend refused or lost state this interval (unrecovered write
+  // fault / unrepaired drift): controller-vs-backend agreement checks are
+  // meaningless until reconciliation succeeds.
+  bool hard_fault_this_group_ = false;
+  // Mirrors the controller's degraded/dynamic mode from ModeChange events.
+  bool degraded_ = false;
   uint64_t ticks_checked_ = 0;
   std::vector<Violation> violations_;
 };

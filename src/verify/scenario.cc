@@ -315,6 +315,12 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
   host_config.dcat = scenario.dcat;
   host_config.dcat.policy = options.policy;
   host_config.cycles_per_interval = options.cycles_per_interval;
+  host_config.inject_faults = options.inject_faults;
+  host_config.fault_seed = options.fault_seed;
+  host_config.fault_profile = options.fault_profile;
+  // Faults stop at the end of the scenario proper so the settle window can
+  // prove the controller heals once the backend recovers.
+  host_config.fault_active_ticks = options.inject_faults ? scenario.intervals : 0;
   Host host(host_config);
 
   std::ostringstream trace_out;
@@ -334,12 +340,17 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
   ScenarioResult result;
 
   auto add_tenant = [&](const TenantSetup& tenant) {
-    checker.RegisterTenant(tenant.id, tenant.baseline_ways);
-    host.AddVm(VmConfig{.id = tenant.id,
-                        .name = tenant.workload,
-                        .baseline_ways = tenant.baseline_ways,
-                        .seed = WorkloadSeed(scenario, tenant.id)},
-               MakeScenarioWorkload(tenant.workload, WorkloadSeed(scenario, tenant.id)));
+    // A faulted backend can reject the admission writes; a refused tenant
+    // simply never joins (and must not be registered with the checker, or
+    // it would be reported as missing from every interval).
+    Vm* vm = host.TryAddVm(VmConfig{.id = tenant.id,
+                                    .name = tenant.workload,
+                                    .baseline_ways = tenant.baseline_ways,
+                                    .seed = WorkloadSeed(scenario, tenant.id)},
+                           MakeScenarioWorkload(tenant.workload, WorkloadSeed(scenario, tenant.id)));
+    if (vm != nullptr) {
+      checker.RegisterTenant(tenant.id, tenant.baseline_ways);
+    }
   };
   for (const TenantSetup& tenant : scenario.initial) {
     add_tenant(tenant);
@@ -367,6 +378,21 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
     host.Step();
     if (differential != nullptr) {
       differential->Sync(host.pqos(), host.intervals());
+    }
+  }
+  if (options.inject_faults) {
+    // Quiescent settle window: the fault plan is past its active ticks, so
+    // every remaining interval is clean. Reconciliation must repair any
+    // outstanding drift and the controller must leave degraded mode.
+    for (uint32_t i = 0; i < options.settle_intervals; ++i) {
+      host.Step();
+    }
+    if (host.dcat()->degraded()) {
+      result.violations.push_back(
+          Violation{.tick = host.intervals(), .tenant = 0, .invariant = kCheckDegradedStuck,
+                    .detail = "controller still in degraded mode after " +
+                              std::to_string(options.settle_intervals) +
+                              " fault-free settle intervals"});
     }
   }
   checker.Finish();

@@ -25,6 +25,10 @@ namespace dcat {
 // the checker's own keys).
 inline constexpr char kCheckBackendDivergence[] = "backend-divergence";
 inline constexpr char kCheckTraceDeterminism[] = "trace-nondeterminism";
+// Chaos runs only: the controller was still in degraded mode after the
+// fault schedule went quiet and the settle window elapsed — self-healing
+// failed to re-enter dynamic mode.
+inline constexpr char kCheckDegradedStuck[] = "degraded-stuck";
 
 struct TenantSetup {
   TenantId id = 0;
@@ -68,6 +72,15 @@ struct RunOptions {
   // Replay every programmed mask through a second SimPqos and a fake-tree
   // ResctrlPqos and require identical mask states (writes a temp dir).
   bool check_backend_differential = false;
+  // Chaos mode: interpose a FaultyPqos between the controller and the sim
+  // backend for the scenario's intervals, then run `settle_intervals` more
+  // fault-free intervals and require the controller to have healed (out of
+  // degraded mode, backend reconciled). Off by default: a fault-free run is
+  // byte-identical to one without these fields.
+  bool inject_faults = false;
+  uint64_t fault_seed = 0;
+  std::string fault_profile = "mixed";  // see FaultProfileByName
+  uint32_t settle_intervals = 10;
 };
 
 struct ScenarioResult {

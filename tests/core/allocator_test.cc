@@ -93,7 +93,9 @@ TEST(SolveMaxPerformanceTest, ThreeWorkloadsExactOptimum) {
 // --- LayoutMasks ---
 
 TEST(LayoutMasksTest, ProducesContiguousNonOverlappingMasks) {
-  const auto masks = LayoutMasks({3, 1, 4}, 20);
+  const auto layout = LayoutMasks({3, 1, 4}, 20);
+  ASSERT_TRUE(layout.has_value());
+  const auto& masks = *layout;
   ASSERT_EQ(masks.size(), 3u);
   EXPECT_EQ(masks[0], MakeWayMask(0, 3));
   EXPECT_EQ(masks[1], MakeWayMask(3, 1));
@@ -105,8 +107,9 @@ TEST(LayoutMasksTest, ProducesContiguousNonOverlappingMasks) {
 }
 
 TEST(LayoutMasksTest, AllMasksContiguous) {
-  for (const auto& masks : {LayoutMasks({1, 1, 1}, 20), LayoutMasks({5, 10, 5}, 20)}) {
-    for (uint32_t m : masks) {
+  for (const auto& layout : {LayoutMasks({1, 1, 1}, 20), LayoutMasks({5, 10, 5}, 20)}) {
+    ASSERT_TRUE(layout.has_value());
+    for (uint32_t m : *layout) {
       EXPECT_TRUE(IsContiguousMask(m));
     }
   }
@@ -114,19 +117,24 @@ TEST(LayoutMasksTest, AllMasksContiguous) {
 
 TEST(LayoutMasksTest, ExactFitUsesAllWays) {
   const auto masks = LayoutMasks({10, 10}, 20);
-  EXPECT_EQ(masks[0] | masks[1], 0xfffffu);
+  ASSERT_TRUE(masks.has_value());
+  EXPECT_EQ((*masks)[0] | (*masks)[1], 0xfffffu);
 }
 
 TEST(LayoutMasksTest, EmptyInput) {
-  EXPECT_TRUE(LayoutMasks({}, 20).empty());
+  const auto masks = LayoutMasks({}, 20);
+  ASSERT_TRUE(masks.has_value());
+  EXPECT_TRUE(masks->empty());
 }
 
-TEST(LayoutMasksTest, DiesOnOversubscription) {
-  EXPECT_DEATH(LayoutMasks({15, 10}, 20), "available");
+TEST(LayoutMasksTest, RejectsOversubscription) {
+  // A request that does not fit is refused, not fatal: the daemon must
+  // survive a bad allocation request.
+  EXPECT_FALSE(LayoutMasks({15, 10}, 20).has_value());
 }
 
-TEST(LayoutMasksTest, DiesOnZeroWays) {
-  EXPECT_DEATH(LayoutMasks({3, 0}, 20), "zero-way");
+TEST(LayoutMasksTest, RejectsZeroWays) {
+  EXPECT_FALSE(LayoutMasks({3, 0}, 20).has_value());
 }
 
 }  // namespace

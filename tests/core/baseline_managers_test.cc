@@ -93,22 +93,24 @@ TEST(SharedCacheManagerTest, RemoveTenantIsANoOp) {
   EXPECT_EQ(manager.TenantWays(1), 20u);  // shared: everyone sees everything
 }
 
-TEST(StaticCatManagerTest, DiesOnWayOversubscription) {
+TEST(StaticCatManagerTest, RejectsWayOversubscription) {
   FakePqos pqos(/*num_ways=*/8, 16, 18);
   StaticCatManager manager(&pqos);
   manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 6});
-  EXPECT_DEATH(
+  EXPECT_EQ(
       manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 3}),
-      "oversubscribed");
+      AdmitStatus::kOversubscribed);
+  EXPECT_EQ(manager.TenantWays(2), 0u);
 }
 
-TEST(StaticCatManagerTest, DiesWhenOutOfCos) {
+TEST(StaticCatManagerTest, RejectsWhenOutOfCos) {
   FakePqos pqos(20, /*num_cos=*/2, 18);
   StaticCatManager manager(&pqos);
   manager.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 1});
-  EXPECT_DEATH(
+  EXPECT_EQ(
       manager.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 1}),
-      "COS");
+      AdmitStatus::kNoFreeCos);
+  EXPECT_EQ(manager.TenantWays(2), 0u);
 }
 
 }  // namespace

@@ -342,18 +342,20 @@ TEST_F(DcatControllerTest, TenantCountLimitedByCos) {
   DcatController controller(&pqos, &pqos, DcatConfig{});
   controller.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 1});
   controller.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 1});
-  EXPECT_DEATH(
+  EXPECT_EQ(
       controller.AddTenant(TenantSpec{.id = 3, .name = "c", .cores = {2}, .baseline_ways = 1}),
-      "COS");
+      AdmitStatus::kTooManyTenants);
+  EXPECT_FALSE(controller.HasTenant(3));
 }
 
 TEST_F(DcatControllerTest, BaselineOversubscriptionRejected) {
   FakePqos pqos(/*num_ways=*/4, 16, 18);
   DcatController controller(&pqos, &pqos, DcatConfig{});
   controller.AddTenant(TenantSpec{.id = 1, .name = "a", .cores = {0}, .baseline_ways = 3});
-  EXPECT_DEATH(
+  EXPECT_EQ(
       controller.AddTenant(TenantSpec{.id = 2, .name = "b", .cores = {1}, .baseline_ways = 2}),
-      "oversubscribed");
+      AdmitStatus::kOversubscribed);
+  EXPECT_FALSE(controller.HasTenant(2));
 }
 
 TEST_F(DcatControllerTest, MultiCoreTenantAggregatesCounters) {

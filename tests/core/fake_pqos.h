@@ -22,7 +22,8 @@ class FakePqos : public CatController, public MonitoringProvider {
         num_cores_(num_cores),
         masks_(num_cos, MakeWayMask(0, num_ways)),
         assoc_(num_cores, 0),
-        counters_(num_cores) {}
+        counters_(num_cores),
+        mbm_(num_cos, 0) {}
 
   // --- test scripting ---
 
@@ -40,7 +41,11 @@ class FakePqos : public CatController, public MonitoringProvider {
     const uint64_t refs =
         static_cast<uint64_t>(static_cast<double>(instructions) / 1000.0 * llc_per_ki);
     c.llc_references += refs;
-    c.llc_misses += static_cast<uint64_t>(static_cast<double>(refs) * miss_rate);
+    const uint64_t misses = static_cast<uint64_t>(static_cast<double>(refs) * miss_rate);
+    c.llc_misses += misses;
+    // MBM mirror: every LLC miss is a 64-byte DRAM transfer charged to the
+    // COS the core is associated with at feed time.
+    mbm_.at(assoc_.at(core)) += misses * 64;
   }
 
   // Feeds an idle interval (no retired instructions).
@@ -81,6 +86,7 @@ class FakePqos : public CatController, public MonitoringProvider {
     (void)cos;
     return 0;
   }
+  uint64_t MemoryBandwidthBytes(uint8_t cos) const override { return mbm_.at(cos); }
 
  private:
   uint32_t num_ways_;
@@ -89,6 +95,7 @@ class FakePqos : public CatController, public MonitoringProvider {
   std::vector<uint32_t> masks_;
   std::vector<uint8_t> assoc_;
   std::vector<PerfCounterBlock> counters_;
+  std::vector<uint64_t> mbm_;
   int set_mask_calls_ = 0;
 };
 

@@ -1,0 +1,180 @@
+#include "src/faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcat {
+namespace {
+
+TEST(FaultProfileTest, NamedProfilesResolve) {
+  for (const char* name :
+       {"transient", "silent-drift", "counter-garbage", "persistent-outage", "mixed"}) {
+    const auto profile = FaultProfileByName(name);
+    ASSERT_TRUE(profile.has_value()) << name;
+    EXPECT_EQ(profile->name, name);
+  }
+  EXPECT_FALSE(FaultProfileByName("").has_value());
+  EXPECT_FALSE(FaultProfileByName("chaos-monkey").has_value());
+}
+
+TEST(FaultPlanTest, DefaultPlanIsInert) {
+  FaultPlan plan;
+  for (int tick = 0; tick < 50; ++tick) {
+    plan.AdvanceTick();
+    EXPECT_FALSE(plan.InOutage());
+    for (uint32_t index = 0; index < 8; ++index) {
+      EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, 0), WriteFault::kNone);
+      EXPECT_EQ(plan.OnWrite(BackendOp::kAssociateCore, index, 0), WriteFault::kNone);
+      EXPECT_FALSE(plan.OnReadCounters(static_cast<uint16_t>(index)).has_value());
+    }
+  }
+}
+
+TEST(FaultPlanTest, NeverFiresAtTickZero) {
+  FaultPlan plan(7, MixedChaosProfile());
+  EXPECT_FALSE(plan.Active());
+  for (uint32_t index = 0; index < 32; ++index) {
+    EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, 0), WriteFault::kNone);
+    EXPECT_FALSE(plan.OnReadCounters(static_cast<uint16_t>(index)).has_value());
+  }
+}
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  FaultPlan a(42, MixedChaosProfile());
+  FaultPlan b(42, MixedChaosProfile());
+  for (int tick = 0; tick < 100; ++tick) {
+    a.AdvanceTick();
+    b.AdvanceTick();
+    EXPECT_EQ(a.InOutage(), b.InOutage());
+    for (uint32_t index = 0; index < 8; ++index) {
+      for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+        EXPECT_EQ(a.OnWrite(BackendOp::kSetCosMask, index, attempt),
+                  b.OnWrite(BackendOp::kSetCosMask, index, attempt));
+      }
+      EXPECT_EQ(a.OnReadCounters(static_cast<uint16_t>(index)),
+                b.OnReadCounters(static_cast<uint16_t>(index)));
+    }
+  }
+}
+
+TEST(FaultPlanTest, DecisionsIndependentOfQueryOrder) {
+  // The schedule is a pure function of (tick, op, index, attempt): querying
+  // in any order, or repeatedly, yields the same answers — the property
+  // byte-identical chaos replays rely on.
+  FaultPlan plan(11, MixedChaosProfile());
+  plan.AdvanceTick();
+  plan.AdvanceTick();
+  std::vector<WriteFault> forward;
+  for (uint32_t index = 0; index < 16; ++index) {
+    forward.push_back(plan.OnWrite(BackendOp::kSetCosMask, index, 0));
+  }
+  for (uint32_t index = 16; index-- > 0;) {
+    EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, 0), forward[index]);
+    EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, 0), forward[index]);
+  }
+}
+
+TEST(FaultPlanTest, SeedsDecorrelate) {
+  FaultPlan a(1, MixedChaosProfile());
+  FaultPlan b(2, MixedChaosProfile());
+  int differences = 0;
+  for (int tick = 0; tick < 200; ++tick) {
+    a.AdvanceTick();
+    b.AdvanceTick();
+    for (uint32_t index = 0; index < 8; ++index) {
+      if (a.OnWrite(BackendOp::kSetCosMask, index, 0) !=
+          b.OnWrite(BackendOp::kSetCosMask, index, 0)) {
+        ++differences;
+      }
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultPlanTest, ActiveTicksBoundsTheSchedule) {
+  FaultProfile profile = MixedChaosProfile();
+  profile.active_ticks = 5;
+  FaultPlan plan(3, profile);
+  for (int tick = 1; tick <= 30; ++tick) {
+    plan.AdvanceTick();
+    if (tick > 5) {
+      EXPECT_FALSE(plan.Active()) << "tick " << tick;
+      EXPECT_FALSE(plan.InOutage());
+      for (uint32_t index = 0; index < 16; ++index) {
+        EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, 0), WriteFault::kNone);
+        EXPECT_FALSE(plan.OnReadCounters(static_cast<uint16_t>(index)).has_value());
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, TransientBurstThenSuccess) {
+  // Every afflicted write fails for exactly `transient_burst` attempts and
+  // then succeeds — the shape a bounded-retry loop must absorb.
+  FaultProfile profile = TransientProfile();
+  FaultPlan plan(5, profile);
+  int afflicted = 0;
+  for (int tick = 0; tick < 100; ++tick) {
+    plan.AdvanceTick();
+    for (uint32_t index = 0; index < 8; ++index) {
+      if (plan.OnWrite(BackendOp::kSetCosMask, index, 0) != WriteFault::kIoError) {
+        continue;
+      }
+      ++afflicted;
+      for (uint32_t attempt = 1; attempt < profile.transient_burst; ++attempt) {
+        EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, attempt), WriteFault::kIoError);
+      }
+      EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, index, profile.transient_burst),
+                WriteFault::kNone);
+    }
+  }
+  EXPECT_GT(afflicted, 0);  // rate 0.15 over 800 draws: astronomically unlikely to miss
+}
+
+TEST(FaultPlanTest, OutagesFallWithinConfiguredBounds) {
+  const FaultProfile profile = PersistentOutageProfile();
+  FaultPlan plan(9, profile);
+  int outage_ticks = 0;
+  uint32_t current_run = 0;
+  std::vector<uint32_t> runs;
+  for (int tick = 0; tick < 500; ++tick) {
+    plan.AdvanceTick();
+    if (plan.InOutage()) {
+      ++outage_ticks;
+      ++current_run;
+      EXPECT_EQ(plan.OnWrite(BackendOp::kSetCosMask, 0, 3), WriteFault::kIoError);
+      EXPECT_EQ(plan.OnWrite(BackendOp::kAssociateCore, 4, 0), WriteFault::kIoError);
+    } else if (current_run > 0) {
+      runs.push_back(current_run);
+      current_run = 0;
+    }
+  }
+  EXPECT_GT(outage_ticks, 0);
+  EXPECT_LT(outage_ticks, 500);  // rate 0.08: the surface is mostly up
+  // Adjacent windows may chain (a new outage can start the tick the
+  // previous one ends), so observed runs have no upper bound — but every
+  // run is at least one window long.
+  for (uint32_t run : runs) {
+    EXPECT_GE(run, profile.outage_min_ticks);
+  }
+}
+
+TEST(FaultPlanTest, CounterAnomaliesStablePerTickAndCore) {
+  FaultPlan plan(13, CounterGarbageProfile());
+  int fired = 0;
+  for (int tick = 0; tick < 200; ++tick) {
+    plan.AdvanceTick();
+    for (uint16_t core = 0; core < 8; ++core) {
+      const auto first = plan.OnReadCounters(core);
+      EXPECT_EQ(plan.OnReadCounters(core), first);  // same tick, same answer
+      if (first.has_value()) {
+        ++fired;
+      }
+    }
+  }
+  EXPECT_GT(fired, 0);
+}
+
+}  // namespace
+}  // namespace dcat

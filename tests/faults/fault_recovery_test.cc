@@ -1,0 +1,258 @@
+// Controller-level fault tolerance: FaultyPqos scripted over the FakePqos
+// backend, asserting the hardened loop's contract — bounded retry absorbs
+// transient errors, verify-after-write catches silent drops, reconciliation
+// repairs drift, counter anomalies quarantine without perturbing state, and
+// repeated hard failures degrade to the static baseline and heal back.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <optional>
+#include <string>
+
+#include "src/core/dcat_controller.h"
+#include "src/faults/faulty_pqos.h"
+#include "src/pqos/mask.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  FaultRecoveryTest() : faulty_(&backend_, &backend_), controller_(&faulty_, &faulty_, DcatConfig{}) {}
+
+  void AddTenant(TenantId id, uint16_t core, uint32_t baseline = 3) {
+    ASSERT_EQ(controller_.AddTenant(TenantSpec{.id = id,
+                                               .name = "t" + std::to_string(id),
+                                               .cores = {core},
+                                               .baseline_ways = baseline}),
+              AdmitStatus::kOk);
+  }
+
+  // One control interval: feed an MLR-ish active interval, advance the
+  // fault clock, run the controller.
+  void FeedTick(double ipc) {
+    backend_.Feed(0, ipc, /*mem_per_ins=*/0.33, /*llc_per_ki=*/300, /*miss_rate=*/0.5,
+                  /*instructions=*/5'000'000);
+    faulty_.AdvanceTick();
+    controller_.Tick();
+  }
+
+  uint32_t BackendWays(TenantId id) {
+    return static_cast<uint32_t>(std::popcount(backend_.GetCosMask(controller_.Snapshot(id).cos)));
+  }
+
+  FakePqos backend_;
+  FaultyPqos faulty_;
+  DcatController controller_;
+};
+
+TEST_F(FaultRecoveryTest, TransientIoErrorAbsorbedByRetry) {
+  AddTenant(1, 0);
+  // The first mask-changing tick (reclaim 1 -> 3 ways) hits a 2-deep
+  // kIoError burst — well inside the retry budget.
+  faulty_.ScriptWriteFault(BackendOp::kSetCosMask, WriteFault::kIoError, 2);
+  FeedTick(0.05);
+  EXPECT_EQ(controller_.TenantWays(1), 3u);
+  EXPECT_EQ(BackendWays(1), 3u);  // backend agrees: the write landed
+  EXPECT_GE(controller_.metrics().counter("faults.write_recovered").value(), 1u);
+  EXPECT_FALSE(controller_.degraded());
+}
+
+TEST_F(FaultRecoveryTest, SilentDropCaughtByVerifyAfterWrite) {
+  AddTenant(1, 0);
+  faulty_.ScriptWriteFault(BackendOp::kSetCosMask, WriteFault::kSilentDrop);
+  FeedTick(0.05);
+  // The acknowledged-but-dropped write was detected by readback and
+  // reissued within the same tick.
+  EXPECT_EQ(controller_.TenantWays(1), 3u);
+  EXPECT_EQ(BackendWays(1), 3u);
+  EXPECT_GE(controller_.metrics().counter("faults.silent_drops_detected").value(), 1u);
+}
+
+TEST_F(FaultRecoveryTest, ExternalMaskDriftRepairedByReconcile) {
+  AddTenant(1, 0);
+  FeedTick(0.05);
+  FeedTick(0.05);
+  const uint8_t cos = controller_.Snapshot(1).cos;
+  // External interference reprograms the COS behind the controller's back.
+  ASSERT_EQ(backend_.SetCosMask(cos, MakeWayMask(0, backend_.NumWays())), PqosStatus::kOk);
+  FeedTick(0.05);  // start-of-tick reconciliation audits and repairs
+  EXPECT_EQ(BackendWays(1), controller_.TenantWays(1));
+  EXPECT_GE(controller_.metrics().counter("faults.mask_drift_repaired").value(), 1u);
+}
+
+TEST_F(FaultRecoveryTest, ExternalAssociationDriftRepairedByReconcile) {
+  AddTenant(1, 0);
+  FeedTick(0.05);
+  const uint8_t cos = controller_.Snapshot(1).cos;
+  ASSERT_EQ(backend_.AssociateCore(0, 7), PqosStatus::kOk);  // hijack the core
+  FeedTick(0.05);
+  EXPECT_EQ(backend_.GetCoreAssociation(0), cos);
+  EXPECT_GE(controller_.metrics().counter("faults.mask_drift_repaired").value(), 1u);
+}
+
+TEST_F(FaultRecoveryTest, OrphanedCoreReleaseRetriedUntilDone) {
+  AddTenant(1, 0);
+  AddTenant(2, 1);
+  FeedTick(0.05);
+  const uint8_t cos2 = controller_.Snapshot(2).cos;
+  ASSERT_NE(cos2, 0);
+  // Every attempt of the removal's core release fails: the core is left
+  // associated with the dead tenant's COS and parked on the orphan list.
+  faulty_.ScriptWriteFault(BackendOp::kAssociateCore, WriteFault::kIoError, 4);
+  controller_.RemoveTenant(2);
+  EXPECT_EQ(backend_.GetCoreAssociation(1), cos2);
+  FeedTick(0.05);  // fault-free reconciliation releases the orphan
+  EXPECT_EQ(backend_.GetCoreAssociation(1), 0);
+}
+
+TEST_F(FaultRecoveryTest, PersistentOutageDegradesThenHeals) {
+  // Ticks 1..5 are a total control-surface outage; from tick 6 the backend
+  // is healthy again. The controller must (a) fall back to the static
+  // baseline partition after `degraded_after_failures` consecutive failed
+  // applies, and (b) re-enter dynamic mode after `degraded_recovery_ticks`
+  // clean intervals — the full degraded round trip.
+  FaultProfile outage;
+  outage.name = "forced-outage";
+  outage.outage_rate = 1.0;
+  outage.outage_min_ticks = 10;
+  outage.outage_max_ticks = 10;
+  outage.active_ticks = 5;
+  FakePqos backend;
+  FaultyPqos faulty(&backend, &backend, FaultPlan(1, outage));
+  DcatConfig config;
+  DcatController controller(&faulty, &faulty, config);
+  ASSERT_EQ(controller.AddTenant(
+                TenantSpec{.id = 1, .name = "t1", .cores = {0}, .baseline_ways = 3}),
+            AdmitStatus::kOk);
+
+  auto tick = [&](double ipc) {
+    backend.Feed(0, ipc, 0.33, 300, 0.5, 5'000'000);
+    faulty.AdvanceTick();
+    controller.Tick();
+  };
+
+  // The active workload wants its baseline back every tick; every apply
+  // fails during the outage, so failures accrue to the threshold.
+  for (uint32_t t = 0; t < config.degraded_after_failures; ++t) {
+    tick(0.05);
+  }
+  EXPECT_TRUE(controller.degraded());
+  EXPECT_GE(controller.metrics().counter("faults.degraded_entries").value(), 1u);
+
+  tick(0.05);  // ticks 4..5: still in the outage, still degraded
+  tick(0.05);
+  EXPECT_TRUE(controller.degraded());
+
+  // Ticks 6..7: backend healthy. The degraded loop pins the baseline
+  // partition, verifies it, and after two clean intervals exits.
+  tick(0.05);
+  EXPECT_EQ(controller.TenantWays(1), 3u);  // static baseline applied
+  tick(0.05);
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_GE(controller.metrics().counter("faults.degraded_exits").value(), 1u);
+
+  // Dynamic operation resumes: the cache-hungry tenant grows past its
+  // baseline again, and the backend tracks the controller exactly.
+  double ipc = 0.05;
+  for (int t = 0; t < 4; ++t) {
+    ipc *= 1.3;
+    tick(ipc);
+  }
+  EXPECT_GT(controller.TenantWays(1), 3u);
+  EXPECT_EQ(static_cast<uint32_t>(std::popcount(backend.GetCosMask(controller.Snapshot(1).cos))),
+            controller.TenantWays(1));
+}
+
+// --- counter-anomaly quarantine: byte-identity against a clean run ---
+//
+// A single corrupted read mid-steady-state must leave the tenant's
+// performance table (and settled allocation) byte-identical to a fault-free
+// run over the same feed sequence: the quarantined interval folds into
+// nothing, and the next clean interval's multi-interval delta has the same
+// ratios the clean run saw.
+
+struct SteadyOutcome {
+  std::string table;
+  uint32_t ways = 0;
+  Category category = Category::kDonor;
+  uint64_t anomalies = 0;
+};
+
+SteadyOutcome RunSteady(std::optional<CounterAnomalyKind> kind) {
+  FakePqos backend;
+  FaultyPqos faulty(&backend, &backend);
+  DcatController controller(&faulty, &faulty, DcatConfig{});
+  EXPECT_EQ(controller.AddTenant(
+                TenantSpec{.id = 1, .name = "t1", .cores = {0}, .baseline_ways = 3}),
+            AdmitStatus::kOk);
+  auto tick = [&](double ipc) {
+    backend.Feed(0, ipc, 0.33, 300, 0.5, 5'000'000);
+    faulty.AdvanceTick();
+    controller.Tick();
+  };
+  // Ramp to the settled Keeper state: reclaim, baseline @3, grow to 5,
+  // improvement fades, stop.
+  tick(0.05);
+  tick(0.05);
+  tick(0.10);
+  tick(0.101);
+  // Steady state; the faulted run corrupts exactly one read mid-stream.
+  for (int t = 0; t < 8; ++t) {
+    if (kind.has_value() && t == 4) {
+      faulty.ScriptCounterAnomaly(0, *kind);
+    }
+    tick(0.101);
+  }
+  SteadyOutcome out;
+  out.table = controller.Snapshot(1).table.ToString();
+  out.ways = controller.TenantWays(1);
+  out.category = controller.Snapshot(1).category;
+  out.anomalies = controller.metrics().counter("faults.counter_anomalies").value();
+  return out;
+}
+
+class QuarantineByteIdentityTest : public ::testing::TestWithParam<CounterAnomalyKind> {};
+
+TEST_P(QuarantineByteIdentityTest, TableAndAllocationMatchCleanRun) {
+  const SteadyOutcome clean = RunSteady(std::nullopt);
+  const SteadyOutcome faulted = RunSteady(GetParam());
+  ASSERT_EQ(clean.anomalies, 0u);
+  ASSERT_EQ(faulted.anomalies, 1u) << "the scripted anomaly must actually quarantine";
+  EXPECT_EQ(faulted.table, clean.table);
+  EXPECT_EQ(faulted.ways, clean.ways);
+  EXPECT_EQ(faulted.category, clean.category);
+}
+
+// kWrapped sends cumulative counters backwards (mod 2^24), which the
+// controller reports as non-monotonic — the quarantine outcome is what the
+// contract specifies, not the label.
+INSTANTIATE_TEST_SUITE_P(AnomalyKinds, QuarantineByteIdentityTest,
+                         ::testing::Values(CounterAnomalyKind::kWrapped,
+                                           CounterAnomalyKind::kFrozen,
+                                           CounterAnomalyKind::kGarbage),
+                         [](const ::testing::TestParamInfo<CounterAnomalyKind>& info) {
+                           return std::string(CounterAnomalyKindName(info.param));
+                         });
+
+TEST_F(FaultRecoveryTest, FrozenQuarantineRequiresMbmEvidence) {
+  // The frozen classification fires only while the MBM path proves the
+  // tenant alive. A genuinely idle interval (no feed, flat MBM) with the
+  // same zero counter delta must classify as clean idle, not an anomaly.
+  AddTenant(1, 0);
+  FeedTick(0.05);
+  FeedTick(0.05);
+  faulty_.AdvanceTick();
+  controller_.Tick();  // unfed interval: zero delta, zero MBM delta
+  EXPECT_EQ(controller_.metrics().counter("faults.counter_anomalies").value(), 0u);
+  // Same zero counter delta, but now with MBM still flowing: quarantined.
+  backend_.Feed(0, 0.05, 0.33, 300, 0.5, 5'000'000);
+  FeedTick(0.05);
+  faulty_.ScriptCounterAnomaly(0, CounterAnomalyKind::kFrozen);
+  FeedTick(0.05);
+  EXPECT_EQ(controller_.metrics().counter("faults.counter_anomalies.frozen").value(), 1u);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,134 @@
+#include "src/faults/faulty_pqos.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pqos/mask.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+class FaultyPqosTest : public ::testing::Test {
+ protected:
+  FaultyPqosTest() : faulty_(&backend_, &backend_) {}
+
+  FakePqos backend_;
+  FaultyPqos faulty_;
+};
+
+TEST_F(FaultyPqosTest, GeometryPassesThrough) {
+  EXPECT_EQ(faulty_.NumWays(), backend_.NumWays());
+  EXPECT_EQ(faulty_.NumCos(), backend_.NumCos());
+  EXPECT_EQ(faulty_.NumCores(), backend_.NumCores());
+  EXPECT_EQ(faulty_.WayCapacityBytes(), backend_.WayCapacityBytes());
+}
+
+TEST_F(FaultyPqosTest, InertPlanForwardsEverything) {
+  EXPECT_EQ(faulty_.SetCosMask(1, MakeWayMask(0, 4)), PqosStatus::kOk);
+  EXPECT_EQ(backend_.GetCosMask(1), MakeWayMask(0, 4));
+  EXPECT_EQ(faulty_.AssociateCore(3, 1), PqosStatus::kOk);
+  EXPECT_EQ(backend_.GetCoreAssociation(3), 1);
+  EXPECT_EQ(faulty_.stats().forwarded_writes, 2u);
+  EXPECT_EQ(faulty_.stats().injected_io_errors, 0u);
+}
+
+TEST_F(FaultyPqosTest, ScriptedIoErrorNeverTouchesBackend) {
+  const uint32_t before = backend_.GetCosMask(1);
+  faulty_.ScriptWriteFault(BackendOp::kSetCosMask, WriteFault::kIoError);
+  EXPECT_EQ(faulty_.SetCosMask(1, MakeWayMask(0, 4)), PqosStatus::kIoError);
+  EXPECT_EQ(backend_.GetCosMask(1), before);
+  EXPECT_EQ(faulty_.stats().injected_io_errors, 1u);
+  // The script is consumed: the retry succeeds.
+  EXPECT_EQ(faulty_.SetCosMask(1, MakeWayMask(0, 4)), PqosStatus::kOk);
+  EXPECT_EQ(backend_.GetCosMask(1), MakeWayMask(0, 4));
+}
+
+TEST_F(FaultyPqosTest, SilentDropLiesButControlReadsTellTruth) {
+  const uint32_t before = backend_.GetCosMask(2);
+  faulty_.ScriptWriteFault(BackendOp::kSetCosMask, WriteFault::kSilentDrop);
+  // The decorator acknowledges the write...
+  EXPECT_EQ(faulty_.SetCosMask(2, MakeWayMask(0, 6)), PqosStatus::kOk);
+  // ...but the backend never saw it, and the readback says so — which is
+  // exactly how verify-after-write catches the drop.
+  EXPECT_EQ(faulty_.GetCosMask(2), before);
+  EXPECT_EQ(faulty_.stats().injected_silent_drops, 1u);
+}
+
+TEST_F(FaultyPqosTest, ScriptedAssociationFaults) {
+  faulty_.ScriptWriteFault(BackendOp::kAssociateCore, WriteFault::kSilentDrop);
+  EXPECT_EQ(faulty_.AssociateCore(5, 3), PqosStatus::kOk);
+  EXPECT_EQ(faulty_.GetCoreAssociation(5), 0);  // truth: never forwarded
+  EXPECT_EQ(faulty_.AssociateCore(5, 3), PqosStatus::kOk);
+  EXPECT_EQ(faulty_.GetCoreAssociation(5), 3);
+}
+
+TEST_F(FaultyPqosTest, FrozenReplaysLastCleanRead) {
+  backend_.Feed(0, 1.0, 0.3, 100, 0.2);
+  const PerfCounterBlock first = faulty_.ReadCounters(0);  // clean: snapshotted
+  backend_.Feed(0, 1.0, 0.3, 100, 0.2);
+  faulty_.ScriptCounterAnomaly(0, CounterAnomalyKind::kFrozen);
+  const PerfCounterBlock frozen = faulty_.ReadCounters(0);
+  EXPECT_EQ(frozen.retired_instructions, first.retired_instructions);
+  EXPECT_EQ(frozen.llc_misses, first.llc_misses);
+  // Next read is clean again and sees the advanced counters.
+  const PerfCounterBlock thawed = faulty_.ReadCounters(0);
+  EXPECT_GT(thawed.retired_instructions, first.retired_instructions);
+  EXPECT_EQ(faulty_.stats().injected_counter_anomalies, 1u);
+}
+
+TEST_F(FaultyPqosTest, NonMonotonicGoesBackwards) {
+  backend_.Feed(0, 1.0, 0.3, 100, 0.2);
+  const PerfCounterBlock clean = faulty_.ReadCounters(0);
+  faulty_.ScriptCounterAnomaly(0, CounterAnomalyKind::kNonMonotonic);
+  const PerfCounterBlock bad = faulty_.ReadCounters(0);
+  EXPECT_LT(bad.retired_instructions, clean.retired_instructions);
+  EXPECT_LT(bad.llc_references, clean.llc_references);
+}
+
+TEST_F(FaultyPqosTest, GarbageIsImplausible) {
+  backend_.Feed(0, 1.0, 0.3, 100, 0.2);
+  faulty_.ScriptCounterAnomaly(0, CounterAnomalyKind::kGarbage);
+  const PerfCounterBlock bad = faulty_.ReadCounters(0);
+  EXPECT_GT(bad.llc_misses, bad.llc_references);  // impossible ratio
+}
+
+TEST_F(FaultyPqosTest, MonitoringReadsNeverFaultTheMbmPath) {
+  // MBM is the independent liveness cross-check: the decorator corrupts
+  // per-core perf counters only, never the per-COS MBM bytes.
+  faulty_.AssociateCore(0, 2);
+  backend_.Feed(0, 1.0, 0.3, 100, 0.5);
+  faulty_.ScriptCounterAnomaly(0, CounterAnomalyKind::kFrozen);
+  (void)faulty_.ReadCounters(0);
+  EXPECT_EQ(faulty_.MemoryBandwidthBytes(2), backend_.MemoryBandwidthBytes(2));
+  EXPECT_GT(faulty_.MemoryBandwidthBytes(2), 0u);
+}
+
+TEST_F(FaultyPqosTest, PlanDrivenBurstClearsOnRetryWithinTick) {
+  // With the transient profile, an afflicted write fails for `burst`
+  // attempts and then the decorator forwards it — all within one tick.
+  FaultProfile profile = TransientProfile();
+  profile.transient_write_rate = 1.0;  // every write afflicted
+  FaultyPqos chaotic(&backend_, &backend_, FaultPlan(17, profile));
+  chaotic.AdvanceTick();  // tick 1: plan active
+  for (uint32_t attempt = 0; attempt < profile.transient_burst; ++attempt) {
+    EXPECT_EQ(chaotic.SetCosMask(4, MakeWayMask(0, 5)), PqosStatus::kIoError);
+  }
+  EXPECT_EQ(chaotic.SetCosMask(4, MakeWayMask(0, 5)), PqosStatus::kOk);
+  EXPECT_EQ(backend_.GetCosMask(4), MakeWayMask(0, 5));
+}
+
+TEST_F(FaultyPqosTest, AdvanceTickResetsAttemptCounters) {
+  FaultProfile profile = TransientProfile();
+  profile.transient_write_rate = 1.0;
+  FaultyPqos chaotic(&backend_, &backend_, FaultPlan(17, profile));
+  chaotic.AdvanceTick();
+  for (uint32_t attempt = 0; attempt <= profile.transient_burst; ++attempt) {
+    (void)chaotic.SetCosMask(4, MakeWayMask(0, 5));
+  }
+  chaotic.AdvanceTick();
+  // A fresh tick starts a fresh burst for the same (op, index).
+  EXPECT_EQ(chaotic.SetCosMask(4, MakeWayMask(0, 6)), PqosStatus::kIoError);
+}
+
+}  // namespace
+}  // namespace dcat

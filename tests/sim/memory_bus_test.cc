@@ -24,7 +24,10 @@ TEST(MemoryBusTest, DisabledIsTransparent) {
   EXPECT_DOUBLE_EQ(bus.NoteTransfer(1), 1.0);
   bus.AdvanceInterval(1000.0);
   EXPECT_DOUBLE_EQ(bus.contention_multiplier(), 1.0);
-  EXPECT_EQ(bus.TotalBytes(1), 0u);
+  // Timing is untouched, but MBM-style monitoring keeps counting: the
+  // counters exist independently of the contention/MBA model.
+  EXPECT_EQ(bus.TotalBytes(1), 64u);
+  EXPECT_EQ(bus.TotalBytes(0), 0u);
 }
 
 TEST(MemoryBusTest, UtilizationMathIsExact) {

@@ -9,6 +9,9 @@
 //   dcat_fuzz --seeds=100 --jobs=8        # seeds 0..99, both policies, 8 threads
 //   dcat_fuzz --seed=37 --policy=maxperf  # replay one finding
 //   dcat_fuzz --write-golden=golden.jsonl # regenerate the Fig. 10 trace
+//   dcat_fuzz --chaos=7 --seeds=50        # every scenario additionally runs
+//                                         # under each fault schedule, with a
+//                                         # fault-free settle window at the end
 //
 // With --jobs=N the (seed, policy) runs execute on a worker pool; each run
 // is self-contained (scenario expansion, host, checker, shadow backends all
@@ -33,6 +36,7 @@
 
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
+#include "src/faults/fault_plan.h"
 #include "src/verify/scenario.h"
 
 namespace dcat {
@@ -49,7 +53,23 @@ struct Options {
   bool check_determinism = true;
   size_t trace_tail = 12;
   std::string write_golden;
+  // Chaos mode: interpose FaultyPqos over the sim backend, one run per
+  // (seed, policy, fault profile). The chaos seed decorrelates the fault
+  // schedule stream from the scenario stream.
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  std::string chaos_profile = "all";
 };
+
+// The fault schedules a chaos run sweeps with --chaos-profile=all.
+const char* const kChaosProfiles[] = {"transient", "silent-drift", "counter-garbage",
+                                      "persistent-outage"};
+
+// Deterministic fault-plan seed for one (scenario seed, chaos seed, profile)
+// triple; any finding replays from the flags alone.
+uint64_t FaultSeedFor(uint64_t scenario_seed, uint64_t chaos_seed, size_t profile_index) {
+  return scenario_seed + 0x51f4a7c15ULL * (chaos_seed + 1) + 131 * profile_index;
+}
 
 void PrintUsage() {
   std::printf(
@@ -65,7 +85,12 @@ void PrintUsage() {
       "  --no-differential       skip the SimPqos vs fake-resctrl mask check\n"
       "  --no-determinism        skip the byte-identical-trace check\n"
       "  --trace-tail=N          trace lines to print on a finding (default 12)\n"
-      "  --write-golden=FILE     write the pinned Fig. 10 golden trace and exit\n");
+      "  --write-golden=FILE     write the pinned Fig. 10 golden trace and exit\n"
+      "  --chaos[=S]             fault-inject every run (chaos seed S, default 0):\n"
+      "                          one run per fault profile, then a fault-free\n"
+      "                          settle window that must end out of degraded mode\n"
+      "  --chaos-profile=NAME    transient|silent-drift|counter-garbage|\n"
+      "                          persistent-outage|mixed|all (default all)\n");
 }
 
 std::string FormatTraceTail(const std::string& trace, size_t tail) {
@@ -94,12 +119,22 @@ const char* PolicyName(AllocationPolicy policy) {
 // Runs one (scenario, policy) pair. On failure fills *report with the
 // replay report; the caller prints reports in seed order so parallel runs
 // produce byte-identical output.
-bool RunOne(const Scenario& scenario, AllocationPolicy policy, const Options& options,
-            std::string* report) {
+bool RunOne(const Scenario& scenario, AllocationPolicy policy, const char* fault_profile,
+            const Options& options, std::string* report) {
   RunOptions run_options;
   run_options.policy = policy;
   run_options.cycles_per_interval = options.cycles_per_interval;
   run_options.check_backend_differential = options.check_differential;
+  size_t profile_index = 0;
+  if (fault_profile != nullptr) {
+    while (profile_index < std::size(kChaosProfiles) &&
+           std::strcmp(kChaosProfiles[profile_index], fault_profile) != 0) {
+      ++profile_index;
+    }
+    run_options.inject_faults = true;
+    run_options.fault_profile = fault_profile;
+    run_options.fault_seed = FaultSeedFor(scenario.seed, options.chaos_seed, profile_index);
+  }
   ScenarioResult result = RunScenario(scenario, run_options);
 
   if (result.ok() && options.check_determinism) {
@@ -120,10 +155,17 @@ bool RunOne(const Scenario& scenario, AllocationPolicy policy, const Options& op
   }
 
   std::ostringstream out;
-  out << "FAIL seed=" << scenario.seed << " policy=" << PolicyName(policy) << "\n";
+  out << "FAIL seed=" << scenario.seed << " policy=" << PolicyName(policy);
+  if (fault_profile != nullptr) {
+    out << " chaos=" << options.chaos_seed << " profile=" << fault_profile;
+  }
+  out << "\n";
   out << "  scenario: " << scenario.Describe() << "\n";
-  out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << PolicyName(policy)
-      << "\n";
+  out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << PolicyName(policy);
+  if (fault_profile != nullptr) {
+    out << " --chaos=" << options.chaos_seed << " --chaos-profile=" << fault_profile;
+  }
+  out << "\n";
   for (const Violation& violation : result.violations) {
     out << "  violation [" << violation.invariant << "] tick=" << violation.tick
         << " tenant=" << violation.tenant << ": " << violation.detail << "\n";
@@ -216,6 +258,25 @@ int Main(int argc, char** argv) {
       options.trace_tail = static_cast<size_t>(tail);
     } else if (const char* v = value("--write-golden=")) {
       options.write_golden = v;
+    } else if (arg == "--chaos") {
+      options.chaos = true;
+    } else if (const char* v = value("--chaos=")) {
+      if (!ParseUint64(v, &options.chaos_seed)) {
+        std::fprintf(stderr, "--chaos: expected an integer seed, got '%s'\n", v);
+        return 1;
+      }
+      options.chaos = true;
+    } else if (const char* v = value("--chaos-profile=")) {
+      options.chaos_profile = v;
+      if (options.chaos_profile != "all" &&
+          !FaultProfileByName(options.chaos_profile).has_value()) {
+        std::fprintf(stderr,
+                     "--chaos-profile: expected transient|silent-drift|counter-garbage|"
+                     "persistent-outage|mixed|all, got '%s'\n",
+                     v);
+        return 1;
+      }
+      options.chaos = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
       return 1;
@@ -238,15 +299,27 @@ int Main(int argc, char** argv) {
   // One job per (seed, policy) pair; jobs are independent and derive all
   // state from the seed, so they can run on the pool in any order. Reports
   // land in the job-indexed slot and print in seed order afterward.
+  std::vector<const char*> profiles;  // one nullptr entry = fault-free run
+  if (!options.chaos) {
+    profiles.push_back(nullptr);
+  } else if (options.chaos_profile == "all") {
+    profiles.assign(std::begin(kChaosProfiles), std::end(kChaosProfiles));
+  } else {
+    profiles.push_back(options.chaos_profile.c_str());
+  }
+
   struct Job {
     uint64_t seed = 0;
     AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+    const char* profile = nullptr;
   };
   std::vector<Job> job_list;
-  job_list.reserve(static_cast<size_t>(count) * policies.size());
+  job_list.reserve(static_cast<size_t>(count) * policies.size() * profiles.size());
   for (uint64_t i = 0; i < count; ++i) {
     for (const AllocationPolicy policy : policies) {
-      job_list.push_back({options.start_seed + i, policy});
+      for (const char* profile : profiles) {
+        job_list.push_back({options.start_seed + i, policy, profile});
+      }
     }
   }
   std::vector<std::string> reports(job_list.size());
@@ -255,7 +328,7 @@ int Main(int argc, char** argv) {
   ThreadPool pool(static_cast<size_t>(options.jobs));
   pool.ParallelFor(0, job_list.size(), [&](size_t j) {
     const Scenario scenario = RandomScenario(job_list[j].seed);
-    if (!RunOne(scenario, job_list[j].policy, options, &reports[j])) {
+    if (!RunOne(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j])) {
       failed[j] = 1;
     }
   });
@@ -274,9 +347,15 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(runs));
     return 1;
   }
-  std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies)\n",
-              static_cast<unsigned long long>(runs),
-              static_cast<unsigned long long>(count), policies.size());
+  if (options.chaos) {
+    std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies x %zu fault schedules)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(count), policies.size(), profiles.size());
+  } else {
+    std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(count), policies.size());
+  }
   return 0;
 }
 

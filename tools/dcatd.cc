@@ -138,8 +138,12 @@ int RunSim(const Options& options) {
     }
     const TenantId id = next_id++;
     names[id] = workload_spec;
-    host.AddVm(VmConfig{.id = id, .name = workload_spec, .baseline_ways = ways},
-               std::move(workload));
+    if (host.TryAddVm(VmConfig{.id = id, .name = workload_spec, .baseline_ways = ways},
+                      std::move(workload)) == nullptr) {
+      std::fprintf(stderr, "tenant spec '%s' rejected by the cache manager\n",
+                   tenant_spec.c_str());
+      return 1;
+    }
   }
 
   const ScheduleParseResult schedule = ParseSchedule(options.schedule);
