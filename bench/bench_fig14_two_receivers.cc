@@ -12,7 +12,7 @@
 namespace dcat {
 namespace {
 
-std::string RunPolicy(AllocationPolicy policy) {
+std::string RunPolicy(const std::string& policy) {
   HostConfig config = BenchHostConfig(ManagerMode::kDcat);
   config.dcat.policy = policy;
   Host host(config);
@@ -42,7 +42,7 @@ std::string RunPolicy(AllocationPolicy policy) {
   // Rendered to a string so both policy cells can run concurrently and
   // print in a fixed order from the main thread.
   std::string report = "--- policy: ";
-  report += AllocationPolicyName(policy);
+  report += policy;
   report += " ---\n";
   report += recorder.TimelineTable({{1, "mlr8"}, {2, "mlr12"}, {3, "late"}});
   char tail[128];
@@ -56,12 +56,16 @@ std::string RunPolicy(AllocationPolicy policy) {
 }  // namespace
 }  // namespace dcat
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcat;
   PrintHeader("Two memory-intensive VMs: fairness vs max-performance", "Figure 14");
-  const std::vector<std::string> reports = RunBenchCells<std::string>(
-      {[] { return RunPolicy(AllocationPolicy::kMaxFairness); },
-       [] { return RunPolicy(AllocationPolicy::kMaxPerformance); }});
+  const std::vector<std::string> policies =
+      ParsePoliciesFlag(argc, argv, {"max-fairness", "max-performance"});
+  std::vector<std::function<std::string()>> cells;
+  for (const std::string& policy : policies) {
+    cells.push_back([policy] { return RunPolicy(policy); });
+  }
+  const std::vector<std::string> reports = RunBenchCells<std::string>(cells);
   for (const std::string& report : reports) {
     std::printf("%s", report.c_str());
   }

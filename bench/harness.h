@@ -10,6 +10,8 @@
 #define BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,9 +19,11 @@
 
 #include "src/cluster/host.h"
 #include "src/cluster/recorder.h"
+#include "src/common/strings.h"
 #include "src/common/table.h"
 #include "src/common/thread_pool.h"
 #include "src/common/units.h"
+#include "src/policies/registry.h"
 #include "src/workloads/microbench.h"
 
 namespace dcat {
@@ -45,6 +49,52 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
 
 // Converts a latency in cycles to nanoseconds at the modeled 2.3 GHz.
 inline double CyclesToNs(double cycles) { return cycles / 2.3; }
+
+// --- policy bake-off support --------------------------------------------
+
+// Parses --policies=a,b,...|all (last occurrence wins; names canonicalize
+// through the PolicyRegistry, unknown names exit listing what exists).
+// Benches that compare policies fan one cell per (cell, policy) over the
+// returned list; with no flag the bench runs its `defaults`.
+inline std::vector<std::string> ParsePoliciesFlag(int argc, char** argv,
+                                                  std::vector<std::string> defaults) {
+  std::vector<std::string> policies = std::move(defaults);
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--policies=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) != 0) {
+      continue;
+    }
+    const std::string value = argv[i] + std::strlen(prefix);
+    if (value == "all") {
+      policies = PolicyRegistry::Global().Names();
+      continue;
+    }
+    policies.clear();
+    for (const std::string& name : Split(value, ',')) {
+      const std::string canonical = PolicyRegistry::CanonicalName(Trim(name));
+      if (!PolicyRegistry::Global().Known(canonical)) {
+        std::fprintf(stderr, "--policies: unknown policy '%s' (registered: %s; or all)\n",
+                     name.c_str(), PolicyRegistry::Global().NamesList().c_str());
+        std::exit(1);
+      }
+      policies.push_back(canonical);
+    }
+    if (policies.empty()) {
+      std::fprintf(stderr, "--policies: expected a comma-separated list or 'all'\n");
+      std::exit(1);
+    }
+  }
+  return policies;
+}
+
+// Side-by-side comparison table: the first column names the metric, then
+// one column per policy in bake-off order.
+inline TextTable MakePolicyComparisonTable(const std::string& row_label,
+                                           const std::vector<std::string>& policies) {
+  std::vector<std::string> header{row_label};
+  header.insert(header.end(), policies.begin(), policies.end());
+  return TextTable(std::move(header));
+}
 
 // --- parallel scenario engine -------------------------------------------
 //

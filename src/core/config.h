@@ -8,15 +8,9 @@
 #define SRC_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace dcat {
-
-enum class AllocationPolicy {
-  kMaxFairness,     // spread spare ways evenly over beneficiaries
-  kMaxPerformance,  // search performance tables for max total normalized IPC
-};
-
-const char* AllocationPolicyName(AllocationPolicy policy);
 
 struct DcatConfig {
   // --- Collect Statistics / Categorize Workloads thresholds ---
@@ -51,7 +45,12 @@ struct DcatConfig {
   uint64_t min_instructions_per_interval = 10'000;
 
   // --- Allocate Cache ---
-  AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  // Allocation policy, resolved by canonical name in the PolicyRegistry
+  // (src/policies/registry.h): "max-fairness" and "max-performance" are the
+  // paper's two policies, "lfoc-cluster" shares COSes across compatible
+  // tenants. Config files and CLIs also accept the legacy spellings
+  // "fair"/"maxperf"/"max_fairness"/"max_performance".
+  std::string policy = "max-fairness";
   // A workload whose allocation reaches streaming_multiplier x baseline
   // without IPC improvement is classified Streaming (paper: 3x).
   uint32_t streaming_multiplier = 3;

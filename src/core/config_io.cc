@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/strings.h"
+#include "src/policies/registry.h"
 
 namespace dcat {
 namespace {
@@ -65,14 +66,13 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
     } else if (key == "min_instructions_per_interval" && ParseUint(value, &u)) {
       c.min_instructions_per_interval = u;
     } else if (key == "policy") {
-      if (value == "max-fairness" || value == "fair") {
-        c.policy = AllocationPolicy::kMaxFairness;
-      } else if (value == "max-performance" || value == "maxperf") {
-        c.policy = AllocationPolicy::kMaxPerformance;
-      } else {
-        fail("unknown policy '" + value + "'");
+      const std::string canonical = PolicyRegistry::CanonicalName(value);
+      if (!PolicyRegistry::Global().Known(canonical)) {
+        fail("unknown policy '" + value +
+             "' (registered: " + PolicyRegistry::Global().NamesList() + ")");
         return result;
       }
+      c.policy = canonical;
     } else if (key == "streaming_multiplier" && ParseUint(value, &u)) {
       c.streaming_multiplier = static_cast<uint32_t>(u);
     } else if (key == "min_ways" && ParseUint(value, &u)) {
@@ -163,7 +163,7 @@ std::string FormatDcatConfig(const DcatConfig& config) {
   out << "phase_change_thr = " << config.phase_change_thr << "\n";
   out << "idle_mem_per_ins_epsilon = " << config.idle_mem_per_ins_epsilon << "\n";
   out << "min_instructions_per_interval = " << config.min_instructions_per_interval << "\n";
-  out << "policy = " << AllocationPolicyName(config.policy) << "\n";
+  out << "policy = " << config.policy << "\n";
   out << "streaming_multiplier = " << config.streaming_multiplier << "\n";
   out << "min_ways = " << config.min_ways << "\n";
   out << "donor_shrink_fraction = " << config.donor_shrink_fraction << "\n";

@@ -7,24 +7,29 @@
 #include <optional>
 
 #include "src/common/log.h"
+#include "src/policies/registry.h"
 
 namespace dcat {
 
-const char* AllocationPolicyName(AllocationPolicy policy) {
-  switch (policy) {
-    case AllocationPolicy::kMaxFairness:
-      return "max-fairness";
-    case AllocationPolicy::kMaxPerformance:
-      return "max-performance";
-  }
-  return "?";
-}
-
 DcatController::DcatController(CatController* cat, const MonitoringProvider* monitor,
                                DcatConfig config)
-    : cat_(cat), monitor_(monitor), config_(config) {}
+    : cat_(cat), monitor_(monitor), config_(std::move(config)) {
+  policy_ = PolicyRegistry::Global().Create(config_.policy);
+  if (policy_ == nullptr) {
+    std::fprintf(stderr, "DcatController: unknown policy '%s' (registered: %s)\n",
+                 config_.policy.c_str(), PolicyRegistry::Global().NamesList().c_str());
+    std::abort();
+  }
+  clustered_ = policy_->ClustersTenants();
+  if (clustered_) {
+    cos_acked_mask_.assign(cat_->NumCos(), 0);
+  }
+}
 
 AdmitStatus DcatController::AddTenant(const TenantSpec& spec) {
+  if (clustered_) {
+    return AddTenantClustered(spec);
+  }
   if (tenants_.size() + 1 >= cat_->NumCos()) {
     std::fprintf(stderr, "DcatController: tenant count exceeds COS limit (%u)\n",
                  cat_->NumCos());
@@ -155,6 +160,163 @@ AdmitStatus DcatController::AddTenant(const TenantSpec& spec) {
   return AdmitStatus::kOk;
 }
 
+AdmitStatus DcatController::AddTenantClustered(const TenantSpec& spec) {
+  // Clustered mode has no COS-count gate: the ceiling is cores and the
+  // baseline budget. The contract checks are the same as the classic path.
+  uint32_t baseline_total = spec.baseline_ways;
+  for (const TenantState& t : tenants_) {
+    baseline_total += t.spec.baseline_ways;
+  }
+  if (baseline_total > cat_->NumWays()) {
+    std::fprintf(stderr, "DcatController: baseline ways oversubscribed (%u > %u)\n",
+                 baseline_total, cat_->NumWays());
+    return AdmitStatus::kOversubscribed;
+  }
+  if (spec.baseline_ways < config_.min_ways) {
+    std::fprintf(stderr, "DcatController: baseline below minimum allocation\n");
+    return AdmitStatus::kBelowMinimum;
+  }
+
+  // Group assignment: a private group while the COS budget lasts, else the
+  // group with the fewest members (ties: first in tenant order). The policy
+  // regroups everyone at the next tick anyway; this only has to be valid.
+  std::vector<uint32_t> distinct;
+  for (const TenantState& t : tenants_) {
+    if (std::find(distinct.begin(), distinct.end(), t.group) == distinct.end()) {
+      distinct.push_back(t.group);
+    }
+  }
+  uint32_t group = 0;
+  bool fresh_group = distinct.size() + 1 < cat_->NumCos();  // COS 0 reserved
+  if (fresh_group) {
+    // Policies renumber groups freely (e.g. cluster indices 0..k-1), so a
+    // fresh id must clear every live id or the newcomer would silently
+    // join an existing cluster at mismatched ways.
+    for (const uint32_t g : distinct) {
+      next_group_id_ = std::max(next_group_id_, g + 1);
+    }
+    group = next_group_id_++;
+  } else {
+    size_t best_members = tenants_.size() + 1;
+    for (const uint32_t candidate : distinct) {
+      const size_t members = static_cast<size_t>(
+          std::count_if(tenants_.begin(), tenants_.end(),
+                        [candidate](const TenantState& t) { return t.group == candidate; }));
+      if (members < best_members) {
+        best_members = members;
+        group = candidate;
+      }
+    }
+  }
+
+  TenantState state{.spec = spec,
+                    .cos = 0,
+                    .group = group,
+                    .category = Category::kDonor,
+                    .ways = config_.min_ways,
+                    .detector = PhaseDetector(config_),
+                    .book = PhaseBook(config_.phase_change_thr)};
+  tenants_.push_back(std::move(state));
+
+  // Targets at group granularity: members of an existing group share its
+  // ways; a fresh group starts at the newcomer's minimum allocation and,
+  // when grown groups already fill the socket, shrinks the group with the
+  // largest over-baseline surplus first (newcomer's group exempt).
+  const size_t n = tenants_.size();
+  std::vector<uint32_t> groups(n, 0);
+  std::vector<uint32_t> before(n, 0);
+  std::vector<uint32_t> group_ways;  // by first-occurrence group order
+  std::vector<size_t> gidx(n, 0);
+  std::vector<uint32_t> order;
+  for (size_t i = 0; i < n; ++i) {
+    groups[i] = tenants_[i].group;
+    before[i] = tenants_[i].ways;
+    const auto it = std::find(order.begin(), order.end(), groups[i]);
+    if (it == order.end()) {
+      gidx[i] = order.size();
+      order.push_back(groups[i]);
+      group_ways.push_back(i + 1 == n ? config_.min_ways : tenants_[i].ways);
+    } else {
+      gidx[i] = static_cast<size_t>(it - order.begin());
+    }
+  }
+  const size_t newcomer_group = gidx[n - 1];
+  auto used = [&group_ways]() {
+    uint32_t sum = 0;
+    for (uint32_t w : group_ways) {
+      sum += w;
+    }
+    return sum;
+  };
+  while (used() > cat_->NumWays()) {
+    size_t victim = group_ways.size();
+    uint32_t best_surplus = 0;
+    for (size_t g = 0; g < group_ways.size(); ++g) {
+      if (g == newcomer_group) {
+        continue;
+      }
+      // The group floor mirrors the per-tenant rule: no member below
+      // min(its baseline, the group's ways), never below the CAT floor.
+      uint32_t floor = config_.min_ways;
+      for (size_t i = 0; i < n; ++i) {
+        if (gidx[i] == g) {
+          floor = std::max(
+              floor, std::min(tenants_[i].spec.baseline_ways, group_ways[g]));
+        }
+      }
+      const uint32_t surplus = group_ways[g] > floor ? group_ways[g] - floor : 0;
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        victim = g;
+      }
+    }
+    if (victim == group_ways.size()) {
+      std::fprintf(stderr, "DcatController: no room for tenant %u's minimum allocation\n",
+                   spec.id);
+      std::abort();
+    }
+    --group_ways[victim];
+  }
+  std::vector<uint32_t> targets(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    targets[i] = group_ways[gidx[i]];
+  }
+  if (!ApplyMasksClustered(targets, groups)) {
+    // Admission writes failed even with retries: undo the tenant. No cores
+    // moved yet — association is part of the clustered commit phase.
+    tenants_.pop_back();
+    std::fprintf(stderr, "DcatController: admission masks failed for tenant %u\n", spec.id);
+    return AdmitStatus::kBackendError;
+  }
+  // Counter snapshots now that the newcomer's COS is final (a shared COS
+  // carries the whole group's cumulative MBM traffic).
+  TenantState& newcomer = tenants_.back();
+  PerfCounterBlock sum;
+  for (uint16_t core : spec.cores) {
+    sum += monitor_->ReadCounters(core);
+  }
+  newcomer.last_counters = sum;
+  newcomer.last_mbm = monitor_->MemoryBandwidthBytes(newcomer.cos);
+
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (targets[i] != before[i]) {
+      sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                          .tenant = tenants_[i].spec.id,
+                                          .reason = AllocationReason::kShrinkForReclaim,
+                                          .from_ways = before[i],
+                                          .to_ways = targets[i]});
+      metrics_.counter("controller.alloc.shrink-for-reclaim").Increment();
+    }
+  }
+  sinks_.OnAllocation(AllocationEvent{.tick = tick_,
+                                      .tenant = spec.id,
+                                      .reason = AllocationReason::kAdmit,
+                                      .from_ways = 0,
+                                      .to_ways = targets[n - 1]});
+  metrics_.counter("controller.admissions").Increment();
+  return AdmitStatus::kOk;
+}
+
 bool DcatController::HasTenant(TenantId id) const {
   return std::any_of(tenants_.begin(), tenants_.end(),
                      [id](const TenantState& t) { return t.spec.id == id; });
@@ -183,7 +345,16 @@ void DcatController::RemoveTenant(TenantId id) {
   for (const TenantState& t : tenants_) {
     targets.push_back(t.ways);
   }
-  ApplyMasks(targets);
+  if (clustered_) {
+    std::vector<uint32_t> groups;
+    groups.reserve(tenants_.size());
+    for (const TenantState& t : tenants_) {
+      groups.push_back(t.group);
+    }
+    ApplyMasksClustered(targets, groups);
+  } else {
+    ApplyMasks(targets);
+  }
   sinks_.OnAllocation(AllocationEvent{.tick = tick_,
                                       .tenant = id,
                                       .reason = AllocationReason::kEvict,
@@ -543,145 +714,52 @@ void DcatController::AllocateAndApply() {
                 tenants_[i].grow_denied};
   }
 
-  // Pass 1: fixed demands.
+  // Delegate the decision problem to the configured policy (pure function
+  // of the inputs snapshot), then copy the verdict back into the tenants.
+  const PolicyDecision decision = policy_->Decide(BuildPolicyInputs());
+  if (decision.tenants.size() != n) {
+    std::fprintf(stderr, "DcatController: policy '%s' returned %zu decisions for %zu tenants\n",
+                 policy_->name().c_str(), decision.tenants.size(), n);
+    std::abort();
+  }
+  std::vector<uint32_t> groups(n, 0);
   for (size_t i = 0; i < n; ++i) {
     TenantState& t = tenants_[i];
-    t.grow_denied = false;
-    if (t.quarantined) {
-      // No trustworthy sample this interval: hold the allocation steady.
-      // Every category branch below keys off the (zeroed) sample and would
-      // misread the tenant as idle and strip it to the minimum.
-      targets[i] = std::max(t.ways, config_.min_ways);
-      continue;
-    }
-    switch (t.category) {
-      case Category::kReclaim: {
-        if (t.detector.idle()) {
-          // Phase change into idleness: nothing to reclaim for.
-          t.category = Category::kDonor;
-          targets[i] = config_.min_ways;
-          reason[i] = AllocationReason::kDonate;
-          break;
-        }
-        const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
-        const auto preferred =
-            phase.baseline_valid ? phase.table.PreferredWays(config_.ipc_improvement_thr)
-                                 : std::nullopt;
-        if (preferred.has_value()) {
-          // Fig. 12 fast path: the phase was seen before — jump straight to
-          // its preferred allocation (never below baseline: the guarantee
-          // must hold even if the table is stale).
-          targets[i] = std::max(*preferred, t.spec.baseline_ways);
-          t.category = Category::kKeeper;
-        } else {
-          targets[i] = t.spec.baseline_ways;
-          t.measuring_baseline = true;
-          // Category stays Reclaim for one interval; Categorize moves it to
-          // Keeper after the baseline measurement lands.
-        }
-        reason[i] = AllocationReason::kReclaim;
-        metrics_.counter("controller.reclaims").Increment();
-        break;
-      }
-      case Category::kDonor:
-        if (t.detector.idle() ||
-            t.sample.llc_refs_per_kilo_instruction() <=
-                config_.llc_ref_per_kilo_instruction_thr) {
-          targets[i] = config_.min_ways;  // idle donor: release everything
-        } else {
-          targets[i] = std::max(t.ways > 0 ? t.ways - 1 : 0, config_.min_ways);  // gradual
-        }
-        reason[i] = AllocationReason::kDonate;
-        break;
-      case Category::kStreaming:
-        targets[i] = config_.min_ways;
-        reason[i] = AllocationReason::kDonate;
-        break;
-      case Category::kKeeper:
-      case Category::kUnknown:
-      case Category::kReceiver:
-        targets[i] = std::max(t.ways, config_.min_ways);
-        break;
-    }
+    const TenantDecision& d = decision.tenants[i];
+    t.category = d.category;
+    t.measuring_baseline = d.measuring_baseline;
+    t.grow_denied = d.grow_denied;
+    targets[i] = d.ways;
+    groups[i] = d.group;
+    reason[i] = d.reason;
+  }
+  for (uint32_t r = 0; r < decision.reclaims; ++r) {
+    metrics_.counter("controller.reclaims").Increment();
   }
 
-  // Pass 2: make reclaim demands fit. Σ baselines <= total ways (admission
-  // control), so shrinking over-baseline tenants always suffices.
-  auto used = [&targets]() {
+  auto used = [&]() {
+    if (!clustered_) {
+      uint32_t sum = 0;
+      for (uint32_t w : targets) {
+        sum += w;
+      }
+      return sum;
+    }
+    // Shared COSes: each distinct group's ways count once.
     uint32_t sum = 0;
-    for (uint32_t w : targets) {
-      sum += w;
+    std::vector<uint32_t> seen;
+    for (size_t i = 0; i < n; ++i) {
+      if (std::find(seen.begin(), seen.end(), groups[i]) == seen.end()) {
+        seen.push_back(groups[i]);
+        sum += targets[i];
+      }
     }
     return sum;
   };
-  while (used() > total) {
-    // Shrink the non-reclaiming tenant with the largest surplus over its
-    // baseline by one way.
-    size_t victim = n;
-    uint32_t best_surplus = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (tenants_[i].category == Category::kReclaim) {
-        continue;
-      }
-      const uint32_t floor =
-          std::max(std::min(tenants_[i].spec.baseline_ways, targets[i]), config_.min_ways);
-      const uint32_t surplus = targets[i] > floor ? targets[i] - floor : 0;
-      if (surplus > best_surplus) {
-        best_surplus = surplus;
-        victim = i;
-      }
-    }
-    if (victim == n) {
-      // No surplus anywhere: shrink over-baseline reclaims... cannot happen
-      // with admission control; guard against config bugs.
-      std::fprintf(stderr, "DcatController: cannot satisfy reclaim demands\n");
-      std::abort();
-    }
-    --targets[victim];
-    reason[victim] = AllocationReason::kShrinkForReclaim;
-  }
 
-  // Pass 3: growth. Unknowns have priority over Receivers (§3.5: identify
-  // streaming workloads sooner); within a class, round-robin one way at a
-  // time (the max-fairness rule; also the discovery mode of max-perf).
-  uint32_t pool = total - used();
-  for (Category cls : {Category::kUnknown, Category::kReceiver}) {
-    for (size_t i = 0; i < n && pool > 0; ++i) {
-      TenantState& t = tenants_[i];
-      if (t.category != cls || t.measuring_baseline || t.quarantined) {
-        continue;
-      }
-      // Only grow once the phase baseline is established.
-      if (!t.has_phase || !CurrentPhase(t).baseline_valid) {
-        continue;
-      }
-      ++targets[i];
-      --pool;
-      reason[i] = AllocationReason::kGrowFromPool;
-    }
-    // Anyone in this class who wanted a way but got none?
-    for (size_t i = 0; i < n; ++i) {
-      TenantState& t = tenants_[i];
-      if (t.category == cls && !t.measuring_baseline && !t.quarantined &&
-          targets[i] <= t.ways && pool == 0) {
-        t.grow_denied = true;
-      }
-    }
-  }
-
-  // Pass 4: max-performance rebalancing once discovery has populated the
-  // tables and the pool is exhausted.
-  if (config_.policy == AllocationPolicy::kMaxPerformance && pool == 0) {
-    const std::vector<uint32_t> before_rebalance = targets;
-    MaxPerformanceRebalance(targets);
-    for (size_t i = 0; i < n; ++i) {
-      if (targets[i] != before_rebalance[i]) {
-        reason[i] = AllocationReason::kRebalance;
-      }
-    }
-  }
-
-  if (!ApplyMasks(targets)) {
+  const bool applied =
+      clustered_ ? ApplyMasksClustered(targets, groups) : ApplyMasks(targets);
+  if (!applied) {
     // The allocation never took effect: roll the decision state back so the
     // next interval re-derives it from allocations that actually ran, and
     // count the failure toward graceful degradation.
@@ -733,70 +811,34 @@ void DcatController::AllocateAndApply() {
   }
 }
 
-void DcatController::MaxPerformanceRebalance(std::vector<uint32_t>& targets) {
-  // Candidates: tenants with a valid baseline and at least two measured
-  // table entries, currently in a stable or growing state. Their combined
-  // ways are redistributed to maximize predicted total normalized IPC.
-  std::vector<size_t> candidate_index;
-  std::vector<TableChoices> choices;
-  uint32_t budget = 0;
-  double current_value = 0.0;
-  for (size_t i = 0; i < tenants_.size(); ++i) {
-    TenantState& t = tenants_[i];
-    if (t.category != Category::kKeeper && t.category != Category::kReceiver) {
-      continue;
+PolicyInputs DcatController::BuildPolicyInputs() const {
+  PolicyInputs inputs;
+  inputs.total_ways = cat_->NumWays();
+  inputs.num_cos = cat_->NumCos();
+  inputs.config = &config_;
+  inputs.tenants.reserve(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    PolicyTenant pt;
+    pt.id = t.spec.id;
+    pt.category = t.category;
+    pt.ways = t.ways;
+    pt.baseline_ways = t.spec.baseline_ways;
+    pt.group = t.group;
+    pt.quarantined = t.quarantined;
+    pt.idle = t.detector.idle();
+    pt.phase_signature = t.detector.signature();
+    pt.llc_refs_per_kilo_instruction = t.sample.llc_refs_per_kilo_instruction();
+    pt.llc_miss_rate = t.sample.llc_miss_rate();
+    pt.has_phase = t.has_phase;
+    pt.measuring_baseline = t.measuring_baseline;
+    if (t.has_phase) {
+      const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
+      pt.baseline_valid = phase.baseline_valid;
+      pt.table = &phase.table;
     }
-    if (!t.has_phase) {
-      continue;
-    }
-    const PhaseBook::PhaseRecord& phase = CurrentPhase(t);
-    if (!phase.baseline_valid || phase.table.size() < 2) {
-      continue;
-    }
-    // Still exploring: the current target has no measurement yet, so the
-    // solver would "optimize" it away to the best measured size and undo
-    // the exploration every other tick. Wait for the sample.
-    if (!phase.table.Has(targets[i])) {
-      return;
-    }
-    TableChoices c;
-    for (const auto& [ways, value] : phase.table.Entries()) {
-      // Never offer sizes below the contracted baseline: the guarantee
-      // outranks total-throughput optimization.
-      if (ways >= t.spec.baseline_ways) {
-        c.options.emplace_back(ways, value);
-      }
-    }
-    if (c.options.size() < 2) {
-      continue;
-    }
-    candidate_index.push_back(i);
-    choices.push_back(std::move(c));
-    budget += targets[i];
-    const auto at_current = phase.table.Get(targets[i]);
-    current_value += at_current.value_or(1.0);
+    inputs.tenants.push_back(pt);
   }
-  if (candidate_index.size() < 2) {
-    return;
-  }
-  const std::vector<uint32_t> solution = SolveMaxPerformance(choices, budget);
-  if (solution.empty()) {
-    return;
-  }
-  double solution_value = 0.0;
-  for (size_t k = 0; k < solution.size(); ++k) {
-    const auto v = CurrentPhase(tenants_[candidate_index[k]]).table.Get(solution[k]);
-    solution_value += v.value_or(0.0);
-  }
-  // Only move ways for a predicted net win (epsilon guards thrash).
-  if (solution_value <= current_value + 1e-6) {
-    return;
-  }
-  for (size_t k = 0; k < solution.size(); ++k) {
-    targets[candidate_index[k]] = solution[k];
-  }
-  DCAT_LOG(kDebug) << "max-perf rebalance: predicted " << current_value << " -> "
-                   << solution_value;
+  return inputs;
 }
 
 // --- fault-tolerant write primitives ---
@@ -897,6 +939,97 @@ bool DcatController::ApplyMasks(const std::vector<uint32_t>& targets) {
   for (size_t i = 0; i < tenants_.size(); ++i) {
     tenants_[i].ways = targets[i];
     tenants_[i].mask = (*masks)[i];
+  }
+  return true;
+}
+
+bool DcatController::ApplyMasksClustered(const std::vector<uint32_t>& targets,
+                                         const std::vector<uint32_t>& groups) {
+  const size_t n = tenants_.size();
+  // Normalize groups by first occurrence: group order -> COS 1..G. The
+  // mapping is recomputed every apply, so a policy that regroups tenants
+  // mostly reshuffles existing masks rather than programming fresh COSes.
+  std::vector<uint32_t> order;
+  std::vector<size_t> gidx(n, 0);
+  std::vector<uint32_t> group_ways;
+  std::vector<TenantId> group_owner;
+  for (size_t i = 0; i < n; ++i) {
+    const auto it = std::find(order.begin(), order.end(), groups[i]);
+    if (it == order.end()) {
+      gidx[i] = order.size();
+      order.push_back(groups[i]);
+      group_ways.push_back(targets[i]);
+      group_owner.push_back(tenants_[i].spec.id);
+    } else {
+      gidx[i] = static_cast<size_t>(it - order.begin());
+      if (targets[i] != group_ways[gidx[i]]) {
+        // The Policy contract requires equal ways within a group; unequal
+        // targets would make t.ways lie about the mask the tenant runs on.
+        std::fprintf(stderr, "DcatController: clustered targets disagree within group %u\n",
+                     groups[i]);
+        std::abort();
+      }
+    }
+  }
+  const size_t num_groups = order.size();
+  if (num_groups + 1 > cat_->NumCos()) {
+    std::fprintf(stderr, "DcatController: policy used %zu groups with %u COSes\n", num_groups,
+                 cat_->NumCos());
+    std::abort();
+  }
+  const auto masks = LayoutMasks(group_ways, cat_->NumWays());
+  if (!masks.has_value()) {
+    std::fprintf(stderr, "DcatController: allocator produced an inexpressible layout\n");
+    std::abort();
+  }
+  // Phase 1: program every changed group mask (COS = group index + 1),
+  // remembering what landed for rollback on partial failure.
+  std::vector<size_t> written;
+  bool failed = false;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const uint8_t cos = static_cast<uint8_t>(g + 1);
+    if (cos_acked_mask_[cos] == (*masks)[g]) {
+      continue;  // already acknowledged at this value
+    }
+    if (!WriteMaskWithRetry(cos, group_owner[g], (*masks)[g])) {
+      failed = true;
+      break;
+    }
+    written.push_back(g);
+  }
+  if (failed) {
+    for (size_t g : written) {
+      const uint8_t cos = static_cast<uint8_t>(g + 1);
+      if (cos_acked_mask_[cos] != 0) {
+        WriteMaskWithRetry(cos, group_owner[g], cos_acked_mask_[cos]);
+      }
+    }
+    return false;
+  }
+  // Phase 2: commit. COSes beyond the live group count keep their last
+  // programmed mask on the backend, but the acked record is cleared so a
+  // future group landing there is programmed fresh, not skipped as current.
+  for (size_t g = 0; g < num_groups; ++g) {
+    cos_acked_mask_[g + 1] = (*masks)[g];
+  }
+  for (size_t cos = num_groups + 1; cos < cos_acked_mask_.size(); ++cos) {
+    cos_acked_mask_[cos] = 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TenantState& t = tenants_[i];
+    t.ways = targets[i];
+    t.mask = (*masks)[gidx[i]];
+    t.group = groups[i];
+    const uint8_t cos = static_cast<uint8_t>(gidx[i] + 1);
+    if (t.cos != cos) {
+      // Cores follow their tenant's group. An association failure here is
+      // tolerated — the masks already committed, and the per-tick
+      // reconciliation re-programs stragglers against t.cos.
+      for (uint16_t core : t.spec.cores) {
+        AssociateWithRetry(core, cos, t.spec.id);
+      }
+      t.cos = cos;
+    }
   }
   return true;
 }
@@ -1011,8 +1144,25 @@ void DcatController::DegradedTick() {
     before[i] = tenants_[i].ways;
     targets[i] = std::max(tenants_[i].spec.baseline_ways, config_.min_ways);
   }
+  std::vector<uint32_t> groups(n, 0);
+  if (clustered_) {
+    // Keep the current grouping but lift every group to its most demanding
+    // member's baseline — the static-partition guarantee at group grain.
+    for (size_t i = 0; i < n; ++i) {
+      groups[i] = tenants_[i].group;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (groups[j] == groups[i]) {
+          targets[i] = std::max(targets[i], targets[j]);
+        }
+      }
+    }
+  }
   // Σ baselines <= total ways (admission control), so this always fits.
-  if (ApplyMasks(targets)) {
+  const bool applied =
+      clustered_ ? ApplyMasksClustered(targets, groups) : ApplyMasks(targets);
+  if (applied) {
     consecutive_apply_failures_ = 0;
     for (size_t i = 0; i < n; ++i) {
       if (targets[i] != before[i]) {
@@ -1145,32 +1295,28 @@ TenantSnapshot DcatController::Snapshot(TenantId id) const {
 ControllerSnapshot DcatController::Snapshot() const {
   ControllerSnapshot s;
   s.tick = tick_;
-  s.policy = config_.policy;
+  s.policy = policy_->name();
   s.total_ways = cat_->NumWays();
   s.degraded = mode_ == Mode::kDegraded;
   s.tenants.reserve(tenants_.size());
+  std::vector<uint32_t> counted_groups;
   for (const TenantState& t : tenants_) {
     s.tenants.push_back(MakeSnapshot(t));
-    s.allocated_ways += t.ways;
+    if (clustered_) {
+      // A shared COS's ways count once toward the socket budget.
+      if (std::find(counted_groups.begin(), counted_groups.end(), t.group) ==
+          counted_groups.end()) {
+        counted_groups.push_back(t.group);
+        s.allocated_ways += t.ways;
+      }
+    } else {
+      s.allocated_ways += t.ways;
+    }
   }
   s.pool_ways = s.total_ways > s.allocated_ways ? s.total_ways - s.allocated_ways : 0;
   return s;
 }
 
 uint32_t DcatController::TenantWays(TenantId id) const { return FindTenant(id).ways; }
-
-Category DcatController::TenantCategory(TenantId id) const { return FindTenant(id).category; }
-
-uint32_t DcatController::TenantBaselineWays(TenantId id) const {
-  return FindTenant(id).spec.baseline_ways;
-}
-
-double DcatController::TenantNormalizedIpc(TenantId id) const {
-  return NormalizedIpc(FindTenant(id));
-}
-
-const PerformanceTable& DcatController::TenantTable(TenantId id) const {
-  return CurrentPhase(FindTenant(id)).table;
-}
 
 }  // namespace dcat

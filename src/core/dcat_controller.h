@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "src/core/metrics.h"
 #include "src/core/performance_table.h"
 #include "src/core/phase_detector.h"
+#include "src/policies/policy.h"
 #include "src/pqos/pqos.h"
 #include "src/telemetry/events.h"
 #include "src/telemetry/metrics.h"
@@ -76,7 +78,7 @@ struct TenantSnapshot {
 // Whole-socket controller state at one instant.
 struct ControllerSnapshot {
   uint64_t tick = 0;
-  AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  std::string policy;  // canonical PolicyRegistry name
   uint32_t total_ways = 0;
   uint32_t allocated_ways = 0;
   uint32_t pool_ways = 0;
@@ -111,15 +113,10 @@ class DcatController : public CacheManager {
   ControllerSnapshot Snapshot() const;
   uint64_t ticks() const { return tick_; }
 
-  // Deprecated getter quintet, kept as thin wrappers over Snapshot state
-  // until the last out-of-tree caller migrates. TenantWays stays: it is the
-  // CacheManager interface, not an introspection extra.
-  [[deprecated("use Snapshot(id).category")]] Category TenantCategory(TenantId id) const;
-  [[deprecated("use Snapshot(id).baseline_ways")]] uint32_t TenantBaselineWays(
-      TenantId id) const;
-  [[deprecated("use Snapshot(id).norm_ipc")]] double TenantNormalizedIpc(TenantId id) const;
-  [[deprecated("use Snapshot(id).table")]] const PerformanceTable& TenantTable(
-      TenantId id) const;
+  // The active allocation policy (created from DcatConfig::policy via the
+  // PolicyRegistry) and whether it maps several tenants onto shared COSes.
+  const Policy& policy() const { return *policy_; }
+  bool clustered() const { return clustered_; }
 
   // --- telemetry ---
 
@@ -144,6 +141,10 @@ class DcatController : public CacheManager {
   struct TenantState {
     TenantSpec spec;
     uint8_t cos = 0;
+    // COS-sharing group (clustered policies only): tenants with equal
+    // group ids share one COS. Assigned at admission, overwritten by every
+    // policy decision. Meaningless in the classic one-tenant-per-COS mode.
+    uint32_t group = 0;
     Category category = Category::kDonor;  // pre-arrival: nothing running
     uint32_t ways = 1;        // allocation in effect (== during last interval)
     // Capacity mask the backend acknowledged for this tenant's COS; the
@@ -189,12 +190,20 @@ class DcatController : public CacheManager {
   void DetectPhase(TenantState& tenant);
   void UpdateBaselineAndTable(TenantState& tenant);
   void Categorize(TenantState& tenant);
+  // Snapshots the decision problem for the policy, and the clustered
+  // admission path (shared-COS layout, group assignment).
+  PolicyInputs BuildPolicyInputs() const;
+  AdmitStatus AddTenantClustered(const TenantSpec& spec);
   void AllocateAndApply();
-  void MaxPerformanceRebalance(std::vector<uint32_t>& targets);
   // Transactionally programs the target allocation: nothing commits to the
   // controller's bookkeeping unless every mask write is acknowledged (a
   // partial failure rolls the written masks back). Returns false on failure.
   bool ApplyMasks(const std::vector<uint32_t>& targets);
+  // Shared-COS variant: tenants with equal group ids (and therefore equal
+  // targets) land on one COS; group order maps to COS 1..G by first
+  // occurrence, and cores follow their tenant's COS on commit.
+  bool ApplyMasksClustered(const std::vector<uint32_t>& targets,
+                           const std::vector<uint32_t>& groups);
 
   // --- fault tolerance ---
   // Bounded-retry, verify-after-write primitives. On real hardware the
@@ -230,6 +239,12 @@ class DcatController : public CacheManager {
   CatController* cat_;
   const MonitoringProvider* monitor_;
   DcatConfig config_;
+  std::unique_ptr<Policy> policy_;
+  bool clustered_ = false;
+  // Clustered mode: the mask the backend acknowledged per COS (0 = never
+  // programmed), and the id source for admission-time groups.
+  std::vector<uint32_t> cos_acked_mask_;
+  uint32_t next_group_id_ = 0;
   std::vector<TenantState> tenants_;
   uint64_t tick_ = 0;
   bool logging_ = true;

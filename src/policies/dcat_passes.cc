@@ -1,0 +1,243 @@
+#include "src/policies/dcat_passes.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/log.h"
+#include "src/core/allocator.h"
+
+namespace dcat {
+
+DcatPassState InitPassState(const PolicyInputs& inputs) {
+  const size_t n = inputs.tenants.size();
+  DcatPassState state;
+  state.targets.assign(n, 0);
+  state.category.reserve(n);
+  state.measuring_baseline.reserve(n);
+  state.grow_denied.assign(n, 0);
+  state.reason.resize(n);
+  for (const PolicyTenant& t : inputs.tenants) {
+    state.category.push_back(t.category);
+    state.measuring_baseline.push_back(t.measuring_baseline ? 1 : 0);
+  }
+  return state;
+}
+
+void Pass1FixedDemands(const PolicyInputs& inputs, DcatPassState* state) {
+  const DcatConfig& config = *inputs.config;
+  for (size_t i = 0; i < inputs.tenants.size(); ++i) {
+    const PolicyTenant& t = inputs.tenants[i];
+    state->grow_denied[i] = 0;
+    if (t.quarantined) {
+      // No trustworthy sample this interval: hold the allocation steady.
+      // Every category branch below keys off the (zeroed) sample and would
+      // misread the tenant as idle and strip it to the minimum.
+      state->targets[i] = std::max(t.ways, config.min_ways);
+      continue;
+    }
+    switch (state->category[i]) {
+      case Category::kReclaim: {
+        if (t.idle) {
+          // Phase change into idleness: nothing to reclaim for.
+          state->category[i] = Category::kDonor;
+          state->targets[i] = config.min_ways;
+          state->reason[i] = AllocationReason::kDonate;
+          break;
+        }
+        const auto preferred =
+            (t.baseline_valid && t.table != nullptr)
+                ? t.table->PreferredWays(config.ipc_improvement_thr)
+                : std::nullopt;
+        if (preferred.has_value()) {
+          // Fig. 12 fast path: the phase was seen before — jump straight to
+          // its preferred allocation (never below baseline: the guarantee
+          // must hold even if the table is stale).
+          state->targets[i] = std::max(*preferred, t.baseline_ways);
+          state->category[i] = Category::kKeeper;
+        } else {
+          state->targets[i] = t.baseline_ways;
+          state->measuring_baseline[i] = 1;
+          // Category stays Reclaim for one interval; the categorizer moves
+          // it to Keeper after the baseline measurement lands.
+        }
+        state->reason[i] = AllocationReason::kReclaim;
+        ++state->reclaims;
+        break;
+      }
+      case Category::kDonor:
+        if (t.idle ||
+            t.llc_refs_per_kilo_instruction <= config.llc_ref_per_kilo_instruction_thr) {
+          state->targets[i] = config.min_ways;  // idle donor: release everything
+        } else {
+          state->targets[i] = std::max(t.ways > 0 ? t.ways - 1 : 0, config.min_ways);  // gradual
+        }
+        state->reason[i] = AllocationReason::kDonate;
+        break;
+      case Category::kStreaming:
+        state->targets[i] = config.min_ways;
+        state->reason[i] = AllocationReason::kDonate;
+        break;
+      case Category::kKeeper:
+      case Category::kUnknown:
+      case Category::kReceiver:
+        state->targets[i] = std::max(t.ways, config.min_ways);
+        break;
+    }
+  }
+}
+
+void Pass2FitToBudget(const PolicyInputs& inputs, DcatPassState* state) {
+  const DcatConfig& config = *inputs.config;
+  const size_t n = inputs.tenants.size();
+  auto used = [state]() {
+    uint32_t sum = 0;
+    for (uint32_t w : state->targets) {
+      sum += w;
+    }
+    return sum;
+  };
+  while (used() > inputs.total_ways) {
+    // Shrink the non-reclaiming tenant with the largest surplus over its
+    // baseline by one way.
+    size_t victim = n;
+    uint32_t best_surplus = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (state->category[i] == Category::kReclaim) {
+        continue;
+      }
+      const uint32_t floor = std::max(
+          std::min(inputs.tenants[i].baseline_ways, state->targets[i]), config.min_ways);
+      const uint32_t surplus = state->targets[i] > floor ? state->targets[i] - floor : 0;
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        victim = i;
+      }
+    }
+    if (victim == n) {
+      // No surplus anywhere: shrink over-baseline reclaims... cannot happen
+      // with admission control; guard against config bugs.
+      std::fprintf(stderr, "dcat policy: cannot satisfy reclaim demands\n");
+      std::abort();
+    }
+    --state->targets[victim];
+    state->reason[victim] = AllocationReason::kShrinkForReclaim;
+  }
+}
+
+void Pass3GrowFromPool(const PolicyInputs& inputs, DcatPassState* state) {
+  const size_t n = inputs.tenants.size();
+  uint32_t sum = 0;
+  for (uint32_t w : state->targets) {
+    sum += w;
+  }
+  uint32_t pool = inputs.total_ways - sum;
+  for (Category cls : {Category::kUnknown, Category::kReceiver}) {
+    for (size_t i = 0; i < n && pool > 0; ++i) {
+      const PolicyTenant& t = inputs.tenants[i];
+      if (state->category[i] != cls || state->measuring_baseline[i] || t.quarantined) {
+        continue;
+      }
+      // Only grow once the phase baseline is established.
+      if (!t.has_phase || !t.baseline_valid) {
+        continue;
+      }
+      ++state->targets[i];
+      --pool;
+      state->reason[i] = AllocationReason::kGrowFromPool;
+    }
+    // Anyone in this class who wanted a way but got none?
+    for (size_t i = 0; i < n; ++i) {
+      const PolicyTenant& t = inputs.tenants[i];
+      if (state->category[i] == cls && !state->measuring_baseline[i] && !t.quarantined &&
+          state->targets[i] <= t.ways && pool == 0) {
+        state->grow_denied[i] = 1;
+      }
+    }
+  }
+  state->pool = pool;
+}
+
+void MaxPerformanceRebalance(const PolicyInputs& inputs, DcatPassState* state) {
+  // Candidates: tenants with a valid baseline and at least two measured
+  // table entries, currently in a stable or growing state. Their combined
+  // ways are redistributed to maximize predicted total normalized IPC.
+  std::vector<size_t> candidate_index;
+  std::vector<TableChoices> choices;
+  uint32_t budget = 0;
+  double current_value = 0.0;
+  for (size_t i = 0; i < inputs.tenants.size(); ++i) {
+    const PolicyTenant& t = inputs.tenants[i];
+    if (state->category[i] != Category::kKeeper && state->category[i] != Category::kReceiver) {
+      continue;
+    }
+    if (!t.has_phase || t.table == nullptr) {
+      continue;
+    }
+    if (!t.baseline_valid || t.table->size() < 2) {
+      continue;
+    }
+    // Still exploring: the current target has no measurement yet, so the
+    // solver would "optimize" it away to the best measured size and undo
+    // the exploration every other tick. Wait for the sample.
+    if (!t.table->Has(state->targets[i])) {
+      return;
+    }
+    TableChoices c;
+    for (const auto& [ways, value] : t.table->Entries()) {
+      // Never offer sizes below the contracted baseline: the guarantee
+      // outranks total-throughput optimization.
+      if (ways >= t.baseline_ways) {
+        c.options.emplace_back(ways, value);
+      }
+    }
+    if (c.options.size() < 2) {
+      continue;
+    }
+    candidate_index.push_back(i);
+    choices.push_back(std::move(c));
+    budget += state->targets[i];
+    const auto at_current = t.table->Get(state->targets[i]);
+    current_value += at_current.value_or(1.0);
+  }
+  if (candidate_index.size() < 2) {
+    return;
+  }
+  const std::vector<uint32_t> solution = SolveMaxPerformance(choices, budget);
+  if (solution.empty()) {
+    return;
+  }
+  double solution_value = 0.0;
+  for (size_t k = 0; k < solution.size(); ++k) {
+    const auto v = inputs.tenants[candidate_index[k]].table->Get(solution[k]);
+    solution_value += v.value_or(0.0);
+  }
+  // Only move ways for a predicted net win (epsilon guards thrash).
+  if (solution_value <= current_value + 1e-6) {
+    return;
+  }
+  for (size_t k = 0; k < solution.size(); ++k) {
+    state->targets[candidate_index[k]] = solution[k];
+  }
+  DCAT_LOG(kDebug) << "max-perf rebalance: predicted " << current_value << " -> "
+                   << solution_value;
+}
+
+PolicyDecision ToDecision(const DcatPassState& state) {
+  PolicyDecision decision;
+  decision.reclaims = state.reclaims;
+  decision.tenants.reserve(state.targets.size());
+  for (size_t i = 0; i < state.targets.size(); ++i) {
+    TenantDecision d;
+    d.ways = state.targets[i];
+    d.category = state.category[i];
+    d.measuring_baseline = state.measuring_baseline[i] != 0;
+    d.grow_denied = state.grow_denied[i] != 0;
+    d.reason = state.reason[i];
+    d.group = static_cast<uint32_t>(i);
+    decision.tenants.push_back(d);
+  }
+  return decision;
+}
+
+}  // namespace dcat

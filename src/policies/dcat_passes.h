@@ -1,0 +1,67 @@
+// The paper's allocation passes (§3.4, §3.5), shared across policies.
+//
+// Pass 1 turns each tenant's category into a fixed demand (reclaims jump
+// to baseline or the table's preferred size, donors shed ways, streamers
+// pin at the minimum). Pass 2 shrinks over-baseline surplus until the
+// demands fit the socket. Pass 3 grows Unknowns (priority) then Receivers
+// round-robin from the free pool. The max-performance DP rebalance is the
+// optional pass 4.
+//
+// Both paper policies are thin compositions of these passes; the LFOC
+// clustering policy reuses pass 1 for demands and re-derives passes 2/3 at
+// cluster granularity.
+#ifndef SRC_POLICIES_DCAT_PASSES_H_
+#define SRC_POLICIES_DCAT_PASSES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/policies/policy.h"
+
+namespace dcat {
+
+// Mutable working state threaded through the passes. Categories and
+// measuring/grow flags start from the inputs and are mutated exactly the
+// way the controller's in-place passes historically did.
+struct DcatPassState {
+  std::vector<uint32_t> targets;
+  std::vector<Category> category;
+  std::vector<char> measuring_baseline;
+  std::vector<char> grow_denied;
+  std::vector<std::optional<AllocationReason>> reason;
+  uint32_t pool = 0;      // set by pass 3
+  uint32_t reclaims = 0;  // demands derived from a reclaim (pass 1)
+};
+
+DcatPassState InitPassState(const PolicyInputs& inputs);
+
+// Pass 1: fixed demands. Quarantined tenants hold steady; Reclaim jumps to
+// max(preferred, baseline) when the phase's table already knows a preferred
+// size (Fig. 12 fast path) or to the baseline while measuring; Donors shed
+// gradually (or fully when idle); Streaming pins at the minimum.
+void Pass1FixedDemands(const PolicyInputs& inputs, DcatPassState* state);
+
+// Pass 2: shrink the non-reclaiming tenant with the largest surplus over
+// its floor until the demands fit the socket. Σ baselines <= total ways
+// (admission control), so this always terminates; an unfittable demand set
+// is a programmer error and aborts.
+void Pass2FitToBudget(const PolicyInputs& inputs, DcatPassState* state);
+
+// Pass 3: round-robin growth from the free pool, Unknowns before
+// Receivers, one way per tenant per interval; marks grow_denied when the
+// pool ran dry on a tenant that wanted a way.
+void Pass3GrowFromPool(const PolicyInputs& inputs, DcatPassState* state);
+
+// Pass 4 (max-performance): redistributes the combined ways of stable
+// tenants with populated tables to maximize predicted total normalized
+// IPC; only commits a strict predicted win.
+void MaxPerformanceRebalance(const PolicyInputs& inputs, DcatPassState* state);
+
+// Packages the working state as a per-tenant decision with singleton
+// groups (group == index), the shape every non-clustering policy returns.
+PolicyDecision ToDecision(const DcatPassState& state);
+
+}  // namespace dcat
+
+#endif  // SRC_POLICIES_DCAT_PASSES_H_

@@ -1,0 +1,212 @@
+#include "src/policies/lfoc_cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/policies/dcat_passes.h"
+
+namespace dcat {
+namespace {
+
+enum Role { kSensitive, kDonorRole, kStreamingRole };
+
+struct Cluster {
+  std::vector<size_t> members;
+  uint32_t ways = 0;   // max member demand (pinned to min for streaming)
+  uint32_t floor = 0;  // max member floor; fit never shrinks below it
+};
+
+}  // namespace
+
+PolicyDecision LfocClusterPolicy::Decide(const PolicyInputs& inputs) const {
+  const size_t n = inputs.tenants.size();
+  const DcatConfig& config = *inputs.config;
+  DcatPassState state = InitPassState(inputs);
+  Pass1FixedDemands(inputs, &state);
+
+  // Cluster roles from the post-pass-1 categories. Quarantined tenants are
+  // treated as sensitive regardless of category: their demand is a hold of
+  // the current allocation and must not be dragged around by a shared
+  // donor cluster.
+  std::vector<int> role(n, kSensitive);
+  bool has_donor = false;
+  bool has_streaming = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (inputs.tenants[i].quarantined) {
+      continue;
+    }
+    if (state.category[i] == Category::kStreaming) {
+      role[i] = kStreamingRole;
+      has_streaming = true;
+    } else if (state.category[i] == Category::kDonor) {
+      role[i] = kDonorRole;
+      has_donor = true;
+    }
+  }
+
+  // A member's fairness floor: a sensitive tenant is never shrunk below
+  // min(contracted baseline, its demand); donors and streamers surrendered
+  // down to the CAT floor by definition.
+  auto member_floor = [&](size_t i) {
+    if (role[i] != kSensitive) {
+      return config.min_ways;
+    }
+    return std::max(std::min(inputs.tenants[i].baseline_ways, state.targets[i]),
+                    config.min_ways);
+  };
+
+  // Sensitive tenants get private clusters while the COS budget lasts
+  // (one COS stays reserved for each of the donor/streaming clusters),
+  // then merge with the sensitive cluster of closest size — compatible
+  // demands interfere least. Deterministic: tenant order, ties to the
+  // lowest cluster index.
+  const uint32_t cos_budget = inputs.num_cos > 0 ? inputs.num_cos - 1 : 0;
+  const uint32_t reserved = (has_donor ? 1u : 0u) + (has_streaming ? 1u : 0u);
+  const uint32_t sensitive_budget = cos_budget > reserved ? cos_budget - reserved : 1;
+
+  std::vector<Cluster> clusters;
+  std::vector<size_t> cluster_of(n, 0);
+  size_t sensitive_clusters = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (role[i] != kSensitive) {
+      continue;
+    }
+    const uint32_t demand = state.targets[i];
+    size_t target_cluster = clusters.size();
+    if (sensitive_clusters >= sensitive_budget) {
+      uint32_t best_distance = 0;
+      bool found = false;
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        const uint32_t distance =
+            clusters[c].ways > demand ? clusters[c].ways - demand : demand - clusters[c].ways;
+        if (!found || distance < best_distance) {
+          best_distance = distance;
+          target_cluster = c;
+          found = true;
+        }
+      }
+    }
+    if (target_cluster == clusters.size()) {
+      clusters.push_back(Cluster{});
+      ++sensitive_clusters;
+    }
+    Cluster& cluster = clusters[target_cluster];
+    cluster.members.push_back(i);
+    cluster.ways = std::max(cluster.ways, demand);
+    cluster.floor = std::max(cluster.floor, member_floor(i));
+    cluster_of[i] = target_cluster;
+  }
+  if (has_donor) {
+    clusters.push_back(Cluster{});
+    Cluster& cluster = clusters.back();
+    for (size_t i = 0; i < n; ++i) {
+      if (role[i] == kDonorRole) {
+        cluster.members.push_back(i);
+        cluster.ways = std::max(cluster.ways, state.targets[i]);
+        cluster.floor = std::max(cluster.floor, member_floor(i));
+        cluster_of[i] = clusters.size() - 1;
+      }
+    }
+  }
+  if (has_streaming) {
+    // Pinned at the minimum: pass 1 demands the minimum for every
+    // streamer, so the max below is exactly config.min_ways — stated
+    // explicitly because the streaming-pinned invariant depends on it.
+    clusters.push_back(Cluster{});
+    Cluster& cluster = clusters.back();
+    cluster.ways = config.min_ways;
+    cluster.floor = config.min_ways;
+    for (size_t i = 0; i < n; ++i) {
+      if (role[i] == kStreamingRole) {
+        cluster.members.push_back(i);
+        cluster_of[i] = clusters.size() - 1;
+      }
+    }
+  }
+
+  // Cluster-level fit: shrink the cluster with the largest surplus over
+  // its floor. Σ cluster floors <= Σ contracted baselines <= socket ways
+  // (admission control), so this always terminates.
+  auto total_used = [&clusters]() {
+    uint32_t sum = 0;
+    for (const Cluster& c : clusters) {
+      sum += c.ways;
+    }
+    return sum;
+  };
+  while (total_used() > inputs.total_ways) {
+    size_t victim = clusters.size();
+    uint32_t best_surplus = 0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      const uint32_t surplus =
+          clusters[c].ways > clusters[c].floor ? clusters[c].ways - clusters[c].floor : 0;
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        victim = c;
+      }
+    }
+    if (victim == clusters.size()) {
+      std::fprintf(stderr, "lfoc-cluster: cannot fit cluster demands\n");
+      std::abort();
+    }
+    --clusters[victim].ways;
+  }
+
+  // Cluster-level pool growth, same priority order as pass 3: a cluster
+  // with a growable Unknown (then Receiver) member gets one way.
+  uint32_t pool = inputs.total_ways - total_used();
+  auto growable = [&](size_t i, Category cls) {
+    const PolicyTenant& t = inputs.tenants[i];
+    return state.category[i] == cls && !state.measuring_baseline[i] && !t.quarantined &&
+           t.has_phase && t.baseline_valid;
+  };
+  for (Category cls : {Category::kUnknown, Category::kReceiver}) {
+    for (size_t c = 0; c < clusters.size() && pool > 0; ++c) {
+      bool wants = false;
+      for (size_t i : clusters[c].members) {
+        if (growable(i, cls)) {
+          wants = true;
+        }
+      }
+      if (!wants) {
+        continue;
+      }
+      ++clusters[c].ways;
+      --pool;
+      for (size_t i : clusters[c].members) {
+        if (growable(i, cls)) {
+          state.reason[i] = AllocationReason::kGrowFromPool;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const PolicyTenant& t = inputs.tenants[i];
+      if (state.category[i] == cls && !state.measuring_baseline[i] && !t.quarantined &&
+          clusters[cluster_of[i]].ways <= t.ways && pool == 0) {
+        state.grow_denied[i] = 1;
+      }
+    }
+  }
+
+  PolicyDecision decision;
+  decision.reclaims = state.reclaims;
+  decision.tenants.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TenantDecision d;
+    d.ways = clusters[cluster_of[i]].ways;
+    d.category = state.category[i];
+    d.measuring_baseline = state.measuring_baseline[i] != 0;
+    d.grow_denied = state.grow_denied[i] != 0;
+    d.reason = state.reason[i];
+    if (d.ways < state.targets[i]) {
+      // The fit pass shrank this member's cluster below its own demand.
+      d.reason = AllocationReason::kShrinkForReclaim;
+    }
+    d.group = static_cast<uint32_t>(cluster_of[i]);
+    decision.tenants.push_back(d);
+  }
+  return decision;
+}
+
+}  // namespace dcat

@@ -1,0 +1,42 @@
+// LFOC-style fairness-oriented clustering policy.
+//
+// The paper's policies give every tenant a private COS, which caps tenants
+// per socket at the COS count (16 on the Xeon E5). Following LFOC
+// ("Labeled Fairness-Oriented Cache partitioning", PAPERS.md), this policy
+// groups cache-compatible tenants onto shared COSes instead:
+//
+//   - Streaming tenants share one cluster pinned at the minimum
+//     allocation: their cyclic accesses thrash whatever they are given, so
+//     mutual interference inside the cluster costs nothing.
+//   - Donors (idle or cache-indifferent) share one cluster sized to the
+//     largest donor demand.
+//   - Cache-sensitive tenants (Reclaim/Keeper/Unknown/Receiver and
+//     quarantined holds) keep private clusters while the COS budget lasts;
+//     past the budget they merge with the sensitive cluster of closest
+//     demand, and the cluster is sized to its most demanding member so no
+//     member ever drops below its own demand — in particular a reclaiming
+//     member's contracted baseline is preserved (fairness first).
+//
+// The cluster size is the max (not the sum) of member demands: sharing is
+// what lifts the tenant ceiling without oversubscribing the socket.
+// Demands come from the shared pass 1; fit and pool growth run at cluster
+// granularity.
+#ifndef SRC_POLICIES_LFOC_CLUSTER_H_
+#define SRC_POLICIES_LFOC_CLUSTER_H_
+
+#include <string>
+
+#include "src/policies/policy.h"
+
+namespace dcat {
+
+class LfocClusterPolicy : public Policy {
+ public:
+  std::string name() const override { return "lfoc-cluster"; }
+  bool ClustersTenants() const override { return true; }
+  PolicyDecision Decide(const PolicyInputs& inputs) const override;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_POLICIES_LFOC_CLUSTER_H_

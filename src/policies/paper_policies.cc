@@ -1,0 +1,34 @@
+#include "src/policies/paper_policies.h"
+
+#include "src/policies/dcat_passes.h"
+
+namespace dcat {
+
+PolicyDecision MaxFairnessPolicy::Decide(const PolicyInputs& inputs) const {
+  DcatPassState state = InitPassState(inputs);
+  Pass1FixedDemands(inputs, &state);
+  Pass2FitToBudget(inputs, &state);
+  Pass3GrowFromPool(inputs, &state);
+  return ToDecision(state);
+}
+
+PolicyDecision MaxPerformancePolicy::Decide(const PolicyInputs& inputs) const {
+  DcatPassState state = InitPassState(inputs);
+  Pass1FixedDemands(inputs, &state);
+  Pass2FitToBudget(inputs, &state);
+  Pass3GrowFromPool(inputs, &state);
+  // Rebalance once discovery has populated the tables and the pool is
+  // exhausted; changed targets carry the rebalance label.
+  if (state.pool == 0) {
+    const std::vector<uint32_t> before = state.targets;
+    MaxPerformanceRebalance(inputs, &state);
+    for (size_t i = 0; i < state.targets.size(); ++i) {
+      if (state.targets[i] != before[i]) {
+        state.reason[i] = AllocationReason::kRebalance;
+      }
+    }
+  }
+  return ToDecision(state);
+}
+
+}  // namespace dcat

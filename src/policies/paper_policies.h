@@ -1,0 +1,31 @@
+// The paper's two allocation policies on the Policy interface.
+//
+// max-fairness: passes 1-3 — reclaim first, then spread the free pool one
+// way at a time over Unknowns (priority) and Receivers. max-performance:
+// the same discovery passes plus the §3.5 DP rebalance over the
+// performance tables once the pool runs dry. Both are byte-identical ports
+// of the controller's historical in-place allocator.
+#ifndef SRC_POLICIES_PAPER_POLICIES_H_
+#define SRC_POLICIES_PAPER_POLICIES_H_
+
+#include <string>
+
+#include "src/policies/policy.h"
+
+namespace dcat {
+
+class MaxFairnessPolicy : public Policy {
+ public:
+  std::string name() const override { return "max-fairness"; }
+  PolicyDecision Decide(const PolicyInputs& inputs) const override;
+};
+
+class MaxPerformancePolicy : public Policy {
+ public:
+  std::string name() const override { return "max-performance"; }
+  PolicyDecision Decide(const PolicyInputs& inputs) const override;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_POLICIES_PAPER_POLICIES_H_

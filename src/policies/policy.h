@@ -1,0 +1,109 @@
+// Pluggable allocation-policy interface (Step 5, Allocate Cache).
+//
+// The controller runs the paper's steps 1-4 (statistics, phase detection,
+// baseline/table maintenance, Fig. 6 categorization) and then hands the
+// whole per-tenant picture to a Policy, which decides the next interval's
+// way counts and the tenant->COS grouping. Policies are pure functions of
+// their inputs: Decide() must not keep state between calls, touch the
+// backend, or emit telemetry — the controller owns all side effects
+// (mask programming, rollback, events, metrics). Purity is what makes a
+// policy unit-testable from a hand-built PolicyInputs and what keeps fuzz
+// traces deterministic.
+//
+// Implementations register in the PolicyRegistry (registry.h) under a
+// canonical kebab-case name; everything policy-related is selected by that
+// string (DcatConfig::policy, dcatd --policy=, dcat_fuzz --policy=,
+// bench --policies=).
+#ifndef SRC_POLICIES_POLICY_H_
+#define SRC_POLICIES_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/category.h"
+#include "src/core/config.h"
+#include "src/core/manager.h"
+#include "src/core/performance_table.h"
+#include "src/telemetry/events.h"
+
+namespace dcat {
+
+// One tenant's decision-relevant state, snapshotted by the controller
+// after categorization. `table` borrows the current phase's performance
+// table (valid for the duration of the Decide call) and is null before the
+// first phase is identified.
+struct PolicyTenant {
+  TenantId id = 0;
+  // Category entering the decision (post-Fig. 6). Policies may move it —
+  // e.g. an idle Reclaim becomes a Donor — and return the result.
+  Category category = Category::kDonor;
+  uint32_t ways = 0;           // allocation in effect (last interval)
+  uint32_t baseline_ways = 0;  // contracted baseline
+  // COS-sharing group the tenant currently belongs to (clustering policies
+  // only; the controller assigns admission-time groups).
+  uint32_t group = 0;
+  // This interval's sample was quarantined (counter anomaly): hold steady.
+  bool quarantined = false;
+  bool idle = false;  // phase detector's idle determination
+  // EWMA phase signature (memory accesses per instruction) and this
+  // interval's cache-pressure signals.
+  double phase_signature = 0.0;
+  double llc_refs_per_kilo_instruction = 0.0;
+  double llc_miss_rate = 0.0;
+  bool has_phase = false;
+  bool baseline_valid = false;       // current phase's baseline established
+  bool measuring_baseline = false;   // waiting for a clean baseline interval
+  const PerformanceTable* table = nullptr;  // current phase; null pre-phase
+};
+
+// The whole-socket decision problem: every tenant plus the budget.
+struct PolicyInputs {
+  uint32_t total_ways = 0;
+  uint32_t num_cos = 0;  // COS 0 stays the unmanaged default
+  const DcatConfig* config = nullptr;
+  std::vector<PolicyTenant> tenants;
+};
+
+// One tenant's verdict. `reason`, when set, labels the allocation event the
+// controller publishes for a changed way count (unset: the controller
+// infers grow-from-pool/donate from the direction of the change).
+struct TenantDecision {
+  uint32_t ways = 0;
+  Category category = Category::kDonor;
+  bool measuring_baseline = false;
+  bool grow_denied = false;
+  std::optional<AllocationReason> reason;
+  // Tenants with equal `group` share one COS (and must be given equal
+  // `ways`). Non-clustering policies return a distinct group per tenant.
+  uint32_t group = 0;
+};
+
+struct PolicyDecision {
+  std::vector<TenantDecision> tenants;  // aligned with PolicyInputs::tenants
+  // How many demands were derived from a reclaim this interval (feeds the
+  // controller.reclaims counter; a later fit pass may relabel the tenant's
+  // final `reason`, so this cannot be recovered from the decisions alone).
+  uint32_t reclaims = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Canonical registry name ("max-fairness", "lfoc-cluster", ...).
+  virtual std::string name() const = 0;
+
+  // True when decisions may map several tenants onto one COS. The
+  // controller then routes applies through the shared-COS path and lifts
+  // the tenants-per-socket ceiling from the COS count to the core count.
+  virtual bool ClustersTenants() const { return false; }
+
+  // Pure decision function: same inputs, same decision, no side effects.
+  virtual PolicyDecision Decide(const PolicyInputs& inputs) const = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_POLICIES_POLICY_H_

@@ -1,0 +1,74 @@
+#include "src/policies/registry.h"
+
+#include "src/policies/lfoc_cluster.h"
+#include "src/policies/paper_policies.h"
+
+namespace dcat {
+
+PolicyRegistry& PolicyRegistry::Global() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  Register("max-fairness", []() -> std::unique_ptr<Policy> {
+    return std::make_unique<MaxFairnessPolicy>();
+  });
+  Register("max-performance", []() -> std::unique_ptr<Policy> {
+    return std::make_unique<MaxPerformancePolicy>();
+  });
+  Register("lfoc-cluster", []() -> std::unique_ptr<Policy> {
+    return std::make_unique<LfocClusterPolicy>();
+  });
+}
+
+std::string PolicyRegistry::CanonicalName(const std::string& spelling) {
+  if (spelling == "fair" || spelling == "max_fairness") {
+    return "max-fairness";
+  }
+  if (spelling == "maxperf" || spelling == "max_performance") {
+    return "max-performance";
+  }
+  if (spelling == "lfoc" || spelling == "lfoc_cluster") {
+    return "lfoc-cluster";
+  }
+  return spelling;
+}
+
+bool PolicyRegistry::Register(const std::string& name, Factory factory) {
+  return factories_.emplace(name, factory).second;
+}
+
+std::unique_ptr<Policy> PolicyRegistry::Create(const std::string& name_or_alias) const {
+  const auto it = factories_.find(CanonicalName(name_or_alias));
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second();
+}
+
+bool PolicyRegistry::Known(const std::string& name_or_alias) const {
+  return factories_.count(CanonicalName(name_or_alias)) > 0;
+}
+
+std::vector<std::string> PolicyRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iterates in sorted order
+}
+
+std::string PolicyRegistry::NamesList() const {
+  std::string out;
+  for (const auto& [name, factory] : factories_) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace dcat

@@ -1,0 +1,59 @@
+// String-keyed factory of allocation policies.
+//
+// Every policy registers under a canonical kebab-case name; config files,
+// CLIs and benches select policies by that string (legacy spellings like
+// "fair" or "max_performance" canonicalize first). The registry is the
+// single source of truth for "what policies exist": error messages list
+// Names(), the fuzzer's "all" iterates them, and the bake-off bench fans
+// one cell per name.
+//
+// Built-ins register in the registry's constructor — explicit rather than
+// self-registering translation units, so a static library never silently
+// drops a policy whose object file nothing referenced. To add a policy:
+// implement Policy (see policy.h for the purity contract), then add a
+// Register line to PolicyRegistry's constructor in registry.cc.
+#ifndef SRC_POLICIES_REGISTRY_H_
+#define SRC_POLICIES_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/policies/policy.h"
+
+namespace dcat {
+
+class PolicyRegistry {
+ public:
+  using Factory = std::unique_ptr<Policy> (*)();
+
+  // The process-wide registry with the built-ins pre-registered.
+  static PolicyRegistry& Global();
+
+  // Maps legacy/alternate spellings ("fair", "maxperf", "max_fairness",
+  // "max_performance", "lfoc") to canonical names; unknown spellings pass
+  // through unchanged.
+  static std::string CanonicalName(const std::string& spelling);
+
+  // False (and no-op) when the name is already taken.
+  bool Register(const std::string& name, Factory factory);
+
+  // Instantiates by canonical name or alias; nullptr when unknown.
+  std::unique_ptr<Policy> Create(const std::string& name_or_alias) const;
+  bool Known(const std::string& name_or_alias) const;
+
+  // Canonical names in sorted order, and their ", "-joined rendering for
+  // error messages.
+  std::vector<std::string> Names() const;
+  std::string NamesList() const;
+
+ private:
+  PolicyRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_POLICIES_REGISTRY_H_

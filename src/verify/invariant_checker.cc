@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "src/pqos/mask.h"
@@ -100,10 +101,29 @@ void InvariantChecker::FinalizeGroup() {
   }
   ++ticks_checked_;
 
-  // Way conservation: the allocations in effect must fit the socket.
+  // Way conservation: the allocations in effect must fit the socket. When
+  // the controller snapshot (same tick) shows several tenants on one COS —
+  // a clustering policy — the shared ways count once, not per tenant.
   uint64_t total_assigned = 0;
   for (const TickEvent& row : group_rows_) {
     total_assigned += row.ways;
+  }
+  if (view_ != nullptr) {
+    const ControllerSnapshot snap = view_->GetController();
+    if (snap.tick == group_tick_) {
+      bool shared_cos = false;
+      std::map<uint8_t, uint64_t> per_cos;
+      for (const TenantSnapshot& tenant : snap.tenants) {
+        const auto [it, inserted] = per_cos.emplace(tenant.cos, tenant.ways);
+        shared_cos = shared_cos || !inserted;
+      }
+      if (shared_cos) {
+        total_assigned = 0;
+        for (const auto& [cos, ways] : per_cos) {
+          total_assigned += ways;
+        }
+      }
+    }
   }
   if (total_assigned > options_.total_ways) {
     std::ostringstream detail;
@@ -147,31 +167,47 @@ void InvariantChecker::CheckControllerState() {
   }
   const uint32_t socket_mask = MakeWayMask(0, options_.total_ways);
   uint32_t seen_union = 0;
+  std::map<uint8_t, uint32_t> audited_cos;  // intentional sharing: one COS, one audit
   for (const TenantSnapshot& tenant : snap.tenants) {
     if (cat_ != nullptr && audit_masks) {
       const uint32_t mask = cat_->GetCosMask(tenant.cos);
       std::ostringstream where;
       where << "COS " << static_cast<int>(tenant.cos) << " mask 0x" << MaskToHex(mask);
-      if (mask == 0 || !IsContiguousMask(mask)) {
-        AddViolation(group_tick_, tenant.id, kInvMaskShape,
-                     where.str() + " is empty or non-contiguous");
-        continue;
+      if (const auto it = audited_cos.find(tenant.cos); it != audited_cos.end()) {
+        // Tenants deliberately sharing a COS (a clustering policy) are not
+        // an isolation breach — but each must still agree with the shared
+        // mask's width, or its bookkeeping lies about what it runs on.
+        if (static_cast<uint32_t>(MaskWays(it->second)) != tenant.ways) {
+          std::ostringstream detail;
+          detail << where.str() << " holds " << MaskWays(it->second)
+                 << " ways but the controller says " << tenant.ways;
+          AddViolation(group_tick_, tenant.id, kInvMaskShape, detail.str());
+        }
+      } else {
+        audited_cos.emplace(tenant.cos, mask);
+        if (mask == 0 || !IsContiguousMask(mask)) {
+          AddViolation(group_tick_, tenant.id, kInvMaskShape,
+                       where.str() + " is empty or non-contiguous");
+          continue;
+        }
+        if ((mask & ~socket_mask) != 0) {
+          AddViolation(group_tick_, tenant.id, kInvMaskShape,
+                       where.str() + " reaches beyond the socket's ways");
+        }
+        if (static_cast<uint32_t>(MaskWays(mask)) != tenant.ways) {
+          std::ostringstream detail;
+          detail << where.str() << " holds " << MaskWays(mask)
+                 << " ways but the controller says " << tenant.ways;
+          AddViolation(group_tick_, tenant.id, kInvMaskShape, detail.str());
+        }
+        // Unintended overlap: this COS's mask intersecting a *different*
+        // COS's mask still breaks isolation and stays a violation.
+        if ((mask & seen_union) != 0) {
+          AddViolation(group_tick_, tenant.id, kInvMaskOverlap,
+                       where.str() + " overlaps another tenant's mask");
+        }
+        seen_union |= mask;
       }
-      if ((mask & ~socket_mask) != 0) {
-        AddViolation(group_tick_, tenant.id, kInvMaskShape,
-                     where.str() + " reaches beyond the socket's ways");
-      }
-      if (static_cast<uint32_t>(MaskWays(mask)) != tenant.ways) {
-        std::ostringstream detail;
-        detail << where.str() << " holds " << MaskWays(mask)
-               << " ways but the controller says " << tenant.ways;
-        AddViolation(group_tick_, tenant.id, kInvMaskShape, detail.str());
-      }
-      if ((mask & seen_union) != 0) {
-        AddViolation(group_tick_, tenant.id, kInvMaskOverlap,
-                     where.str() + " overlaps another tenant's mask");
-      }
-      seen_union |= mask;
     }
 
     // Performance-table sanity: entries must be positive, finite, and for

@@ -449,7 +449,7 @@ bool CheckTraceDeterminism(const Scenario& scenario, const RunOptions& options,
 
 ScenarioResult RunFig10Golden() {
   RunOptions options;
-  options.policy = AllocationPolicy::kMaxFairness;
+  options.policy = "max-fairness";
   options.cycles_per_interval = 20e6;  // matches the dcatd demo
   options.check_backend_differential = false;
   return RunScenario(Fig10Scenario(), options);

@@ -65,7 +65,8 @@ Scenario RandomScenario(uint64_t seed);
 Scenario Fig10Scenario();
 
 struct RunOptions {
-  AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+  // PolicyRegistry name (canonical or legacy spelling).
+  std::string policy = "max-fairness";
   // Simulated cycles per control interval; smaller = faster fuzzing. The
   // controller consumes rates only, so dilation changes no decision logic.
   double cycles_per_interval = 1e6;

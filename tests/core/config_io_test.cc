@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/policies/registry.h"
+
 namespace dcat {
 namespace {
 
@@ -38,7 +40,7 @@ TEST(ConfigIoTest, ParsesAllKeys) {
   EXPECT_DOUBLE_EQ(result.config.phase_change_thr, 0.2);
   EXPECT_DOUBLE_EQ(result.config.idle_mem_per_ins_epsilon, 0.002);
   EXPECT_EQ(result.config.min_instructions_per_interval, 5000u);
-  EXPECT_EQ(result.config.policy, AllocationPolicy::kMaxPerformance);
+  EXPECT_EQ(result.config.policy, "max-performance");
   EXPECT_EQ(result.config.streaming_multiplier, 4u);
   EXPECT_EQ(result.config.min_ways, 2u);
   EXPECT_DOUBLE_EQ(result.config.donor_shrink_fraction, 1.0);
@@ -65,9 +67,23 @@ TEST(ConfigIoTest, ExplorationKeys) {
 }
 
 TEST(ConfigIoTest, PolicyAliases) {
-  EXPECT_EQ(ParseDcatConfig("policy = fair\n").config.policy, AllocationPolicy::kMaxFairness);
-  EXPECT_EQ(ParseDcatConfig("policy = maxperf\n").config.policy,
-            AllocationPolicy::kMaxPerformance);
+  // Legacy spellings canonicalize; canonical and new registry names parse.
+  EXPECT_EQ(ParseDcatConfig("policy = fair\n").config.policy, "max-fairness");
+  EXPECT_EQ(ParseDcatConfig("policy = maxperf\n").config.policy, "max-performance");
+  EXPECT_EQ(ParseDcatConfig("policy = max_fairness\n").config.policy, "max-fairness");
+  EXPECT_EQ(ParseDcatConfig("policy = max_performance\n").config.policy, "max-performance");
+  EXPECT_EQ(ParseDcatConfig("policy = lfoc\n").config.policy, "lfoc-cluster");
+  EXPECT_EQ(ParseDcatConfig("policy = lfoc-cluster\n").config.policy, "lfoc-cluster");
+}
+
+TEST(ConfigIoTest, UnknownPolicyErrorListsRegisteredNames) {
+  const ConfigParseResult result = ParseDcatConfig("policy = bogus\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown policy 'bogus'"), std::string::npos);
+  for (const std::string& name : PolicyRegistry::Global().Names()) {
+    EXPECT_NE(result.error.find(name), std::string::npos)
+        << "error should list registered policy " << name << ": " << result.error;
+  }
 }
 
 TEST(ConfigIoTest, UnknownKeyIsAnError) {
@@ -96,12 +112,12 @@ TEST(ConfigIoTest, SanityLimitsEnforced) {
 TEST(ConfigIoTest, FormatRoundTrips) {
   DcatConfig config;
   config.llc_miss_rate_thr = 0.07;
-  config.policy = AllocationPolicy::kMaxPerformance;
+  config.policy = "max-performance";
   config.streaming_multiplier = 5;
   const ConfigParseResult result = ParseDcatConfig(FormatDcatConfig(config));
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_DOUBLE_EQ(result.config.llc_miss_rate_thr, 0.07);
-  EXPECT_EQ(result.config.policy, AllocationPolicy::kMaxPerformance);
+  EXPECT_EQ(result.config.policy, "max-performance");
   EXPECT_EQ(result.config.streaming_multiplier, 5u);
 }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "src/common/rng.h"
+#include "src/policies/registry.h"
 #include "src/pqos/mask.h"
 #include "tests/core/fake_pqos.h"
 
@@ -415,15 +416,6 @@ TEST_F(DcatControllerTest, SnapshotMatchesLegacyGetters) {
   const TenantSnapshot snap = controller_.Snapshot(1);
   EXPECT_EQ(snap.id, 1u);
   EXPECT_EQ(snap.ways, controller_.TenantWays(1));
-  // The deprecated wrappers must stay consistent with Snapshot() until the
-  // last caller migrates.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(snap.category, controller_.TenantCategory(1));
-  EXPECT_EQ(snap.baseline_ways, controller_.TenantBaselineWays(1));
-  EXPECT_DOUBLE_EQ(snap.norm_ipc, controller_.TenantNormalizedIpc(1));
-  EXPECT_EQ(snap.table.ToString(), controller_.TenantTable(1).ToString());
-#pragma GCC diagnostic pop
 }
 
 TEST_F(DcatControllerTest, SnapshotBeforeFirstPhaseHasEmptyTable) {
@@ -798,7 +790,7 @@ TEST(DcatMaxPerfTest, RebalancesTowardTheSteeperTableWhenWaysShrink) {
   // concentrating ways on the steeper curve.
   FakePqos pqos(/*num_ways=*/16, 16, 18);
   DcatConfig config;
-  config.policy = AllocationPolicy::kMaxPerformance;
+  config.policy = "max-performance";
   DcatController controller(&pqos, &pqos, config);
   controller.AddTenant(TenantSpec{.id = 1, .name = "flat", .cores = {0}, .baseline_ways = 2});
   controller.AddTenant(TenantSpec{.id = 2, .name = "steep", .cores = {1}, .baseline_ways = 2});
@@ -845,7 +837,7 @@ TEST(DcatMaxPerfTest, RebalancesTowardTheSteeperTableWhenWaysShrink) {
 TEST(DcatMaxPerfTest, FairnessPolicySplitsEvenly) {
   FakePqos pqos(/*num_ways=*/12, 16, 18);
   DcatConfig config;
-  config.policy = AllocationPolicy::kMaxFairness;
+  config.policy = "max-fairness";
   DcatController controller(&pqos, &pqos, config);
   controller.AddTenant(TenantSpec{.id = 1, .name = "flat", .cores = {0}, .baseline_ways = 2});
   controller.AddTenant(TenantSpec{.id = 2, .name = "steep", .cores = {1}, .baseline_ways = 2});
@@ -866,8 +858,12 @@ TEST(DcatMaxPerfTest, FairnessPolicySplitsEvenly) {
 }
 
 TEST(DcatConfigTest, PolicyNames) {
-  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kMaxFairness), "max-fairness");
-  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kMaxPerformance), "max-performance");
+  // The registry owns policy naming now; the paper's pair must stay
+  // resolvable under both canonical and legacy spellings.
+  EXPECT_TRUE(PolicyRegistry::Global().Known("max-fairness"));
+  EXPECT_TRUE(PolicyRegistry::Global().Known("max-performance"));
+  EXPECT_EQ(PolicyRegistry::CanonicalName("fair"), "max-fairness");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("maxperf"), "max-performance");
 }
 
 TEST(DcatCategoryTest, Names) {

@@ -1,0 +1,337 @@
+// LFOC-style clustering policy: pure Decide() tests for the clustering
+// contract (equal ways within a group, COS-budget respected, donors and
+// streamers pooled), then integration tests driving a real DcatController
+// on a dense 16-COS socket hosting more tenants than classes — the
+// scenario the policy exists for — under the invariant checker.
+#include "src/policies/lfoc_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/dcat_controller.h"
+#include "src/policies/policy.h"
+#include "src/verify/invariant_checker.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+PolicyTenant Tenant(TenantId id, Category category, uint32_t ways, uint32_t baseline) {
+  PolicyTenant t;
+  t.id = id;
+  t.category = category;
+  t.ways = ways;
+  t.baseline_ways = baseline;
+  t.llc_refs_per_kilo_instruction = 100.0;
+  t.llc_miss_rate = 0.10;
+  t.has_phase = true;
+  t.baseline_valid = true;
+  return t;
+}
+
+PolicyInputs Inputs(std::vector<PolicyTenant> tenants, uint32_t total_ways = 20,
+                    uint32_t num_cos = 16) {
+  static const DcatConfig kConfig;
+  PolicyInputs inputs;
+  inputs.total_ways = total_ways;
+  inputs.num_cos = num_cos;
+  inputs.config = &kConfig;
+  inputs.tenants = std::move(tenants);
+  return inputs;
+}
+
+// The clustering contract: every member of a group is granted the same
+// way count. The controller aborts on a decision that breaks this.
+void ExpectEqualWaysWithinGroups(const PolicyDecision& decision) {
+  std::map<uint32_t, uint32_t> group_ways;
+  for (const TenantDecision& d : decision.tenants) {
+    const auto [it, inserted] = group_ways.emplace(d.group, d.ways);
+    if (!inserted) {
+      EXPECT_EQ(it->second, d.ways) << "group " << d.group;
+    }
+  }
+}
+
+size_t DistinctGroups(const PolicyDecision& decision) {
+  std::set<uint32_t> groups;
+  for (const TenantDecision& d : decision.tenants) {
+    groups.insert(d.group);
+  }
+  return groups.size();
+}
+
+uint32_t DistinctGroupWays(const PolicyDecision& decision) {
+  std::map<uint32_t, uint32_t> group_ways;
+  for (const TenantDecision& d : decision.tenants) {
+    group_ways.emplace(d.group, d.ways);
+  }
+  uint32_t sum = 0;
+  for (const auto& [group, ways] : group_ways) {
+    sum += ways;
+  }
+  return sum;
+}
+
+TEST(LfocClusterPolicyTest, DeclaresClustering) {
+  EXPECT_TRUE(LfocClusterPolicy{}.ClustersTenants());
+  EXPECT_EQ(LfocClusterPolicy{}.name(), "lfoc-cluster");
+}
+
+TEST(LfocClusterPolicyTest, DonorsAndStreamersPoolOntoSharedClusters) {
+  const LfocClusterPolicy policy;
+  const PolicyDecision decision = policy.Decide(Inputs({
+      Tenant(1, Category::kKeeper, 5, 3),
+      Tenant(2, Category::kDonor, 4, 1),
+      Tenant(3, Category::kDonor, 3, 1),
+      Tenant(4, Category::kDonor, 2, 1),
+      Tenant(5, Category::kStreaming, 4, 1),
+      Tenant(6, Category::kStreaming, 3, 1),
+  }));
+  ASSERT_EQ(decision.tenants.size(), 6u);
+  // All donors share one group at the max of their shed demands (4-1=3);
+  // all streamers share one group pinned at the CAT floor.
+  EXPECT_EQ(decision.tenants[1].group, decision.tenants[2].group);
+  EXPECT_EQ(decision.tenants[1].group, decision.tenants[3].group);
+  EXPECT_EQ(decision.tenants[1].ways, 3u);
+  EXPECT_EQ(decision.tenants[4].group, decision.tenants[5].group);
+  EXPECT_EQ(decision.tenants[4].ways, DcatConfig{}.min_ways);
+  // The keeper keeps a private cluster, distinct from both pools.
+  EXPECT_NE(decision.tenants[0].group, decision.tenants[1].group);
+  EXPECT_NE(decision.tenants[0].group, decision.tenants[4].group);
+  EXPECT_EQ(decision.tenants[0].ways, 5u);
+  ExpectEqualWaysWithinGroups(decision);
+}
+
+TEST(LfocClusterPolicyTest, SensitiveTenantsMergeByClosestDemand) {
+  const LfocClusterPolicy policy;
+  // Only 4 COSes (budget 3, one reserved for the donor pool): two private
+  // sensitive clusters, then the 7-way keeper merges with the 8-way one
+  // (distance 1) rather than the 2-way one (distance 5).
+  const PolicyDecision decision = policy.Decide(Inputs(
+      {
+          Tenant(1, Category::kKeeper, 8, 3),
+          Tenant(2, Category::kKeeper, 2, 2),
+          Tenant(3, Category::kKeeper, 7, 3),
+          Tenant(4, Category::kDonor, 2, 1),
+      },
+      /*total_ways=*/20, /*num_cos=*/4));
+  EXPECT_EQ(decision.tenants[0].group, decision.tenants[2].group);
+  EXPECT_NE(decision.tenants[0].group, decision.tenants[1].group);
+  EXPECT_NE(decision.tenants[0].group, decision.tenants[3].group);
+  // The merged cluster runs at the max member demand.
+  EXPECT_EQ(decision.tenants[0].ways, 8u);
+  EXPECT_EQ(decision.tenants[2].ways, 8u);
+  ExpectEqualWaysWithinGroups(decision);
+}
+
+TEST(LfocClusterPolicyTest, GroupCountNeverExceedsCosBudget) {
+  const LfocClusterPolicy policy;
+  // 20 keepers on a 16-COS socket: at most 15 groups (COS 0 reserved), and
+  // the distinct group ways must fit the socket.
+  std::vector<PolicyTenant> tenants;
+  for (TenantId id = 1; id <= 20; ++id) {
+    tenants.push_back(Tenant(id, Category::kKeeper, 1, 1));
+  }
+  const PolicyDecision decision = policy.Decide(Inputs(std::move(tenants)));
+  EXPECT_LE(DistinctGroups(decision), 15u);
+  EXPECT_LE(DistinctGroupWays(decision), 20u);
+  ExpectEqualWaysWithinGroups(decision);
+}
+
+TEST(LfocClusterPolicyTest, QuarantinedTenantStaysOutOfTheDonorPool) {
+  const LfocClusterPolicy policy;
+  // A quarantined donor holds its allocation in a private cluster: its
+  // sample is garbage, so it must not be dragged down with the pool.
+  const PolicyDecision decision = policy.Decide(Inputs({
+      Tenant(1, Category::kDonor, 6, 3),
+      Tenant(2, Category::kDonor, 4, 1),
+  }));
+  PolicyInputs inputs = Inputs({
+      Tenant(1, Category::kDonor, 6, 3),
+      Tenant(2, Category::kDonor, 4, 1),
+  });
+  inputs.tenants[0].quarantined = true;
+  const PolicyDecision quarantined = policy.Decide(inputs);
+  EXPECT_NE(quarantined.tenants[0].group, quarantined.tenants[1].group);
+  EXPECT_EQ(quarantined.tenants[0].ways, 6u);  // held steady
+  // Without the quarantine the two donors share one shed cluster.
+  EXPECT_EQ(decision.tenants[0].group, decision.tenants[1].group);
+}
+
+TEST(LfocClusterPolicyTest, FitShrinksClustersNeverBelowFloors) {
+  const LfocClusterPolicy policy;
+  // Demands exceed a small socket: the fit pass shrinks the largest
+  // surplus but no tenant lands below min(baseline, demand).
+  const PolicyDecision decision = policy.Decide(Inputs(
+      {
+          Tenant(1, Category::kKeeper, 8, 3),
+          Tenant(2, Category::kKeeper, 6, 3),
+          Tenant(3, Category::kReclaim, 1, 4),
+      },
+      /*total_ways=*/12));
+  EXPECT_LE(DistinctGroupWays(decision), 12u);
+  EXPECT_GE(decision.tenants[2].ways, 4u);  // the reclaim's baseline held
+  ExpectEqualWaysWithinGroups(decision);
+}
+
+TEST(LfocClusterPolicyTest, DecideIsPureAndDeterministic) {
+  const LfocClusterPolicy policy;
+  std::vector<PolicyTenant> tenants;
+  for (TenantId id = 1; id <= 18; ++id) {
+    const Category category = id % 3 == 0   ? Category::kDonor
+                              : id % 5 == 0 ? Category::kStreaming
+                                            : Category::kKeeper;
+    tenants.push_back(Tenant(id, category, 1 + id % 4, 1));
+  }
+  const PolicyInputs inputs = Inputs(std::move(tenants));
+  const PolicyDecision first = policy.Decide(inputs);
+  const PolicyDecision second = policy.Decide(inputs);
+  ASSERT_EQ(first.tenants.size(), second.tenants.size());
+  EXPECT_EQ(first.reclaims, second.reclaims);
+  for (size_t i = 0; i < first.tenants.size(); ++i) {
+    EXPECT_EQ(first.tenants[i].ways, second.tenants[i].ways) << i;
+    EXPECT_EQ(first.tenants[i].group, second.tenants[i].group) << i;
+    EXPECT_EQ(first.tenants[i].category, second.tenants[i].category) << i;
+  }
+}
+
+// --- integration: a dense socket through the real controller ------------
+
+struct DenseRun {
+  std::vector<uint32_t> final_ways;  // by tenant index
+  std::vector<uint8_t> final_cos;
+  size_t distinct_cos = 0;
+  bool invariants_ok = false;
+  std::string report;
+  uint32_t allocated_ways = 0;
+  uint32_t total_ways = 0;
+};
+
+// Admits `sensitive + busy` single-core tenants (sensitive ones listed
+// first, with `sensitive_baseline` contracted ways) and runs `ticks`
+// control intervals under the invariant checker.
+DenseRun RunDenseSocket(uint32_t sensitive, uint32_t sensitive_baseline, uint32_t busy,
+                        int ticks) {
+  FakePqos pqos(/*num_ways=*/20, /*num_cos=*/16, /*num_cores=*/32);
+  DcatConfig config;
+  config.policy = "lfoc-cluster";
+  DcatController controller(&pqos, &pqos, config);
+  EXPECT_TRUE(controller.clustered());
+
+  InvariantChecker checker(
+      InvariantOptions{.total_ways = pqos.NumWays(), .min_ways = config.min_ways});
+  checker.AttachController(&controller, &pqos);
+  controller.AddEventSink(&checker);
+
+  const uint32_t n = sensitive + busy;
+  for (TenantId id = 1; id <= n; ++id) {
+    const uint32_t baseline = id <= sensitive ? sensitive_baseline : 1;
+    const AdmitStatus status =
+        controller.AddTenant(TenantSpec{.id = id,
+                                        .name = id <= sensitive ? "mlr" : "busy",
+                                        .cores = {static_cast<uint16_t>(id - 1)},
+                                        .baseline_ways = baseline});
+    EXPECT_EQ(status, AdmitStatus::kOk) << "tenant " << id;
+    checker.RegisterTenant(id, baseline);
+  }
+
+  for (int tick = 0; tick < ticks; ++tick) {
+    for (TenantId id = 1; id <= n; ++id) {
+      const uint16_t core = static_cast<uint16_t>(id - 1);
+      if (id <= sensitive) {
+        // Cache-sensitive with a saturating utility curve: big IPC gains up
+        // to 3 ways, nothing beyond — so growth stops well short of the
+        // 3x-baseline streaming gate and the tenant settles as a Keeper.
+        // The 40% miss rate keeps it from ever being read as a donor.
+        const uint32_t ways = controller.TenantWays(id);
+        const double ipc = ways == 1 ? 0.45 : ways == 2 ? 0.75 : 0.9;
+        pqos.Feed(core, ipc, /*mem_per_ins=*/0.33, /*llc_per_ki=*/300,
+                  /*miss_rate=*/0.4);
+      } else {
+        // Compute-bound: barely touches the LLC, donates down to the floor.
+        pqos.Feed(core, /*ipc=*/1.2, /*mem_per_ins=*/0.05, /*llc_per_ki=*/0.5,
+                  /*miss_rate=*/0.1);
+      }
+    }
+    controller.Tick();
+  }
+  checker.Finish();
+
+  DenseRun run;
+  run.invariants_ok = checker.ok();
+  run.report = checker.Report();
+  const ControllerSnapshot snap = controller.Snapshot();
+  run.allocated_ways = snap.allocated_ways;
+  run.total_ways = snap.total_ways;
+  std::set<uint8_t> cos_seen;
+  for (const TenantSnapshot& tenant : snap.tenants) {
+    run.final_ways.push_back(tenant.ways);
+    run.final_cos.push_back(tenant.cos);
+    cos_seen.insert(tenant.cos);
+  }
+  run.distinct_cos = cos_seen.size();
+  return run;
+}
+
+TEST(LfocClusterIntegrationTest, TwentyTenantsOnSixteenCosStaysClean) {
+  // More tenants than the classic one-COS-per-tenant path could ever host
+  // on a 16-COS socket — the clustering policy's reason to exist.
+  const DenseRun run = RunDenseSocket(/*sensitive=*/4, /*sensitive_baseline=*/1,
+                                      /*busy=*/16, /*ticks=*/15);
+  ASSERT_EQ(run.final_ways.size(), 20u);
+  EXPECT_TRUE(run.invariants_ok) << run.report;
+  // 20 tenants necessarily share: at most 15 managed COSes are available.
+  EXPECT_LE(run.distinct_cos, 15u);
+  EXPECT_LT(run.distinct_cos, run.final_ways.size());
+  // Distinct-COS accounting stays within the socket.
+  EXPECT_LE(run.allocated_ways, run.total_ways);
+  for (uint8_t cos : run.final_cos) {
+    EXPECT_NE(cos, 0) << "tenant left on the unmanaged default COS";
+  }
+}
+
+TEST(LfocClusterIntegrationTest, ClusterBaselinesArePreserved) {
+  // Two tenants contract 2-way baselines and run cache-hungry among 16
+  // busy donors. Whatever cluster they land in, the reclaim guarantee
+  // must lift them back to at least their contracted ways.
+  const DenseRun run = RunDenseSocket(/*sensitive=*/2, /*sensitive_baseline=*/2,
+                                      /*busy=*/16, /*ticks=*/15);
+  ASSERT_EQ(run.final_ways.size(), 18u);
+  EXPECT_TRUE(run.invariants_ok) << run.report;
+  EXPECT_GE(run.final_ways[0], 2u);
+  EXPECT_GE(run.final_ways[1], 2u);
+}
+
+TEST(LfocClusterIntegrationTest, DenseSocketRunsAreDeterministic) {
+  const DenseRun first = RunDenseSocket(4, 1, 16, 12);
+  const DenseRun second = RunDenseSocket(4, 1, 16, 12);
+  EXPECT_EQ(first.final_ways, second.final_ways);
+  EXPECT_EQ(first.final_cos, second.final_cos);
+}
+
+TEST(LfocClusterIntegrationTest, AdmissionStillEnforcesBaselineBudget) {
+  // Clustering lifts the COS-count ceiling, not the contracted-ways one: a
+  // 21st single-way baseline on a 20-way socket is oversubscription.
+  FakePqos pqos(/*num_ways=*/20, /*num_cos=*/16, /*num_cores=*/32);
+  DcatConfig config;
+  config.policy = "lfoc-cluster";
+  DcatController controller(&pqos, &pqos, config);
+  for (TenantId id = 1; id <= 20; ++id) {
+    ASSERT_EQ(controller.AddTenant(
+                  TenantSpec{.id = id,
+                             .name = "vm",
+                             .cores = {static_cast<uint16_t>(id - 1)},
+                             .baseline_ways = 1}),
+              AdmitStatus::kOk);
+  }
+  EXPECT_EQ(controller.AddTenant(TenantSpec{
+                .id = 21, .name = "vm", .cores = {20}, .baseline_ways = 1}),
+            AdmitStatus::kOversubscribed);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,248 @@
+// Unit tests for the paper's two policies on the pure Decide() interface:
+// hand-built PolicyInputs in, a full PolicyDecision out, no controller or
+// backend involved. The purity contract (same inputs -> same decision, no
+// retained state) is what these tests lean on — and what they enforce.
+#include "src/policies/paper_policies.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/performance_table.h"
+#include "src/policies/policy.h"
+
+namespace dcat {
+namespace {
+
+// A tenant in the steady, measured state most passes expect: phase known,
+// baseline established, currently holding `ways`.
+PolicyTenant Tenant(TenantId id, Category category, uint32_t ways, uint32_t baseline) {
+  PolicyTenant t;
+  t.id = id;
+  t.category = category;
+  t.ways = ways;
+  t.baseline_ways = baseline;
+  t.llc_refs_per_kilo_instruction = 100.0;  // well above the donor-idle bar
+  t.llc_miss_rate = 0.10;
+  t.has_phase = true;
+  t.baseline_valid = true;
+  return t;
+}
+
+PolicyInputs Inputs(std::vector<PolicyTenant> tenants, uint32_t total_ways = 20) {
+  static const DcatConfig kConfig;
+  PolicyInputs inputs;
+  inputs.total_ways = total_ways;
+  inputs.num_cos = 16;
+  inputs.config = &kConfig;
+  inputs.tenants = std::move(tenants);
+  return inputs;
+}
+
+void ExpectSameDecision(const PolicyDecision& a, const PolicyDecision& b) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  EXPECT_EQ(a.reclaims, b.reclaims);
+  for (size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].ways, b.tenants[i].ways) << "tenant " << i;
+    EXPECT_EQ(a.tenants[i].category, b.tenants[i].category) << "tenant " << i;
+    EXPECT_EQ(a.tenants[i].measuring_baseline, b.tenants[i].measuring_baseline) << i;
+    EXPECT_EQ(a.tenants[i].grow_denied, b.tenants[i].grow_denied) << "tenant " << i;
+    EXPECT_EQ(a.tenants[i].reason, b.tenants[i].reason) << "tenant " << i;
+    EXPECT_EQ(a.tenants[i].group, b.tenants[i].group) << "tenant " << i;
+  }
+}
+
+TEST(PaperPolicyTest, Pass1DemandsFollowCategories) {
+  const MaxFairnessPolicy policy;
+  std::vector<PolicyTenant> tenants = {
+      Tenant(1, Category::kReclaim, 1, 4),    // no table yet: jump to baseline
+      Tenant(2, Category::kDonor, 5, 3),      // active donor: shed one way
+      Tenant(3, Category::kStreaming, 4, 3),  // pinned at the CAT floor
+      Tenant(4, Category::kKeeper, 3, 3),     // holds steady
+  };
+  tenants[0].table = nullptr;
+  tenants[0].baseline_valid = false;
+  const PolicyDecision decision = policy.Decide(Inputs(tenants));
+  ASSERT_EQ(decision.tenants.size(), 4u);
+  EXPECT_EQ(decision.tenants[0].ways, 4u);
+  EXPECT_TRUE(decision.tenants[0].measuring_baseline);
+  EXPECT_EQ(decision.tenants[0].reason, AllocationReason::kReclaim);
+  EXPECT_EQ(decision.tenants[1].ways, 4u);
+  EXPECT_EQ(decision.tenants[1].reason, AllocationReason::kDonate);
+  EXPECT_EQ(decision.tenants[2].ways, DcatConfig{}.min_ways);
+  EXPECT_EQ(decision.tenants[3].ways, 3u);
+  EXPECT_EQ(decision.reclaims, 1u);
+}
+
+TEST(PaperPolicyTest, ReclaimWithKnownPhaseTakesPreferredWays) {
+  const MaxFairnessPolicy policy;
+  PerformanceTable table;
+  table.Record(4, 1.0);
+  table.Record(6, 1.20);  // +20% at 6 ways
+  table.Record(8, 1.21);  // < 5% further: preferred stops at 6
+  PolicyTenant t = Tenant(1, Category::kReclaim, 1, 4);
+  t.table = &table;
+  const PolicyDecision decision = policy.Decide(Inputs({t}));
+  // Fig. 12 fast path: jump to the table's preferred size and re-enter as
+  // a Keeper, no baseline re-measurement.
+  EXPECT_EQ(decision.tenants[0].ways, 6u);
+  EXPECT_EQ(decision.tenants[0].category, Category::kKeeper);
+  EXPECT_FALSE(decision.tenants[0].measuring_baseline);
+  EXPECT_EQ(decision.reclaims, 1u);
+}
+
+TEST(PaperPolicyTest, QuarantinedTenantHoldsSteady) {
+  const MaxFairnessPolicy policy;
+  PolicyTenant t = Tenant(1, Category::kDonor, 6, 3);
+  t.quarantined = true;
+  const PolicyDecision decision = policy.Decide(Inputs({t}));
+  EXPECT_EQ(decision.tenants[0].ways, 6u);
+  EXPECT_FALSE(decision.tenants[0].reason.has_value());
+}
+
+TEST(PaperPolicyTest, Pass2ShrinksLargestSurplusToFitReclaims) {
+  const MaxFairnessPolicy policy;
+  // 20-way socket: a keeper grown to 14 plus a keeper at 4 leaves nothing
+  // for the reclaim demanding its 6-way baseline. The fit pass taxes the
+  // largest over-baseline surplus (the 14-way keeper) down to 10.
+  std::vector<PolicyTenant> tenants = {
+      Tenant(1, Category::kKeeper, 14, 3),
+      Tenant(2, Category::kKeeper, 4, 3),
+      Tenant(3, Category::kReclaim, 1, 6),
+  };
+  tenants[2].baseline_valid = false;
+  const PolicyDecision decision = policy.Decide(Inputs(tenants));
+  EXPECT_EQ(decision.tenants[0].ways, 10u);
+  EXPECT_EQ(decision.tenants[0].reason, AllocationReason::kShrinkForReclaim);
+  EXPECT_EQ(decision.tenants[1].ways, 4u);
+  EXPECT_EQ(decision.tenants[2].ways, 6u);
+}
+
+TEST(PaperPolicyTest, Pass3GrowsReceiversFromPoolAndDeniesWhenDry) {
+  const MaxFairnessPolicy policy;
+  // 10-way socket, 9 in use: one way in the pool for two hungry receivers.
+  // Tenant order decides who gets it; the loser is marked grow_denied.
+  std::vector<PolicyTenant> tenants = {
+      Tenant(1, Category::kReceiver, 5, 3),
+      Tenant(2, Category::kReceiver, 4, 3),
+  };
+  const PolicyDecision decision = policy.Decide(Inputs(tenants, /*total_ways=*/10));
+  EXPECT_EQ(decision.tenants[0].ways, 6u);
+  EXPECT_EQ(decision.tenants[0].reason, AllocationReason::kGrowFromPool);
+  EXPECT_FALSE(decision.tenants[0].grow_denied);
+  EXPECT_EQ(decision.tenants[1].ways, 4u);
+  EXPECT_TRUE(decision.tenants[1].grow_denied);
+}
+
+TEST(PaperPolicyTest, UnknownsOutrankReceiversForPoolWays) {
+  const MaxFairnessPolicy policy;
+  std::vector<PolicyTenant> tenants = {
+      Tenant(1, Category::kReceiver, 5, 3),
+      Tenant(2, Category::kUnknown, 4, 3),  // later in order, higher class
+  };
+  const PolicyDecision decision = policy.Decide(Inputs(tenants, /*total_ways=*/10));
+  EXPECT_EQ(decision.tenants[1].ways, 5u);
+  EXPECT_EQ(decision.tenants[1].reason, AllocationReason::kGrowFromPool);
+  EXPECT_EQ(decision.tenants[0].ways, 5u);
+  EXPECT_TRUE(decision.tenants[0].grow_denied);
+}
+
+TEST(PaperPolicyTest, NonClusteringPoliciesReturnSingletonGroups) {
+  for (const Policy* policy :
+       std::initializer_list<const Policy*>{new MaxFairnessPolicy, new MaxPerformancePolicy}) {
+    const PolicyDecision decision = policy->Decide(Inputs({
+        Tenant(1, Category::kKeeper, 3, 3),
+        Tenant(2, Category::kKeeper, 3, 3),
+        Tenant(3, Category::kDonor, 3, 3),
+    }));
+    EXPECT_EQ(decision.tenants[0].group, 0u);
+    EXPECT_EQ(decision.tenants[1].group, 1u);
+    EXPECT_EQ(decision.tenants[2].group, 2u);
+    delete policy;
+  }
+}
+
+TEST(PaperPolicyTest, MaxPerformanceMatchesFairnessWithoutTables) {
+  // §3.5: the DP rebalance only engages once at least two candidates have
+  // populated tables; before that the two policies are the same passes.
+  const PolicyInputs inputs = Inputs({
+      Tenant(1, Category::kReceiver, 5, 3),
+      Tenant(2, Category::kKeeper, 6, 3),
+      Tenant(3, Category::kDonor, 4, 3),
+  });
+  ExpectSameDecision(MaxFairnessPolicy{}.Decide(inputs), MaxPerformancePolicy{}.Decide(inputs));
+}
+
+TEST(PaperPolicyTest, MaxPerformanceRebalancesTowardSteeperTable) {
+  const MaxPerformancePolicy policy;
+  // Two keepers holding 6+6 of a fully-used 12-way socket. Tenant 1's table
+  // is flat above 4 ways; tenant 2 gains 30% at 8. Predicted total IPC is
+  // higher at (4, 8): the DP moves two ways across.
+  PerformanceTable flat;
+  flat.Record(4, 1.00);
+  flat.Record(6, 1.01);
+  flat.Record(8, 1.01);
+  PerformanceTable steep;
+  steep.Record(4, 0.70);
+  steep.Record(6, 0.85);
+  steep.Record(8, 1.15);
+  PolicyTenant a = Tenant(1, Category::kKeeper, 6, 4);
+  a.table = &flat;
+  PolicyTenant b = Tenant(2, Category::kKeeper, 6, 4);
+  b.table = &steep;
+  const PolicyDecision decision = policy.Decide(Inputs({a, b}, /*total_ways=*/12));
+  EXPECT_EQ(decision.tenants[0].ways, 4u);
+  EXPECT_EQ(decision.tenants[1].ways, 8u);
+  // max-fairness leaves the same inputs alone.
+  const PolicyDecision fair = MaxFairnessPolicy{}.Decide(Inputs({a, b}, /*total_ways=*/12));
+  EXPECT_EQ(fair.tenants[0].ways, 6u);
+  EXPECT_EQ(fair.tenants[1].ways, 6u);
+}
+
+TEST(PaperPolicyTest, MaxPerformanceNeverDropsBelowBaseline) {
+  const MaxPerformancePolicy policy;
+  // Tenant 1's table says it would lose little at 2 ways — but 4 is its
+  // contracted baseline, so the DP must not offer sizes below it.
+  PerformanceTable flat;
+  flat.Record(2, 0.99);
+  flat.Record(4, 1.00);
+  flat.Record(6, 1.01);
+  PerformanceTable steep;
+  steep.Record(4, 0.60);
+  steep.Record(6, 0.90);
+  steep.Record(8, 1.20);
+  PolicyTenant a = Tenant(1, Category::kKeeper, 6, 4);
+  a.table = &flat;
+  PolicyTenant b = Tenant(2, Category::kKeeper, 6, 4);
+  b.table = &steep;
+  const PolicyDecision decision = policy.Decide(Inputs({a, b}, /*total_ways=*/12));
+  EXPECT_GE(decision.tenants[0].ways, 4u);
+  EXPECT_GE(decision.tenants[1].ways, 4u);
+}
+
+TEST(PaperPolicyTest, DecideIsPure) {
+  // Same inputs through the same policy object twice: identical decisions,
+  // no state carried across calls. Run a shape that exercises every pass.
+  PerformanceTable steep;
+  steep.Record(3, 0.8);
+  steep.Record(5, 1.1);
+  PolicyTenant keeper = Tenant(1, Category::kKeeper, 8, 3);
+  keeper.table = &steep;
+  const PolicyInputs inputs = Inputs({
+      keeper,
+      Tenant(2, Category::kReclaim, 1, 5),
+      Tenant(3, Category::kReceiver, 4, 3),
+      Tenant(4, Category::kStreaming, 4, 3),
+      Tenant(5, Category::kDonor, 6, 3),
+  });
+  for (const Policy* policy :
+       std::initializer_list<const Policy*>{new MaxFairnessPolicy, new MaxPerformancePolicy}) {
+    const PolicyDecision first = policy->Decide(inputs);
+    const PolicyDecision second = policy->Decide(inputs);
+    ExpectSameDecision(first, second);
+    delete policy;
+  }
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,95 @@
+// The PolicyRegistry is the single source of truth for "what policies
+// exist": these tests pin the built-in set, the legacy-spelling aliases,
+// and the error behaviour every config/CLI surface relies on.
+#include "src/policies/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcat {
+namespace {
+
+TEST(PolicyRegistryTest, BuiltInsAreRegistered) {
+  PolicyRegistry& registry = PolicyRegistry::Global();
+  EXPECT_TRUE(registry.Known("max-fairness"));
+  EXPECT_TRUE(registry.Known("max-performance"));
+  EXPECT_TRUE(registry.Known("lfoc-cluster"));
+  EXPECT_FALSE(registry.Known("bogus"));
+}
+
+TEST(PolicyRegistryTest, NamesAreSortedAndListed) {
+  const std::vector<std::string> names = PolicyRegistry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* builtin : {"lfoc-cluster", "max-fairness", "max-performance"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end()) << builtin;
+  }
+  // NamesList() is what error messages print; every name must appear in it.
+  const std::string list = PolicyRegistry::Global().NamesList();
+  for (const std::string& name : names) {
+    EXPECT_NE(list.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(PolicyRegistryTest, LegacySpellingsCanonicalize) {
+  EXPECT_EQ(PolicyRegistry::CanonicalName("fair"), "max-fairness");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("max_fairness"), "max-fairness");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("maxperf"), "max-performance");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("max_performance"), "max-performance");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("lfoc"), "lfoc-cluster");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("lfoc_cluster"), "lfoc-cluster");
+  // Canonical names and unknown spellings pass through unchanged.
+  EXPECT_EQ(PolicyRegistry::CanonicalName("max-fairness"), "max-fairness");
+  EXPECT_EQ(PolicyRegistry::CanonicalName("bogus"), "bogus");
+}
+
+TEST(PolicyRegistryTest, CreateResolvesAliasesAndRejectsUnknown) {
+  PolicyRegistry& registry = PolicyRegistry::Global();
+  const std::unique_ptr<Policy> by_alias = registry.Create("fair");
+  ASSERT_NE(by_alias, nullptr);
+  EXPECT_EQ(by_alias->name(), "max-fairness");
+  const std::unique_ptr<Policy> canonical = registry.Create("lfoc-cluster");
+  ASSERT_NE(canonical, nullptr);
+  EXPECT_EQ(canonical->name(), "lfoc-cluster");
+  EXPECT_EQ(registry.Create("bogus"), nullptr);
+}
+
+TEST(PolicyRegistryTest, ClusteringFlagMatchesPolicy) {
+  PolicyRegistry& registry = PolicyRegistry::Global();
+  EXPECT_FALSE(registry.Create("max-fairness")->ClustersTenants());
+  EXPECT_FALSE(registry.Create("max-performance")->ClustersTenants());
+  EXPECT_TRUE(registry.Create("lfoc-cluster")->ClustersTenants());
+}
+
+class DummyPolicy : public Policy {
+ public:
+  std::string name() const override { return "zz-dummy"; }
+  PolicyDecision Decide(const PolicyInputs& inputs) const override {
+    PolicyDecision decision;
+    decision.tenants.resize(inputs.tenants.size());
+    return decision;
+  }
+};
+
+std::unique_ptr<Policy> MakeDummy() { return std::make_unique<DummyPolicy>(); }
+
+TEST(PolicyRegistryTest, RegisterRejectsTakenNamesAndAcceptsNew) {
+  PolicyRegistry& registry = PolicyRegistry::Global();
+  // A taken name is refused without clobbering the existing factory.
+  EXPECT_FALSE(registry.Register("max-fairness", &MakeDummy));
+  EXPECT_EQ(registry.Create("max-fairness")->name(), "max-fairness");
+  // A new name becomes visible through Known/Create/Names.
+  EXPECT_TRUE(registry.Register("zz-dummy", &MakeDummy));
+  EXPECT_TRUE(registry.Known("zz-dummy"));
+  EXPECT_EQ(registry.Create("zz-dummy")->name(), "zz-dummy");
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "zz-dummy"), names.end());
+  // Second registration of the same name is refused.
+  EXPECT_FALSE(registry.Register("zz-dummy", &MakeDummy));
+}
+
+}  // namespace
+}  // namespace dcat

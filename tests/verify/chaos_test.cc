@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/policies/registry.h"
 #include "src/verify/scenario.h"
 
 namespace dcat {
@@ -25,8 +26,7 @@ class ChaosProfileTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ChaosProfileTest, SeedsRunCleanUnderFaults) {
   for (uint64_t seed = 1; seed <= 4; ++seed) {
-    for (const AllocationPolicy policy :
-         {AllocationPolicy::kMaxFairness, AllocationPolicy::kMaxPerformance}) {
+    for (const std::string& policy : PolicyRegistry::Global().Names()) {
       const Scenario scenario = RandomScenario(seed);
       RunOptions options;
       options.policy = policy;

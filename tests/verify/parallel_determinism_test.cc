@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/policies/registry.h"
 #include "src/verify/scenario.h"
 
 namespace dcat {
@@ -18,14 +19,15 @@ namespace {
 
 struct RunKey {
   uint64_t seed;
-  AllocationPolicy policy;
+  std::string policy;
 };
 
 std::vector<RunKey> Runs() {
   std::vector<RunKey> runs;
   for (uint64_t seed = 0; seed < 6; ++seed) {
-    runs.push_back({seed, AllocationPolicy::kMaxFairness});
-    runs.push_back({seed, AllocationPolicy::kMaxPerformance});
+    for (const std::string& policy : PolicyRegistry::Global().Names()) {
+      runs.push_back({seed, policy});
+    }
   }
   return runs;
 }
@@ -89,8 +91,7 @@ TEST(ParallelDeterminismTest, BackendDifferentialIsParallelSafe) {
     ok[i] = RunScenario(RandomScenario(runs[i].seed), options).ok() ? 1 : 0;
   });
   for (size_t i = 0; i < runs.size(); ++i) {
-    EXPECT_EQ(ok[i], 1) << "seed " << runs[i].seed << " policy "
-                        << static_cast<int>(runs[i].policy);
+    EXPECT_EQ(ok[i], 1) << "seed " << runs[i].seed << " policy " << runs[i].policy;
   }
 }
 

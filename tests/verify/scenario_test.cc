@@ -1,6 +1,7 @@
 // The fuzz harness itself: seed-deterministic scenario expansion, clean
 // full-loop runs under both policies, byte-identical trace replay, and
 // SimPqos vs fake-resctrl backend agreement.
+#include "src/policies/registry.h"
 #include "src/verify/scenario.h"
 
 #include <gtest/gtest.h>
@@ -53,15 +54,14 @@ TEST(RandomScenarioTest, GeneratedScenariosRespectAdmissionControl) {
   }
 }
 
-TEST(ScenarioRunTest, CleanUnderBothPolicies) {
+TEST(ScenarioRunTest, CleanUnderEveryRegisteredPolicy) {
   const Scenario scenario = RandomScenario(3);
-  for (const AllocationPolicy policy :
-       {AllocationPolicy::kMaxFairness, AllocationPolicy::kMaxPerformance}) {
+  for (const std::string& policy : PolicyRegistry::Global().Names()) {
     RunOptions options;
     options.policy = policy;
     options.cycles_per_interval = 1e6;
     const ScenarioResult result = RunScenario(scenario, options);
-    EXPECT_TRUE(result.ok()) << "policy " << static_cast<int>(policy) << ": "
+    EXPECT_TRUE(result.ok()) << "policy " << policy << ": "
                              << result.violations.front().invariant << " — "
                              << result.violations.front().detail;
     EXPECT_EQ(result.ticks, scenario.intervals);

@@ -37,6 +37,7 @@
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
 #include "src/faults/fault_plan.h"
+#include "src/policies/registry.h"
 #include "src/verify/scenario.h"
 
 namespace dcat {
@@ -47,7 +48,7 @@ struct Options {
   uint64_t start_seed = 0;
   bool single_seed = false;  // --seed=S: run exactly one
   uint64_t jobs = 1;         // worker threads; reports stay in seed order
-  std::string policy = "both";
+  std::string policy = "all";
   double cycles_per_interval = 1e6;
   bool check_differential = true;
   bool check_determinism = true;
@@ -80,7 +81,8 @@ void PrintUsage() {
       "  --jobs=N                run scenarios on N threads, output merged in\n"
       "                          seed order (byte-identical to --jobs=1); 0 =\n"
       "                          all cores (default 1)\n"
-      "  --policy=fair|maxperf|both  allocation policies to run (default both)\n"
+      "  --policy=NAME|all|both  allocation policies to run: any registered name,\n"
+      "                          all of them, or both paper policies (default all)\n"
       "  --cycles=C              simulated cycles per interval (default 1e6)\n"
       "  --no-differential       skip the SimPqos vs fake-resctrl mask check\n"
       "  --no-determinism        skip the byte-identical-trace check\n"
@@ -112,14 +114,10 @@ std::string FormatTraceTail(const std::string& trace, size_t tail) {
   return out.str();
 }
 
-const char* PolicyName(AllocationPolicy policy) {
-  return policy == AllocationPolicy::kMaxPerformance ? "maxperf" : "fair";
-}
-
 // Runs one (scenario, policy) pair. On failure fills *report with the
 // replay report; the caller prints reports in seed order so parallel runs
 // produce byte-identical output.
-bool RunOne(const Scenario& scenario, AllocationPolicy policy, const char* fault_profile,
+bool RunOne(const Scenario& scenario, const std::string& policy, const char* fault_profile,
             const Options& options, std::string* report) {
   RunOptions run_options;
   run_options.policy = policy;
@@ -155,13 +153,13 @@ bool RunOne(const Scenario& scenario, AllocationPolicy policy, const char* fault
   }
 
   std::ostringstream out;
-  out << "FAIL seed=" << scenario.seed << " policy=" << PolicyName(policy);
+  out << "FAIL seed=" << scenario.seed << " policy=" << policy;
   if (fault_profile != nullptr) {
     out << " chaos=" << options.chaos_seed << " profile=" << fault_profile;
   }
   out << "\n";
   out << "  scenario: " << scenario.Describe() << "\n";
-  out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << PolicyName(policy);
+  out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << policy;
   if (fault_profile != nullptr) {
     out << " --chaos=" << options.chaos_seed << " --chaos-profile=" << fault_profile;
   }
@@ -234,9 +232,10 @@ int Main(int argc, char** argv) {
       }
     } else if (const char* v = value("--policy=")) {
       options.policy = v;
-      if (options.policy != "fair" && options.policy != "maxperf" &&
-          options.policy != "both") {
-        std::fprintf(stderr, "--policy: expected fair|maxperf|both, got '%s'\n", v);
+      if (options.policy != "all" && options.policy != "both" &&
+          !PolicyRegistry::Global().Known(options.policy)) {
+        std::fprintf(stderr, "--policy: unknown policy '%s' (registered: %s; also all|both)\n",
+                     v, PolicyRegistry::Global().NamesList().c_str());
         return 1;
       }
     } else if (const char* v = value("--cycles=")) {
@@ -286,12 +285,13 @@ int Main(int argc, char** argv) {
     return WriteGolden(options.write_golden);
   }
 
-  std::vector<AllocationPolicy> policies;
-  if (options.policy == "fair" || options.policy == "both") {
-    policies.push_back(AllocationPolicy::kMaxFairness);
-  }
-  if (options.policy == "maxperf" || options.policy == "both") {
-    policies.push_back(AllocationPolicy::kMaxPerformance);
+  std::vector<std::string> policies;
+  if (options.policy == "all") {
+    policies = PolicyRegistry::Global().Names();
+  } else if (options.policy == "both") {
+    policies = {"max-fairness", "max-performance"};  // the paper's pair
+  } else {
+    policies = {PolicyRegistry::CanonicalName(options.policy)};
   }
 
   const uint64_t count = options.single_seed ? 1 : options.seeds;
@@ -310,13 +310,13 @@ int Main(int argc, char** argv) {
 
   struct Job {
     uint64_t seed = 0;
-    AllocationPolicy policy = AllocationPolicy::kMaxFairness;
+    std::string policy;
     const char* profile = nullptr;
   };
   std::vector<Job> job_list;
   job_list.reserve(static_cast<size_t>(count) * policies.size() * profiles.size());
   for (uint64_t i = 0; i < count; ++i) {
-    for (const AllocationPolicy policy : policies) {
+    for (const std::string& policy : policies) {
       for (const char* profile : profiles) {
         job_list.push_back({options.start_seed + i, policy, profile});
       }

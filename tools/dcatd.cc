@@ -43,6 +43,7 @@
 #include "src/common/log.h"
 #include "src/common/strings.h"
 #include "src/core/config_io.h"
+#include "src/policies/registry.h"
 #include "src/pqos/mask.h"
 #include "src/pqos/resctrl_pqos.h"
 #include "src/telemetry/trace.h"
@@ -73,7 +74,8 @@ void PrintUsage() {
       "  --mode=sim|resctrl      backend (default sim)\n"
       "  --tenants=SPEC,...      sim: <workload>/<ways>; resctrl: <c0>-<c1>/<ways>\n"
       "  --intervals=N           sim: control intervals to run (default 20)\n"
-      "  --policy=fair|maxperf   allocation policy (default fair)\n"
+      "  --policy=NAME           allocation policy from the registry (default\n"
+      "                          max-fairness; --policy=help lists names)\n"
       "  --config=FILE           load thresholds from a key=value file\n"
       "  --print-config          print the effective config and exit\n"
       "  --schedule=I:T=SPEC,..  sim: at interval I switch tenant T's workload\n"
@@ -155,7 +157,7 @@ int RunSim(const Options& options) {
 
   std::printf("dcatd[sim]: %s, %zu tenants, %s policy, %u intervals\n",
               config.socket.llc_geometry.ToString().c_str(), host.num_vms(),
-              AllocationPolicyName(options.dcat.policy), options.intervals);
+              options.dcat.policy.c_str(), options.intervals);
 
   for (uint32_t t = 0; t < options.intervals; ++t) {
     schedule_runner.Fire(t, host);
@@ -246,6 +248,7 @@ int RunResctrl(const Options& options) {
 
 int Main(int argc, char** argv) {
   Options options;
+  bool policy_flag_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {
@@ -285,23 +288,35 @@ int Main(int argc, char** argv) {
     } else if (arg == "--print-config") {
       options.print_config = true;
     } else if (const char* v = value("--policy=")) {
-      options.dcat.policy = std::string(v) == "maxperf" ? AllocationPolicy::kMaxPerformance
-                                                        : AllocationPolicy::kMaxFairness;
+      if (std::string(v) == "help") {
+        std::printf("registered policies: %s\n", PolicyRegistry::Global().NamesList().c_str());
+        return 0;
+      }
+      const std::string canonical = PolicyRegistry::CanonicalName(v);
+      if (!PolicyRegistry::Global().Known(canonical)) {
+        std::fprintf(stderr, "--policy: unknown policy '%s' (registered: %s)\n", v,
+                     PolicyRegistry::Global().NamesList().c_str());
+        return 1;
+      }
+      options.dcat.policy = canonical;
+      policy_flag_given = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
       return 1;
     }
   }
   if (!options.config_path.empty()) {
-    // --policy given after --config still wins; remember the explicit pick.
-    const AllocationPolicy requested = options.dcat.policy;
+    // --policy given alongside --config still wins, whatever its position.
+    const std::string requested = options.dcat.policy;
     const ConfigParseResult loaded = LoadDcatConfig(options.config_path);
     if (!loaded.ok) {
       std::fprintf(stderr, "dcatd: %s\n", loaded.error.c_str());
       return 1;
     }
     options.dcat = loaded.config;
-    options.dcat.policy = requested != DcatConfig{}.policy ? requested : options.dcat.policy;
+    if (policy_flag_given) {
+      options.dcat.policy = requested;
+    }
   }
   if (options.print_config) {
     std::printf("%s", FormatDcatConfig(options.dcat).c_str());
