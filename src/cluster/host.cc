@@ -1,5 +1,6 @@
 #include "src/cluster/host.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -36,6 +37,14 @@ Host::Host(HostConfig config) : config_(config), socket_(config.socket), pqos_(&
     cat = faulty_.get();
     monitor = faulty_.get();
   }
+  if (config_.enable_crash_points) {
+    // Outermost so an armed crash fires before any fault-plan roll: the
+    // "process" dies before the write leaves it.
+    crasher_ = std::make_unique<CrashingCat>(cat);
+    cat = crasher_.get();
+  }
+  manager_cat_ = cat;
+  manager_monitor_ = monitor;
   switch (config_.mode) {
     case ManagerMode::kShared:
       manager_ = std::make_unique<SharedCacheManager>(cat);
@@ -47,6 +56,11 @@ Host::Host(HostConfig config) : config_(config), socket_(config.socket), pqos_(&
       auto controller = std::make_unique<DcatController>(cat, monitor, config_.dcat);
       dcat_ = controller.get();
       manager_ = std::move(controller);
+      if (config_.journal_storage != nullptr) {
+        journal_ = std::make_unique<JournalWriter>(config_.journal_storage);
+        journal_->set_metrics(&dcat_->metrics());
+        dcat_->AttachJournal(journal_.get());
+      }
       break;
     }
   }
@@ -105,6 +119,47 @@ Vm* Host::TryAddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
   return vms_.back().get();
 }
 
+Vm* Host::AdoptVm(VmConfig vm_config, std::unique_ptr<Workload> workload,
+                  const std::vector<uint16_t>& cores) {
+  if (dcat_ == nullptr || !dcat_->HasTenant(vm_config.id)) {
+    std::fprintf(stderr, "Host: AdoptVm(%s): the manager holds no such tenant\n",
+                 vm_config.name.c_str());
+    return nullptr;
+  }
+  // Claim the journaled cores explicitly: pull them from the free pool, or
+  // advance the allocation watermark past them (parking any skipped cores
+  // on the free list for later VMs).
+  for (uint16_t core : cores) {
+    const auto it = std::find(free_cores_.begin(), free_cores_.end(), core);
+    if (it != free_cores_.end()) {
+      free_cores_.erase(it);
+      continue;
+    }
+    if (core < next_core_ || core >= socket_.num_cores()) {
+      std::fprintf(stderr, "Host: AdoptVm(%s): core %u is not available\n",
+                   vm_config.name.c_str(), core);
+      return nullptr;
+    }
+    while (next_core_ < core) {
+      free_cores_.push_back(next_core_++);
+    }
+    ++next_core_;
+  }
+  vm_config.vcpus = static_cast<uint32_t>(cores.size());
+  if (vm_config.seed == 1) {
+    vm_config.seed = 0x1000 + vm_config.id * 7919;
+  }
+  const double now = static_cast<double>(intervals_) * config_.cycles_per_interval;
+  for (uint16_t core : cores) {
+    if (socket_.core(core).wall_cycles() < now) {
+      socket_.core(core).Idle(now - socket_.core(core).wall_cycles());
+    }
+  }
+  vms_.push_back(std::make_unique<Vm>(std::move(vm_config), std::move(workload), &socket_, cores));
+  vm_snapshots_.emplace_back();
+  return vms_.back().get();
+}
+
 void Host::RemoveVm(TenantId id) {
   for (size_t i = 0; i < vms_.size(); ++i) {
     if (vms_[i]->config().id != id) {
@@ -158,6 +213,67 @@ void Host::Run(uint32_t n) {
   for (uint32_t i = 0; i < n; ++i) {
     Step();
   }
+}
+
+void Host::CrashManager() {
+  if (config_.mode != ManagerMode::kDcat || config_.journal_storage == nullptr) {
+    std::fprintf(stderr, "Host: CrashManager needs kDcat mode and a journal\n");
+    std::abort();
+  }
+  // The metrics registry dies with the controller; detach before the
+  // journal writer could touch it again.
+  journal_->set_metrics(nullptr);
+  dcat_ = nullptr;
+  manager_.reset();
+}
+
+RecoveryReport Host::RestartManager(const std::vector<EventSink*>& sinks) {
+  if (config_.mode != ManagerMode::kDcat || config_.journal_storage == nullptr) {
+    std::fprintf(stderr, "Host: RestartManager needs kDcat mode and a journal\n");
+    std::abort();
+  }
+  if (crasher_ != nullptr) {
+    crasher_->Arm(0);  // recovery's reconciliation writes must land
+  }
+  ++restarts_;
+  RecoveryOptions options;
+  options.config = config_.dcat;
+  options.sinks = sinks;
+  options.cold_boot_tick = intervals_;
+  options.prior_restarts = restarts_ - 1;
+  options.journal = journal_.get();
+  RecoveryReport report;
+  auto controller =
+      RecoverController(manager_cat_, manager_monitor_, config_.journal_storage,
+                        options, &report);
+  if (controller == nullptr) {
+    std::fprintf(stderr, "Host: recovery failed: %s\n", report.error.c_str());
+    std::abort();
+  }
+  dcat_ = controller.get();
+  manager_ = std::move(controller);
+  journal_->set_metrics(&dcat_->metrics());
+  if (report.outcome == RecoveryOutcome::kColdBoot) {
+    // The journal was unusable: the live VMs are still pinned to their
+    // cores, so re-admit them as fresh contracts.
+    for (auto& vm : vms_) {
+      const AdmitStatus status = manager_->AddTenant(vm->tenant_spec());
+      if (status != AdmitStatus::kOk) {
+        std::fprintf(stderr, "Host: cold-boot re-admission of VM %s rejected: %s\n",
+                     vm->config().name.c_str(), AdmitStatusName(status));
+        std::abort();
+      }
+    }
+  }
+  return report;
+}
+
+void Host::RetickAfterRecovery() {
+  // The crashed Step() already advanced the VMs and the socket through the
+  // interval; only the manager's tick was lost. Replaying it alone keeps
+  // simulated time consistent, and the cumulative per-core counters make
+  // the re-sampled deltas identical to the ones the dead controller saw.
+  manager_->Tick();
 }
 
 }  // namespace dcat

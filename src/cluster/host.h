@@ -22,8 +22,11 @@
 #include "src/core/dcat_controller.h"
 #include "src/core/manager.h"
 #include "src/core/metrics.h"
+#include "src/faults/crash.h"
 #include "src/faults/faulty_pqos.h"
 #include "src/pqos/sim_pqos.h"
+#include "src/recovery/journal.h"
+#include "src/recovery/recovery.h"
 #include "src/sim/socket.h"
 
 namespace dcat {
@@ -54,6 +57,14 @@ struct HostConfig {
   // Stop injecting new faults after this many intervals (0 = never stop);
   // lets harnesses end a run with a quiescent settle window.
   uint32_t fault_active_ticks = 0;
+  // Crash harness: interpose a CrashingCat as the manager-facing backend so
+  // the fuzzer can kill the controller mid-apply (see src/faults/crash.h).
+  bool enable_crash_points = false;
+  // When set (kDcat mode only), the controller write-ahead journals every
+  // decision and contract change here, and CrashManager/RestartManager can
+  // simulate a controller process death + cold restart. Borrowed; must
+  // outlive the host.
+  JournalStorage* journal_storage = nullptr;
 };
 
 // Per-VM statistics of one completed interval, for recording.
@@ -78,6 +89,15 @@ class Host {
   // COS exhaustion, or a faulty backend refusing admission writes); the
   // claimed cores are returned to the free pool and nothing is registered.
   Vm* TryAddVm(VmConfig vm_config, std::unique_ptr<Workload> workload);
+
+  // Attaches a VM to a tenant the manager ALREADY holds — the daemon-resume
+  // path after RestartManager recovered contracts from the journal. Pins
+  // the VM to exactly `cores` (the journaled placement) instead of
+  // allocating fresh ones, and performs no admission. Returns nullptr when
+  // the manager does not know the tenant or a core is already claimed.
+  // kDcat mode only.
+  Vm* AdoptVm(VmConfig vm_config, std::unique_ptr<Workload> workload,
+              const std::vector<uint16_t>& cores);
 
   // Terminates a VM: deregisters the tenant from the cache manager and
   // returns its cores to the free pool (a later AddVm may reuse them).
@@ -104,12 +124,39 @@ class Host {
     }
   }
 
+  // --- crash-restart harness (kDcat + journal_storage only) ---
+  // Simulates the controller process dying: the manager object and all its
+  // in-memory state are destroyed. The simulated hardware, the journal
+  // storage, and the VMs survive — they belong to the host, not the
+  // process. Only RestartManager may follow.
+  void CrashManager();
+
+  // Rebuilds the manager through the recovery path: parse the journal,
+  // reconcile against the live backend, resume journaling. `sinks` are
+  // registered on the new controller before the RestartEvent fires. On a
+  // cold boot (unusable journal) the host re-admits its live VMs as fresh
+  // contracts. Aborts if recovery fails outright (policy mismatch).
+  RecoveryReport RestartManager(const std::vector<EventSink*>& sinks);
+
+  // Re-runs the crashed control tick after a restart: the VMs already
+  // executed the interval when the crash cut the tick short, so only the
+  // manager's Tick is replayed (cumulative counters make the replayed
+  // deltas identical to the lost ones).
+  void RetickAfterRecovery();
+
+  // Controller restarts performed by RestartManager so far.
+  uint64_t restarts() const { return restarts_; }
+
   Socket& socket() { return socket_; }
   // The inner, always-truthful backend — auditors read real state here
   // even when the manager's view is faulted.
   SimPqos& pqos() { return pqos_; }
   // Non-null only when HostConfig::inject_faults is set.
   FaultyPqos* faulty() { return faulty_.get(); }
+  // Non-null only when HostConfig::enable_crash_points is set.
+  CrashingCat* crasher() { return crasher_.get(); }
+  // Non-null only when HostConfig::journal_storage is set in kDcat mode.
+  JournalWriter* journal() { return journal_.get(); }
   CacheManager& manager() { return *manager_; }
   // Non-null only in kDcat mode.
   DcatController* dcat() { return dcat_; }
@@ -120,9 +167,16 @@ class Host {
   HostConfig config_;
   Socket socket_;
   SimPqos pqos_;
-  std::unique_ptr<FaultyPqos> faulty_;  // interposed when inject_faults
+  std::unique_ptr<FaultyPqos> faulty_;    // interposed when inject_faults
+  std::unique_ptr<CrashingCat> crasher_;  // interposed when enable_crash_points
+  std::unique_ptr<JournalWriter> journal_;
+  // The manager-facing ends of the decorator chain, kept so RestartManager
+  // can rebuild a controller against the same view of the hardware.
+  CatController* manager_cat_ = nullptr;
+  const MonitoringProvider* manager_monitor_ = nullptr;
   std::unique_ptr<CacheManager> manager_;
   DcatController* dcat_ = nullptr;  // borrowed view into manager_
+  uint64_t restarts_ = 0;
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<PerfCounterBlock> vm_snapshots_;
   uint16_t next_core_ = 0;

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to frame decision
+// journal records. Table-driven, byte-at-a-time; fast enough for the
+// journal's record sizes and has no dependencies.
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcat {
+
+// CRC of `length` bytes starting at `data`, seeded with `seed` (pass the
+// previous return value to continue a running CRC across buffers).
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+}  // namespace dcat
+
+#endif  // SRC_COMMON_CRC32_H_

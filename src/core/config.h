@@ -80,6 +80,13 @@ struct DcatConfig {
   // are quarantined as counter garbage. Far above any simulated IPC (<= 4)
   // so fault-free runs are unaffected.
   double counter_sanity_max_ipc = 16.0;
+  // Exponential backoff between apply attempts after a failed mask apply:
+  // the k-th consecutive failure delays the next attempt by
+  // retry_base_ticks * 2^(k-1) intervals plus deterministic jitter, capped
+  // at retry_max_ticks. Base 1 / cap 4 keeps the legacy "retry next tick"
+  // cadence for the first failure while spacing out persistent outages.
+  uint32_t retry_base_ticks = 1;
+  uint32_t retry_max_ticks = 4;
 };
 
 }  // namespace dcat

@@ -89,6 +89,10 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
       c.degraded_recovery_ticks = static_cast<uint32_t>(u);
     } else if (key == "counter_sanity_max_ipc" && ParseDouble(value, &d)) {
       c.counter_sanity_max_ipc = d;
+    } else if (key == "retry_base_ticks" && ParseUint(value, &u)) {
+      c.retry_base_ticks = static_cast<uint32_t>(u);
+    } else if (key == "retry_max_ticks" && ParseUint(value, &u)) {
+      c.retry_max_ticks = static_cast<uint32_t>(u);
     } else {
       fail("unknown key or bad value: '" + key + "' = '" + value + "'");
       return result;
@@ -133,6 +137,14 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
     result.error = "counter_sanity_max_ipc must be positive";
     return result;
   }
+  if (c.retry_base_ticks < 1) {
+    result.error = "retry_base_ticks must be >= 1";
+    return result;
+  }
+  if (c.retry_max_ticks < c.retry_base_ticks) {
+    result.error = "retry_max_ticks must be >= retry_base_ticks";
+    return result;
+  }
   result.ok = true;
   return result;
 }
@@ -172,6 +184,8 @@ std::string FormatDcatConfig(const DcatConfig& config) {
   out << "degraded_after_failures = " << config.degraded_after_failures << "\n";
   out << "degraded_recovery_ticks = " << config.degraded_recovery_ticks << "\n";
   out << "counter_sanity_max_ipc = " << config.counter_sanity_max_ipc << "\n";
+  out << "retry_base_ticks = " << config.retry_base_ticks << "\n";
+  out << "retry_max_ticks = " << config.retry_max_ticks << "\n";
   return out.str();
 }
 

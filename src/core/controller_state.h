@@ -1,0 +1,120 @@
+// Persistent controller state and the decision-journal hook.
+//
+// The crash-recovery subsystem (src/recovery/) needs a value-type image of
+// everything the DcatController must remember across a process death:
+// contracts, COS/group assignments, categories and allocations, the
+// phase books and performance tables, quarantine and degraded-mode
+// bookkeeping. `ControllerPersistentState` is that image —
+// `DcatController::ExportState()` produces it, `ImportState()` restores it
+// bit-exactly (doubles round-trip by bit pattern through the codec), so a
+// restored controller makes byte-identical decisions to one that never
+// died.
+//
+// `ControllerJournal` is the write-ahead hook: the controller calls
+// `OnDecision` with its full state and the tick's allocation intent
+// *before* touching the backend, and `OnContractChange` after every
+// successful admission/eviction. A journal implementation (JournalWriter
+// in src/recovery/) persists these; the controller itself never blocks on
+// journal durability — a lost journal only costs recovery fidelity, never
+// availability.
+#ifndef SRC_CORE_CONTROLLER_STATE_H_
+#define SRC_CORE_CONTROLLER_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/category.h"
+#include "src/core/manager.h"
+#include "src/sim/perf_counters.h"
+
+namespace dcat {
+
+// One phase record of a tenant's PhaseBook, flattened for serialization.
+struct PersistentPhaseRecord {
+  double signature = 0.0;
+  double baseline_ipc = 0.0;
+  bool baseline_valid = false;
+  // PerformanceTable entries, increasing ways order.
+  std::vector<std::pair<uint32_t, double>> table;
+};
+
+// Everything one tenant's TenantState must carry across a restart. Scratch
+// fields (this tick's sample, quarantine flag, …) are deliberately absent:
+// they are recomputed every tick.
+struct PersistentTenant {
+  TenantSpec spec;
+  uint8_t cos = 0;
+  uint32_t group = 0;
+  Category category = Category::kDonor;
+  uint32_t ways = 1;
+  uint32_t mask = 0;
+  PerfCounterBlock last_counters;
+  // PhaseDetector internals.
+  bool detector_has_signature = false;
+  bool detector_idle = true;
+  double detector_signature = 0.0;
+  // PhaseBook, flattened. phase_index indexes into `phases`.
+  std::vector<PersistentPhaseRecord> phases;
+  uint64_t phase_index = 0;
+  bool has_phase = false;
+  bool measuring_baseline = false;
+  double last_ipc = 0.0;
+  bool has_last_ipc = false;
+  uint32_t prev_interval_ways = 0;
+  bool grow_denied = false;
+  uint32_t anomaly_streak = 0;
+  bool prev_active = false;
+  uint64_t last_mbm = 0;
+};
+
+// Full controller image at one instant (end of a tick, or mid-tick just
+// before an apply).
+struct ControllerPersistentState {
+  uint64_t tick = 0;
+  std::string policy;  // canonical PolicyRegistry name; must match config
+  bool degraded = false;
+  uint32_t consecutive_apply_failures = 0;
+  uint32_t degraded_clean_ticks = 0;
+  // First tick at which the backoff allows another apply attempt (0 = no
+  // backoff pending).
+  uint64_t next_apply_tick = 0;
+  std::vector<uint16_t> orphaned_cores;
+  std::vector<uint32_t> cos_acked_mask;  // clustered mode only (else empty)
+  uint32_t next_group_id = 0;
+  std::vector<PersistentTenant> tenants;
+};
+
+// What the controller was about to program when a decision record was
+// written: per-tenant way targets and (clustered mode) COS-sharing groups,
+// in the same order as ControllerPersistentState::tenants.
+struct DecisionIntent {
+  bool degraded = false;
+  std::vector<uint32_t> targets;
+  std::vector<uint32_t> groups;
+};
+
+// Write-ahead journal hook. All calls are fire-and-forget from the
+// controller's perspective; implementations own durability and must not
+// throw.
+class ControllerJournal {
+ public:
+  virtual ~ControllerJournal() = default;
+
+  // A tenant was admitted or evicted; `state` is the post-change image.
+  virtual void OnContractChange(const ControllerPersistentState& state) = 0;
+
+  // Called immediately before the controller programs `intent` into the
+  // backend; `state` is the pre-apply image (tick already advanced).
+  virtual void OnDecision(const ControllerPersistentState& state,
+                          const DecisionIntent& intent) = 0;
+
+  // Recovery finished reconciling; `state` is the adopted image. A journal
+  // typically compacts to a fresh snapshot here. Default: ignore.
+  virtual void OnRecovered(const ControllerPersistentState& state) { (void)state; }
+};
+
+}  // namespace dcat
+
+#endif  // SRC_CORE_CONTROLLER_STATE_H_

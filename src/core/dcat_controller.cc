@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "src/common/log.h"
+#include "src/common/rng.h"
 #include "src/policies/registry.h"
 
 namespace dcat {
@@ -157,6 +158,7 @@ AdmitStatus DcatController::AddTenant(const TenantSpec& spec) {
                                       .from_ways = 0,
                                       .to_ways = config_.min_ways});
   metrics_.counter("controller.admissions").Increment();
+  JournalContractChange();
   return AdmitStatus::kOk;
 }
 
@@ -314,6 +316,7 @@ AdmitStatus DcatController::AddTenantClustered(const TenantSpec& spec) {
                                       .from_ways = 0,
                                       .to_ways = targets[n - 1]});
   metrics_.counter("controller.admissions").Increment();
+  JournalContractChange();
   return AdmitStatus::kOk;
 }
 
@@ -361,6 +364,7 @@ void DcatController::RemoveTenant(TenantId id) {
                                       .from_ways = released_ways,
                                       .to_ways = 0});
   metrics_.counter("controller.evictions").Increment();
+  JournalContractChange();
 }
 
 DcatController::TenantState& DcatController::FindTenant(TenantId id) {
@@ -424,8 +428,16 @@ WorkloadSample DcatController::CollectSample(TenantState& tenant) {
   // classification relies on, and it stays trustworthy even while the
   // per-core counters are quarantined (separate hardware path).
   const uint64_t mbm = monitor_->MemoryBandwidthBytes(tenant.cos);
-  const uint64_t mbm_delta = mbm >= tenant.last_mbm ? mbm - tenant.last_mbm : 0;
-  tenant.last_mbm = mbm;
+  // A backwards MBM level is a failed or torn read (the injectors produce
+  // zeroes and truncated values), not real traffic: keep the last-good
+  // snapshot so the next monotonic read yields a sane multi-interval delta.
+  uint64_t mbm_delta = 0;
+  if (mbm >= tenant.last_mbm) {
+    mbm_delta = mbm - tenant.last_mbm;
+    tenant.last_mbm = mbm;
+  } else {
+    metrics_.counter("faults.mbm_anomalies").Increment();
+  }
   const auto anomaly = ClassifyAnomaly(tenant, sum, delta, mbm_delta);
   WorkloadSample sample;
   tenant.quarantined = anomaly.has_value();
@@ -757,6 +769,7 @@ void DcatController::AllocateAndApply() {
     return sum;
   };
 
+  JournalDecision(targets, groups, /*degraded=*/false);
   const bool applied =
       clustered_ ? ApplyMasksClustered(targets, groups) : ApplyMasks(targets);
   if (!applied) {
@@ -781,9 +794,10 @@ void DcatController::AllocateAndApply() {
     if (consecutive_apply_failures_ >= config_.degraded_after_failures) {
       EnterDegraded();
     }
+    ArmRetryBackoff();
     return;
   }
-  consecutive_apply_failures_ = 0;
+  NoteApplySuccess();
   metrics_.gauge("controller.pool_ways").Set(static_cast<double>(total - used()));
 
   // Publish the decisions: every change carries its reason; a denied grow
@@ -1160,10 +1174,11 @@ void DcatController::DegradedTick() {
     }
   }
   // Σ baselines <= total ways (admission control), so this always fits.
+  JournalDecision(targets, groups, /*degraded=*/true);
   const bool applied =
       clustered_ ? ApplyMasksClustered(targets, groups) : ApplyMasks(targets);
   if (applied) {
-    consecutive_apply_failures_ = 0;
+    NoteApplySuccess();
     for (size_t i = 0; i < n; ++i) {
       if (targets[i] != before[i]) {
         sinks_.OnAllocation(AllocationEvent{.tick = tick_,
@@ -1182,6 +1197,7 @@ void DcatController::DegradedTick() {
     ++consecutive_apply_failures_;
     metrics_.counter("faults.apply_failures").Increment();
     degraded_clean_ticks_ = 0;
+    ArmRetryBackoff();
   }
   EmitTickEventsAndMetrics();
 }
@@ -1189,6 +1205,14 @@ void DcatController::DegradedTick() {
 void DcatController::Tick() {
   ++tick_;
   ReconcileBackend();
+  if (next_apply_tick_ != 0 && tick_ < next_apply_tick_) {
+    // Backoff window after a failed apply: keep sampling (cumulative
+    // counters make the eventual multi-interval delta exact) and keep the
+    // telemetry cadence, but leave every decision input frozen and do not
+    // touch the backend beyond reconciliation.
+    SkipBackoffTick();
+    return;
+  }
   if (mode_ == Mode::kDegraded) {
     DegradedTick();
     return;
@@ -1215,6 +1239,389 @@ void DcatController::Tick() {
   EmitTickEventsAndMetrics();
   metrics_.histogram("controller.allocate_latency_us", {1.0, 10.0, 100.0, 1000.0, 10000.0})
       .Observe(alloc_us);
+}
+
+// --- exponential backoff after failed applies ---
+
+void DcatController::ArmRetryBackoff() {
+  const uint32_t failures = std::max<uint32_t>(consecutive_apply_failures_, 1);
+  const uint32_t shift = std::min<uint32_t>(failures - 1, 16);
+  const uint64_t raw =
+      static_cast<uint64_t>(std::max<uint32_t>(config_.retry_base_ticks, 1)) << shift;
+  // Deterministic jitter in [0, raw): keyed on (tick, failure count) so a
+  // restarted controller derives the same schedule as one that never died,
+  // while distinct failure bursts desynchronize across a fleet.
+  uint64_t key = tick_ ^ (static_cast<uint64_t>(failures) * 0x9e3779b97f4a7c15ULL);
+  const uint64_t jitter = SplitMix64(key) % raw;
+  const uint64_t delay =
+      std::min<uint64_t>(raw + jitter, std::max<uint32_t>(config_.retry_max_ticks, 1));
+  next_apply_tick_ = tick_ + std::max<uint64_t>(delay, 1);
+  metrics_.gauge("faults.retry_backoff_ticks").Set(static_cast<double>(delay));
+}
+
+void DcatController::SkipBackoffTick() {
+  // Sampling continues (cumulative counters keep the eventual deltas
+  // exact) but every decision input stays frozen: no phase detection, no
+  // table updates, no categorization, no apply. Deferred phase edges are
+  // still caught — the detector compares against the live signature once
+  // the window closes.
+  for (TenantState& t : tenants_) {
+    t.category_at_tick_start = t.category;
+    t.sample = CollectSample(t);
+    t.phase_changed = false;
+    t.prev_interval_ways = t.ways;
+  }
+  // Journal a no-change intent: a crash inside the window replays into the
+  // same frozen allocation.
+  const size_t n = tenants_.size();
+  std::vector<uint32_t> targets(n, 0);
+  std::vector<uint32_t> groups(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    targets[i] = tenants_[i].ways;
+    groups[i] = tenants_[i].group;
+  }
+  JournalDecision(targets, groups, mode_ == Mode::kDegraded);
+  metrics_.counter("faults.apply_backoff_skips").Increment();
+  EmitTickEventsAndMetrics();
+}
+
+// --- crash recovery: journaling, state image, restart reconciliation ---
+
+void DcatController::JournalDecision(const std::vector<uint32_t>& targets,
+                                     const std::vector<uint32_t>& groups, bool degraded) {
+  if (journal_ == nullptr) {
+    return;
+  }
+  DecisionIntent intent;
+  intent.degraded = degraded;
+  intent.targets = targets;
+  if (clustered_) {
+    intent.groups = groups;
+  }
+  journal_->OnDecision(ExportState(), intent);
+}
+
+void DcatController::JournalContractChange() {
+  if (journal_ != nullptr) {
+    journal_->OnContractChange(ExportState());
+  }
+}
+
+void DcatController::NoteApplySuccess() {
+  consecutive_apply_failures_ = 0;
+  next_apply_tick_ = 0;
+  if (!recovery_pending_) {
+    return;
+  }
+  recovery_pending_ = false;
+  const uint64_t took = tick_ >= recovery_start_tick_ ? tick_ - recovery_start_tick_ : 0;
+  sinks_.OnRecovery(RecoveryEvent{.tick = tick_,
+                                  .adopted = recovery_stats_.adopted,
+                                  .redone = recovery_stats_.redone,
+                                  .divergent = recovery_stats_.divergent,
+                                  .recovery_ticks = took,
+                                  .converged = true});
+  metrics_.histogram("controller.recovery_ticks", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0})
+      .Observe(static_cast<double>(took));
+}
+
+ControllerPersistentState DcatController::ExportState() const {
+  ControllerPersistentState state;
+  state.tick = tick_;
+  state.policy = policy_->name();
+  state.degraded = mode_ == Mode::kDegraded;
+  state.consecutive_apply_failures = consecutive_apply_failures_;
+  state.degraded_clean_ticks = degraded_clean_ticks_;
+  state.next_apply_tick = next_apply_tick_;
+  state.orphaned_cores = orphaned_cores_;
+  state.cos_acked_mask = cos_acked_mask_;
+  state.next_group_id = next_group_id_;
+  state.tenants.reserve(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    PersistentTenant p;
+    p.spec = t.spec;
+    p.cos = t.cos;
+    p.group = t.group;
+    p.category = t.category;
+    p.ways = t.ways;
+    p.mask = t.mask;
+    p.last_counters = t.last_counters;
+    const PhaseDetector::State d = t.detector.Export();
+    p.detector_has_signature = d.has_signature;
+    p.detector_idle = d.idle;
+    p.detector_signature = d.signature;
+    p.phases.reserve(t.book.size());
+    for (size_t i = 0; i < t.book.size(); ++i) {
+      const PhaseBook::PhaseRecord& rec = t.book.record(i);
+      PersistentPhaseRecord pr;
+      pr.signature = rec.signature;
+      pr.baseline_ipc = rec.baseline_ipc;
+      pr.baseline_valid = rec.baseline_valid;
+      pr.table = rec.table.Entries();
+      p.phases.push_back(std::move(pr));
+    }
+    p.phase_index = t.phase_index;
+    p.has_phase = t.has_phase;
+    p.measuring_baseline = t.measuring_baseline;
+    p.last_ipc = t.last_ipc;
+    p.has_last_ipc = t.has_last_ipc;
+    p.prev_interval_ways = t.prev_interval_ways;
+    p.grow_denied = t.grow_denied;
+    p.anomaly_streak = t.anomaly_streak;
+    p.prev_active = t.prev_active;
+    p.last_mbm = t.last_mbm;
+    state.tenants.push_back(std::move(p));
+  }
+  return state;
+}
+
+void DcatController::ImportState(const ControllerPersistentState& state) {
+  tick_ = state.tick;
+  mode_ = state.degraded ? Mode::kDegraded : Mode::kDynamic;
+  consecutive_apply_failures_ = state.consecutive_apply_failures;
+  degraded_clean_ticks_ = state.degraded_clean_ticks;
+  next_apply_tick_ = state.next_apply_tick;
+  orphaned_cores_ = state.orphaned_cores;
+  next_group_id_ = state.next_group_id;
+  if (clustered_) {
+    // A journal written by a classic-mode controller carries no acked
+    // masks; size the vector for the backend either way.
+    cos_acked_mask_ = state.cos_acked_mask;
+    cos_acked_mask_.resize(cat_->NumCos(), 0);
+  }
+  tenants_.clear();
+  decision_log_.Clear();
+  for (const PersistentTenant& p : state.tenants) {
+    TenantState t{.spec = p.spec,
+                  .cos = p.cos,
+                  .group = p.group,
+                  .category = p.category,
+                  .ways = p.ways,
+                  .detector = PhaseDetector(config_),
+                  .book = PhaseBook(config_.phase_change_thr)};
+    t.mask = p.mask;
+    t.last_counters = p.last_counters;
+    t.detector.Restore(PhaseDetector::State{.has_signature = p.detector_has_signature,
+                                            .idle = p.detector_idle,
+                                            .signature = p.detector_signature});
+    for (const PersistentPhaseRecord& pr : p.phases) {
+      PhaseBook::PhaseRecord rec;
+      rec.signature = pr.signature;
+      rec.baseline_ipc = pr.baseline_ipc;
+      rec.baseline_valid = pr.baseline_valid;
+      rec.table.RestoreEntries(pr.table);
+      t.book.AppendRecord(std::move(rec));
+    }
+    t.phase_index = static_cast<size_t>(p.phase_index);
+    // A malformed phase index (bit rot the CRC did not catch, or a record
+    // from a newer schema) must not leave a dangling reference.
+    t.has_phase = p.has_phase && t.phase_index < t.book.size();
+    t.measuring_baseline = p.measuring_baseline;
+    t.last_ipc = p.last_ipc;
+    t.has_last_ipc = p.has_last_ipc;
+    t.prev_interval_ways = p.prev_interval_ways;
+    t.grow_denied = p.grow_denied;
+    t.anomaly_streak = p.anomaly_streak;
+    t.prev_active = p.prev_active;
+    t.last_mbm = p.last_mbm;
+    t.category_at_tick_start = p.category;
+    tenants_.push_back(std::move(t));
+  }
+  metrics_.gauge("controller.degraded_mode").Set(state.degraded ? 1.0 : 0.0);
+}
+
+DcatController::RecoveryApplyStats DcatController::CompleteRecovery(
+    const DecisionIntent* intent) {
+  RecoveryApplyStats stats;
+  const size_t n = tenants_.size();
+  bool write_failures = false;
+
+  // Roll the interrupted intent forward COS by COS. A corrupt or
+  // shape-mismatched intent demotes recovery to the at-rest audit below —
+  // never an abort: the journal is input, not an invariant.
+  bool rolled_forward = false;
+  const bool intent_shape_ok = intent != nullptr && n > 0 && intent->targets.size() == n &&
+                               (!clustered_ || intent->groups.size() == n);
+  if (intent_shape_ok && !clustered_) {
+    const auto masks = LayoutMasks(intent->targets, cat_->NumWays());
+    if (masks.has_value()) {
+      rolled_forward = true;
+      for (size_t i = 0; i < n; ++i) {
+        TenantState& t = tenants_[i];
+        const uint32_t want = (*masks)[i];
+        const uint32_t hw = cat_->GetCosMask(t.cos);
+        if (hw == want) {
+          // The crash fell after this COS's write (or the mask was not
+          // changing): adopt the hardware as-is.
+          t.ways = intent->targets[i];
+          t.mask = want;
+          ++stats.adopted;
+        } else if (t.mask == 0 || hw == t.mask) {
+          // Still at the pre-apply mask: the crash fell before this COS's
+          // write. Finish the interrupted transaction.
+          if (WriteMaskWithRetry(t.cos, t.spec.id, want)) {
+            t.ways = intent->targets[i];
+            t.mask = want;
+            ++stats.redone;
+          } else {
+            t.mask = 0;
+            t.category = Category::kReclaim;
+            write_failures = true;
+          }
+        } else {
+          // Hardware matches neither image: external interference while the
+          // controller was down. Adopt nothing; the reclaim machinery
+          // re-establishes the contracted allocation.
+          t.mask = 0;
+          t.category = Category::kReclaim;
+          ++stats.divergent;
+        }
+      }
+    }
+  } else if (intent_shape_ok && clustered_) {
+    // Group normalization identical to ApplyMasksClustered, minus the
+    // aborts (journaled input is validated, not trusted).
+    std::vector<uint32_t> order;
+    std::vector<size_t> gidx(n, 0);
+    std::vector<uint32_t> group_ways;
+    std::vector<TenantId> group_owner;
+    bool coherent = true;
+    for (size_t i = 0; i < n && coherent; ++i) {
+      const auto it = std::find(order.begin(), order.end(), intent->groups[i]);
+      if (it == order.end()) {
+        gidx[i] = order.size();
+        order.push_back(intent->groups[i]);
+        group_ways.push_back(intent->targets[i]);
+        group_owner.push_back(tenants_[i].spec.id);
+      } else {
+        gidx[i] = static_cast<size_t>(it - order.begin());
+        coherent = intent->targets[i] == group_ways[gidx[i]];
+      }
+    }
+    const size_t num_groups = order.size();
+    if (num_groups + 1 > cat_->NumCos()) {
+      coherent = false;
+    }
+    std::optional<std::vector<uint32_t>> masks;
+    if (coherent) {
+      masks = LayoutMasks(group_ways, cat_->NumWays());
+    }
+    if (coherent && masks.has_value()) {
+      rolled_forward = true;
+      std::vector<bool> ok(num_groups, false);
+      for (size_t g = 0; g < num_groups; ++g) {
+        const uint8_t cos = static_cast<uint8_t>(g + 1);
+        const uint32_t want = (*masks)[g];
+        const uint32_t hw = cat_->GetCosMask(cos);
+        const uint32_t acked = cos < cos_acked_mask_.size() ? cos_acked_mask_[cos] : 0;
+        if (hw == want) {
+          ok[g] = true;
+          ++stats.adopted;
+        } else if (acked == 0 || hw == acked) {
+          if (WriteMaskWithRetry(cos, group_owner[g], want)) {
+            ok[g] = true;
+            ++stats.redone;
+          } else {
+            write_failures = true;
+          }
+        } else {
+          ++stats.divergent;
+        }
+      }
+      // Commit: COS/group assignment follows the intent for every tenant
+      // (bookkeeping and reconciliation must agree on who lives where);
+      // ways and masks commit only for groups whose mask landed — the rest
+      // park in Reclaim with a cleared acked mask so the next apply
+      // programs them fresh.
+      for (size_t g = 0; g < num_groups; ++g) {
+        cos_acked_mask_[g + 1] = ok[g] ? (*masks)[g] : 0;
+      }
+      for (size_t cos = num_groups + 1; cos < cos_acked_mask_.size(); ++cos) {
+        cos_acked_mask_[cos] = 0;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        TenantState& t = tenants_[i];
+        t.group = intent->groups[i];
+        t.cos = static_cast<uint8_t>(gidx[i] + 1);
+        if (ok[gidx[i]]) {
+          t.ways = intent->targets[i];
+          t.mask = (*masks)[gidx[i]];
+        } else {
+          t.mask = 0;
+          t.category = Category::kReclaim;
+        }
+      }
+    }
+  }
+  if (!rolled_forward) {
+    // At-rest image (snapshot record, empty journal tail, or an unusable
+    // intent): audit the hardware against the adopted bookkeeping.
+    if (!clustered_) {
+      for (TenantState& t : tenants_) {
+        if (t.mask == 0) {
+          continue;
+        }
+        if (cat_->GetCosMask(t.cos) == t.mask) {
+          ++stats.adopted;
+        } else {
+          t.mask = 0;
+          t.category = Category::kReclaim;
+          ++stats.divergent;
+        }
+      }
+    } else {
+      for (size_t cos = 1; cos < cos_acked_mask_.size(); ++cos) {
+        if (cos_acked_mask_[cos] == 0) {
+          continue;
+        }
+        if (cat_->GetCosMask(static_cast<uint8_t>(cos)) == cos_acked_mask_[cos]) {
+          ++stats.adopted;
+          continue;
+        }
+        cos_acked_mask_[cos] = 0;
+        ++stats.divergent;
+        for (TenantState& t : tenants_) {
+          if (t.cos == cos) {
+            t.mask = 0;
+            t.category = Category::kReclaim;
+          }
+        }
+      }
+    }
+  }
+  // Core associations are idempotent: re-assert every tenant's cores now.
+  // Stragglers (and orphaned releases) stay on the per-tick
+  // reconciliation's retry list.
+  for (TenantState& t : tenants_) {
+    for (uint16_t core : t.spec.cores) {
+      if (cat_->GetCoreAssociation(core) != t.cos &&
+          !AssociateWithRetry(core, t.cos, t.spec.id)) {
+        write_failures = true;
+      }
+    }
+  }
+  if (write_failures) {
+    ++consecutive_apply_failures_;
+    metrics_.counter("faults.apply_failures").Increment();
+    ArmRetryBackoff();
+  }
+  stats.converged = !write_failures && stats.divergent == 0;
+  recovery_stats_ = stats;
+  if (stats.converged) {
+    sinks_.OnRecovery(RecoveryEvent{.tick = tick_,
+                                    .adopted = stats.adopted,
+                                    .redone = stats.redone,
+                                    .divergent = stats.divergent,
+                                    .recovery_ticks = 0,
+                                    .converged = true});
+    metrics_.histogram("controller.recovery_ticks", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0})
+        .Observe(0.0);
+  } else {
+    // The window closes at the first clean apply (NoteApplySuccess).
+    recovery_pending_ = true;
+    recovery_start_tick_ = tick_;
+  }
+  return stats;
 }
 
 void DcatController::EmitTickEventsAndMetrics() {

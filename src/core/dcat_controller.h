@@ -37,6 +37,7 @@
 #include "src/core/allocator.h"
 #include "src/core/category.h"
 #include "src/core/config.h"
+#include "src/core/controller_state.h"
 #include "src/core/manager.h"
 #include "src/core/metrics.h"
 #include "src/core/performance_table.h"
@@ -117,6 +118,39 @@ class DcatController : public CacheManager {
   // PolicyRegistry) and whether it maps several tenants onto shared COSes.
   const Policy& policy() const { return *policy_; }
   bool clustered() const { return clustered_; }
+
+  // --- crash recovery (src/recovery/) ---
+
+  // Attaches the write-ahead decision journal (borrowed). Once attached,
+  // the controller reports its full state + intent to the journal before
+  // every mask apply and after every contract change. Never blocks the
+  // control loop: a journal that fails to persist costs recovery fidelity,
+  // not availability.
+  void AttachJournal(ControllerJournal* journal) { journal_ = journal; }
+
+  // Bit-exact image of everything a restarted controller needs; doubles
+  // round-trip by bit pattern through the recovery codec.
+  ControllerPersistentState ExportState() const;
+  // Replaces the controller's state with a journaled image. The policy in
+  // `state` must match this controller's configured policy (checked by the
+  // recovery path before calling). Scratch per-tick fields reset.
+  void ImportState(const ControllerPersistentState& state);
+
+  // Per-restart reconciliation stats (mirrored into RecoveryEvent).
+  struct RecoveryApplyStats {
+    uint32_t adopted = 0;    // COSes whose hardware already matched the intent
+    uint32_t redone = 0;     // COSes re-programmed to the journaled intent
+    uint32_t divergent = 0;  // tenants parked in Reclaim (hardware matched
+                             // neither the prior acked mask nor the intent)
+    bool converged = true;   // no write failures and no divergence
+  };
+  // Reconciles imported state against the live backend: rolls the journaled
+  // intent forward COS by COS (adopting hardware that already matches,
+  // re-writing COSes stuck at the pre-apply mask), parks divergent tenants
+  // in Reclaim for the normal machinery, and silently repairs core
+  // associations/orphans. `intent` is the interrupted tick's journaled
+  // intent, or nullptr when the last record was an at-rest snapshot.
+  RecoveryApplyStats CompleteRecovery(const DecisionIntent* intent);
 
   // --- telemetry ---
 
@@ -224,6 +258,19 @@ class DcatController : public CacheManager {
   void EnterDegraded();
   void ExitDegraded();
   void DegradedTick();
+  // Exponential backoff with deterministic jitter after a failed apply:
+  // arms next_apply_tick_; ticks before it sample and emit but skip the
+  // allocate/apply step (SkipBackoffTick).
+  void ArmRetryBackoff();
+  void SkipBackoffTick();
+  // Reports the tick's full state + intent to the attached journal (no-op
+  // without one).
+  void JournalDecision(const std::vector<uint32_t>& targets,
+                       const std::vector<uint32_t>& groups, bool degraded);
+  void JournalContractChange();
+  // First clean apply after a restart closes the recovery window: emits
+  // RecoveryEvent and observes the recovery_ticks histogram.
+  void NoteApplySuccess();
 
   TenantSnapshot MakeSnapshot(const TenantState& tenant) const;
   double NormalizedIpc(const TenantState& tenant) const;
@@ -251,6 +298,15 @@ class DcatController : public CacheManager {
   Mode mode_ = Mode::kDynamic;
   uint32_t consecutive_apply_failures_ = 0;
   uint32_t degraded_clean_ticks_ = 0;
+  // Backoff: first tick allowed to attempt another apply (0 = none armed).
+  uint64_t next_apply_tick_ = 0;
+  // Write-ahead journal hook (borrowed; may be null).
+  ControllerJournal* journal_ = nullptr;
+  // Recovery window: set by CompleteRecovery when the backend could not be
+  // fully reconciled at restart; closed by the first clean apply.
+  bool recovery_pending_ = false;
+  uint64_t recovery_start_tick_ = 0;
+  RecoveryApplyStats recovery_stats_;
   // Cores whose release (AssociateCore(core, 0)) failed during tenant
   // removal; retried every reconciliation pass.
   std::vector<uint16_t> orphaned_cores_;

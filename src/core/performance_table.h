@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dcat {
@@ -30,6 +31,15 @@ class PerformanceTable {
   bool Has(uint32_t ways) const { return entries_.count(ways) > 0; }
   size_t size() const { return entries_.size(); }
   void Clear() { entries_.clear(); }
+
+  // Crash-recovery restore: installs entries verbatim, bypassing the EWMA
+  // blend so a journal round-trip reproduces the table bit-exactly.
+  void RestoreEntries(const std::vector<std::pair<uint32_t, double>>& entries) {
+    entries_.clear();
+    for (const auto& [ways, norm_ipc] : entries) {
+      entries_[ways] = norm_ipc;
+    }
+  }
 
   // Smallest measured allocation after which no larger measured allocation
   // improves normalized IPC by at least `improvement_thr` (relative).
@@ -77,6 +87,14 @@ class PhaseBook {
   PhaseRecord& record(size_t index) { return records_.at(index); }
   const PhaseRecord& record(size_t index) const { return records_.at(index); }
   size_t size() const { return records_.size(); }
+
+  // Crash-recovery restore: appends a record verbatim, bypassing the
+  // tolerance match so a restored book is structurally identical to the
+  // original (indices and all). Returns the new record's index.
+  size_t AppendRecord(PhaseRecord record) {
+    records_.push_back(std::move(record));
+    return records_.size() - 1;
+  }
 
  private:
   bool Matches(double a, double b) const;

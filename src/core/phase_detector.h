@@ -32,6 +32,21 @@ class PhaseDetector {
   double signature() const { return signature_; }
   bool idle() const { return idle_; }
 
+  // Crash-recovery restore: the detector's whole mutable state, exported
+  // bit-exactly and re-imported so a restored detector classifies the next
+  // sample exactly as the original would have.
+  struct State {
+    bool has_signature = false;
+    bool idle = true;
+    double signature = 0.0;
+  };
+  State Export() const { return State{has_signature_, idle_, signature_}; }
+  void Restore(const State& state) {
+    has_signature_ = state.has_signature;
+    idle_ = state.idle;
+    signature_ = state.signature;
+  }
+
  private:
   // An interval with almost no instructions, or almost no memory accesses
   // per instruction, is the idle phase.

@@ -1,0 +1,73 @@
+// Crash-point injection for the crash-restart fuzzer.
+//
+// A "crash" in this harness is the controller process dying at an
+// inconvenient instant. In-process we simulate it by throwing CrashPointHit
+// out of the control loop: the harness catches it, destroys the controller
+// object (taking all in-memory state with it, exactly like a SIGKILL), and
+// rebuilds one through the recovery path. The simulated hardware and the
+// journal storage survive — they are the host machine, not the process.
+//
+// CrashingCat is a CatController decorator that throws on the N-th write
+// operation (SetCosMask or AssociateCore counted together) after arming,
+// *before* the write reaches the backend — the sharpest possible cut
+// through an apply transaction. Reads always pass through.
+#ifndef SRC_FAULTS_CRASH_H_
+#define SRC_FAULTS_CRASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/pqos/pqos.h"
+
+namespace dcat {
+
+// Thrown at an armed crash point; `where` names the cut for diagnostics.
+struct CrashPointHit {
+  std::string where;
+};
+
+class CrashingCat : public CatController {
+ public:
+  explicit CrashingCat(CatController* inner) : inner_(inner) {}
+
+  // The `nth` write operation from now (1-based) throws CrashPointHit
+  // before reaching the backend. Arm(0) disarms.
+  void Arm(uint64_t nth) { remaining_ = nth; }
+  bool armed() const { return remaining_ > 0; }
+  // Write operations forwarded since construction (for sizing Arm sweeps).
+  uint64_t writes_seen() const { return writes_seen_; }
+
+  uint32_t NumWays() const override { return inner_->NumWays(); }
+  uint8_t NumCos() const override { return inner_->NumCos(); }
+  uint16_t NumCores() const override { return inner_->NumCores(); }
+  uint64_t WayCapacityBytes() const override { return inner_->WayCapacityBytes(); }
+
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override {
+    MaybeCrash("SetCosMask");
+    return inner_->SetCosMask(cos, mask);
+  }
+  uint32_t GetCosMask(uint8_t cos) const override { return inner_->GetCosMask(cos); }
+  PqosStatus AssociateCore(uint16_t core, uint8_t cos) override {
+    MaybeCrash("AssociateCore");
+    return inner_->AssociateCore(core, cos);
+  }
+  uint8_t GetCoreAssociation(uint16_t core) const override {
+    return inner_->GetCoreAssociation(core);
+  }
+
+ private:
+  void MaybeCrash(const char* op) {
+    ++writes_seen_;
+    if (remaining_ > 0 && --remaining_ == 0) {
+      throw CrashPointHit{op};
+    }
+  }
+
+  CatController* inner_;
+  uint64_t remaining_ = 0;
+  uint64_t writes_seen_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_FAULTS_CRASH_H_

@@ -15,6 +15,7 @@ enum Stream : uint64_t {
   kStreamOutageLength = 3,
   kStreamAnomalyFire = 4,
   kStreamAnomalyKind = 5,
+  kStreamMonitorFault = 6,
 };
 
 uint64_t Mix(uint64_t seed, uint64_t stream, uint64_t a, uint64_t b) {
@@ -60,6 +61,14 @@ FaultProfile PersistentOutageProfile() {
   return p;
 }
 
+FaultProfile MonitoringChaosProfile() {
+  FaultProfile p;
+  p.name = "monitoring";
+  p.monitor_read_error_rate = 0.10;
+  p.monitor_torn_read_rate = 0.10;
+  return p;
+}
+
 FaultProfile MixedChaosProfile() {
   FaultProfile p;
   p.name = "mixed";
@@ -71,6 +80,8 @@ FaultProfile MixedChaosProfile() {
   p.outage_min_ticks = 2;
   p.outage_max_ticks = 4;
   p.counter_anomaly_rate = 0.06;
+  p.monitor_read_error_rate = 0.04;
+  p.monitor_torn_read_rate = 0.04;
   return p;
 }
 
@@ -79,6 +90,7 @@ std::optional<FaultProfile> FaultProfileByName(const std::string& name) {
   if (name == "silent-drift") return SilentDriftProfile();
   if (name == "counter-garbage") return CounterGarbageProfile();
   if (name == "persistent-outage") return PersistentOutageProfile();
+  if (name == "monitoring") return MonitoringChaosProfile();
   if (name == "mixed") return MixedChaosProfile();
   return std::nullopt;
 }
@@ -156,6 +168,20 @@ std::optional<CounterAnomalyKind> FaultPlan::OnReadCounters(uint16_t core) const
     return std::nullopt;
   }
   return enabled[Mix(seed_, kStreamAnomalyKind, tick_, core) % n];
+}
+
+MonitorFault FaultPlan::OnMonitorRead(uint8_t cos) const {
+  if (!Active()) {
+    return MonitorFault::kNone;
+  }
+  const double roll = UnitHash(kStreamMonitorFault, tick_, cos);
+  if (roll < profile_.monitor_read_error_rate) {
+    return MonitorFault::kReadError;
+  }
+  if (roll < profile_.monitor_read_error_rate + profile_.monitor_torn_read_rate) {
+    return MonitorFault::kTornValue;
+  }
+  return MonitorFault::kNone;
 }
 
 }  // namespace dcat

@@ -54,6 +54,14 @@ struct FaultProfile {
   bool anomaly_frozen = true;
   bool anomaly_garbage = true;
 
+  // Monitoring-plane faults on per-COS MBM/occupancy reads: a failed file
+  // read (the resctrl node vanished or errored — the value comes back 0)
+  // and a torn read (a partially-written sysfs node yields a truncated
+  // value). Per-(tick, cos) probabilities; every read of the same COS in
+  // the same tick gets the same answer.
+  double monitor_read_error_rate = 0.0;
+  double monitor_torn_read_rate = 0.0;
+
   // Faults only fire while 1 <= tick <= active_ticks (0 = no upper bound).
   // Chaos runs cap this at the scenario length so a settle window after the
   // last interval is fault-free and degraded mode can prove it re-enters
@@ -66,11 +74,19 @@ FaultProfile TransientProfile();       // retry-able kIoError bursts
 FaultProfile SilentDriftProfile();     // dropped-but-OK writes
 FaultProfile CounterGarbageProfile();  // counter anomalies, all kinds
 FaultProfile PersistentOutageProfile();  // multi-tick outages
+FaultProfile MonitoringChaosProfile();  // failed + torn MBM/occupancy reads
 FaultProfile MixedChaosProfile();      // everything at once
 
 // nullopt for unknown names. Accepts: "transient", "silent-drift",
-// "counter-garbage", "persistent-outage", "mixed".
+// "counter-garbage", "persistent-outage", "monitoring", "mixed".
 std::optional<FaultProfile> FaultProfileByName(const std::string& name);
+
+// What a FaultPlan does to one per-COS monitoring read (MBM/occupancy).
+enum class MonitorFault {
+  kNone,       // forward to the real monitor
+  kReadError,  // the read fails; the caller sees 0
+  kTornValue,  // partially-written node: the value loses its high bits
+};
 
 // A seeded, deterministic schedule over a FaultProfile. Default-constructed
 // plans are inert (profile "none", every rate 0).
@@ -100,6 +116,9 @@ class FaultPlan {
   // Counter anomaly (if any) for reads of `core` this tick. Every read of
   // the same core in the same tick gets the same answer.
   std::optional<CounterAnomalyKind> OnReadCounters(uint16_t core) const;
+
+  // Monitoring fault (if any) for per-COS MBM/occupancy reads this tick.
+  MonitorFault OnMonitorRead(uint8_t cos) const;
 
  private:
   // Stateless per-decision hash in [0, 1).

@@ -1,0 +1,66 @@
+// Fault-injecting decorator over a JournalStorage.
+//
+// Two fault shapes matter for a write-ahead journal:
+//   * a torn append — the process dies mid-write, leaving a prefix of the
+//     record on disk (CrashDuringAppend); the reader must detect the torn
+//     tail and recover from the last good record, and
+//   * a failed append — the medium rejects the write (FailNextAppend); the
+//     journal writer must count it and carry on without blocking the
+//     control loop.
+#ifndef SRC_FAULTS_FAULTY_JOURNAL_H_
+#define SRC_FAULTS_FAULTY_JOURNAL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/faults/crash.h"
+#include "src/recovery/journal.h"
+
+namespace dcat {
+
+class FaultyJournalStorage : public JournalStorage {
+ public:
+  explicit FaultyJournalStorage(JournalStorage* inner) : inner_(inner) {}
+
+  // The next Append persists only the first `keep_bytes` of the record,
+  // then throws CrashPointHit — a process death mid-write.
+  void CrashDuringAppend(size_t keep_bytes) {
+    crash_armed_ = true;
+    crash_keep_bytes_ = keep_bytes;
+  }
+  // The next `count` Appends return false without persisting anything.
+  void FailNextAppend(uint32_t count = 1) { fail_appends_ = count; }
+  // Cancels a pending CrashDuringAppend that never fired (e.g. the write
+  // the harness aimed at turned out to be a Rewrite).
+  void Disarm() { crash_armed_ = false; }
+
+  bool Append(const void* data, size_t size) override {
+    if (crash_armed_) {
+      crash_armed_ = false;
+      const size_t keep = std::min(crash_keep_bytes_, size);
+      if (keep > 0) {
+        inner_->Append(data, keep);
+      }
+      throw CrashPointHit{"JournalAppend"};
+    }
+    if (fail_appends_ > 0) {
+      --fail_appends_;
+      return false;
+    }
+    return inner_->Append(data, size);
+  }
+  bool Rewrite(const void* data, size_t size) override {
+    return inner_->Rewrite(data, size);
+  }
+  std::vector<uint8_t> ReadAll() const override { return inner_->ReadAll(); }
+
+ private:
+  JournalStorage* inner_;
+  bool crash_armed_ = false;
+  size_t crash_keep_bytes_ = 0;
+  uint32_t fail_appends_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_FAULTS_FAULTY_JOURNAL_H_

@@ -129,6 +129,30 @@ PerfCounterBlock FaultyPqos::Corrupt(uint16_t core, const PerfCounterBlock& clea
   return bad;
 }
 
+uint64_t FaultyPqos::PerturbMonitorRead(uint8_t cos, uint64_t clean) const {
+  switch (plan_.OnMonitorRead(cos)) {
+    case MonitorFault::kNone:
+      return clean;
+    case MonitorFault::kReadError:
+      ++stats_.injected_monitor_faults;
+      return 0;
+    case MonitorFault::kTornValue:
+      ++stats_.injected_monitor_faults;
+      // A partially-written node: the cumulative value loses its high bits,
+      // which a monotonicity check must reject as a backwards jump.
+      return clean & 0xffffffffULL;
+  }
+  return clean;
+}
+
+uint64_t FaultyPqos::LlcOccupancyBytes(uint8_t cos) const {
+  return PerturbMonitorRead(cos, monitor_->LlcOccupancyBytes(cos));
+}
+
+uint64_t FaultyPqos::MemoryBandwidthBytes(uint8_t cos) const {
+  return PerturbMonitorRead(cos, monitor_->MemoryBandwidthBytes(cos));
+}
+
 void FaultyPqos::ScriptWriteFault(BackendOp op, WriteFault fault, uint32_t count) {
   for (uint32_t i = 0; i < count; ++i) {
     scripted_writes_[static_cast<size_t>(op)].push_back(fault);

@@ -47,12 +47,11 @@ class FaultyPqos : public CatController, public MonitoringProvider {
 
   // --- MonitoringProvider ---
   PerfCounterBlock ReadCounters(uint16_t core) const override;
-  uint64_t LlcOccupancyBytes(uint8_t cos) const override {
-    return monitor_->LlcOccupancyBytes(cos);
-  }
-  uint64_t MemoryBandwidthBytes(uint8_t cos) const override {
-    return monitor_->MemoryBandwidthBytes(cos);
-  }
+  // Per-COS monitoring reads take the plan's monitoring faults: a read
+  // error reports 0 (the resctrl node vanished), a torn read truncates the
+  // cumulative value to its low 32 bits (partially-written sysfs node).
+  uint64_t LlcOccupancyBytes(uint8_t cos) const override;
+  uint64_t MemoryBandwidthBytes(uint8_t cos) const override;
 
   // --- test scripting: scripted faults run before the plan ---
   // The next `count` calls to the given write op get `fault`.
@@ -66,6 +65,7 @@ class FaultyPqos : public CatController, public MonitoringProvider {
     uint64_t injected_io_errors = 0;
     uint64_t injected_silent_drops = 0;
     uint64_t injected_counter_anomalies = 0;
+    uint64_t injected_monitor_faults = 0;
     uint64_t forwarded_writes = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -76,6 +76,7 @@ class FaultyPqos : public CatController, public MonitoringProvider {
   WriteFault DecideWriteFault(BackendOp op, uint32_t index);
   PerfCounterBlock Corrupt(uint16_t core, const PerfCounterBlock& clean,
                            CounterAnomalyKind kind) const;
+  uint64_t PerturbMonitorRead(uint8_t cos, uint64_t clean) const;
 
   CatController* cat_;
   MonitoringProvider* monitor_;

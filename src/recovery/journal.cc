@@ -1,0 +1,179 @@
+#include "src/recovery/journal.h"
+
+#include <cstdio>
+
+#include "src/common/crc32.h"
+#include "src/recovery/state_codec.h"
+
+namespace dcat {
+namespace {
+
+constexpr uint8_t kMagic0 = 'D';
+constexpr uint8_t kMagic1 = 'J';
+constexpr size_t kHeaderSize = 12;  // magic(2) type(1) reserved(1) len(4) crc(4)
+
+uint32_t ReadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// Attempts to parse one frame at `pos`; returns the bytes consumed (0 on
+// any framing/CRC failure).
+size_t TryParseFrame(const std::vector<uint8_t>& bytes, size_t pos, JournalRecord* out) {
+  if (bytes.size() - pos < kHeaderSize) {
+    return 0;
+  }
+  const uint8_t* p = bytes.data() + pos;
+  if (p[0] != kMagic0 || p[1] != kMagic1) {
+    return 0;
+  }
+  const uint8_t type = p[2];
+  if (type != static_cast<uint8_t>(JournalRecordType::kSnapshot) &&
+      type != static_cast<uint8_t>(JournalRecordType::kDecision)) {
+    return 0;
+  }
+  const uint32_t payload_len = ReadLe32(p + 4);
+  if (payload_len > bytes.size() - pos - kHeaderSize) {
+    return 0;  // torn tail: the record was cut mid-write
+  }
+  const uint32_t stored_crc = ReadLe32(p + 8);
+  // CRC covers type + reserved + len + payload (everything but magic+crc).
+  uint32_t crc = Crc32(p + 2, 2);
+  crc = Crc32(p + 4, 4, crc);
+  crc = Crc32(p + kHeaderSize, payload_len, crc);
+  if (crc != stored_crc) {
+    return 0;
+  }
+  out->type = static_cast<JournalRecordType>(type);
+  out->payload.assign(p + kHeaderSize, p + kHeaderSize + payload_len);
+  return kHeaderSize + payload_len;
+}
+
+}  // namespace
+
+std::vector<uint8_t> FrameRecord(JournalRecordType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  frame.push_back(kMagic0);
+  frame.push_back(kMagic1);
+  frame.push_back(static_cast<uint8_t>(type));
+  frame.push_back(0);  // reserved
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<uint8_t>(len >> shift));
+  }
+  uint32_t crc = Crc32(frame.data() + 2, 2);
+  crc = Crc32(frame.data() + 4, 4, crc);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<uint8_t>(crc >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+JournalParseResult ParseJournal(const std::vector<uint8_t>& bytes) {
+  JournalParseResult result;
+  size_t pos = 0;
+  bool in_bad_region = false;
+  while (pos < bytes.size()) {
+    JournalRecord record;
+    const size_t consumed = TryParseFrame(bytes, pos, &record);
+    if (consumed > 0) {
+      result.records.push_back(std::move(record));
+      pos += consumed;
+      in_bad_region = false;
+      continue;
+    }
+    // Resynchronize: skip to the next candidate magic byte. One contiguous
+    // bad region counts once, however many bytes it spans.
+    if (!in_bad_region) {
+      ++result.torn_records;
+      in_bad_region = true;
+    }
+    ++pos;
+    while (pos < bytes.size() && bytes[pos] != kMagic0) {
+      ++pos;
+    }
+  }
+  return result;
+}
+
+bool FileJournalStorage::Append(const void* data, size_t size) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(data, 1, size, f) == size && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool FileJournalStorage::Rewrite(const void* data, size_t size) {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(data, 1, size, f) == size && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+std::vector<uint8_t> FileJournalStorage::ReadAll() const {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return bytes;
+  }
+  uint8_t buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void JournalWriter::Persist(const std::vector<uint8_t>& frame, bool rewrite) {
+  const bool ok = rewrite ? storage_->Rewrite(frame.data(), frame.size())
+                          : storage_->Append(frame.data(), frame.size());
+  if (metrics_ != nullptr) {
+    metrics_->counter(ok ? "journal.records_total" : "journal.append_failures").Increment();
+  }
+}
+
+void JournalWriter::OnContractChange(const ControllerPersistentState& state) {
+  Persist(FrameRecord(JournalRecordType::kSnapshot, EncodeControllerState(state)),
+          /*rewrite=*/false);
+}
+
+void JournalWriter::OnDecision(const ControllerPersistentState& state,
+                               const DecisionIntent& intent) {
+  // Compaction replaces the journal with this record alone — safe at any
+  // moment because the decision record carries the full state, and correct
+  // mid-tick because the decision record is always the journal's last word
+  // on the tick.
+  const bool compact =
+      options_.snapshot_every > 0 && ++decisions_since_compact_ >= options_.snapshot_every;
+  if (compact) {
+    decisions_since_compact_ = 0;
+  }
+  Persist(FrameRecord(JournalRecordType::kDecision, EncodeDecisionRecord(state, intent)),
+          /*rewrite=*/compact);
+}
+
+void JournalWriter::OnRecovered(const ControllerPersistentState& state) {
+  // Recovery adopted a reconciled image: restart the journal from it so
+  // the next crash replays the post-recovery truth, not the pre-crash one.
+  decisions_since_compact_ = 0;
+  Persist(FrameRecord(JournalRecordType::kSnapshot, EncodeControllerState(state)),
+          /*rewrite=*/true);
+}
+
+}  // namespace dcat

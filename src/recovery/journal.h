@@ -1,0 +1,146 @@
+// The write-ahead decision journal: CRC-framed, append-only, compacting.
+//
+// Record framing (little-endian):
+//
+//   'D' 'J' | type u8 | reserved u8 | payload_len u32 | crc32 u32 | payload
+//
+// The CRC (IEEE 802.3) covers type, reserved, payload_len and the payload,
+// so a torn tail — a record cut mid-write by the crash the journal exists
+// to survive — or a bit-flipped body is detected, never trusted. The
+// reader resynchronizes on the next valid frame after a bad one, so a
+// corrupt record in the middle of the file costs that record, not the
+// good tail behind it.
+//
+// Every record carries the controller's FULL state (records are
+// self-contained, see src/core/controller_state.h), which buys two things:
+//   * Recovery needs only the last good record — no replay of history.
+//   * Compaction is trivial: rewrite the file keeping the latest record.
+//
+// JournalWriter is the ControllerJournal implementation the controller
+// calls before every apply (kDecision: state + intent) and after every
+// contract change or finished recovery (kSnapshot: state at rest). It
+// compacts every `snapshot_every` decisions, bounding the file at a
+// handful of records.
+#ifndef SRC_RECOVERY_JOURNAL_H_
+#define SRC_RECOVERY_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/controller_state.h"
+#include "src/telemetry/metrics.h"
+
+namespace dcat {
+
+enum class JournalRecordType : uint8_t {
+  kSnapshot = 1,  // controller state at rest (no in-flight intent)
+  kDecision = 2,  // pre-apply state + the intent about to be programmed
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kSnapshot;
+  std::vector<uint8_t> payload;
+};
+
+// Byte-level persistence behind the journal. Append must leave earlier
+// bytes intact on failure; Rewrite replaces the whole journal (compaction)
+// as atomically as the medium allows.
+class JournalStorage {
+ public:
+  virtual ~JournalStorage() = default;
+
+  virtual bool Append(const void* data, size_t size) = 0;
+  virtual bool Rewrite(const void* data, size_t size) = 0;
+  virtual std::vector<uint8_t> ReadAll() const = 0;
+};
+
+// In-memory storage for tests and the crash harness; `mutable_bytes`
+// exists so corruption tests can truncate and bit-flip at will.
+class MemoryJournalStorage : public JournalStorage {
+ public:
+  bool Append(const void* data, size_t size) override {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+    return true;
+  }
+  bool Rewrite(const void* data, size_t size) override {
+    bytes_.clear();
+    return Append(data, size);
+  }
+  std::vector<uint8_t> ReadAll() const override { return bytes_; }
+
+  std::vector<uint8_t>& mutable_bytes() { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// File-backed storage (dcatd --journal=FILE). Appends are flushed per
+// record; Rewrite goes through a temp file + rename so a crash during
+// compaction leaves either the old or the new journal, never a mix.
+class FileJournalStorage : public JournalStorage {
+ public:
+  explicit FileJournalStorage(std::string path) : path_(std::move(path)) {}
+
+  bool Append(const void* data, size_t size) override;
+  bool Rewrite(const void* data, size_t size) override;
+  std::vector<uint8_t> ReadAll() const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Frames one record (header + CRC + payload) ready for storage.
+std::vector<uint8_t> FrameRecord(JournalRecordType type,
+                                 const std::vector<uint8_t>& payload);
+
+struct JournalParseResult {
+  std::vector<JournalRecord> records;
+  // Corrupt regions skipped (counted once per contiguous bad region, torn
+  // tail included).
+  uint64_t torn_records = 0;
+};
+
+// Scans the whole byte stream: CRC-valid frames are collected in order,
+// bad regions are skipped by resynchronizing on the next valid frame.
+JournalParseResult ParseJournal(const std::vector<uint8_t>& bytes);
+
+// The ControllerJournal implementation wired into DcatController.
+// Persistence failures are counted (journal.append_failures) and swallowed:
+// the journal never costs the control loop availability.
+class JournalWriter : public ControllerJournal {
+ public:
+  struct Options {
+    // Compact (rewrite to the latest record alone) after this many
+    // appended decisions. 0 disables compaction.
+    uint32_t snapshot_every = 32;
+  };
+
+  explicit JournalWriter(JournalStorage* storage) : JournalWriter(storage, Options()) {}
+  JournalWriter(JournalStorage* storage, Options options)
+      : storage_(storage), options_(options) {}
+
+  // Metrics live in the controller's registry; attach after recovery wires
+  // the controller up (null = no metrics).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  void OnContractChange(const ControllerPersistentState& state) override;
+  void OnDecision(const ControllerPersistentState& state,
+                  const DecisionIntent& intent) override;
+  void OnRecovered(const ControllerPersistentState& state) override;
+
+ private:
+  void Persist(const std::vector<uint8_t>& frame, bool rewrite);
+
+  JournalStorage* storage_;
+  Options options_;
+  MetricsRegistry* metrics_ = nullptr;
+  uint32_t decisions_since_compact_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_RECOVERY_JOURNAL_H_

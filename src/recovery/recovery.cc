@@ -1,0 +1,110 @@
+#include "src/recovery/recovery.h"
+
+#include <utility>
+
+#include "src/recovery/state_codec.h"
+
+namespace dcat {
+namespace {
+
+// Restart/journal counters use the loop-increment idiom (counters are
+// monotonic by contract; there is no Add()).
+void IncrementBy(MetricsRegistry& metrics, const char* name, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    metrics.counter(name).Increment();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<DcatController> RecoverController(CatController* cat,
+                                                  const MonitoringProvider* monitor,
+                                                  JournalStorage* storage,
+                                                  const RecoveryOptions& options,
+                                                  RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& out = report != nullptr ? *report : local;
+  out = RecoveryReport{};
+
+  const JournalParseResult parsed = ParseJournal(storage->ReadAll());
+  out.records_scanned = parsed.records.size();
+  out.torn_records = parsed.torn_records;
+
+  // The last decodable record wins; a record whose CRC held but whose
+  // payload does not decode (schema drift) counts as torn and the scan
+  // keeps walking backwards.
+  ControllerPersistentState state;
+  DecisionIntent intent;
+  bool have_state = false;
+  bool have_intent = false;
+  for (auto it = parsed.records.rbegin(); it != parsed.records.rend(); ++it) {
+    if (it->type == JournalRecordType::kDecision) {
+      if (DecodeDecisionRecord(it->payload.data(), it->payload.size(), &state, &intent)) {
+        have_state = true;
+        have_intent = true;
+        break;
+      }
+    } else if (DecodeControllerState(it->payload.data(), it->payload.size(), &state)) {
+      have_state = true;
+      break;
+    }
+    ++out.torn_records;
+  }
+
+  auto controller = std::make_unique<DcatController>(cat, monitor, options.config);
+  if (have_state && state.policy != controller->policy().name()) {
+    // Allocations decided under a different policy must not be silently
+    // adopted; the operator changed intent, so the journal is void.
+    out.outcome = RecoveryOutcome::kError;
+    out.error = "journal policy '" + state.policy + "' does not match configured policy '" +
+                controller->policy().name() + "'";
+    return nullptr;
+  }
+
+  if (!have_state) {
+    // Cold boot: an empty image at the host-provided tick. The host
+    // re-admits its inventory afterwards (contracts live outside the
+    // controller).
+    state = ControllerPersistentState{};
+    state.tick = options.cold_boot_tick;
+    state.policy = controller->policy().name();
+  }
+  controller->ImportState(state);
+  for (EventSink* sink : options.sinks) {
+    controller->AddEventSink(sink);
+  }
+
+  out.outcome = have_state ? RecoveryOutcome::kRecovered : RecoveryOutcome::kColdBoot;
+  out.journal_tick = have_state ? state.tick : 0;
+  out.had_intent = have_intent;
+  out.tenants = static_cast<uint32_t>(state.tenants.size());
+
+  const RestartEvent restart{.tick = state.tick,
+                             .cold_boot = !have_state,
+                             .degraded = state.degraded,
+                             .journal_records = out.records_scanned,
+                             .torn_records = out.torn_records,
+                             .tenants = out.tenants};
+  for (EventSink* sink : options.sinks) {
+    sink->OnRestart(restart);
+  }
+
+  MetricsRegistry& metrics = controller->metrics();
+  IncrementBy(metrics, "controller.restarts_total", options.prior_restarts + 1);
+  IncrementBy(metrics, "journal.records_total", out.records_scanned);
+  IncrementBy(metrics, "journal.torn_records_total", out.torn_records);
+
+  if (have_state) {
+    out.apply = controller->CompleteRecovery(have_intent ? &intent : nullptr);
+  }
+
+  if (options.journal != nullptr) {
+    // Restart the journal from the reconciled truth, then resume
+    // write-ahead operation.
+    options.journal->OnRecovered(controller->ExportState());
+    controller->AttachJournal(options.journal);
+  }
+  return controller;
+}
+
+}  // namespace dcat

@@ -1,0 +1,82 @@
+// Cold-restart reconciliation: journal in, running controller out.
+//
+// RecoverController is the single entry point a restarted daemon (or the
+// crash harness) calls instead of constructing a DcatController directly:
+//
+//   1. Parse the journal: CRC-valid records survive, torn/corrupt regions
+//      are counted and skipped, and the *last decodable* record wins (every
+//      record is a full self-contained image).
+//   2. No usable record -> cold boot: an empty controller at
+//      `cold_boot_tick`, ready for the host to re-admit its inventory.
+//   3. Policy mismatch between the journal and the configured policy ->
+//      fail fast (nullptr + kError): silently adopting allocations decided
+//      under a different policy would violate the operator's intent.
+//   4. Otherwise import the image and reconcile against the live backend
+//      (DcatController::CompleteRecovery): adopt hardware that matches the
+//      journaled intent, finish interrupted writes, park divergent tenants
+//      in Reclaim for the normal machinery.
+//   5. Emit RestartEvent to every sink, restart the journal from the
+//      reconciled image, and hand the controller back ready to Tick().
+#ifndef SRC_RECOVERY_RECOVERY_H_
+#define SRC_RECOVERY_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/dcat_controller.h"
+#include "src/recovery/journal.h"
+#include "src/telemetry/events.h"
+
+namespace dcat {
+
+struct RecoveryOptions {
+  DcatConfig config;
+  // Event sinks registered on the restored controller (borrowed); the
+  // RestartEvent is delivered to them before the first post-restart tick.
+  std::vector<EventSink*> sinks;
+  // Tick a cold boot resumes at (a restarted daemon knows wall time even
+  // when the journal is gone).
+  uint64_t cold_boot_tick = 0;
+  // Restarts that happened before this one (host-tracked); keeps
+  // controller.restarts_total monotonic across a metrics registry that
+  // dies with the process.
+  uint64_t prior_restarts = 0;
+  // Journal to resume writing to (typically the JournalWriter over the
+  // same storage being recovered from). Attached to the controller and
+  // rewound to the reconciled image. May be null.
+  ControllerJournal* journal = nullptr;
+};
+
+enum class RecoveryOutcome {
+  kColdBoot,   // no usable journal record; empty controller returned
+  kRecovered,  // journaled image adopted and reconciled
+  kError,      // unrecoverable mismatch; no controller returned
+};
+
+struct RecoveryReport {
+  RecoveryOutcome outcome = RecoveryOutcome::kColdBoot;
+  std::string error;
+  uint64_t records_scanned = 0;  // CRC-valid records in the journal
+  uint64_t torn_records = 0;     // corrupt regions skipped (incl. torn tail)
+  uint64_t journal_tick = 0;     // tick of the adopted record (0 on cold boot)
+  // True when the adopted record was a decision (recovery rolled the
+  // interrupted tick's intent forward); false for an at-rest snapshot.
+  bool had_intent = false;
+  uint32_t tenants = 0;
+  DcatController::RecoveryApplyStats apply;
+};
+
+// Builds a controller from the journal per the flow above. Returns nullptr
+// only for kError. `report` is always filled when provided.
+std::unique_ptr<DcatController> RecoverController(CatController* cat,
+                                                  const MonitoringProvider* monitor,
+                                                  JournalStorage* storage,
+                                                  const RecoveryOptions& options,
+                                                  RecoveryReport* report = nullptr);
+
+}  // namespace dcat
+
+#endif  // SRC_RECOVERY_RECOVERY_H_

@@ -1,0 +1,362 @@
+#include "src/recovery/state_codec.h"
+
+#include <cstring>
+
+namespace dcat {
+namespace {
+
+// Every variable-length count is checked against the bytes that could
+// possibly back it (each element costs at least one byte), so a corrupt
+// count can never drive an allocation past the payload size.
+bool CountPlausible(const ByteReader& reader, uint64_t count) {
+  return count <= reader.remaining();
+}
+
+void WriteCounters(ByteWriter& w, const PerfCounterBlock& c) {
+  w.U64(c.retired_instructions);
+  w.U64(c.l1_references);
+  w.U64(c.l1_misses);
+  w.U64(c.l2_references);
+  w.U64(c.l2_misses);
+  w.U64(c.llc_references);
+  w.U64(c.llc_misses);
+  w.F64(c.unhalted_cycles);
+}
+
+bool ReadCounters(ByteReader& r, PerfCounterBlock* c) {
+  return r.U64(&c->retired_instructions) && r.U64(&c->l1_references) &&
+         r.U64(&c->l1_misses) && r.U64(&c->l2_references) && r.U64(&c->l2_misses) &&
+         r.U64(&c->llc_references) && r.U64(&c->llc_misses) && r.F64(&c->unhalted_cycles);
+}
+
+void WriteTenant(ByteWriter& w, const PersistentTenant& t) {
+  w.U32(t.spec.id);
+  w.Str(t.spec.name);
+  w.U32(static_cast<uint32_t>(t.spec.cores.size()));
+  for (uint16_t core : t.spec.cores) {
+    w.U16(core);
+  }
+  w.U32(t.spec.baseline_ways);
+  w.U8(t.cos);
+  w.U32(t.group);
+  w.U8(static_cast<uint8_t>(t.category));
+  w.U32(t.ways);
+  w.U32(t.mask);
+  WriteCounters(w, t.last_counters);
+  w.U8(t.detector_has_signature ? 1 : 0);
+  w.U8(t.detector_idle ? 1 : 0);
+  w.F64(t.detector_signature);
+  w.U32(static_cast<uint32_t>(t.phases.size()));
+  for (const PersistentPhaseRecord& p : t.phases) {
+    w.F64(p.signature);
+    w.F64(p.baseline_ipc);
+    w.U8(p.baseline_valid ? 1 : 0);
+    w.U32(static_cast<uint32_t>(p.table.size()));
+    for (const auto& [ways, norm_ipc] : p.table) {
+      w.U32(ways);
+      w.F64(norm_ipc);
+    }
+  }
+  w.U64(t.phase_index);
+  w.U8(t.has_phase ? 1 : 0);
+  w.U8(t.measuring_baseline ? 1 : 0);
+  w.F64(t.last_ipc);
+  w.U8(t.has_last_ipc ? 1 : 0);
+  w.U32(t.prev_interval_ways);
+  w.U8(t.grow_denied ? 1 : 0);
+  w.U32(t.anomaly_streak);
+  w.U8(t.prev_active ? 1 : 0);
+  w.U64(t.last_mbm);
+}
+
+bool ReadBool(ByteReader& r, bool* out) {
+  uint8_t v = 0;
+  if (!r.U8(&v) || v > 1) {
+    return false;
+  }
+  *out = v != 0;
+  return true;
+}
+
+bool ReadTenant(ByteReader& r, PersistentTenant* t) {
+  uint32_t core_count = 0;
+  if (!r.U32(&t->spec.id) || !r.Str(&t->spec.name) || !r.U32(&core_count) ||
+      !CountPlausible(r, core_count)) {
+    return false;
+  }
+  t->spec.cores.resize(core_count);
+  for (uint16_t& core : t->spec.cores) {
+    if (!r.U16(&core)) {
+      return false;
+    }
+  }
+  uint8_t category = 0;
+  if (!r.U32(&t->spec.baseline_ways) || !r.U8(&t->cos) || !r.U32(&t->group) ||
+      !r.U8(&category) || category > static_cast<uint8_t>(Category::kUnknown) ||
+      !r.U32(&t->ways) || !r.U32(&t->mask) || !ReadCounters(r, &t->last_counters) ||
+      !ReadBool(r, &t->detector_has_signature) || !ReadBool(r, &t->detector_idle) ||
+      !r.F64(&t->detector_signature)) {
+    return false;
+  }
+  t->category = static_cast<Category>(category);
+  uint32_t phase_count = 0;
+  if (!r.U32(&phase_count) || !CountPlausible(r, phase_count)) {
+    return false;
+  }
+  t->phases.resize(phase_count);
+  for (PersistentPhaseRecord& p : t->phases) {
+    uint32_t entry_count = 0;
+    if (!r.F64(&p.signature) || !r.F64(&p.baseline_ipc) ||
+        !ReadBool(r, &p.baseline_valid) || !r.U32(&entry_count) ||
+        !CountPlausible(r, entry_count)) {
+      return false;
+    }
+    p.table.resize(entry_count);
+    for (auto& [ways, norm_ipc] : p.table) {
+      if (!r.U32(&ways) || !r.F64(&norm_ipc)) {
+        return false;
+      }
+    }
+  }
+  return r.U64(&t->phase_index) && ReadBool(r, &t->has_phase) &&
+         ReadBool(r, &t->measuring_baseline) && r.F64(&t->last_ipc) &&
+         ReadBool(r, &t->has_last_ipc) && r.U32(&t->prev_interval_ways) &&
+         ReadBool(r, &t->grow_denied) && r.U32(&t->anomaly_streak) &&
+         ReadBool(r, &t->prev_active) && r.U64(&t->last_mbm);
+}
+
+void WriteState(ByteWriter& w, const ControllerPersistentState& s) {
+  w.U32(kStateCodecVersion);
+  w.U64(s.tick);
+  w.Str(s.policy);
+  w.U8(s.degraded ? 1 : 0);
+  w.U32(s.consecutive_apply_failures);
+  w.U32(s.degraded_clean_ticks);
+  w.U64(s.next_apply_tick);
+  w.U32(static_cast<uint32_t>(s.orphaned_cores.size()));
+  for (uint16_t core : s.orphaned_cores) {
+    w.U16(core);
+  }
+  w.U32(static_cast<uint32_t>(s.cos_acked_mask.size()));
+  for (uint32_t mask : s.cos_acked_mask) {
+    w.U32(mask);
+  }
+  w.U32(s.next_group_id);
+  w.U32(static_cast<uint32_t>(s.tenants.size()));
+  for (const PersistentTenant& t : s.tenants) {
+    WriteTenant(w, t);
+  }
+}
+
+bool ReadState(ByteReader& r, ControllerPersistentState* s) {
+  uint32_t version = 0;
+  if (!r.U32(&version) || version != kStateCodecVersion) {
+    return false;
+  }
+  uint32_t orphan_count = 0;
+  if (!r.U64(&s->tick) || !r.Str(&s->policy) || !ReadBool(r, &s->degraded) ||
+      !r.U32(&s->consecutive_apply_failures) || !r.U32(&s->degraded_clean_ticks) ||
+      !r.U64(&s->next_apply_tick) || !r.U32(&orphan_count) ||
+      !CountPlausible(r, orphan_count)) {
+    return false;
+  }
+  s->orphaned_cores.resize(orphan_count);
+  for (uint16_t& core : s->orphaned_cores) {
+    if (!r.U16(&core)) {
+      return false;
+    }
+  }
+  uint32_t cos_count = 0;
+  if (!r.U32(&cos_count) || !CountPlausible(r, cos_count)) {
+    return false;
+  }
+  s->cos_acked_mask.resize(cos_count);
+  for (uint32_t& mask : s->cos_acked_mask) {
+    if (!r.U32(&mask)) {
+      return false;
+    }
+  }
+  uint32_t tenant_count = 0;
+  if (!r.U32(&s->next_group_id) || !r.U32(&tenant_count) ||
+      !CountPlausible(r, tenant_count)) {
+    return false;
+  }
+  s->tenants.resize(tenant_count);
+  for (PersistentTenant& t : s->tenants) {
+    if (!ReadTenant(r, &t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteIntent(ByteWriter& w, const DecisionIntent& intent) {
+  w.U8(intent.degraded ? 1 : 0);
+  w.U32(static_cast<uint32_t>(intent.targets.size()));
+  for (uint32_t t : intent.targets) {
+    w.U32(t);
+  }
+  w.U32(static_cast<uint32_t>(intent.groups.size()));
+  for (uint32_t g : intent.groups) {
+    w.U32(g);
+  }
+}
+
+bool ReadIntent(ByteReader& r, DecisionIntent* intent) {
+  uint32_t target_count = 0;
+  if (!ReadBool(r, &intent->degraded) || !r.U32(&target_count) ||
+      !CountPlausible(r, target_count)) {
+    return false;
+  }
+  intent->targets.resize(target_count);
+  for (uint32_t& t : intent->targets) {
+    if (!r.U32(&t)) {
+      return false;
+    }
+  }
+  uint32_t group_count = 0;
+  if (!r.U32(&group_count) || !CountPlausible(r, group_count)) {
+    return false;
+  }
+  intent->groups.resize(group_count);
+  for (uint32_t& g : intent->groups) {
+    if (!r.U32(&g)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void ByteWriter::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v));
+  U8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    U8(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    U8(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::Take(size_t n, const uint8_t** out) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::U8(uint8_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(1, &p)) {
+    return false;
+  }
+  *v = p[0];
+  return true;
+}
+
+bool ByteReader::U16(uint16_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(2, &p)) {
+    return false;
+  }
+  *v = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return true;
+}
+
+bool ByteReader::U32(uint32_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(4, &p)) {
+    return false;
+  }
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  return true;
+}
+
+bool ByteReader::U64(uint64_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(8, &p)) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 7; i >= 0; --i) {
+    *v = (*v << 8) | p[i];
+  }
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::Str(std::string* s) {
+  uint32_t size = 0;
+  if (!U32(&size) || size > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  const uint8_t* p = nullptr;
+  if (!Take(size, &p)) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(p), size);
+  return true;
+}
+
+std::vector<uint8_t> EncodeControllerState(const ControllerPersistentState& state) {
+  ByteWriter w;
+  WriteState(w, state);
+  return w.Take();
+}
+
+bool DecodeControllerState(const uint8_t* data, size_t size,
+                           ControllerPersistentState* out) {
+  ByteReader r(data, size);
+  // Trailing bytes beyond the image are rejected: a payload is exactly one
+  // record, so extra bytes mean framing confusion upstream.
+  return ReadState(r, out) && r.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeDecisionRecord(const ControllerPersistentState& state,
+                                          const DecisionIntent& intent) {
+  ByteWriter w;
+  WriteState(w, state);
+  WriteIntent(w, intent);
+  return w.Take();
+}
+
+bool DecodeDecisionRecord(const uint8_t* data, size_t size,
+                          ControllerPersistentState* state, DecisionIntent* intent) {
+  ByteReader r(data, size);
+  return ReadState(r, state) && ReadIntent(r, intent) && r.remaining() == 0;
+}
+
+}  // namespace dcat

@@ -1,0 +1,88 @@
+// Binary codec for the controller's persistent state (journal payloads).
+//
+// The journal stores full, self-contained controller images (see
+// src/core/controller_state.h), so the codec is a straightforward
+// length-prefixed flattening. Two properties matter:
+//
+//   * Bit-exact doubles. Every floating-point field is serialized as its
+//     IEEE-754 bit pattern (little-endian u64), so a decode(encode(x))
+//     round trip reproduces the controller's decision inputs exactly —
+//     "close enough" doubles would make a restored controller diverge from
+//     the uninterrupted trace.
+//   * Hostile input. Decoding is bounds-checked at every read and
+//     validates enums and counts; a corrupt payload (bit rot the record
+//     CRC happened to miss, or a truncated snapshot) returns false, never
+//     crashes, and never allocates unbounded memory.
+#ifndef SRC_RECOVERY_STATE_CODEC_H_
+#define SRC_RECOVERY_STATE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/controller_state.h"
+
+namespace dcat {
+
+// Codec schema version; bumped on any layout change. A decoder seeing an
+// unknown version refuses the payload (recovery falls back to cold boot).
+inline constexpr uint32_t kStateCodecVersion = 1;
+
+// Little-endian append-only byte sink.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  // IEEE-754 bit pattern, little-endian.
+  void F64(double v);
+  void Str(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked reader over a borrowed buffer. Every accessor returns
+// false once any prior read failed (sticky), so decode code can chain
+// reads and check once.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Take(size_t n, const uint8_t** out);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Snapshot payload: the controller image alone.
+std::vector<uint8_t> EncodeControllerState(const ControllerPersistentState& state);
+bool DecodeControllerState(const uint8_t* data, size_t size,
+                           ControllerPersistentState* out);
+
+// Decision payload: the pre-apply image plus the tick's allocation intent.
+std::vector<uint8_t> EncodeDecisionRecord(const ControllerPersistentState& state,
+                                          const DecisionIntent& intent);
+bool DecodeDecisionRecord(const uint8_t* data, size_t size,
+                          ControllerPersistentState* state, DecisionIntent* intent);
+
+}  // namespace dcat
+
+#endif  // SRC_RECOVERY_STATE_CODEC_H_

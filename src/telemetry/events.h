@@ -182,6 +182,27 @@ struct ModeChangeEvent {
   uint32_t consecutive_failures = 0;  // hard apply failures behind an entry
 };
 
+// A controller process restart: either a cold boot (no usable journal) or
+// a journal-driven recovery. Emitted by the recovery path once per restart.
+struct RestartEvent {
+  uint64_t tick = 0;        // tick the restored controller resumes at
+  bool cold_boot = false;   // true: no journal state, booted empty
+  bool degraded = false;    // restored into degraded mode
+  uint64_t journal_records = 0;  // good records scanned during replay
+  uint64_t torn_records = 0;     // torn/corrupt records skipped
+  uint32_t tenants = 0;          // tenants restored from the journal
+};
+
+// Outcome of reconciling restored state against the live backend.
+struct RecoveryEvent {
+  uint64_t tick = 0;
+  uint32_t adopted = 0;    // COSes whose hardware state matched and was kept
+  uint32_t redone = 0;     // COSes re-programmed to the journaled intent
+  uint32_t divergent = 0;  // tenants sent through the reclaim path
+  uint64_t recovery_ticks = 0;  // ticks until the first clean apply (0 = at once)
+  bool converged = true;        // backend fully reconciled at emit time
+};
+
 // Receiver interface. Default-empty handlers: a sink overrides only the
 // events it cares about. Handlers run synchronously on the control loop —
 // keep them cheap (buffer, don't block).
@@ -197,6 +218,8 @@ class EventSink {
   virtual void OnMaskDrift(const MaskDriftEvent& event) { (void)event; }
   virtual void OnCounterAnomaly(const CounterAnomalyEvent& event) { (void)event; }
   virtual void OnModeChange(const ModeChangeEvent& event) { (void)event; }
+  virtual void OnRestart(const RestartEvent& event) { (void)event; }
+  virtual void OnRecovery(const RecoveryEvent& event) { (void)event; }
 };
 
 // Fan-out sink: forwards every event to each registered sink in
@@ -229,6 +252,12 @@ class EventFanout : public EventSink {
   }
   void OnModeChange(const ModeChangeEvent& event) override {
     for (EventSink* sink : sinks_) sink->OnModeChange(event);
+  }
+  void OnRestart(const RestartEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnRestart(event);
+  }
+  void OnRecovery(const RecoveryEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnRecovery(event);
   }
 
  private:

@@ -148,6 +148,38 @@ void JsonlTraceWriter::OnCounterAnomaly(const CounterAnomalyEvent& event) {
   ++lines_;
 }
 
+void JsonlTraceWriter::OnRestart(const RestartEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("restart");
+  json.Key(kTick).Value(event.tick);
+  json.Key("cold_boot").Value(event.cold_boot);
+  json.Key("degraded").Value(event.degraded);
+  json.Key("journal_records").Value(event.journal_records);
+  json.Key("torn_records").Value(event.torn_records);
+  json.Key("tenants").Value(event.tenants);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+void JsonlTraceWriter::OnRecovery(const RecoveryEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("recovery");
+  json.Key(kTick).Value(event.tick);
+  json.Key("adopted").Value(event.adopted);
+  json.Key("redone").Value(event.redone);
+  json.Key("divergent").Value(event.divergent);
+  json.Key("recovery_ticks").Value(event.recovery_ticks);
+  json.Key("converged").Value(event.converged);
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
 void JsonlTraceWriter::OnModeChange(const ModeChangeEvent& event) {
   JsonWriter json;
   json.BeginObject();
@@ -329,6 +361,28 @@ std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
     e.kind = *parsed;
     e.streak = static_cast<uint32_t>(NumberOr(fields, "streak", 1));
     record.counter_anomaly = e;
+    return record;
+  }
+  if (*type == "restart") {
+    RestartEvent e;
+    e.tick = tick;
+    e.cold_boot = BoolOr(fields, "cold_boot", false);
+    e.degraded = BoolOr(fields, "degraded", false);
+    e.journal_records = static_cast<uint64_t>(NumberOr(fields, "journal_records", 0));
+    e.torn_records = static_cast<uint64_t>(NumberOr(fields, "torn_records", 0));
+    e.tenants = static_cast<uint32_t>(NumberOr(fields, "tenants", 0));
+    record.restart = e;
+    return record;
+  }
+  if (*type == "recovery") {
+    RecoveryEvent e;
+    e.tick = tick;
+    e.adopted = static_cast<uint32_t>(NumberOr(fields, "adopted", 0));
+    e.redone = static_cast<uint32_t>(NumberOr(fields, "redone", 0));
+    e.divergent = static_cast<uint32_t>(NumberOr(fields, "divergent", 0));
+    e.recovery_ticks = static_cast<uint64_t>(NumberOr(fields, "recovery_ticks", 0));
+    e.converged = BoolOr(fields, "converged", true);
+    record.recovery = e;
     return record;
   }
   if (*type == "mode_change") {

@@ -39,6 +39,8 @@ class JsonlTraceWriter : public EventSink {
   void OnMaskDrift(const MaskDriftEvent& event) override;
   void OnCounterAnomaly(const CounterAnomalyEvent& event) override;
   void OnModeChange(const ModeChangeEvent& event) override;
+  void OnRestart(const RestartEvent& event) override;
+  void OnRecovery(const RecoveryEvent& event) override;
 
   uint64_t lines_written() const { return lines_; }
 
@@ -67,7 +69,7 @@ class DecisionLog : public EventSink {
 struct TraceEvent {
   std::string type;  // "tick" | "phase_change" | "category_change" | "allocation"
                      // | "backend_fault" | "mask_drift" | "counter_anomaly"
-                     // | "mode_change"
+                     // | "mode_change" | "restart" | "recovery"
   std::optional<TickEvent> tick;
   std::optional<PhaseChangeEvent> phase_change;
   std::optional<CategoryChangeEvent> category_change;
@@ -76,6 +78,8 @@ struct TraceEvent {
   std::optional<MaskDriftEvent> mask_drift;
   std::optional<CounterAnomalyEvent> counter_anomaly;
   std::optional<ModeChangeEvent> mode_change;
+  std::optional<RestartEvent> restart;
+  std::optional<RecoveryEvent> recovery;
 };
 
 // Parses one JSONL trace line; nullopt on malformed input or unknown type.

@@ -1,0 +1,260 @@
+#include "src/verify/crash.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "src/cluster/host.h"
+#include "src/faults/crash.h"
+#include "src/faults/faulty_journal.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/trace.h"
+
+namespace dcat {
+namespace {
+
+// Drops the lines a crash legitimately costs, leaving the comparable core:
+//   * restart/recovery bookkeeping lines (they exist only in crashed runs);
+//   * lines with tick >= max_tick_exclusive (0 = keep all) — truncates the
+//     crashed segment at the interval the crash cut short;
+//   * lines with tick == drop_tick (0 = none) — excludes the crashed tick
+//     from both runs when its output is unrecoverable (mid-apply).
+std::string FilterTrace(const std::string& trace, uint64_t max_tick_exclusive,
+                        uint64_t drop_tick) {
+  std::istringstream in(trace);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::map<std::string, JsonValue> fields;
+    if (ParseFlatJsonObject(line, &fields)) {
+      const auto type = fields.find("type");
+      if (type != fields.end() && type->second.kind == JsonValue::Kind::kString &&
+          (type->second.str == "restart" || type->second.str == "recovery")) {
+        continue;
+      }
+      const auto tick_field = fields.find("tick");
+      if (tick_field != fields.end() && tick_field->second.kind == JsonValue::Kind::kNumber) {
+        const uint64_t tick = static_cast<uint64_t>(tick_field->second.num);
+        if (max_tick_exclusive != 0 && tick >= max_tick_exclusive) {
+          continue;
+        }
+        if (drop_tick != 0 && tick == drop_tick) {
+          continue;
+        }
+      }
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+HostConfig MakeHostConfig(const Scenario& scenario, const CrashRunOptions& options) {
+  HostConfig host_config;
+  host_config.socket =
+      scenario.machine == "xeon-d" ? SocketConfig::XeonD() : SocketConfig::XeonE5();
+  host_config.mode = ManagerMode::kDcat;
+  host_config.dcat = scenario.dcat;
+  host_config.dcat.policy = options.policy;
+  host_config.cycles_per_interval = options.cycles_per_interval;
+  host_config.inject_faults = options.inject_faults;
+  host_config.fault_seed = options.fault_seed;
+  host_config.fault_profile = options.fault_profile;
+  host_config.fault_active_ticks = options.inject_faults ? scenario.intervals : 0;
+  return host_config;
+}
+
+}  // namespace
+
+const char* CrashModeName(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kBoundary:
+      return "boundary";
+    case CrashMode::kMidApply:
+      return "mid-apply";
+    case CrashMode::kTornJournal:
+      return "torn-journal";
+  }
+  return "?";
+}
+
+std::string UninterruptedTrace(const Scenario& scenario, const CrashRunOptions& options) {
+  RunOptions run_options;
+  run_options.policy = options.policy;
+  run_options.cycles_per_interval = options.cycles_per_interval;
+  run_options.check_backend_differential = false;
+  run_options.inject_faults = options.inject_faults;
+  run_options.fault_seed = options.fault_seed;
+  run_options.fault_profile = options.fault_profile;
+  run_options.settle_intervals = options.settle_intervals;
+  return RunScenario(scenario, run_options).trace;
+}
+
+CrashRunResult RunCrashScenario(const Scenario& scenario, const CrashRunOptions& options) {
+  CrashRunResult result;
+
+  const uint64_t crash_tick =
+      std::max<uint64_t>(2, std::min<uint64_t>(options.crash_tick, scenario.intervals));
+
+  MemoryJournalStorage inner_storage;
+  FaultyJournalStorage storage(&inner_storage);
+  HostConfig host_config = MakeHostConfig(scenario, options);
+  host_config.journal_storage = &storage;
+  host_config.enable_crash_points = options.mode == CrashMode::kMidApply;
+  Host host(host_config);
+
+  // One trace writer per controller lifetime: segment 1 until the crash,
+  // segment 2 from the restart on. The splice drops what the crash cost.
+  std::ostringstream segment1;
+  std::ostringstream segment2;
+  JsonlTraceWriter writer1(&segment1);
+  JsonlTraceWriter writer2(&segment2);
+
+  InvariantOptions checker_options;
+  checker_options.total_ways = host.socket().num_ways();
+  checker_options.min_ways = host_config.dcat.min_ways;
+  checker_options.ipc_improvement_thr = host_config.dcat.ipc_improvement_thr;
+  InvariantChecker checker(checker_options);
+  checker.AttachController(host.dcat(), &host.pqos());
+  checker.set_metrics(&host.dcat()->metrics());
+  host.AddEventSink(&writer1);
+  host.AddEventSink(&checker);
+
+  auto add_tenant = [&](const TenantSetup& tenant) {
+    Vm* vm = host.TryAddVm(
+        VmConfig{.id = tenant.id,
+                 .name = tenant.workload,
+                 .baseline_ways = tenant.baseline_ways,
+                 .seed = WorkloadSeed(scenario, tenant.id)},
+        MakeScenarioWorkload(tenant.workload, WorkloadSeed(scenario, tenant.id)));
+    if (vm != nullptr) {
+      checker.RegisterTenant(tenant.id, tenant.baseline_ways);
+    }
+  };
+  for (const TenantSetup& tenant : scenario.initial) {
+    add_tenant(tenant);
+  }
+
+  auto restart = [&]() {
+    // The RestartEvent resets the checker and detaches its (now dangling)
+    // controller view; re-attach the recovered controller afterwards.
+    result.report = host.RestartManager({&writer2, &checker});
+    checker.AttachController(host.dcat(), &host.pqos());
+    checker.set_metrics(&host.dcat()->metrics());
+  };
+
+  const uint32_t total_intervals =
+      scenario.intervals + (options.inject_faults ? options.settle_intervals : 0);
+  size_t next_churn = 0;
+  for (uint32_t interval = 0; interval < total_intervals; ++interval) {
+    const uint64_t tick = interval + 1;  // the controller tick this Step runs
+
+    if (tick == crash_tick && options.mode == CrashMode::kBoundary) {
+      // Between intervals: the previous tick's decision record is the
+      // journal's last word, and the backend holds its applied state.
+      host.CrashManager();
+      restart();
+      result.crashed = true;
+    }
+
+    while (next_churn < scenario.churn.size() &&
+           scenario.churn[next_churn].interval == interval) {
+      const ChurnEvent& event = scenario.churn[next_churn];
+      if (event.add) {
+        add_tenant(event.tenant);
+      } else {
+        host.RemoveVm(event.remove_id);
+      }
+      ++next_churn;
+    }
+
+    if (tick == crash_tick && !result.crashed) {
+      if (options.mode == CrashMode::kMidApply) {
+        host.crasher()->Arm(options.crash_write);
+      } else if (options.mode == CrashMode::kTornJournal) {
+        storage.CrashDuringAppend(options.torn_keep_bytes);
+      }
+    }
+    try {
+      host.Step();
+    } catch (const CrashPointHit&) {
+      result.crashed = true;
+      host.CrashManager();
+      restart();
+      if (options.mode == CrashMode::kTornJournal) {
+        // The journal lost the tick's decision record, so recovery restored
+        // the end of the previous tick — but the VMs already executed this
+        // interval. Replay the manager's tick over it: the cumulative
+        // counters yield the same deltas the dead controller sampled.
+        host.RetickAfterRecovery();
+      }
+      // Mid-apply needs no retick: the decision record survived, recovery
+      // rolled the interrupted intent forward, and the controller already
+      // stands at the end of the crashed tick.
+    }
+    if (tick == crash_tick && !result.crashed) {
+      // The armed crash never fired (the tick performed fewer backend
+      // writes, or compaction rewrote instead of appending): disarm and
+      // let the run finish uninterrupted.
+      if (options.mode == CrashMode::kMidApply) {
+        host.crasher()->Arm(0);
+      } else if (options.mode == CrashMode::kTornJournal) {
+        storage.Disarm();
+      }
+    }
+  }
+
+  if (options.inject_faults && host.dcat()->degraded()) {
+    result.violations.push_back(
+        Violation{.tick = host.intervals(), .tenant = 0, .invariant = kCheckDegradedStuck,
+                  .detail = "controller still in degraded mode after " +
+                            std::to_string(options.settle_intervals) +
+                            " fault-free settle intervals"});
+  }
+  checker.Finish();
+  result.violations.insert(result.violations.end(), checker.violations().begin(),
+                           checker.violations().end());
+  result.ticks = checker.ticks_checked();
+
+  if (result.crashed && result.report.outcome != RecoveryOutcome::kRecovered) {
+    result.violations.push_back(Violation{
+        .tick = crash_tick, .tenant = 0, .invariant = kCheckCrashRecovery,
+        .detail = std::string("expected recovery from the journal, got ") +
+                  (result.report.outcome == RecoveryOutcome::kColdBoot ? "a cold boot"
+                                                                       : "an error: ") +
+                  result.report.error});
+  }
+
+  // Splice: segment 1 truncated at the crashed tick, bookkeeping lines
+  // dropped; mid-apply additionally excludes the crashed tick everywhere
+  // (its post-apply rows died with the process and are not replayed).
+  const uint64_t drop_tick =
+      result.crashed && options.mode == CrashMode::kMidApply ? crash_tick : 0;
+  if (result.crashed) {
+    result.trace = FilterTrace(segment1.str(), crash_tick, drop_tick) +
+                   FilterTrace(segment2.str(), 0, drop_tick);
+  } else {
+    result.trace = FilterTrace(segment1.str(), 0, 0);
+  }
+
+  if (!options.inject_faults) {
+    const std::string reference =
+        options.reference_trace != nullptr ? *options.reference_trace
+                                           : UninterruptedTrace(scenario, options);
+    result.reference_trace = FilterTrace(reference, 0, drop_tick);
+    const std::string divergence =
+        DescribeTraceDivergence(result.trace, result.reference_trace);
+    if (!divergence.empty()) {
+      result.violations.push_back(Violation{
+          .tick = crash_tick, .tenant = 0, .invariant = kCheckCrashDivergence,
+          .detail = std::string(CrashModeName(options.mode)) + " crash at tick " +
+                    std::to_string(crash_tick) + ": " + divergence});
+    }
+  }
+  return result;
+}
+
+}  // namespace dcat

@@ -1,0 +1,91 @@
+// Crash-restart harness: kill the controller at a chosen point, recover it
+// from the write-ahead journal, and prove the splice is seamless.
+//
+// A crash run executes a scenario exactly like RunScenario, but at one
+// controller tick the "process" dies — at the tick boundary, mid-apply
+// (the N-th backend write of the tick throws), or mid-journal-append (the
+// decision record is torn at a byte offset). The harness then destroys the
+// controller, rebuilds it through RecoverController from the surviving
+// journal bytes, and finishes the scenario.
+//
+// Two properties are asserted:
+//   * The invariant checker stays clean across the splice — every audited
+//     interval, before and after the crash, satisfies the controller's
+//     safety claims.
+//   * Fault-free runs converge: the crashed run's trace, spliced at the
+//     crash (segment 1 truncated at the crashed tick, restart/recovery
+//     bookkeeping lines dropped), is byte-identical to the uninterrupted
+//     run's trace under the same filter. A crash costs at most the crashed
+//     tick itself (mid-apply kills the tick's output on both sides; a torn
+//     journal replays the tick and loses nothing).
+#ifndef SRC_VERIFY_CRASH_H_
+#define SRC_VERIFY_CRASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/recovery/recovery.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+
+// Harness-level finding keys (reported alongside the checker's own).
+inline constexpr char kCheckCrashDivergence[] = "crash-divergence";
+inline constexpr char kCheckCrashRecovery[] = "crash-recovery";
+
+enum class CrashMode {
+  kBoundary,     // between two control intervals (cleanest cut)
+  kMidApply,     // the crash_write-th backend write of the tick throws
+  kTornJournal,  // the tick's decision record is cut at torn_keep_bytes
+};
+
+const char* CrashModeName(CrashMode mode);
+
+struct CrashRunOptions {
+  std::string policy = "max-fairness";
+  double cycles_per_interval = 1e6;
+  CrashMode mode = CrashMode::kBoundary;
+  // Controller tick (1-based, trace numbering) whose interval hosts the
+  // crash; clamped to [2, scenario.intervals] by the runner.
+  uint64_t crash_tick = 5;
+  // kMidApply: which backend write of the tick throws (1-based). A tick
+  // with fewer writes simply never crashes (result.crashed = false).
+  uint64_t crash_write = 1;
+  // kTornJournal: bytes of the decision frame that reach storage before
+  // the crash (0 = nothing lands, the previous record stays the tail).
+  size_t torn_keep_bytes = 6;
+  // Chaos composition: also fault-inject the backend (RunOptions
+  // semantics). Trace convergence is only asserted on fault-free runs —
+  // under chaos the reference run sees a different fault schedule around
+  // the splice, so only the invariants are required to hold.
+  bool inject_faults = false;
+  uint64_t fault_seed = 0;
+  std::string fault_profile = "mixed";
+  uint32_t settle_intervals = 10;
+  // Reuse a precomputed uninterrupted trace (same scenario + options)
+  // instead of re-running it — lets a sweep over crash points pay for the
+  // reference once. Borrowed; ignored when null or under chaos.
+  const std::string* reference_trace = nullptr;
+};
+
+struct CrashRunResult {
+  std::vector<Violation> violations;  // checker + harness findings
+  std::string trace;                  // spliced, filtered trace of the crashed run
+  std::string reference_trace;        // uninterrupted trace, same filter applied
+  RecoveryReport report;              // from the restart (valid when crashed)
+  uint64_t ticks = 0;                 // intervals audited by the checker
+  bool crashed = false;               // the armed crash actually fired
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs the scenario with one crash-restart per the options. Deterministic.
+CrashRunResult RunCrashScenario(const Scenario& scenario, const CrashRunOptions& options);
+
+// Produces the uninterrupted trace a sweep can feed back via
+// CrashRunOptions::reference_trace (RunScenario under matching options).
+std::string UninterruptedTrace(const Scenario& scenario, const CrashRunOptions& options);
+
+}  // namespace dcat
+
+#endif  // SRC_VERIFY_CRASH_H_

@@ -457,6 +457,28 @@ void InvariantChecker::OnModeChange(const ModeChangeEvent& event) {
   degraded_ = event.degraded;
 }
 
+void InvariantChecker::OnRestart(const RestartEvent& event) {
+  // Do NOT finalize the open group: its audit would read the attached
+  // controller, and that object died with the crashed process.
+  group_open_ = false;
+  group_finalized_ = false;
+  group_rows_.clear();
+  hard_fault_this_group_ = false;
+  degraded_ = event.degraded;
+  view_ = nullptr;
+  owned_view_.reset();
+  cat_ = nullptr;
+  for (auto& [id, track] : tenants_) {
+    track.suffering_streak = 0;
+    track.last_direction = 0;
+    track.flip_ticks.clear();
+    track.phase_changed_this_group = false;
+    track.anomaly_this_group = false;
+    track.has_prev_ways = false;
+    track.has_cached_entry = false;
+  }
+}
+
 void InvariantChecker::Finish() {
   if (group_open_ && !group_finalized_) {
     FinalizeGroup();

@@ -124,6 +124,14 @@ class InvariantChecker : public EventSink {
   void OnMaskDrift(const MaskDriftEvent& event) override;
   void OnCounterAnomaly(const CounterAnomalyEvent& event) override;
   void OnModeChange(const ModeChangeEvent& event) override;
+  // Controller crash-restart: the interval the crash cut short was never
+  // completed by the controller, so the open group is discarded unaudited
+  // (its rows describe a decision that never fully landed), all cross-tick
+  // bookkeeping that chains through controller state resets, and — because
+  // the controller object the deep checks were attached to died with the
+  // process — the view is detached. Re-attach after recovery to resume
+  // deep audits; event-only invariants continue either way.
+  void OnRestart(const RestartEvent& event) override;
 
   // Audits the final (possibly incomplete) interval; call once when the
   // run ends.

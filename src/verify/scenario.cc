@@ -33,8 +33,21 @@ const char* const kWorkloadPool[] = {
     "spec:povray",  "phased-mlr", "phased-mload",
 };
 
-// Builds a workload from a scenario spec: the factory grammar plus the
-// scenario-local "phased-*" composites that exercise phase churn.
+struct MachineLimits {
+  uint32_t total_ways;
+  uint16_t num_cores;
+  size_t max_tenants;  // COS limit: tenants + 1 < 16
+};
+
+MachineLimits LimitsFor(const std::string& machine) {
+  if (machine == "xeon-d") {
+    return {12, 8, 14};
+  }
+  return {20, 18, 14};
+}
+
+}  // namespace
+
 std::unique_ptr<Workload> MakeScenarioWorkload(const std::string& spec, uint64_t seed) {
   constexpr uint64_t kPhaseInstructions = 12'000'000;
   if (spec == "phased-mlr") {
@@ -57,21 +70,6 @@ uint64_t WorkloadSeed(const Scenario& scenario, TenantId id) {
   // default) and never 0.
   return scenario.seed * 1000003ULL + static_cast<uint64_t>(id) * 7919ULL + 13;
 }
-
-struct MachineLimits {
-  uint32_t total_ways;
-  uint16_t num_cores;
-  size_t max_tenants;  // COS limit: tenants + 1 < 16
-};
-
-MachineLimits LimitsFor(const std::string& machine) {
-  if (machine == "xeon-d") {
-    return {12, 8, 14};
-  }
-  return {20, 18, 14};
-}
-
-}  // namespace
 
 std::string Scenario::Describe() const {
   std::ostringstream out;

@@ -13,11 +13,13 @@
 #define SRC_VERIFY_SCENARIO_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/verify/invariant_checker.h"
+#include "src/workloads/workload.h"
 
 namespace dcat {
 
@@ -63,6 +65,14 @@ Scenario RandomScenario(uint64_t seed);
 // The paper's Fig. 10 mix: one MLR-8M receiver among five lookbusy donors,
 // baseline 3 ways each on the Xeon E5 socket. Basis of the golden trace.
 Scenario Fig10Scenario();
+
+// Builds a workload from a scenario spec: the factory grammar plus the
+// scenario-local "phased-*" composites. Shared with the crash harness so a
+// crashed re-run reconstructs the identical tenant mix.
+std::unique_ptr<Workload> MakeScenarioWorkload(const std::string& spec, uint64_t seed);
+
+// Deterministic per-tenant workload seed (never 0 or 1).
+uint64_t WorkloadSeed(const Scenario& scenario, TenantId id);
 
 struct RunOptions {
   // PolicyRegistry name (canonical or legacy spelling).

@@ -86,6 +86,32 @@ TEST(ConfigIoTest, UnknownPolicyErrorListsRegisteredNames) {
   }
 }
 
+TEST(ConfigIoTest, RetryBackoffKeys) {
+  const ConfigParseResult result =
+      ParseDcatConfig("retry_base_ticks = 2\nretry_max_ticks = 16\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.retry_base_ticks, 2u);
+  EXPECT_EQ(result.config.retry_max_ticks, 16u);
+}
+
+TEST(ConfigIoTest, RetryBackoffValidation) {
+  // The schedule must be well-formed: base >= 1 and cap >= base.
+  EXPECT_FALSE(ParseDcatConfig("retry_base_ticks = 0\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("retry_max_ticks = 0\n").ok);
+  EXPECT_FALSE(ParseDcatConfig("retry_base_ticks = 8\nretry_max_ticks = 4\n").ok);
+  EXPECT_TRUE(ParseDcatConfig("retry_base_ticks = 4\nretry_max_ticks = 4\n").ok);
+}
+
+TEST(ConfigIoTest, RetryBackoffRoundTrips) {
+  DcatConfig config;
+  config.retry_base_ticks = 3;
+  config.retry_max_ticks = 9;
+  const ConfigParseResult result = ParseDcatConfig(FormatDcatConfig(config));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.retry_base_ticks, 3u);
+  EXPECT_EQ(result.config.retry_max_ticks, 9u);
+}
+
 TEST(ConfigIoTest, UnknownKeyIsAnError) {
   const ConfigParseResult result = ParseDcatConfig("lcc_miss_rate_thr = 0.03\n");  // typo
   EXPECT_FALSE(result.ok);

@@ -122,6 +122,10 @@ TEST_F(FaultRecoveryTest, PersistentOutageDegradesThenHeals) {
   FakePqos backend;
   FaultyPqos faulty(&backend, &backend, FaultPlan(1, outage));
   DcatConfig config;
+  // Pin the retry schedule to every-tick attempts: this test scripts exact
+  // tick numbers for the degraded round trip, which exponential backoff
+  // would stretch.
+  config.retry_max_ticks = 1;
   DcatController controller(&faulty, &faulty, config);
   ASSERT_EQ(controller.AddTenant(
                 TenantSpec{.id = 1, .name = "t1", .cores = {0}, .baseline_ways = 3}),

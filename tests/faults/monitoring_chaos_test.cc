@@ -1,0 +1,103 @@
+// Monitoring-plane chaos: failed and torn per-COS MBM/occupancy reads.
+// The fault schedule must be a pure function of (seed, tick, cos), the
+// perturbations must have exactly the documented shapes (a failed read
+// yields 0, a torn read loses its high bits), and the controller must
+// ride out a monitoring-chaos run without degrading — monitor faults are
+// telemetry noise, never apply failures.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+
+#include "src/core/dcat_controller.h"
+#include "src/faults/fault_plan.h"
+#include "src/faults/faulty_pqos.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+TEST(MonitoringChaosTest, ScheduleIsDeterministicPerTickAndCos) {
+  FaultPlan a(5, MonitoringChaosProfile());
+  FaultPlan b(5, MonitoringChaosProfile());
+  bool any_fault = false;
+  for (int tick = 0; tick < 100; ++tick) {
+    a.AdvanceTick();
+    b.AdvanceTick();
+    for (uint8_t cos = 0; cos < 8; ++cos) {
+      const MonitorFault fault = a.OnMonitorRead(cos);
+      // Same (seed, tick, cos) -> same answer, across plans and across
+      // repeated reads within the tick.
+      EXPECT_EQ(fault, b.OnMonitorRead(cos));
+      EXPECT_EQ(fault, a.OnMonitorRead(cos));
+      any_fault = any_fault || fault != MonitorFault::kNone;
+    }
+  }
+  EXPECT_TRUE(any_fault) << "the monitoring profile never fired in 100 ticks";
+}
+
+TEST(MonitoringChaosTest, FailedReadYieldsZero) {
+  FaultProfile profile;
+  profile.name = "monitor-error";
+  profile.monitor_read_error_rate = 1.0;
+  FakePqos backend;
+  FaultyPqos faulty(&backend, &backend, FaultPlan(1, profile));
+  // ~6.4e12 bytes of MBM traffic on COS 0 — far from zero.
+  backend.Feed(0, 1.0, 0.1, 1000, 1.0, 100'000'000'000ULL);
+  ASSERT_GT(backend.MemoryBandwidthBytes(0), 0u);
+  faulty.AdvanceTick();
+  EXPECT_EQ(faulty.MemoryBandwidthBytes(0), 0u);
+  EXPECT_GT(faulty.stats().injected_monitor_faults, 0u);
+}
+
+TEST(MonitoringChaosTest, TornReadLosesHighBits) {
+  FaultProfile profile;
+  profile.name = "monitor-torn";
+  profile.monitor_torn_read_rate = 1.0;
+  FakePqos backend;
+  FaultyPqos faulty(&backend, &backend, FaultPlan(1, profile));
+  backend.Feed(0, 1.0, 0.1, 1000, 1.0, 100'000'000'000ULL);
+  const uint64_t clean = backend.MemoryBandwidthBytes(0);
+  ASSERT_GT(clean, 0xffffffffULL) << "need >32 bits of traffic to observe the tear";
+  faulty.AdvanceTick();
+  EXPECT_EQ(faulty.MemoryBandwidthBytes(0), clean & 0xffffffffULL);
+}
+
+TEST(MonitoringChaosTest, NeverFiresBeforeTheFirstTick) {
+  // Tick 0 covers initial admission: monitoring reads must pass through
+  // clean so baselines are seeded from real data.
+  FaultProfile profile;
+  profile.name = "monitor-error";
+  profile.monitor_read_error_rate = 1.0;
+  FakePqos backend;
+  FaultyPqos faulty(&backend, &backend, FaultPlan(1, profile));
+  backend.Feed(0, 1.0, 0.1, 1000, 1.0, 1'000'000);
+  EXPECT_EQ(faulty.MemoryBandwidthBytes(0), backend.MemoryBandwidthBytes(0));
+}
+
+TEST(MonitoringChaosTest, ControllerRidesOutMonitoringChaos) {
+  // 40 intervals under the named "monitoring" profile: reads fail and
+  // tear, but no apply ever fails, so the controller must stay out of
+  // degraded mode and the backend must track its allocations exactly.
+  FakePqos backend;
+  FaultyPqos faulty(&backend, &backend, FaultPlan(7, MonitoringChaosProfile()));
+  DcatController controller(&faulty, &faulty, DcatConfig{});
+  ASSERT_EQ(controller.AddTenant(
+                TenantSpec{.id = 1, .name = "t1", .cores = {0}, .baseline_ways = 3}),
+            AdmitStatus::kOk);
+  for (int t = 0; t < 40; ++t) {
+    backend.Feed(0, 0.05, 0.33, 300, 0.5, 5'000'000);
+    faulty.AdvanceTick();
+    controller.Tick();
+  }
+  EXPECT_GT(faulty.stats().injected_monitor_faults, 0u)
+      << "the profile must actually exercise the monitoring plane";
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_EQ(controller.metrics().counter("faults.apply_failures").value(), 0u);
+  EXPECT_EQ(controller.TenantWays(1),
+            static_cast<uint32_t>(
+                std::popcount(backend.GetCosMask(controller.Snapshot(1).cos))));
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,152 @@
+// The exponential-backoff retry schedule after failed applies: delays
+// double from retry_base_ticks (plus deterministic jitter) up to the
+// retry_max_ticks cap, skipped ticks keep sampling but freeze decisions,
+// a success clears the window, and retry_max_ticks=1 reproduces the
+// legacy every-tick retry exactly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dcat_controller.h"
+#include "src/faults/fault_plan.h"
+#include "src/faults/faulty_pqos.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+FaultProfile TotalOutage(uint64_t active_ticks) {
+  FaultProfile outage;
+  outage.name = "forced-outage";
+  outage.outage_rate = 1.0;
+  outage.outage_min_ticks = 1000;
+  outage.outage_max_ticks = 1000;
+  outage.active_ticks = active_ticks;
+  return outage;
+}
+
+class BackoffTest : public ::testing::Test {
+ protected:
+  void Start(uint32_t base, uint32_t max, uint64_t outage_ticks) {
+    faulty_ = std::make_unique<FaultyPqos>(&backend_, &backend_,
+                                           FaultPlan(1, TotalOutage(outage_ticks)));
+    config_.retry_base_ticks = base;
+    config_.retry_max_ticks = max;
+    // Keep the controller out of degraded mode: this test observes the raw
+    // retry schedule, which degradation would cut short.
+    config_.degraded_after_failures = 1000;
+    controller_ = std::make_unique<DcatController>(faulty_.get(), faulty_.get(), config_);
+    ASSERT_EQ(controller_->AddTenant(
+                  TenantSpec{.id = 1, .name = "t1", .cores = {0}, .baseline_ways = 3}),
+              AdmitStatus::kOk);
+  }
+
+  void Tick() {
+    backend_.Feed(0, 0.05, 0.33, 300, 0.5, 5'000'000);
+    faulty_->AdvanceTick();
+    controller_->Tick();
+  }
+
+  uint64_t Counter(const char* name) { return controller_->metrics().counter(name).value(); }
+
+  // Runs `ticks` intervals and returns the 1-based tick numbers at which
+  // the controller attempted (and failed) an apply.
+  std::vector<uint64_t> FailedAttemptTicks(uint64_t ticks) {
+    std::vector<uint64_t> attempts;
+    uint64_t prev = Counter("faults.apply_failures");
+    for (uint64_t t = 1; t <= ticks; ++t) {
+      Tick();
+      const uint64_t now = Counter("faults.apply_failures");
+      if (now > prev) {
+        attempts.push_back(t);
+      }
+      prev = now;
+    }
+    return attempts;
+  }
+
+  DcatConfig config_;
+  FakePqos backend_;
+  std::unique_ptr<FaultyPqos> faulty_;
+  std::unique_ptr<DcatController> controller_;
+};
+
+TEST_F(BackoffTest, DelaysDoubleWithJitterUpToCap) {
+  const uint32_t kBase = 2;
+  const uint32_t kMax = 12;
+  Start(kBase, kMax, /*outage_ticks=*/80);
+  const std::vector<uint64_t> attempts = FailedAttemptTicks(80);
+  ASSERT_GE(attempts.size(), 5u) << "outage long enough for several retries";
+  EXPECT_EQ(attempts.front(), 1u);  // the first failure is immediate
+
+  uint64_t prev_gap = 0;
+  for (size_t k = 1; k < attempts.size(); ++k) {
+    const uint64_t gap = attempts[k] - attempts[k - 1];
+    // After the k-th failure the raw delay is base << (k-1); jitter only
+    // adds, and the cap bounds everything.
+    const uint64_t raw = static_cast<uint64_t>(kBase)
+                         << std::min<uint64_t>(k - 1, 16);
+    EXPECT_GE(gap, std::min<uint64_t>(raw, kMax)) << "attempt " << k;
+    EXPECT_LE(gap, kMax) << "attempt " << k;
+    EXPECT_GE(gap, prev_gap) << "backoff must not shrink while failures accrue";
+    prev_gap = gap;
+  }
+  // The schedule saturates: once raw >= cap, every delay is exactly the cap.
+  EXPECT_EQ(attempts.back() - attempts[attempts.size() - 2], kMax);
+  // Skipped ticks were counted, and every skipped tick kept the telemetry
+  // cadence without touching the decision state.
+  const uint64_t expected_skips = 80 - attempts.size();
+  EXPECT_EQ(Counter("faults.apply_backoff_skips"), expected_skips);
+}
+
+TEST_F(BackoffTest, CapOfOneReproducesLegacyEveryTickRetry) {
+  Start(/*base=*/1, /*max=*/1, /*outage_ticks=*/10);
+  const std::vector<uint64_t> attempts = FailedAttemptTicks(10);
+  ASSERT_EQ(attempts.size(), 10u);
+  for (uint64_t t = 1; t <= 10; ++t) {
+    EXPECT_EQ(attempts[t - 1], t);
+  }
+  EXPECT_EQ(Counter("faults.apply_backoff_skips"), 0u);
+}
+
+TEST_F(BackoffTest, SuccessClearsTheBackoffWindow) {
+  // A 6-tick outage, then a healthy backend: the first post-outage attempt
+  // succeeds, resets the failure count, and normal every-tick operation
+  // resumes — no residual backoff window.
+  Start(/*base=*/2, /*max=*/8, /*outage_ticks=*/6);
+  for (int t = 0; t < 20; ++t) {
+    Tick();
+  }
+  EXPECT_FALSE(controller_->degraded());
+  EXPECT_EQ(controller_->TenantWays(1),
+            static_cast<uint32_t>(std::popcount(backend_.GetCosMask(controller_->Snapshot(1).cos))));
+  const uint64_t skips_at_20 = Counter("faults.apply_backoff_skips");
+  for (int t = 0; t < 5; ++t) {
+    Tick();
+  }
+  // Fault-free steady state: no additional skipped ticks, no new failures.
+  EXPECT_EQ(Counter("faults.apply_backoff_skips"), skips_at_20);
+  const uint64_t failures = Counter("faults.apply_failures");
+  Tick();
+  EXPECT_EQ(Counter("faults.apply_failures"), failures);
+}
+
+TEST_F(BackoffTest, BackoffWindowSurvivesExportImport) {
+  // The pending-retry tick is part of the persistent image: a controller
+  // restored mid-window must not attempt an apply before the window ends.
+  Start(/*base=*/4, /*max=*/16, /*outage_ticks=*/40);
+  Tick();  // fails, arms a backoff window
+  ASSERT_EQ(Counter("faults.apply_failures"), 1u);
+  const ControllerPersistentState image = controller_->ExportState();
+  EXPECT_GT(image.next_apply_tick, image.tick);
+  EXPECT_EQ(image.consecutive_apply_failures, 1u);
+
+  DcatController restored(faulty_.get(), faulty_.get(), config_);
+  restored.ImportState(image);
+  EXPECT_EQ(restored.ExportState().next_apply_tick, image.next_apply_tick);
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,226 @@
+// The decision journal's byte-level contract: CRC framing detects torn
+// tails and bit rot, the parser resynchronizes past corrupt regions
+// without losing the good tail, the writer compacts, and persistence
+// failures are counted and swallowed — never thrown into the control loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/faults/faulty_journal.h"
+#include "src/recovery/journal.h"
+#include "src/recovery/state_codec.h"
+#include "src/telemetry/metrics.h"
+
+namespace dcat {
+namespace {
+
+ControllerPersistentState MiniState(uint64_t tick) {
+  ControllerPersistentState state;
+  state.tick = tick;
+  state.policy = "max-fairness";
+  state.next_group_id = 1;
+  return state;
+}
+
+std::vector<uint8_t> SnapshotFrame(uint64_t tick) {
+  return FrameRecord(JournalRecordType::kSnapshot, EncodeControllerState(MiniState(tick)));
+}
+
+void AppendBytes(std::vector<uint8_t>* stream, const std::vector<uint8_t>& frame,
+                 size_t prefix = SIZE_MAX) {
+  const size_t n = std::min(prefix, frame.size());
+  stream->insert(stream->end(), frame.begin(), frame.begin() + n);
+}
+
+uint64_t DecodedTick(const JournalRecord& record) {
+  ControllerPersistentState state;
+  EXPECT_TRUE(DecodeControllerState(record.payload.data(), record.payload.size(), &state));
+  return state.tick;
+}
+
+TEST(JournalFraming, RoundTripsRecordsInOrder) {
+  std::vector<uint8_t> stream;
+  AppendBytes(&stream, FrameRecord(JournalRecordType::kSnapshot, {1, 2, 3}));
+  AppendBytes(&stream, FrameRecord(JournalRecordType::kDecision, {}));
+  AppendBytes(&stream, FrameRecord(JournalRecordType::kDecision,
+                                   std::vector<uint8_t>(1000, 0x5a)));
+  const JournalParseResult parsed = ParseJournal(stream);
+  EXPECT_EQ(parsed.torn_records, 0u);
+  ASSERT_EQ(parsed.records.size(), 3u);
+  EXPECT_EQ(parsed.records[0].type, JournalRecordType::kSnapshot);
+  EXPECT_EQ(parsed.records[0].payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(parsed.records[1].type, JournalRecordType::kDecision);
+  EXPECT_TRUE(parsed.records[1].payload.empty());
+  EXPECT_EQ(parsed.records[2].payload.size(), 1000u);
+}
+
+TEST(JournalFraming, EmptyStreamParsesClean) {
+  const JournalParseResult parsed = ParseJournal({});
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.torn_records, 0u);
+}
+
+TEST(JournalFraming, TornTailDetectedNotTrusted) {
+  // The second record is cut mid-payload — the shape a crash during
+  // Append leaves behind. The first record must survive untouched.
+  std::vector<uint8_t> stream;
+  AppendBytes(&stream, SnapshotFrame(1));
+  const std::vector<uint8_t> second = SnapshotFrame(2);
+  AppendBytes(&stream, second, second.size() - 5);
+  const JournalParseResult parsed = ParseJournal(stream);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(DecodedTick(parsed.records[0]), 1u);
+  EXPECT_EQ(parsed.torn_records, 1u);
+}
+
+TEST(JournalFraming, TailCutInsideHeaderDetected) {
+  std::vector<uint8_t> stream;
+  AppendBytes(&stream, SnapshotFrame(1));
+  AppendBytes(&stream, SnapshotFrame(2), 6);  // magic + type + half the length
+  const JournalParseResult parsed = ParseJournal(stream);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.torn_records, 1u);
+}
+
+TEST(JournalFraming, BitFlipSkipsRecordAndResynchronizes) {
+  // A flipped payload byte in the middle record fails its CRC; the parser
+  // must skip it and still find the good record behind it.
+  const std::vector<uint8_t> first = SnapshotFrame(1);
+  std::vector<uint8_t> stream;
+  AppendBytes(&stream, first);
+  AppendBytes(&stream, SnapshotFrame(2));
+  AppendBytes(&stream, SnapshotFrame(3));
+  stream[first.size() + 12 + 3] ^= 0x40;  // into record 2's payload
+  const JournalParseResult parsed = ParseJournal(stream);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(DecodedTick(parsed.records[0]), 1u);
+  EXPECT_EQ(DecodedTick(parsed.records[1]), 3u);
+  EXPECT_EQ(parsed.torn_records, 1u);
+}
+
+TEST(JournalFraming, ContiguousCorruptionCountsOnce) {
+  // Two adjacent corrupt records form one bad region: one torn count,
+  // however many frames it spans.
+  const std::vector<uint8_t> first = SnapshotFrame(1);
+  const std::vector<uint8_t> second = SnapshotFrame(2);
+  std::vector<uint8_t> stream;
+  AppendBytes(&stream, first);
+  AppendBytes(&stream, second);
+  AppendBytes(&stream, SnapshotFrame(3));
+  stream[first.size() + 12] ^= 0xff;                  // record 2 payload
+  stream[first.size() + second.size() + 12] ^= 0xff;  // record 3 payload
+  const JournalParseResult parsed = ParseJournal(stream);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(DecodedTick(parsed.records[0]), 1u);
+  EXPECT_EQ(parsed.torn_records, 1u);
+}
+
+TEST(JournalFraming, GarbagePrefixResynchronizes) {
+  std::vector<uint8_t> stream = {0xff, 0x00, 0x41, 0x44};
+  AppendBytes(&stream, SnapshotFrame(9));
+  const JournalParseResult parsed = ParseJournal(stream);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(DecodedTick(parsed.records[0]), 9u);
+  EXPECT_EQ(parsed.torn_records, 1u);
+}
+
+TEST(JournalWriterTest, ContractChangeWritesSnapshot) {
+  MemoryJournalStorage storage;
+  JournalWriter writer(&storage);
+  writer.OnContractChange(MiniState(3));
+  const JournalParseResult parsed = ParseJournal(storage.ReadAll());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].type, JournalRecordType::kSnapshot);
+  EXPECT_EQ(DecodedTick(parsed.records[0]), 3u);
+}
+
+TEST(JournalWriterTest, CompactionBoundsTheFile) {
+  MemoryJournalStorage storage;
+  JournalWriter writer(&storage, JournalWriter::Options{.snapshot_every = 4});
+  const DecisionIntent intent;
+  size_t high_water = 0;
+  for (uint64_t tick = 1; tick <= 40; ++tick) {
+    writer.OnDecision(MiniState(tick), intent);
+    high_water = std::max(high_water, ParseJournal(storage.ReadAll()).records.size());
+  }
+  // Compaction every 4 decisions keeps the file at a handful of records,
+  // and the latest image is always the last word.
+  EXPECT_LE(high_water, 5u);
+  const JournalParseResult parsed = ParseJournal(storage.ReadAll());
+  ASSERT_FALSE(parsed.records.empty());
+  EXPECT_EQ(parsed.torn_records, 0u);
+  ControllerPersistentState state;
+  DecisionIntent decoded_intent;
+  const JournalRecord& last = parsed.records.back();
+  ASSERT_TRUE(DecodeDecisionRecord(last.payload.data(), last.payload.size(), &state,
+                                   &decoded_intent) ||
+              DecodeControllerState(last.payload.data(), last.payload.size(), &state));
+  EXPECT_EQ(state.tick, 40u);
+}
+
+TEST(JournalWriterTest, OnRecoveredCompactsToSingleSnapshot) {
+  MemoryJournalStorage storage;
+  JournalWriter writer(&storage);
+  const DecisionIntent intent;
+  writer.OnDecision(MiniState(1), intent);
+  writer.OnDecision(MiniState(2), intent);
+  writer.OnRecovered(MiniState(7));
+  const JournalParseResult parsed = ParseJournal(storage.ReadAll());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].type, JournalRecordType::kSnapshot);
+  EXPECT_EQ(DecodedTick(parsed.records[0]), 7u);
+}
+
+TEST(JournalWriterTest, AppendFailureCountedAndSwallowed) {
+  MemoryJournalStorage inner;
+  FaultyJournalStorage storage(&inner);
+  JournalWriter writer(&storage);
+  MetricsRegistry metrics;
+  writer.set_metrics(&metrics);
+  const DecisionIntent intent;
+
+  storage.FailNextAppend();
+  writer.OnDecision(MiniState(1), intent);  // must not throw
+  EXPECT_EQ(metrics.counter("journal.append_failures").value(), 1u);
+  EXPECT_TRUE(ParseJournal(inner.ReadAll()).records.empty());
+
+  writer.OnDecision(MiniState(2), intent);  // the medium healed
+  EXPECT_EQ(metrics.counter("journal.records_total").value(), 1u);
+  const JournalParseResult parsed = ParseJournal(inner.ReadAll());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].type, JournalRecordType::kDecision);
+}
+
+TEST(FileJournalStorageTest, AppendReadRewriteRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dcat_journal_test.dj";
+  std::remove(path.c_str());
+  {
+    FileJournalStorage storage(path);
+    EXPECT_TRUE(storage.ReadAll().empty());  // missing file reads empty
+    const std::vector<uint8_t> a = SnapshotFrame(1);
+    const std::vector<uint8_t> b = SnapshotFrame(2);
+    ASSERT_TRUE(storage.Append(a.data(), a.size()));
+    ASSERT_TRUE(storage.Append(b.data(), b.size()));
+    std::vector<uint8_t> expect = a;
+    expect.insert(expect.end(), b.begin(), b.end());
+    EXPECT_EQ(storage.ReadAll(), expect);
+
+    const std::vector<uint8_t> c = SnapshotFrame(3);
+    ASSERT_TRUE(storage.Rewrite(c.data(), c.size()));
+    EXPECT_EQ(storage.ReadAll(), c);
+  }
+  {
+    // A fresh handle over the same path sees the persisted bytes.
+    FileJournalStorage storage(path);
+    const JournalParseResult parsed = ParseJournal(storage.ReadAll());
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(DecodedTick(parsed.records[0]), 3u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcat

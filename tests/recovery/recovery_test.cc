@@ -1,0 +1,322 @@
+// Cold-restart reconciliation end to end: a controller journals its
+// decisions, "dies" (destroyed), and RecoverController rebuilds it from
+// the surviving bytes — adopting hardware that matches the journaled
+// intent, finishing interrupted writes, parking externally-perturbed
+// tenants in Reclaim, and refusing journals written under another policy.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dcat_controller.h"
+#include "src/pqos/mask.h"
+#include "src/recovery/journal.h"
+#include "src/recovery/recovery.h"
+#include "src/recovery/state_codec.h"
+#include "tests/core/fake_pqos.h"
+
+namespace dcat {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void StartController() {
+    controller_ = std::make_unique<DcatController>(&backend_, &backend_, config_);
+    controller_->AttachJournal(&journal_);
+  }
+
+  void AddTenant(TenantId id, uint16_t core) {
+    ASSERT_EQ(controller_->AddTenant(TenantSpec{.id = id,
+                                                .name = "t" + std::to_string(id),
+                                                .cores = {core},
+                                                .baseline_ways = 3}),
+              AdmitStatus::kOk);
+    cores_[id] = core;
+  }
+
+  // One control interval with an MLR-ish active feed on every tenant core.
+  void FeedTick(double ipc) {
+    for (const auto& [id, core] : cores_) {
+      backend_.Feed(core, ipc, /*mem_per_ins=*/0.33, /*llc_per_ki=*/300,
+                    /*miss_rate=*/0.5, /*instructions=*/5'000'000);
+    }
+    controller_->Tick();
+  }
+
+  // The process dies (controller destroyed; backend and journal survive)
+  // and a new one is reconciled from the journal.
+  std::unique_ptr<DcatController> Recover(RecoveryReport* report,
+                                          uint64_t cold_boot_tick = 0,
+                                          uint64_t prior_restarts = 0) {
+    controller_.reset();
+    RecoveryOptions options;
+    options.config = config_;
+    options.cold_boot_tick = cold_boot_tick;
+    options.prior_restarts = prior_restarts;
+    options.journal = &journal_;
+    return RecoverController(&backend_, &backend_, &storage_, options, report);
+  }
+
+  uint32_t BackendWays(const DcatController& controller, TenantId id) {
+    return static_cast<uint32_t>(std::popcount(backend_.GetCosMask(controller.Snapshot(id).cos)));
+  }
+
+  DcatConfig config_;
+  FakePqos backend_;
+  MemoryJournalStorage storage_;
+  JournalWriter journal_{&storage_};
+  std::unique_ptr<DcatController> controller_;
+  std::map<TenantId, uint16_t> cores_;
+};
+
+TEST_F(RecoveryTest, EmptyJournalColdBoots) {
+  RecoveryReport report;
+  auto recovered = Recover(&report, /*cold_boot_tick=*/42);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kColdBoot);
+  EXPECT_EQ(report.records_scanned, 0u);
+  EXPECT_EQ(report.journal_tick, 0u);
+  EXPECT_EQ(recovered->ticks(), 42u);
+  EXPECT_FALSE(recovered->HasTenant(1));
+  EXPECT_EQ(recovered->metrics().counter("controller.restarts_total").value(), 1u);
+}
+
+TEST_F(RecoveryTest, RecoversJournaledImageAndResumesTicking) {
+  StartController();
+  AddTenant(1, 0);
+  AddTenant(2, 1);
+  for (int t = 0; t < 5; ++t) {
+    FeedTick(0.05);
+  }
+  const uint32_t ways1 = controller_->TenantWays(1);
+  const uint32_t ways2 = controller_->TenantWays(2);
+
+  RecoveryReport report;
+  auto recovered = Recover(&report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_EQ(report.journal_tick, 5u);
+  EXPECT_TRUE(report.had_intent);  // the last record is tick 5's decision
+  EXPECT_EQ(report.tenants, 2u);
+  EXPECT_EQ(recovered->ticks(), 5u);
+  EXPECT_TRUE(recovered->HasTenant(1));
+  EXPECT_TRUE(recovered->HasTenant(2));
+  // The backend held the applied tick-5 state, so reconciliation adopts or
+  // redoes — nothing is divergent and the allocations are exactly restored.
+  EXPECT_EQ(report.apply.divergent, 0u);
+  EXPECT_EQ(report.apply.adopted + report.apply.redone, 2u);
+  EXPECT_EQ(recovered->TenantWays(1), ways1);
+  EXPECT_EQ(recovered->TenantWays(2), ways2);
+  EXPECT_EQ(BackendWays(*recovered, 1), ways1);
+  EXPECT_EQ(BackendWays(*recovered, 2), ways2);
+
+  // The recovered controller ticks like one that never died.
+  controller_ = std::move(recovered);
+  FeedTick(0.05);
+  EXPECT_EQ(controller_->ticks(), 6u);
+  EXPECT_FALSE(controller_->degraded());
+}
+
+TEST_F(RecoveryTest, InterruptedApplyRolledForward) {
+  StartController();
+  AddTenant(1, 0);
+  FeedTick(0.05);
+  FeedTick(0.05);
+  FeedTick(0.10);  // this tick grows the tenant: its mask changes
+
+  // Decode the last decision record to learn the pre-apply mask.
+  const JournalParseResult parsed = ParseJournal(storage_.ReadAll());
+  ASSERT_FALSE(parsed.records.empty());
+  const JournalRecord& last = parsed.records.back();
+  ASSERT_EQ(last.type, JournalRecordType::kDecision);
+  ControllerPersistentState pre;
+  DecisionIntent intent;
+  ASSERT_TRUE(DecodeDecisionRecord(last.payload.data(), last.payload.size(), &pre, &intent));
+  ASSERT_EQ(pre.tenants.size(), 1u);
+  const uint8_t cos = pre.tenants[0].cos;
+  const uint32_t pre_mask = pre.tenants[0].mask;
+  ASSERT_NE(pre_mask, 0u);
+  ASSERT_NE(backend_.GetCosMask(cos), pre_mask)
+      << "precondition: the journaled tick must have changed the mask";
+
+  // Rewind the hardware to the pre-apply mask — the crash fell before the
+  // COS write landed. Recovery must finish the interrupted transaction.
+  controller_.reset();
+  ASSERT_EQ(backend_.SetCosMask(cos, pre_mask), PqosStatus::kOk);
+  RecoveryReport report;
+  RecoveryOptions options;
+  options.config = config_;
+  options.journal = &journal_;
+  auto recovered = RecoverController(&backend_, &backend_, &storage_, options, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_EQ(report.apply.redone, 1u);
+  EXPECT_EQ(report.apply.divergent, 0u);
+  EXPECT_EQ(recovered->TenantWays(1), intent.targets[0]);
+  EXPECT_EQ(static_cast<uint32_t>(std::popcount(backend_.GetCosMask(cos))),
+            intent.targets[0]);
+}
+
+TEST_F(RecoveryTest, ExternalInterferenceParksTenantInReclaim) {
+  StartController();
+  AddTenant(1, 0);
+  AddTenant(2, 1);
+  for (int t = 0; t < 5; ++t) {
+    FeedTick(0.05);
+  }
+  const uint8_t cos1 = controller_->Snapshot(1).cos;
+  controller_.reset();
+  // While the controller was down, something reprogrammed COS1 to a mask
+  // matching neither the pre-apply image nor the intent.
+  ASSERT_EQ(backend_.SetCosMask(cos1, MakeWayMask(0, backend_.NumWays())), PqosStatus::kOk);
+
+  RecoveryReport report;
+  RecoveryOptions options;
+  options.config = config_;
+  options.journal = &journal_;
+  auto recovered = RecoverController(&backend_, &backend_, &storage_, options, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_GE(report.apply.divergent, 1u);
+  EXPECT_EQ(recovered->Snapshot(1).category, Category::kReclaim);
+
+  // The normal reclaim machinery re-establishes the contract within a few
+  // fault-free ticks and the backend tracks the controller exactly.
+  controller_ = std::move(recovered);
+  for (int t = 0; t < 3; ++t) {
+    FeedTick(0.05);
+  }
+  EXPECT_EQ(BackendWays(*controller_, 1), controller_->TenantWays(1));
+  EXPECT_EQ(BackendWays(*controller_, 2), controller_->TenantWays(2));
+}
+
+TEST_F(RecoveryTest, PolicyMismatchFailsFast) {
+  StartController();
+  AddTenant(1, 0);
+  FeedTick(0.05);
+  controller_.reset();
+
+  config_.policy = "max-performance";  // the operator changed intent
+  RecoveryReport report;
+  RecoveryOptions options;
+  options.config = config_;
+  auto recovered = RecoverController(&backend_, &backend_, &storage_, options, &report);
+  EXPECT_EQ(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kError);
+  EXPECT_NE(report.error.find("max-fairness"), std::string::npos) << report.error;
+  EXPECT_NE(report.error.find("max-performance"), std::string::npos) << report.error;
+}
+
+TEST_F(RecoveryTest, StaleSnapshotLosesToNewerDecision) {
+  // A compacted snapshot at tick 2 followed by a decision at tick 9: the
+  // last decodable record wins regardless of type.
+  ControllerPersistentState stale;
+  stale.tick = 2;
+  stale.policy = "max-fairness";
+  ControllerPersistentState newer = stale;
+  newer.tick = 9;
+  const auto snap = FrameRecord(JournalRecordType::kSnapshot, EncodeControllerState(stale));
+  const auto decision =
+      FrameRecord(JournalRecordType::kDecision, EncodeDecisionRecord(newer, DecisionIntent{}));
+  ASSERT_TRUE(storage_.Append(snap.data(), snap.size()));
+  ASSERT_TRUE(storage_.Append(decision.data(), decision.size()));
+
+  RecoveryReport report;
+  auto recovered = Recover(&report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_EQ(report.records_scanned, 2u);
+  EXPECT_EQ(report.journal_tick, 9u);
+  EXPECT_TRUE(report.had_intent);
+  EXPECT_EQ(recovered->ticks(), 9u);
+}
+
+TEST_F(RecoveryTest, TornTailFallsBackToLastGoodRecord) {
+  StartController();
+  AddTenant(1, 0);
+  for (int t = 0; t < 4; ++t) {
+    FeedTick(0.05);
+  }
+  // The crash tore the in-flight record: only 8 bytes of it landed.
+  ControllerPersistentState next;
+  next.tick = 99;
+  next.policy = "max-fairness";
+  const auto torn = FrameRecord(JournalRecordType::kSnapshot, EncodeControllerState(next));
+  ASSERT_TRUE(storage_.Append(torn.data(), 8));
+
+  RecoveryReport report;
+  auto recovered = Recover(&report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_GE(report.torn_records, 1u);
+  EXPECT_EQ(report.journal_tick, 4u);  // the torn tick-99 image is never trusted
+  EXPECT_EQ(recovered->ticks(), 4u);
+  EXPECT_EQ(recovered->metrics().counter("journal.torn_records_total").value(),
+            report.torn_records);
+}
+
+TEST_F(RecoveryTest, UndecodablePayloadWithValidCrcSkipped) {
+  StartController();
+  AddTenant(1, 0);
+  for (int t = 0; t < 3; ++t) {
+    FeedTick(0.05);
+  }
+  // Schema drift: the frame's CRC holds but the payload does not decode.
+  // Recovery must keep walking backwards to the previous good record.
+  const auto bogus = FrameRecord(JournalRecordType::kSnapshot, {1, 2, 3});
+  ASSERT_TRUE(storage_.Append(bogus.data(), bogus.size()));
+
+  RecoveryReport report;
+  auto recovered = Recover(&report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_GE(report.torn_records, 1u);
+  EXPECT_EQ(recovered->ticks(), 3u);
+}
+
+TEST_F(RecoveryTest, RestartCountersStayMonotonicAcrossRegistries) {
+  StartController();
+  AddTenant(1, 0);
+  FeedTick(0.05);
+  FeedTick(0.05);
+  RecoveryReport report;
+  auto recovered = Recover(&report, /*cold_boot_tick=*/0, /*prior_restarts=*/3);
+  ASSERT_NE(recovered, nullptr);
+  // The metrics registry died with the old process; the host-tracked prior
+  // count keeps the fleet-facing counter monotonic.
+  EXPECT_EQ(recovered->metrics().counter("controller.restarts_total").value(), 4u);
+  EXPECT_EQ(recovered->metrics().counter("journal.records_total").value(),
+            report.records_scanned);
+}
+
+TEST_F(RecoveryTest, RecoveredJournalResumesWriteAhead) {
+  StartController();
+  AddTenant(1, 0);
+  for (int t = 0; t < 3; ++t) {
+    FeedTick(0.05);
+  }
+  RecoveryReport report;
+  auto recovered = Recover(&report);
+  ASSERT_NE(recovered, nullptr);
+  // Recovery compacted the journal to the single reconciled image...
+  JournalParseResult parsed = ParseJournal(storage_.ReadAll());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].type, JournalRecordType::kSnapshot);
+  // ...and write-ahead operation resumes on the next tick.
+  controller_ = std::move(recovered);
+  FeedTick(0.05);
+  parsed = ParseJournal(storage_.ReadAll());
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[1].type, JournalRecordType::kDecision);
+  ControllerPersistentState state;
+  DecisionIntent intent;
+  ASSERT_TRUE(DecodeDecisionRecord(parsed.records[1].payload.data(),
+                                   parsed.records[1].payload.size(), &state, &intent));
+  EXPECT_EQ(state.tick, 4u);
+}
+
+}  // namespace
+}  // namespace dcat

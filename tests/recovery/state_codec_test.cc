@@ -1,0 +1,150 @@
+// The persistent-state codec's two contracts: decode(encode(x)) is
+// bit-exact (doubles round-trip by IEEE-754 bit pattern), and hostile
+// payloads — truncations, version skew, garbage — are rejected, never
+// crashed on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/recovery/state_codec.h"
+
+namespace dcat {
+namespace {
+
+// A state that exercises every field, including doubles that would betray
+// a lossy text round trip (subnormal, negative zero, epsilon-separated).
+ControllerPersistentState FullState() {
+  ControllerPersistentState state;
+  state.tick = 0x1122334455667788ULL;
+  state.policy = "lfoc-cluster";
+  state.degraded = true;
+  state.consecutive_apply_failures = 7;
+  state.degraded_clean_ticks = 2;
+  state.next_apply_tick = 0x99aabbccddeeff00ULL;
+  state.orphaned_cores = {3, 0, 65535};
+  state.cos_acked_mask = {0xf, 0xf0, 0};
+  state.next_group_id = 42;
+
+  PersistentTenant tenant;
+  tenant.spec.id = 11;
+  tenant.spec.name = "memcached";
+  tenant.spec.cores = {0, 1, 17};
+  tenant.spec.baseline_ways = 4;
+  tenant.cos = 5;
+  tenant.group = 3;
+  tenant.category = Category::kStreaming;
+  tenant.ways = 6;
+  tenant.mask = 0x3f0;
+  tenant.last_counters.retired_instructions = 123456789;
+  tenant.last_counters.unhalted_cycles = 987654321;
+  tenant.detector_has_signature = true;
+  tenant.detector_idle = false;
+  tenant.detector_signature = 5e-324;  // smallest subnormal
+  PersistentPhaseRecord phase;
+  phase.signature = -0.0;
+  phase.baseline_ipc = 1.0 + std::numeric_limits<double>::epsilon();
+  phase.baseline_valid = true;
+  phase.table = {{1, 0.1}, {3, 0.30000000000000004}, {20, 2.5}};
+  tenant.phases = {phase, PersistentPhaseRecord{}};
+  tenant.phase_index = 1;
+  tenant.has_phase = true;
+  tenant.measuring_baseline = false;
+  tenant.last_ipc = 0.1 + 0.2;  // famously != 0.3
+  tenant.has_last_ipc = true;
+  tenant.prev_interval_ways = 5;
+  tenant.grow_denied = true;
+  tenant.anomaly_streak = 1;
+  tenant.prev_active = true;
+  tenant.last_mbm = 0xffffffff00000001ULL;
+  state.tenants = {tenant, PersistentTenant{}};
+  return state;
+}
+
+TEST(StateCodec, ControllerStateRoundTripsBitExactly) {
+  const ControllerPersistentState original = FullState();
+  const std::vector<uint8_t> bytes = EncodeControllerState(original);
+  ControllerPersistentState decoded;
+  ASSERT_TRUE(DecodeControllerState(bytes.data(), bytes.size(), &decoded));
+  // Bit-exactness in one shot: re-encoding the decoded image must
+  // reproduce the byte stream, so every double kept its bit pattern
+  // (including -0.0 and the subnormal) and every field survived.
+  EXPECT_EQ(EncodeControllerState(decoded), bytes);
+  EXPECT_EQ(decoded.tick, original.tick);
+  EXPECT_EQ(decoded.policy, original.policy);
+  ASSERT_EQ(decoded.tenants.size(), 2u);
+  EXPECT_EQ(decoded.tenants[0].spec.name, "memcached");
+  EXPECT_EQ(decoded.tenants[0].phases[0].table, original.tenants[0].phases[0].table);
+  EXPECT_TRUE(std::signbit(decoded.tenants[0].phases[0].signature));
+}
+
+TEST(StateCodec, DecisionRecordRoundTripsBitExactly) {
+  const ControllerPersistentState state = FullState();
+  DecisionIntent intent;
+  intent.degraded = true;
+  intent.targets = {6, 1};
+  intent.groups = {3, 4};
+  const std::vector<uint8_t> bytes = EncodeDecisionRecord(state, intent);
+  ControllerPersistentState decoded_state;
+  DecisionIntent decoded_intent;
+  ASSERT_TRUE(
+      DecodeDecisionRecord(bytes.data(), bytes.size(), &decoded_state, &decoded_intent));
+  EXPECT_EQ(EncodeDecisionRecord(decoded_state, decoded_intent), bytes);
+  EXPECT_EQ(decoded_intent.degraded, true);
+  EXPECT_EQ(decoded_intent.targets, intent.targets);
+  EXPECT_EQ(decoded_intent.groups, intent.groups);
+}
+
+TEST(StateCodec, EveryTruncationIsRejected) {
+  // Chop the payload at every possible length: each prefix must decode to
+  // false (bounds-checked reads), never crash or accept a partial image.
+  const std::vector<uint8_t> bytes = EncodeControllerState(FullState());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ControllerPersistentState out;
+    EXPECT_FALSE(DecodeControllerState(bytes.data(), len, &out)) << "prefix " << len;
+  }
+}
+
+TEST(StateCodec, EveryDecisionTruncationIsRejected) {
+  DecisionIntent intent;
+  intent.targets = {6, 1};
+  const std::vector<uint8_t> bytes = EncodeDecisionRecord(FullState(), intent);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ControllerPersistentState state;
+    DecisionIntent out;
+    EXPECT_FALSE(DecodeDecisionRecord(bytes.data(), len, &state, &out)) << "prefix " << len;
+  }
+}
+
+TEST(StateCodec, UnknownVersionIsRejected) {
+  std::vector<uint8_t> bytes = EncodeControllerState(FullState());
+  bytes[0] = static_cast<uint8_t>(kStateCodecVersion + 1);  // version u32 LE
+  ControllerPersistentState out;
+  EXPECT_FALSE(DecodeControllerState(bytes.data(), bytes.size(), &out));
+}
+
+TEST(StateCodec, GarbageIsRejected) {
+  std::vector<uint8_t> garbage(512);
+  uint8_t v = 1;
+  for (uint8_t& b : garbage) {
+    v = static_cast<uint8_t>(v * 37 + 11);  // deterministic junk
+    b = v;
+  }
+  ControllerPersistentState state;
+  DecisionIntent intent;
+  EXPECT_FALSE(DecodeControllerState(garbage.data(), garbage.size(), &state));
+  EXPECT_FALSE(DecodeDecisionRecord(garbage.data(), garbage.size(), &state, &intent));
+}
+
+TEST(StateCodec, TrailingBytesAreRejected) {
+  // A payload with junk after the image means the frame length lied;
+  // trusting it would mask corruption.
+  std::vector<uint8_t> bytes = EncodeControllerState(FullState());
+  bytes.push_back(0xee);
+  ControllerPersistentState out;
+  EXPECT_FALSE(DecodeControllerState(bytes.data(), bytes.size(), &out));
+}
+
+}  // namespace
+}  // namespace dcat

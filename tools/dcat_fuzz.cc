@@ -38,6 +38,7 @@
 #include "src/common/thread_pool.h"
 #include "src/faults/fault_plan.h"
 #include "src/policies/registry.h"
+#include "src/verify/crash.h"
 #include "src/verify/scenario.h"
 
 namespace dcat {
@@ -60,6 +61,13 @@ struct Options {
   bool chaos = false;
   uint64_t chaos_seed = 0;
   std::string chaos_profile = "all";
+  // Crash mode (--crash-at): kill + journal-recover the controller. Each
+  // selected tick runs the full crash matrix (boundary, mid-apply at two
+  // write offsets, torn journal at two cut points); `crash_every` sweeps
+  // every tick of the scenario.
+  bool crash = false;
+  bool crash_every = false;
+  uint64_t crash_tick = 0;
 };
 
 // The fault schedules a chaos run sweeps with --chaos-profile=all.
@@ -92,7 +100,14 @@ void PrintUsage() {
       "                          one run per fault profile, then a fault-free\n"
       "                          settle window that must end out of degraded mode\n"
       "  --chaos-profile=NAME    transient|silent-drift|counter-garbage|\n"
-      "                          persistent-outage|mixed|all (default all)\n");
+      "                          persistent-outage|mixed|all (default all)\n"
+      "  --crash-at=T|every      crash-restart fuzzing: kill the controller at\n"
+      "                          tick T (or at every tick) in each of the crash\n"
+      "                          modes (boundary, mid-apply, torn journal),\n"
+      "                          recover it from the write-ahead journal, and\n"
+      "                          require invariant-clean splices; fault-free\n"
+      "                          runs must also converge byte-identically to\n"
+      "                          the uninterrupted trace\n");
 }
 
 std::string FormatTraceTail(const std::string& trace, size_t tail) {
@@ -171,6 +186,99 @@ bool RunOne(const Scenario& scenario, const std::string& policy, const char* fau
   out << "  trace tail:\n" << FormatTraceTail(result.trace, options.trace_tail);
   *report = out.str();
   return false;
+}
+
+// Runs the crash matrix for one (scenario, policy[, profile]) job: every
+// selected tick is hit with a boundary kill, two mid-apply kills, and two
+// torn-journal kills, each followed by journal recovery and the rest of the
+// scenario. Stops at the first failing crash point.
+bool RunCrash(const Scenario& scenario, const std::string& policy, const char* fault_profile,
+              const Options& options, std::string* report) {
+  CrashRunOptions base;
+  base.policy = policy;
+  base.cycles_per_interval = options.cycles_per_interval;
+  size_t profile_index = 0;
+  if (fault_profile != nullptr) {
+    while (profile_index < std::size(kChaosProfiles) &&
+           std::strcmp(kChaosProfiles[profile_index], fault_profile) != 0) {
+      ++profile_index;
+    }
+    base.inject_faults = true;
+    base.fault_profile = fault_profile;
+    base.fault_seed = FaultSeedFor(scenario.seed, options.chaos_seed, profile_index);
+  }
+
+  std::vector<uint64_t> ticks;
+  if (options.crash_every) {
+    for (uint64_t tick = 2; tick <= scenario.intervals; ++tick) {
+      ticks.push_back(tick);
+    }
+  } else {
+    ticks.push_back(options.crash_tick);
+  }
+
+  // The sweep shares one uninterrupted reference run (fault-free only —
+  // chaos runs skip the trace comparison entirely).
+  std::string reference;
+  if (!base.inject_faults) {
+    reference = UninterruptedTrace(scenario, base);
+    base.reference_trace = &reference;
+  }
+
+  struct CrashPoint {
+    CrashMode mode;
+    uint64_t write;  // kMidApply only
+    size_t keep;     // kTornJournal only
+  };
+  // Mid-apply at the first and a later write of the tick; torn journal
+  // losing the whole record and cutting it mid-header.
+  const CrashPoint kMatrix[] = {
+      {CrashMode::kBoundary, 0, 0},    {CrashMode::kMidApply, 1, 0},
+      {CrashMode::kMidApply, 3, 0},    {CrashMode::kTornJournal, 0, 0},
+      {CrashMode::kTornJournal, 0, 6},
+  };
+
+  for (const uint64_t tick : ticks) {
+    for (const CrashPoint& point : kMatrix) {
+      CrashRunOptions run = base;
+      run.mode = point.mode;
+      run.crash_tick = tick;
+      run.crash_write = point.write;
+      run.torn_keep_bytes = point.keep;
+      const CrashRunResult result = RunCrashScenario(scenario, run);
+      if (result.ok()) {
+        continue;
+      }
+      std::ostringstream out;
+      out << "FAIL seed=" << scenario.seed << " policy=" << policy << " crash="
+          << CrashModeName(point.mode) << "@" << tick;
+      if (point.mode == CrashMode::kMidApply) {
+        out << " write=" << point.write;
+      }
+      if (point.mode == CrashMode::kTornJournal) {
+        out << " keep=" << point.keep;
+      }
+      if (fault_profile != nullptr) {
+        out << " chaos=" << options.chaos_seed << " profile=" << fault_profile;
+      }
+      out << (result.crashed ? "" : " (crash never fired)") << "\n";
+      out << "  scenario: " << scenario.Describe() << "\n";
+      out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << policy
+          << " --crash-at=" << tick;
+      if (fault_profile != nullptr) {
+        out << " --chaos=" << options.chaos_seed << " --chaos-profile=" << fault_profile;
+      }
+      out << "\n";
+      for (const Violation& violation : result.violations) {
+        out << "  violation [" << violation.invariant << "] tick=" << violation.tick
+            << " tenant=" << violation.tenant << ": " << violation.detail << "\n";
+      }
+      out << "  spliced trace tail:\n" << FormatTraceTail(result.trace, options.trace_tail);
+      *report = out.str();
+      return false;
+    }
+  }
+  return true;
 }
 
 int WriteGolden(const std::string& path) {
@@ -276,6 +384,14 @@ int Main(int argc, char** argv) {
         return 1;
       }
       options.chaos = true;
+    } else if (const char* v = value("--crash-at=")) {
+      options.crash = true;
+      if (std::strcmp(v, "every") == 0) {
+        options.crash_every = true;
+      } else if (!ParseUint64(v, &options.crash_tick) || options.crash_tick < 2) {
+        std::fprintf(stderr, "--crash-at: expected a tick >= 2 or 'every', got '%s'\n", v);
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
       return 1;
@@ -328,7 +444,11 @@ int Main(int argc, char** argv) {
   ThreadPool pool(static_cast<size_t>(options.jobs));
   pool.ParallelFor(0, job_list.size(), [&](size_t j) {
     const Scenario scenario = RandomScenario(job_list[j].seed);
-    if (!RunOne(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j])) {
+    const bool ok =
+        options.crash
+            ? RunCrash(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j])
+            : RunOne(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j]);
+    if (!ok) {
       failed[j] = 1;
     }
   });
@@ -347,7 +467,15 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(runs));
     return 1;
   }
-  if (options.chaos) {
+  if (options.crash) {
+    std::printf(
+        "dcat_fuzz: %llu crash sweeps clean (%llu seeds x %zu policies x %zu fault "
+        "schedules, crash matrix %s)\n",
+        static_cast<unsigned long long>(runs), static_cast<unsigned long long>(count),
+        policies.size(), profiles.size(),
+        options.crash_every ? "at every tick"
+                            : ("at tick " + std::to_string(options.crash_tick)).c_str());
+  } else if (options.chaos) {
     std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies x %zu fault schedules)\n",
                 static_cast<unsigned long long>(runs),
                 static_cast<unsigned long long>(count), policies.size(), profiles.size());

@@ -29,6 +29,7 @@
 //                  Each tenant spec is <first-core>-<last-core>/<ways>.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,6 +47,9 @@
 #include "src/policies/registry.h"
 #include "src/pqos/mask.h"
 #include "src/pqos/resctrl_pqos.h"
+#include "src/recovery/journal.h"
+#include "src/recovery/recovery.h"
+#include "src/recovery/state_codec.h"
 #include "src/telemetry/trace.h"
 #include "src/workloads/factory.h"
 
@@ -60,6 +64,7 @@ struct Options {
   std::string config_path;
   std::string schedule;
   std::string trace_path;
+  std::string journal_path;
   uint32_t intervals = 20;
   DcatConfig dcat;
   bool print_config = false;
@@ -82,6 +87,9 @@ void PrintUsage() {
       "  --machine=xeon-e5|xeon-d  simulated socket (default xeon-e5)\n"
       "  --root=PATH             resctrl mount point (default /sys/fs/resctrl)\n"
       "  --trace=FILE            sim: write the decision trace as JSONL\n"
+      "  --journal=FILE          sim: write-ahead decision journal; a non-empty\n"
+      "                          journal resumes the previous run's contracts\n"
+      "                          and allocations (workloads restart fresh)\n"
       "  --metrics               sim: print control-loop metrics after the run\n"
       "  --metrics-json          sim: print the metrics snapshot as JSON\n"
       "  --verbose               log controller decisions\n\n"
@@ -92,6 +100,24 @@ void PrintUsage() {
   std::printf("\n");
 }
 
+// The policy recorded in the journal's last decodable record, or "" when
+// nothing decodes — used for a friendly pre-check before recovery, which
+// refuses (fail-fast) to adopt allocations decided under another policy.
+std::string JournaledPolicy(const JournalParseResult& parsed) {
+  ControllerPersistentState state;
+  DecisionIntent intent;
+  for (auto it = parsed.records.rbegin(); it != parsed.records.rend(); ++it) {
+    if (it->type == JournalRecordType::kDecision) {
+      if (DecodeDecisionRecord(it->payload.data(), it->payload.size(), &state, &intent)) {
+        return state.policy;
+      }
+    } else if (DecodeControllerState(it->payload.data(), it->payload.size(), &state)) {
+      return state.policy;
+    }
+  }
+  return "";
+}
+
 int RunSim(const Options& options) {
   HostConfig config;
   config.socket =
@@ -99,6 +125,11 @@ int RunSim(const Options& options) {
   config.mode = ManagerMode::kDcat;
   config.dcat = options.dcat;
   config.cycles_per_interval = 20e6;
+  std::unique_ptr<FileJournalStorage> journal_storage;
+  if (!options.journal_path.empty()) {
+    journal_storage = std::make_unique<FileJournalStorage>(options.journal_path);
+    config.journal_storage = journal_storage.get();
+  }
   Host host(config);
 
   std::ofstream trace_file;
@@ -119,7 +150,66 @@ int RunSim(const Options& options) {
 
   std::map<TenantId, std::string> names;
   TenantId next_id = 1;
-  for (const std::string& tenant_spec : Split(options.tenants, ',')) {
+
+  // A non-empty journal means a previous daemon run (or a crash) left
+  // reconciled truth behind: recover the controller from it and re-attach
+  // VMs to the journaled contracts instead of admitting --tenants afresh.
+  bool resumed = false;
+  if (journal_storage != nullptr) {
+    const JournalParseResult prior = ParseJournal(journal_storage->ReadAll());
+    if (!prior.records.empty() || prior.torn_records > 0) {
+      const std::string journaled_policy = JournaledPolicy(prior);
+      if (!journaled_policy.empty() && journaled_policy != options.dcat.policy) {
+        std::fprintf(stderr,
+                     "dcatd: journal '%s' was written under policy '%s' but '%s' is "
+                     "configured;\n       rerun with --policy=%s or start a fresh journal\n",
+                     options.journal_path.c_str(), journaled_policy.c_str(),
+                     options.dcat.policy.c_str(), journaled_policy.c_str());
+        return 1;
+      }
+      host.CrashManager();
+      std::vector<EventSink*> sinks;
+      if (trace != nullptr) {
+        sinks.push_back(trace.get());
+      }
+      sinks.push_back(&recorder);
+      const RecoveryReport report = host.RestartManager(sinks);
+      std::printf("dcatd: journal '%s': %s at tick %llu — %llu records (%llu torn), "
+                  "%u tenants (%u adopted, %u redone, %u divergent)\n",
+                  options.journal_path.c_str(),
+                  report.outcome == RecoveryOutcome::kRecovered ? "recovered" : "cold boot",
+                  static_cast<unsigned long long>(report.journal_tick),
+                  static_cast<unsigned long long>(report.records_scanned),
+                  static_cast<unsigned long long>(report.torn_records), report.tenants,
+                  report.apply.adopted, report.apply.redone, report.apply.divergent);
+      if (report.outcome == RecoveryOutcome::kRecovered && report.tenants > 0) {
+        resumed = true;
+        // Rebuild the VM fleet on the journaled placement. Tenant names in
+        // sim runs are workload specs, so the workloads restart fresh from
+        // the same specs (VM memory is not part of the persistent image).
+        const ControllerPersistentState state = host.dcat()->ExportState();
+        for (const PersistentTenant& tenant : state.tenants) {
+          auto workload = MakeWorkload(tenant.spec.name, /*seed=*/tenant.spec.id * 101);
+          if (workload == nullptr) {
+            std::fprintf(stderr, "dcatd: journaled tenant %u has unknown workload '%s'\n",
+                         tenant.spec.id, tenant.spec.name.c_str());
+            return 1;
+          }
+          if (host.AdoptVm(VmConfig{.id = tenant.spec.id,
+                                    .name = tenant.spec.name,
+                                    .baseline_ways = tenant.spec.baseline_ways},
+                           std::move(workload), tenant.spec.cores) == nullptr) {
+            return 1;
+          }
+          names[tenant.spec.id] = tenant.spec.name;
+          next_id = std::max<TenantId>(next_id, tenant.spec.id + 1);
+        }
+      }
+    }
+  }
+
+  for (const std::string& tenant_spec : resumed ? std::vector<std::string>{}
+                                                : Split(options.tenants, ',')) {
     const size_t slash = tenant_spec.rfind('/');
     if (slash == std::string::npos) {
       std::fprintf(stderr, "tenant spec '%s': expected <workload>/<ways>\n",
@@ -281,6 +371,8 @@ int Main(int argc, char** argv) {
       options.schedule = v;
     } else if (const char* v = value("--trace=")) {
       options.trace_path = v;
+    } else if (const char* v = value("--journal=")) {
+      options.journal_path = v;
     } else if (arg == "--metrics") {
       options.print_metrics = true;
     } else if (arg == "--metrics-json") {
