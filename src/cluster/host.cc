@@ -1,12 +1,29 @@
 #include "src/cluster/host.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/cluster/vm.h"
 
 namespace dcat {
+namespace {
+// How far (relatively) a sample must sit from every categorization
+// threshold before the fast path may freeze it. Analytic injection replays
+// the sample to within integer rounding, so the margin only needs to absorb
+// the workload's own residual drift across a steady phase — but a wide
+// margin costs almost no coverage on genuinely steady phases, and a sample
+// hugging a boundary is exactly the one whose category could flip.
+constexpr double kFidelityThresholdMargin = 0.10;
+
+bool FarFromThreshold(double value, double threshold) {
+  if (threshold <= 0.0) {
+    return true;
+  }
+  return std::abs(value - threshold) >= kFidelityThresholdMargin * threshold;
+}
+}  // namespace
 
 const char* ManagerModeName(ManagerMode mode) {
   switch (mode) {
@@ -64,6 +81,14 @@ Host::Host(HostConfig config) : config_(config), socket_(config.socket), pqos_(&
       break;
     }
   }
+  if (config_.fidelity.mode != FidelityMode::kLine && dcat_ != nullptr &&
+      !config_.inject_faults && !config_.enable_crash_points &&
+      !config_.socket.memory_bus.enabled) {
+    fidelity_engine_ =
+        std::make_unique<AnalyticModelEngine>(&socket_, config_.fidelity, &fidelity_sinks_);
+    fidelity_sentry_.Attach(fidelity_engine_.get());
+    dcat_->AddEventSink(&fidelity_sentry_);
+  }
 }
 
 Vm& Host::AddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
@@ -116,6 +141,10 @@ Vm* Host::TryAddVm(VmConfig vm_config, std::unique_ptr<Workload> workload) {
   }
   vms_.push_back(std::move(vm));
   vm_snapshots_.emplace_back();
+  if (fidelity_engine_ != nullptr) {
+    fidelity_engine_->AddTenant(vms_.back()->config().id, vms_.back()->cores());
+    fidelity_engine_->NoteChurn(intervals_);
+  }
   return vms_.back().get();
 }
 
@@ -157,6 +186,10 @@ Vm* Host::AdoptVm(VmConfig vm_config, std::unique_ptr<Workload> workload,
   }
   vms_.push_back(std::make_unique<Vm>(std::move(vm_config), std::move(workload), &socket_, cores));
   vm_snapshots_.emplace_back();
+  if (fidelity_engine_ != nullptr) {
+    fidelity_engine_->AddTenant(vms_.back()->config().id, vms_.back()->cores());
+    fidelity_engine_->NoteChurn(intervals_);
+  }
   return vms_.back().get();
 }
 
@@ -174,6 +207,24 @@ void Host::RemoveVm(TenantId id) {
     }
     vms_.erase(vms_.begin() + static_cast<ptrdiff_t>(i));
     vm_snapshots_.erase(vm_snapshots_.begin() + static_cast<ptrdiff_t>(i));
+    if (fidelity_engine_ != nullptr) {
+      fidelity_engine_->RemoveTenant(id);
+      fidelity_engine_->NoteChurn(intervals_);
+      last_samples_.erase(id);
+    }
+    return;
+  }
+}
+
+void Host::SwapVmWorkload(TenantId id, std::unique_ptr<Workload> workload) {
+  for (auto& vm : vms_) {
+    if (vm->config().id != id) {
+      continue;
+    }
+    vm->ReplaceWorkload(std::move(workload));
+    if (fidelity_engine_ != nullptr) {
+      fidelity_engine_->NoteChurn(intervals_);
+    }
     return;
   }
 }
@@ -181,8 +232,17 @@ void Host::RemoveVm(TenantId id) {
 std::vector<VmIntervalStats> Host::Step() {
   ++intervals_;
   const double target = static_cast<double>(intervals_) * config_.cycles_per_interval;
+  if (fidelity_engine_ != nullptr) {
+    PlanFidelity();
+  }
   for (auto& vm : vms_) {
-    vm->RunUntil(target);
+    if (fidelity_engine_ != nullptr && fidelity_engine_->IsAnalytic(vm->config().id)) {
+      // Fast path: inject modeled counters up to the tick boundary and move
+      // the workload's instruction position forward to match.
+      vm->SkipWorkload(fidelity_engine_->AdvanceAnalytically(vm->config().id, target));
+    } else {
+      vm->RunUntil(target);
+    }
   }
   socket_.AdvanceInterval(config_.cycles_per_interval);  // bandwidth model boundary
   if (faulty_ != nullptr) {
@@ -191,6 +251,10 @@ std::vector<VmIntervalStats> Host::Step() {
     faulty_->AdvanceTick();
   }
   manager_->Tick();
+  if (fidelity_engine_ != nullptr) {
+    fidelity_engine_->ObserveTick();
+    PublishFidelityMetrics();
+  }
 
   std::vector<VmIntervalStats> stats;
   stats.reserve(vms_.size());
@@ -204,9 +268,87 @@ std::vector<VmIntervalStats> Host::Step() {
     s.ways = manager_->TenantWays(s.id);
     s.sample.delta = sum - vm_snapshots_[i];
     vm_snapshots_[i] = sum;
+    if (fidelity_engine_ != nullptr) {
+      last_samples_[s.id] = s.sample;
+    }
     stats.push_back(s);
   }
   return stats;
+}
+
+void Host::PlanFidelity() {
+  std::vector<TenantFidelityInput> inputs;
+  inputs.reserve(vms_.size());
+  // A degraded controller pins everyone to baselines while probing the
+  // backend — hold line fidelity until it recovers.
+  const bool controller_ready = dcat_ != nullptr && !dcat_->degraded();
+  for (auto& vm : vms_) {
+    TenantFidelityInput input;
+    input.id = vm->config().id;
+    if (controller_ready && dcat_->HasTenant(input.id)) {
+      const TenantSnapshot snapshot = dcat_->Snapshot(input.id);
+      input.cos = snapshot.cos;
+      input.controller_steady = ControllerSteady(snapshot);
+    }
+    input.steady_horizon = vm->MinSteadyHorizon();
+    inputs.push_back(input);
+  }
+  fidelity_engine_->PlanTick(intervals_, config_.cycles_per_interval, inputs);
+}
+
+bool Host::ControllerSteady(const TenantSnapshot& snapshot) const {
+  if (!snapshot.has_phase || snapshot.measuring_baseline || snapshot.quarantined ||
+      snapshot.phase_changed || snapshot.grow_denied) {
+    return false;
+  }
+  if (snapshot.steady_intervals < config_.fidelity.steady_ticks) {
+    return false;
+  }
+  const DcatConfig& dc = config_.dcat;
+  // Deep inside the phase detector's dead zone: a frozen signature must not
+  // be able to drift across the phase-change boundary while analytic.
+  if (snapshot.signature_rel_delta > 0.25 * dc.phase_change_thr) {
+    return false;
+  }
+  const auto it = last_samples_.find(snapshot.id);
+  if (it == last_samples_.end()) {
+    return false;
+  }
+  // The sample the fast path would replay must sit clear of every
+  // categorization threshold (Fig. 6 inputs): miss rate against the
+  // Receiver/Donor cuts, LLC pressure, and the idle/busy boundary.
+  const WorkloadSample& s = it->second;
+  // The replayed rates must describe a tenant that is actually making
+  // progress, not merely one whose counters are flat. A near-zero sample is
+  // ambiguous: it is what a genuinely idle tenant looks like, but also what
+  // a starved tenant looks like while a line chunk that costs more than an
+  // interval is still in flight — and that chunk's completion is a burst
+  // (often a phase change) the frozen model cannot replay. Line-simulating
+  // a quiet tenant is nearly free, so demand progress one-sidedly instead
+  // of accepting "far below the busy threshold".
+  if (static_cast<double>(s.instructions()) <
+      (1.0 + kFidelityThresholdMargin) *
+          static_cast<double>(dc.min_instructions_per_interval)) {
+    return false;
+  }
+  return FarFromThreshold(s.llc_miss_rate(), dc.llc_miss_rate_thr) &&
+         FarFromThreshold(s.llc_miss_rate(), dc.donor_shrink_fraction * dc.llc_miss_rate_thr) &&
+         FarFromThreshold(s.llc_refs_per_kilo_instruction(),
+                          dc.llc_ref_per_kilo_instruction_thr) &&
+         FarFromThreshold(s.mem_per_instruction(), dc.idle_mem_per_ins_epsilon);
+}
+
+void Host::PublishFidelityMetrics() {
+  if (dcat_ == nullptr) {
+    return;
+  }
+  const uint64_t analytic = fidelity_engine_->analytic_core_ticks();
+  const uint64_t fallbacks = fidelity_engine_->fallback_transitions();
+  dcat_->metrics().counter("sim.analytic_ticks_total").Increment(analytic -
+                                                                 fidelity_analytic_seen_);
+  dcat_->metrics().counter("sim.fallback_total").Increment(fallbacks - fidelity_fallback_seen_);
+  fidelity_analytic_seen_ = analytic;
+  fidelity_fallback_seen_ = fallbacks;
 }
 
 void Host::Run(uint32_t n) {
@@ -239,6 +381,13 @@ RecoveryReport Host::RestartManager(const std::vector<EventSink*>& sinks) {
   RecoveryOptions options;
   options.config = config_.dcat;
   options.sinks = sinks;
+  if (fidelity_engine_ != nullptr) {
+    // The restored controller re-earns the fast path from scratch: every
+    // model is stale across a restart, and the sentry must watch the new
+    // controller's event stream.
+    options.sinks.push_back(&fidelity_sentry_);
+    fidelity_engine_->NoteChurn(intervals_);
+  }
   options.cold_boot_tick = intervals_;
   options.prior_restarts = restarts_ - 1;
   options.journal = journal_.get();

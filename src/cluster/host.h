@@ -11,6 +11,7 @@
 #define SRC_CLUSTER_HOST_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "src/pqos/sim_pqos.h"
 #include "src/recovery/journal.h"
 #include "src/recovery/recovery.h"
+#include "src/sim/analytic_model.h"
 #include "src/sim/socket.h"
 
 namespace dcat {
@@ -65,6 +67,14 @@ struct HostConfig {
   // simulate a controller process death + cold restart. Borrowed; must
   // outlive the host.
   JournalStorage* journal_storage = nullptr;
+  // Hybrid-fidelity engine (src/sim/analytic_model.h). Any mode other than
+  // kLine requires kDcat with no chaos interposers (inject_faults,
+  // enable_crash_points) and no bandwidth-contention model — the fast
+  // path's decision-equivalence contract is only enforceable there. When
+  // the combination is not honorable the host silently stays line-level,
+  // so chaos and crash harnesses compose with a hybrid flag by reducing to
+  // the exact line-level run they already validate.
+  FidelityConfig fidelity;
 };
 
 // Per-VM statistics of one completed interval, for recording.
@@ -104,6 +114,13 @@ class Host {
   // Unknown ids are ignored.
   void RemoveVm(TenantId id);
 
+  // Swaps the workload of a running VM (the tenant started a different
+  // job). The manager is untouched — same tenant, same contract — but the
+  // fidelity engine treats it as churn: the new job's access pattern
+  // invalidates every recorded rate model. Unknown ids are ignored (the
+  // tenant's admission may have been refused by a faulted backend).
+  void SwapVmWorkload(TenantId id, std::unique_ptr<Workload> workload);
+
   // Runs one control interval; returns per-VM stats for that interval.
   std::vector<VmIntervalStats> Step();
 
@@ -122,6 +139,9 @@ class Host {
     if (dcat_ != nullptr) {
       dcat_->AddEventSink(sink);
     }
+    // Fidelity transitions are host-side events (the engine, not the
+    // controller, emits them); fan them out to the same sinks.
+    fidelity_sinks_.AddSink(sink);
   }
 
   // --- crash-restart harness (kDcat + journal_storage only) ---
@@ -160,10 +180,58 @@ class Host {
   CacheManager& manager() { return *manager_; }
   // Non-null only in kDcat mode.
   DcatController* dcat() { return dcat_; }
+  // Non-null only when HostConfig::fidelity asked for a non-line mode and
+  // the host could honor it (see the HostConfig field comment).
+  AnalyticModelEngine* fidelity() { return fidelity_engine_.get(); }
   Vm& vm(size_t index) { return *vms_.at(index); }
   size_t num_vms() const { return vms_.size(); }
 
  private:
+  // Forwards controller decision events into the fidelity engine's
+  // activity notes: any per-tenant decision resets that tenant's quiet
+  // streak, an applied ways change holds the whole socket at line
+  // fidelity, and restarts/drift repairs/mode flips count as churn.
+  // Registered on the controller only when the engine exists, so engine_
+  // is never null when a handler runs.
+  class FidelitySentry : public EventSink {
+   public:
+    void Attach(AnalyticModelEngine* engine) { engine_ = engine; }
+    void OnPhaseChange(const PhaseChangeEvent& e) override {
+      engine_->NoteDecisionActivity(e.tenant, e.tick, /*invalidates_model=*/true);
+    }
+    void OnCategoryChange(const CategoryChangeEvent& e) override {
+      engine_->NoteDecisionActivity(e.tenant, e.tick, /*invalidates_model=*/false);
+    }
+    void OnAllocation(const AllocationEvent& e) override {
+      const bool mask_changed = e.from_ways != e.to_ways;
+      engine_->NoteDecisionActivity(e.tenant, e.tick, mask_changed);
+      if (mask_changed) {
+        engine_->NoteMaskActivity(e.tick);
+      }
+    }
+    void OnBackendFault(const BackendFaultEvent& e) override {
+      engine_->NoteMaskActivity(e.tick);
+    }
+    void OnMaskDrift(const MaskDriftEvent& e) override { engine_->NoteChurn(e.tick); }
+    void OnCounterAnomaly(const CounterAnomalyEvent& e) override {
+      engine_->NoteDecisionActivity(e.tenant, e.tick, /*invalidates_model=*/false);
+    }
+    void OnModeChange(const ModeChangeEvent& e) override { engine_->NoteChurn(e.tick); }
+    void OnRestart(const RestartEvent& e) override { engine_->NoteChurn(e.tick); }
+
+   private:
+    AnalyticModelEngine* engine_ = nullptr;
+  };
+
+  // --- hybrid fidelity internals (all no-ops when fidelity_engine_ null) ---
+  // Builds this tick's per-tenant gate inputs and runs the engine's plan.
+  void PlanFidelity();
+  // Controller-side steadiness gates for one tenant: detector streak,
+  // signature depth, and threshold margins on the last accepted sample.
+  bool ControllerSteady(const TenantSnapshot& snapshot) const;
+  // Folds the engine's cumulative coverage counters into the controller's
+  // metrics registry (sim.analytic_ticks_total / sim.fallback_total).
+  void PublishFidelityMetrics();
   HostConfig config_;
   Socket socket_;
   SimPqos pqos_;
@@ -182,6 +250,16 @@ class Host {
   uint16_t next_core_ = 0;
   std::vector<uint16_t> free_cores_;  // returned by RemoveVm, reused first
   uint64_t intervals_ = 0;
+  std::unique_ptr<AnalyticModelEngine> fidelity_engine_;
+  FidelitySentry fidelity_sentry_;
+  EventFanout fidelity_sinks_;  // receives the engine's FidelityEvents
+  // Last interval's accepted sample per tenant: the margin checks ask how
+  // far the to-be-frozen analytic sample sits from every categorization
+  // threshold. Maintained only when the engine exists.
+  std::map<TenantId, WorkloadSample> last_samples_;
+  // High-water marks already published to the metrics registry.
+  uint64_t fidelity_analytic_seen_ = 0;
+  uint64_t fidelity_fallback_seen_ = 0;
 };
 
 }  // namespace dcat

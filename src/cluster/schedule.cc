@@ -79,7 +79,9 @@ int ScheduleRunner::Fire(uint64_t interval, Host& host) {
     }
     DCAT_LOG(kInfo) << "schedule: t=" << interval << " tenant " << event.tenant << " -> "
                     << event.workload_spec;
-    vm->ReplaceWorkload(std::move(workload));
+    // Through the host, not the VM directly: a swap is churn the hybrid
+    // fidelity engine must observe (it invalidates the tenant's rate model).
+    host.SwapVmWorkload(event.tenant, std::move(workload));
     ++fired;
   }
   return fired;

@@ -1,5 +1,6 @@
 #include "src/cluster/vm.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -56,6 +57,22 @@ void Vm::RunUntil(double target_wall_cycles) {
       }
     }
   }
+}
+
+void Vm::SkipWorkload(const std::vector<uint64_t>& skipped_instructions) {
+  for (uint32_t v = 0; v < contexts_.size() && v < skipped_instructions.size(); ++v) {
+    if (v < workload_->num_vcpus() && skipped_instructions[v] > 0) {
+      workload_->SkipInstructions(v, skipped_instructions[v]);
+    }
+  }
+}
+
+uint64_t Vm::MinSteadyHorizon() const {
+  uint64_t horizon = Workload::kSteadyForever;
+  for (uint32_t v = 0; v < workload_->num_vcpus() && v < config_.vcpus; ++v) {
+    horizon = std::min(horizon, workload_->SteadyHorizon(v));
+  }
+  return horizon;
 }
 
 void Vm::ReplaceWorkload(std::unique_ptr<Workload> workload) {

@@ -46,6 +46,16 @@ class Vm {
   // `target_wall_cycles`. vCPUs beyond the workload's thread count idle.
   void RunUntil(double target_wall_cycles);
 
+  // Hybrid-fidelity fast path: the engine already advanced the cores'
+  // counters analytically; move each active vCPU's workload position
+  // forward by the per-core instruction counts (vCPU order, as returned by
+  // AnalyticModelEngine::AdvanceAnalytically).
+  void SkipWorkload(const std::vector<uint64_t>& skipped_instructions);
+
+  // Minimum Workload::SteadyHorizon over the active vCPUs (idle vCPUs make
+  // no promise they could break). kSteadyForever when none are active.
+  uint64_t MinSteadyHorizon() const;
+
   // Swaps the running workload (tenant starts/stops a job). The guest
   // address space is preserved — a real VM's page cache does not vanish
   // when a process exits.

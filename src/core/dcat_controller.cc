@@ -1686,6 +1686,11 @@ TenantSnapshot DcatController::MakeSnapshot(const TenantState& tenant) const {
   s.phase_changed = tenant.phase_changed;
   s.has_phase = tenant.has_phase;
   s.grow_denied = tenant.grow_denied;
+  s.group = tenant.group;
+  s.measuring_baseline = tenant.measuring_baseline;
+  s.quarantined = tenant.quarantined;
+  s.steady_intervals = tenant.detector.steady_intervals();
+  s.signature_rel_delta = tenant.detector.last_relative_delta();
   if (tenant.has_phase) {
     const PhaseBook::PhaseRecord& phase = CurrentPhase(tenant);
     s.baseline_valid = phase.baseline_valid;

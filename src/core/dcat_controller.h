@@ -71,6 +71,20 @@ struct TenantSnapshot {
   bool baseline_valid = false;
   double baseline_ipc = 0.0;
   bool grow_denied = false;  // wanted a way last interval, pool was dry
+  // COS-sharing group (clustered policies); equals cos semantics otherwise.
+  uint32_t group = 0;
+  // True while waiting for one clean interval at baseline ways to establish
+  // the phase's baseline IPC — the hybrid-fidelity engine must not freeze
+  // counters during that measurement.
+  bool measuring_baseline = false;
+  // The last interval's sample was rejected by the counter-anomaly
+  // quarantine (not folded into EWMAs or the phase detector).
+  bool quarantined = false;
+  // Steadiness view of the tenant's phase detector: consecutive no-change
+  // intervals and the last sample's relative signature delta (same units as
+  // phase_change_thr). Feeds the hybrid-fidelity entry guards.
+  uint64_t steady_intervals = 0;
+  double signature_rel_delta = 0.0;
   // Copy of the current phase's performance table; empty before the first
   // phase is identified.
   PerformanceTable table;

@@ -11,7 +11,11 @@ constexpr double kEwmaAlpha = 0.5;
 void PerformanceTable::Record(uint32_t ways, double norm_ipc) {
   auto [it, inserted] = entries_.emplace(ways, norm_ipc);
   if (!inserted) {
-    it->second = kEwmaAlpha * norm_ipc + (1.0 - kEwmaAlpha) * it->second;
+    const double before = it->second;
+    it->second = kEwmaAlpha * norm_ipc + (1.0 - kEwmaAlpha) * before;
+    error_band_[ways] = std::abs(it->second - before);
+  } else {
+    error_band_[ways] = 0.0;  // a single sample carries no disagreement yet
   }
 }
 
@@ -20,6 +24,43 @@ std::optional<double> PerformanceTable::Get(uint32_t ways) const {
     return it->second;
   }
   return std::nullopt;
+}
+
+std::optional<double> PerformanceTable::EvaluateNormIpc(double ways) const {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  // Clamp outside the measured range: the table never extrapolates.
+  if (ways <= entries_.begin()->first) {
+    return entries_.begin()->second;
+  }
+  if (ways >= entries_.rbegin()->first) {
+    return entries_.rbegin()->second;
+  }
+  const auto upper = entries_.lower_bound(static_cast<uint32_t>(std::ceil(ways)));
+  const auto lower = std::prev(upper);
+  if (upper->first == lower->first) {
+    return lower->second;
+  }
+  const double t = (ways - lower->first) /
+                   static_cast<double>(upper->first - lower->first);
+  return lower->second + t * (upper->second - lower->second);
+}
+
+double PerformanceTable::ErrorBand(uint32_t ways) const {
+  if (auto it = error_band_.find(ways); it != error_band_.end()) {
+    return it->second;
+  }
+  return 0.0;
+}
+
+double PerformanceTable::MaxErrorBand() const {
+  double max_band = 0.0;
+  for (const auto& [ways, band] : error_band_) {
+    (void)ways;
+    max_band = std::max(max_band, band);
+  }
+  return max_band;
 }
 
 std::optional<uint32_t> PerformanceTable::PreferredWays(double improvement_thr) const {

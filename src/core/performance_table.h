@@ -30,16 +30,34 @@ class PerformanceTable {
   std::optional<double> Get(uint32_t ways) const;
   bool Has(uint32_t ways) const { return entries_.count(ways) > 0; }
   size_t size() const { return entries_.size(); }
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    error_band_.clear();
+  }
 
   // Crash-recovery restore: installs entries verbatim, bypassing the EWMA
-  // blend so a journal round-trip reproduces the table bit-exactly.
+  // blend so a journal round-trip reproduces the table bit-exactly. Error
+  // bands are observational (not journaled) and restart empty.
   void RestoreEntries(const std::vector<std::pair<uint32_t, double>>& entries) {
     entries_.clear();
+    error_band_.clear();
     for (const auto& [ways, norm_ipc] : entries) {
       entries_[ways] = norm_ipc;
     }
   }
+
+  // Miss-ratio-curve evaluation for the hybrid-fidelity engine: normalized
+  // IPC at `ways`, linearly interpolated between the nearest measured sizes
+  // (clamped to the measured range). nullopt on an empty table.
+  std::optional<double> EvaluateNormIpc(double ways) const;
+
+  // The table's own error estimate at `ways`: the magnitude of the last
+  // EWMA correction Record() applied there. Converges toward zero while the
+  // phase is steady; jumps when the workload stops matching the model. Zero
+  // for sizes measured at most once.
+  double ErrorBand(uint32_t ways) const;
+  // Largest error band across all measured sizes (0 when empty).
+  double MaxErrorBand() const;
 
   // Smallest measured allocation after which no larger measured allocation
   // improves normalized IPC by at least `improvement_thr` (relative).
@@ -58,6 +76,7 @@ class PerformanceTable {
 
  private:
   std::map<uint32_t, double> entries_;
+  std::map<uint32_t, double> error_band_;  // |last EWMA correction| per size
 };
 
 // Phase-indexed store of performance tables and baselines.

@@ -17,25 +17,37 @@ bool PhaseDetector::Update(const WorkloadSample& sample) {
     has_signature_ = true;
     idle_ = now_idle;
     signature_ = now_signature;
+    steady_intervals_ = 0;
+    last_relative_delta_ = 0.0;
     return true;
   }
 
   bool changed = false;
+  double relative_delta = 0.0;
   if (now_idle != idle_) {
     changed = true;
+    relative_delta = 1.0;  // idle flips are maximal phase movement
   } else if (!now_idle) {
     const double reference = std::max(signature_, now_signature);
-    changed = reference > 0.0 && std::abs(now_signature - signature_) > threshold_ * reference;
+    if (reference > 0.0) {
+      relative_delta = std::abs(now_signature - signature_) / reference;
+    }
+    changed = relative_delta > threshold_;
   }
 
   if (changed) {
     idle_ = now_idle;
     signature_ = now_signature;
-  } else if (!now_idle) {
-    // Light smoothing keeps the signature representative of the phase
-    // without drifting across a genuine change (those reset above).
-    signature_ = 0.9 * signature_ + 0.1 * now_signature;
+    steady_intervals_ = 0;
+  } else {
+    if (!now_idle) {
+      // Light smoothing keeps the signature representative of the phase
+      // without drifting across a genuine change (those reset above).
+      signature_ = 0.9 * signature_ + 0.1 * now_signature;
+    }
+    ++steady_intervals_;
   }
+  last_relative_delta_ = relative_delta;
   return changed;
 }
 

@@ -32,6 +32,16 @@ class PhaseDetector {
   double signature() const { return signature_; }
   bool idle() const { return idle_; }
 
+  // Steadiness view for the hybrid-fidelity engine (src/sim/analytic_model.h):
+  // how many consecutive Update() calls returned "no change", and how far the
+  // most recent sample sat from the retained signature (relative, same units
+  // as phase_change_thr). Both reset to zero on a phase change. Pure
+  // observers: they never influence Update()'s verdicts, and they are not
+  // part of the crash-recovery State (a restored controller conservatively
+  // restarts its steady streak, which only delays fast-path entry).
+  uint64_t steady_intervals() const { return steady_intervals_; }
+  double last_relative_delta() const { return last_relative_delta_; }
+
   // Crash-recovery restore: the detector's whole mutable state, exported
   // bit-exactly and re-imported so a restored detector classifies the next
   // sample exactly as the original would have.
@@ -45,6 +55,8 @@ class PhaseDetector {
     has_signature_ = state.has_signature;
     idle_ = state.idle;
     signature_ = state.signature;
+    steady_intervals_ = 0;  // restored detectors re-earn their steady streak
+    last_relative_delta_ = 0.0;
   }
 
  private:
@@ -58,6 +70,8 @@ class PhaseDetector {
   bool has_signature_ = false;
   bool idle_ = true;
   double signature_ = 0.0;
+  uint64_t steady_intervals_ = 0;
+  double last_relative_delta_ = 0.0;
 };
 
 }  // namespace dcat

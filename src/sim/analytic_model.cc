@@ -1,0 +1,342 @@
+#include "src/sim/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/socket.h"
+
+namespace dcat {
+
+std::optional<FidelityMode> FidelityModeFromName(const std::string& name) {
+  for (const FidelityMode mode :
+       {FidelityMode::kLine, FidelityMode::kAnalytic, FidelityMode::kHybrid}) {
+    if (name == FidelityModeName(mode)) {
+      return mode;
+    }
+  }
+  return std::nullopt;
+}
+
+AnalyticModelEngine::AnalyticModelEngine(Socket* socket, const FidelityConfig& config,
+                                         EventSink* sink)
+    : socket_(socket), config_(config), sink_(sink) {}
+
+void AnalyticModelEngine::AddTenant(uint32_t id, std::vector<uint16_t> cores) {
+  TenantTrack track;
+  track.cores = std::move(cores);
+  track.models.resize(track.cores.size());
+  track.prev_counters.resize(track.cores.size());
+  track.prev_wall.resize(track.cores.size(), 0.0);
+  for (size_t i = 0; i < track.cores.size(); ++i) {
+    const Core& core = socket_->core(track.cores[i]);
+    track.prev_counters[i] = core.counters();
+    track.prev_wall[i] = core.wall_cycles();
+  }
+  tenants_[id] = std::move(track);
+}
+
+void AnalyticModelEngine::RemoveTenant(uint32_t id) { tenants_.erase(id); }
+
+void AnalyticModelEngine::NoteChurn(uint64_t tick) {
+  hold_until_tick_ = std::max(hold_until_tick_, tick + config_.churn_hold_ticks);
+  // Churn perturbs cache state beyond any one mask (flushes, core resets):
+  // every recorded model is stale.
+  for (auto& [id, track] : tenants_) {
+    (void)id;
+    track.warm = false;
+    track.model_age = 0;
+  }
+  cos_lines_per_cycle_.clear();
+}
+
+void AnalyticModelEngine::NoteMaskActivity(uint64_t tick) {
+  hold_until_tick_ = std::max(hold_until_tick_, tick + config_.churn_hold_ticks);
+}
+
+void AnalyticModelEngine::NoteDecisionActivity(uint32_t id, uint64_t tick,
+                                               bool invalidates_model) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return;
+  }
+  it->second.last_activity_tick = std::max(it->second.last_activity_tick, tick);
+  if (invalidates_model) {
+    it->second.warm = false;  // the rates were measured under a different mask
+    it->second.model_age = 0;
+  }
+}
+
+AnalyticModelEngine::Verdict AnalyticModelEngine::JudgeTenant(
+    const TenantTrack& track, uint64_t tick, double interval_cycles,
+    const TenantFidelityInput& input) const {
+  if (!track.warm) {
+    return {false, FidelityReason::kWarmup};
+  }
+  if (config_.mode == FidelityMode::kAnalytic) {
+    // Throughput mode: trust the model as soon as one line interval exists.
+    return {true, FidelityReason::kForced};
+  }
+  if (tick <= hold_until_tick_) {
+    return {false, FidelityReason::kChurn};
+  }
+  // Decision-quiet: no controller event about this tenant for steady_ticks
+  // complete intervals.
+  if (tick <= track.last_activity_tick + config_.steady_ticks) {
+    return {false, FidelityReason::kDecision};
+  }
+  if (!input.controller_steady) {
+    return {false, FidelityReason::kUnsteady};
+  }
+  if (starved_tenant_on_socket_) {
+    return {false, FidelityReason::kUnsteady};
+  }
+  if (config_.resample_every > 0 && track.model_age >= config_.resample_every) {
+    return {false, FidelityReason::kResample};
+  }
+  // The workload must promise steadiness comfortably past the next interval:
+  // the fastest core's predicted instruction demand times the guard window.
+  double max_predicted = 0.0;
+  for (const CoreModel& model : track.models) {
+    max_predicted = std::max(max_predicted, model.instructions * interval_cycles);
+  }
+  const double guard_window =
+      max_predicted * static_cast<double>(config_.horizon_guard_ticks + 1);
+  if (input.steady_horizon != UINT64_MAX &&  // Workload::kSteadyForever
+      static_cast<double>(input.steady_horizon) <= guard_window) {
+    return {false, FidelityReason::kPhaseBoundary};
+  }
+  return {true, FidelityReason::kSteady};
+}
+
+void AnalyticModelEngine::PlanTick(uint64_t tick, double interval_cycles,
+                                   const std::vector<TenantFidelityInput>& inputs) {
+  credited_cos_this_tick_.clear();
+
+  // Socket-wide starvation hold. A line chunk that costs more than an
+  // interval carries its core's wall clock past the coming tick boundary:
+  // the tenant retires nothing for whole intervals while the chunk is in
+  // flight, then bursts. That tenant never enters the fast path itself
+  // (flat counters fail the progress gate), but its controller decisions —
+  // frozen-counter anomalies and phase flips — are knife-edge on byte-exact
+  // shared state: the MBM cross-check compares exact per-COS byte levels
+  // whose baselines ride along when clustering policies reassign COS, and
+  // guest pages of different VMs can alias to the same physical line, so a
+  // hit can cross capacity-mask boundaries. No mask- or COS-scoped rule can
+  // contain those channels, so while any tenant is starved the whole socket
+  // stays at line fidelity. (Healthy tenants overshoot by less than one
+  // chunk, well inside one interval, and never trip this.)
+  const double coming_interval_end = static_cast<double>(tick) * interval_cycles;
+  starved_tenant_on_socket_ = false;
+  for (const auto& [id, track] : tenants_) {
+    (void)id;
+    for (const uint16_t core_id : track.cores) {
+      if (socket_->core(core_id).wall_cycles() >= coming_interval_end) {
+        starved_tenant_on_socket_ = true;
+      }
+    }
+  }
+
+  // First pass: judge each tenant in isolation.
+  std::map<uint32_t, Verdict> verdicts;
+  std::map<uint8_t, Verdict> cos_block;  // first blocking verdict per COS
+  for (const TenantFidelityInput& input : inputs) {
+    auto it = tenants_.find(input.id);
+    if (it == tenants_.end()) {
+      continue;
+    }
+    it->second.cos = input.cos;
+    const Verdict verdict = JudgeTenant(it->second, tick, interval_cycles, input);
+    verdicts[input.id] = verdict;
+    if (!verdict.analytic && cos_block.find(input.cos) == cos_block.end()) {
+      cos_block[input.cos] = verdict;
+    }
+  }
+
+  // Propagate blocks across overlapping capacity masks. Per-COS masks are
+  // what isolate cache state, but CAT masks may share ways across COS (the
+  // clustering policies overlap donor ways deliberately). A line-level
+  // tenant keeps issuing real accesses into those shared ways — evicting
+  // lines and moving the neighbors' miss counters and MBM — so every COS
+  // whose mask intersects a blocked COS's mask must hold line fidelity
+  // too, transitively, since the overlap relation chains.
+  std::map<uint8_t, uint32_t> cos_masks;
+  for (const TenantFidelityInput& input : inputs) {
+    if (tenants_.find(input.id) != tenants_.end()) {
+      cos_masks.emplace(input.cos, socket_->CosMask(input.cos));
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [cos, mask] : cos_masks) {
+      if (cos_block.find(cos) != cos_block.end()) {
+        continue;
+      }
+      for (const auto& [blocked_cos, blocked_verdict] : cos_block) {
+        const auto blocked_mask = cos_masks.find(blocked_cos);
+        if (blocked_mask != cos_masks.end() && (mask & blocked_mask->second) != 0u) {
+          cos_block.emplace(cos, blocked_verdict);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Second pass: a COS group switches as a unit — per-COS capacity masks are
+  // what isolate cache state, so a group member staying line-level forces
+  // the whole group down (its accesses evict within the shared ways).
+  for (const TenantFidelityInput& input : inputs) {
+    auto it = tenants_.find(input.id);
+    if (it == tenants_.end()) {
+      continue;
+    }
+    TenantTrack& track = it->second;
+    Verdict verdict = verdicts[input.id];
+    const auto blocked = cos_block.find(input.cos);
+    if (verdict.analytic && blocked != cos_block.end()) {
+      verdict = blocked->second;  // demoted by a COS-group neighbor
+    }
+    const bool was_analytic = track.analytic;
+    track.analytic = verdict.analytic;
+    if (track.analytic) {
+      analytic_core_ticks_ += track.cores.size();
+    } else {
+      line_core_ticks_ += track.cores.size();
+    }
+    if (was_analytic != track.analytic) {
+      if (!track.analytic) {
+        ++fallbacks_;
+      }
+      if (sink_ != nullptr) {
+        FidelityEvent event;
+        event.tick = tick;
+        event.tenant = input.id;
+        event.analytic = track.analytic;
+        event.reason = verdict.reason;
+        sink_->OnFidelity(event);
+      }
+    }
+  }
+}
+
+bool AnalyticModelEngine::IsAnalytic(uint32_t id) const {
+  const auto it = tenants_.find(id);
+  return it != tenants_.end() && it->second.analytic;
+}
+
+std::vector<uint64_t> AnalyticModelEngine::AdvanceAnalytically(uint32_t id,
+                                                               double target_wall) {
+  TenantTrack& track = tenants_.at(id);
+  std::vector<uint64_t> skipped(track.cores.size(), 0);
+  double first_core_desired = 0.0;
+  for (size_t i = 0; i < track.cores.size(); ++i) {
+    Core& core = socket_->core(track.cores[i]);
+    const double desired = target_wall - core.wall_cycles();
+    if (i == 0) {
+      first_core_desired = desired;
+    }
+    if (desired <= 0.0) {
+      continue;  // line overshoot already carried the core past this tick
+    }
+    const CoreModel& model = track.models[i];
+    PerfCounterBlock delta;
+    delta.retired_instructions =
+        static_cast<uint64_t>(std::llround(model.instructions * desired));
+    delta.l1_references =
+        static_cast<uint64_t>(std::llround(model.l1_references * desired));
+    delta.l1_misses = static_cast<uint64_t>(std::llround(model.l1_misses * desired));
+    delta.l2_references =
+        static_cast<uint64_t>(std::llround(model.l2_references * desired));
+    delta.l2_misses = static_cast<uint64_t>(std::llround(model.l2_misses * desired));
+    delta.llc_references =
+        static_cast<uint64_t>(std::llround(model.llc_references * desired));
+    delta.llc_misses = static_cast<uint64_t>(std::llround(model.llc_misses * desired));
+    // The unhalted fraction is <= 1 by construction; the halted remainder
+    // pads the core exactly to the tick boundary, so analytic ticks never
+    // accumulate wall-clock drift against the line schedule.
+    const double unhalted = std::min(model.unhalted * desired, desired);
+    delta.unhalted_cycles = unhalted;
+    core.ApplyModeledInterval(delta, desired - unhalted);
+    skipped[i] = delta.retired_instructions;
+  }
+  // Keep the MBM liveness signal moving: credit the recorded DRAM transfer
+  // rate once per COS per tick (shared-COS groups advance together).
+  if (credited_cos_this_tick_.insert(track.cos).second && first_core_desired > 0.0) {
+    const auto rate = cos_lines_per_cycle_.find(track.cos);
+    if (rate != cos_lines_per_cycle_.end() && rate->second > 0.0) {
+      const uint64_t lines =
+          static_cast<uint64_t>(std::llround(rate->second * first_core_desired));
+      socket_->memory_bus().CreditModeledTransfers(track.cos, lines);
+    }
+  }
+  ++track.model_age;
+  return skipped;
+}
+
+void AnalyticModelEngine::ObserveTick() {
+  const uint32_t line_size = socket_->config().llc_geometry.line_size;
+  // Which COSes were fully line-simulated this tick (every tenant on them)?
+  std::map<uint8_t, bool> cos_all_line;
+  std::map<uint8_t, double> cos_wall_delta;  // first member's first core
+  for (auto& [id, track] : tenants_) {
+    (void)id;
+    auto [it, inserted] = cos_all_line.emplace(track.cos, !track.analytic);
+    if (!inserted) {
+      it->second = it->second && !track.analytic;
+    }
+    if (cos_wall_delta.find(track.cos) == cos_wall_delta.end() && !track.cores.empty()) {
+      cos_wall_delta[track.cos] =
+          socket_->core(track.cores[0]).wall_cycles() - track.prev_wall[0];
+    }
+  }
+
+  for (auto& [id, track] : tenants_) {
+    (void)id;
+    for (size_t i = 0; i < track.cores.size(); ++i) {
+      const Core& core = socket_->core(track.cores[i]);
+      const PerfCounterBlock delta = core.counters() - track.prev_counters[i];
+      const double wall_delta = core.wall_cycles() - track.prev_wall[i];
+      if (!track.analytic && wall_delta > 0.0) {
+        CoreModel& model = track.models[i];
+        model.instructions = static_cast<double>(delta.retired_instructions) / wall_delta;
+        model.l1_references = static_cast<double>(delta.l1_references) / wall_delta;
+        model.l1_misses = static_cast<double>(delta.l1_misses) / wall_delta;
+        model.l2_references = static_cast<double>(delta.l2_references) / wall_delta;
+        model.l2_misses = static_cast<double>(delta.l2_misses) / wall_delta;
+        model.llc_references = static_cast<double>(delta.llc_references) / wall_delta;
+        model.llc_misses = static_cast<double>(delta.llc_misses) / wall_delta;
+        model.unhalted = std::min(delta.unhalted_cycles / wall_delta, 1.0);
+      }
+      track.prev_counters[i] = core.counters();
+      track.prev_wall[i] = core.wall_cycles();
+    }
+    if (!track.analytic) {
+      track.warm = true;
+      track.model_age = 0;
+    }
+  }
+
+  // Roll the per-COS MBM baselines; refresh the transfer-rate model only
+  // from fully line-simulated ticks.
+  for (const auto& [cos, all_line] : cos_all_line) {
+    const uint64_t total = socket_->memory_bus().TotalBytes(cos);
+    const auto prev = cos_prev_bytes_.find(cos);
+    if (prev != cos_prev_bytes_.end() && all_line) {
+      const double wall_delta = cos_wall_delta[cos];
+      if (wall_delta > 0.0) {
+        cos_lines_per_cycle_[cos] =
+            static_cast<double>(total - prev->second) / line_size / wall_delta;
+      }
+    }
+    cos_prev_bytes_[cos] = total;
+  }
+}
+
+double AnalyticModelEngine::coverage() const {
+  const uint64_t total = analytic_core_ticks_ + line_core_ticks_;
+  return total > 0 ? static_cast<double>(analytic_core_ticks_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace dcat

@@ -1,0 +1,204 @@
+// Hybrid-fidelity engine: the analytic steady-phase fast path.
+//
+// The SoA line-level model walks every memory access through L1 -> L2 ->
+// LLC -> DRAM. That is what makes the figures faithful — and what caps
+// scenario throughput at a few million accesses per second. dCat's own
+// design makes a shortcut legal: the controller consumes only per-tick
+// aggregate counters, and once a tenant's phase is steady those aggregates
+// are (to the controller's thresholds) constant. So while a tenant is
+// provably boring, this engine advances its cores *analytically* — it
+// replays the per-wall-cycle counter rates recorded from the tenant's last
+// line-simulated interval, pads the remainder of the interval with halted
+// cycles, credits the modeled DRAM traffic to the MBM counters, and skips
+// the workload's instruction position forward — instead of simulating every
+// line access. Cache contents are left untouched, so a fallback resumes
+// line-level simulation against warm state.
+//
+// The validation contract is DECISION equivalence, not counter equivalence:
+// a hybrid run must produce a byte-identical decision trace
+// (ExtractDecisionTrace) to the pure line-level run. The entry guards are
+// therefore deliberately conservative; `dcat_fuzz --fidelity-diff` enforces
+// the contract over the pinned fuzz corpus for every registered policy.
+//
+// A tenant enters the fast path only when ALL of the following hold
+// (hybrid mode; --fidelity=analytic skips the steadiness gates):
+//   * a line-level model was recorded (warmup) and is fresh (resample),
+//   * no tenant churn or capacity-mask change anywhere on the socket for
+//     churn_hold_ticks (fidelity domains share the LLC's way partition),
+//   * the controller made no decision about this tenant for steady_ticks
+//     (no allocation/category/phase/anomaly events),
+//   * the controller-side steadiness gates pass (phase detector streak,
+//     signature delta, threshold margins — computed by the Host),
+//   * the workload itself promises a steady horizon comfortably past the
+//     next interval (Workload::SteadyHorizon),
+//   * every tenant sharing the COS agrees (clustered policies switch whole
+//     COS groups together — per-COS masks are what isolate cache state).
+// Any violation drops the whole COS group back to the line-level model.
+//
+// Layering: this file lives in src/sim and must not link the controller or
+// telemetry libraries. It uses only header-only telemetry types (the
+// FidelityEvent structs and the abstract EventSink) and sim types.
+#ifndef SRC_SIM_ANALYTIC_MODEL_H_
+#define SRC_SIM_ANALYTIC_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/perf_counters.h"
+#include "src/telemetry/events.h"
+
+namespace dcat {
+
+class Socket;
+
+enum class FidelityMode {
+  kLine,      // every access simulated (the default; bit-identical to seed)
+  kAnalytic,  // trust the model as soon as it is warm (throughput mode)
+  kHybrid,    // guarded switching, decision-equivalent to kLine
+};
+
+constexpr const char* FidelityModeName(FidelityMode mode) {
+  switch (mode) {
+    case FidelityMode::kLine:
+      return "line";
+    case FidelityMode::kAnalytic:
+      return "analytic";
+    case FidelityMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::optional<FidelityMode> FidelityModeFromName(const std::string& name);
+
+struct FidelityConfig {
+  FidelityMode mode = FidelityMode::kLine;
+  // Decision-quiet + steady intervals required before entering the fast
+  // path (also the minimum line warmup after any churn).
+  uint32_t steady_ticks = 3;
+  // Forced line-level resample after this many consecutive analytic ticks
+  // (model-confidence decay). 0 disables resampling.
+  uint32_t resample_every = 16;
+  // Line-level hold after tenant churn or any capacity-mask change.
+  uint32_t churn_hold_ticks = 2;
+  // Fall back this many predicted intervals before a workload-announced
+  // phase boundary, so the boundary itself is always line-simulated.
+  uint32_t horizon_guard_ticks = 2;
+};
+
+// Per-tenant gate inputs the Host computes from the controller snapshot
+// each tick (the engine itself never talks to the controller).
+struct TenantFidelityInput {
+  uint32_t id = 0;
+  uint8_t cos = 0;
+  // Controller-side steadiness: phase-detector streak >= steady_ticks,
+  // signature delta deep inside the phase threshold, counter metrics far
+  // from every categorization threshold, baseline established, no
+  // quarantine. Computed by the Host; false keeps the tenant line-level.
+  bool controller_steady = false;
+  // Minimum Workload::SteadyHorizon over the tenant's active vCPUs.
+  uint64_t steady_horizon = 0;
+};
+
+// The engine proper. One instance per Host/socket; inert in kLine mode
+// (the Host does not construct one).
+class AnalyticModelEngine {
+ public:
+  // `sink` (nullable, borrowed) receives FidelityEvents on transitions.
+  AnalyticModelEngine(Socket* socket, const FidelityConfig& config, EventSink* sink);
+
+  const FidelityConfig& config() const { return config_; }
+
+  // --- lifecycle notifications (Host) ---
+  void AddTenant(uint32_t id, std::vector<uint16_t> cores);
+  void RemoveTenant(uint32_t id);
+  // Tenant arrival/departure/workload swap, a controller restart, or any
+  // other event that perturbs cache state broadly: every model is
+  // invalidated and the socket holds at line fidelity for churn_hold_ticks.
+  void NoteChurn(uint64_t tick);
+  // A capacity mask changed somewhere on the socket (allocation applied):
+  // holds every tenant at line fidelity for churn_hold_ticks.
+  void NoteMaskActivity(uint64_t tick);
+  // The controller decided something about this tenant (allocation,
+  // category move, phase change, anomaly): resets its quiet streak. When
+  // the decision changed the tenant's ways its model is also invalidated.
+  void NoteDecisionActivity(uint32_t id, uint64_t tick, bool invalidates_model);
+
+  // --- the per-tick protocol (Host::Step) ---
+  // 1. PlanTick before advancing any VM: decides line vs analytic for the
+  //    coming interval (`interval_cycles` wall cycles ending the tick).
+  void PlanTick(uint64_t tick, double interval_cycles,
+                const std::vector<TenantFidelityInput>& inputs);
+  bool IsAnalytic(uint32_t id) const;
+  // 2. For each analytic tenant, instead of Vm::RunUntil: injects modeled
+  //    counter deltas up to wall `target_wall` and returns the per-core
+  //    instruction counts the caller must Workload::SkipInstructions by.
+  std::vector<uint64_t> AdvanceAnalytically(uint32_t id, double target_wall);
+  // 3. ObserveTick after every VM advanced: refreshes models from the
+  //    line-simulated tenants and rolls the per-COS MBM baselines.
+  void ObserveTick();
+
+  // --- coverage accounting (feeds sim.analytic_ticks_total etc.) ---
+  uint64_t analytic_core_ticks() const { return analytic_core_ticks_; }
+  uint64_t line_core_ticks() const { return line_core_ticks_; }
+  uint64_t fallback_transitions() const { return fallbacks_; }
+  // Fraction of core-ticks advanced analytically since construction.
+  double coverage() const;
+
+ private:
+  // Per-wall-cycle counter rates recorded from one line-simulated interval.
+  struct CoreModel {
+    double instructions = 0.0;
+    double l1_references = 0.0;
+    double l1_misses = 0.0;
+    double l2_references = 0.0;
+    double l2_misses = 0.0;
+    double llc_references = 0.0;
+    double llc_misses = 0.0;
+    double unhalted = 0.0;  // fraction of wall cycles unhalted (<= 1)
+  };
+
+  struct TenantTrack {
+    std::vector<uint16_t> cores;
+    uint8_t cos = 0;
+    std::vector<CoreModel> models;
+    std::vector<PerfCounterBlock> prev_counters;
+    std::vector<double> prev_wall;
+    bool warm = false;           // a line interval has been recorded
+    bool analytic = false;       // this tick's plan
+    uint32_t model_age = 0;      // analytic ticks since the last line sample
+    uint64_t last_activity_tick = 0;  // last controller decision about us
+  };
+
+  struct Verdict {
+    bool analytic = false;
+    FidelityReason reason = FidelityReason::kWarmup;
+  };
+  Verdict JudgeTenant(const TenantTrack& track, uint64_t tick, double interval_cycles,
+                      const TenantFidelityInput& input) const;
+
+  Socket* socket_;
+  FidelityConfig config_;
+  EventSink* sink_;
+  std::map<uint32_t, TenantTrack> tenants_;
+  // MBM bookkeeping: cumulative byte baseline and modeled line-transfer
+  // rate per COS (shared-COS groups record and credit once per COS).
+  std::map<uint8_t, uint64_t> cos_prev_bytes_;
+  std::map<uint8_t, double> cos_lines_per_cycle_;
+  std::set<uint8_t> credited_cos_this_tick_;
+  uint64_t hold_until_tick_ = 0;  // line fidelity through this tick
+  // Some tenant's core sits mid-chunk past the coming tick boundary (see
+  // the starvation hold in PlanTick): nobody may go analytic this tick.
+  bool starved_tenant_on_socket_ = false;
+  uint64_t analytic_core_ticks_ = 0;
+  uint64_t line_core_ticks_ = 0;
+  uint64_t fallbacks_ = 0;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_SIM_ANALYTIC_MODEL_H_

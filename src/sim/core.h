@@ -54,6 +54,17 @@ class Core {
   // Drops all private-cache contents (used when re-assigning a core).
   void ResetCaches();
 
+  // Hybrid-fidelity fast path (src/sim/analytic_model.h): folds a modeled
+  // interval into the counter block without touching any cache state. The
+  // caller supplies the counter deltas derived from the tenant's recorded
+  // line-level rates plus the halted remainder of the interval; the private
+  // caches keep their contents so a later fallback to line-level simulation
+  // resumes against warm state.
+  void ApplyModeledInterval(const PerfCounterBlock& delta, double idle_cycles) {
+    counters_ += delta;
+    idle_cycles_ += idle_cycles;
+  }
+
  private:
   uint16_t id_;
   bool model_l2_;

@@ -62,6 +62,16 @@ class MemoryBus {
   // --- MBM monitoring ---
   uint64_t TotalBytes(uint8_t cos) const { return cos_bytes_.at(cos); }
 
+  // Hybrid-fidelity fast path: credits `lines` modeled DRAM transfers to
+  // `cos` in one call, keeping the MBM byte counters live while a tenant is
+  // advanced analytically (the controller's quarantine reads MBM as an
+  // independent liveness signal). Transfers count toward the contention
+  // estimate exactly as line-level NoteTransfer calls would.
+  void CreditModeledTransfers(uint8_t cos, uint64_t lines) {
+    cos_bytes_.at(cos) += lines * line_size_;
+    interval_transfers_ += lines;
+  }
+
   // Introspection.
   double utilization() const { return utilization_; }
   double contention_multiplier() const { return contention_multiplier_; }

@@ -174,6 +174,56 @@ struct CounterAnomalyEvent {
   uint32_t streak = 1;  // consecutive quarantined intervals for this tenant
 };
 
+// Why the hybrid-fidelity engine moved a tenant between the line-level
+// cache model and the analytic fast path (src/sim/analytic_model.h).
+enum class FidelityReason {
+  kSteady,         // entered: phase steady, mask unchanged, decisions quiet
+  kWarmup,         // line: no line-level model recorded yet
+  kDecision,       // fell back: the controller decided something last tick
+  kMaskChange,     // fell back: a capacity mask changed somewhere on the socket
+  kChurn,          // fell back: tenant arrival/departure/workload swap
+  kPhaseBoundary,  // fell back: the workload predicts a phase boundary soon
+  kResample,       // scheduled line-level resample (model-confidence decay)
+  kUnsteady,       // line: the phase detector or margins refused entry
+  kForced,         // --fidelity=line|analytic overrode the switch logic
+};
+
+constexpr const char* FidelityReasonName(FidelityReason reason) {
+  switch (reason) {
+    case FidelityReason::kSteady:
+      return "steady";
+    case FidelityReason::kWarmup:
+      return "warmup";
+    case FidelityReason::kDecision:
+      return "decision";
+    case FidelityReason::kMaskChange:
+      return "mask-change";
+    case FidelityReason::kChurn:
+      return "churn";
+    case FidelityReason::kPhaseBoundary:
+      return "phase-boundary";
+    case FidelityReason::kResample:
+      return "resample";
+    case FidelityReason::kUnsteady:
+      return "unsteady";
+    case FidelityReason::kForced:
+      return "forced";
+  }
+  return "?";
+}
+
+// The hybrid-fidelity engine switched a tenant between the line-level model
+// and the analytic fast path. Emitted only when a run opts into
+// --fidelity=analytic|hybrid; line-mode traces never contain these lines.
+// Excluded from the decision-trace projection (ExtractDecisionTrace): which
+// model produced the counters is not a controller decision.
+struct FidelityEvent {
+  uint64_t tick = 0;
+  TenantId tenant = 0;
+  bool analytic = false;  // true: entered the fast path; false: back to line
+  FidelityReason reason = FidelityReason::kSteady;
+};
+
 // The controller switched between dynamic operation and the degraded
 // static-baseline fallback (the paper's safety contract).
 struct ModeChangeEvent {
@@ -217,6 +267,7 @@ class EventSink {
   virtual void OnBackendFault(const BackendFaultEvent& event) { (void)event; }
   virtual void OnMaskDrift(const MaskDriftEvent& event) { (void)event; }
   virtual void OnCounterAnomaly(const CounterAnomalyEvent& event) { (void)event; }
+  virtual void OnFidelity(const FidelityEvent& event) { (void)event; }
   virtual void OnModeChange(const ModeChangeEvent& event) { (void)event; }
   virtual void OnRestart(const RestartEvent& event) { (void)event; }
   virtual void OnRecovery(const RecoveryEvent& event) { (void)event; }
@@ -249,6 +300,9 @@ class EventFanout : public EventSink {
   }
   void OnCounterAnomaly(const CounterAnomalyEvent& event) override {
     for (EventSink* sink : sinks_) sink->OnCounterAnomaly(event);
+  }
+  void OnFidelity(const FidelityEvent& event) override {
+    for (EventSink* sink : sinks_) sink->OnFidelity(event);
   }
   void OnModeChange(const ModeChangeEvent& event) override {
     for (EventSink* sink : sinks_) sink->OnModeChange(event);

@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "src/common/table.h"
 #include "src/telemetry/json.h"
@@ -148,6 +149,20 @@ void JsonlTraceWriter::OnCounterAnomaly(const CounterAnomalyEvent& event) {
   ++lines_;
 }
 
+void JsonlTraceWriter::OnFidelity(const FidelityEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kType).Value("fidelity");
+  json.Key(kTick).Value(event.tick);
+  json.Key(kTenant).Value(event.tenant);
+  json.Key("analytic").Value(event.analytic);
+  json.Key("reason").Value(FidelityReasonName(event.reason));
+  json.EndObject();
+  *out_ << json.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
 void JsonlTraceWriter::OnRestart(const RestartEvent& event) {
   JsonWriter json;
   json.BeginObject();
@@ -243,6 +258,18 @@ std::optional<CounterAnomalyKind> CounterAnomalyKindFromName(const std::string& 
         CounterAnomalyKind::kFrozen, CounterAnomalyKind::kGarbage}) {
     if (name == CounterAnomalyKindName(kind)) {
       return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FidelityReason> FidelityReasonFromName(const std::string& name) {
+  for (const FidelityReason r :
+       {FidelityReason::kSteady, FidelityReason::kWarmup, FidelityReason::kDecision,
+        FidelityReason::kMaskChange, FidelityReason::kChurn, FidelityReason::kPhaseBoundary,
+        FidelityReason::kResample, FidelityReason::kUnsteady, FidelityReason::kForced}) {
+    if (name == FidelityReasonName(r)) {
+      return r;
     }
   }
   return std::nullopt;
@@ -363,6 +390,20 @@ std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
     record.counter_anomaly = e;
     return record;
   }
+  if (*type == "fidelity") {
+    FidelityEvent e;
+    e.tick = tick;
+    e.tenant = tenant;
+    e.analytic = BoolOr(fields, "analytic", false);
+    const auto reason = String(fields, "reason");
+    const auto parsed = reason.has_value() ? FidelityReasonFromName(*reason) : std::nullopt;
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    e.reason = *parsed;
+    record.fidelity = e;
+    return record;
+  }
   if (*type == "restart") {
     RestartEvent e;
     e.tick = tick;
@@ -395,6 +436,127 @@ std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
     return record;
   }
   return std::nullopt;  // unknown type
+}
+
+namespace {
+
+// Serializes the decision-relevant fields of one parsed trace event, or
+// returns nullopt for lines the projection drops (fidelity transitions).
+std::optional<std::string> ProjectDecisionLine(const TraceEvent& record) {
+  JsonWriter json;
+  json.BeginObject();
+  if (record.tick.has_value()) {
+    const TickEvent& e = *record.tick;
+    json.Key(kType).Value("tick");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("category").Value(CategoryName(e.category));
+    json.Key("ways").Value(e.ways);
+    json.Key("phase_changed").Value(e.phase_changed);
+  } else if (record.phase_change.has_value()) {
+    const PhaseChangeEvent& e = *record.phase_change;
+    json.Key(kType).Value("phase_change");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("phase").Value(e.phase_index);
+    json.Key("known_phase").Value(e.known_phase);
+  } else if (record.category_change.has_value()) {
+    const CategoryChangeEvent& e = *record.category_change;
+    json.Key(kType).Value("category_change");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("from").Value(CategoryName(e.from));
+    json.Key("to").Value(CategoryName(e.to));
+  } else if (record.allocation.has_value()) {
+    const AllocationEvent& e = *record.allocation;
+    json.Key(kType).Value("allocation");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("reason").Value(AllocationReasonName(e.reason));
+    json.Key("from_ways").Value(e.from_ways);
+    json.Key("to_ways").Value(e.to_ways);
+  } else if (record.backend_fault.has_value()) {
+    const BackendFaultEvent& e = *record.backend_fault;
+    json.Key(kType).Value("backend_fault");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("op").Value(BackendOpName(e.op));
+    json.Key("attempts").Value(e.attempts);
+    json.Key("recovered").Value(e.recovered);
+  } else if (record.mask_drift.has_value()) {
+    const MaskDriftEvent& e = *record.mask_drift;
+    json.Key(kType).Value("mask_drift");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("cos").Value(static_cast<uint32_t>(e.cos));
+    json.Key("expected").Value(e.expected);
+    json.Key("actual").Value(e.actual);
+    json.Key("association").Value(e.association);
+    json.Key("core").Value(static_cast<uint32_t>(e.core));
+    json.Key("repaired").Value(e.repaired);
+  } else if (record.counter_anomaly.has_value()) {
+    const CounterAnomalyEvent& e = *record.counter_anomaly;
+    json.Key(kType).Value("counter_anomaly");
+    json.Key(kTick).Value(e.tick);
+    json.Key(kTenant).Value(e.tenant);
+    json.Key("kind").Value(CounterAnomalyKindName(e.kind));
+    json.Key("streak").Value(e.streak);
+  } else if (record.fidelity.has_value()) {
+    return std::nullopt;  // which model produced the counters is not a decision
+  } else if (record.mode_change.has_value()) {
+    const ModeChangeEvent& e = *record.mode_change;
+    json.Key(kType).Value("mode_change");
+    json.Key(kTick).Value(e.tick);
+    json.Key("degraded").Value(e.degraded);
+    json.Key("consecutive_failures").Value(e.consecutive_failures);
+  } else if (record.restart.has_value()) {
+    const RestartEvent& e = *record.restart;
+    json.Key(kType).Value("restart");
+    json.Key(kTick).Value(e.tick);
+    json.Key("cold_boot").Value(e.cold_boot);
+    json.Key("degraded").Value(e.degraded);
+    json.Key("journal_records").Value(e.journal_records);
+    json.Key("torn_records").Value(e.torn_records);
+    json.Key("tenants").Value(e.tenants);
+  } else if (record.recovery.has_value()) {
+    const RecoveryEvent& e = *record.recovery;
+    json.Key(kType).Value("recovery");
+    json.Key(kTick).Value(e.tick);
+    json.Key("adopted").Value(e.adopted);
+    json.Key("redone").Value(e.redone);
+    json.Key("divergent").Value(e.divergent);
+    json.Key("recovery_ticks").Value(e.recovery_ticks);
+    json.Key("converged").Value(e.converged);
+  } else {
+    return std::nullopt;
+  }
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace
+
+std::string ExtractDecisionTrace(const std::string& jsonl_trace) {
+  std::istringstream in(jsonl_trace);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto record = ParseTraceLine(line);
+    if (!record.has_value()) {
+      out += line;  // keep unparseable lines verbatim: they must still diff
+      out += '\n';
+      continue;
+    }
+    const auto projected = ProjectDecisionLine(*record);
+    if (projected.has_value()) {
+      out += *projected;
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 std::optional<std::vector<TraceEvent>> ReadTrace(std::istream& in, size_t* error_line) {

@@ -38,6 +38,7 @@ class JsonlTraceWriter : public EventSink {
   void OnBackendFault(const BackendFaultEvent& event) override;
   void OnMaskDrift(const MaskDriftEvent& event) override;
   void OnCounterAnomaly(const CounterAnomalyEvent& event) override;
+  void OnFidelity(const FidelityEvent& event) override;
   void OnModeChange(const ModeChangeEvent& event) override;
   void OnRestart(const RestartEvent& event) override;
   void OnRecovery(const RecoveryEvent& event) override;
@@ -69,7 +70,7 @@ class DecisionLog : public EventSink {
 struct TraceEvent {
   std::string type;  // "tick" | "phase_change" | "category_change" | "allocation"
                      // | "backend_fault" | "mask_drift" | "counter_anomaly"
-                     // | "mode_change" | "restart" | "recovery"
+                     // | "fidelity" | "mode_change" | "restart" | "recovery"
   std::optional<TickEvent> tick;
   std::optional<PhaseChangeEvent> phase_change;
   std::optional<CategoryChangeEvent> category_change;
@@ -77,6 +78,7 @@ struct TraceEvent {
   std::optional<BackendFaultEvent> backend_fault;
   std::optional<MaskDriftEvent> mask_drift;
   std::optional<CounterAnomalyEvent> counter_anomaly;
+  std::optional<FidelityEvent> fidelity;
   std::optional<ModeChangeEvent> mode_change;
   std::optional<RestartEvent> restart;
   std::optional<RecoveryEvent> recovery;
@@ -95,6 +97,17 @@ std::optional<Category> CategoryFromName(const std::string& name);
 std::optional<AllocationReason> AllocationReasonFromName(const std::string& name);
 std::optional<BackendOp> BackendOpFromName(const std::string& name);
 std::optional<CounterAnomalyKind> CounterAnomalyKindFromName(const std::string& name);
+std::optional<FidelityReason> FidelityReasonFromName(const std::string& name);
+
+// Integer-only projection of a JSONL trace: the controller's *decisions*
+// (tick category/ways/phase_changed, phase indices, category moves,
+// allocations, mode/fault/drift/anomaly/restart/recovery records) with every
+// floating-point observable (ipc, norm_ipc, llc_miss_rate, signature) and
+// every fidelity line dropped. Two runs are decision-equivalent exactly when
+// their projections are byte-identical — this is the contract the hybrid
+// fidelity engine is validated against (`dcat_fuzz --fidelity-diff`).
+// Unparseable lines are kept verbatim so they can never hide a divergence.
+std::string ExtractDecisionTrace(const std::string& jsonl_trace);
 
 }  // namespace dcat
 

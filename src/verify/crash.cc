@@ -163,7 +163,14 @@ CrashRunResult RunCrashScenario(const Scenario& scenario, const CrashRunOptions&
     while (next_churn < scenario.churn.size() &&
            scenario.churn[next_churn].interval == interval) {
       const ChurnEvent& event = scenario.churn[next_churn];
-      if (event.add) {
+      if (event.swap) {
+        // Same seed offset as RunScenario: crashed re-runs must rebuild
+        // the identical swapped-in workload.
+        host.SwapVmWorkload(event.tenant.id,
+                            MakeScenarioWorkload(
+                                event.tenant.workload,
+                                WorkloadSeed(scenario, event.tenant.id) ^ 0x5a5aULL));
+      } else if (event.add) {
         add_tenant(event.tenant);
       } else {
         host.RemoveVm(event.remove_id);

@@ -88,7 +88,10 @@ std::string Scenario::Describe() const {
       if (i > 0) {
         out << " ";
       }
-      if (churn[i].add) {
+      if (churn[i].swap) {
+        out << "@" << churn[i].interval << " ~" << churn[i].tenant.id << ":"
+            << churn[i].tenant.workload;
+      } else if (churn[i].add) {
         out << "@" << churn[i].interval << " +" << churn[i].tenant.id << ":"
             << churn[i].tenant.workload << "/" << churn[i].tenant.baseline_ways;
       } else {
@@ -185,6 +188,26 @@ Scenario RandomScenario(uint64_t seed) {
         scenario.churn.push_back(event);
       }
     }
+  }
+
+  // Workload swaps: a tenant replaces its job in place. When an
+  // add/remove already landed somewhere, the swap rides the SAME interval,
+  // so a capacity-mask change (admission/evict reshuffles COS masks) and a
+  // workload phase change hit the controller in one tick — previously the
+  // generator could never produce that interleaving. Draws are appended
+  // after all existing ones, so the scenario a given seed produced before
+  // this generator existed is a prefix of what it produces now.
+  if (!active.empty() && rng.Chance(0.4)) {
+    ChurnEvent event;
+    event.swap = true;
+    event.interval = scenario.churn.empty()
+                         ? 3 + static_cast<uint32_t>(rng.Below(scenario.intervals - 6))
+                         : scenario.churn.back().interval;
+    auto it = active.begin();
+    std::advance(it, static_cast<long>(rng.Below(active.size())));
+    event.tenant.id = it->first;
+    event.tenant.workload = kWorkloadPool[rng.Below(std::size(kWorkloadPool))];
+    scenario.churn.push_back(event);
   }
   return scenario;
 }
@@ -319,6 +342,7 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
   // Faults stop at the end of the scenario proper so the settle window can
   // prove the controller heals once the backend recovers.
   host_config.fault_active_ticks = options.inject_faults ? scenario.intervals : 0;
+  host_config.fidelity = options.fidelity;
   Host host(host_config);
 
   std::ostringstream trace_out;
@@ -366,7 +390,14 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
     while (next_churn < scenario.churn.size() &&
            scenario.churn[next_churn].interval == interval) {
       const ChurnEvent& event = scenario.churn[next_churn];
-      if (event.add) {
+      if (event.swap) {
+        // Offset seed: the swapped-in job must not replay the original's
+        // access stream even when the spec string happens to match.
+        host.SwapVmWorkload(event.tenant.id,
+                            MakeScenarioWorkload(
+                                event.tenant.workload,
+                                WorkloadSeed(scenario, event.tenant.id) ^ 0x5a5aULL));
+      } else if (event.add) {
         add_tenant(event.tenant);
       } else {
         host.RemoveVm(event.remove_id);

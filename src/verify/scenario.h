@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/sim/analytic_model.h"
 #include "src/verify/invariant_checker.h"
 #include "src/workloads/workload.h"
 
@@ -41,6 +42,13 @@ struct TenantSetup {
 struct ChurnEvent {
   uint32_t interval = 0;  // fires before Step() of this interval (0-based)
   bool add = false;       // true: admit `tenant`; false: evict `remove_id`
+  // Workload swap: tenant `tenant.id` replaces its job with
+  // `tenant.workload` in place (same contract, no admission). Takes
+  // precedence over `add`. Generated paired with an add/remove at the same
+  // interval when one exists, so a capacity-mask change and a workload
+  // phase change land in the same tick — the interleaving the hybrid
+  // fidelity engine must treat as one churn event.
+  bool swap = false;
   TenantSetup tenant;
   TenantId remove_id = 0;
 };
@@ -92,6 +100,11 @@ struct RunOptions {
   uint64_t fault_seed = 0;
   std::string fault_profile = "mixed";  // see FaultProfileByName
   uint32_t settle_intervals = 10;
+  // Simulation fidelity (src/sim/analytic_model.h). kHybrid must produce a
+  // decision trace (ExtractDecisionTrace) byte-identical to kLine; the
+  // full trace additionally carries the fidelity-transition lines. The
+  // host silently stays line-level for chaos/crash runs.
+  FidelityConfig fidelity;
 };
 
 struct ScenarioResult {

@@ -53,6 +53,17 @@ void MloadWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instr
   }
 }
 
+void MloadWorkload::SkipInstructions(uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  // Mirror Execute()'s cursor arithmetic so a fallback to line-level
+  // simulation resumes the sequential sweep where it would have been.
+  const uint64_t iterations = instructions / (1 + kComputePerAccess);
+  const uint64_t slots = working_set_bytes_ / kStride;
+  if (slots > 0) {
+    cursor_ = ((cursor_ / kStride + iterations) % slots) * kStride;
+  }
+}
+
 LookbusyWorkload::LookbusyWorkload(uint64_t seed) : rng_(seed) {}
 
 void LookbusyWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {
@@ -70,6 +81,11 @@ void LookbusyWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t in
   if (remaining > 0) {
     ctx.Compute(remaining);
   }
+}
+
+void LookbusyWorkload::SkipInstructions(uint32_t vcpu, uint64_t instructions) {
+  (void)vcpu;
+  cursor_ += instructions / 100;  // one touched line per 100 instructions
 }
 
 void IdleWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) {

@@ -32,6 +32,13 @@ class ArrayMicrobench : public Workload {
   uint64_t AccessCount() const { return latency_.count(); }
   void ResetMetrics() override { latency_ = RunningStats(); }
 
+  // Both array walkers repeat one access pattern forever — stationary by
+  // construction, so the analytic fast path may model them indefinitely.
+  uint64_t SteadyHorizon(uint32_t vcpu) const override {
+    (void)vcpu;
+    return kSteadyForever;
+  }
+
  protected:
   // Each iteration is one 8-byte read plus `kComputePerAccess` ALU
   // instructions (address generation, loop overhead).
@@ -63,6 +70,7 @@ class MloadWorkload : public ArrayMicrobench {
 
   std::string name() const override;
   void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+  void SkipInstructions(uint32_t vcpu, uint64_t instructions) override;
 
  private:
   uint64_t cursor_ = 0;
@@ -75,6 +83,11 @@ class LookbusyWorkload : public Workload {
 
   std::string name() const override { return "lookbusy"; }
   void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+  uint64_t SteadyHorizon(uint32_t vcpu) const override {
+    (void)vcpu;
+    return kSteadyForever;  // one fixed spin loop, stationary forever
+  }
+  void SkipInstructions(uint32_t vcpu, uint64_t instructions) override;
 
  private:
   Rng rng_;
@@ -87,6 +100,10 @@ class IdleWorkload : public Workload {
  public:
   std::string name() const override { return "idle"; }
   void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
+  uint64_t SteadyHorizon(uint32_t vcpu) const override {
+    (void)vcpu;
+    return kSteadyForever;  // never does anything; trivially stationary
+  }
 };
 
 }  // namespace dcat

@@ -52,6 +52,47 @@ void PhasedWorkload::Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t inst
   }
 }
 
+uint64_t PhasedWorkload::SteadyHorizon(uint32_t vcpu) const {
+  if (phases_.empty()) {
+    return kSteadyForever;  // pure compute filler, stationary
+  }
+  const Phase& phase = phases_[current_];
+  const uint64_t inner = phase.workload->SteadyHorizon(vcpu);
+  const bool is_last_nonloop = !loop_ && current_ + 1 == phases_.size();
+  if (is_last_nonloop || phase.duration_instructions == 0) {
+    return inner;
+  }
+  const uint64_t left_in_phase = phase.duration_instructions > executed_in_phase_
+                                     ? phase.duration_instructions - executed_in_phase_
+                                     : 0;
+  return std::min(inner, left_in_phase);
+}
+
+void PhasedWorkload::SkipInstructions(uint32_t vcpu, uint64_t instructions) {
+  if (phases_.empty()) {
+    return;
+  }
+  uint64_t remaining = instructions;
+  while (remaining > 0) {
+    Phase& phase = phases_[current_];
+    const bool is_last_nonloop = !loop_ && current_ + 1 == phases_.size();
+    uint64_t chunk = remaining;
+    if (!is_last_nonloop && phase.duration_instructions > 0) {
+      const uint64_t left_in_phase = phase.duration_instructions > executed_in_phase_
+                                         ? phase.duration_instructions - executed_in_phase_
+                                         : 0;
+      chunk = std::min(remaining, left_in_phase);
+      if (chunk == 0) {
+        Advance();
+        continue;
+      }
+    }
+    phase.workload->SkipInstructions(vcpu, chunk);
+    executed_in_phase_ += chunk;
+    remaining -= chunk;
+  }
+}
+
 void PhasedWorkload::ResetMetrics() {
   for (Phase& phase : phases_) {
     phase.workload->ResetMetrics();

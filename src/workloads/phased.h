@@ -34,6 +34,14 @@ class PhasedWorkload : public Workload {
   void Execute(ExecutionContext& ctx, uint32_t vcpu, uint64_t instructions) override;
   void ResetMetrics() override;
 
+  // Steady until the current phase boundary: the remaining instructions of
+  // this phase, capped by the inner workload's own horizon. The last phase
+  // of a non-looping schedule runs forever.
+  uint64_t SteadyHorizon(uint32_t vcpu) const override;
+  // Advances phase accounting (and the inner workload's position) exactly
+  // as Execute() would, without touching the cache model.
+  void SkipInstructions(uint32_t vcpu, uint64_t instructions) override;
+
   // Index of the phase currently executing (test/inspection hook).
   size_t current_phase() const { return current_; }
   Workload& phase_workload(size_t i) { return *phases_.at(i).workload; }

@@ -33,6 +33,33 @@ class Workload {
 
   // Clears application-level metrics (not the simulated state).
   virtual void ResetMetrics() {}
+
+  // --- hybrid-fidelity cooperation (src/sim/analytic_model.h) ---
+
+  // Sentinel horizon for stationary workloads whose access pattern never
+  // changes (the analytic fast path may model them indefinitely).
+  static constexpr uint64_t kSteadyForever = UINT64_MAX;
+
+  // How many more instructions this vCPU will execute before its access
+  // pattern could change (a phase boundary, a mode switch, end of input).
+  // The hybrid-fidelity engine only models a tenant analytically while the
+  // horizon comfortably exceeds one interval. The conservative default —
+  // 0, "could change any instruction" — keeps workloads that do not opt in
+  // on the line-level model forever.
+  virtual uint64_t SteadyHorizon(uint32_t vcpu) const {
+    (void)vcpu;
+    return 0;
+  }
+
+  // Advances the workload's position by `instructions` without touching the
+  // cache model — the analytic fast path's replacement for Execute(). Must
+  // keep phase accounting consistent with what Execute() would have done,
+  // so a later fallback to line-level simulation resumes in the right
+  // phase. Only called for instruction counts within SteadyHorizon().
+  virtual void SkipInstructions(uint32_t vcpu, uint64_t instructions) {
+    (void)vcpu;
+    (void)instructions;
+  }
 };
 
 }  // namespace dcat

@@ -1,0 +1,110 @@
+// The hybrid-fidelity differential suite: every scenario the repo already
+// trusts (the Fig. 10 golden mix, phased workloads, the random fuzz
+// corpus) replayed at line and hybrid fidelity, requiring byte-identical
+// decision traces (ExtractDecisionTrace). This is the contract that makes
+// the analytic fast path admissible at all — the controller must not be
+// able to tell the two runs apart.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/policies/registry.h"
+#include "src/telemetry/trace.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+// Runs `scenario` under `policy` at both fidelities and returns the first
+// decision divergence ("" when decision-equivalent). Both runs must also be
+// violation-free — a fast path that trips an invariant is no fast path.
+std::string DiffScenario(const Scenario& scenario, const std::string& policy,
+                         std::string* hybrid_trace = nullptr) {
+  RunOptions line;
+  line.policy = policy;
+  line.cycles_per_interval = 1e6;
+  RunOptions hybrid = line;
+  hybrid.fidelity.mode = FidelityMode::kHybrid;
+
+  const ScenarioResult line_result = RunScenario(scenario, line);
+  const ScenarioResult hybrid_result = RunScenario(scenario, hybrid);
+  if (!line_result.ok()) {
+    return "line run violated " + line_result.violations.front().invariant;
+  }
+  if (!hybrid_result.ok()) {
+    return "hybrid run violated " + hybrid_result.violations.front().invariant;
+  }
+  if (hybrid_trace != nullptr) {
+    *hybrid_trace = hybrid_result.trace;
+  }
+  return DescribeTraceDivergence(ExtractDecisionTrace(line_result.trace),
+                                 ExtractDecisionTrace(hybrid_result.trace));
+}
+
+TEST(FidelityDiffTest, Fig10DecisionEquivalentUnderEveryPolicy) {
+  const Scenario scenario = Fig10Scenario();
+  for (const std::string& policy : PolicyRegistry::Global().Names()) {
+    EXPECT_EQ(DiffScenario(scenario, policy), "") << "policy " << policy;
+  }
+}
+
+TEST(FidelityDiffTest, HybridFig10ActuallyUsesTheFastPath) {
+  // Decision equivalence would be vacuous if the hybrid run never left
+  // line fidelity; the full hybrid trace must carry fidelity transitions.
+  std::string hybrid_trace;
+  ASSERT_EQ(DiffScenario(Fig10Scenario(), "max-fairness", &hybrid_trace), "");
+  EXPECT_NE(hybrid_trace.find("\"type\":\"fidelity\""), std::string::npos)
+      << "hybrid Fig. 10 run never entered the analytic fast path";
+}
+
+TEST(FidelityDiffTest, FidelityLinesNeverReachTheDecisionTrace) {
+  std::string hybrid_trace;
+  ASSERT_EQ(DiffScenario(Fig10Scenario(), "max-fairness", &hybrid_trace), "");
+  EXPECT_EQ(ExtractDecisionTrace(hybrid_trace).find("\"type\":\"fidelity\""),
+            std::string::npos);
+}
+
+TEST(FidelityDiffTest, RandomCorpusDecisionEquivalent) {
+  // A slice of the fuzz corpus — phased workloads, churn, config
+  // perturbations. CI's dcat_fuzz --fidelity-diff sweep covers 100 seeds;
+  // this keeps a fast always-on cross-section in ctest.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Scenario scenario = RandomScenario(seed);
+    EXPECT_EQ(DiffScenario(scenario, "max-fairness"), "")
+        << "seed " << seed << ": " << scenario.Describe();
+  }
+}
+
+TEST(FidelityDiffTest, RandomCorpusDecisionEquivalentAcrossPolicies) {
+  for (uint64_t seed : {3, 7}) {
+    const Scenario scenario = RandomScenario(seed);
+    for (const std::string& policy : PolicyRegistry::Global().Names()) {
+      EXPECT_EQ(DiffScenario(scenario, policy), "")
+          << "seed " << seed << " policy " << policy << ": " << scenario.Describe();
+    }
+  }
+}
+
+TEST(FidelityDiffTest, AnalyticModeKeepsInvariantsOnSteadyMix) {
+  // --fidelity=analytic drops the steadiness gates, so decisions MAY
+  // diverge — but the invariant checker must still hold: the fast path can
+  // bend measurements, never the allocator's contract.
+  RunOptions options;
+  options.cycles_per_interval = 1e6;
+  options.fidelity.mode = FidelityMode::kAnalytic;
+  const ScenarioResult result = RunScenario(Fig10Scenario(), options);
+  EXPECT_TRUE(result.ok()) << result.violations.front().invariant << " — "
+                           << result.violations.front().detail;
+}
+
+TEST(FidelityDiffTest, HybridTraceIsDeterministic) {
+  RunOptions options;
+  options.cycles_per_interval = 1e6;
+  options.fidelity.mode = FidelityMode::kHybrid;
+  std::string detail;
+  EXPECT_TRUE(CheckTraceDeterminism(RandomScenario(11), options, &detail)) << detail;
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,158 @@
+// Unit tests for the hybrid-fidelity engine (src/sim/analytic_model.h):
+// mode parsing, entry gating, churn holds, forced-analytic mode, and the
+// coverage accounting — plus host-level checks that a steady mix actually
+// reaches the fast path and that a workload swap knocks it back out.
+#include "src/sim/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/host.h"
+#include "src/sim/socket.h"
+#include "src/workloads/factory.h"
+
+namespace dcat {
+namespace {
+
+TEST(FidelityModeTest, NameRoundTrip) {
+  for (FidelityMode mode :
+       {FidelityMode::kLine, FidelityMode::kAnalytic, FidelityMode::kHybrid}) {
+    const auto parsed = FidelityModeFromName(FidelityModeName(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(FidelityModeFromName("").has_value());
+  EXPECT_FALSE(FidelityModeFromName("full").has_value());
+}
+
+TEST(AnalyticModelEngineTest, ColdTenantStaysLine) {
+  Socket socket(SocketConfig::XeonE5());
+  FidelityConfig config;
+  config.mode = FidelityMode::kHybrid;
+  AnalyticModelEngine engine(&socket, config, /*sink=*/nullptr);
+  engine.AddTenant(1, {0, 1});
+
+  TenantFidelityInput input;
+  input.id = 1;
+  input.controller_steady = true;
+  input.steady_horizon = UINT64_MAX;
+  engine.PlanTick(/*tick=*/10, /*interval_cycles=*/1e6, {input});
+  // No line interval has ever been observed: warmup keeps the tenant at
+  // line fidelity no matter how steady the controller says it is.
+  EXPECT_FALSE(engine.IsAnalytic(1));
+}
+
+TEST(AnalyticModelEngineTest, ForcedModeStillRequiresWarmModel) {
+  Socket socket(SocketConfig::XeonE5());
+  FidelityConfig config;
+  config.mode = FidelityMode::kAnalytic;
+  AnalyticModelEngine engine(&socket, config, /*sink=*/nullptr);
+  engine.AddTenant(1, {0, 1});
+
+  TenantFidelityInput input;
+  input.id = 1;
+  // Forced mode skips the steadiness gates but can never skip warmup:
+  // there are no rates to replay before the first line interval.
+  input.controller_steady = false;
+  input.steady_horizon = 0;
+  engine.PlanTick(/*tick=*/1, /*interval_cycles=*/1e6, {input});
+  EXPECT_FALSE(engine.IsAnalytic(1));
+}
+
+TEST(AnalyticModelEngineTest, CoverageStartsAtZero) {
+  Socket socket(SocketConfig::XeonE5());
+  FidelityConfig config;
+  config.mode = FidelityMode::kHybrid;
+  AnalyticModelEngine engine(&socket, config, /*sink=*/nullptr);
+  EXPECT_EQ(engine.analytic_core_ticks(), 0u);
+  EXPECT_EQ(engine.line_core_ticks(), 0u);
+  EXPECT_EQ(engine.fallback_transitions(), 0u);
+  EXPECT_EQ(engine.coverage(), 0.0);
+}
+
+HostConfig SteadyHostConfig(FidelityMode mode) {
+  HostConfig config;
+  config.socket = SocketConfig::XeonE5();
+  config.mode = ManagerMode::kDcat;
+  config.cycles_per_interval = 1e6;
+  config.fidelity.mode = mode;
+  return config;
+}
+
+void AddSteadyMix(Host& host) {
+  auto add = [&](TenantId id, const char* name, const char* spec, uint32_t ways) {
+    VmConfig vm;
+    vm.id = id;
+    vm.name = name;
+    vm.vcpus = 2;
+    vm.baseline_ways = ways;
+    host.AddVm(vm, MakeWorkload(spec, /*seed=*/id * 101 + 7));
+  };
+  // The MLR working set fits its 3-way allocation, so one scheduling chunk
+  // costs less than an interval and the tenant never starves mid-interval
+  // (mlr:4M at this interval length ping-pongs Donor<->Reclaim forever —
+  // real behavior, but churn-held line fidelity, not a steady mix).
+  add(1, "mlr", "mlr:1M", 3);
+  add(2, "busy1", "lookbusy", 2);
+  add(3, "busy2", "lookbusy", 2);
+}
+
+TEST(HybridHostTest, SteadyMixReachesTheFastPath) {
+  Host host(SteadyHostConfig(FidelityMode::kHybrid));
+  ASSERT_NE(host.fidelity(), nullptr);
+  AddSteadyMix(host);
+  host.Run(150);
+  // The acceptance bar for the bench scenario: most core-ticks analytic.
+  EXPECT_GT(host.fidelity()->analytic_core_ticks(), 0u);
+  EXPECT_GE(host.fidelity()->coverage(), 0.8)
+      << "analytic ticks: " << host.fidelity()->analytic_core_ticks()
+      << ", line ticks: " << host.fidelity()->line_core_ticks();
+}
+
+TEST(HybridHostTest, WorkloadSwapFallsBackToLine) {
+  Host host(SteadyHostConfig(FidelityMode::kHybrid));
+  ASSERT_NE(host.fidelity(), nullptr);
+  AddSteadyMix(host);
+  host.Run(60);
+  ASSERT_GT(host.fidelity()->analytic_core_ticks(), 0u);
+
+  const uint64_t fallbacks_before = host.fidelity()->fallback_transitions();
+  host.SwapVmWorkload(1, MakeWorkload("mload:30M", /*seed=*/99));
+  host.Step();
+  // The swap is churn: every analytic tenant must have dropped to line.
+  EXPECT_GT(host.fidelity()->fallback_transitions(), fallbacks_before);
+  EXPECT_FALSE(host.fidelity()->IsAnalytic(1));
+}
+
+TEST(HybridHostTest, LineModeConstructsNoEngine) {
+  Host host(SteadyHostConfig(FidelityMode::kLine));
+  EXPECT_EQ(host.fidelity(), nullptr);
+}
+
+TEST(HybridHostTest, ChaosConfigSilentlyStaysLine) {
+  HostConfig config = SteadyHostConfig(FidelityMode::kHybrid);
+  config.inject_faults = true;
+  Host host(config);
+  // The decision-equivalence contract is not enforceable under chaos, so
+  // the host must decline the engine rather than risk divergent decisions.
+  EXPECT_EQ(host.fidelity(), nullptr);
+}
+
+TEST(HybridHostTest, MetricsCountersTrackTheEngine) {
+  Host host(SteadyHostConfig(FidelityMode::kHybrid));
+  ASSERT_NE(host.fidelity(), nullptr);
+  AddSteadyMix(host);
+  host.Run(80);
+  ASSERT_NE(host.dcat(), nullptr);
+  const uint64_t analytic =
+      host.dcat()->metrics().counter("sim.analytic_ticks_total").value();
+  EXPECT_EQ(analytic, host.fidelity()->analytic_core_ticks());
+  const uint64_t fallbacks = host.dcat()->metrics().counter("sim.fallback_total").value();
+  EXPECT_EQ(fallbacks, host.fidelity()->fallback_transitions());
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,94 @@
+// Fuzzer-gap regression: RandomScenario historically never produced a
+// workload swap in the same tick as a tenant arrival/departure, so the
+// "capacity-mask change + phase change in one interval" interleaving — the
+// exact composition of fallback triggers the hybrid engine must treat as
+// one churn event — was unreachable from any seed. The generator now pairs
+// a generated swap with an existing add/remove interval when one exists;
+// these pins keep that path covered and decision-equivalent.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/telemetry/trace.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+// Seed 0 expands to removals of tenants 2 and 3 AND a swap of tenant 1 at
+// interval 14 (xeon-d); seed 4 pairs an arrival with a swap of the same
+// arriving tenant at interval 9. Pinned: a generator change that silently
+// un-pairs them must fail here, not in a fuzz sweep months later.
+constexpr uint64_t kRemovePlusSwapSeed = 0;
+constexpr uint64_t kAddPlusSwapSeed = 4;
+
+bool HasPairedSwap(const Scenario& scenario) {
+  for (const ChurnEvent& swap : scenario.churn) {
+    if (!swap.swap) {
+      continue;
+    }
+    for (const ChurnEvent& other : scenario.churn) {
+      if (!other.swap && other.interval == swap.interval) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(FidelityFuzzRegressionTest, PinnedSeedsStillPairSwapWithChurn) {
+  EXPECT_TRUE(HasPairedSwap(RandomScenario(kRemovePlusSwapSeed)))
+      << RandomScenario(kRemovePlusSwapSeed).Describe();
+  EXPECT_TRUE(HasPairedSwap(RandomScenario(kAddPlusSwapSeed)))
+      << RandomScenario(kAddPlusSwapSeed).Describe();
+}
+
+TEST(FidelityFuzzRegressionTest, GeneratorReachesTheInterleavingOften) {
+  // Not a one-off: the interleaving must stay a routine part of the corpus.
+  int paired = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    if (HasPairedSwap(RandomScenario(seed))) {
+      ++paired;
+    }
+  }
+  EXPECT_GE(paired, 10) << "swap churn rarely pairs with add/remove anymore";
+}
+
+void ExpectDecisionEquivalent(uint64_t seed) {
+  const Scenario scenario = RandomScenario(seed);
+  RunOptions line;
+  line.cycles_per_interval = 1e6;
+  RunOptions hybrid = line;
+  hybrid.fidelity.mode = FidelityMode::kHybrid;
+  const ScenarioResult line_result = RunScenario(scenario, line);
+  const ScenarioResult hybrid_result = RunScenario(scenario, hybrid);
+  ASSERT_TRUE(line_result.ok()) << scenario.Describe();
+  ASSERT_TRUE(hybrid_result.ok()) << scenario.Describe();
+  EXPECT_EQ(DescribeTraceDivergence(ExtractDecisionTrace(line_result.trace),
+                                    ExtractDecisionTrace(hybrid_result.trace)),
+            "")
+      << scenario.Describe();
+}
+
+TEST(FidelityFuzzRegressionTest, RemovePlusSwapDecisionEquivalent) {
+  ExpectDecisionEquivalent(kRemovePlusSwapSeed);
+}
+
+TEST(FidelityFuzzRegressionTest, AddPlusSwapDecisionEquivalent) {
+  ExpectDecisionEquivalent(kAddPlusSwapSeed);
+}
+
+TEST(FidelityFuzzRegressionTest, SwapScenarioStaysDeterministic) {
+  // The swapped-in workload is rebuilt from a derived seed; two runs must
+  // still produce byte-identical full traces (this is what lets a crashed
+  // fuzz re-run reconstruct the identical mix).
+  RunOptions options;
+  options.cycles_per_interval = 1e6;
+  std::string detail;
+  EXPECT_TRUE(
+      CheckTraceDeterminism(RandomScenario(kRemovePlusSwapSeed), options, &detail))
+      << detail;
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,99 @@
+// Telemetry plumbing for fidelity events: JSONL serialization round-trip,
+// reason-name mapping, and the decision-trace projection that the whole
+// differential contract hangs on (fidelity lines and float observables
+// must never reach ExtractDecisionTrace's output).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/telemetry/trace.h"
+
+namespace dcat {
+namespace {
+
+TEST(FidelityTraceTest, ReasonNamesRoundTrip) {
+  for (FidelityReason reason :
+       {FidelityReason::kSteady, FidelityReason::kWarmup, FidelityReason::kDecision,
+        FidelityReason::kMaskChange, FidelityReason::kChurn,
+        FidelityReason::kPhaseBoundary, FidelityReason::kResample,
+        FidelityReason::kUnsteady, FidelityReason::kForced}) {
+    const auto parsed = FidelityReasonFromName(FidelityReasonName(reason));
+    ASSERT_TRUE(parsed.has_value()) << FidelityReasonName(reason);
+    EXPECT_EQ(*parsed, reason);
+  }
+  EXPECT_FALSE(FidelityReasonFromName("bogus").has_value());
+}
+
+TEST(FidelityTraceTest, FidelityEventRoundTripsThroughJsonl) {
+  FidelityEvent event;
+  event.tick = 17;
+  event.tenant = 3;
+  event.analytic = true;
+  event.reason = FidelityReason::kSteady;
+
+  std::ostringstream out;
+  JsonlTraceWriter writer(&out);
+  writer.OnFidelity(event);
+  ASSERT_EQ(writer.lines_written(), 1u);
+
+  const auto parsed = ParseTraceLine(out.str());
+  ASSERT_TRUE(parsed.has_value()) << out.str();
+  ASSERT_EQ(parsed->type, "fidelity");
+  ASSERT_TRUE(parsed->fidelity.has_value());
+  EXPECT_EQ(parsed->fidelity->tick, 17u);
+  EXPECT_EQ(parsed->fidelity->tenant, 3u);
+  EXPECT_TRUE(parsed->fidelity->analytic);
+  EXPECT_EQ(parsed->fidelity->reason, FidelityReason::kSteady);
+}
+
+TEST(FidelityTraceTest, DecisionTraceDropsFidelityLines) {
+  FidelityEvent enter;
+  enter.tick = 5;
+  enter.tenant = 1;
+  enter.analytic = true;
+  AllocationEvent alloc;
+  alloc.tick = 6;
+  alloc.tenant = 1;
+  alloc.from_ways = 3;
+  alloc.to_ways = 4;
+
+  std::ostringstream out;
+  JsonlTraceWriter writer(&out);
+  writer.OnFidelity(enter);
+  writer.OnAllocation(alloc);
+
+  const std::string decisions = ExtractDecisionTrace(out.str());
+  EXPECT_EQ(decisions.find("fidelity"), std::string::npos);
+  EXPECT_NE(decisions.find("\"type\":\"allocation\""), std::string::npos);
+}
+
+TEST(FidelityTraceTest, DecisionTraceDropsFloatObservables) {
+  TickEvent tick;
+  tick.tick = 9;
+  tick.tenant = 2;
+  tick.ways = 5;
+  tick.ipc = 1.234567;
+  tick.norm_ipc = 1.01;
+  tick.llc_miss_rate = 0.042;
+  std::ostringstream out;
+  JsonlTraceWriter writer(&out);
+  writer.OnTick(tick);
+
+  const std::string decisions = ExtractDecisionTrace(out.str());
+  // The decision fields survive; every float observable is projected away
+  // (analytic ticks freeze measurements, so floats may legally differ).
+  EXPECT_NE(decisions.find("\"tick\":9"), std::string::npos);
+  EXPECT_NE(decisions.find("\"ways\":5"), std::string::npos);
+  EXPECT_EQ(decisions.find("ipc"), std::string::npos);
+  EXPECT_EQ(decisions.find("miss_rate"), std::string::npos);
+  EXPECT_EQ(decisions.find("1.234567"), std::string::npos);
+}
+
+TEST(FidelityTraceTest, DecisionTraceKeepsUnparseableLinesVerbatim) {
+  const std::string garbled = "{\"type\":\"allocation\" TRUNCATED\n";
+  EXPECT_EQ(ExtractDecisionTrace(garbled), garbled);
+}
+
+}  // namespace
+}  // namespace dcat

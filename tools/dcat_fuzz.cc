@@ -9,6 +9,8 @@
 //   dcat_fuzz --seeds=100 --jobs=8        # seeds 0..99, both policies, 8 threads
 //   dcat_fuzz --seed=37 --policy=maxperf  # replay one finding
 //   dcat_fuzz --write-golden=golden.jsonl # regenerate the Fig. 10 trace
+//   dcat_fuzz --check-golden=golden.jsonl # diff the live Fig. 10 trace against it
+//   dcat_fuzz --fidelity-diff --seeds=100 # line vs hybrid decision-trace diff
 //   dcat_fuzz --chaos=7 --seeds=50        # every scenario additionally runs
 //                                         # under each fault schedule, with a
 //                                         # fault-free settle window at the end
@@ -28,6 +30,7 @@
 // Exit status is nonzero when any scenario fails; the report prints the
 // seed, the scenario description, the violations, and the trace tail.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -38,6 +41,7 @@
 #include "src/common/thread_pool.h"
 #include "src/faults/fault_plan.h"
 #include "src/policies/registry.h"
+#include "src/telemetry/trace.h"
 #include "src/verify/crash.h"
 #include "src/verify/scenario.h"
 
@@ -68,6 +72,11 @@ struct Options {
   bool crash = false;
   bool crash_every = false;
   uint64_t crash_tick = 0;
+  // Simulation fidelity for plain runs, and the line-vs-hybrid decision
+  // diff mode (see src/sim/analytic_model.h).
+  FidelityMode fidelity = FidelityMode::kLine;
+  bool fidelity_diff = false;
+  std::string check_golden;
 };
 
 // The fault schedules a chaos run sweeps with --chaos-profile=all.
@@ -96,6 +105,16 @@ void PrintUsage() {
       "  --no-determinism        skip the byte-identical-trace check\n"
       "  --trace-tail=N          trace lines to print on a finding (default 12)\n"
       "  --write-golden=FILE     write the pinned Fig. 10 golden trace and exit\n"
+      "  --check-golden=FILE     re-run the pinned Fig. 10 scenario and diff its\n"
+      "                          trace against FILE; prints the first divergent\n"
+      "                          decision with its tick/tenant and exits nonzero\n"
+      "                          on any difference\n"
+      "  --fidelity=MODE         line|analytic|hybrid simulation fidelity for\n"
+      "                          plain runs (default line)\n"
+      "  --fidelity-diff         run every (seed, policy) pair at line AND hybrid\n"
+      "                          fidelity and require byte-identical decision\n"
+      "                          traces (the hybrid engine's contract); both runs\n"
+      "                          must also be invariant-clean\n"
       "  --chaos[=S]             fault-inject every run (chaos seed S, default 0):\n"
       "                          one run per fault profile, then a fault-free\n"
       "                          settle window that must end out of degraded mode\n"
@@ -138,6 +157,7 @@ bool RunOne(const Scenario& scenario, const std::string& policy, const char* fau
   run_options.policy = policy;
   run_options.cycles_per_interval = options.cycles_per_interval;
   run_options.check_backend_differential = options.check_differential;
+  run_options.fidelity.mode = options.fidelity;
   size_t profile_index = 0;
   if (fault_profile != nullptr) {
     while (profile_index < std::size(kChaosProfiles) &&
@@ -184,6 +204,48 @@ bool RunOne(const Scenario& scenario, const std::string& policy, const char* fau
         << " tenant=" << violation.tenant << ": " << violation.detail << "\n";
   }
   out << "  trace tail:\n" << FormatTraceTail(result.trace, options.trace_tail);
+  *report = out.str();
+  return false;
+}
+
+// Runs one (scenario, policy) pair at line and hybrid fidelity and requires
+// byte-identical decision traces — the hybrid engine's validation contract
+// (decision equivalence, not counter equivalence). Both runs must also be
+// invariant-clean; the full hybrid trace may differ only by its extra
+// fidelity-transition lines, which ExtractDecisionTrace drops.
+bool RunFidelityDiff(const Scenario& scenario, const std::string& policy,
+                     const Options& options, std::string* report) {
+  RunOptions line_options;
+  line_options.policy = policy;
+  line_options.cycles_per_interval = options.cycles_per_interval;
+  line_options.check_backend_differential = false;
+  RunOptions hybrid_options = line_options;
+  hybrid_options.fidelity.mode = FidelityMode::kHybrid;
+
+  const ScenarioResult line = RunScenario(scenario, line_options);
+  const ScenarioResult hybrid = RunScenario(scenario, hybrid_options);
+
+  std::vector<Violation> violations = line.violations;
+  violations.insert(violations.end(), hybrid.violations.begin(), hybrid.violations.end());
+  const std::string divergence = DescribeTraceDivergence(
+      ExtractDecisionTrace(line.trace), ExtractDecisionTrace(hybrid.trace));
+  if (violations.empty() && divergence.empty()) {
+    return true;
+  }
+
+  std::ostringstream out;
+  out << "FAIL seed=" << scenario.seed << " policy=" << policy << " fidelity-diff\n";
+  out << "  scenario: " << scenario.Describe() << "\n";
+  out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << policy
+      << " --fidelity-diff\n";
+  for (const Violation& violation : violations) {
+    out << "  violation [" << violation.invariant << "] tick=" << violation.tick
+        << " tenant=" << violation.tenant << ": " << violation.detail << "\n";
+  }
+  if (!divergence.empty()) {
+    out << "  decision traces diverge (run1=line, run2=hybrid): " << divergence << "\n";
+    out << "  hybrid trace tail:\n" << FormatTraceTail(hybrid.trace, options.trace_tail);
+  }
   *report = out.str();
   return false;
 }
@@ -281,6 +343,81 @@ bool RunCrash(const Scenario& scenario, const std::string& policy, const char* f
   return true;
 }
 
+// Pulls an integer field out of one JSONL trace line ("tick":7 -> 7).
+// Returns -1 when the field is absent (e.g. a socket-wide event).
+long long JsonIntField(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+// --check-golden: the read-side counterpart of --write-golden. Re-runs the
+// pinned Fig. 10 scenario and diffs its trace against the checked-in file,
+// pointing at the first divergent decision instead of a bare "differs".
+int CheckGolden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dcat_fuzz: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream golden_stream;
+  golden_stream << in.rdbuf();
+  const std::string golden = golden_stream.str();
+
+  const ScenarioResult result = RunFig10Golden();
+  if (!result.ok()) {
+    std::fprintf(stderr, "dcat_fuzz: the Fig. 10 scenario itself violates invariants:\n");
+    for (const Violation& violation : result.violations) {
+      std::fprintf(stderr, "  [%s] %s\n", violation.invariant.c_str(),
+                   violation.detail.c_str());
+    }
+    return 1;
+  }
+  if (result.trace == golden) {
+    size_t lines = 0;
+    for (const char c : golden) {
+      lines += c == '\n' ? 1 : 0;
+    }
+    std::printf("golden trace matches %s (%zu lines, %zu bytes, %llu ticks audited)\n",
+                path.c_str(), lines, golden.size(),
+                static_cast<unsigned long long>(result.ticks));
+    return 0;
+  }
+
+  std::istringstream want(golden);
+  std::istringstream got(result.trace);
+  std::string want_line;
+  std::string got_line;
+  size_t line_number = 0;
+  while (true) {
+    ++line_number;
+    const bool have_want = static_cast<bool>(std::getline(want, want_line));
+    const bool have_got = static_cast<bool>(std::getline(got, got_line));
+    if (!have_want && !have_got) {
+      // Bytes differ but every line matched: trailing-newline difference.
+      std::fprintf(stderr, "dcat_fuzz: golden trace differs from %s only in trailing bytes\n",
+                   path.c_str());
+      return 1;
+    }
+    if (have_want && have_got && want_line == got_line) {
+      continue;
+    }
+    const std::string& context = have_got ? got_line : want_line;
+    std::fprintf(stderr,
+                 "dcat_fuzz: golden trace MISMATCH at line %zu (tick %lld, tenant %lld):\n"
+                 "  golden: %s\n"
+                 "  run:    %s\n"
+                 "(regenerate with --write-golden only for an intended decision change)\n",
+                 line_number, JsonIntField(context, "tick"), JsonIntField(context, "tenant"),
+                 have_want ? want_line.c_str() : "<eof>",
+                 have_got ? got_line.c_str() : "<eof>");
+    return 1;
+  }
+}
+
 int WriteGolden(const std::string& path) {
   const ScenarioResult result = RunFig10Golden();
   if (!result.ok()) {
@@ -365,6 +502,17 @@ int Main(int argc, char** argv) {
       options.trace_tail = static_cast<size_t>(tail);
     } else if (const char* v = value("--write-golden=")) {
       options.write_golden = v;
+    } else if (const char* v = value("--check-golden=")) {
+      options.check_golden = v;
+    } else if (const char* v = value("--fidelity=")) {
+      const auto mode = FidelityModeFromName(v);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "--fidelity: expected line|analytic|hybrid, got '%s'\n", v);
+        return 1;
+      }
+      options.fidelity = *mode;
+    } else if (arg == "--fidelity-diff") {
+      options.fidelity_diff = true;
     } else if (arg == "--chaos") {
       options.chaos = true;
     } else if (const char* v = value("--chaos=")) {
@@ -399,6 +547,15 @@ int Main(int argc, char** argv) {
   }
   if (!options.write_golden.empty()) {
     return WriteGolden(options.write_golden);
+  }
+  if (!options.check_golden.empty()) {
+    return CheckGolden(options.check_golden);
+  }
+  if (options.fidelity_diff && (options.chaos || options.crash)) {
+    // Chaos/crash runs never construct the engine (hybrid == line there by
+    // construction), so a diff under them would only prove a tautology.
+    std::fprintf(stderr, "--fidelity-diff cannot combine with --chaos or --crash-at\n");
+    return 1;
   }
 
   std::vector<std::string> policies;
@@ -447,6 +604,8 @@ int Main(int argc, char** argv) {
     const bool ok =
         options.crash
             ? RunCrash(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j])
+        : options.fidelity_diff
+            ? RunFidelityDiff(scenario, job_list[j].policy, options, &reports[j])
             : RunOne(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j]);
     if (!ok) {
       failed[j] = 1;
@@ -479,6 +638,12 @@ int Main(int argc, char** argv) {
     std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies x %zu fault schedules)\n",
                 static_cast<unsigned long long>(runs),
                 static_cast<unsigned long long>(count), policies.size(), profiles.size());
+  } else if (options.fidelity_diff) {
+    std::printf(
+        "dcat_fuzz: %llu fidelity diffs clean (%llu seeds x %zu policies, line vs hybrid "
+        "decision traces byte-identical)\n",
+        static_cast<unsigned long long>(runs), static_cast<unsigned long long>(count),
+        policies.size());
   } else {
     std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies)\n",
                 static_cast<unsigned long long>(runs),

@@ -67,6 +67,7 @@ struct Options {
   std::string journal_path;
   uint32_t intervals = 20;
   DcatConfig dcat;
+  FidelityMode fidelity = FidelityMode::kLine;
   bool print_config = false;
   bool print_metrics = false;
   bool metrics_json = false;
@@ -92,6 +93,9 @@ void PrintUsage() {
       "                          and allocations (workloads restart fresh)\n"
       "  --metrics               sim: print control-loop metrics after the run\n"
       "  --metrics-json          sim: print the metrics snapshot as JSON\n"
+      "  --fidelity=MODE         sim: line|analytic|hybrid cache-model fidelity\n"
+      "                          (default line; hybrid is decision-identical,\n"
+      "                          analytic trusts the rate model once warm)\n"
       "  --verbose               log controller decisions\n\n"
       "workload grammar:");
   for (const std::string& example : WorkloadSpecExamples()) {
@@ -125,6 +129,7 @@ int RunSim(const Options& options) {
   config.mode = ManagerMode::kDcat;
   config.dcat = options.dcat;
   config.cycles_per_interval = 20e6;
+  config.fidelity.mode = options.fidelity;
   std::unique_ptr<FileJournalStorage> journal_storage;
   if (!options.journal_path.empty()) {
     journal_storage = std::make_unique<FileJournalStorage>(options.journal_path);
@@ -373,6 +378,13 @@ int Main(int argc, char** argv) {
       options.trace_path = v;
     } else if (const char* v = value("--journal=")) {
       options.journal_path = v;
+    } else if (const char* v = value("--fidelity=")) {
+      const auto mode = FidelityModeFromName(v);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "--fidelity: expected line|analytic|hybrid, got '%s'\n", v);
+        return 1;
+      }
+      options.fidelity = *mode;
     } else if (arg == "--metrics") {
       options.print_metrics = true;
     } else if (arg == "--metrics-json") {
