@@ -1,0 +1,238 @@
+// Fleet throughput tracker: sharded multi-host simulation scaling.
+//
+// Runs the steady-phase fleet mix (src/fleet/) once serially and once
+// sharded across the thread pool, in hybrid fidelity (plus a line-fidelity
+// contrast row), and emits BENCH_fleet.json — CI uploads the file per
+// commit alongside BENCH_sim.json so the fleet layer's scaling stays
+// visible over time.
+//
+// The headline number is scaling efficiency:
+//
+//   efficiency = (serial_seconds / parallel_seconds) / jobs
+//
+// i.e. the fraction of linear speedup the shard fan-out achieves. Shards
+// share no mutable state, so the target is >= 0.75 at jobs = nproc; a
+// lower number means the pool, the allocator, or cache pressure is eating
+// the parallelism and the regression should be visible in CI logs.
+//
+//   bench_fleet_throughput [--quick] [--hosts=M] [--sockets=N] [--jobs=J]
+//                          [--intervals=I] [--out=FILE]
+//
+// Defaults: hosts = nproc (the acceptance shape), sockets = 1, jobs =
+// nproc for the parallel row. Every timed row is best-of-3 (best-of-2 with
+// --quick) to damp scheduler noise.
+//
+// BENCH_fleet.json schema (stable):
+//   {
+//     "bench": "fleet_throughput", "quick": bool,
+//     "hosts": M, "sockets_per_host": N, "shards": M*N,
+//     "jobs": J,                      // parallel-row worker threads
+//     "fidelity": "hybrid",           // headline rows' mode
+//     "intervals": I,                 // controller ticks per shard
+//     "ticks_total": T,               // Σ shard ticks (parallel hybrid row)
+//     "scaling_efficiency": E,        // hybrid rows, as defined above
+//     "results": [ { "name", "mode", "jobs", "ticks", "seconds",
+//                    "ticks_per_sec", "accesses", "accesses_per_sec",
+//                    "analytic_coverage_pct" }, ... ]
+//   }
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/common/thread_pool.h"
+#include "src/fleet/fleet.h"
+#include "src/telemetry/json.h"
+
+namespace dcat {
+namespace {
+
+struct Measurement {
+  std::string name;
+  std::string mode;
+  size_t jobs = 0;
+  uint64_t ticks = 0;
+  uint64_t accesses = 0;
+  double seconds = 0.0;
+  double analytic_coverage_pct = 0.0;
+  double ticks_per_sec() const { return seconds > 0 ? ticks / seconds : 0.0; }
+  double accesses_per_sec() const { return seconds > 0 ? accesses / seconds : 0.0; }
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-of-`repeats` timing of one fleet configuration. The whole RunFleet
+// call is timed — shard construction is part of the work the fleet layer
+// exists to parallelize, unlike the micro rows in bench_sim_throughput.
+Measurement MeasureFleet(const FleetConfig& config, const std::string& name, int repeats) {
+  Measurement m;
+  m.name = name;
+  m.mode = FidelityModeName(config.fidelity.mode);
+  m.jobs = config.jobs;
+  for (int r = 0; r < repeats; ++r) {
+    const double start = Now();
+    const FleetResult result = RunFleet(config);
+    const double elapsed = Now() - start;
+    if (result.violations_total > 0) {
+      std::fprintf(stderr, "bench_fleet_throughput: %llu invariant violations in '%s'\n",
+                   static_cast<unsigned long long>(result.violations_total), name.c_str());
+      std::exit(1);
+    }
+    if (r == 0 || elapsed < m.seconds) {
+      m.seconds = elapsed;
+    }
+    if (r == 0) {
+      m.ticks = result.ticks_total;
+      m.accesses = result.accesses_total;
+      double coverage = 0.0;
+      for (const FleetShardReport& shard : result.shards) {
+        coverage += shard.result.analytic_coverage;
+      }
+      m.analytic_coverage_pct =
+          result.shards.empty() ? 0.0 : coverage / result.shards.size() * 100.0;
+    }
+  }
+  return m;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  uint32_t hosts = static_cast<uint32_t>(ThreadPool::DefaultJobs());
+  uint32_t sockets = 1;
+  size_t jobs = ThreadPool::DefaultJobs();
+  uint32_t intervals = 0;  // 0 = pick by quick flag below
+#ifdef DCAT_BENCH_OUTPUT_DIR
+  std::string out_path = std::string(DCAT_BENCH_OUTPUT_DIR) + "/BENCH_fleet.json";
+#else
+  std::string out_path = "BENCH_fleet.json";
+#endif
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t v = 0;
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--hosts=", 0) == 0 && ParseUint64(arg.substr(8), &v) && v > 0) {
+      hosts = static_cast<uint32_t>(v);
+    } else if (arg.rfind("--sockets=", 0) == 0 && ParseUint64(arg.substr(10), &v) && v > 0) {
+      sockets = static_cast<uint32_t>(v);
+    } else if (arg.rfind("--jobs=", 0) == 0 && ParseUint64(arg.substr(7), &v)) {
+      jobs = v > 0 ? static_cast<size_t>(v) : ThreadPool::DefaultJobs();
+    } else if (arg.rfind("--intervals=", 0) == 0 && ParseUint64(arg.substr(12), &v) && v > 0) {
+      intervals = static_cast<uint32_t>(v);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "bench_fleet_throughput [--quick] [--hosts=M] [--sockets=N] [--jobs=J]\n"
+          "                       [--intervals=I] [--out=FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (intervals == 0) {
+    intervals = quick ? 60 : 150;
+  }
+  const int repeats = quick ? 2 : 3;
+
+  FleetConfig base;
+  base.hosts = hosts;
+  base.sockets_per_host = sockets;
+  base.base_seed = 1;
+  base.policy = "max-fairness";
+  base.cycles_per_interval = 1e6;
+  base.mix = FleetConfig::Mix::kSteady;
+  base.intervals = intervals;
+  base.fidelity.mode = FidelityMode::kHybrid;
+  // Stationary mix: let the rate model live until a decision invalidates it
+  // (the bench measures the fleet fan-out, not fidelity entry cost).
+  base.fidelity.resample_every = 0;
+
+  std::vector<Measurement> results;
+
+  FleetConfig serial_hybrid = base;
+  serial_hybrid.jobs = 1;
+  results.push_back(MeasureFleet(serial_hybrid, "fleet_serial", repeats));
+  const Measurement serial = results.back();
+
+  FleetConfig parallel_hybrid = base;
+  parallel_hybrid.jobs = jobs;
+  results.push_back(MeasureFleet(parallel_hybrid, "fleet_parallel", repeats));
+  const Measurement parallel = results.back();
+
+  // Line-fidelity contrast row (parallel only): how much the hybrid fast
+  // path contributes at fleet scale.
+  FleetConfig parallel_line = base;
+  parallel_line.jobs = jobs;
+  parallel_line.fidelity.mode = FidelityMode::kLine;
+  results.push_back(MeasureFleet(parallel_line, "fleet_parallel_line", repeats));
+
+  const double speedup = parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
+  const double efficiency = jobs > 0 ? speedup / static_cast<double>(jobs) : 0.0;
+
+  std::printf("%-20s %8s %6s %10s %10s %14s %16s %9s\n", "measurement", "mode", "jobs",
+              "ticks", "seconds", "ticks/sec", "accesses/sec", "coverage");
+  for (const Measurement& m : results) {
+    std::printf("%-20s %8s %6zu %10llu %10.3f %14.1f %16.0f %8.1f%%\n", m.name.c_str(),
+                m.mode.c_str(), m.jobs, static_cast<unsigned long long>(m.ticks), m.seconds,
+                m.ticks_per_sec(), m.accesses_per_sec(), m.analytic_coverage_pct);
+  }
+  std::printf("fleet scaling: %.2fx speedup at %zu jobs over %u shards -> %.2f efficiency\n",
+              speedup, jobs, hosts * sockets, efficiency);
+  if (efficiency < 0.75) {
+    std::printf(
+        "WARNING: fleet scaling efficiency %.2f < 0.75 of linear — the shard fan-out is "
+        "losing parallelism\n",
+        efficiency);
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("fleet_throughput");
+  json.Key("quick").Value(quick);
+  json.Key("hosts").Value(static_cast<uint64_t>(hosts));
+  json.Key("sockets_per_host").Value(static_cast<uint64_t>(sockets));
+  json.Key("shards").Value(static_cast<uint64_t>(hosts) * sockets);
+  json.Key("jobs").Value(static_cast<uint64_t>(jobs));
+  json.Key("fidelity").Value(FidelityModeName(FidelityMode::kHybrid));
+  json.Key("intervals").Value(static_cast<uint64_t>(intervals));
+  json.Key("ticks_total").Value(parallel.ticks);
+  json.Key("scaling_efficiency").Value(efficiency);
+  json.Key("results").BeginArray();
+  for (const Measurement& m : results) {
+    json.BeginObject();
+    json.Key("name").Value(m.name);
+    json.Key("mode").Value(m.mode);
+    json.Key("jobs").Value(static_cast<uint64_t>(m.jobs));
+    json.Key("ticks").Value(m.ticks);
+    json.Key("seconds").Value(m.seconds);
+    json.Key("ticks_per_sec").Value(m.ticks_per_sec());
+    json.Key("accesses").Value(m.accesses);
+    json.Key("accesses_per_sec").Value(m.accesses_per_sec());
+    json.Key("analytic_coverage_pct").Value(m.analytic_coverage_pct);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcat
+
+int main(int argc, char** argv) { return dcat::Main(argc, argv); }

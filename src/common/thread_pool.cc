@@ -138,6 +138,26 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   }
 }
 
+void ThreadPool::ParallelForChunked(size_t begin, size_t end, size_t grain,
+                                    const std::function<void(size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  if (grain <= 1) {
+    ParallelFor(begin, end, fn);
+    return;
+  }
+  const size_t count = end - begin;
+  const size_t chunks = (count + grain - 1) / grain;
+  ParallelFor(0, chunks, [&](size_t chunk) {
+    const size_t lo = begin + chunk * grain;
+    const size_t hi = lo + grain < end ? lo + grain : end;
+    for (size_t i = lo; i < hi; ++i) {
+      fn(i);
+    }
+  });
+}
+
 ThreadPool& SharedThreadPool() {
   static ThreadPool pool;
   return pool;

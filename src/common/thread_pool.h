@@ -45,6 +45,14 @@ class ThreadPool {
 
   void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn);
 
+  // Chunked variant for fine-grained loops: splits [begin, end) into
+  // contiguous runs of at most `grain` indices and hands the pool one item
+  // per run, so per-item dispatch cost is amortized over `grain` calls of
+  // `fn`. Semantics otherwise identical to ParallelFor (blocking, caller
+  // participates, first exception rethrown). `grain` 0 behaves like 1.
+  void ParallelForChunked(size_t begin, size_t end, size_t grain,
+                          const std::function<void(size_t)>& fn);
+
   // DCAT_JOBS environment override, else std::thread::hardware_concurrency
   // (min 1).
   static size_t DefaultJobs();

@@ -67,6 +67,13 @@ struct DcatConfig {
   double interval_seconds = 1.0;
 
   // --- Fault tolerance (robustness layer over a flaky control surface) ---
+  // Program all changed COS masks of an apply through one
+  // CatController::ApplyMaskBatch call instead of one SetCosMask per COS.
+  // Decision-equivalent to per-COS writes on a healthy backend (the fleet
+  // suite pins byte-identical traces both ways); batching shrinks the
+  // partial-failure window on backends that can validate or commit a batch
+  // atomically. Off = the pre-batch per-COS write loop.
+  bool batch_mask_apply = true;
   // Write attempts beyond the first for SetCosMask/AssociateCore before the
   // write is abandoned for the interval.
   uint32_t max_write_retries = 3;

@@ -81,6 +81,15 @@ ConfigParseResult ParseDcatConfig(const std::string& text) {
       c.donor_shrink_fraction = d;
     } else if (key == "interval_seconds" && ParseDouble(value, &d)) {
       c.interval_seconds = d;
+    } else if (key == "batch_mask_apply") {
+      if (value == "true" || value == "1") {
+        c.batch_mask_apply = true;
+      } else if (value == "false" || value == "0") {
+        c.batch_mask_apply = false;
+      } else {
+        fail("batch_mask_apply must be true/false");
+        return result;
+      }
     } else if (key == "max_write_retries" && ParseUint(value, &u)) {
       c.max_write_retries = static_cast<uint32_t>(u);
     } else if (key == "degraded_after_failures" && ParseUint(value, &u)) {
@@ -180,6 +189,7 @@ std::string FormatDcatConfig(const DcatConfig& config) {
   out << "min_ways = " << config.min_ways << "\n";
   out << "donor_shrink_fraction = " << config.donor_shrink_fraction << "\n";
   out << "interval_seconds = " << config.interval_seconds << "\n";
+  out << "batch_mask_apply = " << (config.batch_mask_apply ? "true" : "false") << "\n";
   out << "max_write_retries = " << config.max_write_retries << "\n";
   out << "degraded_after_failures = " << config.degraded_after_failures << "\n";
   out << "degraded_recovery_ticks = " << config.degraded_recovery_ticks << "\n";

@@ -886,6 +886,75 @@ bool DcatController::WriteMaskWithRetry(uint8_t cos, TenantId tenant, uint32_t m
   return ok;
 }
 
+bool DcatController::WriteMaskBatchWithRetry(std::vector<BatchMaskWrite>& writes) {
+  if (writes.empty()) {
+    return true;
+  }
+  const uint32_t max_attempts = config_.max_write_retries + 1;
+  while (true) {
+    // Re-batch everything that has not landed and still has attempts left.
+    std::vector<CosMaskUpdate> updates;
+    std::vector<size_t> index;
+    for (size_t i = 0; i < writes.size(); ++i) {
+      if (!writes[i].done && writes[i].attempts < max_attempts) {
+        updates.push_back(CosMaskUpdate{writes[i].cos, writes[i].mask});
+        index.push_back(i);
+      }
+    }
+    if (updates.empty()) {
+      break;
+    }
+    size_t applied = 0;
+    const PqosStatus status = cat_->ApplyMaskBatch(updates, &applied);
+    // Verify-after-write for the acknowledged prefix: a backend may accept
+    // the batch and still silently drop elements; only readback is believed.
+    for (size_t j = 0; j < applied && j < updates.size(); ++j) {
+      BatchMaskWrite& w = writes[index[j]];
+      ++w.attempts;
+      if (cat_->GetCosMask(w.cos) == w.mask) {
+        w.done = true;
+      } else {
+        metrics_.counter("faults.silent_drops_detected").Increment();
+      }
+    }
+    if (status != PqosStatus::kOk && applied < updates.size()) {
+      // The failing element consumed an attempt; elements behind it were
+      // never attempted and keep their budget for the next round.
+      ++writes[index[applied]].attempts;
+      metrics_.counter("faults.write_errors").Increment();
+    } else if (status == PqosStatus::kOk && applied < updates.size()) {
+      // Defensive: success must mean the whole batch was acknowledged.
+      break;
+    }
+    bool exhausted = false;
+    for (const BatchMaskWrite& w : writes) {
+      if (!w.done && w.attempts >= max_attempts) {
+        exhausted = true;
+        break;
+      }
+    }
+    if (exhausted) {
+      break;
+    }
+  }
+  // Same accounting as the per-COS path, reported in element order.
+  bool all_ok = true;
+  for (const BatchMaskWrite& w : writes) {
+    if (!w.done) {
+      all_ok = false;
+    }
+    if (w.attempts > 1 || !w.done) {
+      sinks_.OnBackendFault(BackendFaultEvent{.tick = tick_,
+                                              .tenant = w.tenant,
+                                              .op = BackendOp::kSetCosMask,
+                                              .attempts = w.attempts,
+                                              .recovered = w.done});
+      metrics_.counter(w.done ? "faults.write_recovered" : "faults.write_failures").Increment();
+    }
+  }
+  return all_ok;
+}
+
 bool DcatController::AssociateWithRetry(uint16_t core, uint8_t cos, TenantId tenant) {
   uint32_t attempts = 0;
   bool ok = false;
@@ -925,29 +994,53 @@ bool DcatController::ApplyMasks(const std::vector<uint32_t>& targets) {
   // Phase 1: program every changed mask; remember what landed so a partial
   // failure can be rolled back (leaving overlapping masks across tenants
   // until the next reconcile would break isolation, not just optimality).
-  std::vector<size_t> written;
-  bool failed = false;
-  for (size_t i = 0; i < tenants_.size(); ++i) {
-    TenantState& t = tenants_[i];
-    if (t.mask == (*masks)[i]) {
-      continue;  // already acknowledged at this value
-    }
-    if (!WriteMaskWithRetry(t.cos, t.spec.id, (*masks)[i])) {
-      failed = true;
-      break;
-    }
-    written.push_back(i);
-  }
-  if (failed) {
-    for (size_t i : written) {
+  if (config_.batch_mask_apply) {
+    std::vector<BatchMaskWrite> writes;
+    std::vector<size_t> tenant_index;
+    for (size_t i = 0; i < tenants_.size(); ++i) {
       const TenantState& t = tenants_[i];
-      if (t.mask != 0) {
-        // Best effort: an unrecoverable rollback leaves drift that the
-        // per-tick reconciliation keeps repairing.
-        WriteMaskWithRetry(t.cos, t.spec.id, t.mask);
+      if (t.mask == (*masks)[i]) {
+        continue;  // already acknowledged at this value
       }
+      writes.push_back(BatchMaskWrite{t.cos, t.spec.id, (*masks)[i], 0, false});
+      tenant_index.push_back(i);
     }
-    return false;
+    if (!WriteMaskBatchWithRetry(writes)) {
+      for (size_t j = 0; j < writes.size(); ++j) {
+        const TenantState& t = tenants_[tenant_index[j]];
+        if (writes[j].done && t.mask != 0) {
+          // Best effort: an unrecoverable rollback leaves drift that the
+          // per-tick reconciliation keeps repairing.
+          WriteMaskWithRetry(t.cos, t.spec.id, t.mask);
+        }
+      }
+      return false;
+    }
+  } else {
+    std::vector<size_t> written;
+    bool failed = false;
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+      TenantState& t = tenants_[i];
+      if (t.mask == (*masks)[i]) {
+        continue;  // already acknowledged at this value
+      }
+      if (!WriteMaskWithRetry(t.cos, t.spec.id, (*masks)[i])) {
+        failed = true;
+        break;
+      }
+      written.push_back(i);
+    }
+    if (failed) {
+      for (size_t i : written) {
+        const TenantState& t = tenants_[i];
+        if (t.mask != 0) {
+          // Best effort: an unrecoverable rollback leaves drift that the
+          // per-tick reconciliation keeps repairing.
+          WriteMaskWithRetry(t.cos, t.spec.id, t.mask);
+        }
+      }
+      return false;
+    }
   }
   // Phase 2: the backend acknowledged everything — commit the bookkeeping.
   for (size_t i = 0; i < tenants_.size(); ++i) {
@@ -998,27 +1091,50 @@ bool DcatController::ApplyMasksClustered(const std::vector<uint32_t>& targets,
   }
   // Phase 1: program every changed group mask (COS = group index + 1),
   // remembering what landed for rollback on partial failure.
-  std::vector<size_t> written;
-  bool failed = false;
-  for (size_t g = 0; g < num_groups; ++g) {
-    const uint8_t cos = static_cast<uint8_t>(g + 1);
-    if (cos_acked_mask_[cos] == (*masks)[g]) {
-      continue;  // already acknowledged at this value
-    }
-    if (!WriteMaskWithRetry(cos, group_owner[g], (*masks)[g])) {
-      failed = true;
-      break;
-    }
-    written.push_back(g);
-  }
-  if (failed) {
-    for (size_t g : written) {
+  if (config_.batch_mask_apply) {
+    std::vector<BatchMaskWrite> writes;
+    std::vector<size_t> group_index;
+    for (size_t g = 0; g < num_groups; ++g) {
       const uint8_t cos = static_cast<uint8_t>(g + 1);
-      if (cos_acked_mask_[cos] != 0) {
-        WriteMaskWithRetry(cos, group_owner[g], cos_acked_mask_[cos]);
+      if (cos_acked_mask_[cos] == (*masks)[g]) {
+        continue;  // already acknowledged at this value
       }
+      writes.push_back(BatchMaskWrite{cos, group_owner[g], (*masks)[g], 0, false});
+      group_index.push_back(g);
     }
-    return false;
+    if (!WriteMaskBatchWithRetry(writes)) {
+      for (size_t j = 0; j < writes.size(); ++j) {
+        const size_t g = group_index[j];
+        const uint8_t cos = static_cast<uint8_t>(g + 1);
+        if (writes[j].done && cos_acked_mask_[cos] != 0) {
+          WriteMaskWithRetry(cos, group_owner[g], cos_acked_mask_[cos]);
+        }
+      }
+      return false;
+    }
+  } else {
+    std::vector<size_t> written;
+    bool failed = false;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const uint8_t cos = static_cast<uint8_t>(g + 1);
+      if (cos_acked_mask_[cos] == (*masks)[g]) {
+        continue;  // already acknowledged at this value
+      }
+      if (!WriteMaskWithRetry(cos, group_owner[g], (*masks)[g])) {
+        failed = true;
+        break;
+      }
+      written.push_back(g);
+    }
+    if (failed) {
+      for (size_t g : written) {
+        const uint8_t cos = static_cast<uint8_t>(g + 1);
+        if (cos_acked_mask_[cos] != 0) {
+          WriteMaskWithRetry(cos, group_owner[g], cos_acked_mask_[cos]);
+        }
+      }
+      return false;
+    }
   }
   // Phase 2: commit. COSes beyond the live group count keep their last
   // programmed mask on the backend, but the acked record is cleared so a

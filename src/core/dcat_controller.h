@@ -258,6 +258,23 @@ class DcatController : public CacheManager {
   // retry loop would back off between attempts; here retries are immediate
   // (the simulated backend has no time axis inside a tick).
   bool WriteMaskWithRetry(uint8_t cos, TenantId tenant, uint32_t mask);
+  // One element of a batched apply: bookkeeping for the retry loop plus the
+  // landed flag the rollback path reads after a failure.
+  struct BatchMaskWrite {
+    uint8_t cos = 0;
+    TenantId tenant = 0;
+    uint32_t mask = 0;
+    uint32_t attempts = 0;
+    bool done = false;
+  };
+  // Batched counterpart of WriteMaskWithRetry: programs all elements through
+  // CatController::ApplyMaskBatch, re-batching the stragglers until every
+  // element lands or exhausts its per-element attempt budget
+  // (1 + max_write_retries, same as the per-COS path). Verify-after-write
+  // and the fault metrics/events carry over per element. Returns true when
+  // every element landed; `writes[i].done` tells the caller exactly what to
+  // roll back otherwise.
+  bool WriteMaskBatchWithRetry(std::vector<BatchMaskWrite>& writes);
   bool AssociateWithRetry(uint16_t core, uint8_t cos, TenantId tenant);
   // Start-of-tick audit: re-programs masks/associations that drifted from
   // the acknowledged state (silent drops, external interference) and keeps

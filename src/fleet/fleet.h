@@ -1,0 +1,112 @@
+// Fleet-scale simulation: M hosts × N sockets in one process.
+//
+// The ROADMAP's north star is "one controller instance per socket, a fleet
+// scheduler above them". This layer provides the substrate: every
+// (host, socket) pair is one independent *shard* — its own Socket, pqos
+// chain, DcatController and (optionally) hybrid-fidelity engine — run as a
+// complete verified scenario on the PR-3 thread pool.
+//
+// Shard isolation rules (what makes sharding deterministic):
+//   * A shard owns all of its mutable state. Sockets, RNGs, fault plans,
+//     event sinks and the invariant checker are constructed inside the
+//     shard's task; nothing observable is shared across shards and there
+//     are no locks on the simulation path.
+//   * Everything a shard does derives from its own seed
+//     (base_seed + shard index), so the shard's decision trace is a pure
+//     function of (config, shard) — independent of `jobs`, scheduling
+//     order, or which worker thread ran it.
+//   * Results are merged by shard index after the pool barrier, so the
+//     merged trace and all aggregates are byte-stable across job counts.
+//
+// Determinism contract (pinned by tests/fleet/): each shard's trace is
+// byte-identical between jobs=1 and jobs=N and equal to a standalone
+// RunScenario of the same (scenario, options); chaos on one shard cannot
+// perturb any other shard.
+#ifndef SRC_FLEET_FLEET_H_
+#define SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/analytic_model.h"
+#include "src/telemetry/metrics.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+
+struct FleetConfig {
+  // Fleet shape: hosts × sockets_per_host independent controller shards.
+  uint32_t hosts = 1;
+  uint32_t sockets_per_host = 1;
+  // Worker threads for the shard fan-out (0 = ThreadPool::DefaultJobs()).
+  size_t jobs = 0;
+  // Shard s runs seed base_seed + s.
+  uint64_t base_seed = 1;
+
+  // Controller/run parameters applied to every shard.
+  std::string policy = "max-fairness";
+  double cycles_per_interval = 1e6;
+  FidelityConfig fidelity;
+
+  // Tenant mix per shard: kRandom draws the fuzzer's RandomScenario from
+  // the shard seed (mix, churn and config perturbations all differ per
+  // shard); kSteady replicates the steady-phase throughput mix (one
+  // cache-resident MLR tenant plus two compute-bound neighbors) with
+  // per-shard workload seeds — the shape the fleet bench scales.
+  enum class Mix { kRandom, kSteady };
+  Mix mix = Mix::kRandom;
+  // Intervals per shard; 0 = the scenario's own length (random mix) or 60
+  // (steady mix).
+  uint32_t intervals = 0;
+
+  // Chaos composition: when chaos_every > 0, shard s runs under FaultyPqos
+  // (profile chaos_profile) iff s % chaos_every == 0. Healthy shards are
+  // untouched — isolation means their traces match a chaos-free fleet.
+  uint32_t chaos_every = 0;
+  std::string chaos_profile = "mixed";
+  uint32_t settle_intervals = 10;
+
+  uint32_t shard_count() const { return hosts * sockets_per_host; }
+};
+
+// One shard's outcome. `result` is exactly what a standalone RunScenario
+// of (FleetShardScenario, FleetShardRunOptions) produces.
+struct FleetShardReport {
+  uint32_t host = 0;
+  uint32_t socket = 0;
+  uint64_t seed = 0;
+  bool faulted = false;
+  ScenarioResult result;
+  bool ok() const { return result.ok(); }
+};
+
+struct FleetResult {
+  std::vector<FleetShardReport> shards;  // shard-index (host-major) order
+  uint64_t ticks_total = 0;
+  uint64_t accesses_total = 0;
+  uint64_t violations_total = 0;
+  // fleet.* gauges/counters plus every per-shard controller counter summed
+  // under its own name.
+  MetricsRegistry metrics;
+
+  // Host-tagged concatenation of the per-shard JSONL traces in shard
+  // order: each line gains leading "host" and "socket" fields. Stable
+  // across job counts by construction.
+  std::string MergedTrace() const;
+
+  bool ok() const { return violations_total == 0; }
+};
+
+// The scenario / run options shard `shard` executes — exposed so tests can
+// replay one shard standalone and require a byte-identical trace.
+Scenario FleetShardScenario(const FleetConfig& config, uint32_t shard);
+RunOptions FleetShardRunOptions(const FleetConfig& config, uint32_t shard);
+
+// Runs the whole fleet, sharded across a dedicated thread pool, and merges
+// the reports in shard order.
+FleetResult RunFleet(const FleetConfig& config);
+
+}  // namespace dcat
+
+#endif  // SRC_FLEET_FLEET_H_

@@ -2,6 +2,23 @@
 
 namespace dcat {
 
+PqosStatus CatController::ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
+                                         size_t* applied) {
+  size_t done = 0;
+  PqosStatus status = PqosStatus::kOk;
+  for (const CosMaskUpdate& u : updates) {
+    status = SetCosMask(u.cos, u.mask);
+    if (status != PqosStatus::kOk) {
+      break;
+    }
+    ++done;
+  }
+  if (applied != nullptr) {
+    *applied = done;
+  }
+  return status;
+}
+
 const char* PqosStatusName(PqosStatus status) {
   switch (status) {
     case PqosStatus::kOk:

@@ -9,7 +9,9 @@
 #ifndef SRC_PQOS_PQOS_H_
 #define SRC_PQOS_PQOS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "src/sim/perf_counters.h"
 
@@ -25,6 +27,12 @@ enum class PqosStatus {
 
 const char* PqosStatusName(PqosStatus status);
 
+// One element of a batched mask update (ApplyMaskBatch below).
+struct CosMaskUpdate {
+  uint8_t cos = 0;
+  uint32_t mask = 0;
+};
+
 // CAT allocation control.
 class CatController {
  public:
@@ -39,6 +47,21 @@ class CatController {
   // non-empty (hardware rule); violations return kInvalidMask.
   virtual PqosStatus SetCosMask(uint8_t cos, uint32_t mask) = 0;
   virtual uint32_t GetCosMask(uint8_t cos) const = 0;
+
+  // Programs several COS masks in one backend call. Elements are applied
+  // in order; the first failure stops the batch and its status is
+  // returned. `*applied` (optional) receives the number of leading
+  // elements the backend acknowledged — on kOk that is updates.size(),
+  // on failure the elements past the failing one were never attempted,
+  // so callers can roll back or retry exactly the landed prefix.
+  //
+  // The base implementation loops over SetCosMask, so decorators that
+  // override only the per-COS write (fault injectors, crash points)
+  // keep their semantics without a dedicated batch override. Real
+  // backends override this to amortize per-write cost (one schemata
+  // write on resctrl instead of one per COS).
+  virtual PqosStatus ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
+                                    size_t* applied);
 
   // Associates a core with a COS.
   virtual PqosStatus AssociateCore(uint16_t core, uint8_t cos) = 0;

@@ -182,6 +182,42 @@ PqosStatus ResctrlPqos::SetCosMask(uint8_t cos, uint32_t mask) {
   return last_status_ = status;
 }
 
+PqosStatus ResctrlPqos::ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
+                                       size_t* applied) {
+  if (applied != nullptr) {
+    *applied = 0;
+  }
+  if (!initialized_) {
+    return last_status_ = PqosStatus::kOutOfRange;
+  }
+  // Validate everything up front: a batch with a malformed element performs
+  // zero writes instead of stopping partway through the tree.
+  for (const CosMaskUpdate& u : updates) {
+    if (u.cos >= num_cos_) {
+      return last_status_ = PqosStatus::kOutOfRange;
+    }
+    if (!IsContiguousMask(u.mask) || (u.mask & ~MakeWayMask(0, num_ways_)) != 0) {
+      return last_status_ = PqosStatus::kInvalidMask;
+    }
+  }
+  size_t done = 0;
+  for (const CosMaskUpdate& u : updates) {
+    const PqosStatus status = WriteSchemata(u.cos, u.mask);
+    if (status != PqosStatus::kOk) {
+      if (applied != nullptr) {
+        *applied = done;
+      }
+      return last_status_ = status;
+    }
+    masks_[u.cos] = u.mask;
+    ++done;
+  }
+  if (applied != nullptr) {
+    *applied = done;
+  }
+  return last_status_ = PqosStatus::kOk;
+}
+
 uint32_t ResctrlPqos::GetCosMask(uint8_t cos) const {
   if (cos >= masks_.size()) {
     return 0;

@@ -47,6 +47,11 @@ class ResctrlPqos : public CatController, public MbaController, public Monitorin
   uint16_t NumCores() const override { return num_cores_; }
   uint64_t WayCapacityBytes() const override { return way_capacity_bytes_; }
   PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override;
+  // Validates every element before touching the filesystem, so a malformed
+  // batch leaves the tree unchanged; an I/O failure mid-batch still reports
+  // the landed prefix through `applied` for the caller's rollback.
+  PqosStatus ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
+                            size_t* applied) override;
   uint32_t GetCosMask(uint8_t cos) const override;
   PqosStatus AssociateCore(uint16_t core, uint8_t cos) override;
   uint8_t GetCoreAssociation(uint16_t core) const override;

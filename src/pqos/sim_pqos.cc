@@ -24,6 +24,33 @@ PqosStatus SimPqos::SetCosMask(uint8_t cos, uint32_t mask) {
   return PqosStatus::kOk;
 }
 
+PqosStatus SimPqos::ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
+                                   size_t* applied) {
+  if (applied != nullptr) {
+    *applied = 0;
+  }
+  const uint32_t out_of_bounds = ~((1u << NumWays()) - 1);
+  for (const CosMaskUpdate& u : updates) {
+    if (u.cos >= NumCos()) {
+      return PqosStatus::kOutOfRange;
+    }
+    if (!IsContiguousMask(u.mask) || (u.mask & out_of_bounds) != 0) {
+      return PqosStatus::kInvalidMask;
+    }
+  }
+  for (const CosMaskUpdate& u : updates) {
+    const uint32_t old_mask = socket_->CosMask(u.cos);
+    socket_->SetCosMask(u.cos, u.mask);
+    if (MaskWays(u.mask) < MaskWays(old_mask)) {
+      socket_->FlushCosOutsideMask(u.cos, u.mask);
+    }
+  }
+  if (applied != nullptr) {
+    *applied = updates.size();
+  }
+  return PqosStatus::kOk;
+}
+
 uint32_t SimPqos::GetCosMask(uint8_t cos) const { return socket_->CosMask(cos); }
 
 PqosStatus SimPqos::AssociateCore(uint16_t core, uint8_t cos) {

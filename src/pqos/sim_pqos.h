@@ -24,6 +24,12 @@ class SimPqos : public CatController, public MbaController, public MonitoringPro
     return socket_->config().llc_geometry.WayCapacityBytes();
   }
   PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override;
+  // Atomic batch: the whole update list is validated before the socket is
+  // touched, so a malformed batch programs nothing (applied == 0) and a
+  // valid one lands in full — the partial-failure window per-COS writes
+  // leave open does not exist on this backend.
+  PqosStatus ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
+                            size_t* applied) override;
   uint32_t GetCosMask(uint8_t cos) const override;
   PqosStatus AssociateCore(uint16_t core, uint8_t cos) override;
   uint8_t GetCoreAssociation(uint16_t core) const override;

@@ -69,6 +69,11 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   HistogramMetric& histogram(const std::string& name, std::vector<double> bounds);
 
+  // Read-only iteration, name-sorted (the fleet layer sums the per-host
+  // registries into one fleet-wide view through these).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
   // Aligned "name value" text, one instrument per line, sorted by name.
   std::string RenderText() const;
   // One JSON object: {"counters": {...}, "gauges": {...},

@@ -432,6 +432,13 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
   result.ticks = checker.ticks_checked();
   result.invariant_violations_total =
       host.dcat()->metrics().counter("invariant_violations_total").value();
+  for (uint16_t c = 0; c < host.socket().num_cores(); ++c) {
+    result.accesses += host.socket().core(c).counters().l1_references;
+  }
+  if (host.fidelity() != nullptr) {
+    result.analytic_coverage = host.fidelity()->coverage();
+  }
+  result.metrics = host.dcat()->metrics();
   return result;
 }
 

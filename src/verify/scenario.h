@@ -19,6 +19,7 @@
 
 #include "src/core/config.h"
 #include "src/sim/analytic_model.h"
+#include "src/telemetry/metrics.h"
 #include "src/verify/invariant_checker.h"
 #include "src/workloads/workload.h"
 
@@ -112,6 +113,13 @@ struct ScenarioResult {
   std::string trace;                  // full JSONL decision trace
   uint64_t ticks = 0;                 // intervals audited
   uint64_t invariant_violations_total = 0;  // metrics counter after the run
+  // Simulated work executed and hybrid fast-path coverage — the fleet layer
+  // aggregates these across shards for its throughput accounting.
+  uint64_t accesses = 0;           // Σ per-core L1 references after the run
+  double analytic_coverage = 0.0;  // 0..1; stays 0 for line-level runs
+  // Copy of the controller's metrics registry at the end of the run (the
+  // fleet layer sums counters across hosts into one registry).
+  MetricsRegistry metrics;
   bool ok() const { return violations.empty(); }
 };
 

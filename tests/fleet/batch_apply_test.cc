@@ -1,0 +1,237 @@
+// Batched mask programming (CatController::ApplyMaskBatch): backend
+// semantics — atomic on SimPqos, validate-all-then-write on ResctrlPqos,
+// first-failure prefix on the default per-COS loop — and the controller
+// contract that batched and per-COS application produce byte-identical
+// decision traces (Fig. 10 golden included) and invariant-clean chaos.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/policies/registry.h"
+#include "src/pqos/mask.h"
+#include "src/pqos/pqos.h"
+#include "src/pqos/resctrl_pqos.h"
+#include "src/pqos/sim_pqos.h"
+#include "src/sim/socket.h"
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+namespace fs = std::filesystem;
+
+// --- SimPqos: the batch is atomic -----------------------------------------
+
+TEST(SimPqosBatchTest, ValidBatchAppliesEveryElement) {
+  Socket socket(SocketConfig::XeonE5());
+  SimPqos pqos(&socket);
+  const std::vector<CosMaskUpdate> updates = {
+      {.cos = 1, .mask = MakeWayMask(0, 4)},
+      {.cos = 2, .mask = MakeWayMask(4, 6)},
+      {.cos = 3, .mask = MakeWayMask(10, 2)},
+  };
+  size_t applied = 0;
+  EXPECT_EQ(pqos.ApplyMaskBatch(updates, &applied), PqosStatus::kOk);
+  EXPECT_EQ(applied, updates.size());
+  for (const CosMaskUpdate& u : updates) {
+    EXPECT_EQ(pqos.GetCosMask(u.cos), u.mask);
+  }
+}
+
+TEST(SimPqosBatchTest, MalformedElementProgramsNothing) {
+  Socket socket(SocketConfig::XeonE5());
+  SimPqos pqos(&socket);
+  const uint32_t before1 = pqos.GetCosMask(1);
+  const uint32_t before2 = pqos.GetCosMask(2);
+  const std::vector<CosMaskUpdate> updates = {
+      {.cos = 1, .mask = MakeWayMask(0, 4)},
+      {.cos = 2, .mask = 0b101},  // non-contiguous: hardware would reject it
+  };
+  size_t applied = 99;
+  EXPECT_EQ(pqos.ApplyMaskBatch(updates, &applied), PqosStatus::kInvalidMask);
+  EXPECT_EQ(applied, 0u);  // atomic: the valid leading element did not land
+  EXPECT_EQ(pqos.GetCosMask(1), before1);
+  EXPECT_EQ(pqos.GetCosMask(2), before2);
+}
+
+// --- Default implementation: per-COS loop, first failure stops ------------
+
+// Minimal backend that fails SetCosMask for one designated COS; it does NOT
+// override ApplyMaskBatch, so this exercises the base-class loop that
+// decorators (fault injectors, crash points) inherit.
+class FlakyCat : public CatController {
+ public:
+  explicit FlakyCat(uint8_t failing_cos) : failing_cos_(failing_cos), masks_(16, 0) {}
+
+  uint32_t NumWays() const override { return 20; }
+  uint8_t NumCos() const override { return 16; }
+  uint16_t NumCores() const override { return 18; }
+  uint64_t WayCapacityBytes() const override { return 1ull << 20; }
+  PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override {
+    ++writes_;
+    if (cos == failing_cos_) {
+      return PqosStatus::kIoError;
+    }
+    masks_[cos] = mask;
+    return PqosStatus::kOk;
+  }
+  uint32_t GetCosMask(uint8_t cos) const override { return masks_[cos]; }
+  PqosStatus AssociateCore(uint16_t, uint8_t) override { return PqosStatus::kOk; }
+  uint8_t GetCoreAssociation(uint16_t) const override { return 0; }
+
+  int writes() const { return writes_; }
+
+ private:
+  uint8_t failing_cos_;
+  std::vector<uint32_t> masks_;
+  int writes_ = 0;
+};
+
+TEST(DefaultBatchTest, StopsAtFirstFailureWithLandedPrefix) {
+  FlakyCat cat(/*failing_cos=*/3);
+  const std::vector<CosMaskUpdate> updates = {
+      {.cos = 1, .mask = MakeWayMask(0, 2)},
+      {.cos = 2, .mask = MakeWayMask(2, 2)},
+      {.cos = 3, .mask = MakeWayMask(4, 2)},
+      {.cos = 4, .mask = MakeWayMask(6, 2)},
+  };
+  size_t applied = 0;
+  EXPECT_EQ(cat.ApplyMaskBatch(updates, &applied), PqosStatus::kIoError);
+  EXPECT_EQ(applied, 2u);          // the landed prefix
+  EXPECT_EQ(cat.writes(), 3);      // element past the failure never attempted
+  EXPECT_EQ(cat.GetCosMask(1), MakeWayMask(0, 2));
+  EXPECT_EQ(cat.GetCosMask(2), MakeWayMask(2, 2));
+  EXPECT_EQ(cat.GetCosMask(4), 0u);
+}
+
+TEST(DefaultBatchTest, EmptyBatchIsOk) {
+  FlakyCat cat(/*failing_cos=*/1);
+  size_t applied = 99;
+  EXPECT_EQ(cat.ApplyMaskBatch({}, &applied), PqosStatus::kOk);
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(cat.writes(), 0);
+}
+
+// --- ResctrlPqos: validate all, then write --------------------------------
+
+class ResctrlBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            (std::string("resctrl_batch_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "info" / "L3");
+    WriteFile(root_ / "info" / "L3" / "cbm_mask", "fffff\n");  // 20 ways
+    WriteFile(root_ / "info" / "L3" / "num_closids", "16\n");
+    WriteFile(root_ / "schemata", "L3:0=fffff\n");
+    WriteFile(root_ / "cpus_list", "0-17\n");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  static void WriteFile(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  static std::string ReadFile(const fs::path& path) {
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ResctrlBatchTest, ValidBatchWritesEverySchemata) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  const std::vector<CosMaskUpdate> updates = {
+      {.cos = 1, .mask = MakeWayMask(0, 4)},
+      {.cos = 2, .mask = MakeWayMask(4, 4)},
+  };
+  size_t applied = 0;
+  EXPECT_EQ(pqos.ApplyMaskBatch(updates, &applied), PqosStatus::kOk);
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(pqos.GetCosMask(1), MakeWayMask(0, 4));
+  EXPECT_EQ(pqos.GetCosMask(2), MakeWayMask(4, 4));
+  EXPECT_NE(ReadFile(root_ / "dcat_cos1" / "schemata").find("f"), std::string::npos);
+}
+
+TEST_F(ResctrlBatchTest, MalformedElementWritesNoFiles) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  const std::string before = ReadFile(root_ / "dcat_cos1" / "schemata");
+  const std::vector<CosMaskUpdate> updates = {
+      {.cos = 1, .mask = MakeWayMask(0, 4)},
+      {.cos = 2, .mask = 0},  // empty mask: invalid everywhere
+  };
+  size_t applied = 99;
+  EXPECT_EQ(pqos.ApplyMaskBatch(updates, &applied), PqosStatus::kInvalidMask);
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos1" / "schemata"), before);
+}
+
+TEST_F(ResctrlBatchTest, OutOfRangeCosRejectsWholeBatch) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  const std::vector<CosMaskUpdate> updates = {
+      {.cos = 1, .mask = MakeWayMask(0, 4)},
+      {.cos = 16, .mask = MakeWayMask(0, 4)},  // num_closids is 16 → max COS 15
+  };
+  size_t applied = 99;
+  EXPECT_EQ(pqos.ApplyMaskBatch(updates, &applied), PqosStatus::kOutOfRange);
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(pqos.GetCosMask(1), MakeWayMask(0, 20));  // untouched full mask
+}
+
+// --- Controller contract: batched ≡ per-COS -------------------------------
+
+TEST(BatchTraceTest, BatchedAndPerCosTracesByteIdenticalUnderEveryPolicy) {
+  for (const std::string& policy : PolicyRegistry::Global().Names()) {
+    Scenario scenario = RandomScenario(11);
+    scenario.intervals = 12;
+    RunOptions options;
+    options.policy = policy;
+    scenario.dcat.batch_mask_apply = true;
+    const ScenarioResult batched = RunScenario(scenario, options);
+    scenario.dcat.batch_mask_apply = false;
+    const ScenarioResult per_cos = RunScenario(scenario, options);
+    const std::string diff = DescribeTraceDivergence(per_cos.trace, batched.trace);
+    EXPECT_TRUE(diff.empty()) << "policy " << policy << ": " << diff;
+  }
+}
+
+TEST(BatchTraceTest, Fig10GoldenUnchangedByBatchToggle) {
+  Scenario scenario = Fig10Scenario();
+  RunOptions options;
+  scenario.dcat.batch_mask_apply = true;
+  const ScenarioResult batched = RunScenario(scenario, options);
+  scenario.dcat.batch_mask_apply = false;
+  const ScenarioResult per_cos = RunScenario(scenario, options);
+  const std::string diff = DescribeTraceDivergence(per_cos.trace, batched.trace);
+  EXPECT_TRUE(diff.empty()) << diff;
+  EXPECT_TRUE(batched.ok());
+}
+
+TEST(BatchTraceTest, ChaosRunsInvariantCleanInBothModes) {
+  Scenario scenario = RandomScenario(5);
+  scenario.intervals = 12;
+  RunOptions options;
+  options.inject_faults = true;
+  options.fault_seed = 77;
+  for (const bool batch : {true, false}) {
+    scenario.dcat.batch_mask_apply = batch;
+    const ScenarioResult result = RunScenario(scenario, options);
+    for (const Violation& v : result.violations) {
+      ADD_FAILURE() << (batch ? "batched" : "per-cos") << " tick " << v.tick << " "
+                    << v.invariant << ": " << v.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcat

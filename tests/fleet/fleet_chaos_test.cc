@@ -1,0 +1,76 @@
+// Chaos-composed fleets: FaultyPqos rides a subset of shards
+// (chaos_every), and shard isolation means the blast radius is exactly
+// those shards — every shard self-heals (invariant-clean), and healthy
+// shards produce traces byte-identical to a chaos-free fleet.
+#include "src/fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+FleetConfig ChaosFleet() {
+  FleetConfig config;
+  config.hosts = 6;
+  config.sockets_per_host = 1;
+  config.base_seed = 33;
+  config.intervals = 12;
+  config.jobs = 2;
+  config.chaos_every = 3;  // shards 0 and 3 run under FaultyPqos
+  config.chaos_profile = "mixed";
+  return config;
+}
+
+TEST(FleetChaosTest, FaultedShardsAreExactlyTheScheduledOnes) {
+  const FleetResult fleet = RunFleet(ChaosFleet());
+  ASSERT_EQ(fleet.shards.size(), 6u);
+  for (size_t s = 0; s < fleet.shards.size(); ++s) {
+    EXPECT_EQ(fleet.shards[s].faulted, s % 3 == 0) << "shard " << s;
+  }
+}
+
+TEST(FleetChaosTest, ChaosComposedFleetStaysInvariantClean) {
+  const FleetResult fleet = RunFleet(ChaosFleet());
+  for (size_t s = 0; s < fleet.shards.size(); ++s) {
+    for (const Violation& v : fleet.shards[s].result.violations) {
+      ADD_FAILURE() << "shard " << s << " tick " << v.tick << " " << v.invariant << ": "
+                    << v.detail;
+    }
+  }
+  EXPECT_TRUE(fleet.ok());
+  const auto it = fleet.metrics.counters().find("fleet.violations_total");
+  ASSERT_NE(it, fleet.metrics.counters().end());
+  EXPECT_EQ(it->second.value(), 0u);
+}
+
+TEST(FleetChaosTest, HealthyShardsMatchChaosFreeFleet) {
+  const FleetResult chaotic = RunFleet(ChaosFleet());
+  FleetConfig calm = ChaosFleet();
+  calm.chaos_every = 0;
+  const FleetResult baseline = RunFleet(calm);
+  ASSERT_EQ(chaotic.shards.size(), baseline.shards.size());
+  for (size_t s = 0; s < chaotic.shards.size(); ++s) {
+    if (chaotic.shards[s].faulted) {
+      continue;  // fault injection legitimately changes these traces
+    }
+    const std::string diff = DescribeTraceDivergence(baseline.shards[s].result.trace,
+                                                     chaotic.shards[s].result.trace);
+    EXPECT_TRUE(diff.empty()) << "healthy shard " << s << " perturbed by chaos: " << diff;
+  }
+}
+
+TEST(FleetChaosTest, ChaosFleetIsJobsIndependent) {
+  FleetConfig serial = ChaosFleet();
+  serial.jobs = 1;
+  FleetConfig sharded = ChaosFleet();
+  sharded.jobs = 4;
+  EXPECT_EQ(RunFleet(serial).MergedTrace(), RunFleet(sharded).MergedTrace());
+}
+
+}  // namespace
+}  // namespace dcat

@@ -1,0 +1,162 @@
+// Fleet determinism contract (DESIGN.md §16): every shard's decision trace
+// is a pure function of (config, shard) — byte-identical between jobs=1
+// and jobs=N, equal to a standalone RunScenario of the shard's scenario,
+// and merged in shard order so fleet aggregates never depend on the job
+// count or scheduling order.
+#include "src/fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "src/verify/scenario.h"
+
+namespace dcat {
+namespace {
+
+uint64_t CounterValue(const MetricsRegistry& metrics, const std::string& name) {
+  const auto it = metrics.counters().find(name);
+  return it == metrics.counters().end() ? 0 : it->second.value();
+}
+
+double GaugeValue(const MetricsRegistry& metrics, const std::string& name) {
+  const auto it = metrics.gauges().find(name);
+  return it == metrics.gauges().end() ? -1.0 : it->second.value();
+}
+
+FleetConfig SmallRandomFleet() {
+  FleetConfig config;
+  config.hosts = 4;
+  config.sockets_per_host = 1;
+  config.base_seed = 21;
+  config.intervals = 12;  // trimmed: the contract is per-line, not per-length
+  return config;
+}
+
+TEST(FleetDeterminismTest, SerialVsShardedByteIdentical) {
+  FleetConfig serial = SmallRandomFleet();
+  serial.jobs = 1;
+  FleetConfig sharded = SmallRandomFleet();
+  sharded.jobs = 4;
+
+  const FleetResult a = RunFleet(serial);
+  const FleetResult b = RunFleet(sharded);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t s = 0; s < a.shards.size(); ++s) {
+    const std::string diff =
+        DescribeTraceDivergence(a.shards[s].result.trace, b.shards[s].result.trace);
+    EXPECT_TRUE(diff.empty()) << "shard " << s << ": " << diff;
+  }
+  EXPECT_EQ(a.MergedTrace(), b.MergedTrace());
+  EXPECT_EQ(a.ticks_total, b.ticks_total);
+  EXPECT_EQ(a.accesses_total, b.accesses_total);
+  EXPECT_EQ(a.violations_total, b.violations_total);
+}
+
+TEST(FleetDeterminismTest, ShardMatchesStandaloneRunScenario) {
+  FleetConfig config = SmallRandomFleet();
+  config.hosts = 2;
+  config.jobs = 2;
+  const FleetResult fleet = RunFleet(config);
+  ASSERT_EQ(fleet.shards.size(), 2u);
+  for (uint32_t s = 0; s < 2; ++s) {
+    const ScenarioResult standalone =
+        RunScenario(FleetShardScenario(config, s), FleetShardRunOptions(config, s));
+    EXPECT_EQ(standalone.trace, fleet.shards[s].result.trace) << "shard " << s;
+    EXPECT_EQ(standalone.ticks, fleet.shards[s].result.ticks);
+  }
+}
+
+TEST(FleetDeterminismTest, ShardIndexingIsHostMajor) {
+  FleetConfig config;
+  config.hosts = 2;
+  config.sockets_per_host = 2;
+  config.jobs = 2;
+  config.intervals = 6;
+  config.mix = FleetConfig::Mix::kSteady;
+  const FleetResult fleet = RunFleet(config);
+  ASSERT_EQ(fleet.shards.size(), 4u);
+  const uint32_t hosts[] = {0, 0, 1, 1};
+  const uint32_t sockets[] = {0, 1, 0, 1};
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(fleet.shards[s].host, hosts[s]);
+    EXPECT_EQ(fleet.shards[s].socket, sockets[s]);
+    EXPECT_EQ(fleet.shards[s].seed, config.base_seed + s);
+  }
+}
+
+TEST(FleetDeterminismTest, MergedTraceTagsEveryLineWithHostAndSocket) {
+  FleetConfig config;
+  config.hosts = 2;
+  config.sockets_per_host = 1;
+  config.jobs = 1;
+  config.intervals = 6;
+  config.mix = FleetConfig::Mix::kSteady;
+  const FleetResult fleet = RunFleet(config);
+  std::istringstream in(fleet.MergedTrace());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ++lines;
+    EXPECT_EQ(line.rfind("{\"host\":", 0), 0u) << line;
+    EXPECT_NE(line.find("\"socket\":"), std::string::npos) << line;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(FleetDeterminismTest, AggregatesSumShardsInOrder) {
+  FleetConfig config = SmallRandomFleet();
+  config.jobs = 2;
+  const FleetResult fleet = RunFleet(config);
+  EXPECT_DOUBLE_EQ(GaugeValue(fleet.metrics, "fleet.hosts"), 4.0);
+  EXPECT_DOUBLE_EQ(GaugeValue(fleet.metrics, "fleet.sockets_per_host"), 1.0);
+  EXPECT_DOUBLE_EQ(GaugeValue(fleet.metrics, "fleet.shards"), 4.0);
+  uint64_t ticks = 0;
+  uint64_t accesses = 0;
+  for (const FleetShardReport& shard : fleet.shards) {
+    ticks += shard.result.ticks;
+    accesses += shard.result.accesses;
+  }
+  EXPECT_EQ(fleet.ticks_total, ticks);
+  EXPECT_EQ(fleet.accesses_total, accesses);
+  EXPECT_EQ(CounterValue(fleet.metrics, "fleet.ticks_total"), ticks);
+  EXPECT_EQ(CounterValue(fleet.metrics, "fleet.accesses_total"), accesses);
+  // Per-shard controller counters are summed under their own names; every
+  // shard audits `intervals` ticks, so the shared counter must be the sum.
+  uint64_t audits = 0;
+  for (const FleetShardReport& shard : fleet.shards) {
+    const auto& counters = shard.result.metrics.counters();
+    const auto it = counters.find("invariant.audits");
+    if (it != counters.end()) {
+      audits += it->second.value();
+    }
+  }
+  if (audits > 0) {
+    EXPECT_EQ(CounterValue(fleet.metrics, "invariant.audits"), audits);
+  }
+}
+
+TEST(FleetDeterminismTest, HybridFleetCleanAndJobsIndependent) {
+  FleetConfig config;
+  config.hosts = 3;
+  config.sockets_per_host = 1;
+  config.intervals = 10;
+  config.mix = FleetConfig::Mix::kSteady;
+  config.fidelity.mode = FidelityMode::kHybrid;
+  config.fidelity.resample_every = 0;
+  config.jobs = 1;
+  const FleetResult serial = RunFleet(config);
+  config.jobs = 3;
+  const FleetResult sharded = RunFleet(config);
+  EXPECT_TRUE(serial.ok());
+  EXPECT_TRUE(sharded.ok());
+  EXPECT_EQ(serial.MergedTrace(), sharded.MergedTrace());
+}
+
+}  // namespace
+}  // namespace dcat

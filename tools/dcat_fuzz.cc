@@ -40,6 +40,7 @@
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
 #include "src/faults/fault_plan.h"
+#include "src/fleet/fleet.h"
 #include "src/policies/registry.h"
 #include "src/telemetry/trace.h"
 #include "src/verify/crash.h"
@@ -77,6 +78,13 @@ struct Options {
   FidelityMode fidelity = FidelityMode::kLine;
   bool fidelity_diff = false;
   std::string check_golden;
+  // Fleet mode (--fleet=M or MxN): M hosts x N sockets, every shard a full
+  // verified scenario, sharded across --fleet-jobs threads. Composes with
+  // --chaos (every third shard runs under FaultyPqos) and --fidelity.
+  bool fleet = false;
+  uint32_t fleet_hosts = 0;
+  uint32_t fleet_sockets = 1;
+  uint64_t fleet_jobs = 0;  // 0 = all cores
 };
 
 // The fault schedules a chaos run sweeps with --chaos-profile=all.
@@ -126,7 +134,17 @@ void PrintUsage() {
       "                          recover it from the write-ahead journal, and\n"
       "                          require invariant-clean splices; fault-free\n"
       "                          runs must also converge byte-identically to\n"
-      "                          the uninterrupted trace\n");
+      "                          the uninterrupted trace\n"
+      "  --fleet=M[xN]           fleet mode: run M hosts x N sockets (default\n"
+      "                          N=1) as independent controller shards on the\n"
+      "                          thread pool, seeds start-seed..start-seed+MxN-1,\n"
+      "                          then re-run serially and require every shard's\n"
+      "                          trace byte-identical (skip with\n"
+      "                          --no-determinism); with --chaos every third\n"
+      "                          shard runs under FaultyPqos and must stay\n"
+      "                          invariant-clean without disturbing the rest\n"
+      "  --fleet-jobs=J          worker threads for the fleet fan-out (0 = all\n"
+      "                          cores, the default)\n");
 }
 
 std::string FormatTraceTail(const std::string& trace, size_t tail) {
@@ -343,6 +361,93 @@ bool RunCrash(const Scenario& scenario, const std::string& policy, const char* f
   return true;
 }
 
+// Fleet mode: one fleet per selected policy. Every shard must be
+// invariant-clean, and (unless --no-determinism) a serial re-run must
+// reproduce every shard's trace byte for byte — the sharding contract.
+int RunFleetMode(const Options& options, const std::vector<std::string>& policies) {
+  uint64_t failures = 0;
+  for (const std::string& policy : policies) {
+    FleetConfig config;
+    config.hosts = options.fleet_hosts;
+    config.sockets_per_host = options.fleet_sockets;
+    config.jobs = options.fleet_jobs == 0 ? ThreadPool::DefaultJobs()
+                                          : static_cast<size_t>(options.fleet_jobs);
+    config.base_seed = options.start_seed;
+    config.policy = policy;
+    config.cycles_per_interval = options.cycles_per_interval;
+    config.fidelity.mode = options.fidelity;
+    if (options.chaos) {
+      config.chaos_every = 3;
+      config.chaos_profile =
+          options.chaos_profile == "all" ? "mixed" : options.chaos_profile;
+    }
+
+    const FleetResult result = RunFleet(config);
+    for (const FleetShardReport& shard : result.shards) {
+      if (shard.ok()) {
+        continue;
+      }
+      ++failures;
+      std::printf("FAIL fleet shard host=%u socket=%u seed=%llu policy=%s%s\n", shard.host,
+                  shard.socket, static_cast<unsigned long long>(shard.seed), policy.c_str(),
+                  shard.faulted ? " (chaos)" : "");
+      std::printf("  replay:   dcat_fuzz --fleet=1 --start-seed=%llu --policy=%s%s%s\n",
+                  static_cast<unsigned long long>(shard.seed), policy.c_str(),
+                  options.chaos && shard.faulted ? " --chaos" : "",
+                  options.chaos && shard.faulted
+                      ? (" --chaos-profile=" + config.chaos_profile).c_str()
+                      : "");
+      for (const Violation& violation : shard.result.violations) {
+        std::printf("  violation [%s] tick=%llu tenant=%llu: %s\n",
+                    violation.invariant.c_str(),
+                    static_cast<unsigned long long>(violation.tick),
+                    static_cast<unsigned long long>(violation.tenant),
+                    violation.detail.c_str());
+      }
+      std::fputs(FormatTraceTail(shard.result.trace, options.trace_tail).c_str(), stdout);
+    }
+
+    if (options.check_determinism && config.jobs != 1) {
+      FleetConfig serial = config;
+      serial.jobs = 1;
+      const FleetResult again = RunFleet(serial);
+      for (size_t s = 0; s < result.shards.size(); ++s) {
+        const std::string divergence = DescribeTraceDivergence(
+            result.shards[s].result.trace, again.shards[s].result.trace);
+        if (!divergence.empty()) {
+          ++failures;
+          std::printf(
+              "FAIL fleet shard host=%u socket=%u seed=%llu policy=%s: trace differs "
+              "between --fleet-jobs=%zu and --fleet-jobs=1\n  %s\n",
+              result.shards[s].host, result.shards[s].socket,
+              static_cast<unsigned long long>(result.shards[s].seed), policy.c_str(),
+              config.jobs, divergence.c_str());
+        }
+      }
+      if (result.MergedTrace() != again.MergedTrace()) {
+        ++failures;
+        std::printf("FAIL fleet merged trace differs between job counts (policy=%s)\n",
+                    policy.c_str());
+      }
+    }
+
+    std::printf(
+        "fleet %ux%u policy=%s jobs=%zu: %llu ticks, %llu accesses, %llu violations%s\n",
+        config.hosts, config.sockets_per_host, policy.c_str(), config.jobs,
+        static_cast<unsigned long long>(result.ticks_total),
+        static_cast<unsigned long long>(result.accesses_total),
+        static_cast<unsigned long long>(result.violations_total),
+        options.check_determinism && config.jobs != 1 ? " (serial re-run byte-identical)"
+                                                      : "");
+  }
+  if (failures > 0) {
+    std::printf("dcat_fuzz: %llu fleet checks FAILED\n",
+                static_cast<unsigned long long>(failures));
+    return 1;
+  }
+  return 0;
+}
+
 // Pulls an integer field out of one JSONL trace line ("tick":7 -> 7).
 // Returns -1 when the field is absent (e.g. a socket-wide event).
 long long JsonIntField(const std::string& line, const char* key) {
@@ -532,6 +637,28 @@ int Main(int argc, char** argv) {
         return 1;
       }
       options.chaos = true;
+    } else if (const char* v = value("--fleet=")) {
+      options.fleet = true;
+      uint64_t hosts = 0;
+      uint64_t sockets = 1;
+      const char* x = std::strchr(v, 'x');
+      if (x != nullptr) {
+        if (!ParseUint64(std::string(v, x - v), &hosts) || !ParseUint64(x + 1, &sockets) ||
+            hosts == 0 || sockets == 0) {
+          std::fprintf(stderr, "--fleet: expected M or MxN (positive), got '%s'\n", v);
+          return 1;
+        }
+      } else if (!ParseUint64(v, &hosts) || hosts == 0) {
+        std::fprintf(stderr, "--fleet: expected M or MxN (positive), got '%s'\n", v);
+        return 1;
+      }
+      options.fleet_hosts = static_cast<uint32_t>(hosts);
+      options.fleet_sockets = static_cast<uint32_t>(sockets);
+    } else if (const char* v = value("--fleet-jobs=")) {
+      if (!ParseUint64(v, &options.fleet_jobs)) {
+        std::fprintf(stderr, "--fleet-jobs: expected an integer, got '%s'\n", v);
+        return 1;
+      }
     } else if (const char* v = value("--crash-at=")) {
       options.crash = true;
       if (std::strcmp(v, "every") == 0) {
@@ -565,6 +692,14 @@ int Main(int argc, char** argv) {
     policies = {"max-fairness", "max-performance"};  // the paper's pair
   } else {
     policies = {PolicyRegistry::CanonicalName(options.policy)};
+  }
+
+  if (options.fleet) {
+    if (options.crash || options.fidelity_diff) {
+      std::fprintf(stderr, "--fleet cannot combine with --crash-at or --fidelity-diff\n");
+      return 1;
+    }
+    return RunFleetMode(options, policies);
   }
 
   const uint64_t count = options.single_seed ? 1 : options.seeds;
