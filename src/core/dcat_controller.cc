@@ -427,16 +427,25 @@ WorkloadSample DcatController::CollectSample(TenantState& tenant) {
   // The MBM path is read unconditionally: it is the cross-check the frozen
   // classification relies on, and it stays trustworthy even while the
   // per-core counters are quarantined (separate hardware path).
-  const uint64_t mbm = monitor_->MemoryBandwidthBytes(tenant.cos);
-  // A backwards MBM level is a failed or torn read (the injectors produce
-  // zeroes and truncated values), not real traffic: keep the last-good
-  // snapshot so the next monotonic read yields a sane multi-interval delta.
+  uint64_t mbm = 0;
+  const PqosStatus mbm_status = monitor_->ReadMemoryBandwidth(tenant.cos, &mbm);
   uint64_t mbm_delta = 0;
-  if (mbm >= tenant.last_mbm) {
-    mbm_delta = mbm - tenant.last_mbm;
-    tenant.last_mbm = mbm;
-  } else {
-    metrics_.counter("faults.mbm_anomalies").Increment();
+  if (mbm_status == PqosStatus::kOk) {
+    // A backwards MBM level is a torn read (a truncated value from a
+    // partially-written node), not real traffic: keep the last-good
+    // snapshot so the next monotonic read yields a sane multi-interval
+    // delta.
+    if (mbm >= tenant.last_mbm) {
+      mbm_delta = mbm - tenant.last_mbm;
+      tenant.last_mbm = mbm;
+    } else {
+      metrics_.counter("faults.mbm_anomalies").Increment();
+    }
+  } else if (mbm_status == PqosStatus::kIoError) {
+    // A failed read is not a value of 0 — keep the snapshot and let the
+    // next good read produce the cumulative delta. kUnsupported (backend
+    // has no MBM at all) stays silent: nothing is wrong.
+    metrics_.counter("faults.monitor_read_errors").Increment();
   }
   const auto anomaly = ClassifyAnomaly(tenant, sum, delta, mbm_delta);
   WorkloadSample sample;

@@ -16,6 +16,8 @@ enum Stream : uint64_t {
   kStreamAnomalyFire = 4,
   kStreamAnomalyKind = 5,
   kStreamMonitorFault = 6,
+  kStreamFileRead = 7,
+  kStreamFileWrite = 8,
 };
 
 uint64_t Mix(uint64_t seed, uint64_t stream, uint64_t a, uint64_t b) {
@@ -85,6 +87,52 @@ FaultProfile MixedChaosProfile() {
   return p;
 }
 
+FaultProfile FsTransientProfile() {
+  FaultProfile p;
+  p.name = "fs-transient";
+  p.file_write_error_rate = 0.12;
+  p.file_write_error_burst = 2;
+  p.file_read_error_rate = 0.08;
+  p.file_read_error_burst = 2;
+  p.file_retry_rate = 0.15;
+  p.file_retry_burst = 2;
+  return p;
+}
+
+FaultProfile FsTornProfile() {
+  FaultProfile p;
+  p.name = "fs-torn";
+  p.file_torn_write_rate = 0.15;
+  return p;
+}
+
+FaultProfile FsGarbageProfile() {
+  FaultProfile p;
+  p.name = "fs-garbage";
+  p.file_short_read_rate = 0.06;
+  p.file_garbage_read_rate = 0.06;
+  p.file_empty_read_rate = 0.04;
+  p.file_vanish_rate = 0.06;
+  return p;
+}
+
+FaultProfile FsMixedProfile() {
+  FaultProfile p;
+  p.name = "fs-mixed";
+  p.file_write_error_rate = 0.06;
+  p.file_write_error_burst = 2;
+  p.file_torn_write_rate = 0.06;
+  p.file_read_error_rate = 0.04;
+  p.file_read_error_burst = 2;
+  p.file_retry_rate = 0.08;
+  p.file_retry_burst = 2;
+  p.file_short_read_rate = 0.03;
+  p.file_garbage_read_rate = 0.03;
+  p.file_empty_read_rate = 0.02;
+  p.file_vanish_rate = 0.03;
+  return p;
+}
+
 std::optional<FaultProfile> FaultProfileByName(const std::string& name) {
   if (name == "transient") return TransientProfile();
   if (name == "silent-drift") return SilentDriftProfile();
@@ -92,7 +140,33 @@ std::optional<FaultProfile> FaultProfileByName(const std::string& name) {
   if (name == "persistent-outage") return PersistentOutageProfile();
   if (name == "monitoring") return MonitoringChaosProfile();
   if (name == "mixed") return MixedChaosProfile();
+  if (name == "fs-transient") return FsTransientProfile();
+  if (name == "fs-torn") return FsTornProfile();
+  if (name == "fs-garbage") return FsGarbageProfile();
+  if (name == "fs-mixed") return FsMixedProfile();
   return std::nullopt;
+}
+
+const char* FileFaultName(FileFault fault) {
+  switch (fault) {
+    case FileFault::kNone:
+      return "none";
+    case FileFault::kError:
+      return "error";
+    case FileFault::kRetry:
+      return "retry";
+    case FileFault::kTornWrite:
+      return "torn-write";
+    case FileFault::kShortRead:
+      return "short-read";
+    case FileFault::kGarbage:
+      return "garbage";
+    case FileFault::kEmpty:
+      return "empty";
+    case FileFault::kVanish:
+      return "vanish";
+  }
+  return "?";
 }
 
 FaultPlan::FaultPlan(uint64_t seed, FaultProfile profile)
@@ -168,6 +242,56 @@ std::optional<CounterAnomalyKind> FaultPlan::OnReadCounters(uint16_t core) const
     return std::nullopt;
   }
   return enabled[Mix(seed_, kStreamAnomalyKind, tick_, core) % n];
+}
+
+FileFault FaultPlan::OnFileRead(uint64_t path_hash, uint32_t attempt) const {
+  if (!Active()) {
+    return FileFault::kNone;
+  }
+  const double roll = UnitHash(kStreamFileRead, tick_, path_hash);
+  double edge = profile_.file_read_error_rate;
+  if (roll < edge) {
+    return attempt < profile_.file_read_error_burst ? FileFault::kError : FileFault::kNone;
+  }
+  if (roll < (edge += profile_.file_retry_rate)) {
+    return attempt < profile_.file_retry_burst ? FileFault::kRetry : FileFault::kNone;
+  }
+  // Content corruptions persist for the whole tick: the node holds the same
+  // bytes no matter how often it is re-read.
+  if (roll < (edge += profile_.file_short_read_rate)) {
+    return FileFault::kShortRead;
+  }
+  if (roll < (edge += profile_.file_garbage_read_rate)) {
+    return FileFault::kGarbage;
+  }
+  if (roll < (edge += profile_.file_empty_read_rate)) {
+    return FileFault::kEmpty;
+  }
+  if (roll < (edge += profile_.file_vanish_rate)) {
+    return FileFault::kVanish;
+  }
+  return FileFault::kNone;
+}
+
+FileFault FaultPlan::OnFileWrite(uint64_t path_hash, uint32_t attempt) const {
+  if (!Active()) {
+    return FileFault::kNone;
+  }
+  const double roll = UnitHash(kStreamFileWrite, tick_, path_hash);
+  double edge = profile_.file_write_error_rate;
+  if (roll < edge) {
+    return attempt < profile_.file_write_error_burst ? FileFault::kError : FileFault::kNone;
+  }
+  // Torn writes are one-shot: the first attempt tears, the rollback or
+  // retry rewrite of the same node lands — the shape read-back-and-restore
+  // must absorb.
+  if (roll < (edge += profile_.file_torn_write_rate)) {
+    return attempt == 0 ? FileFault::kTornWrite : FileFault::kNone;
+  }
+  if (roll < (edge += profile_.file_retry_rate)) {
+    return attempt < profile_.file_retry_burst ? FileFault::kRetry : FileFault::kNone;
+  }
+  return FileFault::kNone;
 }
 
 MonitorFault FaultPlan::OnMonitorRead(uint8_t cos) const {

@@ -62,6 +62,25 @@ struct FaultProfile {
   double monitor_read_error_rate = 0.0;
   double monitor_torn_read_rate = 0.0;
 
+  // File-I/O fault plane (the FaultyFs decorator under ResctrlPqos).
+  // Decisions are per-(tick, path); within an afflicted (tick, path) the
+  // burst-style faults hit the first `*_burst` attempts and then clear, so
+  // an in-tick retry or rollback write can land. Torn writes are one-shot
+  // (attempt 0 tears, the rewrite succeeds); content corruptions (short /
+  // garbage / empty reads, vanished nodes) persist for the whole tick —
+  // the node's content *is* what it is until something rewrites it.
+  double file_write_error_rate = 0.0;  // Write returns kError, nothing lands
+  uint32_t file_write_error_burst = 2;
+  double file_torn_write_rate = 0.0;   // prefix lands, Write reports kError
+  double file_read_error_rate = 0.0;   // Read returns kError
+  uint32_t file_read_error_burst = 2;
+  double file_retry_rate = 0.0;        // EINTR-style kRetry on read+write
+  uint32_t file_retry_burst = 2;
+  double file_short_read_rate = 0.0;   // Read yields a strict prefix
+  double file_garbage_read_rate = 0.0; // Read yields unparseable bytes
+  double file_empty_read_rate = 0.0;   // Read yields ""
+  double file_vanish_rate = 0.0;       // Read returns kNotFound
+
   // Faults only fire while 1 <= tick <= active_ticks (0 = no upper bound).
   // Chaos runs cap this at the scenario length so a settle window after the
   // last interval is fault-free and degraded mode can prove it re-enters
@@ -77,8 +96,16 @@ FaultProfile PersistentOutageProfile();  // multi-tick outages
 FaultProfile MonitoringChaosProfile();  // failed + torn MBM/occupancy reads
 FaultProfile MixedChaosProfile();      // everything at once
 
+// File-I/O profiles used by `dcat_fuzz --chaos-resctrl` (FaultyFs under the
+// fake-tree ResctrlPqos differential).
+FaultProfile FsTransientProfile();     // open/write errors + EINTR retries
+FaultProfile FsTornProfile();          // torn schemata/cpus_list writes
+FaultProfile FsGarbageProfile();       // short/garbage/empty/vanished reads
+FaultProfile FsMixedProfile();         // all file-I/O faults at once
+
 // nullopt for unknown names. Accepts: "transient", "silent-drift",
-// "counter-garbage", "persistent-outage", "monitoring", "mixed".
+// "counter-garbage", "persistent-outage", "monitoring", "mixed",
+// "fs-transient", "fs-torn", "fs-garbage", "fs-mixed".
 std::optional<FaultProfile> FaultProfileByName(const std::string& name);
 
 // What a FaultPlan does to one per-COS monitoring read (MBM/occupancy).
@@ -87,6 +114,20 @@ enum class MonitorFault {
   kReadError,  // the read fails; the caller sees 0
   kTornValue,  // partially-written node: the value loses its high bits
 };
+
+// What a FaultPlan does to one FileIo operation (FaultyFs decorator).
+enum class FileFault {
+  kNone,       // forward to the real filesystem
+  kError,      // open/read/write failure, nothing lands
+  kRetry,      // EINTR-style transient; immediate retry is expected
+  kTornWrite,  // a strict prefix of the content lands, Write reports kError
+  kShortRead,  // the read yields a strict prefix of the real content
+  kGarbage,    // the read yields unparseable bytes
+  kEmpty,      // the read yields an empty string
+  kVanish,     // the read reports kNotFound
+};
+
+const char* FileFaultName(FileFault fault);
 
 // A seeded, deterministic schedule over a FaultProfile. Default-constructed
 // plans are inert (profile "none", every rate 0).
@@ -119,6 +160,13 @@ class FaultPlan {
 
   // Monitoring fault (if any) for per-COS MBM/occupancy reads this tick.
   MonitorFault OnMonitorRead(uint8_t cos) const;
+
+  // Fault decision for attempt `attempt` (0-based) of a file read/write on
+  // the node identified by `path_hash` this tick. Hash a root-relative
+  // path (FaultyFs strips its prefix) so the schedule is independent of
+  // where the fake tree happens to live.
+  FileFault OnFileRead(uint64_t path_hash, uint32_t attempt) const;
+  FileFault OnFileWrite(uint64_t path_hash, uint32_t attempt) const;
 
  private:
   // Stateless per-decision hash in [0, 1).

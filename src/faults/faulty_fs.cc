@@ -1,0 +1,143 @@
+#include "src/faults/faulty_fs.h"
+
+#include <utility>
+
+namespace dcat {
+namespace {
+
+// FNV-1a over the root-relative path: stable across processes, so a fault
+// schedule replays from (seed, profile) alone regardless of temp-dir names.
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FaultyFs::FaultyFs(FileIo* inner, FaultPlan plan, std::string strip_prefix)
+    : inner_(inner), plan_(std::move(plan)), strip_prefix_(std::move(strip_prefix)) {}
+
+void FaultyFs::AdvanceTick() {
+  attempts_.clear();
+  plan_.AdvanceTick();
+}
+
+uint64_t FaultyFs::PathHash(const std::string& path) const {
+  if (!strip_prefix_.empty() && path.compare(0, strip_prefix_.size(), strip_prefix_) == 0) {
+    return Fnv1a(path.substr(strip_prefix_.size()));
+  }
+  return Fnv1a(path);
+}
+
+FileFault FaultyFs::Decide(bool is_write, const std::string& path) const {
+  std::deque<Scripted>& scripted = is_write ? scripted_writes_ : scripted_reads_;
+  for (auto it = scripted.begin(); it != scripted.end(); ++it) {
+    if (!it->substring.empty() && path.find(it->substring) == std::string::npos) {
+      continue;
+    }
+    const FileFault fault = it->fault;
+    if (--it->count == 0) {
+      scripted.erase(it);
+    }
+    return fault;
+  }
+  const uint64_t hash = PathHash(path);
+  const uint64_t key = hash ^ (is_write ? 0x8000000000000000ULL : 0);
+  const uint32_t attempt = attempts_[key]++;
+  return is_write ? plan_.OnFileWrite(hash, attempt) : plan_.OnFileRead(hash, attempt);
+}
+
+std::string FaultyFs::Truncate(const std::string& content) {
+  // A strict prefix: at least one byte is always lost.
+  return content.substr(0, content.size() / 2);
+}
+
+FileIoStatus FaultyFs::Read(const std::string& path, std::string* out) const {
+  switch (Decide(/*is_write=*/false, path)) {
+    case FileFault::kNone:
+      ++stats_.forwarded_reads;
+      return inner_->Read(path, out);
+    case FileFault::kRetry:
+      ++stats_.injected_read_faults;
+      return FileIoStatus::kRetry;
+    case FileFault::kVanish:
+      ++stats_.injected_read_faults;
+      return FileIoStatus::kNotFound;
+    case FileFault::kShortRead: {
+      ++stats_.injected_read_faults;
+      std::string clean;
+      const FileIoStatus status = inner_->Read(path, &clean);
+      if (status != FileIoStatus::kOk) {
+        return status;
+      }
+      *out = Truncate(clean);
+      return FileIoStatus::kOk;
+    }
+    case FileFault::kGarbage:
+      ++stats_.injected_read_faults;
+      *out = "0xz!#torn~node";
+      return FileIoStatus::kOk;
+    case FileFault::kEmpty:
+      ++stats_.injected_read_faults;
+      *out = "";
+      return FileIoStatus::kOk;
+    case FileFault::kError:
+    case FileFault::kTornWrite:  // not a read fault; fail closed
+      ++stats_.injected_read_faults;
+      return FileIoStatus::kError;
+  }
+  return FileIoStatus::kError;
+}
+
+FileIoStatus FaultyFs::Write(const std::string& path, const std::string& content) {
+  switch (Decide(/*is_write=*/true, path)) {
+    case FileFault::kNone:
+      ++stats_.forwarded_writes;
+      return inner_->Write(path, content);
+    case FileFault::kRetry:
+      ++stats_.injected_write_faults;
+      return FileIoStatus::kRetry;
+    case FileFault::kTornWrite: {
+      // The prefix lands in the real tree, then the call reports failure —
+      // exactly what a crashed or interrupted sysfs write leaves behind.
+      ++stats_.injected_write_faults;
+      ++stats_.torn_writes;
+      (void)inner_->Write(path, Truncate(content));
+      return FileIoStatus::kError;
+    }
+    case FileFault::kError:
+    case FileFault::kShortRead:  // read faults; fail closed on a write
+    case FileFault::kGarbage:
+    case FileFault::kEmpty:
+    case FileFault::kVanish:
+      ++stats_.injected_write_faults;
+      return FileIoStatus::kError;
+  }
+  return FileIoStatus::kError;
+}
+
+FileIoStatus FaultyFs::CreateDirs(const std::string& path) {
+  return inner_->CreateDirs(path);
+}
+
+bool FaultyFs::IsDir(const std::string& path) const { return inner_->IsDir(path); }
+
+void FaultyFs::ScriptReadFault(FileFault fault, uint32_t count, std::string path_substring) {
+  if (count == 0) {
+    return;
+  }
+  scripted_reads_.push_back(Scripted{fault, count, std::move(path_substring)});
+}
+
+void FaultyFs::ScriptWriteFault(FileFault fault, uint32_t count, std::string path_substring) {
+  if (count == 0) {
+    return;
+  }
+  scripted_writes_.push_back(Scripted{fault, count, std::move(path_substring)});
+}
+
+}  // namespace dcat

@@ -1,0 +1,92 @@
+// Fault-injecting decorator over the FileIo seam (src/pqos/file_io.h).
+//
+// FaultyFs sits between ResctrlPqos and the real filesystem and perturbs
+// file operations per its FaultPlan: transient open/write errors, torn
+// writes (a strict prefix of the content lands while the call reports
+// failure), EINTR-style retryable errors, short reads, garbage and empty
+// node contents, and vanished nodes. Decisions hash (seed, tick, op,
+// path, attempt), so the same seed replays the same fault schedule; paths
+// are hashed relative to `strip_prefix` so the schedule is independent of
+// where the fake tree lives on disk.
+//
+// Tests can also script faults explicitly (ScriptReadFault /
+// ScriptWriteFault, optionally matched to a path substring) without a
+// probabilistic plan; scripted faults run before the plan.
+#ifndef SRC_FAULTS_FAULTY_FS_H_
+#define SRC_FAULTS_FAULTY_FS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/faults/fault_plan.h"
+#include "src/pqos/file_io.h"
+
+namespace dcat {
+
+class FaultyFs : public FileIo {
+ public:
+  // `inner` is borrowed and must outlive the decorator. `strip_prefix` is
+  // removed from the front of every path before hashing (pass the resctrl
+  // root so fault decisions key on "dcat_cos3/schemata", not a temp dir).
+  explicit FaultyFs(FileIo* inner, FaultPlan plan = FaultPlan(),
+                    std::string strip_prefix = "");
+
+  // Advances the fault plan one control interval and resets per-path
+  // attempt counters. Call once per tick, before the backend is driven.
+  void AdvanceTick();
+
+  // FileIo:
+  FileIoStatus Read(const std::string& path, std::string* out) const override;
+  FileIoStatus Write(const std::string& path, const std::string& content) override;
+  // Directory ops pass through: the fault taxonomy targets node content.
+  FileIoStatus CreateDirs(const std::string& path) override;
+  bool IsDir(const std::string& path) const override;
+
+  // --- test scripting: the next `count` matching calls get `fault`.
+  // `path_substring` empty = any path; matched against the full path.
+  void ScriptReadFault(FileFault fault, uint32_t count = 1,
+                       std::string path_substring = "");
+  void ScriptWriteFault(FileFault fault, uint32_t count = 1,
+                        std::string path_substring = "");
+
+  const FaultPlan& plan() const { return plan_; }
+
+  struct Stats {
+    uint64_t injected_read_faults = 0;
+    uint64_t injected_write_faults = 0;
+    uint64_t torn_writes = 0;
+    uint64_t forwarded_reads = 0;
+    uint64_t forwarded_writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  uint64_t injected_total() const {
+    return stats_.injected_read_faults + stats_.injected_write_faults;
+  }
+
+ private:
+  struct Scripted {
+    FileFault fault = FileFault::kNone;
+    uint32_t count = 0;
+    std::string substring;  // empty = any path
+  };
+
+  uint64_t PathHash(const std::string& path) const;
+  FileFault Decide(bool is_write, const std::string& path) const;
+  static std::string Truncate(const std::string& content);
+
+  FileIo* inner_;
+  FaultPlan plan_;
+  std::string strip_prefix_;
+  // mutable: Read is const in FileIo but consumes scripted faults, counts
+  // attempts, and updates stats.
+  mutable Stats stats_;
+  mutable std::map<uint64_t, uint32_t> attempts_;  // per-(op, path) this tick
+  mutable std::deque<Scripted> scripted_reads_;
+  mutable std::deque<Scripted> scripted_writes_;
+};
+
+}  // namespace dcat
+
+#endif  // SRC_FAULTS_FAULTY_FS_H_

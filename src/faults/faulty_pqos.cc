@@ -153,6 +153,41 @@ uint64_t FaultyPqos::MemoryBandwidthBytes(uint8_t cos) const {
   return PerturbMonitorRead(cos, monitor_->MemoryBandwidthBytes(cos));
 }
 
+PqosStatus FaultyPqos::PerturbMonitorStatus(uint8_t cos, PqosStatus inner, uint64_t clean,
+                                            uint64_t* out) const {
+  if (inner != PqosStatus::kOk) {
+    *out = 0;
+    return inner;
+  }
+  switch (plan_.OnMonitorRead(cos)) {
+    case MonitorFault::kNone:
+      *out = clean;
+      return PqosStatus::kOk;
+    case MonitorFault::kReadError:
+      ++stats_.injected_monitor_faults;
+      *out = 0;
+      return PqosStatus::kIoError;
+    case MonitorFault::kTornValue:
+      ++stats_.injected_monitor_faults;
+      *out = clean & 0xffffffffULL;
+      return PqosStatus::kOk;
+  }
+  *out = clean;
+  return PqosStatus::kOk;
+}
+
+PqosStatus FaultyPqos::ReadLlcOccupancy(uint8_t cos, uint64_t* bytes) const {
+  uint64_t clean = 0;
+  const PqosStatus inner = monitor_->ReadLlcOccupancy(cos, &clean);
+  return PerturbMonitorStatus(cos, inner, clean, bytes);
+}
+
+PqosStatus FaultyPqos::ReadMemoryBandwidth(uint8_t cos, uint64_t* bytes) const {
+  uint64_t clean = 0;
+  const PqosStatus inner = monitor_->ReadMemoryBandwidth(cos, &clean);
+  return PerturbMonitorStatus(cos, inner, clean, bytes);
+}
+
 void FaultyPqos::ScriptWriteFault(BackendOp op, WriteFault fault, uint32_t count) {
   for (uint32_t i = 0; i < count; ++i) {
     scripted_writes_[static_cast<size_t>(op)].push_back(fault);

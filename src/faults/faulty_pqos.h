@@ -52,6 +52,12 @@ class FaultyPqos : public CatController, public MonitoringProvider {
   // cumulative value to its low 32 bits (partially-written sysfs node).
   uint64_t LlcOccupancyBytes(uint8_t cos) const override;
   uint64_t MemoryBandwidthBytes(uint8_t cos) const override;
+  // Status flavors: a planned read error surfaces as kIoError (the value
+  // methods above keep reporting it as 0); a torn read stays kOk — the
+  // read "succeeded", the content was partial. Inner-provider statuses
+  // pass through unperturbed.
+  PqosStatus ReadLlcOccupancy(uint8_t cos, uint64_t* bytes) const override;
+  PqosStatus ReadMemoryBandwidth(uint8_t cos, uint64_t* bytes) const override;
 
   // --- test scripting: scripted faults run before the plan ---
   // The next `count` calls to the given write op get `fault`.
@@ -77,6 +83,8 @@ class FaultyPqos : public CatController, public MonitoringProvider {
   PerfCounterBlock Corrupt(uint16_t core, const PerfCounterBlock& clean,
                            CounterAnomalyKind kind) const;
   uint64_t PerturbMonitorRead(uint8_t cos, uint64_t clean) const;
+  PqosStatus PerturbMonitorStatus(uint8_t cos, PqosStatus inner, uint64_t clean,
+                                  uint64_t* out) const;
 
   CatController* cat_;
   MonitoringProvider* monitor_;

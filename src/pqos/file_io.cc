@@ -1,0 +1,70 @@
+#include "src/pqos/file_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+namespace dcat {
+namespace fs = std::filesystem;
+
+const char* FileIoStatusName(FileIoStatus status) {
+  switch (status) {
+    case FileIoStatus::kOk:
+      return "ok";
+    case FileIoStatus::kNotFound:
+      return "not-found";
+    case FileIoStatus::kRetry:
+      return "retry";
+    case FileIoStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+FileIoStatus RealFileIo::Read(const std::string& path, std::string* out) const {
+  std::ifstream in(path);
+  if (!in) {
+    std::error_code ec;
+    return fs::exists(path, ec) ? FileIoStatus::kError : FileIoStatus::kNotFound;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return FileIoStatus::kError;
+  }
+  *out = std::move(text);
+  return FileIoStatus::kOk;
+}
+
+FileIoStatus RealFileIo::Write(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::error_code ec;
+    const fs::path parent = fs::path(path).parent_path();
+    return (!parent.empty() && !fs::exists(parent, ec)) ? FileIoStatus::kNotFound
+                                                        : FileIoStatus::kError;
+  }
+  out << content;
+  out.flush();
+  return out ? FileIoStatus::kOk : FileIoStatus::kError;
+}
+
+FileIoStatus RealFileIo::CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return FileIoStatus::kError;
+  }
+  return FileIoStatus::kOk;
+}
+
+bool RealFileIo::IsDir(const std::string& path) const {
+  std::error_code ec;
+  return fs::is_directory(path, ec);
+}
+
+FileIo* DefaultFileIo() {
+  static RealFileIo io;
+  return &io;
+}
+
+}  // namespace dcat

@@ -1,0 +1,67 @@
+// Injectable file-I/O seam for the resctrl backend.
+//
+// ResctrlPqos drives the kernel through sysfs nodes; every one of those
+// reads and writes goes through this interface so tests can interpose a
+// fault-injecting decorator (FaultyFs, src/faults/faulty_fs.h) between the
+// backend and the tree, the same way FaultyPqos interposes on the
+// control-plane interface. The status vocabulary is deliberately small:
+//
+//   kOk        the operation completed
+//   kNotFound  the path does not exist (a vanished or never-created node)
+//   kRetry     transient EINTR-style failure; the same call is safe to
+//              retry immediately and is expected to eventually succeed
+//   kError     open/read/write failure (including partial writes: callers
+//              must assume an unknown prefix of the content landed)
+//
+// RealFileIo is the production implementation over std::filesystem and
+// fstreams; DefaultFileIo() returns a process-wide instance so callers
+// that do not inject anything pay no setup cost.
+#ifndef SRC_PQOS_FILE_IO_H_
+#define SRC_PQOS_FILE_IO_H_
+
+#include <string>
+
+namespace dcat {
+
+enum class FileIoStatus {
+  kOk,
+  kNotFound,
+  kRetry,
+  kError,
+};
+
+const char* FileIoStatusName(FileIoStatus status);
+
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  // Reads the whole file into *out (untrimmed). *out is only valid on kOk.
+  virtual FileIoStatus Read(const std::string& path, std::string* out) const = 0;
+
+  // Replaces the file's content. On kError an arbitrary prefix of
+  // `content` may have landed (torn write); callers that need atomicity
+  // must verify by reading back.
+  virtual FileIoStatus Write(const std::string& path, const std::string& content) = 0;
+
+  // Creates the directory and any missing parents (no error when it
+  // already exists, matching mkdir -p).
+  virtual FileIoStatus CreateDirs(const std::string& path) = 0;
+
+  virtual bool IsDir(const std::string& path) const = 0;
+};
+
+class RealFileIo : public FileIo {
+ public:
+  FileIoStatus Read(const std::string& path, std::string* out) const override;
+  FileIoStatus Write(const std::string& path, const std::string& content) override;
+  FileIoStatus CreateDirs(const std::string& path) override;
+  bool IsDir(const std::string& path) const override;
+};
+
+// Shared production instance (RealFileIo is stateless).
+FileIo* DefaultFileIo();
+
+}  // namespace dcat
+
+#endif  // SRC_PQOS_FILE_IO_H_

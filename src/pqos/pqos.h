@@ -97,6 +97,22 @@ class MonitoringProvider {
     (void)cos;
     return 0;
   }
+
+  // Status-returning flavors: distinguish "the read failed" (kIoError)
+  // and "this backend has no such counter" (kUnsupported) from a genuine
+  // value of 0. The value-returning methods above keep their fail-to-zero
+  // contract for callers that don't care; hardened callers (the controller
+  // sample loop) use these so a failed read never masquerades as an idle
+  // tenant. Default implementations delegate to the value methods and
+  // report kOk, so existing providers stay correct unmodified.
+  virtual PqosStatus ReadLlcOccupancy(uint8_t cos, uint64_t* bytes) const {
+    *bytes = LlcOccupancyBytes(cos);
+    return PqosStatus::kOk;
+  }
+  virtual PqosStatus ReadMemoryBandwidth(uint8_t cos, uint64_t* bytes) const {
+    *bytes = MemoryBandwidthBytes(cos);
+    return PqosStatus::kOk;
+  }
 };
 
 }  // namespace dcat

@@ -1,46 +1,112 @@
 #include "src/pqos/resctrl_pqos.h"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "src/common/log.h"
+#include "src/common/strings.h"
 #include "src/pqos/mask.h"
 
 namespace dcat {
-namespace fs = std::filesystem;
+namespace {
 
-ResctrlPqos::ResctrlPqos(std::string root, uint16_t num_cores)
-    : root_(std::move(root)), num_cores_(num_cores) {}
+// Bounded retry budget for EINTR-style kRetry statuses. Larger than any
+// retry burst the fault profiles produce, small enough to bound a tick.
+constexpr int kMaxIoAttempts = 4;
 
-bool ResctrlPqos::ReadFileTrimmed(const std::string& path, std::string* out) const {
-  std::ifstream in(path);
-  if (!in) {
-    return false;
+// sysfs nodes end in a newline; common/strings.h Trim leaves '\n' alone.
+std::string TrimNode(const std::string& text) {
+  const size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
   }
-  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  while (!text.empty() && (text.back() == '\n' || text.back() == ' ' || text.back() == '\r')) {
-    text.pop_back();
+  const size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+// Strict parse of a cpus_list node: "", "4", "4,5", "0-17" and
+// combinations ("0-3,7"). Rejects anything else.
+bool ParseCpusList(const std::string& text, std::vector<uint16_t>* cores) {
+  cores->clear();
+  if (text.empty()) {
+    return true;
   }
-  *out = std::move(text);
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const size_t dash = token.find('-');
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (dash == std::string::npos) {
+      if (!ParseUint32(token, &lo)) {
+        return false;
+      }
+      hi = lo;
+    } else {
+      if (!ParseUint32(token.substr(0, dash), &lo) ||
+          !ParseUint32(token.substr(dash + 1), &hi) || hi < lo) {
+        return false;
+      }
+    }
+    if (hi > 0xffff) {
+      return false;
+    }
+    for (uint32_t core = lo; core <= hi; ++core) {
+      cores->push_back(static_cast<uint16_t>(core));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
   return true;
 }
 
-bool ResctrlPqos::WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return false;
+}  // namespace
+
+ResctrlPqos::ResctrlPqos(std::string root, uint16_t num_cores, FileIo* io)
+    : root_(std::move(root)), num_cores_(num_cores), io_(io != nullptr ? io : DefaultFileIo()) {}
+
+FileIoStatus ResctrlPqos::ReadWithRetry(const std::string& path, std::string* out) const {
+  FileIoStatus status = FileIoStatus::kError;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    status = io_->Read(path, out);
+    if (status != FileIoStatus::kRetry) {
+      return status;
+    }
+    ++io_stats_.retries;
   }
-  out << content;
-  out.flush();
-  return static_cast<bool>(out);
+  return FileIoStatus::kError;
+}
+
+FileIoStatus ResctrlPqos::WriteWithRetry(const std::string& path, const std::string& content) {
+  FileIoStatus status = FileIoStatus::kError;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    status = io_->Write(path, content);
+    if (status != FileIoStatus::kRetry) {
+      return status;
+    }
+    ++io_stats_.retries;
+  }
+  return FileIoStatus::kError;
+}
+
+FileIoStatus ResctrlPqos::ReadFileTrimmed(const std::string& path, std::string* out) const {
+  std::string text;
+  const FileIoStatus status = ReadWithRetry(path, &text);
+  if (status != FileIoStatus::kOk) {
+    return status;
+  }
+  *out = TrimNode(text);
+  return FileIoStatus::kOk;
 }
 
 bool ResctrlPqos::Initialize() {
   std::string cbm_text;
   std::string closids_text;
-  if (!ReadFileTrimmed(root_ + "/info/L3/cbm_mask", &cbm_text) ||
-      !ReadFileTrimmed(root_ + "/info/L3/num_closids", &closids_text)) {
+  if (ReadFileTrimmed(root_ + "/info/L3/cbm_mask", &cbm_text) != FileIoStatus::kOk ||
+      ReadFileTrimmed(root_ + "/info/L3/num_closids", &closids_text) != FileIoStatus::kOk) {
     DCAT_LOG(kWarning) << "resctrl tree not found under " << root_;
     return false;
   }
@@ -49,19 +115,29 @@ bool ResctrlPqos::Initialize() {
     DCAT_LOG(kWarning) << "resctrl: malformed cbm_mask '" << cbm_text << "'";
     return false;
   }
+  full_mask_ = *cbm;
   num_ways_ = static_cast<uint32_t>(MaskWays(*cbm));
-  const long closids = std::strtol(closids_text.c_str(), nullptr, 10);
-  if (closids < 1 || closids > 255) {
+  uint32_t closids = 0;
+  if (!ParseUint32(closids_text, &closids) || closids < 1 || closids > 255) {
     DCAT_LOG(kWarning) << "resctrl: malformed num_closids '" << closids_text << "'";
     return false;
   }
   num_cos_ = static_cast<uint8_t>(closids);
 
   // Optional: LLC size for way capacity (info/L3/cache_size is not standard
-  // resctrl; fall back to mon scale or leave 0).
+  // resctrl). Absent is fine; present-but-garbage is a malformed tree.
   std::string size_text;
-  if (ReadFileTrimmed(root_ + "/info/L3/cache_size", &size_text)) {
-    way_capacity_bytes_ = std::strtoull(size_text.c_str(), nullptr, 10) / num_ways_;
+  const FileIoStatus size_status = ReadFileTrimmed(root_ + "/info/L3/cache_size", &size_text);
+  if (size_status == FileIoStatus::kOk) {
+    uint64_t cache_size = 0;
+    if (!ParseUint64(size_text, &cache_size)) {
+      DCAT_LOG(kWarning) << "resctrl: malformed cache_size '" << size_text << "'";
+      return false;
+    }
+    way_capacity_bytes_ = cache_size / num_ways_;
+  } else if (size_status != FileIoStatus::kNotFound) {
+    DCAT_LOG(kWarning) << "resctrl: cannot read cache_size";
+    return false;
   }
 
   masks_.assign(num_cos_, *cbm);
@@ -70,22 +146,95 @@ bool ResctrlPqos::Initialize() {
 
   // MBA capability: the kernel exposes info/MB when the hardware has it.
   std::string mba_min;
-  mba_supported_ = ReadFileTrimmed(root_ + "/info/MB/min_bandwidth", &mba_min) ||
-                   std::filesystem::is_directory(root_ + "/info/MB");
+  mba_supported_ = ReadFileTrimmed(root_ + "/info/MB/min_bandwidth", &mba_min) == FileIoStatus::kOk ||
+                   io_->IsDir(root_ + "/info/MB");
 
   // COS 0 is the resctrl root group; create directories for the rest.
-  std::error_code ec;
   for (uint8_t cos = 1; cos < num_cos_; ++cos) {
-    fs::create_directories(GroupDir(cos), ec);
-    if (ec) {
-      DCAT_LOG(kWarning) << "resctrl: cannot create group for COS " << static_cast<int>(cos)
-                         << ": " << ec.message();
+    if (io_->CreateDirs(GroupDir(cos)) != FileIoStatus::kOk) {
+      DCAT_LOG(kWarning) << "resctrl: cannot create group for COS " << static_cast<int>(cos);
       return false;
     }
   }
+
+  // Adopt core associations from whatever the tree already holds. A group
+  // list that fails to parse contributes nothing here and is repaired below.
+  for (uint8_t cos = 1; cos < num_cos_; ++cos) {
+    std::string list_text;
+    if (ReadFileTrimmed(GroupDir(cos) + "/cpus_list", &list_text) != FileIoStatus::kOk) {
+      continue;
+    }
+    std::vector<uint16_t> cores;
+    if (!ParseCpusList(list_text, &cores)) {
+      continue;
+    }
+    for (const uint16_t core : cores) {
+      if (core < num_cores_) {
+        core_assoc_[core] = cos;  // later groups win a double-claimed core
+      }
+    }
+  }
+
+  // Adopt or repair each group's nodes so a controller restarted against a
+  // half-written tree ends with cache == tree.
+  for (uint8_t cos = 0; cos < num_cos_; ++cos) {
+    if (!AdoptOrRepairGroup(cos)) {
+      DCAT_LOG(kWarning) << "resctrl: cannot repair group for COS " << static_cast<int>(cos);
+      return false;
+    }
+  }
+
   initialized_ = true;
   DCAT_LOG(kInfo) << "resctrl backend: " << static_cast<int>(num_cos_) << " COS, " << num_ways_
-                  << " ways";
+                  << " ways" << (io_stats_.repaired_nodes > 0
+                                     ? " (" + std::to_string(io_stats_.repaired_nodes) +
+                                           " nodes repaired)"
+                                     : "");
+  return true;
+}
+
+bool ResctrlPqos::AdoptOrRepairGroup(uint8_t cos) {
+  const std::string schemata_path = GroupDir(cos) + "/schemata";
+  std::string text;
+  bool need_repair = true;
+  if (ReadFileTrimmed(schemata_path, &text) == FileIoStatus::kOk) {
+    uint32_t mask = 0;
+    std::optional<uint32_t> percent;
+    if (ParseSchemataText(text, &mask, &percent)) {
+      if (mask != 0 && IsContiguousMask(mask) && (mask & ~full_mask_) == 0) {
+        masks_[cos] = mask;
+      }
+      if (mba_supported_ && percent.has_value() && *percent >= 10 && *percent <= 100) {
+        mba_percent_[cos] = *percent;
+      }
+      need_repair = text != TrimNode(ComposeSchemata(masks_[cos], mba_percent_[cos]));
+    }
+  }
+  if (need_repair) {
+    ++io_stats_.repaired_nodes;
+    if (WriteWithRetry(schemata_path, ComposeSchemata(masks_[cos], mba_percent_[cos])) !=
+        FileIoStatus::kOk) {
+      return false;
+    }
+  }
+
+  if (cos == 0) {
+    // The root's cpus_list is kernel-maintained (everything unclaimed lives
+    // there); adopting group lists above is what defines core_assoc_.
+    return true;
+  }
+  const std::string cpus_path = GroupDir(cos) + "/cpus_list";
+  const std::string expected = ComposeCpusList(cos);
+  std::string list_text;
+  const FileIoStatus status = ReadFileTrimmed(cpus_path, &list_text);
+  if (status != FileIoStatus::kOk || list_text != TrimNode(expected)) {
+    if (status == FileIoStatus::kOk) {
+      ++io_stats_.repaired_nodes;
+    }
+    if (WriteWithRetry(cpus_path, expected) != FileIoStatus::kOk) {
+      return false;
+    }
+  }
   return true;
 }
 
@@ -98,15 +247,87 @@ std::string ResctrlPqos::GroupDir(uint8_t cos) const {
   return dir.str();
 }
 
-PqosStatus ResctrlPqos::WriteSchemata(uint8_t cos, uint32_t mask) {
-  const std::string path = GroupDir(cos) + "/schemata";
+std::string ResctrlPqos::ComposeSchemata(uint32_t mask, uint32_t mba_percent) const {
   // One L3 domain assumed (single-socket management, like the paper). When
   // the platform has MBA, the schemata file carries both resources.
   std::string content = "L3:0=" + MaskToHex(mask) + "\n";
   if (mba_supported_) {
-    content += "MB:0=" + std::to_string(mba_percent_.at(cos)) + "\n";
+    content += "MB:0=" + std::to_string(mba_percent) + "\n";
   }
-  if (!WriteFile(path, content)) {
+  return content;
+}
+
+bool ResctrlPqos::ParseSchemataText(const std::string& text, uint32_t* mask,
+                                    std::optional<uint32_t>* mba_percent) const {
+  *mba_percent = std::nullopt;
+  bool saw_l3 = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line =
+        TrimNode(text.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos));
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("L3:0=", 0) == 0) {
+      const auto parsed = ParseMaskHex(line.substr(5));
+      if (!parsed.has_value() || saw_l3) {
+        return false;
+      }
+      *mask = *parsed;
+      saw_l3 = true;
+    } else if (line.rfind("MB:0=", 0) == 0) {
+      uint32_t percent = 0;
+      if (!ParseUint32(line.substr(5), &percent) || mba_percent->has_value()) {
+        return false;
+      }
+      *mba_percent = percent;
+    } else {
+      return false;
+    }
+  }
+  return saw_l3;
+}
+
+PqosStatus ResctrlPqos::ProgramSchemata(uint8_t cos, uint32_t mask, uint32_t mba_percent) {
+  const std::string path = GroupDir(cos) + "/schemata";
+  // The caches hold the last *verified* content, so the rollback text can be
+  // composed without trusting a pre-write read.
+  const std::string previous = ComposeSchemata(masks_.at(cos), mba_percent_.at(cos));
+  const std::string desired = ComposeSchemata(mask, mba_percent);
+
+  bool ok = WriteWithRetry(path, desired) == FileIoStatus::kOk;
+  if (ok) {
+    // Read-back verification: only a write whose content survives a re-read
+    // is believed. This is what turns a silent partial write into a visible
+    // failure the controller's retry/reconcile loop can repair.
+    std::string back;
+    if (ReadFileTrimmed(path, &back) != FileIoStatus::kOk) {
+      ++io_stats_.read_errors;
+      ok = false;
+    } else {
+      uint32_t got_mask = 0;
+      std::optional<uint32_t> got_percent;
+      if (!ParseSchemataText(back, &got_mask, &got_percent)) {
+        ++io_stats_.parse_errors;
+        ++io_stats_.readback_mismatches;
+        ok = false;
+      } else if (got_mask != mask ||
+                 (mba_supported_ && got_percent.value_or(0) != mba_percent)) {
+        ++io_stats_.readback_mismatches;
+        ok = false;
+      }
+    }
+  }
+  if (!ok) {
+    // The write may have torn (a prefix landed before the failure); restore
+    // the previous content so tree and caches agree again. A failed restore
+    // is a real tree/cache divergence and is counted as such.
+    ++io_stats_.rollbacks;
+    if (WriteWithRetry(path, previous) != FileIoStatus::kOk) {
+      ++io_stats_.rollback_failures;
+    }
     return PqosStatus::kIoError;
   }
   return PqosStatus::kOk;
@@ -122,11 +343,9 @@ PqosStatus ResctrlPqos::SetMbaThrottle(uint8_t cos, uint32_t percent) {
   if (percent < 10 || percent > 100) {
     return last_status_ = PqosStatus::kInvalidMask;
   }
-  const uint32_t previous = mba_percent_.at(cos);
-  mba_percent_.at(cos) = percent;
-  const PqosStatus status = WriteSchemata(cos, masks_.at(cos));
-  if (status != PqosStatus::kOk) {
-    mba_percent_.at(cos) = previous;
+  const PqosStatus status = ProgramSchemata(cos, masks_.at(cos), percent);
+  if (status == PqosStatus::kOk) {
+    mba_percent_.at(cos) = percent;
   }
   return last_status_ = status;
 }
@@ -138,18 +357,47 @@ uint32_t ResctrlPqos::GetMbaThrottle(uint8_t cos) const {
   return mba_percent_[cos];
 }
 
-uint64_t ResctrlPqos::MemoryBandwidthBytes(uint8_t cos) const {
+PqosStatus ResctrlPqos::ReadMonitorNode(uint8_t cos, const char* node, uint64_t* value) const {
+  *value = 0;
   std::string text;
-  if (!ReadFileTrimmed(GroupDir(cos) + "/mon_data/mon_L3_00/mbm_total_bytes", &text)) {
-    return 0;
+  const FileIoStatus status =
+      ReadFileTrimmed(GroupDir(cos) + "/mon_data/mon_L3_00/" + node, &text);
+  if (status == FileIoStatus::kNotFound) {
+    return PqosStatus::kUnsupported;
   }
-  return std::strtoull(text.c_str(), nullptr, 10);
+  if (status != FileIoStatus::kOk) {
+    ++io_stats_.read_errors;
+    return PqosStatus::kIoError;
+  }
+  if (!ParseUint64(text, value)) {
+    ++io_stats_.parse_errors;
+    *value = 0;
+    return PqosStatus::kIoError;
+  }
+  return PqosStatus::kOk;
 }
 
-PqosStatus ResctrlPqos::WriteCpusList(uint8_t cos) {
-  // resctrl semantics: writing a group's cpus_list claims those cores (they
-  // leave their previous group automatically). We rewrite the full list for
-  // the group each time.
+PqosStatus ResctrlPqos::ReadLlcOccupancy(uint8_t cos, uint64_t* bytes) const {
+  return ReadMonitorNode(cos, "llc_occupancy", bytes);
+}
+
+PqosStatus ResctrlPqos::ReadMemoryBandwidth(uint8_t cos, uint64_t* bytes) const {
+  return ReadMonitorNode(cos, "mbm_total_bytes", bytes);
+}
+
+uint64_t ResctrlPqos::LlcOccupancyBytes(uint8_t cos) const {
+  uint64_t bytes = 0;
+  (void)ReadLlcOccupancy(cos, &bytes);
+  return bytes;
+}
+
+uint64_t ResctrlPqos::MemoryBandwidthBytes(uint8_t cos) const {
+  uint64_t bytes = 0;
+  (void)ReadMemoryBandwidth(cos, &bytes);
+  return bytes;
+}
+
+std::string ResctrlPqos::ComposeCpusList(uint8_t cos) const {
   std::ostringstream list;
   bool first = true;
   for (uint16_t core = 0; core < num_cores_; ++core) {
@@ -162,7 +410,42 @@ PqosStatus ResctrlPqos::WriteCpusList(uint8_t cos) {
     }
   }
   list << "\n";
-  if (!WriteFile(GroupDir(cos) + "/cpus_list", list.str())) {
+  return list.str();
+}
+
+PqosStatus ResctrlPqos::WriteCpusList(uint8_t cos) {
+  // resctrl semantics: writing a group's cpus_list claims those cores (they
+  // leave their previous group automatically). We rewrite the full list for
+  // the group each time.
+  const std::string path = GroupDir(cos) + "/cpus_list";
+  const std::string desired = ComposeCpusList(cos);
+
+  // Capture the pre-write content for rollback. If the node cannot be read
+  // (and is not simply absent), a later rollback is flying blind — treat a
+  // restore in that state as a divergence.
+  std::string previous;
+  const FileIoStatus pre = ReadWithRetry(path, &previous);
+  const bool previous_known = pre == FileIoStatus::kOk || pre == FileIoStatus::kNotFound;
+  if (pre != FileIoStatus::kOk) {
+    previous = "\n";
+  }
+
+  bool ok = WriteWithRetry(path, desired) == FileIoStatus::kOk;
+  if (ok) {
+    std::string back;
+    if (ReadFileTrimmed(path, &back) != FileIoStatus::kOk) {
+      ++io_stats_.read_errors;
+      ok = false;
+    } else if (back != TrimNode(desired)) {
+      ++io_stats_.readback_mismatches;
+      ok = false;
+    }
+  }
+  if (!ok) {
+    ++io_stats_.rollbacks;
+    if (WriteWithRetry(path, previous) != FileIoStatus::kOk || !previous_known) {
+      ++io_stats_.rollback_failures;
+    }
     return PqosStatus::kIoError;
   }
   return PqosStatus::kOk;
@@ -175,7 +458,7 @@ PqosStatus ResctrlPqos::SetCosMask(uint8_t cos, uint32_t mask) {
   if (!IsContiguousMask(mask) || (mask & ~MakeWayMask(0, num_ways_)) != 0) {
     return last_status_ = PqosStatus::kInvalidMask;
   }
-  const PqosStatus status = WriteSchemata(cos, mask);
+  const PqosStatus status = ProgramSchemata(cos, mask, mba_percent_.at(cos));
   if (status == PqosStatus::kOk) {
     masks_[cos] = mask;
   }
@@ -202,8 +485,10 @@ PqosStatus ResctrlPqos::ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates
   }
   size_t done = 0;
   for (const CosMaskUpdate& u : updates) {
-    const PqosStatus status = WriteSchemata(u.cos, u.mask);
+    const PqosStatus status = ProgramSchemata(u.cos, u.mask, mba_percent_.at(u.cos));
     if (status != PqosStatus::kOk) {
+      // ProgramSchemata restored the failing node, so the caches equal the
+      // tree: exactly the landed prefix is in effect.
       if (applied != nullptr) {
         *applied = done;
       }
@@ -232,11 +517,22 @@ PqosStatus ResctrlPqos::AssociateCore(uint16_t core, uint8_t cos) {
   const uint8_t previous = core_assoc_[core];
   core_assoc_[core] = cos;
   PqosStatus status = WriteCpusList(cos);
-  if (status == PqosStatus::kOk && previous != cos) {
-    status = WriteCpusList(previous);
-  }
   if (status != PqosStatus::kOk) {
+    // WriteCpusList already restored the node; only memory needs reverting.
     core_assoc_[core] = previous;
+    return last_status_ = status;
+  }
+  if (previous != cos) {
+    status = WriteCpusList(previous);
+    if (status != PqosStatus::kOk) {
+      // The new group's list was already written with the core in it; undo
+      // that write too, or the tree keeps a double-claimed core the caches
+      // know nothing about. A failed undo is a counted divergence.
+      core_assoc_[core] = previous;
+      if (WriteCpusList(cos) != PqosStatus::kOk) {
+        ++io_stats_.rollback_failures;
+      }
+    }
   }
   return last_status_ = status;
 }
@@ -253,14 +549,6 @@ PerfCounterBlock ResctrlPqos::ReadCounters(uint16_t core) const {
   // them on real hardware. Returning zeros keeps the interface total.
   (void)core;
   return PerfCounterBlock{};
-}
-
-uint64_t ResctrlPqos::LlcOccupancyBytes(uint8_t cos) const {
-  std::string text;
-  if (!ReadFileTrimmed(GroupDir(cos) + "/mon_data/mon_L3_00/llc_occupancy", &text)) {
-    return 0;
-  }
-  return std::strtoull(text.c_str(), nullptr, 10);
 }
 
 }  // namespace dcat

@@ -9,9 +9,27 @@
 //   <group>/mon_data/mon_L3_00/llc_occupancy   CMT occupancy (bytes)
 //
 // This backend maps COS i to a control group "dcat_cos<i>" (COS 0 is the
-// resctrl root group). The filesystem root is injectable so the backend is
-// fully unit-testable against a fake tree, and so it can drive a mounted
-// /sys/fs/resctrl unchanged on real hardware.
+// resctrl root group). All file traffic goes through an injectable FileIo
+// seam (src/pqos/file_io.h), so the backend is fully unit-testable against
+// a fake tree, drives a mounted /sys/fs/resctrl unchanged on real hardware,
+// and can be chaos-tested through the FaultyFs decorator.
+//
+// Hardening contract (what the FaultyFs fault taxonomy exercises):
+//   - EINTR-style kRetry statuses are absorbed by a bounded retry loop.
+//   - Every schemata / cpus_list write is read back and verified; only a
+//     verified write updates the in-memory caches. On a failed or
+//     unverified write the previous content is rewritten, so a torn write
+//     (prefix landed, call reported failure) cannot leave tree and cache
+//     disagreeing. When that restore itself fails, the divergence is
+//     counted in io_stats().rollback_failures for the caller's reconcile
+//     loop to repair.
+//   - Node contents are parsed strictly: trailing garbage is rejected, and
+//     a failed monitoring read is distinguishable from a genuine 0 through
+//     the status-returning MonitoringProvider methods.
+//   - Initialize() adopts a pre-existing (possibly half-written) tree:
+//     group schemata and cpus_list nodes that parse are adopted into the
+//     caches, unreadable or malformed ones are repaired in place, so a
+//     controller restart against a torn tree converges to cache == tree.
 //
 // ReadCounters is kUnsupported here: resctrl has no IPC/L1 counters; the
 // paper reads them from MSRs (a perf_event-based provider would slot in via
@@ -20,9 +38,11 @@
 #define SRC_PQOS_RESCTRL_PQOS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/pqos/file_io.h"
 #include "src/pqos/pqos.h"
 
 namespace dcat {
@@ -31,11 +51,14 @@ class ResctrlPqos : public CatController, public MbaController, public Monitorin
  public:
   // `root` is the resctrl mount point (e.g. "/sys/fs/resctrl" or a test
   // directory). `num_cores` is the core count of the managed socket.
-  ResctrlPqos(std::string root, uint16_t num_cores);
+  // `io` is the filesystem seam; nullptr selects the real filesystem.
+  ResctrlPqos(std::string root, uint16_t num_cores, FileIo* io = nullptr);
 
-  // Reads platform limits from info/L3 and creates the COS group
-  // directories. Returns false (with a log line) when the tree is absent or
-  // malformed — callers fall back to other backends.
+  // Reads platform limits from info/L3, creates the COS group directories,
+  // and adopts or repairs whatever group state the tree already holds (see
+  // the hardening contract above). Returns false (with a log line) when the
+  // tree is absent or its platform nodes are malformed — callers fall back
+  // to other backends.
   bool Initialize();
 
   // Last status of an operation that returned a value (for diagnostics).
@@ -49,7 +72,10 @@ class ResctrlPqos : public CatController, public MbaController, public Monitorin
   PqosStatus SetCosMask(uint8_t cos, uint32_t mask) override;
   // Validates every element before touching the filesystem, so a malformed
   // batch leaves the tree unchanged; an I/O failure mid-batch still reports
-  // the landed prefix through `applied` for the caller's rollback.
+  // the landed prefix through `applied` for the caller's rollback. Because
+  // each element is verified by read-back (and restored on failure), the
+  // in-memory masks equal the tree contents for every COS even when the
+  // batch stops partway — including on a torn write.
   PqosStatus ApplyMaskBatch(const std::vector<CosMaskUpdate>& updates,
                             size_t* applied) override;
   uint32_t GetCosMask(uint8_t cos) const override;
@@ -66,27 +92,73 @@ class ResctrlPqos : public CatController, public MbaController, public Monitorin
   PerfCounterBlock ReadCounters(uint16_t core) const override;
   uint64_t LlcOccupancyBytes(uint8_t cos) const override;
   uint64_t MemoryBandwidthBytes(uint8_t cos) const override;
+  // Status flavors: kUnsupported when the mon node is absent, kIoError on a
+  // failed read or unparseable content (*bytes is 0 in both cases).
+  PqosStatus ReadLlcOccupancy(uint8_t cos, uint64_t* bytes) const override;
+  PqosStatus ReadMemoryBandwidth(uint8_t cos, uint64_t* bytes) const override;
 
   // Group directory for a COS ("" == root group for COS 0).
   std::string GroupDir(uint8_t cos) const;
 
+  // Counters of the fault handling done at the file-I/O boundary.
+  struct IoStats {
+    uint64_t retries = 0;             // kRetry statuses absorbed
+    uint64_t read_errors = 0;         // reads that failed outright
+    uint64_t parse_errors = 0;        // node content rejected by strict parse
+    uint64_t readback_mismatches = 0; // write landed but read-back disagreed
+    uint64_t rollbacks = 0;           // previous content rewritten after failure
+    uint64_t rollback_failures = 0;   // rollback write failed: tree/cache divergence
+    uint64_t repaired_nodes = 0;      // nodes rewritten by Initialize adoption
+  };
+  const IoStats& io_stats() const { return io_stats_; }
+
  private:
-  bool ReadFileTrimmed(const std::string& path, std::string* out) const;
-  bool WriteFile(const std::string& path, const std::string& content);
-  PqosStatus WriteSchemata(uint8_t cos, uint32_t mask);
+  // Bounded-retry wrappers over the FileIo seam: absorb kRetry, count
+  // retries, give up after a few attempts.
+  FileIoStatus ReadWithRetry(const std::string& path, std::string* out) const;
+  FileIoStatus WriteWithRetry(const std::string& path, const std::string& content);
+  // ReadWithRetry + trailing-whitespace trim.
+  FileIoStatus ReadFileTrimmed(const std::string& path, std::string* out) const;
+
+  // Schemata text for the cached-or-proposed (mask, MBA percent) of a COS.
+  std::string ComposeSchemata(uint32_t mask, uint32_t mba_percent) const;
+  // Strict parse of a schemata node. Requires an L3 line; the MB line is
+  // optional (absent on non-MBA platforms). Unknown lines are rejected.
+  bool ParseSchemataText(const std::string& text, uint32_t* mask,
+                         std::optional<uint32_t>* mba_percent) const;
+  // Writes the schemata of `cos`, reads it back, and verifies the content.
+  // On failure the previous (cached) content is restored; caches are NOT
+  // updated — the caller commits them only on kOk.
+  PqosStatus ProgramSchemata(uint8_t cos, uint32_t mask, uint32_t mba_percent);
+
+  // cpus_list text for the cores currently associated with `cos`.
+  std::string ComposeCpusList(uint8_t cos) const;
+  // Writes + read-back-verifies the cpus_list of `cos` from core_assoc_.
+  // Restores the pre-write content on failure.
   PqosStatus WriteCpusList(uint8_t cos);
+
+  // Monitoring node read with strict parse.
+  PqosStatus ReadMonitorNode(uint8_t cos, const char* node, uint64_t* value) const;
+
+  // Initialize() helper: adopt a group's schemata/cpus_list if they parse,
+  // rewrite them from defaults if they do not. Returns false only when the
+  // repair write itself fails.
+  bool AdoptOrRepairGroup(uint8_t cos);
 
   std::string root_;
   uint16_t num_cores_;
+  FileIo* io_;
   uint32_t num_ways_ = 0;
   uint8_t num_cos_ = 0;
+  uint32_t full_mask_ = 0;
   uint64_t way_capacity_bytes_ = 0;
   bool initialized_ = false;
   PqosStatus last_status_ = PqosStatus::kOk;
   bool mba_supported_ = false;
-  std::vector<uint32_t> masks_;       // cached CBMs per COS
+  mutable IoStats io_stats_;
+  std::vector<uint32_t> masks_;        // cached CBMs per COS (verified)
   std::vector<uint32_t> mba_percent_;  // cached MBA throttles per COS
-  std::vector<uint8_t> core_assoc_;   // core -> COS
+  std::vector<uint8_t> core_assoc_;    // core -> COS
 };
 
 }  // namespace dcat

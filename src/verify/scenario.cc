@@ -8,10 +8,12 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 
 #include "src/cluster/host.h"
 #include "src/common/rng.h"
+#include "src/faults/faulty_fs.h"
 #include "src/pqos/mask.h"
 #include "src/pqos/resctrl_pqos.h"
 #include "src/telemetry/trace.h"
@@ -230,13 +232,22 @@ namespace {
 // Shadow backends for the differential mask check: every mask the live
 // SimPqos was programmed with is replayed through a second SimPqos and a
 // fake-tree ResctrlPqos; all three must agree at every interval.
+//
+// With fs chaos enabled, a FaultyFs sits under the shadow resctrl. A
+// replayed write that fails under chaos scopes its COS as an *attributed*
+// divergence (retried on later Syncs) instead of a finding; the Settle()
+// pass runs after the fault window closes, re-applies everything, and
+// re-reads every schemata file straight from disk — only divergence that
+// survives a clean tree is reported.
 class BackendDifferential {
  public:
   BackendDifferential(const SocketConfig& socket_config, uint64_t seed,
-                      std::vector<Violation>* violations)
+                      std::vector<Violation>* violations, bool fs_chaos = false,
+                      FaultPlan fs_plan = FaultPlan())
       : shadow_socket_(socket_config),
         shadow_sim_(&shadow_socket_),
         violations_(violations),
+        fs_chaos_(fs_chaos),
         prev_masks_(socket_config.num_cos, kUnseen) {
     static std::atomic<uint64_t> counter{0};
     root_ = fs::temp_directory_path() /
@@ -251,8 +262,14 @@ class BackendDifferential {
               std::to_string(shadow_socket_.num_cos()) + "\n");
     WriteFile(root_ / "schemata", "L3:0=" + MaskToHex(full) + "\n");
     WriteFile(root_ / "cpus_list", "0-" + std::to_string(socket_config.num_cores - 1) + "\n");
-    shadow_resctrl_ =
-        std::make_unique<ResctrlPqos>(root_.string(), socket_config.num_cores);
+    if (fs_chaos_) {
+      // Hash paths relative to the root so the fault schedule depends only
+      // on (seed, profile), never on the temp-dir name.
+      faulty_fs_ = std::make_unique<FaultyFs>(DefaultFileIo(), std::move(fs_plan),
+                                              root_.string() + "/");
+    }
+    shadow_resctrl_ = std::make_unique<ResctrlPqos>(root_.string(), socket_config.num_cores,
+                                                    faulty_fs_.get());
     resctrl_ok_ = shadow_resctrl_->Initialize();
     if (!resctrl_ok_) {
       violations_->push_back(Violation{
@@ -267,20 +284,31 @@ class BackendDifferential {
   }
 
   // Applies the live backend's mask changes to both shadows, then compares
-  // all three mask states for every COS touched so far.
+  // all three mask states for every COS touched so far. COS scoped to an
+  // injected fault are retried here and excluded from the comparison until
+  // a write lands.
   void Sync(const CatController& live, uint64_t tick) {
     if (!resctrl_ok_) {
       return;
     }
     for (uint8_t cos = 1; cos < shadow_socket_.num_cos(); ++cos) {
       const uint32_t mask = live.GetCosMask(cos);
-      if (mask == prev_masks_[cos]) {
+      if (mask == prev_masks_[cos] && pending_.count(cos) == 0) {
         continue;
       }
       prev_masks_[cos] = mask;
       const PqosStatus sim_status = shadow_sim_.SetCosMask(cos, mask);
       const PqosStatus res_status = shadow_resctrl_->SetCosMask(cos, mask);
-      if (sim_status != PqosStatus::kOk || res_status != PqosStatus::kOk) {
+      if (res_status == PqosStatus::kOk) {
+        pending_.erase(cos);
+      } else if (fs_chaos_) {
+        // Attributed to the fault plane: the write failed loudly, the
+        // backend rolled the node back, and the next Sync retries it.
+        pending_.insert(cos);
+        ++scoped_divergences_;
+      }
+      if (sim_status != PqosStatus::kOk ||
+          (res_status != PqosStatus::kOk && !fs_chaos_)) {
         std::ostringstream detail;
         detail << "SetCosMask(COS " << static_cast<int>(cos) << ", 0x" << MaskToHex(mask)
                << ") -> sim " << PqosStatusName(sim_status) << ", resctrl "
@@ -290,9 +318,100 @@ class BackendDifferential {
                                          .detail = detail.str()});
       }
     }
+    CompareMasks(live, tick, /*include_pending=*/false);
+    if (faulty_fs_ != nullptr) {
+      faulty_fs_->AdvanceTick();
+    }
+  }
+
+  // Fault-free convergence pass for fs-chaos runs: advance past the fault
+  // window, re-apply every mask, then require (a) all three backends agree
+  // on every COS and (b) every schemata file on disk parses back to exactly
+  // the mask the shadow resctrl believes. Anything left is real divergence.
+  void Settle(const CatController& live, uint64_t tick) {
+    if (!resctrl_ok_) {
+      return;
+    }
+    if (faulty_fs_ != nullptr) {
+      faulty_fs_->AdvanceTick();
+    }
+    for (uint8_t cos = 1; cos < shadow_socket_.num_cos(); ++cos) {
+      if (prev_masks_[cos] == kUnseen && pending_.count(cos) == 0) {
+        continue;
+      }
+      const uint32_t mask = live.GetCosMask(cos);
+      prev_masks_[cos] = mask;
+      (void)shadow_sim_.SetCosMask(cos, mask);
+      if (shadow_resctrl_->SetCosMask(cos, mask) == PqosStatus::kOk) {
+        pending_.erase(cos);
+      }
+    }
+    if (!pending_.empty()) {
+      violations_->push_back(Violation{
+          .tick = tick, .tenant = 0, .invariant = kCheckBackendDivergence,
+          .detail = "fs-chaos settle: " + std::to_string(pending_.size()) +
+                    " COS still failing writes on a fault-free tree"});
+    }
+    CompareMasks(live, tick, /*include_pending=*/true);
+    // Tree read-back: the file contents are the ground truth the caches
+    // must match (the acceptance bar for torn-write handling).
+    for (uint8_t cos = 0; cos < shadow_socket_.num_cos(); ++cos) {
+      if (cos != 0 && prev_masks_[cos] == kUnseen) {
+        continue;
+      }
+      std::string text;
+      if (DefaultFileIo()->Read(shadow_resctrl_->GroupDir(cos) + "/schemata", &text) !=
+          FileIoStatus::kOk) {
+        violations_->push_back(Violation{
+            .tick = tick, .tenant = 0, .invariant = kCheckBackendDivergence,
+            .detail = "fs-chaos settle: unreadable schemata for COS " + std::to_string(cos)});
+        continue;
+      }
+      const uint32_t tree_mask = ParseSchemataL3(text);
+      if (tree_mask != shadow_resctrl_->GetCosMask(cos)) {
+        std::ostringstream detail;
+        detail << "fs-chaos settle: COS " << static_cast<int>(cos) << " tree has 0x"
+               << MaskToHex(tree_mask) << " but cache holds 0x"
+               << MaskToHex(shadow_resctrl_->GetCosMask(cos));
+        violations_->push_back(Violation{.tick = tick, .tenant = 0,
+                                         .invariant = kCheckBackendDivergence,
+                                         .detail = detail.str()});
+      }
+    }
+  }
+
+  uint64_t faults_injected() const {
+    return faulty_fs_ != nullptr ? faulty_fs_->injected_total() : 0;
+  }
+  uint64_t scoped_divergences() const { return scoped_divergences_; }
+
+ private:
+  static constexpr uint32_t kUnseen = 0xffffffffu;
+
+  static void WriteFile(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  // First "L3:0=<hex>" line of a schemata text, or 0.
+  static uint32_t ParseSchemataL3(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("L3:0=", 0) == 0) {
+        return ParseMaskHex(line.substr(5)).value_or(0);
+      }
+    }
+    return 0;
+  }
+
+  void CompareMasks(const CatController& live, uint64_t tick, bool include_pending) {
     for (uint8_t cos = 1; cos < shadow_socket_.num_cos(); ++cos) {
       if (prev_masks_[cos] == kUnseen) {
         continue;
+      }
+      if (!include_pending && pending_.count(cos) != 0) {
+        continue;  // scoped to an injected fault; retried next Sync
       }
       const uint32_t live_mask = live.GetCosMask(cos);
       const uint32_t sim_mask = shadow_sim_.GetCosMask(cos);
@@ -309,19 +428,15 @@ class BackendDifferential {
     }
   }
 
- private:
-  static constexpr uint32_t kUnseen = 0xffffffffu;
-
-  static void WriteFile(const fs::path& path, const std::string& content) {
-    std::ofstream out(path);
-    out << content;
-  }
-
   Socket shadow_socket_;
   SimPqos shadow_sim_;
+  std::unique_ptr<FaultyFs> faulty_fs_;
   std::unique_ptr<ResctrlPqos> shadow_resctrl_;
   std::vector<Violation>* violations_;
+  bool fs_chaos_ = false;
   std::vector<uint32_t> prev_masks_;
+  std::set<uint8_t> pending_;  // COS with a fault-scoped failed write
+  uint64_t scoped_divergences_ = 0;
   fs::path root_;
   bool resctrl_ok_ = false;
 };
@@ -379,9 +494,19 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
   }
 
   std::unique_ptr<BackendDifferential> differential;
-  if (options.check_backend_differential) {
-    differential = std::make_unique<BackendDifferential>(host_config.socket, scenario.seed,
-                                                         &result.violations);
+  if (options.check_backend_differential || options.inject_fs_faults) {
+    FaultPlan fs_plan;
+    if (options.inject_fs_faults) {
+      FaultProfile profile =
+          FaultProfileByName(options.fs_fault_profile).value_or(FsMixedProfile());
+      // The settle pass runs after the scenario proper; cap the fault window
+      // so it sees a clean tree.
+      profile.active_ticks = scenario.intervals;
+      fs_plan = FaultPlan(options.fs_fault_seed, profile);
+    }
+    differential = std::make_unique<BackendDifferential>(
+        host_config.socket, scenario.seed, &result.violations, options.inject_fs_faults,
+        fs_plan);
     differential->Sync(host.pqos(), 0);
   }
 
@@ -408,6 +533,11 @@ ScenarioResult RunScenario(const Scenario& scenario, const RunOptions& options) 
     if (differential != nullptr) {
       differential->Sync(host.pqos(), host.intervals());
     }
+  }
+  if (options.inject_fs_faults && differential != nullptr) {
+    differential->Settle(host.pqos(), host.intervals());
+    result.fs_faults_injected = differential->faults_injected();
+    result.fs_scoped_divergences = differential->scoped_divergences();
   }
   if (options.inject_faults) {
     // Quiescent settle window: the fault plan is past its active ticks, so
@@ -471,6 +601,7 @@ bool CheckTraceDeterminism(const Scenario& scenario, const RunOptions& options,
                            std::string* detail) {
   RunOptions run_options = options;
   run_options.check_backend_differential = false;  // no effect on the trace
+  run_options.inject_fs_faults = false;            // shadow-only, same reason
   const ScenarioResult first = RunScenario(scenario, run_options);
   const ScenarioResult second = RunScenario(scenario, run_options);
   const std::string divergence = DescribeTraceDivergence(first.trace, second.trace);

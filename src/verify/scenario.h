@@ -101,6 +101,17 @@ struct RunOptions {
   uint64_t fault_seed = 0;
   std::string fault_profile = "mixed";  // see FaultProfileByName
   uint32_t settle_intervals = 10;
+  // File-I/O chaos: run the fake-tree resctrl differential with a FaultyFs
+  // interposed under the shadow ResctrlPqos (implies the differential).
+  // Write failures under chaos scope their COS as an expected (attributed)
+  // divergence instead of a finding; after the scenario a fault-free settle
+  // pass re-applies every mask and re-reads every schemata file from the
+  // tree — any residual disagreement is reported as
+  // kCheckBackendDivergence. The live controller trace is untouched: the
+  // chaos lives entirely in the shadow replica.
+  bool inject_fs_faults = false;
+  uint64_t fs_fault_seed = 0;
+  std::string fs_fault_profile = "fs-mixed";  // fs-* names in FaultProfileByName
   // Simulation fidelity (src/sim/analytic_model.h). kHybrid must produce a
   // decision trace (ExtractDecisionTrace) byte-identical to kLine; the
   // full trace additionally carries the fidelity-transition lines. The
@@ -117,6 +128,11 @@ struct ScenarioResult {
   // aggregates these across shards for its throughput accounting.
   uint64_t accesses = 0;           // Σ per-core L1 references after the run
   double analytic_coverage = 0.0;  // 0..1; stays 0 for line-level runs
+  // File-I/O chaos accounting (inject_fs_faults runs only): faults the
+  // FaultyFs injected into the shadow resctrl, and how many replayed writes
+  // failed under chaos and were scoped to the fault rather than reported.
+  uint64_t fs_faults_injected = 0;
+  uint64_t fs_scoped_divergences = 0;
   // Copy of the controller's metrics registry at the end of the run (the
   // fleet layer sums counters across hosts into one registry).
   MetricsRegistry metrics;

@@ -1,0 +1,204 @@
+#include "src/faults/faulty_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_plan.h"
+#include "src/pqos/file_io.h"
+
+namespace dcat {
+namespace {
+namespace fs = std::filesystem;
+
+class FaultyFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            (std::string("faulty_fs_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string Node(const std::string& name) const { return (root_ / name).string(); }
+
+  fs::path root_;
+  RealFileIo real_;
+};
+
+TEST_F(FaultyFsTest, InertPlanForwardsEverything) {
+  FaultyFs io(&real_);
+  ASSERT_EQ(io.Write(Node("a"), "hello\n"), FileIoStatus::kOk);
+  std::string content;
+  ASSERT_EQ(io.Read(Node("a"), &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "hello\n");
+  EXPECT_EQ(io.injected_total(), 0u);
+  EXPECT_EQ(io.stats().forwarded_reads, 1u);
+  EXPECT_EQ(io.stats().forwarded_writes, 1u);
+}
+
+TEST_F(FaultyFsTest, ScriptedTornWriteLandsAStrictPrefix) {
+  FaultyFs io(&real_);
+  ASSERT_EQ(io.Write(Node("a"), "0123456789"), FileIoStatus::kOk);
+  io.ScriptWriteFault(FileFault::kTornWrite);
+  EXPECT_EQ(io.Write(Node("a"), "abcdefgh"), FileIoStatus::kError);
+  std::string content;
+  ASSERT_EQ(real_.Read(Node("a"), &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "abcd");  // half the content landed despite the error
+  EXPECT_EQ(io.stats().torn_writes, 1u);
+  EXPECT_EQ(io.stats().injected_write_faults, 1u);
+}
+
+TEST_F(FaultyFsTest, ScriptedReadFaultsProduceTheTaxonomy) {
+  FaultyFs io(&real_);
+  ASSERT_EQ(io.Write(Node("a"), "12345678\n"), FileIoStatus::kOk);
+  std::string content;
+
+  io.ScriptReadFault(FileFault::kRetry);
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kRetry);
+
+  io.ScriptReadFault(FileFault::kError);
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kError);
+
+  io.ScriptReadFault(FileFault::kVanish);
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kNotFound);
+
+  io.ScriptReadFault(FileFault::kShortRead);
+  ASSERT_EQ(io.Read(Node("a"), &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "1234");  // strict prefix of the real 9 bytes
+
+  io.ScriptReadFault(FileFault::kGarbage);
+  ASSERT_EQ(io.Read(Node("a"), &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "0xz!#torn~node");
+
+  io.ScriptReadFault(FileFault::kEmpty);
+  ASSERT_EQ(io.Read(Node("a"), &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "");
+
+  EXPECT_EQ(io.stats().injected_read_faults, 6u);
+  // The taxonomy never corrupted the underlying file.
+  ASSERT_EQ(real_.Read(Node("a"), &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "12345678\n");
+}
+
+TEST_F(FaultyFsTest, ScriptedFaultsMatchPathSubstrings) {
+  FaultyFs io(&real_);
+  ASSERT_EQ(io.Write(Node("schemata"), "x\n"), FileIoStatus::kOk);
+  ASSERT_EQ(io.Write(Node("cpus_list"), "y\n"), FileIoStatus::kOk);
+  io.ScriptWriteFault(FileFault::kError, 1, "schemata");
+  // A non-matching path sails through; the scripted fault stays armed.
+  EXPECT_EQ(io.Write(Node("cpus_list"), "z\n"), FileIoStatus::kOk);
+  EXPECT_EQ(io.Write(Node("schemata"), "w\n"), FileIoStatus::kError);
+  // Consumed: the next matching write is clean.
+  EXPECT_EQ(io.Write(Node("schemata"), "w\n"), FileIoStatus::kOk);
+}
+
+TEST_F(FaultyFsTest, ScriptedCountArmsMultipleCalls) {
+  FaultyFs io(&real_);
+  ASSERT_EQ(io.Write(Node("a"), "x\n"), FileIoStatus::kOk);
+  io.ScriptReadFault(FileFault::kRetry, 3);
+  std::string content;
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kRetry);
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kRetry);
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kRetry);
+  EXPECT_EQ(io.Read(Node("a"), &content), FileIoStatus::kOk);
+}
+
+TEST_F(FaultyFsTest, DirectoryOpsPassThrough) {
+  FaultyFs io(&real_, FaultPlan(7, FsMixedProfile()));
+  const std::string dir = (root_ / "sub" / "dir").string();
+  EXPECT_EQ(io.CreateDirs(dir), FileIoStatus::kOk);
+  EXPECT_TRUE(io.IsDir(dir));
+}
+
+// Drives the same op sequence through two decorators and returns the
+// per-call statuses, so schedules can be compared for determinism.
+std::vector<FileIoStatus> DriveSchedule(FaultyFs* io, const std::string& root) {
+  const char* nodes[] = {"schemata", "cpus_list", "dcat_cos3/schemata"};
+  std::vector<FileIoStatus> statuses;
+  for (int tick = 0; tick < 12; ++tick) {
+    io->AdvanceTick();
+    for (const char* node : nodes) {
+      const std::string path = root + "/" + node;
+      statuses.push_back(io->Write(path, "L3:0=ff\n"));
+      std::string content;
+      statuses.push_back(io->Read(path, &content));
+    }
+  }
+  return statuses;
+}
+
+TEST_F(FaultyFsTest, SameSeedReplaysTheSameSchedule) {
+  fs::create_directories(root_ / "dcat_cos3");
+  const std::string prefix = root_.string() + "/";
+  FaultyFs first(&real_, FaultPlan(42, FsMixedProfile()), prefix);
+  const std::vector<FileIoStatus> a = DriveSchedule(&first, root_.string());
+  FaultyFs second(&real_, FaultPlan(42, FsMixedProfile()), prefix);
+  const std::vector<FileIoStatus> b = DriveSchedule(&second, root_.string());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(first.injected_total(), 0u);
+  EXPECT_EQ(first.injected_total(), second.injected_total());
+}
+
+TEST_F(FaultyFsTest, ScheduleIsIndependentOfWhereTheTreeLives) {
+  // Two trees in different directories: with the root stripped before
+  // hashing, both decorators make identical per-node decisions.
+  const fs::path other = root_.string() + "_elsewhere";
+  fs::create_directories(other / "dcat_cos3");
+  fs::create_directories(root_ / "dcat_cos3");
+  FaultyFs here(&real_, FaultPlan(42, FsMixedProfile()), root_.string() + "/");
+  FaultyFs there(&real_, FaultPlan(42, FsMixedProfile()), other.string() + "/");
+  const std::vector<FileIoStatus> a = DriveSchedule(&here, root_.string());
+  const std::vector<FileIoStatus> b = DriveSchedule(&there, other.string());
+  EXPECT_EQ(a, b);
+  fs::remove_all(other);
+}
+
+TEST_F(FaultyFsTest, DifferentSeedsDiverge) {
+  fs::create_directories(root_ / "dcat_cos3");
+  const std::string prefix = root_.string() + "/";
+  FaultyFs first(&real_, FaultPlan(1, FsMixedProfile()), prefix);
+  const std::vector<FileIoStatus> a = DriveSchedule(&first, root_.string());
+  FaultyFs second(&real_, FaultPlan(2, FsMixedProfile()), prefix);
+  const std::vector<FileIoStatus> b = DriveSchedule(&second, root_.string());
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultyFsTest, NoFaultsFireAtTickZero) {
+  FaultyFs io(&real_, FaultPlan(42, FsMixedProfile()), root_.string() + "/");
+  // Before the first AdvanceTick the plan is quiescent: setup traffic
+  // (Initialize writing group nodes) always lands cleanly.
+  for (int i = 0; i < 50; ++i) {
+    const std::string path = Node("node" + std::to_string(i));
+    EXPECT_EQ(io.Write(path, "x\n"), FileIoStatus::kOk);
+    std::string content;
+    EXPECT_EQ(io.Read(path, &content), FileIoStatus::kOk);
+  }
+  EXPECT_EQ(io.injected_total(), 0u);
+}
+
+TEST_F(FaultyFsTest, ActiveTicksBoundsTheFaultWindow) {
+  FaultProfile profile = FsMixedProfile();
+  profile.active_ticks = 3;
+  FaultyFs io(&real_, FaultPlan(42, profile), root_.string() + "/");
+  ASSERT_EQ(io.Write(Node("a"), "x\n"), FileIoStatus::kOk);
+  for (int tick = 0; tick < 3; ++tick) {
+    io.AdvanceTick();
+  }
+  const uint64_t during = io.injected_total();
+  for (int tick = 0; tick < 20; ++tick) {
+    io.AdvanceTick();  // past the window: everything forwards
+    std::string content;
+    EXPECT_NE(io.Read(Node("a"), &content), FileIoStatus::kRetry);
+    (void)io.Write(Node("a"), "y\n");
+  }
+  EXPECT_EQ(io.injected_total(), during);
+}
+
+}  // namespace
+}  // namespace dcat

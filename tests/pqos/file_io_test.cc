@@ -1,0 +1,90 @@
+#include "src/pqos/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace dcat {
+namespace {
+namespace fs = std::filesystem;
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            (std::string("file_io_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+  RealFileIo io_;
+};
+
+TEST_F(FileIoTest, WriteThenReadRoundTrips) {
+  const std::string path = (root_ / "node").string();
+  ASSERT_EQ(io_.Write(path, "L3:0=3c\n"), FileIoStatus::kOk);
+  std::string content;
+  ASSERT_EQ(io_.Read(path, &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "L3:0=3c\n");
+}
+
+TEST_F(FileIoTest, WriteTruncatesExistingContent) {
+  const std::string path = (root_ / "node").string();
+  ASSERT_EQ(io_.Write(path, "a long first version\n"), FileIoStatus::kOk);
+  ASSERT_EQ(io_.Write(path, "short\n"), FileIoStatus::kOk);
+  std::string content;
+  ASSERT_EQ(io_.Read(path, &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "short\n");
+}
+
+TEST_F(FileIoTest, ReadMissingFileIsNotFound) {
+  std::string content;
+  EXPECT_EQ(io_.Read((root_ / "absent").string(), &content), FileIoStatus::kNotFound);
+}
+
+TEST_F(FileIoTest, WriteIntoMissingDirectoryIsNotFound) {
+  EXPECT_EQ(io_.Write((root_ / "no_such_dir" / "node").string(), "x\n"),
+            FileIoStatus::kNotFound);
+}
+
+TEST_F(FileIoTest, CreateDirsIsRecursiveAndIdempotent) {
+  const std::string dir = (root_ / "a" / "b" / "c").string();
+  EXPECT_EQ(io_.CreateDirs(dir), FileIoStatus::kOk);
+  EXPECT_EQ(io_.CreateDirs(dir), FileIoStatus::kOk);
+  EXPECT_TRUE(io_.IsDir(dir));
+  EXPECT_FALSE(io_.IsDir((root_ / "a" / "missing").string()));
+}
+
+TEST_F(FileIoTest, IsDirIsFalseForRegularFiles) {
+  const std::string path = (root_ / "node").string();
+  ASSERT_EQ(io_.Write(path, "x\n"), FileIoStatus::kOk);
+  EXPECT_FALSE(io_.IsDir(path));
+}
+
+TEST_F(FileIoTest, ReadEmptyFileIsOkAndEmpty) {
+  const std::string path = (root_ / "node").string();
+  ASSERT_EQ(io_.Write(path, ""), FileIoStatus::kOk);
+  std::string content = "sentinel";
+  ASSERT_EQ(io_.Read(path, &content), FileIoStatus::kOk);
+  EXPECT_EQ(content, "");
+}
+
+TEST_F(FileIoTest, DefaultFileIoIsASharedInstance) {
+  EXPECT_NE(DefaultFileIo(), nullptr);
+  EXPECT_EQ(DefaultFileIo(), DefaultFileIo());
+}
+
+TEST(FileIoStatusNameTest, CoversEveryStatus) {
+  EXPECT_STREQ(FileIoStatusName(FileIoStatus::kOk), "ok");
+  EXPECT_STREQ(FileIoStatusName(FileIoStatus::kNotFound), "not-found");
+  EXPECT_STREQ(FileIoStatusName(FileIoStatus::kRetry), "retry");
+  EXPECT_STREQ(FileIoStatusName(FileIoStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace dcat

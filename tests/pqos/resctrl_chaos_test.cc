@@ -1,0 +1,323 @@
+// ResctrlPqos driven through the FaultyFs decorator: read-back
+// verification, rollback correctness under torn writes, rollback-failure
+// divergence accounting, and half-written-tree recovery at Initialize.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_plan.h"
+#include "src/faults/faulty_fs.h"
+#include "src/pqos/file_io.h"
+#include "src/pqos/mask.h"
+#include "src/pqos/resctrl_pqos.h"
+
+namespace dcat {
+namespace {
+namespace fs = std::filesystem;
+
+class ResctrlChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            (std::string("resctrl_chaos_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "info" / "L3");
+    WriteFile(root_ / "info" / "L3" / "cbm_mask", "fffff\n");  // 20 ways
+    WriteFile(root_ / "info" / "L3" / "num_closids", "16\n");
+    WriteFile(root_ / "schemata", "L3:0=fffff\n");
+    WriteFile(root_ / "cpus_list", "0-17\n");
+    faulty_ = std::make_unique<FaultyFs>(DefaultFileIo(), FaultPlan(),
+                                         root_.string() + "/");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  static void WriteFile(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  static std::string ReadFile(const fs::path& path) {
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  // Parses the L3 line of a schemata file straight off the disk; nullopt
+  // when the node is unreadable or malformed.
+  static std::optional<uint32_t> MaskOnDisk(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) {
+      return std::nullopt;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("L3:0=", 0) == 0) {
+        return ParseMaskHex(line.substr(5));
+      }
+    }
+    return std::nullopt;
+  }
+
+  fs::path root_;
+  std::unique_ptr<FaultyFs> faulty_;
+};
+
+// --- the acceptance-bar test: a torn write mid-batch leaves the cached
+// masks exactly equal to the landed prefix, and every schemata file on
+// disk re-reads to the cached value.
+TEST_F(ResctrlChaosTest, TornWriteMidBatchLeavesCacheEqualToTree) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+
+  // Tear the second element's schemata write: a prefix lands, the call
+  // reports failure, and ProgramSchemata must restore the node.
+  faulty_->ScriptWriteFault(FileFault::kTornWrite, 1, "dcat_cos2/schemata");
+
+  const std::vector<CosMaskUpdate> updates = {
+      {1, 0x3}, {2, 0x7}, {3, 0xf}};
+  size_t applied = 99;
+  EXPECT_EQ(pqos.ApplyMaskBatch(updates, &applied), PqosStatus::kIoError);
+  EXPECT_EQ(applied, 1u);  // exactly the landed prefix
+  EXPECT_EQ(faulty_->stats().torn_writes, 1u);
+  EXPECT_GE(pqos.io_stats().rollbacks, 1u);
+  EXPECT_EQ(pqos.io_stats().rollback_failures, 0u);
+
+  // The landed prefix is in the caches...
+  EXPECT_EQ(pqos.GetCosMask(1), 0x3u);
+  EXPECT_EQ(pqos.GetCosMask(2), 0xfffffu);  // restored, not the torn value
+  EXPECT_EQ(pqos.GetCosMask(3), 0xfffffu);  // never reached
+
+  // ...and every schemata file on disk agrees with the cache, re-read
+  // node by node. This is the tree==cache postcondition torn writes
+  // must not break.
+  for (uint8_t cos = 0; cos < pqos.NumCos(); ++cos) {
+    const fs::path node = cos == 0 ? root_ / "schemata"
+                                   : root_ / ("dcat_cos" + std::to_string(cos)) / "schemata";
+    const std::optional<uint32_t> on_disk = MaskOnDisk(node);
+    ASSERT_TRUE(on_disk.has_value()) << "unreadable schemata for COS " << int(cos);
+    EXPECT_EQ(*on_disk, pqos.GetCosMask(cos)) << "divergence at COS " << int(cos);
+  }
+}
+
+TEST_F(ResctrlChaosTest, FailedWriteRollsBackAndKeepsCache) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  ASSERT_EQ(pqos.SetCosMask(3, 0x3c), PqosStatus::kOk);
+
+  faulty_->ScriptWriteFault(FileFault::kError, 1, "dcat_cos3/schemata");
+  EXPECT_EQ(pqos.SetCosMask(3, 0xff), PqosStatus::kIoError);
+  EXPECT_EQ(pqos.GetCosMask(3), 0x3cu);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos3" / "schemata"), "L3:0=3c\n");
+  EXPECT_GE(pqos.io_stats().rollbacks, 1u);
+}
+
+TEST_F(ResctrlChaosTest, GarbageReadBackTriggersRollback) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  ASSERT_EQ(pqos.SetCosMask(3, 0x3c), PqosStatus::kOk);
+
+  // The write itself lands, but the verification read sees garbage — the
+  // backend must not believe the write and must restore the previous value.
+  faulty_->ScriptReadFault(FileFault::kGarbage, 1, "dcat_cos3/schemata");
+  EXPECT_EQ(pqos.SetCosMask(3, 0xff), PqosStatus::kIoError);
+  EXPECT_EQ(pqos.GetCosMask(3), 0x3cu);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos3" / "schemata"), "L3:0=3c\n");
+  EXPECT_GE(pqos.io_stats().readback_mismatches, 1u);
+}
+
+TEST_F(ResctrlChaosTest, RetryBurstsAreAbsorbed) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+
+  faulty_->ScriptWriteFault(FileFault::kRetry, 2, "dcat_cos2/schemata");
+  EXPECT_EQ(pqos.SetCosMask(2, 0xf0), PqosStatus::kOk);
+  EXPECT_EQ(pqos.GetCosMask(2), 0xf0u);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=f0\n");
+  EXPECT_GE(pqos.io_stats().retries, 2u);
+}
+
+TEST_F(ResctrlChaosTest, UnboundedRetryGivesUp) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+
+  // More kRetry results than the retry budget: the write fails cleanly
+  // and the previous value stays in place.
+  faulty_->ScriptWriteFault(FileFault::kRetry, 16, "dcat_cos2/schemata");
+  EXPECT_EQ(pqos.SetCosMask(2, 0xf0), PqosStatus::kIoError);
+  EXPECT_EQ(pqos.GetCosMask(2), 0xfffffu);
+}
+
+TEST_F(ResctrlChaosTest, AssociateCoreRollsBackWhenOldGroupWriteFails) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  ASSERT_EQ(pqos.AssociateCore(4, 2), PqosStatus::kOk);
+
+  // Moving core 4 from COS 2 to COS 3: the new group's list is written
+  // first, then the old group's. Failing the old group's write must undo
+  // the new group's claim — in memory AND in the tree.
+  faulty_->ScriptWriteFault(FileFault::kError, 1, "dcat_cos2/cpus_list");
+  EXPECT_EQ(pqos.AssociateCore(4, 3), PqosStatus::kIoError);
+  EXPECT_EQ(pqos.GetCoreAssociation(4), 2);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "cpus_list"), "4\n");
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos3" / "cpus_list"), "\n");
+  EXPECT_EQ(pqos.io_stats().rollback_failures, 0u);
+}
+
+TEST_F(ResctrlChaosTest, FailedRollbackIsCountedAsDivergence) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  ASSERT_EQ(pqos.SetCosMask(2, 0x3c), PqosStatus::kOk);
+
+  // The write tears AND the restore write fails: tree and cache genuinely
+  // diverge, and the backend must say so instead of pretending.
+  faulty_->ScriptWriteFault(FileFault::kTornWrite, 1, "dcat_cos2/schemata");
+  faulty_->ScriptWriteFault(FileFault::kError, 1, "dcat_cos2/schemata");
+  EXPECT_EQ(pqos.SetCosMask(2, 0xff), PqosStatus::kIoError);
+  EXPECT_EQ(pqos.io_stats().rollback_failures, 1u);
+  EXPECT_EQ(pqos.GetCosMask(2), 0x3cu);  // the cache keeps the verified value
+
+  // A restarted controller repairs the torn node from the tree side.
+  ResctrlPqos fresh(root_.string(), 18);
+  ASSERT_TRUE(fresh.Initialize());
+  EXPECT_GE(fresh.io_stats().repaired_nodes, 1u);
+  EXPECT_EQ(MaskOnDisk(root_ / "dcat_cos2" / "schemata"), fresh.GetCosMask(2));
+}
+
+TEST_F(ResctrlChaosTest, InitializeAdoptsAnExistingTree) {
+  // A previous controller left non-default state behind; a restart must
+  // adopt it rather than clobber it.
+  fs::create_directories(root_ / "dcat_cos2");
+  fs::create_directories(root_ / "dcat_cos3");
+  WriteFile(root_ / "dcat_cos2" / "schemata", "L3:0=f0\n");
+  WriteFile(root_ / "dcat_cos3" / "cpus_list", "4,5\n");
+
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.GetCosMask(2), 0xf0u);
+  EXPECT_EQ(pqos.GetCoreAssociation(4), 3);
+  EXPECT_EQ(pqos.GetCoreAssociation(5), 3);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=f0\n");
+}
+
+TEST_F(ResctrlChaosTest, InitializeRepairsHalfWrittenNodes) {
+  // A torn schemata, a garbage cpus_list, and a double-claimed core: the
+  // kinds of wreckage a crash mid-write leaves behind.
+  fs::create_directories(root_ / "dcat_cos2");
+  fs::create_directories(root_ / "dcat_cos3");
+  fs::create_directories(root_ / "dcat_cos4");
+  WriteFile(root_ / "dcat_cos2" / "schemata", "L3:0");            // torn
+  WriteFile(root_ / "dcat_cos3" / "cpus_list", "0xz!#torn");      // garbage
+  WriteFile(root_ / "dcat_cos3" / "cpus_list.tmp", "ignored\n");  // stray file
+  WriteFile(root_ / "dcat_cos2" / "cpus_list", "7\n");
+  WriteFile(root_ / "dcat_cos4" / "cpus_list", "7\n");  // double claim
+
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_GE(pqos.io_stats().repaired_nodes, 2u);
+  // The torn schemata was rewritten to the (default) cached value.
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=fffff\n");
+  // The garbage list contributed nothing and was repaired to the empty list.
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos3" / "cpus_list"), "\n");
+  // The double-claimed core went to the later group, and the tree says so.
+  EXPECT_EQ(pqos.GetCoreAssociation(7), 4);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "cpus_list"), "\n");
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos4" / "cpus_list"), "7\n");
+
+  // Postcondition: cache == tree for every schemata node.
+  for (uint8_t cos = 0; cos < pqos.NumCos(); ++cos) {
+    const fs::path node = cos == 0 ? root_ / "schemata"
+                                   : root_ / ("dcat_cos" + std::to_string(cos)) / "schemata";
+    EXPECT_EQ(MaskOnDisk(node), pqos.GetCosMask(cos)) << "COS " << int(cos);
+  }
+}
+
+TEST_F(ResctrlChaosTest, MbaRollbackPreservesCombinedSchemata) {
+  fs::create_directories(root_ / "info" / "MB");
+  WriteFile(root_ / "info" / "MB" / "min_bandwidth", "10\n");
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  ASSERT_TRUE(pqos.mba_supported());
+  ASSERT_EQ(pqos.SetMbaThrottle(2, 40), PqosStatus::kOk);
+  ASSERT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=fffff\nMB:0=40\n");
+
+  // A torn combined write must restore BOTH lines of the previous content.
+  faulty_->ScriptWriteFault(FileFault::kTornWrite, 1, "dcat_cos2/schemata");
+  EXPECT_EQ(pqos.SetMbaThrottle(2, 70), PqosStatus::kIoError);
+  EXPECT_EQ(pqos.GetMbaThrottle(2), 40u);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=fffff\nMB:0=40\n");
+
+  // Same for the CAT half of the composite.
+  faulty_->ScriptWriteFault(FileFault::kError, 1, "dcat_cos2/schemata");
+  EXPECT_EQ(pqos.SetCosMask(2, 0xf), PqosStatus::kIoError);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=fffff\nMB:0=40\n");
+  EXPECT_EQ(pqos.GetCosMask(2), 0xfffffu);
+}
+
+TEST_F(ResctrlChaosTest, MonitoringDistinguishesAbsentFromBroken) {
+  ResctrlPqos pqos(root_.string(), 18, faulty_.get());
+  ASSERT_TRUE(pqos.Initialize());
+  uint64_t bytes = 99;
+
+  // Absent node: unsupported, not an error.
+  EXPECT_EQ(pqos.ReadLlcOccupancy(2, &bytes), PqosStatus::kUnsupported);
+  EXPECT_EQ(bytes, 0u);
+
+  fs::create_directories(root_ / "dcat_cos2" / "mon_data" / "mon_L3_00");
+  WriteFile(root_ / "dcat_cos2" / "mon_data" / "mon_L3_00" / "llc_occupancy", "1234567\n");
+  EXPECT_EQ(pqos.ReadLlcOccupancy(2, &bytes), PqosStatus::kOk);
+  EXPECT_EQ(bytes, 1234567u);
+
+  // A garbage read is an I/O error, not a silent 0 ... and not a crash.
+  faulty_->ScriptReadFault(FileFault::kGarbage, 1, "llc_occupancy");
+  EXPECT_EQ(pqos.ReadLlcOccupancy(2, &bytes), PqosStatus::kIoError);
+  EXPECT_EQ(bytes, 0u);
+
+  // A short read that truncates the number still parses (it is a valid
+  // prefix) — but a short read of the combined node is caught upstream by
+  // schemata read-back, and the monitoring path at least never crashes.
+  faulty_->ScriptReadFault(FileFault::kEmpty, 1, "llc_occupancy");
+  EXPECT_EQ(pqos.ReadLlcOccupancy(2, &bytes), PqosStatus::kIoError);
+
+  // Retry bursts are absorbed on the monitoring path too.
+  faulty_->ScriptReadFault(FileFault::kRetry, 2, "llc_occupancy");
+  EXPECT_EQ(pqos.ReadLlcOccupancy(2, &bytes), PqosStatus::kOk);
+  EXPECT_EQ(bytes, 1234567u);
+}
+
+TEST_F(ResctrlChaosTest, SurvivesAScriptlessMixedFaultStorm) {
+  // Pure soak: drive the backend through the fs-mixed plan for many ticks;
+  // every operation must either verify or roll back, and at the end (the
+  // plan gone quiet) a full re-apply must converge to cache == tree.
+  FaultProfile profile = FsMixedProfile();
+  profile.active_ticks = 30;
+  FaultyFs storm(DefaultFileIo(), FaultPlan(1234, profile), root_.string() + "/");
+  ResctrlPqos pqos(root_.string(), 18, &storm);
+  ASSERT_TRUE(pqos.Initialize());
+
+  for (int tick = 0; tick < 30; ++tick) {
+    storm.AdvanceTick();
+    const uint32_t ways = 1 + (tick % 8);
+    (void)pqos.SetCosMask(1 + (tick % 3), MakeWayMask(0, ways));
+    (void)pqos.AssociateCore(static_cast<uint16_t>(tick % 18), 1 + (tick % 3));
+    uint64_t bytes = 0;
+    (void)pqos.ReadLlcOccupancy(1, &bytes);
+  }
+  EXPECT_GT(storm.injected_total(), 0u);
+
+  // Fault window over: re-apply every mask, then demand cache == tree.
+  storm.AdvanceTick();
+  for (uint8_t cos = 0; cos < pqos.NumCos(); ++cos) {
+    ASSERT_EQ(pqos.SetCosMask(cos, pqos.GetCosMask(cos)), PqosStatus::kOk);
+    const fs::path node = cos == 0 ? root_ / "schemata"
+                                   : root_ / ("dcat_cos" + std::to_string(cos)) / "schemata";
+    EXPECT_EQ(MaskOnDisk(node), pqos.GetCosMask(cos)) << "COS " << int(cos);
+  }
+}
+
+}  // namespace
+}  // namespace dcat

@@ -71,6 +71,37 @@ TEST_F(ResctrlPqosTest, InitializeFailsOnNonContiguousCbm) {
   EXPECT_FALSE(pqos.Initialize());
 }
 
+TEST_F(ResctrlPqosTest, InitializeFailsOnGarbageNumClosids) {
+  // Strict parse: trailing garbage is a malformed tree, not "16".
+  WriteFile(root_ / "info" / "L3" / "num_closids", "16 cows\n");
+  ResctrlPqos pqos(root_.string(), 18);
+  EXPECT_FALSE(pqos.Initialize());
+}
+
+TEST_F(ResctrlPqosTest, InitializeFailsOnOutOfRangeNumClosids) {
+  WriteFile(root_ / "info" / "L3" / "num_closids", "0\n");
+  ResctrlPqos zero(root_.string(), 18);
+  EXPECT_FALSE(zero.Initialize());
+  WriteFile(root_ / "info" / "L3" / "num_closids", "999\n");
+  ResctrlPqos huge(root_.string(), 18);
+  EXPECT_FALSE(huge.Initialize());
+}
+
+TEST_F(ResctrlPqosTest, InitializeFailsOnGarbageCacheSize) {
+  // cache_size is optional, but present-and-unparseable must fail loudly
+  // rather than silently running with a zero way capacity.
+  WriteFile(root_ / "info" / "L3" / "cache_size", "lots\n");
+  ResctrlPqos pqos(root_.string(), 18);
+  EXPECT_FALSE(pqos.Initialize());
+}
+
+TEST_F(ResctrlPqosTest, CacheSizeSetsWayCapacity) {
+  WriteFile(root_ / "info" / "L3" / "cache_size", "46137344\n");  // 44 MiB
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_EQ(pqos.WayCapacityBytes(), 46137344u / 20u);
+}
+
 TEST_F(ResctrlPqosTest, SetCosMaskWritesSchemata) {
   ResctrlPqos pqos(root_.string(), 18);
   ASSERT_TRUE(pqos.Initialize());
@@ -150,6 +181,17 @@ TEST_F(ResctrlPqosTest, MbaWritesCombinedSchemata) {
   EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=f\nMB:0=40\n");
 }
 
+TEST_F(ResctrlPqosTest, MbaDetectedFromInfoMbDirWithoutMinBandwidth) {
+  // Some kernels expose info/MB without a min_bandwidth node; the
+  // directory's existence alone means the platform has MBA.
+  fs::create_directories(root_ / "info" / "MB");
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  EXPECT_TRUE(pqos.mba_supported());
+  EXPECT_EQ(pqos.SetMbaThrottle(2, 50), PqosStatus::kOk);
+  EXPECT_EQ(ReadFile(root_ / "dcat_cos2" / "schemata"), "L3:0=fffff\nMB:0=50\n");
+}
+
 TEST_F(ResctrlPqosTest, MbaRejectsOutOfRangeValues) {
   fs::create_directories(root_ / "info" / "MB");
   ResctrlPqos pqos(root_.string(), 18);
@@ -166,6 +208,19 @@ TEST_F(ResctrlPqosTest, MbmBytesReadFromMonData) {
   WriteFile(root_ / "dcat_cos3" / "mon_data" / "mon_L3_00" / "mbm_total_bytes", "987654\n");
   EXPECT_EQ(pqos.MemoryBandwidthBytes(3), 987654u);
   EXPECT_EQ(pqos.MemoryBandwidthBytes(4), 0u);
+}
+
+TEST_F(ResctrlPqosTest, GarbageMonitorNodeIsIoErrorNotZero) {
+  ResctrlPqos pqos(root_.string(), 18);
+  ASSERT_TRUE(pqos.Initialize());
+  fs::create_directories(root_ / "dcat_cos3" / "mon_data" / "mon_L3_00");
+  WriteFile(root_ / "dcat_cos3" / "mon_data" / "mon_L3_00" / "mbm_total_bytes", "12x34\n");
+  uint64_t bytes = 99;
+  EXPECT_EQ(pqos.ReadMemoryBandwidth(3, &bytes), PqosStatus::kIoError);
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_GE(pqos.io_stats().parse_errors, 1u);
+  // The absent node stays distinguishable: unsupported, not an error.
+  EXPECT_EQ(pqos.ReadMemoryBandwidth(4, &bytes), PqosStatus::kUnsupported);
 }
 
 TEST_F(ResctrlPqosTest, OperationsBeforeInitializeFail) {

@@ -14,6 +14,9 @@
 //   dcat_fuzz --chaos=7 --seeds=50        # every scenario additionally runs
 //                                         # under each fault schedule, with a
 //                                         # fault-free settle window at the end
+//   dcat_fuzz --chaos-resctrl --seeds=50  # fake-resctrl differential under
+//                                         # file-I/O chaos (FaultyFs): torn and
+//                                         # failed sysfs writes, garbage reads
 //
 // With --jobs=N the (seed, policy) runs execute on a worker pool; each run
 // is self-contained (scenario expansion, host, checker, shadow backends all
@@ -66,6 +69,13 @@ struct Options {
   bool chaos = false;
   uint64_t chaos_seed = 0;
   std::string chaos_profile = "all";
+  // File-I/O chaos on the fake-resctrl differential (--chaos-resctrl): a
+  // FaultyFs under the shadow ResctrlPqos, one run per (seed, policy, fs
+  // profile), fault-attributed divergence scoping, and a settle pass that
+  // re-reads every schemata file from the tree. Shares chaos_seed for the
+  // schedule stream.
+  bool chaos_resctrl = false;
+  std::string chaos_resctrl_profile = "all";
   // Crash mode (--crash-at): kill + journal-recover the controller. Each
   // selected tick runs the full crash matrix (boundary, mid-apply at two
   // write offsets, torn journal at two cut points); `crash_every` sweeps
@@ -91,8 +101,14 @@ struct Options {
 const char* const kChaosProfiles[] = {"transient", "silent-drift", "counter-garbage",
                                       "persistent-outage"};
 
+// The file-I/O schedules --chaos-resctrl sweeps by default.
+const char* const kFsChaosProfiles[] = {"fs-transient", "fs-torn", "fs-garbage", "fs-mixed"};
+
 // Deterministic fault-plan seed for one (scenario seed, chaos seed, profile)
-// triple; any finding replays from the flags alone.
+// triple; any finding replays from the flags alone. File-I/O profiles use
+// indices >= kFsProfileIndexBase so their schedule stream never collides
+// with the backend-chaos one.
+constexpr size_t kFsProfileIndexBase = 16;
 uint64_t FaultSeedFor(uint64_t scenario_seed, uint64_t chaos_seed, size_t profile_index) {
   return scenario_seed + 0x51f4a7c15ULL * (chaos_seed + 1) + 131 * profile_index;
 }
@@ -128,6 +144,15 @@ void PrintUsage() {
       "                          settle window that must end out of degraded mode\n"
       "  --chaos-profile=NAME    transient|silent-drift|counter-garbage|\n"
       "                          persistent-outage|mixed|all (default all)\n"
+      "  --chaos-resctrl[=P]     file-I/O chaos on the fake-resctrl differential:\n"
+      "                          a FaultyFs under the shadow ResctrlPqos injects\n"
+      "                          torn/failed sysfs writes, EINTR retries, and\n"
+      "                          garbage/short/empty/vanished node reads; failed\n"
+      "                          writes are scoped to their fault, and a settle\n"
+      "                          pass re-reads every schemata file from the tree\n"
+      "                          and requires zero unscoped divergence. P is\n"
+      "                          fs-transient|fs-torn|fs-garbage|fs-mixed|all\n"
+      "                          (default all)\n"
       "  --crash-at=T|every      crash-restart fuzzing: kill the controller at\n"
       "                          tick T (or at every tick) in each of the crash\n"
       "                          modes (boundary, mid-apply, torn journal),\n"
@@ -170,7 +195,7 @@ std::string FormatTraceTail(const std::string& trace, size_t tail) {
 // replay report; the caller prints reports in seed order so parallel runs
 // produce byte-identical output.
 bool RunOne(const Scenario& scenario, const std::string& policy, const char* fault_profile,
-            const Options& options, std::string* report) {
+            const char* fs_profile, const Options& options, std::string* report) {
   RunOptions run_options;
   run_options.policy = policy;
   run_options.cycles_per_interval = options.cycles_per_interval;
@@ -186,12 +211,25 @@ bool RunOne(const Scenario& scenario, const std::string& policy, const char* fau
     run_options.fault_profile = fault_profile;
     run_options.fault_seed = FaultSeedFor(scenario.seed, options.chaos_seed, profile_index);
   }
+  if (fs_profile != nullptr) {
+    size_t fs_index = 0;
+    while (fs_index < std::size(kFsChaosProfiles) &&
+           std::strcmp(kFsChaosProfiles[fs_index], fs_profile) != 0) {
+      ++fs_index;
+    }
+    run_options.inject_fs_faults = true;
+    run_options.fs_fault_profile = fs_profile;
+    run_options.fs_fault_seed =
+        FaultSeedFor(scenario.seed, options.chaos_seed, kFsProfileIndexBase + fs_index);
+  }
   ScenarioResult result = RunScenario(scenario, run_options);
 
   if (result.ok() && options.check_determinism) {
-    // One re-run suffices: compare against the trace already captured.
+    // One re-run suffices: compare against the trace already captured. The
+    // shadow-side checks are trace-invisible, so the re-run skips them.
     RunOptions rerun = run_options;
     rerun.check_backend_differential = false;
+    rerun.inject_fs_faults = false;
     const ScenarioResult again = RunScenario(scenario, rerun);
     const std::string divergence = DescribeTraceDivergence(result.trace, again.trace);
     if (!divergence.empty()) {
@@ -210,11 +248,19 @@ bool RunOne(const Scenario& scenario, const std::string& policy, const char* fau
   if (fault_profile != nullptr) {
     out << " chaos=" << options.chaos_seed << " profile=" << fault_profile;
   }
+  if (fs_profile != nullptr) {
+    out << " fs-chaos=" << options.chaos_seed << " fs-profile=" << fs_profile
+        << " (injected=" << result.fs_faults_injected
+        << " scoped=" << result.fs_scoped_divergences << ")";
+  }
   out << "\n";
   out << "  scenario: " << scenario.Describe() << "\n";
   out << "  replay:   dcat_fuzz --seed=" << scenario.seed << " --policy=" << policy;
   if (fault_profile != nullptr) {
     out << " --chaos=" << options.chaos_seed << " --chaos-profile=" << fault_profile;
+  }
+  if (fs_profile != nullptr) {
+    out << " --chaos-resctrl=" << fs_profile;
   }
   out << "\n";
   for (const Violation& violation : result.violations) {
@@ -626,6 +672,22 @@ int Main(int argc, char** argv) {
         return 1;
       }
       options.chaos = true;
+    } else if (arg == "--chaos-resctrl") {
+      options.chaos_resctrl = true;
+    } else if (const char* v = value("--chaos-resctrl=")) {
+      options.chaos_resctrl_profile = v;
+      bool known = options.chaos_resctrl_profile == "all";
+      for (const char* name : kFsChaosProfiles) {
+        known = known || options.chaos_resctrl_profile == name;
+      }
+      if (!known) {
+        std::fprintf(stderr,
+                     "--chaos-resctrl: expected fs-transient|fs-torn|fs-garbage|"
+                     "fs-mixed|all, got '%s'\n",
+                     v);
+        return 1;
+      }
+      options.chaos_resctrl = true;
     } else if (const char* v = value("--chaos-profile=")) {
       options.chaos_profile = v;
       if (options.chaos_profile != "all" &&
@@ -684,6 +746,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--fidelity-diff cannot combine with --chaos or --crash-at\n");
     return 1;
   }
+  if (options.chaos_resctrl && (options.fidelity_diff || options.crash)) {
+    // The fs chaos lives on the scenario differential, which the fidelity
+    // diff disables and the crash harness never constructs.
+    std::fprintf(stderr, "--chaos-resctrl cannot combine with --fidelity-diff or --crash-at\n");
+    return 1;
+  }
 
   std::vector<std::string> policies;
   if (options.policy == "all") {
@@ -695,8 +763,10 @@ int Main(int argc, char** argv) {
   }
 
   if (options.fleet) {
-    if (options.crash || options.fidelity_diff) {
-      std::fprintf(stderr, "--fleet cannot combine with --crash-at or --fidelity-diff\n");
+    if (options.crash || options.fidelity_diff || options.chaos_resctrl) {
+      std::fprintf(stderr,
+                   "--fleet cannot combine with --crash-at, --fidelity-diff, or "
+                   "--chaos-resctrl\n");
       return 1;
     }
     return RunFleetMode(options, policies);
@@ -715,18 +785,30 @@ int Main(int argc, char** argv) {
   } else {
     profiles.push_back(options.chaos_profile.c_str());
   }
+  std::vector<const char*> fs_profiles;  // one nullptr entry = clean file I/O
+  if (!options.chaos_resctrl) {
+    fs_profiles.push_back(nullptr);
+  } else if (options.chaos_resctrl_profile == "all") {
+    fs_profiles.assign(std::begin(kFsChaosProfiles), std::end(kFsChaosProfiles));
+  } else {
+    fs_profiles.push_back(options.chaos_resctrl_profile.c_str());
+  }
 
   struct Job {
     uint64_t seed = 0;
     std::string policy;
     const char* profile = nullptr;
+    const char* fs_profile = nullptr;
   };
   std::vector<Job> job_list;
-  job_list.reserve(static_cast<size_t>(count) * policies.size() * profiles.size());
+  job_list.reserve(static_cast<size_t>(count) * policies.size() * profiles.size() *
+                   fs_profiles.size());
   for (uint64_t i = 0; i < count; ++i) {
     for (const std::string& policy : policies) {
       for (const char* profile : profiles) {
-        job_list.push_back({options.start_seed + i, policy, profile});
+        for (const char* fs_profile : fs_profiles) {
+          job_list.push_back({options.start_seed + i, policy, profile, fs_profile});
+        }
       }
     }
   }
@@ -741,7 +823,8 @@ int Main(int argc, char** argv) {
             ? RunCrash(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j])
         : options.fidelity_diff
             ? RunFidelityDiff(scenario, job_list[j].policy, options, &reports[j])
-            : RunOne(scenario, job_list[j].policy, job_list[j].profile, options, &reports[j]);
+            : RunOne(scenario, job_list[j].policy, job_list[j].profile,
+                     job_list[j].fs_profile, options, &reports[j]);
     if (!ok) {
       failed[j] = 1;
     }
@@ -769,10 +852,17 @@ int Main(int argc, char** argv) {
         policies.size(), profiles.size(),
         options.crash_every ? "at every tick"
                             : ("at tick " + std::to_string(options.crash_tick)).c_str());
-  } else if (options.chaos) {
-    std::printf("dcat_fuzz: %llu runs clean (%llu seeds x %zu policies x %zu fault schedules)\n",
-                static_cast<unsigned long long>(runs),
-                static_cast<unsigned long long>(count), policies.size(), profiles.size());
+  } else if (options.chaos || options.chaos_resctrl) {
+    std::ostringstream dims;
+    dims << count << " seeds x " << policies.size() << " policies";
+    if (options.chaos) {
+      dims << " x " << profiles.size() << " fault schedules";
+    }
+    if (options.chaos_resctrl) {
+      dims << " x " << fs_profiles.size() << " file-I/O schedules";
+    }
+    std::printf("dcat_fuzz: %llu runs clean (%s)\n", static_cast<unsigned long long>(runs),
+                dims.str().c_str());
   } else if (options.fidelity_diff) {
     std::printf(
         "dcat_fuzz: %llu fidelity diffs clean (%llu seeds x %zu policies, line vs hybrid "
